@@ -1,0 +1,48 @@
+// Figure 7 — HABIT accuracy (DTW) for gaps of 1, 2 and 4 hours, for
+// configurations (r|t) in {9|100, 9|250, 10|100, 10|250} [KIEL & SAR].
+//
+// Paper shape: median DTW grows with gap duration but sub-linearly; the
+// effect is mild on KIEL and stronger on SAR (with pronounced outliers from
+// irregular vessels); the relative ranking of configurations is stable.
+#include <cstdio>
+#include <string>
+
+#include "eval/harness.h"
+
+int main() {
+  using namespace habit;
+  std::printf("Figure 7: HABIT DTW vs gap duration\n");
+  for (const char* dataset : {"KIEL", "SAR"}) {
+    for (const int64_t hours : {1LL, 2LL, 4LL}) {
+      eval::ExperimentOptions options;
+      // SAR voyages are short gulf hops; a larger scale keeps enough trips
+      // eligible to host 2-4h gaps.
+      options.scale = std::string(dataset) == "SAR" ? 2.5 : 1.0;
+      options.seed = 42;
+      options.sampler.report_interval_s = 10.0;  // class-A density
+      options.gap_seconds = hours * 3600;
+      auto exp = eval::PrepareExperiment(dataset, options).MoveValue();
+      std::printf("%s, %lldh gaps (%zu cases)\n", dataset,
+                  static_cast<long long>(hours), exp.gaps.size());
+      for (int r : {9, 10}) {
+        for (double t : {100.0, 250.0}) {
+          core::HabitConfig config;
+          config.resolution = r;
+          config.rdp_tolerance_m = t;
+          auto report = eval::RunHabit(exp, config);
+          if (!report.ok()) continue;
+          std::printf("  r=%d|t=%-4.0f  mean %8.1f  median %8.1f  p90 %8.1f "
+                      " max %9.1f  fails %zu\n",
+                      r, t, report.value().accuracy.mean,
+                      report.value().accuracy.median,
+                      report.value().accuracy.p90, report.value().accuracy.max,
+                      report.value().accuracy.failures);
+        }
+      }
+    }
+  }
+  std::printf("\npaper shape: medians grow sub-linearly with gap length; "
+              "SAR shows larger medians and heavier outliers than KIEL; "
+              "config ranking stays consistent\n");
+  return 0;
+}

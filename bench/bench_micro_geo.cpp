@@ -1,0 +1,72 @@
+// Microbenchmarks for geo primitives: haversine, DTW (the evaluation
+// bottleneck), RDP simplification, and resampling.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "geo/polyline.h"
+#include "geo/similarity.h"
+
+namespace {
+
+using namespace habit;
+
+geo::Polyline MakeWigglyPath(int n, uint64_t seed) {
+  Rng rng(seed);
+  geo::Polyline line;
+  for (int i = 0; i < n; ++i) {
+    line.push_back({55.0 + 0.002 * i + rng.Uniform(-0.0005, 0.0005),
+                    11.0 + rng.Uniform(-0.001, 0.001)});
+  }
+  return line;
+}
+
+void BM_Haversine(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<geo::LatLng> pts;
+  for (int i = 0; i < 1024; ++i) {
+    pts.push_back({rng.Uniform(54, 58), rng.Uniform(9, 13)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::HaversineMeters(pts[i & 1023], pts[(i + 1) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_DtwAverage(benchmark::State& state) {
+  const auto a = MakeWigglyPath(static_cast<int>(state.range(0)), 1);
+  const auto b = MakeWigglyPath(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::DtwAverageMeters(a, b));
+  }
+}
+BENCHMARK(BM_DtwAverage)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_RdpSimplify(benchmark::State& state) {
+  const auto line = MakeWigglyPath(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::RdpSimplify(line, 250.0));
+  }
+}
+BENCHMARK(BM_RdpSimplify)->Arg(100)->Arg(1000);
+
+void BM_ResampleMaxSpacing(benchmark::State& state) {
+  const auto line = MakeWigglyPath(200, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::ResampleMaxSpacing(line, 50.0));
+  }
+}
+BENCHMARK(BM_ResampleMaxSpacing);
+
+void BM_DiscreteFrechet(benchmark::State& state) {
+  const auto a = MakeWigglyPath(300, 5);
+  const auto b = MakeWigglyPath(300, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::DiscreteFrechetMeters(a, b));
+  }
+}
+BENCHMARK(BM_DiscreteFrechet);
+
+}  // namespace

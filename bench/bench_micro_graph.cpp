@@ -1,0 +1,112 @@
+// Microbenchmarks for the graph substrate: A* / Dijkstra over lane-like
+// hexgrid graphs and KD-tree queries (the inner loops of HABIT and GTI
+// imputation).
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "graph/kdtree.h"
+#include "graph/shortest_path.h"
+#include "hexgrid/hexgrid.h"
+
+namespace {
+
+using namespace habit;
+
+// A long corridor graph of hexgrid cells (both directions), mimicking the
+// transition graphs HABIT builds.
+graph::Digraph MakeCorridorGraph(int length_cells, hex::CellId* start,
+                                 hex::CellId* end) {
+  graph::Digraph g;
+  const hex::CellId a = hex::LatLngToCell({55.0, 11.0}, 9);
+  hex::CellId prev = a;
+  hex::CellId cur = a;
+  for (int i = 0; i < length_cells; ++i) {
+    const auto nbrs = hex::Neighbors(cur);
+    const hex::CellId next = nbrs[i % 2];  // zig-zag northeast
+    g.AddEdge(cur, next, {.weight = 1.1, .transitions = 5});
+    g.AddEdge(next, cur, {.weight = 1.1, .transitions = 5});
+    prev = cur;
+    cur = next;
+  }
+  (void)prev;
+  *start = a;
+  *end = cur;
+  return g;
+}
+
+void BM_AStarCorridor(benchmark::State& state) {
+  hex::CellId start, end;
+  const graph::Digraph g =
+      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end);
+  const graph::Heuristic h = [end](graph::NodeId n) {
+    auto d = hex::GridDistance(static_cast<hex::CellId>(n), end);
+    return d.ok() ? static_cast<double>(d.value()) : 0.0;
+  };
+  for (auto _ : state) {
+    auto result = graph::AStar(g, start, end, h);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AStarCorridor)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_DijkstraCorridor(benchmark::State& state) {
+  hex::CellId start, end;
+  const graph::Digraph g =
+      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end);
+  for (auto _ : state) {
+    auto result = graph::Dijkstra(g, start, end);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DijkstraCorridor)->Arg(1000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::pair<geo::LatLng, uint64_t>> points;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    points.push_back(
+        {{rng.Uniform(54, 58), rng.Uniform(9, 13)}, static_cast<uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    graph::KdTree tree;
+    tree.Build(points);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::pair<geo::LatLng, uint64_t>> points;
+  for (int64_t i = 0; i < 100000; ++i) {
+    points.push_back(
+        {{rng.Uniform(54, 58), rng.Uniform(9, 13)}, static_cast<uint64_t>(i)});
+  }
+  graph::KdTree tree;
+  tree.Build(points);
+  for (auto _ : state) {
+    uint64_t id;
+    tree.Nearest({rng.Uniform(54, 58), rng.Uniform(9, 13)}, &id);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_KdTreeNearest);
+
+void BM_KdTreeRadius(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::pair<geo::LatLng, uint64_t>> points;
+  for (int64_t i = 0; i < 100000; ++i) {
+    points.push_back(
+        {{rng.Uniform(54, 58), rng.Uniform(9, 13)}, static_cast<uint64_t>(i)});
+  }
+  graph::KdTree tree;
+  tree.Build(points);
+  for (auto _ : state) {
+    auto hits =
+        tree.WithinRadius({rng.Uniform(54, 58), rng.Uniform(9, 13)}, 2000.0);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_KdTreeRadius);
+
+}  // namespace

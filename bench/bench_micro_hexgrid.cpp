@@ -1,0 +1,74 @@
+// Microbenchmarks for the hexgrid substrate: indexing, neighbor topology,
+// grid distance, disks, and grid paths at the resolutions HABIT uses.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "hexgrid/hexgrid.h"
+
+namespace {
+
+using namespace habit;
+
+void BM_LatLngToCell(benchmark::State& state) {
+  const int res = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<geo::LatLng> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back({rng.Uniform(54, 58), rng.Uniform(9, 13)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::LatLngToCell(points[i++ & 1023], res));
+  }
+}
+BENCHMARK(BM_LatLngToCell)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_CellToLatLng(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<hex::CellId> cells;
+  for (int i = 0; i < 1024; ++i) {
+    cells.push_back(
+        hex::LatLngToCell({rng.Uniform(54, 58), rng.Uniform(9, 13)}, 9));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::CellToLatLng(cells[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_CellToLatLng);
+
+void BM_GridDistance(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<hex::CellId, hex::CellId>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(
+        hex::LatLngToCell({rng.Uniform(54, 58), rng.Uniform(9, 13)}, 9),
+        hex::LatLngToCell({rng.Uniform(54, 58), rng.Uniform(9, 13)}, 9));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(hex::GridDistance(a, b));
+  }
+}
+BENCHMARK(BM_GridDistance);
+
+void BM_GridDisk(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const hex::CellId origin = hex::LatLngToCell({55.5, 11.5}, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::GridDisk(origin, k));
+  }
+}
+BENCHMARK(BM_GridDisk)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_GridPathCells(benchmark::State& state) {
+  const hex::CellId a = hex::LatLngToCell({55.0, 11.0}, 9);
+  const hex::CellId b = hex::LatLngToCell({55.5, 11.5}, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::GridPathCells(a, b));
+  }
+}
+BENCHMARK(BM_GridPathCells);
+
+}  // namespace

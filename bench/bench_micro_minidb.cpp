@@ -1,0 +1,74 @@
+// Microbenchmarks for minidb: the operators behind the Section 3.2 CTE —
+// window LAG, two-level hash aggregation with HLL/median, filtering.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "minidb/query.h"
+#include "sketch/hyperloglog.h"
+
+namespace {
+
+using namespace habit;
+
+db::Table MakeTable(size_t rows, int trips) {
+  db::Table t(db::Schema{{"trip_id", db::DataType::kInt64},
+                         {"ts", db::DataType::kInt64},
+                         {"cell", db::DataType::kInt64},
+                         {"sog", db::DataType::kDouble}});
+  Rng rng(1);
+  for (size_t i = 0; i < rows; ++i) {
+    t.column(0).AppendInt(static_cast<int64_t>(i) % trips);
+    t.column(1).AppendInt(static_cast<int64_t>(i));
+    t.column(2).AppendInt(static_cast<int64_t>(rng.UniformInt(0, 4095)) |
+                          (int64_t{9} << 60));
+    t.column(3).AppendDouble(rng.Uniform(0, 20));
+  }
+  return t;
+}
+
+void BM_WindowLag(benchmark::State& state) {
+  const db::Table t = MakeTable(static_cast<size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    auto result = db::WindowLag(t, {"trip_id"}, "ts", "cell", "lag");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowLag)->Arg(10000)->Arg(100000);
+
+void BM_GroupByMedianHll(benchmark::State& state) {
+  const db::Table t = MakeTable(static_cast<size_t>(state.range(0)), 32);
+  for (auto _ : state) {
+    auto result = db::GroupBy(
+        t, {"cell"},
+        {{db::AggKind::kCount, "", "cnt"},
+         {db::AggKind::kApproxCountDistinct, "trip_id", "trips"},
+         {db::AggKind::kMedianExact, "sog", "med"}});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByMedianHll)->Arg(10000)->Arg(100000);
+
+void BM_Filter(benchmark::State& state) {
+  const db::Table t = MakeTable(static_cast<size_t>(state.range(0)), 32);
+  const auto pred = db::Gt(db::Col("sog"), db::Lit(10.0));
+  for (auto _ : state) {
+    auto result = db::Filter(t, pred);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(100000);
+
+void BM_HllAdd(benchmark::State& state) {
+  sketch::HyperLogLog hll(12);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    hll.AddInt(i++);
+  }
+  benchmark::DoNotOptimize(hll.Estimate());
+}
+BENCHMARK(BM_HllAdd);
+
+}  // namespace

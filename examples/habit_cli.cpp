@@ -1,0 +1,145 @@
+// habit_cli — command-line front end for the HABIT pipeline.
+//
+// Subcommands:
+//   simulate <DAN|KIEL|SAR> <out.csv> [scale]
+//       generate a synthetic AIS feed and write it as CSV
+//   build <ais.csv> <model_prefix> [r] [t]
+//       clean + segment an AIS CSV and build a HABIT model
+//       (writes <model_prefix>_nodes.csv / _edges.csv)
+//   impute <model_prefix> <lat1> <lng1> <lat2> <lng2> [r] [t]
+//       load a model and impute one gap, printing the path as CSV
+//   stats <ais.csv>
+//       print cleaning / segmentation statistics for a feed
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ais/io.h"
+#include "ais/segment.h"
+#include "habit/framework.h"
+#include "habit/imputer.h"
+#include "habit/serialize.h"
+#include "sim/datasets.h"
+
+namespace {
+
+using namespace habit;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdSimulate(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: habit_cli simulate <DAN|KIEL|SAR> <out.csv> "
+                         "[scale]\n");
+    return 2;
+  }
+  sim::DatasetOptions options;
+  if (argc > 2) options.scale = std::atof(argv[2]);
+  auto ds = sim::MakeDataset(argv[0], options);
+  if (!ds.ok()) return Fail(ds.status());
+  const Status st = ais::WriteAisCsv(ds.value().records, argv[1]);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu AIS records (%.1f MB) to %s\n",
+              ds.value().records.size(), ds.value().SizeMb(), argv[1]);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: habit_cli stats <ais.csv>\n");
+    return 2;
+  }
+  size_t skipped = 0;
+  auto records = ais::ReadAisCsv(argv[0], &skipped);
+  if (!records.ok()) return Fail(records.status());
+  ais::CleanStats clean_stats;
+  const auto trips =
+      ais::PreprocessAndSegment(records.value(), {}, &clean_stats);
+  std::printf("records: %zu (+%zu unparseable rows skipped)\n",
+              records.value().size(), skipped);
+  std::printf("cleaning: %zu invalid coords, %zu invalid speeds, %zu "
+              "duplicates, %zu out-of-order, %zu speed spikes -> %zu kept\n",
+              clean_stats.invalid_coords, clean_stats.invalid_speed,
+              clean_stats.duplicates, clean_stats.out_of_order,
+              clean_stats.speed_spikes, clean_stats.kept);
+  std::printf("trips: %zu (%zu positions, %zu vessels)\n", trips.size(),
+              ais::TotalPoints(trips), ais::DistinctVessels(trips));
+  return 0;
+}
+
+core::HabitConfig ConfigFromArgs(int argc, char** argv, int r_pos) {
+  core::HabitConfig config;
+  if (argc > r_pos) config.resolution = std::atoi(argv[r_pos]);
+  if (argc > r_pos + 1) config.rdp_tolerance_m = std::atof(argv[r_pos + 1]);
+  return config;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: habit_cli build <ais.csv> <model_prefix> [r] [t]\n");
+    return 2;
+  }
+  auto records = ais::ReadAisCsv(argv[0]);
+  if (!records.ok()) return Fail(records.status());
+  const auto trips = ais::PreprocessAndSegment(records.value());
+  const core::HabitConfig config = ConfigFromArgs(argc, argv, 2);
+  auto fw = core::HabitFramework::Build(trips, config);
+  if (!fw.ok()) return Fail(fw.status());
+  const Status st = core::SaveGraphCsv(fw.value()->graph(), argv[1]);
+  if (!st.ok()) return Fail(st);
+  std::printf("built %s from %zu trips: %zu cells, %zu transitions, "
+              "%.2f MB -> %s_{nodes,edges}.csv\n",
+              config.ToString().c_str(), trips.size(),
+              fw.value()->graph().num_nodes(), fw.value()->graph().num_edges(),
+              static_cast<double>(fw.value()->SerializedSizeBytes()) /
+                  (1024.0 * 1024.0),
+              argv[1]);
+  return 0;
+}
+
+int CmdImpute(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: habit_cli impute <model_prefix> <lat1> "
+                         "<lng1> <lat2> <lng2> [r] [t]\n");
+    return 2;
+  }
+  const core::HabitConfig config = ConfigFromArgs(argc, argv, 5);
+  auto graph = core::LoadGraphCsv(argv[0], config);
+  if (!graph.ok()) return Fail(graph.status());
+  const core::Imputer imputer(&graph.value(), config);
+  const geo::LatLng a{std::atof(argv[1]), std::atof(argv[2])};
+  const geo::LatLng b{std::atof(argv[3]), std::atof(argv[4])};
+  auto imp = imputer.Impute(a, b, 0, 3600);
+  if (!imp.ok()) return Fail(imp.status());
+  std::printf("idx,lat,lng\n");
+  for (size_t i = 0; i < imp.value().path.size(); ++i) {
+    std::printf("%zu,%.6f,%.6f\n", i, imp.value().path[i].lat,
+                imp.value().path[i].lng);
+  }
+  std::fprintf(stderr, "%zu cells traversed, %zu path points after RDP\n",
+               imp.value().cells.size(), imp.value().path.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "habit_cli — HABIT vessel-trajectory imputation toolkit\n"
+                 "commands: simulate | stats | build | impute\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "simulate") return CmdSimulate(argc - 2, argv + 2);
+  if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
+  if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
+  if (cmd == "impute") return CmdImpute(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,69 @@
+// Indicative-paths example (Figure 6): impute the same gaps with HABIT,
+// GTI, and SLI, write all polylines to a CSV file for plotting, and print
+// a qualitative comparison — including the navigability check (does the
+// path cross land?) that motivates the paper's Figure 1.
+#include <cstdio>
+#include <fstream>
+
+#include "eval/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace habit;
+  const char* out_path = argc > 1 ? argv[1] : "indicative_paths.csv";
+
+  eval::ExperimentOptions options;
+  options.scale = 0.6;
+  options.seed = 3;
+  auto exp_result = eval::PrepareExperiment("KIEL", options);
+  if (!exp_result.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 exp_result.status().ToString().c_str());
+    return 1;
+  }
+  const eval::Experiment& exp = exp_result.value();
+
+  core::HabitConfig habit_config;
+  auto habit_result = eval::RunHabit(exp, habit_config);
+  baselines::GtiConfig gti_config;
+  gti_config.rd_degrees = 5e-4;
+  auto gti_result = eval::RunGti(exp, gti_config);
+  if (!habit_result.ok() || !gti_result.ok()) {
+    std::fprintf(stderr, "method run failed\n");
+    return 1;
+  }
+  const eval::MethodReport sli = eval::RunSli(exp);
+  const eval::MethodReport& habit_report = habit_result.value();
+  const eval::MethodReport& gti_report = gti_result.value();
+
+  std::ofstream csv(out_path);
+  csv << "gap,method,idx,lat,lng\n";
+  std::printf("%-5s %-10s %10s %10s %12s\n", "gap", "method", "DTW(m)",
+              "points", "land-cross");
+  for (size_t g = 0; g < exp.gaps.size(); ++g) {
+    struct Entry {
+      const char* name;
+      const geo::Polyline* path;
+    };
+    const geo::Polyline truth = eval::GroundTruthPath(exp.gaps[g]);
+    const Entry entries[] = {{"original", &truth},
+                             {"habit", &habit_report.paths[g]},
+                             {"gti", &gti_report.paths[g]},
+                             {"sli", &sli.paths[g]}};
+    for (const Entry& e : entries) {
+      for (size_t i = 0; i < e.path->size(); ++i) {
+        csv << g << ',' << e.name << ',' << i << ',' << (*e.path)[i].lat
+            << ',' << (*e.path)[i].lng << '\n';
+      }
+      if (e.path->empty()) continue;
+      const double dtw = e.path == &truth
+                             ? 0.0
+                             : eval::GapDtw(*e.path, exp.gaps[g]);
+      std::printf("%-5zu %-10s %10.1f %10zu %12d\n", g, e.name, dtw,
+                  e.path->size(),
+                  exp.world->land().CountLandCrossings(*e.path));
+    }
+  }
+  std::printf("\npolylines written to %s (plot with your tool of choice)\n",
+              out_path);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// AIS data model: positional reports, vessel types, and trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/polyline.h"
+
+namespace habit::ais {
+
+/// Broad vessel categories (drives kinematics in the simulator and the
+/// vessel-type filters in the datasets: DAN/KIEL are passenger-only, SAR is
+/// all types).
+enum class VesselType {
+  kPassenger,
+  kCargo,
+  kTanker,
+  kFishing,
+  kPleasure,
+  kOther,
+};
+
+const char* VesselTypeToString(VesselType t);
+
+/// \brief One AIS positional report.
+///
+/// Field names follow the paper: MMSI (vessel identity), LON/LAT, SOG
+/// (speed over ground, knots), COG (course over ground, degrees). The
+/// timestamp is assigned at message reception, in seconds.
+struct AisRecord {
+  int64_t mmsi = 0;       ///< vessel identifier
+  int64_t ts = 0;         ///< reception timestamp, unix seconds
+  geo::LatLng pos;        ///< reported position
+  double sog = 0.0;       ///< speed over ground, knots
+  double cog = 0.0;       ///< course over ground, degrees [0, 360)
+  VesselType type = VesselType::kOther;
+};
+
+/// \brief A maximal subsequence of one vessel's reports between two
+/// successive stops or communication gaps (Section 3.1).
+struct Trip {
+  int64_t trip_id = 0;
+  int64_t mmsi = 0;
+  VesselType type = VesselType::kOther;
+  std::vector<AisRecord> points;
+
+  /// Trip duration in seconds (0 for <2 points).
+  int64_t DurationSeconds() const {
+    return points.size() < 2 ? 0 : points.back().ts - points.front().ts;
+  }
+
+  /// The positions as a polyline.
+  geo::Polyline ToPolyline() const {
+    geo::Polyline line;
+    line.reserve(points.size());
+    for (const AisRecord& r : points) line.push_back(r.pos);
+    return line;
+  }
+};
+
+/// Rough per-record wire size (bytes) used to report dataset "Size (MB)"
+/// like Table 1 (CSV-ish encoding of one AIS row).
+inline constexpr double kApproxBytesPerAisRecord = 188.0;
+
+}  // namespace habit::ais

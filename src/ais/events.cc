@@ -1,0 +1,94 @@
+#include "ais/events.h"
+
+#include <cmath>
+
+#include "geo/latlng.h"
+
+namespace habit::ais {
+
+const char* EventKindToString(EventKind k) {
+  switch (k) {
+    case EventKind::kStopStart: return "stop_start";
+    case EventKind::kStopEnd: return "stop_end";
+    case EventKind::kGapStart: return "gap_start";
+    case EventKind::kGapEnd: return "gap_end";
+    case EventKind::kTurningPoint: return "turning_point";
+    case EventKind::kSlowMotion: return "slow_motion";
+    case EventKind::kSpeedChange: return "speed_change";
+  }
+  return "?";
+}
+
+std::vector<Event> AnnotateEvents(const std::vector<AisRecord>& records,
+                                  const EventOptions& options) {
+  std::vector<Event> events;
+  if (records.empty()) return events;
+
+  bool in_stop = false;
+  size_t stop_candidate = 0;   // index where the stationary streak began
+  bool has_candidate = false;
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const AisRecord& r = records[i];
+
+    // Communication gaps.
+    if (i > 0) {
+      const int64_t dt = r.ts - records[i - 1].ts;
+      if (dt >= options.gap_threshold_s) {
+        events.push_back({EventKind::kGapStart, i - 1});
+        events.push_back({EventKind::kGapEnd, i});
+      }
+    }
+
+    // Stationarity tracking.
+    const bool stationary = r.sog < options.stop_speed_knots;
+    if (stationary) {
+      if (!has_candidate) {
+        stop_candidate = i;
+        has_candidate = true;
+      }
+      if (!in_stop &&
+          r.ts - records[stop_candidate].ts >= options.min_stop_duration_s) {
+        events.push_back({EventKind::kStopStart, stop_candidate});
+        in_stop = true;
+      }
+    } else {
+      if (in_stop) {
+        // The previous record is the last stationary one: the vessel has
+        // just departed on a new trip.
+        events.push_back({EventKind::kStopEnd, i - 1});
+        in_stop = false;
+      }
+      has_candidate = false;
+    }
+
+    if (i == 0 || stationary) continue;
+    const AisRecord& prev = records[i - 1];
+
+    // Turning points.
+    if (prev.sog >= options.stop_speed_knots) {
+      const double turn = geo::BearingDiffDeg(prev.cog, r.cog);
+      if (turn >= options.turn_threshold_deg) {
+        events.push_back({EventKind::kTurningPoint, i});
+      }
+    }
+
+    // Slow-motion entry.
+    if (r.sog < options.slow_speed_knots &&
+        prev.sog >= options.slow_speed_knots) {
+      events.push_back({EventKind::kSlowMotion, i});
+    }
+
+    // Significant speed change.
+    if (prev.sog > options.stop_speed_knots) {
+      const double ratio = std::fabs(r.sog - prev.sog) / prev.sog;
+      if (ratio >= options.speed_change_ratio) {
+        events.push_back({EventKind::kSpeedChange, i});
+      }
+    }
+  }
+
+  return events;
+}
+
+}  // namespace habit::ais

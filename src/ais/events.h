@@ -1,0 +1,48 @@
+// Mobility-event annotation in the spirit of the trajectory-compression
+// framework of Fikioris et al. [7] that the paper uses: stops, communication
+// gaps, turning points, slow motion, and speed changes are detected
+// incrementally from the motion pattern (speed, heading) of each vessel.
+#pragma once
+
+#include <vector>
+
+#include "ais/ais.h"
+
+namespace habit::ais {
+
+/// Mobility event kinds annotated on selected positions.
+enum class EventKind {
+  kStopStart,     ///< vessel became stationary (SOG < stop threshold)
+  kStopEnd,       ///< vessel departed (stationary period ended)
+  kGapStart,      ///< last report before a communication gap
+  kGapEnd,        ///< first report after a communication gap
+  kTurningPoint,  ///< course changed by more than the turn threshold
+  kSlowMotion,    ///< entered slow motion (below slow threshold, not stopped)
+  kSpeedChange,   ///< speed changed by more than the ratio threshold
+};
+
+const char* EventKindToString(EventKind k);
+
+/// An annotation attached to one record index of a vessel's stream.
+struct Event {
+  EventKind kind;
+  size_t record_index;  ///< index into the annotated record vector
+};
+
+/// \brief Detection thresholds (defaults follow the paper: stop < 0.5 kn,
+/// gap >= 30 min).
+struct EventOptions {
+  double stop_speed_knots = 0.5;       ///< SOG below this => stationary
+  int64_t min_stop_duration_s = 300;   ///< stationary for >= this => stop
+  int64_t gap_threshold_s = 30 * 60;   ///< dt >= this => communication gap
+  double turn_threshold_deg = 30.0;    ///< course change for a turning point
+  double slow_speed_knots = 5.0;       ///< below this (not stopped) => slow
+  double speed_change_ratio = 0.25;    ///< relative SOG change threshold
+};
+
+/// Annotates the (cleaned, time-ordered, single-vessel) records with
+/// mobility events.
+std::vector<Event> AnnotateEvents(const std::vector<AisRecord>& records,
+                                  const EventOptions& options = {});
+
+}  // namespace habit::ais

@@ -1,0 +1,91 @@
+#include "ais/io.h"
+
+#include "minidb/csv.h"
+
+namespace habit::ais {
+
+VesselType VesselTypeFromString(const std::string& s) {
+  if (s == "passenger") return VesselType::kPassenger;
+  if (s == "cargo") return VesselType::kCargo;
+  if (s == "tanker") return VesselType::kTanker;
+  if (s == "fishing") return VesselType::kFishing;
+  if (s == "pleasure") return VesselType::kPleasure;
+  return VesselType::kOther;
+}
+
+db::Table RecordsToTable(const std::vector<AisRecord>& records) {
+  db::Table t(db::Schema{{"mmsi", db::DataType::kInt64},
+                         {"ts", db::DataType::kInt64},
+                         {"lat", db::DataType::kDouble},
+                         {"lon", db::DataType::kDouble},
+                         {"sog", db::DataType::kDouble},
+                         {"cog", db::DataType::kDouble},
+                         {"type", db::DataType::kString}});
+  for (const AisRecord& r : records) {
+    t.column(0).AppendInt(r.mmsi);
+    t.column(1).AppendInt(r.ts);
+    t.column(2).AppendDouble(r.pos.lat);
+    t.column(3).AppendDouble(r.pos.lng);
+    t.column(4).AppendDouble(r.sog);
+    t.column(5).AppendDouble(r.cog);
+    t.column(6).AppendString(VesselTypeToString(r.type));
+  }
+  return t;
+}
+
+Result<std::vector<AisRecord>> TableToRecords(const db::Table& table,
+                                              size_t* skipped) {
+  for (const char* col : {"mmsi", "ts", "lat", "lon"}) {
+    if (table.schema().FieldIndex(col) < 0) {
+      return Status::InvalidArgument(std::string("missing AIS column '") +
+                                     col + "'");
+    }
+  }
+  HABIT_ASSIGN_OR_RETURN(const db::Column* mmsi, table.GetColumn("mmsi"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* ts, table.GetColumn("ts"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* lat, table.GetColumn("lat"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* lon, table.GetColumn("lon"));
+  const int sog_idx = table.schema().FieldIndex("sog");
+  const int cog_idx = table.schema().FieldIndex("cog");
+  const int type_idx = table.schema().FieldIndex("type");
+
+  std::vector<AisRecord> out;
+  out.reserve(table.num_rows());
+  size_t local_skipped = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!mmsi->IsValid(r) || !ts->IsValid(r) || !lat->IsValid(r) ||
+        !lon->IsValid(r)) {
+      ++local_skipped;
+      continue;
+    }
+    AisRecord rec;
+    rec.mmsi = mmsi->GetInt(r);
+    rec.ts = ts->GetInt(r);
+    rec.pos = {lat->GetDouble(r), lon->GetDouble(r)};
+    if (sog_idx >= 0 && table.column(sog_idx).IsValid(r)) {
+      rec.sog = table.column(sog_idx).GetDouble(r);
+    }
+    if (cog_idx >= 0 && table.column(cog_idx).IsValid(r)) {
+      rec.cog = table.column(cog_idx).GetDouble(r);
+    }
+    if (type_idx >= 0 && table.column(type_idx).IsValid(r)) {
+      rec.type = VesselTypeFromString(table.column(type_idx).GetString(r));
+    }
+    out.push_back(rec);
+  }
+  if (skipped != nullptr) *skipped = local_skipped;
+  return out;
+}
+
+Status WriteAisCsv(const std::vector<AisRecord>& records,
+                   const std::string& path) {
+  return db::WriteCsv(RecordsToTable(records), path);
+}
+
+Result<std::vector<AisRecord>> ReadAisCsv(const std::string& path,
+                                          size_t* skipped) {
+  HABIT_ASSIGN_OR_RETURN(db::Table table, db::ReadCsv(path));
+  return TableToRecords(table, skipped);
+}
+
+}  // namespace habit::ais

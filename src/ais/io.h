@@ -1,0 +1,37 @@
+// AIS record import/export. Real deployments feed HABIT from CSV extracts
+// (e.g. the Danish Maritime Authority dumps); this module converts between
+// record vectors and minidb tables / CSV files with the column names the
+// paper uses (MMSI, timestamp, LON, LAT, SOG, COG, ship type).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/status.h"
+#include "minidb/table.h"
+
+namespace habit::ais {
+
+/// Column layout: mmsi, ts, lat, lon, sog, cog, type (type as a string,
+/// e.g. "passenger").
+db::Table RecordsToTable(const std::vector<AisRecord>& records);
+
+/// Inverse of RecordsToTable. Unknown/missing types map to kOther; rows
+/// with null mmsi/ts/lat/lon are skipped and counted in `skipped`.
+Result<std::vector<AisRecord>> TableToRecords(const db::Table& table,
+                                              size_t* skipped = nullptr);
+
+/// Writes records as CSV.
+Status WriteAisCsv(const std::vector<AisRecord>& records,
+                   const std::string& path);
+
+/// Reads records from a CSV with the RecordsToTable column layout.
+Result<std::vector<AisRecord>> ReadAisCsv(const std::string& path,
+                                          size_t* skipped = nullptr);
+
+/// Parses a vessel-type string ("passenger", "cargo", ...); unknown
+/// strings yield kOther.
+VesselType VesselTypeFromString(const std::string& s);
+
+}  // namespace habit::ais

@@ -1,0 +1,45 @@
+// Trip segmentation (Section 3.1): a trip is the subsequence of one vessel's
+// AIS locations between two successive stops or communication gaps. Trips
+// confined to <= 2 adjacent hex cells (minor local displacement, e.g. sea
+// drift) are discarded.
+#pragma once
+
+#include <vector>
+
+#include "ais/ais.h"
+#include "ais/clean.h"
+#include "ais/events.h"
+
+namespace habit::ais {
+
+/// \brief Segmentation parameters.
+struct SegmentOptions {
+  EventOptions events;   ///< stop/gap thresholds
+  CleanOptions clean;    ///< noise filters applied first
+  /// Minimum points a trip must keep to be emitted.
+  size_t min_points = 4;
+  /// Trips spanning at most this many distinct hex cells are dropped
+  /// (set the resolution via `tiny_trip_resolution`; <0 disables the check).
+  size_t tiny_trip_max_cells = 2;
+  int tiny_trip_resolution = 9;
+};
+
+/// Splits one vessel's *cleaned* records into trips; `next_trip_id` is
+/// incremented for each trip emitted.
+std::vector<Trip> SegmentVessel(const std::vector<AisRecord>& cleaned,
+                                const SegmentOptions& options,
+                                int64_t* next_trip_id);
+
+/// Full preprocessing for a mixed stream: clean per vessel, segment, drop
+/// tiny trips. Trip ids are assigned sequentially starting at 1.
+std::vector<Trip> PreprocessAndSegment(const std::vector<AisRecord>& raw,
+                                       const SegmentOptions& options = {},
+                                       CleanStats* clean_stats = nullptr);
+
+/// Total number of AIS points across trips.
+size_t TotalPoints(const std::vector<Trip>& trips);
+
+/// Number of distinct vessels across trips.
+size_t DistinctVessels(const std::vector<Trip>& trips);
+
+}  // namespace habit::ais

@@ -1,0 +1,142 @@
+#include "baselines/gti.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace habit::baselines {
+
+Result<std::unique_ptr<GtiModel>> GtiModel::Build(
+    const std::vector<ais::Trip>& trips, const GtiConfig& config) {
+  if (trips.empty()) {
+    return Status::InvalidArgument("cannot build GTI from zero trips");
+  }
+  auto model = std::unique_ptr<GtiModel>(new GtiModel());
+  model->config_ = config;
+
+  // Collect (optionally thinned) points and the sequential edges.
+  std::vector<std::pair<int32_t, int32_t>> seq_edges;
+  for (const ais::Trip& trip : trips) {
+    int32_t prev = -1;
+    int64_t last_ts = std::numeric_limits<int64_t>::min();
+    for (const ais::AisRecord& r : trip.points) {
+      if (config.resample_seconds > 0 &&
+          r.ts - last_ts < config.resample_seconds) {
+        continue;
+      }
+      last_ts = r.ts;
+      const int32_t idx = static_cast<int32_t>(model->points_.size());
+      model->points_.push_back(r.pos);
+      if (prev >= 0) seq_edges.emplace_back(prev, idx);
+      prev = idx;
+    }
+  }
+
+  // KD-tree over all points for candidate search and endpoint snapping.
+  std::vector<std::pair<geo::LatLng, uint64_t>> indexed;
+  indexed.reserve(model->points_.size());
+  for (size_t i = 0; i < model->points_.size(); ++i) {
+    indexed.emplace_back(model->points_[i], static_cast<uint64_t>(i));
+  }
+  model->kdtree_.Build(indexed);
+
+  model->adj_.assign(model->points_.size(), {});
+  auto add_edge = [&](int32_t u, int32_t v) {
+    if (u == v) return;
+    for (const auto& [nbr, w] : model->adj_[u]) {
+      if (nbr == v) return;
+    }
+    const float d = static_cast<float>(
+        geo::HaversineMeters(model->points_[u], model->points_[v]));
+    model->adj_[u].emplace_back(v, d);
+    model->adj_[v].emplace_back(u, d);
+    ++model->num_edges_;
+  };
+  for (const auto& [u, v] : seq_edges) add_edge(u, v);
+
+  // Candidate cross-trip edges: neighbors within rm meters AND within the
+  // rd-degree box. The degree radius is GTI's dominant density/size knob.
+  const double rd_m_equiv =
+      config.rd_degrees * 111320.0;  // ~meters per degree latitude
+  const double radius = std::min(config.rm_meters, rd_m_equiv);
+  for (size_t i = 0; i < model->points_.size(); ++i) {
+    const geo::LatLng& p = model->points_[i];
+    for (const uint64_t j : model->kdtree_.WithinRadius(p, radius)) {
+      if (j <= i) continue;
+      const geo::LatLng& q = model->points_[j];
+      if (std::fabs(p.lat - q.lat) > config.rd_degrees ||
+          std::fabs(p.lng - q.lng) > config.rd_degrees) {
+        continue;
+      }
+      add_edge(static_cast<int32_t>(i), static_cast<int32_t>(j));
+    }
+  }
+  return model;
+}
+
+Result<geo::Polyline> GtiModel::Impute(const geo::LatLng& gap_start,
+                                       const geo::LatLng& gap_end) const {
+  if (points_.empty()) return Status::Internal("empty GTI model");
+  uint64_t src = 0, dst = 0;
+  kdtree_.Nearest(gap_start, &src);
+  kdtree_.Nearest(gap_end, &dst);
+
+  // Dijkstra over the point graph (distance-weighted).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(points_.size(), kInf);
+  std::vector<int32_t> parent(points_.size(), -1);
+  using Entry = std::pair<double, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[src] = 0;
+  queue.push({0.0, static_cast<uint32_t>(src)});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const auto& [v, w] : adj_[u]) {
+      const double cand = d + w;
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        parent[v] = static_cast<int32_t>(u);
+        queue.push({cand, static_cast<uint32_t>(v)});
+      }
+    }
+  }
+  if (dist[dst] == kInf) {
+    return Status::Unreachable("GTI: endpoints not connected");
+  }
+
+  geo::Polyline path;
+  for (int32_t cur = static_cast<int32_t>(dst); cur != -1;
+       cur = parent[cur]) {
+    path.push_back(points_[cur]);
+    if (cur == static_cast<int32_t>(src)) break;
+  }
+  std::reverse(path.begin(), path.end());
+  // Bracket with the true endpoints.
+  geo::Polyline out;
+  out.push_back(gap_start);
+  for (const geo::LatLng& p : path) out.push_back(p);
+  out.push_back(gap_end);
+  return out;
+}
+
+size_t GtiModel::SerializedSizeBytes() const {
+  size_t adjacency_entries = 0;
+  for (const auto& out : adj_) adjacency_entries += out.size();
+  // Point row: lat + lng (16). Adjacency entry: neighbor index (4) +
+  // length (4).
+  return points_.size() * 16 + adjacency_entries * 8;
+}
+
+size_t GtiModel::SizeBytes() const {
+  size_t bytes = points_.size() * sizeof(geo::LatLng) + kdtree_.SizeBytes();
+  for (const auto& out : adj_) {
+    bytes += 24 + out.size() * (sizeof(int32_t) + sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace habit::baselines

@@ -1,0 +1,133 @@
+#include "baselines/palmto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stopwatch.h"
+#include "sketch/hyperloglog.h"
+
+namespace habit::baselines {
+
+uint64_t PalmtoModel::ContextKey(const std::vector<hex::CellId>& window) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const hex::CellId c : window) {
+    h ^= sketch::HyperLogLog::Hash64(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Result<std::unique_ptr<PalmtoModel>> PalmtoModel::Build(
+    const std::vector<ais::Trip>& trips, const PalmtoConfig& config) {
+  if (trips.empty()) {
+    return Status::InvalidArgument("cannot build PaLMTO from zero trips");
+  }
+  if (config.n < 2) {
+    return Status::InvalidArgument("PaLMTO requires n >= 2");
+  }
+  auto model = std::unique_ptr<PalmtoModel>(new PalmtoModel());
+  model->config_ = config;
+  model->rng_ = Rng(config.seed);
+
+  for (const ais::Trip& trip : trips) {
+    // Tokenize: collapse consecutive duplicate cells.
+    std::vector<hex::CellId> tokens;
+    for (const ais::AisRecord& r : trip.points) {
+      const hex::CellId c = hex::LatLngToCell(r.pos, config.resolution);
+      if (tokens.empty() || tokens.back() != c) tokens.push_back(c);
+    }
+    for (const hex::CellId c : tokens) ++model->unigrams_[c];
+    const size_t ctx_len = static_cast<size_t>(config.n - 1);
+    if (tokens.size() <= ctx_len) continue;
+    std::vector<hex::CellId> window;
+    for (size_t i = ctx_len; i < tokens.size(); ++i) {
+      window.assign(tokens.begin() + (i - ctx_len), tokens.begin() + i);
+      ++model->table_[ContextKey(window)][tokens[i]];
+    }
+  }
+  return model;
+}
+
+Result<geo::Polyline> PalmtoModel::Impute(const geo::LatLng& gap_start,
+                                          const geo::LatLng& gap_end) const {
+  const hex::CellId src = hex::LatLngToCell(gap_start, config_.resolution);
+  const hex::CellId dst = hex::LatLngToCell(gap_end, config_.resolution);
+  if (src == hex::kInvalidCell || dst == hex::kInvalidCell) {
+    return Status::InvalidArgument("endpoints not mappable to cells");
+  }
+
+  Stopwatch timer;
+  std::vector<hex::CellId> generated{src};
+  const size_t ctx_len = static_cast<size_t>(config_.n - 1);
+
+  while (generated.back() != dst) {
+    if (timer.ElapsedSeconds() > config_.timeout_seconds ||
+        static_cast<int>(generated.size()) >= config_.max_tokens) {
+      return Status::Timeout("PaLMTO generation exceeded budget");
+    }
+    // Context = last n-1 tokens (shorter near the start -> back-off).
+    const std::unordered_map<hex::CellId, uint32_t>* dist = nullptr;
+    if (generated.size() >= ctx_len) {
+      std::vector<hex::CellId> window(generated.end() - ctx_len,
+                                      generated.end());
+      auto it = table_.find(ContextKey(window));
+      if (it != table_.end()) dist = &it->second;
+    }
+    if (dist == nullptr || dist->empty()) {
+      // Back-off: bigram-like neighborhood from unigram counts over the
+      // 6 adjacent cells.
+      static thread_local std::unordered_map<hex::CellId, uint32_t> nbrs;
+      nbrs.clear();
+      for (const hex::CellId c : hex::Neighbors(generated.back())) {
+        auto u = unigrams_.find(c);
+        if (u != unigrams_.end()) nbrs.emplace(c, u->second);
+      }
+      if (nbrs.empty()) {
+        return Status::Timeout("PaLMTO: dead-end context with no back-off");
+      }
+      dist = &nbrs;
+    }
+
+    // Sample the next token, weighting counts by progress toward the
+    // destination (distance-guided decoding).
+    double total = 0;
+    std::vector<std::pair<hex::CellId, double>> weighted;
+    weighted.reserve(dist->size());
+    const geo::LatLng target = hex::CellToLatLng(dst);
+    for (const auto& [cell, count] : *dist) {
+      const double d = geo::HaversineMeters(hex::CellToLatLng(cell), target);
+      const double w = static_cast<double>(count) / (1.0 + d / 1000.0);
+      weighted.emplace_back(cell, w);
+      total += w;
+    }
+    double pick = rng_.Uniform(0.0, total);
+    hex::CellId next = weighted.back().first;
+    for (const auto& [cell, w] : weighted) {
+      pick -= w;
+      if (pick <= 0) {
+        next = cell;
+        break;
+      }
+    }
+    generated.push_back(next);
+  }
+
+  geo::Polyline out;
+  out.push_back(gap_start);
+  for (size_t i = 1; i + 1 < generated.size(); ++i) {
+    out.push_back(hex::CellToLatLng(generated[i]));
+  }
+  out.push_back(gap_end);
+  return out;
+}
+
+size_t PalmtoModel::SizeBytes() const {
+  size_t bytes = unigrams_.size() * (sizeof(hex::CellId) + sizeof(uint32_t) + 16);
+  for (const auto& [ctx, nexts] : table_) {
+    bytes += sizeof(uint64_t) + 48 +
+             nexts.size() * (sizeof(hex::CellId) + sizeof(uint32_t) + 16);
+  }
+  return bytes;
+}
+
+}  // namespace habit::baselines

@@ -1,0 +1,61 @@
+// PaLMTO — reimplementation of the probabilistic N-gram language-model
+// imputer of Mohammed et al. (MDM 2024), included as the paper's second
+// comparator. Trajectory points become grid-cell tokens; an N-gram model
+// with back-off predicts the next token given the previous N-1. Generation
+// walks token-by-token from the gap start toward the gap end under a query
+// timeout — the paper reports PaLMTO frequently timing out, which this
+// implementation reproduces on graphs with little lane structure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "geo/polyline.h"
+#include "hexgrid/hexgrid.h"
+
+namespace habit::baselines {
+
+/// \brief PaLMTO parameters.
+struct PalmtoConfig {
+  int resolution = 9;    ///< token grid resolution
+  int n = 3;             ///< N-gram order (context = N-1 tokens)
+  double timeout_seconds = 2.0;  ///< per-query generation budget
+  int max_tokens = 4096;         ///< hard cap on generated tokens
+  uint64_t seed = 7;             ///< sampling seed
+};
+
+/// \brief A trained N-gram model over hex-cell tokens.
+class PalmtoModel {
+ public:
+  static Result<std::unique_ptr<PalmtoModel>> Build(
+      const std::vector<ais::Trip>& trips, const PalmtoConfig& config);
+
+  /// Generates a token path from gap start to gap end. Returns kTimeout
+  /// when the budget expires before reaching the destination cell.
+  Result<geo::Polyline> Impute(const geo::LatLng& gap_start,
+                               const geo::LatLng& gap_end) const;
+
+  size_t num_contexts() const { return table_.size(); }
+  size_t SizeBytes() const;
+
+ private:
+  PalmtoModel() = default;
+
+  // Context key: hash of the last (n-1) tokens.
+  static uint64_t ContextKey(const std::vector<hex::CellId>& window);
+
+  PalmtoConfig config_;
+  // context hash -> (next token -> count)
+  std::unordered_map<uint64_t, std::unordered_map<hex::CellId, uint32_t>>
+      table_;
+  // Unigram fallback.
+  std::unordered_map<hex::CellId, uint32_t> unigrams_;
+  mutable Rng rng_{7};
+};
+
+}  // namespace habit::baselines

@@ -1,0 +1,18 @@
+#include "baselines/sli.h"
+
+namespace habit::baselines {
+
+geo::Polyline StraightLineImpute(const geo::LatLng& gap_start,
+                                 const geo::LatLng& gap_end, int num_points) {
+  geo::Polyline out;
+  out.reserve(static_cast<size_t>(num_points) + 2);
+  out.push_back(gap_start);
+  for (int i = 1; i <= num_points; ++i) {
+    out.push_back(geo::Intermediate(gap_start, gap_end,
+                                    static_cast<double>(i) / (num_points + 1)));
+  }
+  out.push_back(gap_end);
+  return out;
+}
+
+}  // namespace habit::baselines

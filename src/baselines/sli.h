@@ -1,0 +1,15 @@
+// SLI — straight-line interpolation baseline (Section 4.1): connects the
+// two gap endpoints with a direct great-circle segment.
+#pragma once
+
+#include "geo/polyline.h"
+
+namespace habit::baselines {
+
+/// Returns the straight path from `gap_start` to `gap_end`, densified with
+/// `num_points` intermediate great-circle points (>= 0).
+geo::Polyline StraightLineImpute(const geo::LatLng& gap_start,
+                                 const geo::LatLng& gap_end,
+                                 int num_points = 0);
+
+}  // namespace habit::baselines

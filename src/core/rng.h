@@ -1,0 +1,47 @@
+// Deterministic pseudo-random utilities. All simulation and gap-injection
+// code takes an explicit seed so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace habit {
+
+/// \brief Seeded random number generator wrapping std::mt19937_64 with
+/// convenience samplers used across the simulator and evaluation harness.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  /// Exponential with the given rate (lambda).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace habit

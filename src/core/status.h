@@ -1,0 +1,147 @@
+// Status / Result error model, loosely following the Arrow/RocksDB idiom:
+// fallible operations return Status (or Result<T> for a value), never throw.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace habit {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kTimeout,
+  kUnreachable,   ///< graph search could not connect the endpoints
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no message and is cheap to copy. Functions that can
+/// fail return Status (or Result<T>); callers must check ok() before using
+/// any outputs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unreachable(std::string msg) {
+    return Status(StatusCode::kUnreachable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    return ok() ? ok_status : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  /// Value if OK, otherwise the given default.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define HABIT_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::habit::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define HABIT_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto HABIT_CONCAT_(_res_, __LINE__) = (rexpr);                  \
+  if (!HABIT_CONCAT_(_res_, __LINE__).ok())                       \
+    return HABIT_CONCAT_(_res_, __LINE__).status();               \
+  lhs = HABIT_CONCAT_(_res_, __LINE__).MoveValue()
+
+#define HABIT_CONCAT_INNER_(a, b) a##b
+#define HABIT_CONCAT_(a, b) HABIT_CONCAT_INNER_(a, b)
+
+}  // namespace habit

@@ -1,0 +1,77 @@
+// Wall-clock stopwatch and latency accumulator used by the evaluation
+// harness (Table 4 of the paper reports avg/max imputation-query latency).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace habit {
+
+/// \brief Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates per-query latencies and reports summary statistics.
+class LatencyStats {
+ public:
+  void Add(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  double Quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace habit

@@ -1,0 +1,186 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/rng.h"
+
+namespace habit::eval {
+
+Result<Experiment> PrepareExperiment(const std::string& dataset,
+                                     const ExperimentOptions& options) {
+  sim::DatasetOptions ds_opts;
+  ds_opts.scale = options.scale;
+  ds_opts.seed = options.seed;
+  ds_opts.sampler = options.sampler;
+  HABIT_ASSIGN_OR_RETURN(sim::Dataset ds,
+                         sim::MakeDataset(dataset, ds_opts));
+
+  Experiment exp;
+  exp.dataset_name = ds.name;
+  exp.world = ds.world;
+  exp.raw_positions = ds.records.size();
+  exp.raw_size_mb = ds.SizeMb();
+
+  ais::SegmentOptions seg_opts;
+  exp.all_trips = ais::PreprocessAndSegment(ds.records, seg_opts);
+  exp.distinct_vessels = ais::DistinctVessels(exp.all_trips);
+  if (exp.all_trips.empty()) {
+    return Status::Internal("dataset '" + dataset + "' produced no trips");
+  }
+
+  // Deterministic 70/30 split: shuffle trip indices with the seed.
+  std::vector<size_t> order(exp.all_trips.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed ^ 0x5EED5EEDULL);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const size_t n_train = std::max<size_t>(
+      1, static_cast<size_t>(options.train_fraction *
+                             static_cast<double>(order.size())));
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < n_train) {
+      exp.train_trips.push_back(exp.all_trips[order[i]]);
+    } else {
+      exp.test_trips.push_back(exp.all_trips[order[i]]);
+    }
+  }
+
+  sim::GapOptions gap_opts;
+  gap_opts.gap_seconds = options.gap_seconds;
+  exp.gaps = sim::InjectGaps(exp.test_trips, gap_opts, options.seed + 99);
+  return exp;
+}
+
+namespace {
+
+// Shared query loop: runs `impute` over every gap, collecting DTW scores,
+// latencies, and the produced paths.
+template <typename ImputeFn>
+void EvaluateGaps(const Experiment& exp, ImputeFn&& impute,
+                  MethodReport* report) {
+  std::vector<double> scores;
+  scores.reserve(exp.gaps.size());
+  size_t failures = 0;
+  report->paths.resize(exp.gaps.size());
+  for (size_t i = 0; i < exp.gaps.size(); ++i) {
+    const sim::GapCase& gc = exp.gaps[i];
+    Stopwatch sw;
+    Result<geo::Polyline> path = impute(gc);
+    report->latency.Add(sw.ElapsedSeconds());
+    if (!path.ok()) {
+      ++failures;
+      continue;
+    }
+    report->paths[i] = path.MoveValue();
+    scores.push_back(GapDtw(report->paths[i], gc));
+  }
+  report->accuracy = AccuracyStats::FromScores(std::move(scores), failures);
+}
+
+}  // namespace
+
+Result<MethodReport> RunHabit(const Experiment& exp,
+                              const core::HabitConfig& config) {
+  MethodReport report;
+  report.method = "HABIT";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "r=%d t=%d p=%s", config.resolution,
+                static_cast<int>(config.rdp_tolerance_m),
+                core::ProjectionToString(config.projection));
+  report.configuration = buf;
+
+  Stopwatch build_timer;
+  HABIT_ASSIGN_OR_RETURN(std::unique_ptr<core::HabitFramework> fw,
+                         core::HabitFramework::Build(exp.train_trips, config));
+  report.build_seconds = build_timer.ElapsedSeconds();
+  report.model_bytes = fw->SerializedSizeBytes();
+
+  EvaluateGaps(
+      exp,
+      [&](const sim::GapCase& gc) -> Result<geo::Polyline> {
+        HABIT_ASSIGN_OR_RETURN(
+            core::Imputation imp,
+            fw->Impute(gc.gap_start.pos, gc.gap_end.pos, gc.gap_start.ts,
+                       gc.gap_end.ts));
+        return imp.path;
+      },
+      &report);
+  return report;
+}
+
+Result<MethodReport> RunGti(const Experiment& exp,
+                            const baselines::GtiConfig& config) {
+  MethodReport report;
+  report.method = "GTI";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rm=%.0f rd=%.0e", config.rm_meters,
+                config.rd_degrees);
+  report.configuration = buf;
+
+  Stopwatch build_timer;
+  HABIT_ASSIGN_OR_RETURN(std::unique_ptr<baselines::GtiModel> model,
+                         baselines::GtiModel::Build(exp.train_trips, config));
+  report.build_seconds = build_timer.ElapsedSeconds();
+  report.model_bytes = model->SerializedSizeBytes();
+
+  EvaluateGaps(
+      exp,
+      [&](const sim::GapCase& gc) {
+        return model->Impute(gc.gap_start.pos, gc.gap_end.pos);
+      },
+      &report);
+  return report;
+}
+
+Result<MethodReport> RunPalmto(const Experiment& exp,
+                               const baselines::PalmtoConfig& config) {
+  MethodReport report;
+  report.method = "PaLMTO";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "r=%d n=%d", config.resolution, config.n);
+  report.configuration = buf;
+
+  Stopwatch build_timer;
+  HABIT_ASSIGN_OR_RETURN(
+      std::unique_ptr<baselines::PalmtoModel> model,
+      baselines::PalmtoModel::Build(exp.train_trips, config));
+  report.build_seconds = build_timer.ElapsedSeconds();
+  report.model_bytes = model->SizeBytes();
+
+  EvaluateGaps(
+      exp,
+      [&](const sim::GapCase& gc) {
+        return model->Impute(gc.gap_start.pos, gc.gap_end.pos);
+      },
+      &report);
+  return report;
+}
+
+MethodReport RunSli(const Experiment& exp) {
+  MethodReport report;
+  report.method = "SLI";
+  report.configuration = "-";
+  EvaluateGaps(
+      exp,
+      [&](const sim::GapCase& gc) -> Result<geo::Polyline> {
+        return baselines::StraightLineImpute(gc.gap_start.pos, gc.gap_end.pos);
+      },
+      &report);
+  return report;
+}
+
+std::string FormatReportRow(const MethodReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s %-22s | DTW mean %8.1f  median %8.1f  p90 %8.1f | "
+                "lat avg %7.4fs max %7.4fs | size %8.2f MB | fail %zu",
+                r.method.c_str(), r.configuration.c_str(), r.accuracy.mean,
+                r.accuracy.median, r.accuracy.p90, r.latency.Mean(),
+                r.latency.Max(),
+                static_cast<double>(r.model_bytes) / (1024.0 * 1024.0),
+                r.accuracy.failures);
+  return buf;
+}
+
+}  // namespace habit::eval

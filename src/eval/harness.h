@@ -1,0 +1,81 @@
+// Shared experiment harness: dataset preparation (generate -> preprocess ->
+// 70/30 split -> gap injection) and method runners producing the accuracy /
+// latency / storage numbers reported by every table and figure bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ais/segment.h"
+#include "baselines/gti.h"
+#include "baselines/palmto.h"
+#include "baselines/sli.h"
+#include "core/status.h"
+#include "core/stopwatch.h"
+#include "eval/metrics.h"
+#include "habit/framework.h"
+#include "sim/datasets.h"
+#include "sim/gaps.h"
+
+namespace habit::eval {
+
+/// \brief A prepared experiment: training trips and test gap cases.
+struct Experiment {
+  std::string dataset_name;
+  std::shared_ptr<sim::World> world;
+  std::vector<ais::Trip> all_trips;
+  std::vector<ais::Trip> train_trips;  ///< 70% (graph construction)
+  std::vector<ais::Trip> test_trips;   ///< 30% (gap evaluation)
+  std::vector<sim::GapCase> gaps;      ///< one synthetic gap per test trip
+  size_t raw_positions = 0;
+  double raw_size_mb = 0;
+  size_t distinct_vessels = 0;
+};
+
+/// \brief Preparation parameters.
+struct ExperimentOptions {
+  double scale = 1.0;           ///< dataset scale factor
+  uint64_t seed = 42;           ///< generation + split + gap seed
+  int64_t gap_seconds = 3600;   ///< synthetic gap duration (paper: 60 min)
+  double train_fraction = 0.7;  ///< 70/30 split (paper)
+  sim::SamplerOptions sampler;  ///< AIS reception model (density, noise)
+};
+
+/// Generates the named dataset ("DAN" | "KIEL" | "SAR"), preprocesses and
+/// segments it, splits train/test, and injects gaps.
+Result<Experiment> PrepareExperiment(const std::string& dataset,
+                                     const ExperimentOptions& options = {});
+
+/// \brief Per-method evaluation outcome.
+struct MethodReport {
+  std::string method;
+  std::string configuration;
+  AccuracyStats accuracy;
+  LatencyStats latency;       ///< per-imputation-query seconds
+  double build_seconds = 0;   ///< framework construction time
+  size_t model_bytes = 0;     ///< framework storage footprint
+  /// Imputed paths per gap (empty polyline where the query failed), aligned
+  /// with Experiment::gaps; kept so callers can inspect indicative paths.
+  std::vector<geo::Polyline> paths;
+};
+
+/// Builds HABIT on the training split and imputes every gap.
+Result<MethodReport> RunHabit(const Experiment& exp,
+                              const core::HabitConfig& config);
+
+/// Builds GTI on the training split and imputes every gap.
+Result<MethodReport> RunGti(const Experiment& exp,
+                            const baselines::GtiConfig& config);
+
+/// Builds PaLMTO on the training split and imputes every gap (queries may
+/// time out; they count as failures).
+Result<MethodReport> RunPalmto(const Experiment& exp,
+                               const baselines::PalmtoConfig& config);
+
+/// Runs the straight-line baseline over every gap.
+MethodReport RunSli(const Experiment& exp);
+
+/// Prints a MethodReport row ("method config | mean median p90 | avg max").
+std::string FormatReportRow(const MethodReport& report);
+
+}  // namespace habit::eval

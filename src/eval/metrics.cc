@@ -1,0 +1,46 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "geo/similarity.h"
+
+namespace habit::eval {
+
+geo::Polyline GroundTruthPath(const sim::GapCase& gc) {
+  geo::Polyline truth;
+  truth.reserve(gc.ground_truth.size() + 2);
+  truth.push_back(gc.gap_start.pos);
+  for (const ais::AisRecord& r : gc.ground_truth) truth.push_back(r.pos);
+  truth.push_back(gc.gap_end.pos);
+  return truth;
+}
+
+double GapDtw(const geo::Polyline& imputed, const sim::GapCase& gc) {
+  const geo::Polyline truth =
+      geo::ResampleMaxSpacing(GroundTruthPath(gc), kDtwResampleMeters);
+  const geo::Polyline test =
+      geo::ResampleMaxSpacing(imputed, kDtwResampleMeters);
+  return geo::DtwAverageMeters(test, truth);
+}
+
+AccuracyStats AccuracyStats::FromScores(std::vector<double> scores,
+                                        size_t failures) {
+  AccuracyStats st;
+  st.failures = failures;
+  st.count = scores.size();
+  if (scores.empty()) return st;
+  double sum = 0;
+  for (double s : scores) sum += s;
+  st.mean = sum / static_cast<double>(scores.size());
+  std::sort(scores.begin(), scores.end());
+  const size_t mid = scores.size() / 2;
+  st.median = scores.size() % 2 == 1
+                  ? scores[mid]
+                  : (scores[mid - 1] + scores[mid]) / 2.0;
+  st.p90 = scores[std::min(scores.size() - 1,
+                           static_cast<size_t>(0.9 * scores.size()))];
+  st.max = scores.back();
+  return st;
+}
+
+}  // namespace habit::eval

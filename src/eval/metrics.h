@@ -1,0 +1,37 @@
+// Accuracy metrics for imputation evaluation (Section 4.1): DTW between the
+// imputed and original paths after both are resampled so consecutive
+// positions are at most 250 m apart.
+#pragma once
+
+#include <vector>
+
+#include "geo/polyline.h"
+#include "sim/gaps.h"
+
+namespace habit::eval {
+
+/// Resampling spacing the paper uses before DTW.
+inline constexpr double kDtwResampleMeters = 250.0;
+
+/// The ground-truth polyline of a gap case: gap start boundary, removed
+/// points, gap end boundary.
+geo::Polyline GroundTruthPath(const sim::GapCase& gc);
+
+/// Average-DTW (meters) between an imputed path and the gap's ground truth,
+/// after 250 m resampling of both.
+double GapDtw(const geo::Polyline& imputed, const sim::GapCase& gc);
+
+/// \brief Summary over many per-gap scores.
+struct AccuracyStats {
+  double mean = 0;
+  double median = 0;
+  double p90 = 0;
+  double max = 0;
+  size_t count = 0;    ///< scored gaps
+  size_t failures = 0; ///< queries that returned no path
+
+  static AccuracyStats FromScores(std::vector<double> scores,
+                                  size_t failures);
+};
+
+}  // namespace habit::eval

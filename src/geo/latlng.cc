@@ -1,0 +1,86 @@
+#include "geo/latlng.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace habit::geo {
+
+std::string LatLng::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", lat, lng);
+  return buf;
+}
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  const double lat1 = DegToRad(a.lat);
+  const double lat2 = DegToRad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlng = DegToRad(b.lng - a.lng);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlng / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double InitialBearingDeg(const LatLng& a, const LatLng& b) {
+  const double lat1 = DegToRad(a.lat);
+  const double lat2 = DegToRad(b.lat);
+  const double dlng = DegToRad(b.lng - a.lng);
+  const double y = std::sin(dlng) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlng);
+  return NormalizeBearing(RadToDeg(std::atan2(y, x)));
+}
+
+LatLng Destination(const LatLng& origin, double bearing_deg,
+                   double distance_m) {
+  const double delta = distance_m / kEarthRadiusMeters;
+  const double theta = DegToRad(bearing_deg);
+  const double lat1 = DegToRad(origin.lat);
+  const double lng1 = DegToRad(origin.lng);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                                std::cos(lat1) * std::sin(delta) *
+                                    std::cos(theta));
+  const double lng2 =
+      lng1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  return LatLng{RadToDeg(lat2), NormalizeLng(RadToDeg(lng2))};
+}
+
+LatLng Intermediate(const LatLng& a, const LatLng& b, double f) {
+  const double d = HaversineMeters(a, b);
+  if (d < 1e-9) return a;
+  const double delta = d / kEarthRadiusMeters;
+  const double sin_delta = std::sin(delta);
+  const double A = std::sin((1.0 - f) * delta) / sin_delta;
+  const double B = std::sin(f * delta) / sin_delta;
+  const double lat1 = DegToRad(a.lat), lng1 = DegToRad(a.lng);
+  const double lat2 = DegToRad(b.lat), lng2 = DegToRad(b.lng);
+  const double x = A * std::cos(lat1) * std::cos(lng1) +
+                   B * std::cos(lat2) * std::cos(lng2);
+  const double y = A * std::cos(lat1) * std::sin(lng1) +
+                   B * std::cos(lat2) * std::sin(lng2);
+  const double z = A * std::sin(lat1) + B * std::sin(lat2);
+  const double lat = std::atan2(z, std::sqrt(x * x + y * y));
+  const double lng = std::atan2(y, x);
+  return LatLng{RadToDeg(lat), NormalizeLng(RadToDeg(lng))};
+}
+
+double BearingDiffDeg(double b1, double b2) {
+  double d = std::fabs(NormalizeBearing(b1) - NormalizeBearing(b2));
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+double NormalizeLng(double lng) {
+  while (lng >= 180.0) lng -= 360.0;
+  while (lng < -180.0) lng += 360.0;
+  return lng;
+}
+
+double NormalizeBearing(double deg) {
+  deg = std::fmod(deg, 360.0);
+  if (deg < 0) deg += 360.0;
+  return deg;
+}
+
+}  // namespace habit::geo

@@ -1,0 +1,68 @@
+// Geographic primitives: WGS84-sphere coordinates and great-circle math.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace habit::geo {
+
+/// Mean Earth radius in meters (spherical model).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Meters per nautical mile.
+inline constexpr double kMetersPerNauticalMile = 1852.0;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+inline double DegToRad(double deg) { return deg * kPi / 180.0; }
+inline double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+/// Converts speed in knots to meters per second.
+inline double KnotsToMps(double knots) {
+  return knots * kMetersPerNauticalMile / 3600.0;
+}
+
+/// Converts speed in meters per second to knots.
+inline double MpsToKnots(double mps) {
+  return mps * 3600.0 / kMetersPerNauticalMile;
+}
+
+/// \brief A geographic coordinate in degrees.
+struct LatLng {
+  double lat = 0.0;  ///< latitude in degrees, [-90, 90]
+  double lng = 0.0;  ///< longitude in degrees, [-180, 180)
+
+  bool operator==(const LatLng& o) const { return lat == o.lat && lng == o.lng; }
+
+  /// True iff both components are finite and within valid geographic bounds.
+  bool IsValid() const {
+    return std::isfinite(lat) && std::isfinite(lng) && lat >= -90.0 &&
+           lat <= 90.0 && lng >= -180.0 && lng <= 180.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Great-circle (haversine) distance between two points, in meters.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Initial bearing from `a` to `b` in degrees clockwise from north, [0, 360).
+double InitialBearingDeg(const LatLng& a, const LatLng& b);
+
+/// Point reached from `origin` after traveling `distance_m` meters along the
+/// great circle with the given initial bearing (degrees clockwise from north).
+LatLng Destination(const LatLng& origin, double bearing_deg, double distance_m);
+
+/// Point at fraction `f` in [0,1] along the great circle from `a` to `b`.
+LatLng Intermediate(const LatLng& a, const LatLng& b, double f);
+
+/// Smallest absolute difference between two bearings, in degrees [0, 180].
+double BearingDiffDeg(double b1, double b2);
+
+/// Normalizes a longitude to [-180, 180).
+double NormalizeLng(double lng);
+
+/// Normalizes an angle in degrees to [0, 360).
+double NormalizeBearing(double deg);
+
+}  // namespace habit::geo

@@ -1,0 +1,38 @@
+#include "geo/mercator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habit::geo {
+
+XY MercatorProject(const LatLng& p) {
+  const double lat =
+      std::clamp(p.lat, -kMercatorMaxLatDeg, kMercatorMaxLatDeg);
+  XY out;
+  out.x = kEarthRadiusMeters * DegToRad(p.lng);
+  out.y = kEarthRadiusMeters *
+          std::log(std::tan(kPi / 4.0 + DegToRad(lat) / 2.0));
+  return out;
+}
+
+LatLng MercatorUnproject(const XY& p) {
+  LatLng out;
+  out.lng = RadToDeg(p.x / kEarthRadiusMeters);
+  out.lat = RadToDeg(2.0 * std::atan(std::exp(p.y / kEarthRadiusMeters)) -
+                     kPi / 2.0);
+  return out;
+}
+
+double MercatorScale(double lat_deg) {
+  const double lat =
+      std::clamp(lat_deg, -kMercatorMaxLatDeg, kMercatorMaxLatDeg);
+  return 1.0 / std::cos(DegToRad(lat));
+}
+
+double PlaneDistance(const XY& a, const XY& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace habit::geo

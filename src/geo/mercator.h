@@ -1,0 +1,35 @@
+// Spherical (web) Mercator projection. The hexgrid tessellates the Mercator
+// plane; Mercator is conformal, so hexagonal cells remain hexagonal locally.
+#pragma once
+
+#include "geo/latlng.h"
+
+namespace habit::geo {
+
+/// \brief A point in the Mercator plane, in meters at the equator.
+struct XY {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const XY& o) const { return x == o.x && y == o.y; }
+};
+
+/// Maximum latitude representable in spherical Mercator (degrees).
+inline constexpr double kMercatorMaxLatDeg = 85.05112878;
+
+/// Projects a geographic coordinate to the Mercator plane.
+/// Latitudes are clamped to +-kMercatorMaxLatDeg.
+XY MercatorProject(const LatLng& p);
+
+/// Inverse of MercatorProject.
+LatLng MercatorUnproject(const XY& p);
+
+/// Local scale factor of the Mercator projection at latitude `lat_deg`:
+/// true ground meters * Scale = Mercator meters.
+double MercatorScale(double lat_deg);
+
+/// Euclidean distance in the Mercator plane (Mercator meters, NOT ground
+/// meters; divide by MercatorScale(lat) for a local ground estimate).
+double PlaneDistance(const XY& a, const XY& b);
+
+}  // namespace habit::geo

@@ -1,0 +1,111 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habit::geo {
+
+namespace {
+
+// Cross product of (p2-p1) x (p3-p1) in lng/lat coordinates.
+double Cross(const LatLng& p1, const LatLng& p2, const LatLng& p3) {
+  return (p2.lng - p1.lng) * (p3.lat - p1.lat) -
+         (p2.lat - p1.lat) * (p3.lng - p1.lng);
+}
+
+bool OnSegment(const LatLng& p, const LatLng& q, const LatLng& r) {
+  return q.lng <= std::max(p.lng, r.lng) && q.lng >= std::min(p.lng, r.lng) &&
+         q.lat <= std::max(p.lat, r.lat) && q.lat >= std::min(p.lat, r.lat);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const LatLng& a1, const LatLng& a2, const LatLng& b1,
+                       const LatLng& b2) {
+  const double d1 = Cross(b1, b2, a1);
+  const double d2 = Cross(b1, b2, a2);
+  const double d3 = Cross(a1, a2, b1);
+  const double d4 = Cross(a1, a2, b2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(b1, a1, b2)) return true;
+  if (d2 == 0 && OnSegment(b1, a2, b2)) return true;
+  if (d3 == 0 && OnSegment(a1, b1, a2)) return true;
+  if (d4 == 0 && OnSegment(a1, b2, a2)) return true;
+  return false;
+}
+
+bool Polygon::Contains(const LatLng& p) const {
+  if (empty()) return false;
+  bool inside = false;
+  const size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const LatLng& vi = ring_[i];
+    const LatLng& vj = ring_[j];
+    if ((vi.lat > p.lat) != (vj.lat > p.lat)) {
+      const double x_int =
+          vj.lng + (p.lat - vj.lat) / (vi.lat - vj.lat) * (vi.lng - vj.lng);
+      if (p.lng < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::IntersectsSegment(const LatLng& a, const LatLng& b) const {
+  if (empty()) return false;
+  if (Contains(a) || Contains(b)) return true;
+  const size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    if (SegmentsIntersect(a, b, ring_[j], ring_[i])) return true;
+  }
+  // A segment fully inside would have both endpoints inside (already
+  // handled); midpoint check guards thin slivers.
+  const LatLng mid{(a.lat + b.lat) / 2.0, (a.lng + b.lng) / 2.0};
+  return Contains(mid);
+}
+
+std::pair<LatLng, LatLng> Polygon::BoundingBox() const {
+  LatLng lo{90.0, 180.0}, hi{-90.0, -180.0};
+  for (const LatLng& p : ring_) {
+    lo.lat = std::min(lo.lat, p.lat);
+    lo.lng = std::min(lo.lng, p.lng);
+    hi.lat = std::max(hi.lat, p.lat);
+    hi.lng = std::max(hi.lng, p.lng);
+  }
+  return {lo, hi};
+}
+
+bool LandMask::IsOnLand(const LatLng& p) const {
+  for (const Polygon& poly : polys_) {
+    if (poly.Contains(p)) return true;
+  }
+  return false;
+}
+
+bool LandMask::SegmentAtSea(const LatLng& a, const LatLng& b) const {
+  for (const Polygon& poly : polys_) {
+    if (poly.IntersectsSegment(a, b)) return false;
+  }
+  return true;
+}
+
+double LandMask::FractionOnLand(const std::vector<LatLng>& line) const {
+  if (line.empty()) return 0.0;
+  int on_land = 0;
+  for (const LatLng& p : line) {
+    if (IsOnLand(p)) ++on_land;
+  }
+  return static_cast<double>(on_land) / static_cast<double>(line.size());
+}
+
+int LandMask::CountLandCrossings(const std::vector<LatLng>& line) const {
+  int crossings = 0;
+  for (size_t i = 1; i < line.size(); ++i) {
+    if (!SegmentAtSea(line[i - 1], line[i])) ++crossings;
+  }
+  return crossings;
+}
+
+}  // namespace habit::geo

@@ -1,0 +1,66 @@
+// Simple planar polygon support for the synthetic world's coastlines and
+// islands: containment tests and segment-crossing tests used to keep
+// simulated routes (and to check imputed paths) navigable.
+//
+// Polygons are treated in lat/lng space with the even-odd rule; the synthetic
+// regions are small enough (hundreds of km) that planar tests are adequate.
+#pragma once
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace habit::geo {
+
+/// \brief A simple (non-self-intersecting) polygon in geographic coordinates.
+/// The ring is implicitly closed (last vertex connects back to the first).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<LatLng> ring) : ring_(std::move(ring)) {}
+
+  const std::vector<LatLng>& ring() const { return ring_; }
+  bool empty() const { return ring_.size() < 3; }
+
+  /// Even-odd containment test (boundary points may report either way).
+  bool Contains(const LatLng& p) const;
+
+  /// True iff the open segment (a, b) crosses any polygon edge or either
+  /// endpoint is inside. Used to test path navigability against land masses.
+  bool IntersectsSegment(const LatLng& a, const LatLng& b) const;
+
+  /// Axis-aligned bounding box, as {min, max} corners.
+  std::pair<LatLng, LatLng> BoundingBox() const;
+
+ private:
+  std::vector<LatLng> ring_;
+};
+
+/// True iff planar segments (a1,a2) and (b1,b2) properly intersect or touch.
+bool SegmentsIntersect(const LatLng& a1, const LatLng& a2, const LatLng& b1,
+                       const LatLng& b2);
+
+/// \brief A collection of land polygons; answers "is this path navigable".
+class LandMask {
+ public:
+  void AddPolygon(Polygon poly) { polys_.push_back(std::move(poly)); }
+  const std::vector<Polygon>& polygons() const { return polys_; }
+
+  /// True iff the point lies inside any land polygon.
+  bool IsOnLand(const LatLng& p) const;
+
+  /// True iff the straight segment (a,b) stays fully at sea.
+  bool SegmentAtSea(const LatLng& a, const LatLng& b) const;
+
+  /// Fraction of polyline vertices that lie on land (0 = fully navigable at
+  /// the vertex level).
+  double FractionOnLand(const std::vector<LatLng>& line) const;
+
+  /// Number of polyline segments that cross land.
+  int CountLandCrossings(const std::vector<LatLng>& line) const;
+
+ private:
+  std::vector<Polygon> polys_;
+};
+
+}  // namespace habit::geo

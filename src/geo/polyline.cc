@@ -1,0 +1,132 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habit::geo {
+
+double PolylineLengthMeters(const Polyline& line) {
+  double total = 0;
+  for (size_t i = 1; i < line.size(); ++i) {
+    total += HaversineMeters(line[i - 1], line[i]);
+  }
+  return total;
+}
+
+Polyline ResampleMaxSpacing(const Polyline& line, double max_gap_m) {
+  if (line.size() < 2 || max_gap_m <= 0) return line;
+  Polyline out;
+  out.reserve(line.size());
+  out.push_back(line.front());
+  for (size_t i = 1; i < line.size(); ++i) {
+    const double d = HaversineMeters(line[i - 1], line[i]);
+    if (d > max_gap_m) {
+      const int pieces = static_cast<int>(std::ceil(d / max_gap_m));
+      for (int k = 1; k < pieces; ++k) {
+        out.push_back(Intermediate(line[i - 1], line[i],
+                                   static_cast<double>(k) / pieces));
+      }
+    }
+    out.push_back(line[i]);
+  }
+  return out;
+}
+
+double CrossTrackMeters(const LatLng& p, const LatLng& a, const LatLng& b) {
+  const double d_ab = HaversineMeters(a, b);
+  if (d_ab < 1e-6) return HaversineMeters(p, a);
+  const double d_ap = HaversineMeters(a, p);
+  if (d_ap < 1e-9) return 0.0;
+  const double theta_ab = DegToRad(InitialBearingDeg(a, b));
+  const double theta_ap = DegToRad(InitialBearingDeg(a, p));
+  const double delta_ap = d_ap / kEarthRadiusMeters;
+  const double xt =
+      std::asin(std::sin(delta_ap) * std::sin(theta_ap - theta_ab)) *
+      kEarthRadiusMeters;
+  // Along-track distance decides whether the perpendicular foot lies within
+  // the segment; otherwise the nearest endpoint governs.
+  const double at =
+      std::acos(std::clamp(std::cos(delta_ap) /
+                               std::cos(std::asin(std::clamp(
+                                   xt / kEarthRadiusMeters, -1.0, 1.0))),
+                           -1.0, 1.0)) *
+      kEarthRadiusMeters;
+  const double cos_bearing = std::cos(theta_ap - theta_ab);
+  if (cos_bearing < 0) return d_ap;            // behind `a`
+  if (at > d_ab) return HaversineMeters(p, b);  // beyond `b`
+  return std::fabs(xt);
+}
+
+namespace {
+
+void RdpRecurse(const Polyline& line, size_t lo, size_t hi, double tol,
+                std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double max_dev = -1.0;
+  size_t max_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double dev = CrossTrackMeters(line[i], line[lo], line[hi]);
+    if (dev > max_dev) {
+      max_dev = dev;
+      max_idx = i;
+    }
+  }
+  if (max_dev > tol) {
+    (*keep)[max_idx] = true;
+    RdpRecurse(line, lo, max_idx, tol, keep);
+    RdpRecurse(line, max_idx, hi, tol, keep);
+  }
+}
+
+}  // namespace
+
+Polyline RdpSimplify(const Polyline& line, double tolerance_m) {
+  if (tolerance_m <= 0 || line.size() < 3) return line;
+  std::vector<bool> keep(line.size(), false);
+  keep.front() = keep.back() = true;
+  RdpRecurse(line, 0, line.size() - 1, tolerance_m, &keep);
+  Polyline out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (keep[i]) out.push_back(line[i]);
+  }
+  return out;
+}
+
+TurnStats ComputeTurnStats(const Polyline& line) {
+  TurnStats st;
+  st.count = static_cast<double>(line.size());
+  if (line.size() < 3) return st;
+  double sum = 0;
+  int n = 0;
+  for (size_t i = 1; i + 1 < line.size(); ++i) {
+    const double b_in = InitialBearingDeg(line[i - 1], line[i]);
+    const double b_out = InitialBearingDeg(line[i], line[i + 1]);
+    const double rot = BearingDiffDeg(b_in, b_out);
+    sum += rot;
+    ++n;
+    st.max_rot = std::max(st.max_rot, rot);
+    if (rot > 45.0) st.turns_gt45 += 1.0;
+  }
+  st.avg_rot = n > 0 ? sum / n : 0.0;
+  return st;
+}
+
+TurnStats AverageTurnStats(const std::vector<TurnStats>& all) {
+  TurnStats avg;
+  if (all.empty()) return avg;
+  for (const TurnStats& s : all) {
+    avg.count += s.count;
+    avg.avg_rot += s.avg_rot;
+    avg.max_rot += s.max_rot;
+    avg.turns_gt45 += s.turns_gt45;
+  }
+  const double n = static_cast<double>(all.size());
+  avg.count /= n;
+  avg.avg_rot /= n;
+  avg.max_rot /= n;
+  avg.turns_gt45 /= n;
+  return avg;
+}
+
+}  // namespace habit::geo

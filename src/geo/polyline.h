@@ -1,0 +1,54 @@
+// Polyline operations: length, resampling, simplification (RDP), and the
+// turn statistics reported in Table 3 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace habit::geo {
+
+/// A sequence of geographic points interpreted as a path.
+using Polyline = std::vector<LatLng>;
+
+/// Total great-circle length of the polyline in meters.
+double PolylineLengthMeters(const Polyline& line);
+
+/// \brief Densifies `line` so consecutive points are at most `max_gap_m`
+/// meters apart, inserting great-circle intermediate points.
+///
+/// The paper resamples imputed trajectories to <= 250 m spacing before DTW
+/// so the metric compares geometry rather than sampling density.
+Polyline ResampleMaxSpacing(const Polyline& line, double max_gap_m);
+
+/// \brief Ramer-Douglas-Peucker simplification with tolerance in meters.
+///
+/// Keeps the endpoints; recursively keeps the point with the maximum
+/// cross-track deviation while it exceeds `tolerance_m`. tolerance 0 returns
+/// the input unchanged (paper's t=0 configuration).
+Polyline RdpSimplify(const Polyline& line, double tolerance_m);
+
+/// Cross-track distance (meters, non-negative) from point `p` to the great
+/// circle segment (a, b). Falls back to endpoint distance when the projection
+/// of `p` lies outside the segment.
+double CrossTrackMeters(const LatLng& p, const LatLng& a, const LatLng& b);
+
+/// \brief Per-path turn statistics (Table 3): number of positions, average
+/// and maximum course change at interior vertices, and the count of turns
+/// exceeding 45 degrees.
+struct TurnStats {
+  double count = 0;     ///< number of positions in the path
+  double avg_rot = 0;   ///< average absolute course change, degrees
+  double max_rot = 0;   ///< maximum absolute course change, degrees
+  double turns_gt45 = 0;  ///< number of vertices with course change > 45 deg
+};
+
+/// Computes TurnStats for a single path. Paths with < 3 points have zero
+/// turn statistics (there is no interior vertex).
+TurnStats ComputeTurnStats(const Polyline& line);
+
+/// Element-wise average of several TurnStats (used to report "averages over
+/// all paths" exactly as Table 3 does).
+TurnStats AverageTurnStats(const std::vector<TurnStats>& all);
+
+}  // namespace habit::geo

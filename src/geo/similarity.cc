@@ -1,0 +1,82 @@
+#include "geo/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace habit::geo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Runs the DTW recurrence, returning {total_cost, path_length}. Uses two
+// rolling rows of (cost, steps) pairs: O(|a|*|b|) time, O(|b|) space.
+std::pair<double, int> DtwCore(const Polyline& a, const Polyline& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return {0.0, 0};
+  if (n == 0 || m == 0) return {kInf, 0};
+
+  struct Cell {
+    double cost;
+    int steps;
+  };
+  std::vector<Cell> prev(m + 1, {kInf, 0});
+  std::vector<Cell> curr(m + 1, {kInf, 0});
+  prev[0] = {0.0, 0};
+
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = {kInf, 0};
+    for (size_t j = 1; j <= m; ++j) {
+      const double d = HaversineMeters(a[i - 1], b[j - 1]);
+      const Cell& diag = prev[j - 1];
+      const Cell& up = prev[j];
+      const Cell& left = curr[j - 1];
+      const Cell* best = &diag;
+      if (up.cost < best->cost) best = &up;
+      if (left.cost < best->cost) best = &left;
+      curr[j] = {best->cost + d, best->steps + 1};
+    }
+    std::swap(prev, curr);
+  }
+  return {prev[m].cost, prev[m].steps};
+}
+
+}  // namespace
+
+double DtwTotalMeters(const Polyline& a, const Polyline& b) {
+  return DtwCore(a, b).first;
+}
+
+double DtwAverageMeters(const Polyline& a, const Polyline& b) {
+  const auto [cost, steps] = DtwCore(a, b);
+  if (steps == 0) return cost;  // 0 for empty-empty, inf otherwise
+  return cost / steps;
+}
+
+double DiscreteFrechetMeters(const Polyline& a, const Polyline& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return kInf;
+  std::vector<std::vector<double>> ca(n, std::vector<double>(m, -1.0));
+  // Iterative dynamic program (row-major order satisfies dependencies).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = HaversineMeters(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        ca[i][j] = d;
+      } else if (i == 0) {
+        ca[i][j] = std::max(ca[0][j - 1], d);
+      } else if (j == 0) {
+        ca[i][j] = std::max(ca[i - 1][0], d);
+      } else {
+        ca[i][j] = std::max(
+            std::min({ca[i - 1][j], ca[i - 1][j - 1], ca[i][j - 1]}), d);
+      }
+    }
+  }
+  return ca[n - 1][m - 1];
+}
+
+}  // namespace habit::geo

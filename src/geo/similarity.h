@@ -1,0 +1,24 @@
+// Trajectory similarity measures. DTW is the paper's accuracy metric
+// (Section 4.1); discrete Fréchet is provided as a stricter companion.
+#pragma once
+
+#include "geo/polyline.h"
+
+namespace habit::geo {
+
+/// \brief Dynamic Time Warping distance between two polylines, using
+/// great-circle distance as the local cost.
+///
+/// Returns the *average* matched-pair distance in meters (total DTW cost
+/// divided by warping-path length), matching the paper's description of DTW
+/// as "the average distances between the imputed and original paths".
+/// Returns 0 for two empty lines; if exactly one is empty, returns +inf.
+double DtwAverageMeters(const Polyline& a, const Polyline& b);
+
+/// Total (unnormalized) DTW cost in meters.
+double DtwTotalMeters(const Polyline& a, const Polyline& b);
+
+/// Discrete Fréchet distance in meters (max over the optimal coupling).
+double DiscreteFrechetMeters(const Polyline& a, const Polyline& b);
+
+}  // namespace habit::geo

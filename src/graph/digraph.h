@@ -1,0 +1,80 @@
+// Weighted directed graph with per-node and per-edge attributes, standing in
+// for NetworkX (see DESIGN.md). Node ids are opaque uint64 values — HABIT
+// uses hexgrid CellIds, GTI uses point indices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "geo/latlng.h"
+
+namespace habit::graph {
+
+using NodeId = uint64_t;
+
+/// \brief Attributes HABIT stores on nodes (Section 3.2 of the paper).
+struct NodeAttrs {
+  geo::LatLng median_pos;   ///< median longitude/latitude of cell reports
+  geo::LatLng center_pos;   ///< geometric center (H3 cell center)
+  int64_t message_count = 0;  ///< total AIS messages in the cell
+  int64_t distinct_vessels = 0;  ///< approx distinct vessels in the cell
+  double median_sog = 0.0;  ///< median speed over ground, knots
+  double median_cog = 0.0;  ///< median course over ground, degrees
+};
+
+/// \brief Attributes on edges: transition statistics between cells.
+struct EdgeAttrs {
+  double weight = 1.0;     ///< traversal cost used by shortest-path search
+  int64_t transitions = 0;  ///< approx distinct trips making this transition
+  int64_t grid_distance = 0;  ///< hex grid distance between the two cells
+};
+
+/// \brief Adjacency-list weighted digraph.
+class Digraph {
+ public:
+  /// Adds a node (no-op if present); returns whether it was inserted.
+  bool AddNode(NodeId id, NodeAttrs attrs = {});
+
+  /// Adds or replaces the directed edge u -> v.
+  void AddEdge(NodeId u, NodeId v, EdgeAttrs attrs);
+
+  bool HasNode(NodeId id) const { return nodes_.contains(id); }
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  Result<NodeAttrs> GetNode(NodeId id) const;
+  Result<EdgeAttrs> GetEdge(NodeId u, NodeId v) const;
+  Status SetNodeAttrs(NodeId id, const NodeAttrs& attrs);
+
+  /// Outgoing (neighbor, attrs) pairs of u; empty if u is absent.
+  const std::vector<std::pair<NodeId, EdgeAttrs>>& OutEdges(NodeId u) const;
+
+  /// Applies `fn` to every node.
+  void ForEachNode(
+      const std::function<void(NodeId, const NodeAttrs&)>& fn) const;
+
+  /// Applies `fn` to every directed edge.
+  void ForEachEdge(const std::function<void(NodeId, NodeId, const EdgeAttrs&)>&
+                       fn) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t SizeBytes() const;
+
+  /// Size of the persisted model in bytes: one row per node
+  /// (id, median lon/lat, counts, medians) and one per edge
+  /// (src, dst, transitions). This is what Table 2 of the paper reports as
+  /// "framework storage size".
+  size_t SerializedSizeBytes() const;
+
+ private:
+  std::unordered_map<NodeId, NodeAttrs> nodes_;
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, EdgeAttrs>>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace habit::graph

@@ -1,0 +1,150 @@
+#include "graph/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace habit::graph {
+
+void KdTree::Build(
+    const std::vector<std::pair<geo::LatLng, uint64_t>>& points) {
+  nodes_.clear();
+  root_ = -1;
+  if (points.empty()) return;
+  std::vector<Node> scratch;
+  scratch.reserve(points.size());
+  for (const auto& [pos, id] : points) {
+    Node n;
+    n.pos = geo::MercatorProject(pos);
+    n.id = id;
+    scratch.push_back(n);
+  }
+  nodes_.reserve(points.size());
+  root_ = BuildRecurse(scratch, 0, static_cast<int>(scratch.size()), true);
+}
+
+int KdTree::BuildRecurse(std::vector<Node>& scratch, int lo, int hi,
+                         bool split_x) {
+  if (lo >= hi) return -1;
+  const int mid = lo + (hi - lo) / 2;
+  std::nth_element(scratch.begin() + lo, scratch.begin() + mid,
+                   scratch.begin() + hi, [split_x](const Node& a, const Node& b) {
+                     return split_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
+                   });
+  Node node = scratch[mid];
+  node.split_x = split_x;
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  nodes_[index].left = BuildRecurse(scratch, lo, mid, !split_x);
+  nodes_[index].right = BuildRecurse(scratch, mid + 1, hi, !split_x);
+  return index;
+}
+
+namespace {
+
+double Sq(double v) { return v * v; }
+
+}  // namespace
+
+bool KdTree::Nearest(const geo::LatLng& query, uint64_t* id,
+                     double* distance_m) const {
+  if (nodes_.empty()) return false;
+  const geo::XY q = geo::MercatorProject(query);
+  double best_d2 = std::numeric_limits<double>::infinity();
+  uint64_t best_id = 0;
+
+  // Explicit stack DFS with pruning.
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    if (idx < 0) continue;
+    const Node& n = nodes_[idx];
+    const double d2 = Sq(n.pos.x - q.x) + Sq(n.pos.y - q.y);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best_id = n.id;
+    }
+    const double delta = n.split_x ? q.x - n.pos.x : q.y - n.pos.y;
+    const int near_child = delta <= 0 ? n.left : n.right;
+    const int far_child = delta <= 0 ? n.right : n.left;
+    if (Sq(delta) < best_d2 && far_child >= 0) stack.push_back(far_child);
+    if (near_child >= 0) stack.push_back(near_child);
+  }
+
+  *id = best_id;
+  if (distance_m != nullptr) {
+    // Convert Mercator meters back to approximate ground meters.
+    *distance_m = std::sqrt(best_d2) / geo::MercatorScale(query.lat);
+  }
+  return true;
+}
+
+std::vector<uint64_t> KdTree::WithinRadius(const geo::LatLng& query,
+                                           double radius_m) const {
+  std::vector<uint64_t> out;
+  if (nodes_.empty() || radius_m <= 0) return out;
+  const geo::XY q = geo::MercatorProject(query);
+  const double r_plane = radius_m * geo::MercatorScale(query.lat);
+  const double r2 = Sq(r_plane);
+
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    if (idx < 0) continue;
+    const Node& n = nodes_[idx];
+    const double d2 = Sq(n.pos.x - q.x) + Sq(n.pos.y - q.y);
+    if (d2 <= r2) out.push_back(n.id);
+    const double delta = n.split_x ? q.x - n.pos.x : q.y - n.pos.y;
+    const int near_child = delta <= 0 ? n.left : n.right;
+    const int far_child = delta <= 0 ? n.right : n.left;
+    if (std::fabs(delta) <= r_plane && far_child >= 0) {
+      stack.push_back(far_child);
+    }
+    if (near_child >= 0) stack.push_back(near_child);
+  }
+  return out;
+}
+
+std::vector<uint64_t> KdTree::KNearest(const geo::LatLng& query,
+                                       size_t k) const {
+  std::vector<uint64_t> out;
+  if (nodes_.empty() || k == 0) return out;
+  const geo::XY q = geo::MercatorProject(query);
+
+  // Max-heap of (distance^2, id) keeping the k best.
+  using Entry = std::pair<double, uint64_t>;
+  std::priority_queue<Entry> best;
+
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    if (idx < 0) continue;
+    const Node& n = nodes_[idx];
+    const double d2 = Sq(n.pos.x - q.x) + Sq(n.pos.y - q.y);
+    if (best.size() < k) {
+      best.emplace(d2, n.id);
+    } else if (d2 < best.top().first) {
+      best.pop();
+      best.emplace(d2, n.id);
+    }
+    const double delta = n.split_x ? q.x - n.pos.x : q.y - n.pos.y;
+    const int near_child = delta <= 0 ? n.left : n.right;
+    const int far_child = delta <= 0 ? n.right : n.left;
+    const bool prune = best.size() == k && Sq(delta) >= best.top().first;
+    if (!prune && far_child >= 0) stack.push_back(far_child);
+    if (near_child >= 0) stack.push_back(near_child);
+  }
+
+  out.resize(best.size());
+  for (size_t i = out.size(); i-- > 0;) {
+    out[i] = best.top().second;
+    best.pop();
+  }
+  return out;
+}
+
+}  // namespace habit::graph

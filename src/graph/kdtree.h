@@ -1,0 +1,54 @@
+// 2-D KD-tree over geographic points (stored in Mercator meters so Euclidean
+// queries approximate great-circle neighborhoods at regional scale). Used by
+// GTI's candidate-edge construction and by endpoint snapping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "geo/mercator.h"
+
+namespace habit::graph {
+
+/// \brief Static KD-tree built once over a point set; answers nearest and
+/// radius queries. Payload is a caller-supplied uint64 id per point.
+class KdTree {
+ public:
+  /// Builds the tree over (position, id) pairs.
+  void Build(const std::vector<std::pair<geo::LatLng, uint64_t>>& points);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return nodes_.size(); }
+
+  /// Id of the nearest point to `query`; false return means empty tree.
+  bool Nearest(const geo::LatLng& query, uint64_t* id,
+               double* distance_m = nullptr) const;
+
+  /// Ids of all points within `radius_m` meters (ground meters, corrected
+  /// for Mercator scale at the query latitude).
+  std::vector<uint64_t> WithinRadius(const geo::LatLng& query,
+                                     double radius_m) const;
+
+  /// Ids of the k nearest points, closest first.
+  std::vector<uint64_t> KNearest(const geo::LatLng& query, size_t k) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t SizeBytes() const { return nodes_.size() * sizeof(Node); }
+
+ private:
+  struct Node {
+    geo::XY pos;
+    uint64_t id;
+    int left = -1;
+    int right = -1;
+    bool split_x = true;
+  };
+
+  int BuildRecurse(std::vector<Node>& scratch, int lo, int hi, bool split_x);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace habit::graph

@@ -1,0 +1,229 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace habit::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double priority;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+std::vector<NodeId> Reconstruct(
+    const std::unordered_map<NodeId, NodeId>& parent, NodeId source,
+    NodeId target) {
+  std::vector<NodeId> path;
+  NodeId cur = target;
+  path.push_back(cur);
+  while (cur != source) {
+    cur = parent.at(cur);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<PathResult> Search(const Digraph& g, NodeId source, NodeId target,
+                          const Heuristic* h) {
+  if (!g.HasNode(source)) {
+    return Status::NotFound("source node not in graph");
+  }
+  if (!g.HasNode(target)) {
+    return Status::NotFound("target node not in graph");
+  }
+
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> parent;
+  std::unordered_set<NodeId> settled;
+  MinQueue queue;
+
+  dist[source] = 0.0;
+  queue.push({h ? (*h)(source) : 0.0, source});
+  size_t expanded = 0;
+
+  while (!queue.empty()) {
+    const NodeId u = queue.top().node;
+    queue.pop();
+    if (settled.contains(u)) continue;
+    settled.insert(u);
+    ++expanded;
+    if (u == target) {
+      PathResult result;
+      result.nodes = Reconstruct(parent, source, target);
+      result.cost = dist[u];
+      result.expanded = expanded;
+      return result;
+    }
+    const double du = dist[u];
+    for (const auto& [v, attrs] : g.OutEdges(u)) {
+      if (settled.contains(v)) continue;
+      const double cand = du + attrs.weight;
+      auto it = dist.find(v);
+      if (it == dist.end() || cand < it->second) {
+        dist[v] = cand;
+        parent[v] = u;
+        queue.push({cand + (h ? (*h)(v) : 0.0), v});
+      }
+    }
+  }
+  return Status::Unreachable("no path from source to target");
+}
+
+}  // namespace
+
+Result<PathResult> Dijkstra(const Digraph& g, NodeId source, NodeId target) {
+  return Search(g, source, target, nullptr);
+}
+
+Result<PathResult> AStar(const Digraph& g, NodeId source, NodeId target,
+                         const Heuristic& h) {
+  return Search(g, source, target, &h);
+}
+
+std::vector<std::pair<NodeId, double>> DijkstraAll(const Digraph& g,
+                                                   NodeId source) {
+  std::vector<std::pair<NodeId, double>> out;
+  if (!g.HasNode(source)) return out;
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_set<NodeId> settled;
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const NodeId u = queue.top().node;
+    queue.pop();
+    if (settled.contains(u)) continue;
+    settled.insert(u);
+    out.emplace_back(u, dist[u]);
+    for (const auto& [v, attrs] : g.OutEdges(u)) {
+      if (settled.contains(v)) continue;
+      const double cand = dist[u] + attrs.weight;
+      auto it = dist.find(v);
+      if (it == dist.end() || cand < it->second) {
+        dist[v] = cand;
+        queue.push({cand, v});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source) {
+  std::vector<NodeId> out;
+  if (!g.HasNode(source)) return out;
+  std::unordered_set<NodeId> seen{source};
+  std::queue<NodeId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    out.push_back(u);
+    for (const auto& [v, attrs] : g.OutEdges(u)) {
+      if (seen.insert(v).second) frontier.push(v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> WeaklyConnectedComponents(const Digraph& g) {
+  // Build an undirected adjacency view.
+  std::unordered_map<NodeId, std::vector<NodeId>> undirected;
+  g.ForEachNode([&](NodeId id, const NodeAttrs&) { undirected[id]; });
+  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs&) {
+    undirected[u].push_back(v);
+    undirected[v].push_back(u);
+  });
+
+  std::vector<std::vector<NodeId>> components;
+  std::unordered_set<NodeId> seen;
+  for (const auto& [start, nbrs] : undirected) {
+    if (seen.contains(start)) continue;
+    std::vector<NodeId> comp;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen.insert(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      comp.push_back(u);
+      for (NodeId v : undirected.at(u)) {
+        if (seen.insert(v).second) frontier.push(v);
+      }
+    }
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+std::vector<std::vector<NodeId>> StronglyConnectedComponents(
+    const Digraph& g) {
+  // Kosaraju: (1) iterative DFS finish order, (2) DFS on the reverse graph
+  // in reverse finish order.
+  std::vector<NodeId> order;
+  std::unordered_set<NodeId> visited;
+  std::unordered_map<NodeId, std::vector<NodeId>> reverse_adj;
+  std::vector<NodeId> all_nodes;
+  g.ForEachNode([&](NodeId id, const NodeAttrs&) {
+    all_nodes.push_back(id);
+    reverse_adj[id];
+  });
+  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs&) {
+    reverse_adj[v].push_back(u);
+  });
+
+  // Pass 1: record DFS finish order (explicit stack with child cursor).
+  struct Frame {
+    NodeId node;
+    size_t next_child;
+  };
+  for (const NodeId start : all_nodes) {
+    if (visited.contains(start)) continue;
+    std::vector<Frame> stack{{start, 0}};
+    visited.insert(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& out = g.OutEdges(frame.node);
+      if (frame.next_child < out.size()) {
+        const NodeId child = out[frame.next_child++].first;
+        if (visited.insert(child).second) stack.push_back({child, 0});
+      } else {
+        order.push_back(frame.node);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Pass 2: reverse-graph DFS in reverse finish order.
+  std::vector<std::vector<NodeId>> components;
+  std::unordered_set<NodeId> assigned;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (assigned.contains(*it)) continue;
+    std::vector<NodeId> comp;
+    std::vector<NodeId> stack{*it};
+    assigned.insert(*it);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      comp.push_back(u);
+      for (const NodeId v : reverse_adj.at(u)) {
+        if (assigned.insert(v).second) stack.push_back(v);
+      }
+    }
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+}  // namespace habit::graph

@@ -1,0 +1,47 @@
+// Shortest-path search over Digraph: Dijkstra and A* (the paper's Section
+// 3.3 uses A* minimizing transition-derived edge costs).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/digraph.h"
+
+namespace habit::graph {
+
+/// Result of a shortest-path query.
+struct PathResult {
+  std::vector<NodeId> nodes;  ///< source..target inclusive
+  double cost = 0.0;          ///< sum of edge weights along the path
+  size_t expanded = 0;        ///< number of settled nodes (search effort)
+};
+
+/// Heuristic for A*: estimated remaining cost from a node to the target.
+/// Must be admissible (never overestimate) for optimal paths.
+using Heuristic = std::function<double(NodeId)>;
+
+/// Dijkstra shortest path from `source` to `target` using EdgeAttrs::weight.
+/// Returns kUnreachable if no path exists.
+Result<PathResult> Dijkstra(const Digraph& g, NodeId source, NodeId target);
+
+/// A* shortest path with the given admissible heuristic.
+Result<PathResult> AStar(const Digraph& g, NodeId source, NodeId target,
+                         const Heuristic& h);
+
+/// Single-source Dijkstra distances to every reachable node.
+std::vector<std::pair<NodeId, double>> DijkstraAll(const Digraph& g,
+                                                   NodeId source);
+
+/// Nodes reachable from `source` following directed edges (BFS order).
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source);
+
+/// Weakly connected components (edge direction ignored); each inner vector
+/// is one component.
+std::vector<std::vector<NodeId>> WeaklyConnectedComponents(const Digraph& g);
+
+/// Strongly connected components (Kosaraju, iterative); within one component
+/// every node can reach every other along directed edges.
+std::vector<std::vector<NodeId>> StronglyConnectedComponents(const Digraph& g);
+
+}  // namespace habit::graph

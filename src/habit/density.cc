@@ -1,0 +1,82 @@
+#include "habit/density.h"
+
+#include <algorithm>
+
+namespace habit::core {
+
+void DensityMap::AddPoint(const geo::LatLng& p) {
+  const hex::CellId c = hex::LatLngToCell(p, resolution_);
+  if (c != hex::kInvalidCell) ++counts_[c];
+}
+
+void DensityMap::AddTrip(const ais::Trip& trip) {
+  for (const ais::AisRecord& r : trip.points) AddPoint(r.pos);
+}
+
+void DensityMap::AddPolyline(const geo::Polyline& line, double spacing_m) {
+  for (const geo::LatLng& p : geo::ResampleMaxSpacing(line, spacing_m)) {
+    AddPoint(p);
+  }
+}
+
+int64_t DensityMap::CountAt(hex::CellId cell) const {
+  const auto it = counts_.find(cell);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+int64_t DensityMap::CountAt(const geo::LatLng& p) const {
+  return CountAt(hex::LatLngToCell(p, resolution_));
+}
+
+int64_t DensityMap::MaxCount() const {
+  int64_t best = 0;
+  for (const auto& [cell, count] : counts_) best = std::max(best, count);
+  return best;
+}
+
+db::Table DensityMap::ToTable() const {
+  db::Table t(db::Schema{{"cell", db::DataType::kInt64},
+                         {"lat", db::DataType::kDouble},
+                         {"lon", db::DataType::kDouble},
+                         {"count", db::DataType::kInt64}});
+  for (const auto& [cell, count] : counts_) {
+    const geo::LatLng center = hex::CellToLatLng(cell);
+    t.column(0).AppendInt(static_cast<int64_t>(cell));
+    t.column(1).AppendDouble(center.lat);
+    t.column(2).AppendDouble(center.lng);
+    t.column(3).AppendInt(count);
+  }
+  return t;
+}
+
+Result<ImputedDensityResult> BuildImputedDensity(
+    const std::vector<ais::Trip>& trips, const HabitFramework& fw,
+    int resolution, int64_t gap_threshold_s, double spacing_m) {
+  if (resolution < 0 || resolution > hex::kMaxResolution) {
+    return Status::InvalidArgument("resolution out of range");
+  }
+  ImputedDensityResult result{DensityMap(resolution)};
+  for (const ais::Trip& trip : trips) {
+    // Count the gaps that ImputeTrip will encounter, for reporting.
+    for (size_t i = 1; i < trip.points.size(); ++i) {
+      if (trip.points[i].ts - trip.points[i - 1].ts > gap_threshold_s) {
+        auto fill = fw.Impute(trip.points[i - 1].pos, trip.points[i].pos,
+                              trip.points[i - 1].ts, trip.points[i].ts);
+        if (fill.ok()) {
+          ++result.gaps_filled;
+        } else {
+          ++result.gaps_unfilled;
+        }
+      }
+    }
+    auto filled = fw.ImputeTrip(trip, gap_threshold_s);
+    if (filled.ok()) {
+      result.map.AddPolyline(filled.value(), spacing_m);
+    } else {
+      result.map.AddTrip(trip);
+    }
+  }
+  return result;
+}
+
+}  // namespace habit::core

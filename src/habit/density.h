@@ -1,0 +1,68 @@
+// Traffic density maps (the Figure 1 application): per-cell visit counts
+// over hex cells, computed from raw trips and optionally densified with
+// imputed gap fills so coverage holes stop under-counting lanes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/status.h"
+#include "habit/framework.h"
+#include "hexgrid/hexgrid.h"
+#include "minidb/table.h"
+
+namespace habit::core {
+
+/// \brief A per-cell traffic density surface.
+class DensityMap {
+ public:
+  explicit DensityMap(int resolution) : resolution_(resolution) {}
+
+  int resolution() const { return resolution_; }
+  size_t num_cells() const { return counts_.size(); }
+
+  /// Adds one visit to the cell containing `p` (no-op for invalid points).
+  void AddPoint(const geo::LatLng& p);
+
+  /// Adds every point of the trip.
+  void AddTrip(const ais::Trip& trip);
+
+  /// Adds a polyline, resampled to `spacing_m` so densities are
+  /// geometry-weighted rather than report-rate-weighted.
+  void AddPolyline(const geo::Polyline& line, double spacing_m = 500.0);
+
+  /// Visit count of a cell (0 if never seen).
+  int64_t CountAt(hex::CellId cell) const;
+  int64_t CountAt(const geo::LatLng& p) const;
+
+  /// Maximum count over all cells (0 for an empty map).
+  int64_t MaxCount() const;
+
+  /// Exports (cell, lat, lng, count) rows for plotting / storage.
+  db::Table ToTable() const;
+
+  const std::unordered_map<hex::CellId, int64_t>& cells() const {
+    return counts_;
+  }
+
+ private:
+  int resolution_;
+  std::unordered_map<hex::CellId, int64_t> counts_;
+};
+
+/// \brief Builds the "after" density surface of the Figure 1 use case:
+/// each trip's internal gaps (silences longer than `gap_threshold_s`) are
+/// imputed against `fw`, and the densified trip polylines are accumulated
+/// geometry-weighted. Returns the map plus the number of gaps filled.
+struct ImputedDensityResult {
+  DensityMap map;
+  size_t gaps_filled = 0;
+  size_t gaps_unfilled = 0;
+};
+Result<ImputedDensityResult> BuildImputedDensity(
+    const std::vector<ais::Trip>& trips, const HabitFramework& fw,
+    int resolution, int64_t gap_threshold_s = 30 * 60,
+    double spacing_m = 500.0);
+
+}  // namespace habit::core

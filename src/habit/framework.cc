@@ -1,0 +1,48 @@
+#include "habit/framework.h"
+
+#include "habit/graph_builder.h"
+
+namespace habit::core {
+
+HabitFramework::HabitFramework(std::unique_ptr<graph::Digraph> graph,
+                               const HabitConfig& config)
+    : graph_(std::move(graph)), config_(config) {
+  imputer_ = std::make_unique<Imputer>(graph_.get(), config_);
+}
+
+Result<std::unique_ptr<HabitFramework>> HabitFramework::Build(
+    const std::vector<ais::Trip>& trips, const HabitConfig& config) {
+  if (trips.empty()) {
+    return Status::InvalidArgument("cannot build HABIT from zero trips");
+  }
+  HABIT_ASSIGN_OR_RETURN(graph::Digraph g, BuildGraphFromTrips(trips, config));
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("trips produced an empty graph");
+  }
+  return std::unique_ptr<HabitFramework>(new HabitFramework(
+      std::make_unique<graph::Digraph>(std::move(g)), config));
+}
+
+Result<geo::Polyline> HabitFramework::ImputeTrip(
+    const ais::Trip& trip, int64_t gap_threshold_s) const {
+  geo::Polyline out;
+  const auto& pts = trip.points;
+  if (pts.empty()) return out;
+  out.push_back(pts[0].pos);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const int64_t dt = pts[i].ts - pts[i - 1].ts;
+    if (dt > gap_threshold_s) {
+      auto fill = Impute(pts[i - 1].pos, pts[i].pos, pts[i - 1].ts, pts[i].ts);
+      if (fill.ok()) {
+        // Interior imputed points (path includes both boundary points).
+        const geo::Polyline& path = fill.value().path;
+        for (size_t k = 1; k + 1 < path.size(); ++k) out.push_back(path[k]);
+      }
+      // On unreachable gaps, fall through to the straight connection.
+    }
+    out.push_back(pts[i].pos);
+  }
+  return out;
+}
+
+}  // namespace habit::core

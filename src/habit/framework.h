@@ -1,0 +1,60 @@
+// HabitFramework: the end-to-end public facade. Build it once from
+// historical trips (Sections 3.1-3.2), then answer imputation queries
+// (Sections 3.3-3.4).
+//
+//   habit::core::HabitConfig config;            // r, p, t, ...
+//   auto fw = habit::core::HabitFramework::Build(trips, config);
+//   auto fill = fw->Impute(gap_start, gap_end, t0, t1);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/status.h"
+#include "graph/digraph.h"
+#include "habit/config.h"
+#include "habit/imputer.h"
+
+namespace habit::core {
+
+/// \brief A built HABIT model: transition graph + imputer.
+class HabitFramework {
+ public:
+  /// Builds the framework from preprocessed trips (the training split).
+  static Result<std::unique_ptr<HabitFramework>> Build(
+      const std::vector<ais::Trip>& trips, const HabitConfig& config);
+
+  /// Imputes the gap between two boundary reports (coordinates + times).
+  Result<Imputation> Impute(const geo::LatLng& gap_start,
+                            const geo::LatLng& gap_end, int64_t t_start = 0,
+                            int64_t t_end = 0) const {
+    return imputer_->Impute(gap_start, gap_end, t_start, t_end);
+  }
+
+  /// Imputes every gap in a degraded trip: consecutive reports more than
+  /// `gap_threshold_s` apart are filled; returns the densified polyline of
+  /// the full trip.
+  Result<geo::Polyline> ImputeTrip(const ais::Trip& trip,
+                                   int64_t gap_threshold_s = 30 * 60) const;
+
+  const graph::Digraph& graph() const { return *graph_; }
+  const HabitConfig& config() const { return config_; }
+
+  /// In-memory model footprint in bytes.
+  size_t SizeBytes() const { return graph_->SizeBytes(); }
+
+  /// Persisted-model footprint in bytes (Table 2's "framework storage
+  /// size"): the node and edge statistic rows.
+  size_t SerializedSizeBytes() const { return graph_->SerializedSizeBytes(); }
+
+ private:
+  HabitFramework(std::unique_ptr<graph::Digraph> graph,
+                 const HabitConfig& config);
+
+  std::unique_ptr<graph::Digraph> graph_;
+  HabitConfig config_;
+  std::unique_ptr<Imputer> imputer_;
+};
+
+}  // namespace habit::core

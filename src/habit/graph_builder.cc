@@ -1,0 +1,240 @@
+#include "habit/graph_builder.h"
+
+#include <cmath>
+
+#include "hexgrid/hexgrid.h"
+#include "minidb/query.h"
+
+namespace habit::core {
+
+const char* ProjectionToString(Projection p) {
+  switch (p) {
+    case Projection::kCellCenter: return "center";
+    case Projection::kDataMedian: return "median";
+  }
+  return "?";
+}
+
+const char* EdgeCostPolicyToString(EdgeCostPolicy p) {
+  switch (p) {
+    case EdgeCostPolicy::kHops: return "hops";
+    case EdgeCostPolicy::kInverseFrequency: return "inverse_frequency";
+    case EdgeCostPolicy::kHopsThenFrequency: return "hops_then_frequency";
+  }
+  return "?";
+}
+
+std::string HabitConfig::ToString() const {
+  return "HabitConfig{r=" + std::to_string(resolution) +
+         ", p=" + ProjectionToString(projection) +
+         ", t=" + std::to_string(static_cast<int>(rdp_tolerance_m)) +
+         ", cost=" + EdgeCostPolicyToString(edge_cost) + "}";
+}
+
+double EdgeCost(EdgeCostPolicy policy, int64_t transitions) {
+  const double n = static_cast<double>(std::max<int64_t>(1, transitions));
+  switch (policy) {
+    case EdgeCostPolicy::kHops:
+      return 1.0;
+    case EdgeCostPolicy::kInverseFrequency:
+      return 1.0 / std::log(std::exp(1.0) + n);
+    case EdgeCostPolicy::kHopsThenFrequency:
+      return 1.0 + 1.0 / (1.0 + n);
+  }
+  return 1.0;
+}
+
+db::Table TripsToTable(const std::vector<ais::Trip>& trips, int resolution) {
+  db::Schema schema{{"trip_id", db::DataType::kInt64},
+                    {"mmsi", db::DataType::kInt64},
+                    {"ts", db::DataType::kInt64},
+                    {"lon", db::DataType::kDouble},
+                    {"lat", db::DataType::kDouble},
+                    {"sog", db::DataType::kDouble},
+                    {"cog", db::DataType::kDouble},
+                    {"cell", db::DataType::kInt64}};
+  db::Table table(schema);
+  for (const ais::Trip& trip : trips) {
+    for (const ais::AisRecord& r : trip.points) {
+      const hex::CellId cell = hex::LatLngToCell(r.pos, resolution);
+      table.column(0).AppendInt(trip.trip_id);
+      table.column(1).AppendInt(r.mmsi);
+      table.column(2).AppendInt(r.ts);
+      table.column(3).AppendDouble(r.pos.lng);
+      table.column(4).AppendDouble(r.pos.lat);
+      table.column(5).AppendDouble(r.sog);
+      table.column(6).AppendDouble(r.cog);
+      table.column(7).AppendInt(static_cast<int64_t>(cell));
+    }
+  }
+  return table;
+}
+
+Result<db::Table> ComputeCellStats(const db::Table& ais_table,
+                                   const HabitConfig& config) {
+  // SELECT cell, count(*), approx_count_distinct(mmsi),
+  //        median(lon), median(lat), median(sog), median(cog)
+  // FROM ais GROUP BY cell
+  return db::From(ais_table)
+      .GroupBy({"cell"},
+               {{db::AggKind::kCount, "", "cnt"},
+                {db::AggKind::kApproxCountDistinct, "mmsi", "vessels"},
+                {db::AggKind::kMedianExact, "lon", "med_lon"},
+                {db::AggKind::kMedianExact, "lat", "med_lat"},
+                {db::AggKind::kMedianExact, "sog", "med_sog"},
+                {db::AggKind::kMedianExact, "cog", "med_cog"}},
+               config.hll_precision)
+      .Execute();
+}
+
+Result<db::Table> ComputeTransitionStats(const db::Table& ais_table,
+                                         const HabitConfig& config) {
+  // WITH lagged AS (SELECT *, LAG(cell) OVER (PARTITION BY trip_id
+  //                                           ORDER BY ts) AS lag_cell ...)
+  // SELECT lag_cell, cell, approx_count_distinct(trip_id) AS transitions
+  // FROM lagged WHERE lag_cell IS NOT NULL AND lag_cell <> cell
+  // GROUP BY lag_cell, cell
+  HABIT_ASSIGN_OR_RETURN(
+      db::Table grouped,
+      db::From(ais_table)
+          .WindowLag({"trip_id"}, "ts", "cell", "lag_cell")
+          .Filter(db::And(db::Not(db::IsNull(db::Col("lag_cell"))),
+                          db::Ne(db::Col("lag_cell"), db::Col("cell"))))
+          .GroupBy({"lag_cell", "cell"},
+                   {{db::AggKind::kApproxCountDistinct, "trip_id",
+                     "transitions"}},
+                   config.hll_precision)
+          .Execute());
+
+  // Augment with the hex grid distance of each transition
+  // (h3_grid_distance(lag_cl, cl) in the paper).
+  db::Schema schema = grouped.schema();
+  schema.AddField("grid_distance", db::DataType::kInt64);
+  db::Table out(schema);
+  HABIT_ASSIGN_OR_RETURN(const db::Column* lag_col,
+                         grouped.GetColumn("lag_cell"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* cell_col, grouped.GetColumn("cell"));
+  for (size_t r = 0; r < grouped.num_rows(); ++r) {
+    for (size_t c = 0; c < grouped.num_columns(); ++c) {
+      out.column(c).AppendValue(grouped.column(c).GetValue(r));
+    }
+    const auto a = static_cast<hex::CellId>(lag_col->GetInt(r));
+    const auto b = static_cast<hex::CellId>(cell_col->GetInt(r));
+    const auto dist = hex::GridDistance(a, b);
+    if (dist.ok()) {
+      out.column(grouped.num_columns()).AppendInt(dist.value());
+    } else {
+      out.column(grouped.num_columns()).AppendNull();
+    }
+  }
+  return out;
+}
+
+Result<graph::Digraph> BuildTransitionGraph(const db::Table& cell_stats,
+                                            const db::Table& transition_stats,
+                                            const HabitConfig& config) {
+  graph::Digraph g;
+
+  HABIT_ASSIGN_OR_RETURN(const db::Column* cell_col,
+                         cell_stats.GetColumn("cell"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* cnt_col, cell_stats.GetColumn("cnt"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* vessels_col,
+                         cell_stats.GetColumn("vessels"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* lon_col,
+                         cell_stats.GetColumn("med_lon"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* lat_col,
+                         cell_stats.GetColumn("med_lat"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* sog_col,
+                         cell_stats.GetColumn("med_sog"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* cog_col,
+                         cell_stats.GetColumn("med_cog"));
+
+  for (size_t r = 0; r < cell_stats.num_rows(); ++r) {
+    const auto cell = static_cast<hex::CellId>(cell_col->GetInt(r));
+    graph::NodeAttrs attrs;
+    attrs.median_pos = geo::LatLng{lat_col->GetDouble(r), lon_col->GetDouble(r)};
+    attrs.center_pos = hex::CellToLatLng(cell);
+    attrs.message_count = cnt_col->GetInt(r);
+    attrs.distinct_vessels = vessels_col->GetInt(r);
+    attrs.median_sog = sog_col->GetDouble(r);
+    attrs.median_cog = cog_col->GetDouble(r);
+    g.AddNode(cell, attrs);
+  }
+
+  HABIT_ASSIGN_OR_RETURN(const db::Column* lag_col,
+                         transition_stats.GetColumn("lag_cell"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* to_col,
+                         transition_stats.GetColumn("cell"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* trans_col,
+                         transition_stats.GetColumn("transitions"));
+  HABIT_ASSIGN_OR_RETURN(const db::Column* dist_col,
+                         transition_stats.GetColumn("grid_distance"));
+
+  // Accumulate transition counts per directed cell pair. With
+  // expand_transitions, a jump of grid distance g > 1 contributes its count
+  // to every consecutive pair along the hex grid path between the two
+  // cells (the discretization skipped those cells, not the vessel).
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      return std::hash<uint64_t>()(p.first * 0x9e3779b97f4a7c15ULL ^
+                                   p.second);
+    }
+  };
+  std::unordered_map<std::pair<uint64_t, uint64_t>, int64_t, PairHash> accum;
+  for (size_t r = 0; r < transition_stats.num_rows(); ++r) {
+    const auto u = static_cast<hex::CellId>(lag_col->GetInt(r));
+    const auto v = static_cast<hex::CellId>(to_col->GetInt(r));
+    const int64_t transitions = trans_col->GetInt(r);
+    const int64_t grid_dist =
+        dist_col->IsValid(r) ? dist_col->GetInt(r) : 1;
+    if (config.expand_transitions && grid_dist > 1) {
+      auto path = hex::GridPathCells(u, v);
+      if (path.ok() && path.value().size() >= 2) {
+        const auto& cells = path.value();
+        for (size_t i = 1; i < cells.size(); ++i) {
+          accum[{cells[i - 1], cells[i]}] += transitions;
+        }
+        continue;
+      }
+    }
+    accum[{u, v}] += transitions;
+  }
+
+  for (const auto& [pair, transitions] : accum) {
+    const auto [u, v] = pair;
+    // Intermediate cells materialized by the expansion carry no AIS
+    // statistics; give them their geometric center as the median position
+    // so the inverse projection stays well-defined.
+    for (const uint64_t cell : {u, v}) {
+      if (!g.HasNode(cell)) {
+        graph::NodeAttrs attrs;
+        attrs.center_pos = hex::CellToLatLng(cell);
+        attrs.median_pos = attrs.center_pos;
+        g.AddNode(cell, attrs);
+      }
+    }
+    const auto dist = hex::GridDistance(u, v);
+    graph::EdgeAttrs attrs;
+    attrs.transitions = transitions;
+    attrs.grid_distance = dist.ok() ? dist.value() : 1;
+    attrs.weight = EdgeCost(config.edge_cost, transitions) *
+                   static_cast<double>(std::max<int64_t>(1, attrs.grid_distance));
+    g.AddEdge(u, v, attrs);
+  }
+  return g;
+}
+
+Result<graph::Digraph> BuildGraphFromTrips(const std::vector<ais::Trip>& trips,
+                                           const HabitConfig& config) {
+  if (config.resolution < 0 || config.resolution > hex::kMaxResolution) {
+    return Status::InvalidArgument("resolution out of range");
+  }
+  const db::Table ais_table = TripsToTable(trips, config.resolution);
+  HABIT_ASSIGN_OR_RETURN(db::Table cell_stats,
+                         ComputeCellStats(ais_table, config));
+  HABIT_ASSIGN_OR_RETURN(db::Table transition_stats,
+                         ComputeTransitionStats(ais_table, config));
+  return BuildTransitionGraph(cell_stats, transition_stats, config);
+}
+
+}  // namespace habit::core

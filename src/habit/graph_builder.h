@@ -1,0 +1,45 @@
+// Graph generation (Section 3.2): projects trips onto the hex grid with a
+// minidb CTE — LAG per trip, then two-level aggregation — and assembles the
+// transition graph with per-cell statistics.
+#pragma once
+
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/status.h"
+#include "graph/digraph.h"
+#include "habit/config.h"
+#include "minidb/table.h"
+
+namespace habit::core {
+
+/// \brief Converts trips to the flat AIS table the CTE consumes. Columns:
+/// trip_id, mmsi, ts, lon, lat, sog, cog, cell (the H3 cell id at the
+/// configured resolution, stored as int64).
+db::Table TripsToTable(const std::vector<ais::Trip>& trips, int resolution);
+
+/// \brief The per-cell statistics table (group by cl):
+/// cell, cnt, vessels, med_lon, med_lat, med_sog, med_cog.
+Result<db::Table> ComputeCellStats(const db::Table& ais_table,
+                                   const HabitConfig& config);
+
+/// \brief The transition statistics table (group by (lag_cl, cl), with
+/// lag_cl != cl): lag_cell, cell, transitions, grid_distance.
+Result<db::Table> ComputeTransitionStats(const db::Table& ais_table,
+                                         const HabitConfig& config);
+
+/// \brief Assembles the weighted digraph from the two statistics tables.
+/// Nodes carry median lon/lat, message count, distinct vessels; edges carry
+/// transition counts and the configured traversal cost.
+Result<graph::Digraph> BuildTransitionGraph(const db::Table& cell_stats,
+                                            const db::Table& transition_stats,
+                                            const HabitConfig& config);
+
+/// Convenience: full Section 3.2 pipeline from trips to graph.
+Result<graph::Digraph> BuildGraphFromTrips(const std::vector<ais::Trip>& trips,
+                                           const HabitConfig& config);
+
+/// Edge traversal cost under the policy, given a transition count.
+double EdgeCost(EdgeCostPolicy policy, int64_t transitions);
+
+}  // namespace habit::core

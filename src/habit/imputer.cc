@@ -1,0 +1,239 @@
+#include "habit/imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "graph/shortest_path.h"
+
+namespace habit::core {
+
+Imputer::Imputer(const graph::Digraph* graph, const HabitConfig& config)
+    : graph_(graph), config_(config) {
+  graph_->ForEachEdge([this](graph::NodeId, graph::NodeId v,
+                             const graph::EdgeAttrs&) { ++in_degree_[v]; });
+}
+
+std::vector<hex::CellId> Imputer::SnapCandidates(
+    const geo::LatLng& p, SnapRole role, size_t max_candidates) const {
+  std::vector<hex::CellId> found;
+  if (!p.IsValid()) return found;
+  const hex::CellId own = hex::LatLngToCell(p, config_.resolution);
+  if (own == hex::kInvalidCell) return found;
+
+  // A source must have somewhere to go; a target must be enterable.
+  auto usable = [&](hex::CellId c) {
+    if (!graph_->HasNode(c)) return false;
+    switch (role) {
+      case SnapRole::kSource:
+        return !graph_->OutEdges(c).empty();
+      case SnapRole::kTarget:
+        return in_degree_.contains(c);
+      case SnapRole::kAny:
+        return true;
+    }
+    return true;
+  };
+  if (usable(own)) found.push_back(own);
+
+  // Expand rings a few steps beyond the first hit so the search has
+  // alternatives when the nearest nodes belong to dead-end fragments.
+  int rings_after_hit = 0;
+  for (int k = 1; k <= config_.max_snap_ring; ++k) {
+    if (!found.empty() && ++rings_after_hit > 12) break;
+    if (found.size() >= max_candidates) break;
+    for (const hex::CellId c : hex::GridRing(own, k)) {
+      if (usable(c)) found.push_back(c);
+    }
+  }
+  std::sort(found.begin(), found.end(), [&](hex::CellId a, hex::CellId b) {
+    return geo::HaversineMeters(p, hex::CellToLatLng(a)) <
+           geo::HaversineMeters(p, hex::CellToLatLng(b));
+  });
+  if (found.size() > max_candidates) found.resize(max_candidates);
+  return found;
+}
+
+Result<hex::CellId> Imputer::SnapToNode(const geo::LatLng& p) const {
+  if (!p.IsValid()) {
+    return Status::InvalidArgument("invalid gap endpoint " + p.ToString());
+  }
+  const std::vector<hex::CellId> candidates =
+      SnapCandidates(p, SnapRole::kAny, 1);
+  if (candidates.empty()) {
+    return Status::Unreachable("no graph node within " +
+                               std::to_string(config_.max_snap_ring) +
+                               " rings of " + p.ToString());
+  }
+  return candidates.front();
+}
+
+geo::LatLng Imputer::ProjectCell(hex::CellId cell) const {
+  if (config_.projection == Projection::kDataMedian) {
+    auto attrs = graph_->GetNode(cell);
+    if (attrs.ok() && attrs.value().message_count > 0) {
+      return attrs.value().median_pos;
+    }
+  }
+  return hex::CellToLatLng(cell);
+}
+
+Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
+                                   const geo::LatLng& gap_end,
+                                   int64_t t_start, int64_t t_end) const {
+  const std::vector<hex::CellId> src_cands =
+      SnapCandidates(gap_start, SnapRole::kSource);
+  const std::vector<hex::CellId> dst_cands =
+      SnapCandidates(gap_end, SnapRole::kTarget);
+  if (src_cands.empty() || dst_cands.empty()) {
+    return Status::Unreachable(
+        "gap endpoint could not be snapped to the transition graph");
+  }
+
+  // Trivial case: both endpoints share a candidate cell.
+  for (const hex::CellId s : src_cands) {
+    if (s == dst_cands.front() &&
+        s == hex::LatLngToCell(gap_end, config_.resolution)) {
+      Imputation result;
+      result.cells = {s};
+      result.path = {gap_start, gap_end};
+      result.timestamps = {t_start, t_end};
+      return result;
+    }
+  }
+
+  // Multi-source / multi-target A*: every source candidate is seeded with a
+  // cost proportional to its snap displacement (so the search prefers
+  // nearby, *connected* entry points without committing to one up front);
+  // the search settles the first destination candidate reached.
+  //
+  // Costs are measured in "hops" (edge weights are >= 1 per grid step for
+  // the hop-based policies), so displacements are converted via the cell
+  // pitch at this resolution.
+  const double cell_pitch_m =
+      hex::EdgeLengthMeters(config_.resolution) * 1.7320508;
+  const double min_edge_cost =
+      config_.edge_cost == EdgeCostPolicy::kInverseFrequency ? 0.05 : 1.0;
+
+  std::unordered_set<graph::NodeId> targets(dst_cands.begin(),
+                                            dst_cands.end());
+  // Heuristic: grid distance to the destination's own cell, reduced by the
+  // candidate spread so it never overestimates the cost to any target.
+  const hex::CellId dst_anchor = dst_cands.front();
+  int64_t dst_spread = 0;
+  for (const hex::CellId d : dst_cands) {
+    const auto gd = hex::GridDistance(dst_anchor, d);
+    if (gd.ok()) dst_spread = std::max(dst_spread, gd.value());
+  }
+  auto heuristic = [&](graph::NodeId n) {
+    const auto gd = hex::GridDistance(static_cast<hex::CellId>(n), dst_anchor);
+    if (!gd.ok()) return 0.0;
+    return std::max<double>(0.0, static_cast<double>(gd.value() - dst_spread)) *
+           min_edge_cost;
+  };
+
+  struct Entry {
+    double priority;
+    graph::NodeId node;
+    bool operator>(const Entry& o) const { return priority > o.priority; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::unordered_map<graph::NodeId, double> dist;
+  std::unordered_map<graph::NodeId, graph::NodeId> parent;
+  std::unordered_set<graph::NodeId> settled;
+  std::unordered_set<graph::NodeId> sources;
+
+  for (const hex::CellId s : src_cands) {
+    const double seed_cost =
+        geo::HaversineMeters(gap_start, hex::CellToLatLng(s)) / cell_pitch_m;
+    auto it = dist.find(s);
+    if (it == dist.end() || seed_cost < it->second) {
+      dist[s] = seed_cost;
+      queue.push({seed_cost + heuristic(s), s});
+      sources.insert(s);
+    }
+  }
+
+  graph::NodeId reached = 0;
+  bool found = false;
+  size_t expanded = 0;
+  while (!queue.empty()) {
+    const graph::NodeId u = queue.top().node;
+    queue.pop();
+    if (settled.contains(u)) continue;
+    settled.insert(u);
+    ++expanded;
+    if (targets.contains(u)) {
+      reached = u;
+      found = true;
+      break;
+    }
+    const double du = dist[u];
+    for (const auto& [v, attrs] : graph_->OutEdges(u)) {
+      if (settled.contains(v)) continue;
+      const double cand = du + attrs.weight;
+      auto it = dist.find(v);
+      if (it == dist.end() || cand < it->second) {
+        dist[v] = cand;
+        parent[v] = u;
+        queue.push({cand + heuristic(v), v});
+      }
+    }
+  }
+  if (!found) {
+    return Status::Unreachable(
+        "no snap candidate pair is connected in the transition graph");
+  }
+
+  Imputation result;
+  result.expanded = expanded;
+  {
+    std::vector<hex::CellId> rev;
+    graph::NodeId cur = reached;
+    rev.push_back(static_cast<hex::CellId>(cur));
+    while (!sources.contains(cur) || parent.contains(cur)) {
+      auto it = parent.find(cur);
+      if (it == parent.end()) break;
+      cur = it->second;
+      rev.push_back(static_cast<hex::CellId>(cur));
+    }
+    result.cells.assign(rev.rbegin(), rev.rend());
+  }
+
+  // Inverse projection (Section 3.3): cells -> coordinates under option p,
+  // bracketed by the true gap boundary points.
+  geo::Polyline line;
+  line.reserve(result.cells.size() + 2);
+  line.push_back(gap_start);
+  for (const hex::CellId c : result.cells) {
+    const geo::LatLng p = ProjectCell(c);
+    if (geo::HaversineMeters(line.back(), p) > 1.0) line.push_back(p);
+  }
+  if (geo::HaversineMeters(line.back(), gap_end) > 1.0 || line.size() == 1) {
+    line.push_back(gap_end);
+  } else {
+    line.back() = gap_end;
+  }
+
+  // Section 3.4: RDP simplification for a navigable, smooth path.
+  result.path = geo::RdpSimplify(line, config_.rdp_tolerance_m);
+
+  // Timestamps by arc-length interpolation across the gap duration.
+  result.timestamps.resize(result.path.size(), t_start);
+  const double total = geo::PolylineLengthMeters(result.path);
+  if (total > 0 && t_end > t_start) {
+    double acc = 0;
+    for (size_t i = 1; i < result.path.size(); ++i) {
+      acc += geo::HaversineMeters(result.path[i - 1], result.path[i]);
+      result.timestamps[i] = t_start + static_cast<int64_t>(std::llround(
+                                           (t_end - t_start) * (acc / total)));
+    }
+  } else if (!result.timestamps.empty()) {
+    result.timestamps.back() = t_end;
+  }
+  return result;
+}
+
+}  // namespace habit::core

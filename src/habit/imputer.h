@@ -1,0 +1,73 @@
+// Trajectory imputation (Section 3.3) and simplification (Section 3.4):
+// snap gap endpoints to graph nodes, run A* over transition costs, project
+// the cell sequence back to coordinates (center or data-driven median), and
+// smooth the result with RDP.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "geo/polyline.h"
+#include "graph/digraph.h"
+#include "habit/config.h"
+#include "hexgrid/hexgrid.h"
+
+namespace habit::core {
+
+/// \brief An imputed gap fill.
+struct Imputation {
+  /// The imputed path in coordinates, starting at the gap start point and
+  /// ending at the gap end point (after inverse projection + RDP).
+  geo::Polyline path;
+  /// The traversed cell sequence (before simplification).
+  std::vector<hex::CellId> cells;
+  /// Timestamps assigned to `path` points by arc-length interpolation
+  /// between the gap boundary times (same size as `path`).
+  std::vector<int64_t> timestamps;
+  /// Search effort (settled nodes), for performance analysis.
+  size_t expanded = 0;
+};
+
+/// \brief Imputes gaps against a prebuilt transition graph.
+class Imputer {
+ public:
+  /// The graph must outlive the imputer.
+  Imputer(const graph::Digraph* graph, const HabitConfig& config);
+
+  /// \brief Fills the gap between two boundary reports.
+  ///
+  /// `t_start` / `t_end` are the boundary timestamps used to assign times to
+  /// imputed points. Fails with kUnreachable when the graph cannot connect
+  /// the endpoints (disconnected components or snap failure).
+  Result<Imputation> Impute(const geo::LatLng& gap_start,
+                            const geo::LatLng& gap_end, int64_t t_start = 0,
+                            int64_t t_end = 0) const;
+
+  /// Maps a point to its graph node: its own cell if present, else the
+  /// nearest node cell by expanding k-ring search (Section 3.3).
+  Result<hex::CellId> SnapToNode(const geo::LatLng& p) const;
+
+  /// Where a snap candidate will sit in the search, which decides the
+  /// degree filter applied (sources need out-edges, targets in-edges).
+  enum class SnapRole { kAny, kSource, kTarget };
+
+  /// Nearby candidate graph nodes for `p`, sorted by distance. Candidates
+  /// from several rings are returned so the search can avoid snapping onto
+  /// a disconnected fragment or a directed dead-end of the transition graph.
+  std::vector<hex::CellId> SnapCandidates(const geo::LatLng& p,
+                                          SnapRole role = SnapRole::kAny,
+                                          size_t max_candidates = 48) const;
+
+  /// Inverse projection of one cell under the configured option p.
+  geo::LatLng ProjectCell(hex::CellId cell) const;
+
+ private:
+  const graph::Digraph* graph_;
+  HabitConfig config_;
+  /// Nodes with at least one incoming edge (out-degree is cheap to query
+  /// from the graph; in-degree is precomputed here).
+  std::unordered_map<graph::NodeId, int> in_degree_;
+};
+
+}  // namespace habit::core

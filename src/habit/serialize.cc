@@ -1,0 +1,105 @@
+#include "habit/serialize.h"
+
+#include <algorithm>
+
+#include "habit/graph_builder.h"
+#include "hexgrid/hexgrid.h"
+#include "minidb/csv.h"
+
+namespace habit::core {
+
+db::Table GraphNodesToTable(const graph::Digraph& g) {
+  db::Table t(db::Schema{{"cell", db::DataType::kInt64},
+                         {"med_lon", db::DataType::kDouble},
+                         {"med_lat", db::DataType::kDouble},
+                         {"cnt", db::DataType::kInt64},
+                         {"vessels", db::DataType::kInt64},
+                         {"med_sog", db::DataType::kDouble},
+                         {"med_cog", db::DataType::kDouble}});
+  g.ForEachNode([&](graph::NodeId id, const graph::NodeAttrs& attrs) {
+    t.column(0).AppendInt(static_cast<int64_t>(id));
+    t.column(1).AppendDouble(attrs.median_pos.lng);
+    t.column(2).AppendDouble(attrs.median_pos.lat);
+    t.column(3).AppendInt(attrs.message_count);
+    t.column(4).AppendInt(attrs.distinct_vessels);
+    t.column(5).AppendDouble(attrs.median_sog);
+    t.column(6).AppendDouble(attrs.median_cog);
+  });
+  return t;
+}
+
+db::Table GraphEdgesToTable(const graph::Digraph& g) {
+  db::Table t(db::Schema{{"src", db::DataType::kInt64},
+                         {"dst", db::DataType::kInt64},
+                         {"transitions", db::DataType::kInt64},
+                         {"grid_distance", db::DataType::kInt64}});
+  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v,
+                    const graph::EdgeAttrs& attrs) {
+    t.column(0).AppendInt(static_cast<int64_t>(u));
+    t.column(1).AppendInt(static_cast<int64_t>(v));
+    t.column(2).AppendInt(attrs.transitions);
+    t.column(3).AppendInt(attrs.grid_distance);
+  });
+  return t;
+}
+
+Status SaveGraphCsv(const graph::Digraph& g, const std::string& prefix) {
+  HABIT_RETURN_NOT_OK(
+      db::WriteCsv(GraphNodesToTable(g), prefix + "_nodes.csv"));
+  return db::WriteCsv(GraphEdgesToTable(g), prefix + "_edges.csv");
+}
+
+Result<graph::Digraph> LoadGraphCsv(const std::string& prefix,
+                                    const HabitConfig& config) {
+  HABIT_ASSIGN_OR_RETURN(db::Table nodes,
+                         db::ReadCsv(prefix + "_nodes.csv"));
+  HABIT_ASSIGN_OR_RETURN(db::Table edges,
+                         db::ReadCsv(prefix + "_edges.csv"));
+
+  graph::Digraph g;
+  {
+    HABIT_ASSIGN_OR_RETURN(const db::Column* cell, nodes.GetColumn("cell"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* lon, nodes.GetColumn("med_lon"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* lat, nodes.GetColumn("med_lat"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* cnt, nodes.GetColumn("cnt"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* vessels,
+                           nodes.GetColumn("vessels"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* sog, nodes.GetColumn("med_sog"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* cog, nodes.GetColumn("med_cog"));
+    for (size_t r = 0; r < nodes.num_rows(); ++r) {
+      const auto id = static_cast<hex::CellId>(cell->GetInt(r));
+      if (!hex::IsValidCell(id)) {
+        return Status::InvalidArgument("corrupt node row " +
+                                       std::to_string(r));
+      }
+      graph::NodeAttrs attrs;
+      attrs.median_pos = geo::LatLng{lat->GetDouble(r), lon->GetDouble(r)};
+      attrs.center_pos = hex::CellToLatLng(id);
+      attrs.message_count = cnt->GetInt(r);
+      attrs.distinct_vessels = vessels->GetInt(r);
+      attrs.median_sog = sog->GetDouble(r);
+      attrs.median_cog = cog->GetDouble(r);
+      g.AddNode(id, attrs);
+    }
+  }
+  {
+    HABIT_ASSIGN_OR_RETURN(const db::Column* src, edges.GetColumn("src"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* dst, edges.GetColumn("dst"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* trans,
+                           edges.GetColumn("transitions"));
+    HABIT_ASSIGN_OR_RETURN(const db::Column* dist,
+                           edges.GetColumn("grid_distance"));
+    for (size_t r = 0; r < edges.num_rows(); ++r) {
+      graph::EdgeAttrs attrs;
+      attrs.transitions = trans->GetInt(r);
+      attrs.grid_distance = std::max<int64_t>(1, dist->GetInt(r));
+      attrs.weight = EdgeCost(config.edge_cost, attrs.transitions) *
+                     static_cast<double>(attrs.grid_distance);
+      g.AddEdge(static_cast<graph::NodeId>(src->GetInt(r)),
+                static_cast<graph::NodeId>(dst->GetInt(r)), attrs);
+    }
+  }
+  return g;
+}
+
+}  // namespace habit::core

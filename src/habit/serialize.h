@@ -1,0 +1,32 @@
+// Model persistence: a built HABIT transition graph is two relational
+// tables (node statistics, edge statistics), saved and loaded as CSV via
+// minidb. The on-disk artifact is exactly what Table 2 of the paper sizes.
+#pragma once
+
+#include <string>
+
+#include "core/status.h"
+#include "graph/digraph.h"
+#include "habit/config.h"
+#include "minidb/table.h"
+
+namespace habit::core {
+
+/// Converts the graph's node statistics to a minidb table with columns:
+/// cell, med_lon, med_lat, cnt, vessels, med_sog, med_cog.
+db::Table GraphNodesToTable(const graph::Digraph& g);
+
+/// Converts the graph's edges to a minidb table with columns:
+/// src, dst, transitions, grid_distance.
+db::Table GraphEdgesToTable(const graph::Digraph& g);
+
+/// Writes the graph as `<prefix>_nodes.csv` and `<prefix>_edges.csv`.
+Status SaveGraphCsv(const graph::Digraph& g, const std::string& prefix);
+
+/// Rebuilds a graph from files written by SaveGraphCsv. Edge weights are
+/// recomputed under the given config's edge-cost policy, so a saved model
+/// can be reloaded with a different policy (an ablation the benches use).
+Result<graph::Digraph> LoadGraphCsv(const std::string& prefix,
+                                    const HabitConfig& config);
+
+}  // namespace habit::core

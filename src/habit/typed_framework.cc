@@ -1,0 +1,43 @@
+#include "habit/typed_framework.h"
+
+namespace habit::core {
+
+Result<std::unique_ptr<TypedHabitFramework>> TypedHabitFramework::Build(
+    const std::vector<ais::Trip>& trips, const HabitConfig& config,
+    size_t min_trips_per_type) {
+  auto out = std::unique_ptr<TypedHabitFramework>(new TypedHabitFramework());
+  HABIT_ASSIGN_OR_RETURN(out->combined_, HabitFramework::Build(trips, config));
+
+  std::map<ais::VesselType, std::vector<ais::Trip>> by_type;
+  for (const ais::Trip& t : trips) by_type[t.type].push_back(t);
+  for (auto& [type, type_trips] : by_type) {
+    if (type_trips.size() < min_trips_per_type) continue;
+    auto fw = HabitFramework::Build(type_trips, config);
+    // Thin per-type data may fail to form a graph; the combined fallback
+    // then serves that type.
+    if (fw.ok()) out->typed_.emplace(type, fw.MoveValue());
+  }
+  return out;
+}
+
+Result<Imputation> TypedHabitFramework::Impute(ais::VesselType type,
+                                               const geo::LatLng& gap_start,
+                                               const geo::LatLng& gap_end,
+                                               int64_t t_start,
+                                               int64_t t_end) const {
+  const auto it = typed_.find(type);
+  if (it != typed_.end()) {
+    auto result = it->second->Impute(gap_start, gap_end, t_start, t_end);
+    if (result.ok()) return result;
+    // Typed graph disconnected for this gap: fall through to combined.
+  }
+  return combined_->Impute(gap_start, gap_end, t_start, t_end);
+}
+
+size_t TypedHabitFramework::SerializedSizeBytes() const {
+  size_t total = combined_->SerializedSizeBytes();
+  for (const auto& [type, fw] : typed_) total += fw->SerializedSizeBytes();
+  return total;
+}
+
+}  // namespace habit::core

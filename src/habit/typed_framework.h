@@ -1,0 +1,50 @@
+// Vessel-type-aware imputation. The paper (Section 1) notes that large or
+// deep-draught vessels cannot navigate narrow straits or shallow waters, so
+// the type of the vessel "can be taken into account". This facade builds
+// one transition graph per vessel type (plus a combined fallback) and
+// routes each query to the graph matching the querying vessel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "habit/framework.h"
+
+namespace habit::core {
+
+/// \brief A family of HABIT frameworks keyed by vessel type.
+class TypedHabitFramework {
+ public:
+  /// Builds per-type frameworks for every type with at least `min_trips`
+  /// training trips, plus a combined all-types fallback. Fails only if the
+  /// combined framework cannot be built.
+  static Result<std::unique_ptr<TypedHabitFramework>> Build(
+      const std::vector<ais::Trip>& trips, const HabitConfig& config,
+      size_t min_trips_per_type = 8);
+
+  /// Imputes using the graph for `type` when one exists (falling back to
+  /// the combined graph, also when the typed graph cannot connect the
+  /// endpoints).
+  Result<Imputation> Impute(ais::VesselType type, const geo::LatLng& gap_start,
+                            const geo::LatLng& gap_end, int64_t t_start = 0,
+                            int64_t t_end = 0) const;
+
+  /// True iff a dedicated graph exists for the type.
+  bool HasTypedModel(ais::VesselType type) const {
+    return typed_.contains(type);
+  }
+
+  const HabitFramework& combined() const { return *combined_; }
+
+  /// Total persisted size across all graphs.
+  size_t SerializedSizeBytes() const;
+
+ private:
+  TypedHabitFramework() = default;
+
+  std::unique_ptr<HabitFramework> combined_;
+  std::map<ais::VesselType, std::unique_ptr<HabitFramework>> typed_;
+};
+
+}  // namespace habit::core

@@ -1,0 +1,256 @@
+#include "minidb/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace habit::db {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount: return "count";
+    case AggKind::kCountNonNull: return "count_non_null";
+    case AggKind::kSum: return "sum";
+    case AggKind::kAvg: return "avg";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kFirst: return "first";
+    case AggKind::kLast: return "last";
+    case AggKind::kMedianExact: return "median";
+    case AggKind::kMedianP2: return "approx_median";
+    case AggKind::kApproxCountDistinct: return "approx_count_distinct";
+    case AggKind::kStddev: return "stddev";
+    case AggKind::kVariance: return "variance";
+  }
+  return "?";
+}
+
+DataType AggOutputType(AggKind kind, DataType input) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kCountNonNull:
+    case AggKind::kApproxCountDistinct:
+      return DataType::kInt64;
+    case AggKind::kSum:
+      return input == DataType::kInt64 ? DataType::kInt64 : DataType::kDouble;
+    case AggKind::kAvg:
+    case AggKind::kMedianExact:
+    case AggKind::kMedianP2:
+    case AggKind::kStddev:
+    case AggKind::kVariance:
+      return DataType::kDouble;
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kFirst:
+    case AggKind::kLast:
+      return input;
+  }
+  return DataType::kDouble;
+}
+
+namespace {
+
+class CountAgg : public Aggregator {
+ public:
+  explicit CountAgg(bool non_null_only) : non_null_only_(non_null_only) {}
+  void Add(const Value& v) override {
+    if (!non_null_only_ || !v.is_null()) ++count_;
+  }
+  Value Finish() const override { return Value::Int(count_); }
+
+ private:
+  bool non_null_only_;
+  int64_t count_ = 0;
+};
+
+class SumAgg : public Aggregator {
+ public:
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    seen_ = true;
+    if (!v.is_int()) all_int_ = false;
+    sum_ += v.AsDouble();
+    int_sum_ += v.AsInt();
+  }
+  Value Finish() const override {
+    if (!seen_) return Value::Null();
+    return all_int_ ? Value::Int(int_sum_) : Value::Real(sum_);
+  }
+
+ private:
+  bool seen_ = false;
+  bool all_int_ = true;
+  double sum_ = 0;
+  int64_t int_sum_ = 0;
+};
+
+class AvgAgg : public Aggregator {
+ public:
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    sum_ += v.AsDouble();
+    ++count_;
+  }
+  Value Finish() const override {
+    if (count_ == 0) return Value::Null();
+    return Value::Real(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+class MinMaxAgg : public Aggregator {
+ public:
+  explicit MinMaxAgg(bool is_min) : is_min_(is_min) {}
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    if (!seen_) {
+      best_ = v;
+      seen_ = true;
+      return;
+    }
+    const bool smaller = v < best_;
+    if (smaller == is_min_ && !(v == best_)) best_ = v;
+  }
+  Value Finish() const override { return seen_ ? best_ : Value::Null(); }
+
+ private:
+  bool is_min_;
+  bool seen_ = false;
+  Value best_;
+};
+
+class FirstLastAgg : public Aggregator {
+ public:
+  explicit FirstLastAgg(bool is_first) : is_first_(is_first) {}
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    if (is_first_ && seen_) return;
+    best_ = v;
+    seen_ = true;
+  }
+  Value Finish() const override { return seen_ ? best_ : Value::Null(); }
+
+ private:
+  bool is_first_;
+  bool seen_ = false;
+  Value best_;
+};
+
+class MedianExactAgg : public Aggregator {
+ public:
+  void Add(const Value& v) override {
+    if (!v.is_null()) med_.Add(v.AsDouble());
+  }
+  Value Finish() const override {
+    if (med_.count() == 0) return Value::Null();
+    return Value::Real(med_.Median());
+  }
+
+ private:
+  sketch::ExactMedian med_;
+};
+
+class MedianP2Agg : public Aggregator {
+ public:
+  MedianP2Agg() : q_(0.5) {}
+  void Add(const Value& v) override {
+    if (!v.is_null()) q_.Add(v.AsDouble());
+  }
+  Value Finish() const override {
+    if (q_.count() == 0) return Value::Null();
+    return Value::Real(q_.Estimate());
+  }
+
+ private:
+  sketch::P2Quantile q_;
+};
+
+// Welford's online algorithm for numerically stable variance.
+class VarianceAgg : public Aggregator {
+ public:
+  explicit VarianceAgg(bool stddev) : stddev_(stddev) {}
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    const double x = v.AsDouble();
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+  Value Finish() const override {
+    if (count_ < 2) return Value::Null();
+    const double var = m2_ / static_cast<double>(count_ - 1);
+    return Value::Real(stddev_ ? std::sqrt(var) : var);
+  }
+
+ private:
+  bool stddev_;
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+class ApproxCountDistinctAgg : public Aggregator {
+ public:
+  explicit ApproxCountDistinctAgg(int precision) : hll_(precision) {}
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    if (v.is_string()) {
+      hll_.AddString(v.AsString());
+    } else if (v.is_int()) {
+      hll_.AddInt(static_cast<uint64_t>(v.AsInt()));
+    } else {
+      const double d = v.AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      hll_.AddInt(bits);
+    }
+  }
+  Value Finish() const override {
+    return Value::Int(static_cast<int64_t>(std::llround(hll_.Estimate())));
+  }
+
+ private:
+  sketch::HyperLogLog hll_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> MakeAggregator(AggKind kind, int hll_precision) {
+  switch (kind) {
+    case AggKind::kCount:
+      return std::make_unique<CountAgg>(false);
+    case AggKind::kCountNonNull:
+      return std::make_unique<CountAgg>(true);
+    case AggKind::kSum:
+      return std::make_unique<SumAgg>();
+    case AggKind::kAvg:
+      return std::make_unique<AvgAgg>();
+    case AggKind::kMin:
+      return std::make_unique<MinMaxAgg>(true);
+    case AggKind::kMax:
+      return std::make_unique<MinMaxAgg>(false);
+    case AggKind::kFirst:
+      return std::make_unique<FirstLastAgg>(true);
+    case AggKind::kLast:
+      return std::make_unique<FirstLastAgg>(false);
+    case AggKind::kMedianExact:
+      return std::make_unique<MedianExactAgg>();
+    case AggKind::kMedianP2:
+      return std::make_unique<MedianP2Agg>();
+    case AggKind::kApproxCountDistinct:
+      return std::make_unique<ApproxCountDistinctAgg>(hll_precision);
+    case AggKind::kStddev:
+      return std::make_unique<VarianceAgg>(true);
+    case AggKind::kVariance:
+      return std::make_unique<VarianceAgg>(false);
+  }
+  return nullptr;
+}
+
+}  // namespace habit::db

@@ -1,0 +1,52 @@
+// Aggregate functions for minidb's hash group-by. Covers the aggregates the
+// paper's DuckDB CTE uses: count(*), approx_count_distinct (HyperLogLog),
+// median (exact, plus a P^2 approximate variant), and the usual sum/avg/
+// min/max/first/last.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "minidb/value.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/quantile.h"
+
+namespace habit::db {
+
+/// Kinds of supported aggregates.
+enum class AggKind {
+  kCount,               ///< count(*) — counts rows, ignores the input expr
+  kCountNonNull,        ///< count(x)
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kFirst,
+  kLast,
+  kMedianExact,         ///< DuckDB `median`
+  kMedianP2,            ///< constant-memory approximate median
+  kApproxCountDistinct, ///< DuckDB `approx_count_distinct` (HyperLogLog)
+  kStddev,              ///< sample standard deviation (Welford)
+  kVariance,            ///< sample variance (Welford)
+};
+
+const char* AggKindToString(AggKind kind);
+
+/// Result type produced by an aggregate of the given kind over inputs of the
+/// given type.
+DataType AggOutputType(AggKind kind, DataType input);
+
+/// \brief Incremental aggregate state: feed values, then finalize.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual void Add(const Value& v) = 0;
+  virtual Value Finish() const = 0;
+};
+
+/// Creates a fresh aggregator for the kind. `hll_precision` applies to
+/// kApproxCountDistinct only.
+std::unique_ptr<Aggregator> MakeAggregator(AggKind kind,
+                                           int hll_precision = 12);
+
+}  // namespace habit::db

@@ -1,0 +1,168 @@
+#include "minidb/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace habit::db {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  int64_t v;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+std::string EscapeField(const std::string& s, char delim) {
+  if (s.find(delim) == std::string::npos &&
+      s.find('"') == std::string::npos && s.find('\n') == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& content, const CsvOptions& options) {
+  std::istringstream is(content);
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("CSV content is empty (no header)");
+  }
+  const std::vector<std::string> header = SplitLine(line, options.delimiter);
+
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line, options.delimiter);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("CSV row arity mismatch at data row " +
+                                     std::to_string(rows.size() + 1));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  Schema schema;
+  if (options.has_schema) {
+    if (options.schema.num_fields() != header.size()) {
+      return Status::InvalidArgument("provided schema arity != CSV header");
+    }
+    schema = options.schema;
+  } else {
+    // Infer: a column is int64 if all non-empty fields parse as ints,
+    // double if all parse as numbers, string otherwise.
+    for (size_t c = 0; c < header.size(); ++c) {
+      bool all_int = true, all_num = true, any = false;
+      for (const auto& row : rows) {
+        const std::string& f = row[c];
+        if (f.empty()) continue;
+        any = true;
+        if (!LooksLikeInt(f)) all_int = false;
+        if (!LooksLikeDouble(f)) all_num = false;
+      }
+      DataType t = DataType::kString;
+      if (any && all_int) t = DataType::kInt64;
+      else if (any && all_num) t = DataType::kDouble;
+      schema.AddField(header[c], t);
+    }
+  }
+
+  Table table(schema);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      Column& col = table.column(c);
+      const std::string& f = row[c];
+      if (f.empty()) {
+        col.AppendNull();
+      } else if (col.type() == DataType::kInt64) {
+        col.AppendInt(std::strtoll(f.c_str(), nullptr, 10));
+      } else if (col.type() == DataType::kDouble) {
+        col.AppendDouble(std::strtod(f.c_str(), nullptr));
+      } else {
+        col.AppendString(f);
+      }
+    }
+  }
+  return table;
+}
+
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str(), options);
+}
+
+std::string ToCsvString(const Table& table, char delimiter) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+    if (c) os << delimiter;
+    os << EscapeField(table.schema().name(c), delimiter);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) os << delimiter;
+      const Value v = table.column(c).GetValue(r);
+      if (!v.is_null()) os << EscapeField(v.ToString(), delimiter);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsv(const Table& table, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << ToCsvString(table, delimiter);
+  return out ? Status::OK() : Status::IoError("write failed for '" + path + "'");
+}
+
+}  // namespace habit::db

@@ -1,0 +1,33 @@
+// Minimal CSV import/export for minidb tables (header row required).
+#pragma once
+
+#include <string>
+
+#include "core/status.h"
+#include "minidb/table.h"
+
+namespace habit::db {
+
+/// \brief Options for ReadCsv.
+struct CsvOptions {
+  char delimiter = ',';
+  /// If empty, types are inferred per column (int64 -> double -> string).
+  Schema schema;
+  bool has_schema = false;
+};
+
+/// Reads a CSV file into a Table. The first line must be a header.
+Result<Table> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses CSV content from a string (same format as ReadCsv).
+Result<Table> ParseCsv(const std::string& content,
+                       const CsvOptions& options = {});
+
+/// Writes a Table as CSV (with header).
+Status WriteCsv(const Table& table, const std::string& path,
+                char delimiter = ',');
+
+/// Serializes a Table to a CSV string.
+std::string ToCsvString(const Table& table, char delimiter = ',');
+
+}  // namespace habit::db

@@ -1,0 +1,280 @@
+#include "minidb/expr.h"
+
+#include <cmath>
+
+namespace habit::db {
+
+namespace {
+
+class ColExpr : public Expr {
+ public:
+  explicit ColExpr(std::string name) : name_(std::move(name)) {}
+
+  Status Bind(const Table& table) override {
+    index_ = table.schema().FieldIndex(name_);
+    if (index_ < 0) return Status::NotFound("no column named '" + name_ + "'");
+    return Status::OK();
+  }
+
+  Result<Value> Eval(const Table& table, size_t row) const override {
+    if (index_ < 0) return Status::Internal("unbound column '" + name_ + "'");
+    return table.column(static_cast<size_t>(index_)).GetValue(row);
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+  int index_ = -1;
+};
+
+class LitExpr : public Expr {
+ public:
+  explicit LitExpr(Value v) : value_(std::move(v)) {}
+  Status Bind(const Table&) override { return Status::OK(); }
+  Result<Value> Eval(const Table&, size_t) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+const char* OpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Status Bind(const Table& table) override {
+    HABIT_RETURN_NOT_OK(lhs_->Bind(table));
+    return rhs_->Bind(table);
+  }
+
+  Result<Value> Eval(const Table& table, size_t row) const override {
+    HABIT_ASSIGN_OR_RETURN(Value l, lhs_->Eval(table, row));
+    HABIT_ASSIGN_OR_RETURN(Value r, rhs_->Eval(table, row));
+
+    // SQL three-valued logic shortcuts for AND/OR with nulls collapse to
+    // false here (sufficient for filter predicates).
+    if (op_ == BinaryOp::kAnd) return Value::Bool(l.AsBool() && r.AsBool());
+    if (op_ == BinaryOp::kOr) return Value::Bool(l.AsBool() || r.AsBool());
+
+    if (l.is_null() || r.is_null()) {
+      // Comparisons with NULL are false; arithmetic with NULL is NULL.
+      switch (op_) {
+        case BinaryOp::kEq:
+          return Value::Bool(l.is_null() && r.is_null());
+        case BinaryOp::kNe:
+          return Value::Bool(l.is_null() != r.is_null());
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return Value::Bool(false);
+        default:
+          return Value::Null();
+      }
+    }
+
+    if (l.is_string() || r.is_string()) {
+      const std::string& ls = l.AsString();
+      const std::string& rs = r.AsString();
+      switch (op_) {
+        case BinaryOp::kEq: return Value::Bool(ls == rs);
+        case BinaryOp::kNe: return Value::Bool(ls != rs);
+        case BinaryOp::kLt: return Value::Bool(ls < rs);
+        case BinaryOp::kLe: return Value::Bool(ls <= rs);
+        case BinaryOp::kGt: return Value::Bool(ls > rs);
+        case BinaryOp::kGe: return Value::Bool(ls >= rs);
+        case BinaryOp::kAdd: return Value::Text(ls + rs);
+        default:
+          return Status::InvalidArgument("string operands for numeric op");
+      }
+    }
+
+    const bool both_int = l.is_int() && r.is_int();
+    if (both_int) {
+      // Integer comparisons must not round-trip through double: int64
+      // payloads (e.g. packed hex cell ids) exceed double's 53-bit mantissa.
+      const int64_t li = l.AsInt(), ri = r.AsInt();
+      switch (op_) {
+        case BinaryOp::kEq: return Value::Bool(li == ri);
+        case BinaryOp::kNe: return Value::Bool(li != ri);
+        case BinaryOp::kLt: return Value::Bool(li < ri);
+        case BinaryOp::kLe: return Value::Bool(li <= ri);
+        case BinaryOp::kGt: return Value::Bool(li > ri);
+        case BinaryOp::kGe: return Value::Bool(li >= ri);
+        default:
+          break;
+      }
+    }
+    switch (op_) {
+      case BinaryOp::kAdd:
+        return both_int ? Value::Int(l.AsInt() + r.AsInt())
+                        : Value::Real(l.AsDouble() + r.AsDouble());
+      case BinaryOp::kSub:
+        return both_int ? Value::Int(l.AsInt() - r.AsInt())
+                        : Value::Real(l.AsDouble() - r.AsDouble());
+      case BinaryOp::kMul:
+        return both_int ? Value::Int(l.AsInt() * r.AsInt())
+                        : Value::Real(l.AsDouble() * r.AsDouble());
+      case BinaryOp::kDiv:
+        if (r.AsDouble() == 0.0) return Value::Null();
+        return Value::Real(l.AsDouble() / r.AsDouble());
+      case BinaryOp::kMod:
+        if (!both_int || r.AsInt() == 0) return Value::Null();
+        return Value::Int(l.AsInt() % r.AsInt());
+      case BinaryOp::kEq: return Value::Bool(l.AsDouble() == r.AsDouble());
+      case BinaryOp::kNe: return Value::Bool(l.AsDouble() != r.AsDouble());
+      case BinaryOp::kLt: return Value::Bool(l.AsDouble() < r.AsDouble());
+      case BinaryOp::kLe: return Value::Bool(l.AsDouble() <= r.AsDouble());
+      case BinaryOp::kGt: return Value::Bool(l.AsDouble() > r.AsDouble());
+      case BinaryOp::kGe: return Value::Bool(l.AsDouble() >= r.AsDouble());
+      default:
+        return Status::Internal("unhandled binary op");
+    }
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + OpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Status Bind(const Table& table) override { return inner_->Bind(table); }
+  Result<Value> Eval(const Table& table, size_t row) const override {
+    HABIT_ASSIGN_OR_RETURN(Value v, inner_->Eval(table, row));
+    return Value::Bool(!v.AsBool());
+  }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  explicit IsNullExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Status Bind(const Table& table) override { return inner_->Bind(table); }
+  Result<Value> Eval(const Table& table, size_t row) const override {
+    HABIT_ASSIGN_OR_RETURN(Value v, inner_->Eval(table, row));
+    return Value::Bool(v.is_null());
+  }
+  std::string ToString() const override {
+    return inner_->ToString() + " IS NULL";
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+class FnExpr : public Expr {
+ public:
+  FnExpr(std::string name, std::function<Value(const Value&)> fn, ExprPtr arg)
+      : name_(std::move(name)), fn_(std::move(fn)), arg_(std::move(arg)) {}
+  Status Bind(const Table& table) override { return arg_->Bind(table); }
+  Result<Value> Eval(const Table& table, size_t row) const override {
+    HABIT_ASSIGN_OR_RETURN(Value v, arg_->Eval(table, row));
+    return fn_(v);
+  }
+  std::string ToString() const override {
+    return name_ + "(" + arg_->ToString() + ")";
+  }
+
+ private:
+  std::string name_;
+  std::function<Value(const Value&)> fn_;
+  ExprPtr arg_;
+};
+
+class Fn2Expr : public Expr {
+ public:
+  Fn2Expr(std::string name,
+          std::function<Value(const Value&, const Value&)> fn, ExprPtr a,
+          ExprPtr b)
+      : name_(std::move(name)),
+        fn_(std::move(fn)),
+        a_(std::move(a)),
+        b_(std::move(b)) {}
+  Status Bind(const Table& table) override {
+    HABIT_RETURN_NOT_OK(a_->Bind(table));
+    return b_->Bind(table);
+  }
+  Result<Value> Eval(const Table& table, size_t row) const override {
+    HABIT_ASSIGN_OR_RETURN(Value va, a_->Eval(table, row));
+    HABIT_ASSIGN_OR_RETURN(Value vb, b_->Eval(table, row));
+    return fn_(va, vb);
+  }
+  std::string ToString() const override {
+    return name_ + "(" + a_->ToString() + ", " + b_->ToString() + ")";
+  }
+
+ private:
+  std::string name_;
+  std::function<Value(const Value&, const Value&)> fn_;
+  ExprPtr a_, b_;
+};
+
+}  // namespace
+
+ExprPtr Col(const std::string& name) { return std::make_shared<ColExpr>(name); }
+ExprPtr Lit(int64_t v) { return std::make_shared<LitExpr>(Value::Int(v)); }
+ExprPtr Lit(double v) { return std::make_shared<LitExpr>(Value::Real(v)); }
+ExprPtr Lit(const char* v) {
+  return std::make_shared<LitExpr>(Value::Text(v));
+}
+ExprPtr Lit(std::string v) {
+  return std::make_shared<LitExpr>(Value::Text(std::move(v)));
+}
+ExprPtr NullLit() { return std::make_shared<LitExpr>(Value::Null()); }
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Not(ExprPtr inner) { return std::make_shared<NotExpr>(std::move(inner)); }
+
+ExprPtr IsNull(ExprPtr inner) {
+  return std::make_shared<IsNullExpr>(std::move(inner));
+}
+
+ExprPtr Fn(const std::string& name, std::function<Value(const Value&)> fn,
+           ExprPtr arg) {
+  return std::make_shared<FnExpr>(name, std::move(fn), std::move(arg));
+}
+
+ExprPtr Fn2(const std::string& name,
+            std::function<Value(const Value&, const Value&)> fn, ExprPtr a,
+            ExprPtr b) {
+  return std::make_shared<Fn2Expr>(name, std::move(fn), std::move(a),
+                                   std::move(b));
+}
+
+}  // namespace habit::db

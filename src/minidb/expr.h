@@ -1,0 +1,93 @@
+// Expression trees for minidb: column references, literals, arithmetic,
+// comparisons, boolean logic, and a handful of scalar functions. Evaluation
+// is row-at-a-time against a Table.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "minidb/table.h"
+
+namespace habit::db {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Operator kinds for binary expressions.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+/// \brief An evaluable scalar expression over table rows.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates the expression against row `row` of `table`.
+  virtual Result<Value> Eval(const Table& table, size_t row) const = 0;
+
+  /// Resolves column references against the table schema; call once before
+  /// evaluating rows. Default: recurse into children.
+  virtual Status Bind(const Table& table) = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// References a column by name.
+ExprPtr Col(const std::string& name);
+
+/// Integer / real / text / null literals.
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(const char* v);
+ExprPtr Lit(std::string v);
+ExprPtr NullLit();
+
+/// Binary operation node.
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+// Convenience builders.
+inline ExprPtr Add(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAdd, a, b); }
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kSub, a, b); }
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kMul, a, b); }
+inline ExprPtr Div(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kDiv, a, b); }
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kEq, a, b); }
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kNe, a, b); }
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLt, a, b); }
+inline ExprPtr Le(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kLe, a, b); }
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGt, a, b); }
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kGe, a, b); }
+inline ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAnd, a, b); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kOr, a, b); }
+
+/// Logical negation.
+ExprPtr Not(ExprPtr inner);
+
+/// NULL test.
+ExprPtr IsNull(ExprPtr inner);
+
+/// User scalar function of one argument (e.g. hex-cell assignment).
+ExprPtr Fn(const std::string& name, std::function<Value(const Value&)> fn,
+           ExprPtr arg);
+
+/// User scalar function of two arguments.
+ExprPtr Fn2(const std::string& name,
+            std::function<Value(const Value&, const Value&)> fn, ExprPtr a,
+            ExprPtr b);
+
+}  // namespace habit::db

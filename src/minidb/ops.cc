@@ -1,0 +1,321 @@
+#include "minidb/ops.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace habit::db {
+
+namespace {
+
+// Serializes a tuple of key values into a byte string usable as a hash key.
+// Values are type-tagged so Int(1) and Real(1.0) form distinct groups.
+std::string EncodeKey(const Table& t, const std::vector<int>& key_idx,
+                      size_t row) {
+  std::string out;
+  for (int idx : key_idx) {
+    const Value v = t.column(static_cast<size_t>(idx)).GetValue(row);
+    if (v.is_null()) {
+      out.push_back('\x00');
+    } else if (v.is_int()) {
+      out.push_back('\x01');
+      const int64_t x = v.AsInt();
+      out.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    } else if (v.is_double()) {
+      out.push_back('\x02');
+      const double x = v.AsDouble();
+      out.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    } else {
+      out.push_back('\x03');
+      out.append(v.AsString());
+      out.push_back('\x00');
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int>> ResolveColumns(const Table& t,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> idx;
+  idx.reserve(names.size());
+  for (const std::string& n : names) {
+    const int i = t.schema().FieldIndex(n);
+    if (i < 0) return Status::NotFound("no column named '" + n + "'");
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+Table SelectRows(const Table& input, const std::vector<size_t>& rows) {
+  Table out(input.schema());
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    Column& dst = out.column(c);
+    const Column& src = input.column(c);
+    for (size_t r : rows) dst.AppendValue(src.GetValue(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> Filter(const Table& input, const ExprPtr& predicate) {
+  HABIT_RETURN_NOT_OK(predicate->Bind(input));
+  std::vector<size_t> keep;
+  keep.reserve(input.num_rows());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    HABIT_ASSIGN_OR_RETURN(Value v, predicate->Eval(input, r));
+    if (v.AsBool()) keep.push_back(r);
+  }
+  return SelectRows(input, keep);
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<ProjectionSpec>& specs) {
+  Schema schema;
+  for (const ProjectionSpec& s : specs) {
+    schema.AddField(s.name, s.type);
+    HABIT_RETURN_NOT_OK(s.expr->Bind(input));
+  }
+  Table out(schema);
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t c = 0; c < specs.size(); ++c) {
+      HABIT_ASSIGN_OR_RETURN(Value v, specs[c].expr->Eval(input, r));
+      out.column(c).AppendValue(v);
+    }
+  }
+  return out;
+}
+
+Result<Table> SortBy(const Table& input, const std::vector<SortKey>& keys) {
+  std::vector<std::string> names;
+  for (const SortKey& k : keys) names.push_back(k.column);
+  HABIT_ASSIGN_OR_RETURN(std::vector<int> idx, ResolveColumns(input, names));
+
+  std::vector<size_t> order(input.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const Value va = input.column(static_cast<size_t>(idx[k])).GetValue(a);
+      const Value vb = input.column(static_cast<size_t>(idx[k])).GetValue(b);
+      if (va < vb) return keys[k].ascending;
+      if (vb < va) return !keys[k].ascending;
+    }
+    return false;
+  });
+  return SelectRows(input, order);
+}
+
+Result<Table> WindowLag(const Table& input,
+                        const std::vector<std::string>& partition_by,
+                        const std::string& order_by,
+                        const std::string& target,
+                        const std::string& output_name) {
+  HABIT_ASSIGN_OR_RETURN(std::vector<int> part_idx,
+                         ResolveColumns(input, partition_by));
+  const int order_idx = input.schema().FieldIndex(order_by);
+  if (order_idx < 0) {
+    return Status::NotFound("no column named '" + order_by + "'");
+  }
+  const int target_idx = input.schema().FieldIndex(target);
+  if (target_idx < 0) {
+    return Status::NotFound("no column named '" + target + "'");
+  }
+
+  // Group row indices by partition, keeping input order, then sort each
+  // partition by the order column (stable).
+  std::unordered_map<std::string, std::vector<size_t>> partitions;
+  std::vector<std::string> partition_order;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::string key = EncodeKey(input, part_idx, r);
+    auto it = partitions.find(key);
+    if (it == partitions.end()) {
+      partition_order.push_back(key);
+      partitions.emplace(std::move(key), std::vector<size_t>{r});
+    } else {
+      it->second.push_back(r);
+    }
+  }
+
+  // Output schema: input columns + the lag column (same type as target).
+  Schema schema = input.schema();
+  schema.AddField(output_name, input.column(target_idx).type());
+  Table out(schema);
+
+  const Column& order_col = input.column(static_cast<size_t>(order_idx));
+  const Column& target_col = input.column(static_cast<size_t>(target_idx));
+  for (const std::string& key : partition_order) {
+    std::vector<size_t>& rows = partitions[key];
+    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      return order_col.GetValue(a) < order_col.GetValue(b);
+    });
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t r = rows[i];
+      for (size_t c = 0; c < input.num_columns(); ++c) {
+        out.column(c).AppendValue(input.column(c).GetValue(r));
+      }
+      if (i == 0) {
+        out.column(input.num_columns()).AppendNull();
+      } else {
+        out.column(input.num_columns())
+            .AppendValue(target_col.GetValue(rows[i - 1]));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> GroupBy(const Table& input, const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs, int hll_precision) {
+  HABIT_ASSIGN_OR_RETURN(std::vector<int> key_idx,
+                         ResolveColumns(input, keys));
+  std::vector<int> agg_idx;
+  agg_idx.reserve(aggs.size());
+  for (const AggSpec& a : aggs) {
+    if (a.kind == AggKind::kCount) {
+      agg_idx.push_back(-1);
+      continue;
+    }
+    const int i = input.schema().FieldIndex(a.input);
+    if (i < 0) return Status::NotFound("no column named '" + a.input + "'");
+    agg_idx.push_back(i);
+  }
+
+  struct GroupState {
+    size_t exemplar_row;
+    std::vector<std::unique_ptr<Aggregator>> aggregators;
+  };
+  std::unordered_map<std::string, GroupState> groups;
+  std::vector<std::string> group_order;
+
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::string key = EncodeKey(input, key_idx, r);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      GroupState state;
+      state.exemplar_row = r;
+      for (const AggSpec& a : aggs) {
+        state.aggregators.push_back(MakeAggregator(a.kind, hll_precision));
+      }
+      group_order.push_back(key);
+      it = groups.emplace(std::move(key), std::move(state)).first;
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Value v =
+          agg_idx[a] < 0
+              ? Value::Int(1)
+              : input.column(static_cast<size_t>(agg_idx[a])).GetValue(r);
+      it->second.aggregators[a]->Add(v);
+    }
+  }
+
+  Schema schema;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    schema.AddField(keys[k],
+                    input.column(static_cast<size_t>(key_idx[k])).type());
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const DataType in_type =
+        agg_idx[a] < 0 ? DataType::kInt64
+                       : input.column(static_cast<size_t>(agg_idx[a])).type();
+    schema.AddField(aggs[a].output, AggOutputType(aggs[a].kind, in_type));
+  }
+
+  Table out(schema);
+  for (const std::string& key : group_order) {
+    const GroupState& state = groups.at(key);
+    size_t c = 0;
+    for (int idx : key_idx) {
+      out.column(c++).AppendValue(
+          input.column(static_cast<size_t>(idx)).GetValue(state.exemplar_row));
+    }
+    for (const auto& agg : state.aggregators) {
+      out.column(c++).AppendValue(agg->Finish());
+    }
+  }
+  return out;
+}
+
+Table Limit(const Table& input, size_t n) {
+  std::vector<size_t> rows;
+  rows.reserve(std::min(n, input.num_rows()));
+  for (size_t r = 0; r < std::min(n, input.num_rows()); ++r) rows.push_back(r);
+  return SelectRows(input, rows);
+}
+
+Result<Table> Distinct(const Table& input,
+                       const std::vector<std::string>& keys) {
+  std::vector<std::string> names = keys;
+  if (names.empty()) {
+    for (size_t i = 0; i < input.schema().num_fields(); ++i) {
+      names.push_back(input.schema().name(i));
+    }
+  }
+  HABIT_ASSIGN_OR_RETURN(std::vector<int> idx, ResolveColumns(input, names));
+  std::unordered_set<std::string> seen;
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    if (seen.insert(EncodeKey(input, idx, r)).second) keep.push_back(r);
+  }
+  return SelectRows(input, keep);
+}
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key) {
+  const int lk = left.schema().FieldIndex(left_key);
+  if (lk < 0) return Status::NotFound("no column named '" + left_key + "'");
+  const int rk = right.schema().FieldIndex(right_key);
+  if (rk < 0) return Status::NotFound("no column named '" + right_key + "'");
+
+  // Build side: right table, key -> row indices.
+  std::unordered_map<std::string, std::vector<size_t>> build;
+  const std::vector<int> rk_vec{rk};
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (!right.column(static_cast<size_t>(rk)).IsValid(r)) continue;
+    build[EncodeKey(right, rk_vec, r)].push_back(r);
+  }
+
+  // Output schema: left columns + right columns minus the join key,
+  // prefixing collisions.
+  Schema schema = left.schema();
+  std::vector<size_t> right_cols;
+  std::vector<std::string> right_names;
+  for (size_t c = 0; c < right.schema().num_fields(); ++c) {
+    if (static_cast<int>(c) == rk) continue;
+    std::string name = right.schema().name(c);
+    if (schema.FieldIndex(name) >= 0) name = "right_" + name;
+    right_cols.push_back(c);
+    right_names.push_back(name);
+    schema.AddField(name, right.schema().type(c));
+  }
+
+  Table out(schema);
+  const std::vector<int> lk_vec{lk};
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    if (!left.column(static_cast<size_t>(lk)).IsValid(l)) continue;
+    auto it = build.find(EncodeKey(left, lk_vec, l));
+    if (it == build.end()) continue;
+    for (const size_t r : it->second) {
+      size_t c = 0;
+      for (size_t lc = 0; lc < left.num_columns(); ++lc) {
+        out.column(c++).AppendValue(left.column(lc).GetValue(l));
+      }
+      for (const size_t rc : right_cols) {
+        out.column(c++).AppendValue(right.column(rc).GetValue(r));
+      }
+    }
+  }
+  return out;
+}
+
+Status Concat(Table* base, const Table& extra) {
+  if (!(base->schema() == extra.schema())) {
+    return Status::InvalidArgument("Concat: schemas differ");
+  }
+  for (size_t r = 0; r < extra.num_rows(); ++r) {
+    HABIT_RETURN_NOT_OK(base->AppendRow(extra.GetRow(r)));
+  }
+  return Status::OK();
+}
+
+}  // namespace habit::db

@@ -1,0 +1,79 @@
+// Relational operators over minidb tables: filter, project, sort, window
+// LAG, hash group-by, limit, concat. Together they execute the paper's
+// Section 3.2 CTE (lag per trip, two-level aggregation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "minidb/aggregate.h"
+#include "minidb/expr.h"
+#include "minidb/table.h"
+
+namespace habit::db {
+
+/// Rows of `input` where `predicate` evaluates truthy.
+Result<Table> Filter(const Table& input, const ExprPtr& predicate);
+
+/// One output column per (name, expr) pair.
+struct ProjectionSpec {
+  std::string name;
+  ExprPtr expr;
+  DataType type = DataType::kDouble;  ///< output column type
+};
+Result<Table> Project(const Table& input,
+                      const std::vector<ProjectionSpec>& specs);
+
+/// Sort key: column name + direction.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+Result<Table> SortBy(const Table& input, const std::vector<SortKey>& keys);
+
+/// \brief Appends a LAG(target, 1) column computed over partitions.
+///
+/// Equivalent to SQL:
+///   LAG(target) OVER (PARTITION BY partition_by... ORDER BY order_by)
+/// The first row of each partition gets NULL. Input order within equal
+/// order_by values is preserved (stable).
+Result<Table> WindowLag(const Table& input,
+                        const std::vector<std::string>& partition_by,
+                        const std::string& order_by,
+                        const std::string& target,
+                        const std::string& output_name);
+
+/// Aggregate specification for GroupBy.
+struct AggSpec {
+  AggKind kind;
+  std::string input;   ///< input column (ignored for kCount)
+  std::string output;  ///< output column name
+};
+
+/// \brief Hash group-by. Output columns: the key columns (in order) followed
+/// by one column per AggSpec. Group order follows first appearance.
+Result<Table> GroupBy(const Table& input, const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs,
+                      int hll_precision = 12);
+
+/// First `n` rows.
+Table Limit(const Table& input, size_t n);
+
+/// Distinct rows over the named key columns (first occurrence kept, input
+/// order preserved). With empty `keys`, deduplicates over all columns.
+Result<Table> Distinct(const Table& input,
+                       const std::vector<std::string>& keys = {});
+
+/// \brief Inner hash join on equality of `left_key` / `right_key`.
+///
+/// Output columns: all left columns, then all right columns except the
+/// join key; right columns whose names collide get a "right_" prefix.
+/// NULL keys never match (SQL semantics).
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key);
+
+/// Appends rows of `extra` to `base` (schemas must match).
+Status Concat(Table* base, const Table& extra);
+
+}  // namespace habit::db

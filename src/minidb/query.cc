@@ -1,0 +1,55 @@
+#include "minidb/query.h"
+
+namespace habit::db {
+
+template <typename F>
+Query& Query::Apply(F&& f) {
+  if (!status_.ok()) return *this;
+  Result<Table> result = f(table_);
+  if (!result.ok()) {
+    status_ = result.status();
+    return *this;
+  }
+  table_ = result.MoveValue();
+  return *this;
+}
+
+Query& Query::Filter(const ExprPtr& predicate) {
+  return Apply([&](const Table& t) { return db::Filter(t, predicate); });
+}
+
+Query& Query::Project(const std::vector<ProjectionSpec>& specs) {
+  return Apply([&](const Table& t) { return db::Project(t, specs); });
+}
+
+Query& Query::SortBy(const std::vector<SortKey>& keys) {
+  return Apply([&](const Table& t) { return db::SortBy(t, keys); });
+}
+
+Query& Query::WindowLag(const std::vector<std::string>& partition_by,
+                        const std::string& order_by, const std::string& target,
+                        const std::string& output_name) {
+  return Apply([&](const Table& t) {
+    return db::WindowLag(t, partition_by, order_by, target, output_name);
+  });
+}
+
+Query& Query::GroupBy(const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs, int hll_precision) {
+  return Apply([&](const Table& t) {
+    return db::GroupBy(t, keys, aggs, hll_precision);
+  });
+}
+
+Query& Query::Limit(size_t n) {
+  return Apply([&](const Table& t) -> Result<Table> {
+    return db::Limit(t, n);
+  });
+}
+
+Result<Table> Query::Execute() {
+  if (!status_.ok()) return status_;
+  return std::move(table_);
+}
+
+}  // namespace habit::db

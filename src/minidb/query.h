@@ -1,0 +1,52 @@
+// Fluent query builder: chains minidb operators into a pipeline, mirroring
+// how the paper composes its DuckDB CTE. Errors are deferred: the first
+// failing stage short-circuits and Execute() returns its Status.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minidb/ops.h"
+
+namespace habit::db {
+
+/// \brief Deferred operator pipeline over a source table.
+///
+/// Example (the paper's per-cell statistics, Section 3.2):
+///   auto stats = Query(trips)
+///       .WindowLag({"trip_id"}, "ts", "cell", "lag_cell")
+///       .GroupBy({"cell"}, {{AggKind::kCount, "", "cnt"},
+///                           {AggKind::kApproxCountDistinct, "vessel_id",
+///                            "vessels"},
+///                           {AggKind::kMedianExact, "lon", "med_lon"}})
+///       .Execute();
+class Query {
+ public:
+  explicit Query(Table table) : table_(std::move(table)) {}
+
+  Query& Filter(const ExprPtr& predicate);
+  Query& Project(const std::vector<ProjectionSpec>& specs);
+  Query& SortBy(const std::vector<SortKey>& keys);
+  Query& WindowLag(const std::vector<std::string>& partition_by,
+                   const std::string& order_by, const std::string& target,
+                   const std::string& output_name);
+  Query& GroupBy(const std::vector<std::string>& keys,
+                 const std::vector<AggSpec>& aggs, int hll_precision = 12);
+  Query& Limit(size_t n);
+
+  /// Runs the pipeline; returns the final table or the first error.
+  Result<Table> Execute();
+
+ private:
+  template <typename F>
+  Query& Apply(F&& f);
+
+  Table table_;
+  Status status_;
+};
+
+/// Entry point mirroring `SELECT ... FROM table`.
+inline Query From(Table table) { return Query(std::move(table)); }
+
+}  // namespace habit::db

@@ -1,0 +1,58 @@
+// Scalar value model for minidb, the in-memory columnar engine that stands
+// in for DuckDB in this reproduction (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace habit::db {
+
+/// Column data types supported by minidb.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType t);
+
+/// \brief A nullable scalar: null, int64, double, or string.
+class Value {
+ public:
+  Value() : var_(std::monostate{}) {}
+  explicit Value(int64_t v) : var_(v) {}
+  explicit Value(double v) : var_(v) {}
+  explicit Value(std::string v) : var_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Text(std::string v) { return Value(std::move(v)); }
+  static Value Bool(bool b) { return Value(static_cast<int64_t>(b)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(var_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(var_); }
+  bool is_double() const { return std::holds_alternative<double>(var_); }
+  bool is_string() const { return std::holds_alternative<std::string>(var_); }
+
+  int64_t AsInt() const;
+  double AsDouble() const;  ///< ints are widened; strings/null -> NaN
+  const std::string& AsString() const;
+  /// SQL-style truthiness: non-zero numeric; null and strings are false.
+  bool AsBool() const;
+
+  /// Equality in SQL semantics except that null == null here (used for
+  /// group-by keys and tests).
+  bool operator==(const Value& o) const { return var_ == o.var_; }
+
+  /// Ordering for sort operators: null < int/double (numeric order) < string.
+  bool operator<(const Value& o) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> var_;
+};
+
+}  // namespace habit::db

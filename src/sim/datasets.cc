@@ -1,0 +1,228 @@
+#include "sim/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habit::sim {
+
+namespace {
+
+// Simulation epoch: 2024-01-01T00:00:00Z.
+constexpr int64_t kEpoch = 1704067200;
+
+// One voyage of `mmsi` between two ports; appends sampled AIS records.
+void RunVoyage(const World& world, const geo::LatLng& from,
+               const geo::LatLng& to, int64_t mmsi, ais::VesselType type,
+               int64_t depart_ts, const SamplerOptions& sampler, Rng* rng,
+               std::vector<ais::AisRecord>* out, int64_t* arrival_ts) {
+  const VesselKinematics kin = KinematicsFor(type);
+  auto route = world.PlanRoute(from, to);
+  if (!route.ok()) {
+    *arrival_ts = depart_ts + 3600;  // skip unreachable pair
+    return;
+  }
+  const geo::Polyline varied =
+      PerturbRoute(route.value(), kin.lane_wander_m, world.land(), rng);
+  const std::vector<TrackPoint> track =
+      SimulateVoyage(varied, kin, depart_ts, rng);
+  if (track.empty()) {
+    *arrival_ts = depart_ts + 3600;
+    return;
+  }
+  std::vector<ais::AisRecord> reports =
+      SampleAis(track, mmsi, type, sampler, rng);
+  out->insert(out->end(), reports.begin(), reports.end());
+  *arrival_ts = track.back().ts;
+}
+
+std::shared_ptr<World> MakeDanWorld() {
+  auto world = std::make_shared<World>("DAN", geo::LatLng{54.0, 9.0},
+                                       geo::LatLng{58.0, 13.5});
+  world->AddLand(MakeIsland({55.60, 11.50}, 45000, 10, 0.25, 11));
+  world->AddLand(MakeIsland({56.60, 10.80}, 30000, 9, 0.2, 12));
+  world->AddLand(MakeIsland({54.80, 12.40}, 25000, 8, 0.2, 13));
+  world->AddLand(MakeIsland({55.10, 10.00}, 20000, 8, 0.2, 14));
+  world->AddLand(MakeIsland({57.20, 11.90}, 18000, 8, 0.2, 15));
+  const std::vector<std::pair<std::string, geo::LatLng>> ports = {
+      {"esbjerg", {54.30, 9.50}},   {"hvide", {55.90, 9.40}},
+      {"frederikshavn", {57.60, 10.20}}, {"gothenburg", {57.50, 12.90}},
+      {"varberg", {56.30, 13.20}},  {"ystad", {55.00, 13.20}},
+      {"rostock", {54.20, 11.50}},  {"kiel", {54.40, 10.50}},
+      {"helsingborg", {56.00, 12.65}}, {"aarhus", {56.05, 9.90}},
+  };
+  for (const auto& [name, pos] : ports) {
+    world->AddPort({name, EnsureAtSea(world->land(), pos)});
+  }
+  return world;
+}
+
+std::shared_ptr<World> MakeKielWorld() {
+  auto world = std::make_shared<World>("KIEL", geo::LatLng{54.0, 9.5},
+                                       geo::LatLng{58.0, 12.5});
+  world->AddLand(MakeIsland({55.80, 10.90}, 40000, 10, 0.25, 21));
+  world->AddLand(MakeIsland({56.70, 11.60}, 28000, 9, 0.2, 22));
+  world->AddLand(MakeIsland({54.90, 11.60}, 20000, 8, 0.2, 23));
+  world->AddPort({"kiel", EnsureAtSea(world->land(), {54.40, 10.20})});
+  world->AddPort({"gothenburg", EnsureAtSea(world->land(), {57.60, 11.90})});
+  return world;
+}
+
+std::shared_ptr<World> MakeSarWorld() {
+  auto world = std::make_shared<World>("SAR", geo::LatLng{37.40, 23.00},
+                                       geo::LatLng{38.15, 24.00});
+  world->AddLand(MakeIsland({37.74, 23.43}, 9000, 9, 0.25, 31));  // Aegina-like
+  world->AddLand(MakeIsland({37.58, 23.75}, 6000, 8, 0.2, 32));
+  world->AddLand(MakeIsland({37.90, 23.40}, 5000, 8, 0.2, 33));  // Salamis-like
+  world->AddLand(MakeIsland({37.55, 23.25}, 7000, 8, 0.2, 34));
+  const std::vector<std::pair<std::string, geo::LatLng>> ports = {
+      {"piraeus", {37.93, 23.60}},  {"aegina", {37.72, 23.52}},
+      {"poros", {37.50, 23.45}},    {"methana", {37.58, 23.38}},
+      {"salamina", {37.88, 23.50}}, {"lavrio", {37.70, 23.95}},
+  };
+  for (const auto& [name, pos] : ports) {
+    world->AddPort({name, EnsureAtSea(world->land(), pos)});
+  }
+  return world;
+}
+
+}  // namespace
+
+geo::LatLng EnsureAtSea(const geo::LandMask& land, const geo::LatLng& p) {
+  if (!land.IsOnLand(p)) return p;
+  for (double radius_m = 2000; radius_m <= 120000; radius_m += 2000) {
+    for (int b = 0; b < 12; ++b) {
+      const geo::LatLng cand = geo::Destination(p, 30.0 * b, radius_m);
+      if (!land.IsOnLand(cand)) return cand;
+    }
+  }
+  return p;  // give up; callers treat on-land ports as unreachable pairs
+}
+
+Dataset MakeDanDataset(const DatasetOptions& options) {
+  Dataset ds;
+  ds.name = "DAN";
+  ds.world = MakeDanWorld();
+  Rng rng(options.seed);
+
+  const int num_ships = 16;
+  const int voyages_per_ship =
+      std::max(1, static_cast<int>(std::lround(12 * options.scale)));
+  const auto& ports = ds.world->ports();
+  for (int s = 0; s < num_ships; ++s) {
+    const int64_t mmsi = 219000100 + s;
+    int64_t clock = kEpoch + rng.UniformInt(0, 6 * 3600);
+    // Each ship serves a small rotation of 2-4 ports (realistic liner
+    // service), chosen deterministically from the seed.
+    std::vector<int> rotation;
+    const int rot_len = static_cast<int>(rng.UniformInt(2, 4));
+    while (static_cast<int>(rotation.size()) < rot_len) {
+      const int p = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(ports.size()) - 1));
+      if (std::find(rotation.begin(), rotation.end(), p) == rotation.end()) {
+        rotation.push_back(p);
+      }
+    }
+    for (int v = 0; v < voyages_per_ship; ++v) {
+      const int a = rotation[v % rotation.size()];
+      const int b = rotation[(v + 1) % rotation.size()];
+      if (a == b) continue;
+      int64_t arrival = clock;
+      RunVoyage(*ds.world, ports[a].pos, ports[b].pos, mmsi,
+                ais::VesselType::kPassenger, clock, options.sampler, &rng,
+                &ds.records, &arrival);
+      clock = arrival + rng.UniformInt(40 * 60, 4 * 3600);  // port dwell
+    }
+  }
+  return ds;
+}
+
+Dataset MakeKielDataset(const DatasetOptions& options) {
+  Dataset ds;
+  ds.name = "KIEL";
+  ds.world = MakeKielWorld();
+  Rng rng(options.seed + 1);
+
+  const int num_ships = 2;
+  const int voyages_per_ship =
+      std::max(1, static_cast<int>(std::lround(22 * options.scale)));
+  const geo::LatLng kiel = ds.world->ports()[0].pos;
+  const geo::LatLng goth = ds.world->ports()[1].pos;
+  for (int s = 0; s < num_ships; ++s) {
+    const int64_t mmsi = 219000400 + s;
+    int64_t clock = kEpoch + s * 12 * 3600;  // staggered schedules
+    for (int v = 0; v < voyages_per_ship; ++v) {
+      const bool northbound = v % 2 == 0;
+      int64_t arrival = clock;
+      RunVoyage(*ds.world, northbound ? kiel : goth, northbound ? goth : kiel,
+                mmsi, ais::VesselType::kPassenger, clock, options.sampler,
+                &rng, &ds.records, &arrival);
+      clock = arrival + rng.UniformInt(2 * 3600, 6 * 3600);
+    }
+  }
+  return ds;
+}
+
+Dataset MakeSarDataset(const DatasetOptions& options) {
+  Dataset ds;
+  ds.name = "SAR";
+  ds.world = MakeSarWorld();
+  Rng rng(options.seed + 2);
+
+  // SAR reception is uneven: more dropouts and more coverage holes.
+  SamplerOptions sampler = options.sampler;
+  sampler.drop_probability = std::min(0.9, sampler.drop_probability + 0.05);
+  sampler.coverage_holes_per_day = sampler.coverage_holes_per_day * 3.0;
+
+  const int num_ships =
+      std::max(4, static_cast<int>(std::lround(60 * options.scale)));
+  const auto& ports = ds.world->ports();
+  const ais::VesselType kTypes[] = {
+      ais::VesselType::kPassenger, ais::VesselType::kCargo,
+      ais::VesselType::kTanker,    ais::VesselType::kFishing,
+      ais::VesselType::kPleasure,  ais::VesselType::kOther};
+  for (int s = 0; s < num_ships; ++s) {
+    const int64_t mmsi = 237000000 + s;
+    const ais::VesselType type = kTypes[s % 6];
+    int64_t clock = kEpoch + rng.UniformInt(0, 36 * 3600);
+    const int voyages = static_cast<int>(rng.UniformInt(2, 5));
+    for (int v = 0; v < voyages; ++v) {
+      geo::LatLng from, to;
+      if (type == ais::VesselType::kFishing ||
+          type == ais::VesselType::kPleasure) {
+        // Loitering pattern: port -> random open-sea point -> (next voyage
+        // returns). Keeps irregular, non-lane traffic in the dataset.
+        const int p = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(ports.size()) - 1));
+        from = ports[p].pos;
+        to = EnsureAtSea(
+            ds.world->land(),
+            geo::LatLng{rng.Uniform(37.45, 38.10), rng.Uniform(23.05, 23.95)});
+        if (v % 2 == 1) std::swap(from, to);
+      } else {
+        const int a = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(ports.size()) - 1));
+        int b = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(ports.size()) - 1));
+        if (b == a) b = (a + 1) % static_cast<int>(ports.size());
+        from = ports[a].pos;
+        to = ports[b].pos;
+      }
+      int64_t arrival = clock;
+      RunVoyage(*ds.world, from, to, mmsi, type, clock, sampler, &rng,
+                &ds.records, &arrival);
+      clock = arrival + rng.UniformInt(1 * 3600, 10 * 3600);
+    }
+  }
+  return ds;
+}
+
+Result<Dataset> MakeDataset(const std::string& name,
+                            const DatasetOptions& options) {
+  if (name == "DAN") return MakeDanDataset(options);
+  if (name == "KIEL") return MakeKielDataset(options);
+  if (name == "SAR") return MakeSarDataset(options);
+  return Status::InvalidArgument("unknown dataset '" + name +
+                                 "' (expected DAN, KIEL, or SAR)");
+}
+
+}  // namespace habit::sim

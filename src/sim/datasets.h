@@ -1,0 +1,62 @@
+// Synthetic dataset presets mirroring the paper's Table 1:
+//
+//   DAN  — passenger trips between 10 ports across a broad multi-island
+//          region (selected routes, one vessel type, wide area);
+//   KIEL — all trips between exactly two ports (a single confined corridor);
+//   SAR  — all vessel types, all trips, in a gulf with uneven AIS coverage.
+//
+// The worlds are geometric stand-ins for Denmark / Kiel-Gothenburg / the
+// Saronic gulf; `scale` multiplies voyage counts so benches can trade
+// fidelity for runtime.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ais/ais.h"
+#include "sim/sampler.h"
+#include "sim/world.h"
+
+namespace habit::sim {
+
+/// \brief A generated dataset: the world it was simulated in plus the raw
+/// AIS stream (pre-cleaning).
+struct Dataset {
+  std::string name;
+  std::shared_ptr<World> world;
+  std::vector<ais::AisRecord> records;
+
+  /// Dataset size in MB under the paper's CSV-ish per-record cost.
+  double SizeMb() const {
+    return static_cast<double>(records.size()) *
+           ais::kApproxBytesPerAisRecord / (1024.0 * 1024.0);
+  }
+};
+
+/// \brief Generation knobs common to all presets.
+struct DatasetOptions {
+  double scale = 1.0;   ///< multiplies voyage counts
+  uint64_t seed = 42;   ///< RNG seed (fully deterministic datasets)
+  SamplerOptions sampler;  ///< AIS reception model
+};
+
+/// Builds the DAN-like preset (16 passenger ships, 10 ports, broad area).
+Dataset MakeDanDataset(const DatasetOptions& options = {});
+
+/// Builds the KIEL-like preset (2 passenger ships, one two-port corridor).
+Dataset MakeKielDataset(const DatasetOptions& options = {});
+
+/// Builds the SAR-like preset (all vessel types, dense mixed traffic, gulf
+/// area with degraded AIS coverage).
+Dataset MakeSarDataset(const DatasetOptions& options = {});
+
+/// Builds a preset by name ("DAN" | "KIEL" | "SAR").
+Result<Dataset> MakeDataset(const std::string& name,
+                            const DatasetOptions& options = {});
+
+/// Returns a sea position near `p`: `p` itself if already at sea, otherwise
+/// the first at-sea point found on expanding rings around it.
+geo::LatLng EnsureAtSea(const geo::LandMask& land, const geo::LatLng& p);
+
+}  // namespace habit::sim

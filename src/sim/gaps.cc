@@ -1,0 +1,69 @@
+#include "sim/gaps.h"
+
+#include <algorithm>
+
+namespace habit::sim {
+
+std::optional<GapCase> InjectGap(const ais::Trip& trip,
+                                 const GapOptions& options, Rng* rng) {
+  const auto& pts = trip.points;
+  const size_t margin = options.edge_margin_points;
+  if (pts.size() < 2 * margin + options.min_removed_points + 2) {
+    return std::nullopt;
+  }
+  const int64_t t_first = pts[margin].ts;
+  const int64_t t_last = pts[pts.size() - 1 - margin].ts;
+  if (t_last - t_first <= options.gap_seconds) return std::nullopt;
+
+  // Try a few random placements; each defines [gap_t0, gap_t0 + D).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int64_t gap_t0 =
+        rng->UniformInt(t_first, t_last - options.gap_seconds);
+    const int64_t gap_t1 = gap_t0 + options.gap_seconds;
+
+    GapCase gc;
+    gc.trip_id = trip.trip_id;
+    gc.degraded.trip_id = trip.trip_id;
+    gc.degraded.mmsi = trip.mmsi;
+    gc.degraded.type = trip.type;
+
+    bool before_gap = true;
+    for (const ais::AisRecord& r : pts) {
+      if (r.ts >= gap_t0 && r.ts < gap_t1) {
+        gc.ground_truth.push_back(r);
+        continue;
+      }
+      if (r.ts >= gap_t1 && before_gap) {
+        before_gap = false;
+      }
+      gc.degraded.points.push_back(r);
+    }
+    if (gc.ground_truth.size() < options.min_removed_points) continue;
+
+    // Identify the boundary reports around the gap.
+    const int64_t cut = gc.ground_truth.front().ts;
+    size_t idx_before = 0;
+    for (size_t i = 0; i < gc.degraded.points.size(); ++i) {
+      if (gc.degraded.points[i].ts < cut) idx_before = i;
+    }
+    if (idx_before + 1 >= gc.degraded.points.size()) continue;
+    gc.gap_start = gc.degraded.points[idx_before];
+    gc.gap_end = gc.degraded.points[idx_before + 1];
+    return gc;
+  }
+  return std::nullopt;
+}
+
+std::vector<GapCase> InjectGaps(const std::vector<ais::Trip>& trips,
+                                const GapOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GapCase> cases;
+  cases.reserve(trips.size());
+  for (const ais::Trip& trip : trips) {
+    std::optional<GapCase> gc = InjectGap(trip, options, &rng);
+    if (gc.has_value()) cases.push_back(std::move(*gc));
+  }
+  return cases;
+}
+
+}  // namespace habit::sim

@@ -1,0 +1,42 @@
+// Synthetic gap injection (Section 4.1): one fixed-duration gap is placed
+// randomly inside each test trip; the removed points are kept as ground
+// truth for accuracy evaluation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/rng.h"
+
+namespace habit::sim {
+
+/// \brief One evaluation case: a trip with an artificial gap.
+struct GapCase {
+  int64_t trip_id = 0;
+  ais::Trip degraded;             ///< the trip with the gap's points removed
+  ais::AisRecord gap_start;       ///< last report before the gap
+  ais::AisRecord gap_end;         ///< first report after the gap
+  std::vector<ais::AisRecord> ground_truth;  ///< removed reports, in order
+};
+
+/// \brief Injection parameters.
+struct GapOptions {
+  int64_t gap_seconds = 60 * 60;  ///< default 60 minutes (paper default)
+  /// Points this close to the trip edges are never removed, so the gap is
+  /// interior and both endpoints exist.
+  size_t edge_margin_points = 2;
+  /// Gaps must actually remove at least this many points to count.
+  size_t min_removed_points = 3;
+};
+
+/// Injects one random gap into `trip`. Returns nullopt when the trip is too
+/// short to host a gap of the requested duration.
+std::optional<GapCase> InjectGap(const ais::Trip& trip,
+                                 const GapOptions& options, Rng* rng);
+
+/// Injects one gap per trip (skipping trips that cannot host one).
+std::vector<GapCase> InjectGaps(const std::vector<ais::Trip>& trips,
+                                const GapOptions& options, uint64_t seed);
+
+}  // namespace habit::sim

@@ -1,0 +1,63 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habit::sim {
+
+std::vector<ais::AisRecord> SampleAis(const std::vector<TrackPoint>& track,
+                                      int64_t mmsi, ais::VesselType type,
+                                      const SamplerOptions& options,
+                                      Rng* rng) {
+  std::vector<ais::AisRecord> out;
+  if (track.empty()) return out;
+
+  // Pre-draw coverage holes over the track's time span.
+  const int64_t t0 = track.front().ts;
+  const int64_t t1 = track.back().ts;
+  const double span_days =
+      static_cast<double>(t1 - t0) / (24.0 * 3600.0);
+  std::vector<std::pair<int64_t, int64_t>> holes;
+  const double expected = options.coverage_holes_per_day * span_days;
+  int n_holes = 0;
+  // Poisson draw via repeated Bernoulli on the integer part + remainder.
+  for (int i = 0; i < static_cast<int>(expected); ++i) ++n_holes;
+  if (rng->Bernoulli(expected - std::floor(expected))) ++n_holes;
+  for (int i = 0; i < n_holes; ++i) {
+    const int64_t start = rng->UniformInt(t0, std::max(t0, t1 - 60));
+    const int64_t dur = static_cast<int64_t>(
+        std::max(60.0, rng->Exponential(1.0 / options.coverage_hole_mean_s)));
+    holes.emplace_back(start, start + dur);
+  }
+  auto in_hole = [&](int64_t ts) {
+    for (const auto& [s, e] : holes) {
+      if (ts >= s && ts < e) return true;
+    }
+    return false;
+  };
+
+  // Walk the track emitting reports at exponential intervals.
+  double next_emit = static_cast<double>(t0);
+  for (const TrackPoint& pt : track) {
+    if (static_cast<double>(pt.ts) < next_emit) continue;
+    next_emit = static_cast<double>(pt.ts) +
+                rng->Exponential(1.0 / options.report_interval_s);
+    if (in_hole(pt.ts)) continue;
+    if (rng->Bernoulli(options.drop_probability)) continue;
+
+    ais::AisRecord r;
+    r.mmsi = mmsi;
+    r.ts = pt.ts;
+    const double noise_dist = std::fabs(rng->Gaussian(0.0, options.position_noise_m));
+    const double noise_bearing = rng->Uniform(0.0, 360.0);
+    r.pos = geo::Destination(pt.pos, noise_bearing, noise_dist);
+    r.sog = std::max(0.0, pt.sog + rng->Gaussian(0.0, options.sog_noise_knots));
+    r.cog = geo::NormalizeBearing(pt.cog +
+                                  rng->Gaussian(0.0, options.cog_noise_deg));
+    r.type = type;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace habit::sim

@@ -1,0 +1,40 @@
+// AIS reception model: converts dense ground-truth tracks into realistic AIS
+// report streams with irregular sampling, measurement noise, and coverage
+// dropouts (terrestrial range limits and satellite revisit holes) — the
+// mechanisms behind the natural trajectory gaps the paper targets.
+#pragma once
+
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/rng.h"
+#include "sim/vessel.h"
+
+namespace habit::sim {
+
+/// \brief Reception/noise parameters.
+struct SamplerOptions {
+  /// Mean seconds between emitted reports (exponential jitter around it).
+  /// Class-A transceivers report every 2-10 s under way; 20 s approximates
+  /// a terrestrial feed after de-duplication.
+  double report_interval_s = 20.0;
+  /// Per-report probability of loss (packet collisions etc.).
+  double drop_probability = 0.05;
+  /// Position noise sigma in meters.
+  double position_noise_m = 12.0;
+  /// SOG noise sigma in knots; COG noise sigma in degrees.
+  double sog_noise_knots = 0.2;
+  double cog_noise_deg = 2.0;
+  /// Rate of coverage holes (expected holes per 24h of track time) and
+  /// their mean duration. Holes remove all reports in a window, producing
+  /// the short natural gaps HABIT is designed to fill.
+  double coverage_holes_per_day = 1.0;
+  double coverage_hole_mean_s = 12 * 60.0;
+};
+
+/// Samples AIS reports from a ground-truth track for the vessel `mmsi`.
+std::vector<ais::AisRecord> SampleAis(const std::vector<TrackPoint>& track,
+                                      int64_t mmsi, ais::VesselType type,
+                                      const SamplerOptions& options, Rng* rng);
+
+}  // namespace habit::sim

@@ -1,0 +1,151 @@
+#include "sim/vessel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace habit::sim {
+
+VesselKinematics KinematicsFor(ais::VesselType type) {
+  VesselKinematics k;
+  switch (type) {
+    case ais::VesselType::kPassenger:
+      k.cruise_speed_knots = 17.0;
+      k.speed_stddev_knots = 1.0;
+      k.max_turn_rate_deg_s = 0.6;
+      k.lane_wander_m = 300.0;
+      break;
+    case ais::VesselType::kCargo:
+      k.cruise_speed_knots = 12.0;
+      k.speed_stddev_knots = 0.8;
+      k.max_turn_rate_deg_s = 0.35;
+      k.lane_wander_m = 500.0;
+      break;
+    case ais::VesselType::kTanker:
+      k.cruise_speed_knots = 10.0;
+      k.speed_stddev_knots = 0.6;
+      k.max_turn_rate_deg_s = 0.25;
+      k.lane_wander_m = 600.0;
+      break;
+    case ais::VesselType::kFishing:
+      k.cruise_speed_knots = 7.0;
+      k.speed_stddev_knots = 2.0;
+      k.max_turn_rate_deg_s = 2.0;
+      k.lane_wander_m = 1500.0;
+      break;
+    case ais::VesselType::kPleasure:
+      k.cruise_speed_knots = 14.0;
+      k.speed_stddev_knots = 3.0;
+      k.max_turn_rate_deg_s = 3.0;
+      k.lane_wander_m = 1200.0;
+      break;
+    case ais::VesselType::kOther:
+      break;
+  }
+  return k;
+}
+
+geo::Polyline PerturbRoute(const geo::Polyline& route, double wander_m,
+                           const geo::LandMask& land, Rng* rng) {
+  if (route.size() < 3 || wander_m <= 0) return route;
+  geo::Polyline out = route;
+  for (size_t i = 1; i + 1 < route.size(); ++i) {
+    const double course = geo::InitialBearingDeg(route[i - 1], route[i + 1]);
+    const double offset = rng->Gaussian(0.0, wander_m);
+    const geo::LatLng moved =
+        geo::Destination(route[i], course + 90.0, offset);
+    // Keep the perturbed waypoint only if its adjoining legs stay at sea.
+    if (!land.IsOnLand(moved) && land.SegmentAtSea(out[i - 1], moved) &&
+        land.SegmentAtSea(moved, route[i + 1])) {
+      out[i] = moved;
+    }
+  }
+  return out;
+}
+
+std::vector<TrackPoint> SimulateVoyage(const geo::Polyline& route,
+                                       const VesselKinematics& kin,
+                                       int64_t depart_ts, Rng* rng,
+                                       int step_seconds) {
+  std::vector<TrackPoint> track;
+  if (route.size() < 2 || step_seconds <= 0) return track;
+
+  geo::LatLng pos = route.front();
+  double heading = geo::InitialBearingDeg(route[0], route[1]);
+  size_t next_wp = 1;
+  int64_t ts = depart_ts;
+  const double step = static_cast<double>(step_seconds);
+
+  // Distance within which the vessel slows for arrival/departure.
+  const double approach_radius_m =
+      3.0 * geo::KnotsToMps(kin.cruise_speed_knots) * 60.0;
+
+  // Hard cap so pathological inputs cannot loop forever.
+  const double route_len = geo::PolylineLengthMeters(route);
+  const int max_steps = static_cast<int>(
+      8.0 * route_len /
+          std::max(1.0, geo::KnotsToMps(kin.cruise_speed_knots) * step) +
+      5000);
+
+  for (int i = 0; i < max_steps && next_wp < route.size(); ++i) {
+    const geo::LatLng& target = route[next_wp];
+    const double dist_to_target = geo::HaversineMeters(pos, target);
+    const bool is_final = next_wp + 1 == route.size();
+
+    // Waypoint switching: interior waypoints are passed loosely (smooth
+    // turns cut the corner), the final one must be approached closely.
+    const double switch_radius = is_final ? 120.0 : 600.0;
+    if (dist_to_target < switch_radius) {
+      ++next_wp;
+      continue;
+    }
+
+    // Speed selection: slow near the endpoints (port maneuvering).
+    double target_speed = kin.cruise_speed_knots;
+    const double dist_from_start = geo::HaversineMeters(pos, route.front());
+    if (is_final && dist_to_target < approach_radius_m) {
+      target_speed = kin.port_approach_speed_knots +
+                     (kin.cruise_speed_knots - kin.port_approach_speed_knots) *
+                         dist_to_target / approach_radius_m;
+    } else if (dist_from_start < approach_radius_m / 2.0) {
+      target_speed = kin.port_approach_speed_knots +
+                     (kin.cruise_speed_knots - kin.port_approach_speed_knots) *
+                         dist_from_start / (approach_radius_m / 2.0);
+    }
+    const double sog = std::max(
+        0.5, target_speed + rng->Gaussian(0.0, kin.speed_stddev_knots));
+
+    // Heading slew toward the target bearing, limited by turn rate.
+    const double desired = geo::InitialBearingDeg(pos, target);
+    double delta = desired - heading;
+    while (delta > 180.0) delta -= 360.0;
+    while (delta < -180.0) delta += 360.0;
+    const double max_turn = kin.max_turn_rate_deg_s * step;
+    delta = std::clamp(delta, -max_turn, max_turn);
+    heading = geo::NormalizeBearing(heading + delta);
+
+    const double advance = geo::KnotsToMps(sog) * step;
+    pos = geo::Destination(pos, heading, advance);
+
+    TrackPoint pt;
+    pt.ts = ts;
+    pt.pos = pos;
+    pt.sog = sog;
+    pt.cog = heading;
+    track.push_back(pt);
+    ts += step_seconds;
+  }
+
+  // Short stationary tail at the destination (the stop that ends the trip).
+  for (int i = 0; i < 30; ++i) {
+    TrackPoint pt;
+    pt.ts = ts;
+    pt.pos = pos;
+    pt.sog = 0.1;
+    pt.cog = heading;
+    track.push_back(pt);
+    ts += step_seconds * 4;
+  }
+  return track;
+}
+
+}  // namespace habit::sim

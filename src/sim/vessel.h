@@ -1,0 +1,54 @@
+// Vessel kinematics: integrates a vessel along a planned route with
+// type-specific speed and limited turn rate, producing a dense ground-truth
+// track. Vessels turn smoothly (large ships cannot pivot), wander laterally
+// within the lane, and decelerate near route endpoints — the motion traits
+// the paper argues distinguish maritime from road mobility.
+#pragma once
+
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/rng.h"
+#include "geo/polygon.h"
+#include "geo/polyline.h"
+
+namespace habit::sim {
+
+/// \brief Type-dependent motion parameters.
+struct VesselKinematics {
+  double cruise_speed_knots = 14.0;
+  double speed_stddev_knots = 1.0;
+  double max_turn_rate_deg_s = 0.5;  ///< heading slew limit
+  double lane_wander_m = 400.0;      ///< lateral deviation scale in a lane
+  double port_approach_speed_knots = 6.0;
+};
+
+/// Default kinematics per vessel type (passenger fast/regular, tanker slow/
+/// smooth, fishing slow/erratic, ...).
+VesselKinematics KinematicsFor(ais::VesselType type);
+
+/// \brief One simulated ground-truth fix.
+struct TrackPoint {
+  int64_t ts = 0;
+  geo::LatLng pos;
+  double sog = 0.0;  ///< knots
+  double cog = 0.0;  ///< degrees
+};
+
+/// \brief Simulates a voyage along `route` starting at `depart_ts`.
+///
+/// The integrator advances with `step_seconds` ticks, slewing the heading
+/// toward the next waypoint at most `max_turn_rate_deg_s` per second and
+/// jittering speed around the cruise value. Returns the dense track
+/// (including a short stationary tail at the destination).
+std::vector<TrackPoint> SimulateVoyage(const geo::Polyline& route,
+                                       const VesselKinematics& kin,
+                                       int64_t depart_ts, Rng* rng,
+                                       int step_seconds = 15);
+
+/// Applies per-voyage lane variation: offsets interior waypoints
+/// perpendicular to the local course by ~N(0, wander), keeping points at sea.
+geo::Polyline PerturbRoute(const geo::Polyline& route, double wander_m,
+                           const geo::LandMask& land, Rng* rng);
+
+}  // namespace habit::sim

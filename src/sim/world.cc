@@ -1,0 +1,160 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/rng.h"
+#include "geo/latlng.h"
+
+namespace habit::sim {
+
+namespace {
+
+// Outward inflation distance for visibility-graph vertices, meters. Routes
+// hug island corners at this standoff, like real traffic separation.
+constexpr double kVertexStandoffMeters = 1500.0;
+
+}  // namespace
+
+Result<Port> World::GetPort(const std::string& name) const {
+  for (const Port& p : ports_) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("no port named '" + name + "'");
+}
+
+void World::BuildVisibilityGraph() const {
+  if (graph_built_) return;
+  vis_nodes_.clear();
+  vis_adj_.clear();
+
+  // Nodes: each land polygon's vertices pushed outward from the polygon
+  // centroid by a standoff distance.
+  for (const geo::Polygon& poly : land_.polygons()) {
+    const auto& ring = poly.ring();
+    geo::LatLng centroid{0, 0};
+    for (const geo::LatLng& v : ring) {
+      centroid.lat += v.lat;
+      centroid.lng += v.lng;
+    }
+    centroid.lat /= static_cast<double>(ring.size());
+    centroid.lng /= static_cast<double>(ring.size());
+    for (const geo::LatLng& v : ring) {
+      const double bearing = geo::InitialBearingDeg(centroid, v);
+      const geo::LatLng out =
+          geo::Destination(v, bearing, kVertexStandoffMeters);
+      if (!land_.IsOnLand(out)) vis_nodes_.push_back(out);
+    }
+  }
+
+  const size_t n = vis_nodes_.size();
+  vis_adj_.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (land_.SegmentAtSea(vis_nodes_[i], vis_nodes_[j])) {
+        const double d = geo::HaversineMeters(vis_nodes_[i], vis_nodes_[j]);
+        vis_adj_[i].emplace_back(static_cast<int>(j), d);
+        vis_adj_[j].emplace_back(static_cast<int>(i), d);
+      }
+    }
+  }
+  graph_built_ = true;
+}
+
+Result<geo::Polyline> World::PlanRoute(const geo::LatLng& from,
+                                       const geo::LatLng& to) const {
+  if (land_.SegmentAtSea(from, to)) {
+    return geo::Polyline{from, to};
+  }
+  BuildVisibilityGraph();
+
+  // Temporary graph: vis nodes + {from=n, to=n+1}.
+  const size_t n = vis_nodes_.size();
+  const size_t src = n, dst = n + 1;
+  auto edges_of = [&](size_t u) {
+    std::vector<std::pair<size_t, double>> out;
+    if (u < n) {
+      for (const auto& [v, w] : vis_adj_[u]) {
+        out.emplace_back(static_cast<size_t>(v), w);
+      }
+      const geo::LatLng& pu = vis_nodes_[u];
+      if (land_.SegmentAtSea(pu, to)) {
+        out.emplace_back(dst, geo::HaversineMeters(pu, to));
+      }
+    } else if (u == src) {
+      for (size_t v = 0; v < n; ++v) {
+        if (land_.SegmentAtSea(from, vis_nodes_[v])) {
+          out.emplace_back(v, geo::HaversineMeters(from, vis_nodes_[v]));
+        }
+      }
+      if (land_.SegmentAtSea(from, to)) {
+        out.emplace_back(dst, geo::HaversineMeters(from, to));
+      }
+    }
+    return out;
+  };
+
+  // A* with great-circle heuristic to `to`.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n + 2, kInf);
+  std::vector<int> parent(n + 2, -1);
+  auto h = [&](size_t u) {
+    const geo::LatLng& p =
+        u < n ? vis_nodes_[u] : (u == src ? from : to);
+    return geo::HaversineMeters(p, to);
+  };
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[src] = 0;
+  queue.push({h(src), src});
+  std::vector<bool> settled(n + 2, false);
+  while (!queue.empty()) {
+    const size_t u = queue.top().second;
+    queue.pop();
+    if (settled[u]) continue;
+    settled[u] = true;
+    if (u == dst) break;
+    for (const auto& [v, w] : edges_of(u)) {
+      if (settled[v]) continue;
+      const double cand = dist[u] + w;
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        parent[v] = static_cast<int>(u);
+        queue.push({cand + h(v), v});
+      }
+    }
+  }
+  if (!settled[dst]) {
+    return Status::Unreachable("no navigable route in world '" + name_ + "'");
+  }
+
+  geo::Polyline route;
+  for (int cur = static_cast<int>(dst); cur != -1; cur = parent[cur]) {
+    route.push_back(cur == static_cast<int>(src)
+                        ? from
+                        : (cur == static_cast<int>(dst) ? to
+                                                        : vis_nodes_[cur]));
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+geo::Polygon MakeIsland(const geo::LatLng& center, double radius_m,
+                        int vertices, double irregularity, uint64_t seed) {
+  Rng rng(seed == 0 ? 0x15a4dULL : seed);
+  std::vector<geo::LatLng> ring;
+  ring.reserve(vertices);
+  for (int i = 0; i < vertices; ++i) {
+    const double bearing = 360.0 * i / vertices;
+    double r = radius_m;
+    if (irregularity > 0) {
+      r *= 1.0 + rng.Uniform(-irregularity, irregularity);
+    }
+    ring.push_back(geo::Destination(center, bearing, r));
+  }
+  return geo::Polygon(std::move(ring));
+}
+
+}  // namespace habit::sim

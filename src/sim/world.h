@@ -1,0 +1,71 @@
+// Synthetic maritime worlds. The paper evaluates on proprietary AIS feeds
+// (Danish Maritime Authority, AegeaNET); this module builds geometric
+// stand-ins: a bounded sea region with land polygons, ports, and a
+// visibility-graph route planner that produces navigable (land-avoiding)
+// reference routes between ports. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "geo/polygon.h"
+#include "geo/polyline.h"
+
+namespace habit::sim {
+
+/// \brief A named port location.
+struct Port {
+  std::string name;
+  geo::LatLng pos;
+};
+
+/// \brief A bounded synthetic sea region with land and ports.
+class World {
+ public:
+  World(std::string name, geo::LatLng bbox_min, geo::LatLng bbox_max)
+      : name_(std::move(name)), bbox_min_(bbox_min), bbox_max_(bbox_max) {}
+
+  const std::string& name() const { return name_; }
+  const geo::LatLng& bbox_min() const { return bbox_min_; }
+  const geo::LatLng& bbox_max() const { return bbox_max_; }
+
+  void AddLand(geo::Polygon poly) { land_.AddPolygon(std::move(poly)); }
+  void AddPort(Port port) { ports_.push_back(std::move(port)); }
+
+  const geo::LandMask& land() const { return land_; }
+  const std::vector<Port>& ports() const { return ports_; }
+
+  /// Port by name; error if absent.
+  Result<Port> GetPort(const std::string& name) const;
+
+  /// \brief Computes a navigable route between two points using a
+  /// visibility graph over inflated land-polygon vertices.
+  ///
+  /// The result starts at `from`, ends at `to`, and no segment crosses land.
+  /// Returns kUnreachable when the two points cannot be connected.
+  Result<geo::Polyline> PlanRoute(const geo::LatLng& from,
+                                  const geo::LatLng& to) const;
+
+  /// Builds the visibility graph (call after all land/ports are added;
+  /// PlanRoute calls it lazily otherwise).
+  void BuildVisibilityGraph() const;
+
+ private:
+  std::string name_;
+  geo::LatLng bbox_min_, bbox_max_;
+  geo::LandMask land_;
+  std::vector<Port> ports_;
+
+  // Lazily built visibility graph over inflated polygon vertices.
+  mutable bool graph_built_ = false;
+  mutable std::vector<geo::LatLng> vis_nodes_;
+  mutable std::vector<std::vector<std::pair<int, double>>> vis_adj_;
+};
+
+/// Convenience: a regular-polygon "island" around a center point.
+geo::Polygon MakeIsland(const geo::LatLng& center, double radius_m,
+                        int vertices = 8, double irregularity = 0.0,
+                        uint64_t seed = 0);
+
+}  // namespace habit::sim

@@ -1,0 +1,41 @@
+// Reservoir sampling (Vitter's algorithm R): uniform fixed-size sample of a
+// stream, used for dataset downsampling experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace habit::sketch {
+
+/// \brief Keeps a uniform random sample of at most `capacity` items from an
+/// unbounded stream.
+template <typename T>
+class Reservoir {
+ public:
+  Reservoir(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(const T& item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      return;
+    }
+    const uint64_t slot = static_cast<uint64_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(seen_) - 1));
+    if (slot < capacity_) items_[slot] = item;
+  }
+
+  const std::vector<T>& items() const { return items_; }
+  size_t seen() const { return seen_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  size_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace habit::sketch

@@ -1,0 +1,161 @@
+// Tests for the comparator implementations: SLI, GTI, and PaLMTO.
+#include <gtest/gtest.h>
+
+#include "baselines/gti.h"
+#include "baselines/palmto.h"
+#include "baselines/sli.h"
+#include "geo/similarity.h"
+
+namespace habit::baselines {
+namespace {
+
+std::vector<ais::Trip> MakeCorridorTrips(int n_trips = 6,
+                                         int points_per_trip = 120) {
+  std::vector<ais::Trip> trips;
+  for (int t = 0; t < n_trips; ++t) {
+    ais::Trip trip;
+    trip.trip_id = t + 1;
+    trip.mmsi = 100 + t;
+    for (int i = 0; i < points_per_trip; ++i) {
+      ais::AisRecord r;
+      r.mmsi = trip.mmsi;
+      r.ts = 1000000 + i * 60;
+      r.pos = {55.0 + i * 0.003, 11.0 + 0.0004 * (t % 3)};
+      r.sog = 12.0;
+      trip.points.push_back(r);
+    }
+    trips.push_back(trip);
+  }
+  return trips;
+}
+
+TEST(SliTest, EndpointsAndIntermediatePoints) {
+  const geo::LatLng a{55.0, 11.0}, b{56.0, 12.0};
+  const auto bare = StraightLineImpute(a, b, 0);
+  ASSERT_EQ(bare.size(), 2u);
+  EXPECT_EQ(bare.front(), a);
+  EXPECT_EQ(bare.back(), b);
+  const auto dense = StraightLineImpute(a, b, 9);
+  ASSERT_EQ(dense.size(), 11u);
+  // Intermediate points are evenly spaced along the great circle.
+  const double total = geo::HaversineMeters(a, b);
+  for (size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_NEAR(geo::HaversineMeters(dense[i - 1], dense[i]), total / 10.0,
+                total / 10.0 * 0.01);
+  }
+}
+
+TEST(GtiTest, BuildRejectsEmptyAndImputesCorridor) {
+  EXPECT_FALSE(GtiModel::Build({}, {}).ok());
+  const auto trips = MakeCorridorTrips();
+  GtiConfig config;
+  config.rm_meters = 250;
+  config.rd_degrees = 1e-3;
+  auto model = GtiModel::Build(trips, config).MoveValue();
+  EXPECT_GT(model->num_nodes(), 500u);
+  EXPECT_GT(model->num_edges(), 400u);
+
+  const geo::LatLng start{55.06, 11.0}, end{55.30, 11.0};
+  auto path = model->Impute(start, end);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  ASSERT_GE(path.value().size(), 3u);
+  EXPECT_EQ(path.value().front(), start);
+  EXPECT_EQ(path.value().back(), end);
+  // GTI follows real past tracks: every interior point is a training point.
+  for (size_t i = 1; i + 1 < path.value().size(); ++i) {
+    EXPECT_NEAR(path.value()[i].lng, 11.0, 0.01);
+  }
+}
+
+TEST(GtiTest, ModelSizeGrowsWithRd) {
+  const auto trips = MakeCorridorTrips(8, 150);
+  size_t prev_edges = 0;
+  size_t prev_bytes = 0;
+  for (double rd : {1e-4, 5e-4, 1e-3}) {
+    GtiConfig config;
+    config.rm_meters = 250;
+    config.rd_degrees = rd;
+    auto model = GtiModel::Build(trips, config).MoveValue();
+    EXPECT_GE(model->num_edges(), prev_edges);
+    EXPECT_GE(model->SizeBytes(), prev_bytes);
+    prev_edges = model->num_edges();
+    prev_bytes = model->SizeBytes();
+  }
+}
+
+TEST(GtiTest, ResamplingShrinksModel) {
+  const auto trips = MakeCorridorTrips(8, 150);
+  GtiConfig dense_config;
+  GtiConfig thin_config;
+  thin_config.resample_seconds = 300;  // 5-minute thinning (paper's fallback)
+  auto dense = GtiModel::Build(trips, dense_config).MoveValue();
+  auto thin = GtiModel::Build(trips, thin_config).MoveValue();
+  EXPECT_LT(thin->num_nodes(), dense->num_nodes());
+}
+
+TEST(GtiTest, DisconnectedEndpointsUnreachable) {
+  // Two parallel corridors too far apart for candidate edges.
+  auto trips = MakeCorridorTrips(2, 50);
+  ais::Trip far_trip;
+  far_trip.trip_id = 99;
+  far_trip.mmsi = 999;
+  for (int i = 0; i < 50; ++i) {
+    ais::AisRecord r;
+    r.ts = 1000000 + i * 60;
+    r.pos = {55.0 + i * 0.003, 12.5};  // ~95 km east
+    far_trip.points.push_back(r);
+  }
+  trips.push_back(far_trip);
+  GtiConfig config;
+  config.rm_meters = 100;
+  config.rd_degrees = 1e-4;
+  auto model = GtiModel::Build(trips, config).MoveValue();
+  auto path = model->Impute({55.05, 11.0}, {55.1, 12.5});
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kUnreachable);
+}
+
+TEST(PalmtoTest, BuildValidation) {
+  EXPECT_FALSE(PalmtoModel::Build({}, {}).ok());
+  PalmtoConfig bad;
+  bad.n = 1;
+  EXPECT_FALSE(PalmtoModel::Build(MakeCorridorTrips(1, 10), bad).ok());
+}
+
+TEST(PalmtoTest, ImputesAlongTrainedCorridor) {
+  const auto trips = MakeCorridorTrips(8, 150);
+  PalmtoConfig config;
+  config.resolution = 8;  // coarse tokens make generation reliable here
+  config.timeout_seconds = 5.0;
+  auto model = PalmtoModel::Build(trips, config).MoveValue();
+  EXPECT_GT(model->num_contexts(), 10u);
+  EXPECT_GT(model->SizeBytes(), 0u);
+  const geo::LatLng start{55.05, 11.0}, end{55.30, 11.0};
+  auto path = model->Impute(start, end);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path.value().front(), start);
+  EXPECT_EQ(path.value().back(), end);
+}
+
+TEST(PalmtoTest, TimesOutOffTheTrainedRegion) {
+  const auto trips = MakeCorridorTrips(4, 60);
+  PalmtoConfig config;
+  config.resolution = 9;
+  config.timeout_seconds = 0.05;
+  config.max_tokens = 64;
+  auto model = PalmtoModel::Build(trips, config).MoveValue();
+  // Destination far outside the training corridor: generation cannot reach
+  // it and must hit the budget (the paper's observed PaLMTO behaviour).
+  auto path = model->Impute({55.05, 11.0}, {57.5, 13.5});
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kTimeout);
+}
+
+TEST(PalmtoTest, InvalidEndpointsRejected) {
+  const auto trips = MakeCorridorTrips(2, 30);
+  auto model = PalmtoModel::Build(trips, {}).MoveValue();
+  EXPECT_FALSE(model->Impute({std::nan(""), 11.0}, {55.1, 11.0}).ok());
+}
+
+}  // namespace
+}  // namespace habit::baselines

@@ -1,0 +1,180 @@
+// Tests for the evaluation harness: DTW gap metric, accuracy statistics,
+// experiment preparation (split + gap injection), and the method runners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "eval/harness.h"
+
+namespace habit::eval {
+namespace {
+
+sim::GapCase MakeStraightGapCase() {
+  sim::GapCase gc;
+  gc.trip_id = 1;
+  gc.gap_start.ts = 0;
+  gc.gap_start.pos = {55.0, 11.0};
+  gc.gap_end.ts = 3600;
+  gc.gap_end.pos = {55.3, 11.0};
+  for (int i = 1; i < 30; ++i) {
+    ais::AisRecord r;
+    r.ts = i * 120;
+    r.pos = {55.0 + i * 0.01, 11.0};
+    gc.ground_truth.push_back(r);
+  }
+  return gc;
+}
+
+TEST(MetricsTest, GroundTruthPathIncludesBoundaries) {
+  const sim::GapCase gc = MakeStraightGapCase();
+  const geo::Polyline truth = GroundTruthPath(gc);
+  EXPECT_EQ(truth.size(), gc.ground_truth.size() + 2);
+  EXPECT_EQ(truth.front(), gc.gap_start.pos);
+  EXPECT_EQ(truth.back(), gc.gap_end.pos);
+}
+
+TEST(MetricsTest, PerfectImputationScoresNearZero) {
+  const sim::GapCase gc = MakeStraightGapCase();
+  EXPECT_LT(GapDtw(GroundTruthPath(gc), gc), 1.0);
+}
+
+TEST(MetricsTest, OffsetImputationScoresTheOffset) {
+  const sim::GapCase gc = MakeStraightGapCase();
+  geo::Polyline shifted;
+  for (const geo::LatLng& p : GroundTruthPath(gc)) {
+    shifted.push_back(geo::Destination(p, 90.0, 1000.0));
+  }
+  const double dtw = GapDtw(shifted, gc);
+  EXPECT_NEAR(dtw, 1000.0, 100.0);
+}
+
+TEST(MetricsTest, SparseImputationIsResampledBeforeScoring) {
+  // A 2-point straight path against dense ground truth along the same
+  // line: after 250 m resampling both sides, DTW stays small.
+  const sim::GapCase gc = MakeStraightGapCase();
+  // Residual error is bounded by the 250 m resampling quantization
+  // (~125 m worst case matching offset along the shared line).
+  const geo::Polyline two_points{gc.gap_start.pos, gc.gap_end.pos};
+  EXPECT_LT(GapDtw(two_points, gc), 150.0);
+}
+
+TEST(MetricsTest, AccuracyStatsSummaries) {
+  auto st = AccuracyStats::FromScores({1, 2, 3, 4, 100}, 2);
+  EXPECT_DOUBLE_EQ(st.mean, 22.0);
+  EXPECT_DOUBLE_EQ(st.median, 3.0);
+  EXPECT_DOUBLE_EQ(st.max, 100.0);
+  EXPECT_EQ(st.count, 5u);
+  EXPECT_EQ(st.failures, 2u);
+  auto empty = AccuracyStats::FromScores({}, 1);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(HarnessTest, PrepareExperimentSplitsAndInjects) {
+  ExperimentOptions options;
+  options.scale = 0.2;
+  options.seed = 5;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  EXPECT_EQ(exp.dataset_name, "KIEL");
+  EXPECT_GT(exp.raw_positions, 1000u);
+  EXPECT_GT(exp.all_trips.size(), 3u);
+  // 70/30 split partitions the trips.
+  EXPECT_EQ(exp.train_trips.size() + exp.test_trips.size(),
+            exp.all_trips.size());
+  EXPECT_GT(exp.train_trips.size(), exp.test_trips.size());
+  // Train/test are disjoint by trip id.
+  std::set<int64_t> train_ids, test_ids;
+  for (const auto& t : exp.train_trips) train_ids.insert(t.trip_id);
+  for (const auto& t : exp.test_trips) test_ids.insert(t.trip_id);
+  for (int64_t id : test_ids) EXPECT_FALSE(train_ids.contains(id));
+  // Gaps only from test trips.
+  EXPECT_LE(exp.gaps.size(), exp.test_trips.size());
+  for (const auto& gc : exp.gaps) {
+    EXPECT_TRUE(test_ids.contains(gc.trip_id));
+  }
+}
+
+TEST(HarnessTest, UnknownDatasetRejected) {
+  EXPECT_FALSE(PrepareExperiment("BOGUS").ok());
+}
+
+TEST(HarnessTest, RunSliProducesScores) {
+  ExperimentOptions options;
+  options.scale = 0.2;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  ASSERT_GT(exp.gaps.size(), 0u);
+  const MethodReport report = RunSli(exp);
+  EXPECT_EQ(report.method, "SLI");
+  EXPECT_EQ(report.accuracy.count, exp.gaps.size());
+  EXPECT_EQ(report.accuracy.failures, 0u);
+  EXPECT_GT(report.accuracy.mean, 0.0);
+  EXPECT_EQ(report.latency.count(), exp.gaps.size());
+  EXPECT_EQ(report.paths.size(), exp.gaps.size());
+  const std::string row = FormatReportRow(report);
+  EXPECT_NE(row.find("SLI"), std::string::npos);
+}
+
+TEST(HarnessTest, RunHabitBeatsNothingButWorks) {
+  ExperimentOptions options;
+  options.scale = 0.25;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  ASSERT_GT(exp.gaps.size(), 0u);
+  core::HabitConfig config;
+  auto report = RunHabit(exp, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().model_bytes, 0u);
+  EXPECT_GT(report.value().build_seconds, 0.0);
+  // Most gaps impute successfully on the confined corridor.
+  EXPECT_GE(report.value().accuracy.count,
+            exp.gaps.size() - exp.gaps.size() / 3);
+  // Sub-second average latency (paper's Table 4 headline for HABIT).
+  EXPECT_LT(report.value().latency.Mean(), 1.0);
+}
+
+TEST(HarnessTest, RunGtiProducesReport) {
+  ExperimentOptions options;
+  options.scale = 0.25;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  ASSERT_GT(exp.gaps.size(), 0u);
+  baselines::GtiConfig config;
+  config.rd_degrees = 5e-4;
+  auto report = RunGti(exp, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().method, "GTI");
+  EXPECT_GT(report.value().model_bytes, 0u);
+  EXPECT_EQ(report.value().paths.size(), exp.gaps.size());
+}
+
+TEST(HarnessTest, RunPalmtoCountsTimeoutsAsFailures) {
+  ExperimentOptions options;
+  options.scale = 0.25;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  ASSERT_GT(exp.gaps.size(), 0u);
+  baselines::PalmtoConfig config;
+  config.resolution = 9;
+  config.timeout_seconds = 0.02;  // deliberately tight budget
+  config.max_tokens = 128;
+  auto report = RunPalmto(exp, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Scored + failed covers every gap; with this budget long KIEL gaps
+  // typically time out (the paper's observation).
+  EXPECT_EQ(report.value().accuracy.count + report.value().accuracy.failures,
+            exp.gaps.size());
+}
+
+TEST(HarnessTest, LatencyStatsBehave) {
+  LatencyStats stats;
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  stats.Add(0.1);
+  stats.Add(0.3);
+  stats.Add(0.2);
+  EXPECT_NEAR(stats.Mean(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Max(), 0.3);
+  EXPECT_DOUBLE_EQ(stats.Min(), 0.1);
+  EXPECT_NEAR(stats.Quantile(0.5), 0.2, 1e-12);
+  EXPECT_EQ(stats.count(), 3u);
+}
+
+}  // namespace
+}  // namespace habit::eval

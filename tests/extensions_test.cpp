@@ -1,0 +1,259 @@
+// Tests for the extension features: AIS CSV I/O, hexgrid polyfill, minidb
+// joins / distinct / variance aggregates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "ais/io.h"
+#include "core/rng.h"
+#include "hexgrid/hexgrid.h"
+#include "minidb/query.h"
+
+namespace habit {
+namespace {
+
+TEST(AisIoTest, RecordsRoundTripThroughTable) {
+  std::vector<ais::AisRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    ais::AisRecord r;
+    r.mmsi = 219000000 + i % 3;
+    r.ts = 1700000000 + i * 60;
+    r.pos = {55.0 + i * 0.01, 11.0 - i * 0.005};
+    r.sog = 12.5;
+    r.cog = 45.0 + i;
+    r.type = i % 2 == 0 ? ais::VesselType::kPassenger
+                        : ais::VesselType::kTanker;
+    records.push_back(r);
+  }
+  const db::Table t = ais::RecordsToTable(records);
+  EXPECT_EQ(t.num_rows(), records.size());
+  size_t skipped = 0;
+  auto back = ais::TableToRecords(t, &skipped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back.value().size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back.value()[i].mmsi, records[i].mmsi);
+    EXPECT_EQ(back.value()[i].ts, records[i].ts);
+    EXPECT_DOUBLE_EQ(back.value()[i].pos.lat, records[i].pos.lat);
+    EXPECT_EQ(back.value()[i].type, records[i].type);
+  }
+}
+
+TEST(AisIoTest, CsvRoundTrip) {
+  std::vector<ais::AisRecord> records;
+  ais::AisRecord r;
+  r.mmsi = 219000001;
+  r.ts = 1700000000;
+  r.pos = {55.123456, 11.654321};
+  r.sog = 14.2;
+  r.cog = 271.5;
+  r.type = ais::VesselType::kCargo;
+  records.push_back(r);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ais_io_test.csv").string();
+  ASSERT_TRUE(ais::WriteAisCsv(records, path).ok());
+  auto back = ais::ReadAisCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 1u);
+  EXPECT_NEAR(back.value()[0].pos.lat, 55.123456, 1e-9);
+  EXPECT_NEAR(back.value()[0].cog, 271.5, 1e-9);
+  EXPECT_EQ(back.value()[0].type, ais::VesselType::kCargo);
+  std::remove(path.c_str());
+}
+
+TEST(AisIoTest, MissingColumnsRejectedAndNullRowsSkipped) {
+  db::Table bad(db::Schema{{"mmsi", db::DataType::kInt64}});
+  EXPECT_FALSE(ais::TableToRecords(bad).ok());
+
+  db::Table t(db::Schema{{"mmsi", db::DataType::kInt64},
+                         {"ts", db::DataType::kInt64},
+                         {"lat", db::DataType::kDouble},
+                         {"lon", db::DataType::kDouble}});
+  ASSERT_TRUE(t.AppendRow({db::Value::Int(1), db::Value::Int(2),
+                           db::Value::Real(55.0), db::Value::Real(11.0)})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({db::Value::Null(), db::Value::Int(2),
+                           db::Value::Real(55.0), db::Value::Real(11.0)})
+                  .ok());
+  size_t skipped = 0;
+  auto records = ais::TableToRecords(t, &skipped);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(skipped, 1u);
+  // Optional columns default sanely.
+  EXPECT_DOUBLE_EQ(records.value()[0].sog, 0.0);
+  EXPECT_EQ(records.value()[0].type, ais::VesselType::kOther);
+}
+
+TEST(AisIoTest, VesselTypeParsing) {
+  EXPECT_EQ(ais::VesselTypeFromString("passenger"),
+            ais::VesselType::kPassenger);
+  EXPECT_EQ(ais::VesselTypeFromString("fishing"), ais::VesselType::kFishing);
+  EXPECT_EQ(ais::VesselTypeFromString("submarine"), ais::VesselType::kOther);
+}
+
+TEST(PolyfillTest, CoversSquareRegion) {
+  // ~11 km square at lat 55; fill at res 8 (edge ~461 m).
+  const std::vector<geo::LatLng> square{
+      {55.0, 11.0}, {55.1, 11.0}, {55.1, 11.17}, {55.0, 11.17}};
+  const auto cells = hex::PolygonToCells(square, 8);
+  ASSERT_GT(cells.size(), 50u);
+  // Every returned cell's center is inside the square.
+  for (const hex::CellId c : cells) {
+    const geo::LatLng center = hex::CellToLatLng(c);
+    EXPECT_GE(center.lat, 55.0);
+    EXPECT_LE(center.lat, 55.1);
+    EXPECT_GE(center.lng, 11.0);
+    EXPECT_LE(center.lng, 11.17);
+    EXPECT_EQ(hex::Resolution(c), 8);
+  }
+  // No duplicates.
+  std::set<hex::CellId> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), cells.size());
+  // Interior points of the square map into returned cells.
+  Rng rng(5);
+  std::set<hex::CellId> cell_set(cells.begin(), cells.end());
+  int inside_hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    const geo::LatLng p{rng.Uniform(55.01, 55.09), rng.Uniform(11.01, 11.16)};
+    if (cell_set.contains(hex::LatLngToCell(p, 8))) ++inside_hits;
+  }
+  EXPECT_GT(inside_hits, 90);  // boundary cells may be excluded
+}
+
+TEST(PolyfillTest, AreaMatchesExpectation) {
+  const std::vector<geo::LatLng> square{
+      {55.0, 11.0}, {55.1, 11.0}, {55.1, 11.17}, {55.0, 11.17}};
+  const auto cells = hex::PolygonToCells(square, 8);
+  // Square is ~11.1 km x ~10.8 km ground = ~120 km^2; cells are measured
+  // in Mercator area, so scale by sec^2(lat) ~ 3.04.
+  const double mercator_area_km2 = 120.0 * 3.04;
+  const double cell_km2 = hex::CellAreaM2(8) / 1e6;
+  EXPECT_NEAR(static_cast<double>(cells.size()), mercator_area_km2 / cell_km2,
+              mercator_area_km2 / cell_km2 * 0.15);
+}
+
+TEST(PolyfillTest, DegenerateInputs) {
+  EXPECT_TRUE(hex::PolygonToCells({}, 8).empty());
+  EXPECT_TRUE(hex::PolygonToCells({{55, 11}, {55.1, 11}}, 8).empty());
+  EXPECT_TRUE(
+      hex::PolygonToCells({{55, 11}, {55.1, 11}, {55.1, 11.1}}, 99).empty());
+}
+
+TEST(DistinctTest, DeduplicatesPreservingOrder) {
+  db::Table t(db::Schema{{"a", db::DataType::kInt64},
+                         {"b", db::DataType::kString}});
+  ASSERT_TRUE(t.AppendRow({db::Value::Int(1), db::Value::Text("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({db::Value::Int(2), db::Value::Text("y")}).ok());
+  ASSERT_TRUE(t.AppendRow({db::Value::Int(1), db::Value::Text("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({db::Value::Int(1), db::Value::Text("z")}).ok());
+  auto all = db::Distinct(t);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().num_rows(), 3u);
+  auto by_a = db::Distinct(t, {"a"});
+  ASSERT_TRUE(by_a.ok());
+  EXPECT_EQ(by_a.value().num_rows(), 2u);
+  EXPECT_EQ(by_a.value().GetColumn("a").value()->GetInt(0), 1);
+  EXPECT_FALSE(db::Distinct(t, {"nope"}).ok());
+}
+
+TEST(HashJoinTest, InnerJoinSemantics) {
+  db::Table trips(db::Schema{{"trip_id", db::DataType::kInt64},
+                             {"mmsi", db::DataType::kInt64}});
+  ASSERT_TRUE(trips.AppendRow({db::Value::Int(1), db::Value::Int(100)}).ok());
+  ASSERT_TRUE(trips.AppendRow({db::Value::Int(2), db::Value::Int(200)}).ok());
+  ASSERT_TRUE(trips.AppendRow({db::Value::Int(3), db::Value::Int(300)}).ok());
+
+  db::Table vessels(db::Schema{{"vessel", db::DataType::kInt64},
+                               {"name", db::DataType::kString}});
+  ASSERT_TRUE(
+      vessels.AppendRow({db::Value::Int(100), db::Value::Text("alfa")}).ok());
+  ASSERT_TRUE(
+      vessels.AppendRow({db::Value::Int(300), db::Value::Text("bravo")}).ok());
+
+  auto joined = db::HashJoin(trips, "mmsi", vessels, "vessel");
+  ASSERT_TRUE(joined.ok());
+  const db::Table& j = joined.value();
+  ASSERT_EQ(j.num_rows(), 2u);  // trip 2 has no vessel
+  EXPECT_EQ(j.schema().FieldIndex("name"), 2);
+  EXPECT_EQ(j.GetColumn("name").value()->GetString(0), "alfa");
+  EXPECT_EQ(j.GetColumn("name").value()->GetString(1), "bravo");
+}
+
+TEST(HashJoinTest, NullKeysNeverMatchAndCollisionsPrefixed) {
+  db::Table left(db::Schema{{"k", db::DataType::kInt64},
+                            {"v", db::DataType::kInt64}});
+  ASSERT_TRUE(left.AppendRow({db::Value::Null(), db::Value::Int(1)}).ok());
+  ASSERT_TRUE(left.AppendRow({db::Value::Int(5), db::Value::Int(2)}).ok());
+  db::Table right(db::Schema{{"k", db::DataType::kInt64},
+                             {"v", db::DataType::kInt64}});
+  ASSERT_TRUE(right.AppendRow({db::Value::Null(), db::Value::Int(9)}).ok());
+  ASSERT_TRUE(right.AppendRow({db::Value::Int(5), db::Value::Int(8)}).ok());
+  auto joined = db::HashJoin(left, "k", right, "k");
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined.value().num_rows(), 1u);  // only k=5
+  EXPECT_GE(joined.value().schema().FieldIndex("right_v"), 0);
+  EXPECT_EQ(joined.value().GetColumn("right_v").value()->GetInt(0), 8);
+  EXPECT_FALSE(db::HashJoin(left, "nope", right, "k").ok());
+  EXPECT_FALSE(db::HashJoin(left, "k", right, "nope").ok());
+}
+
+TEST(HashJoinTest, DuplicateBuildKeysFanOut) {
+  db::Table left(db::Schema{{"k", db::DataType::kInt64}});
+  ASSERT_TRUE(left.AppendRow({db::Value::Int(7)}).ok());
+  db::Table right(db::Schema{{"k", db::DataType::kInt64},
+                             {"x", db::DataType::kInt64}});
+  ASSERT_TRUE(right.AppendRow({db::Value::Int(7), db::Value::Int(1)}).ok());
+  ASSERT_TRUE(right.AppendRow({db::Value::Int(7), db::Value::Int(2)}).ok());
+  auto joined = db::HashJoin(left, "k", right, "k");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value().num_rows(), 2u);
+}
+
+TEST(VarianceAggTest, MatchesClosedForm) {
+  db::Table t(db::Schema{{"g", db::DataType::kInt64},
+                         {"v", db::DataType::kDouble}});
+  // Group 0: values 2, 4, 4, 4, 5, 5, 7, 9 -> sample var 4.571..., sd 2.14
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    ASSERT_TRUE(t.AppendRow({db::Value::Int(0), db::Value::Real(v)}).ok());
+  }
+  auto grouped = db::GroupBy(t, {"g"},
+                             {{db::AggKind::kVariance, "v", "var"},
+                              {db::AggKind::kStddev, "v", "sd"}});
+  ASSERT_TRUE(grouped.ok());
+  const double var = grouped.value().GetColumn("var").value()->GetDouble(0);
+  EXPECT_NEAR(var, 32.0 / 7.0, 1e-9);
+  EXPECT_NEAR(grouped.value().GetColumn("sd").value()->GetDouble(0),
+              std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(VarianceAggTest, SingleValueIsNull) {
+  db::Table t(db::Schema{{"g", db::DataType::kInt64},
+                         {"v", db::DataType::kDouble}});
+  ASSERT_TRUE(t.AppendRow({db::Value::Int(0), db::Value::Real(3.0)}).ok());
+  auto grouped =
+      db::GroupBy(t, {"g"}, {{db::AggKind::kStddev, "v", "sd"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_TRUE(grouped.value().GetColumn("sd").value()->GetValue(0).is_null());
+}
+
+TEST(VarianceAggTest, WelfordStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, small variance.
+  db::Table t(db::Schema{{"g", db::DataType::kInt64},
+                         {"v", db::DataType::kDouble}});
+  for (double v : {1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}) {
+    ASSERT_TRUE(t.AppendRow({db::Value::Int(0), db::Value::Real(v)}).ok());
+  }
+  auto grouped =
+      db::GroupBy(t, {"g"}, {{db::AggKind::kVariance, "v", "var"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_NEAR(grouped.value().GetColumn("var").value()->GetDouble(0), 30.0,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace habit

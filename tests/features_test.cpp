@@ -1,0 +1,144 @@
+// Tests for the vessel-type-aware framework and the density-map API.
+#include <gtest/gtest.h>
+
+#include "habit/density.h"
+#include "habit/typed_framework.h"
+
+namespace habit::core {
+namespace {
+
+// Two fleets with disjoint lanes: passengers sail lng=11.0, tankers sail
+// lng=11.3 (offset ~19 km, far beyond snap range interplay).
+std::vector<ais::Trip> MakeTypedTrips() {
+  std::vector<ais::Trip> trips;
+  int64_t next_id = 1;
+  for (const auto [type, lng] :
+       {std::pair{ais::VesselType::kPassenger, 11.0},
+        std::pair{ais::VesselType::kTanker, 11.3}}) {
+    for (int t = 0; t < 10; ++t) {
+      ais::Trip trip;
+      trip.trip_id = next_id++;
+      trip.mmsi = 100 * static_cast<int>(type) + t;
+      trip.type = type;
+      for (int i = 0; i < 120; ++i) {
+        ais::AisRecord r;
+        r.mmsi = trip.mmsi;
+        r.ts = 1000000 + i * 60;
+        r.pos = {55.0 + i * 0.003, lng + 0.0004 * (t % 3)};
+        r.sog = 12.0;
+        r.type = type;
+        trip.points.push_back(r);
+      }
+      trips.push_back(trip);
+    }
+  }
+  return trips;
+}
+
+TEST(TypedFrameworkTest, BuildsPerTypeModels) {
+  HabitConfig config;
+  auto fw = TypedHabitFramework::Build(MakeTypedTrips(), config).MoveValue();
+  EXPECT_TRUE(fw->HasTypedModel(ais::VesselType::kPassenger));
+  EXPECT_TRUE(fw->HasTypedModel(ais::VesselType::kTanker));
+  EXPECT_FALSE(fw->HasTypedModel(ais::VesselType::kFishing));
+  EXPECT_GT(fw->SerializedSizeBytes(),
+            fw->combined().SerializedSizeBytes());
+}
+
+TEST(TypedFrameworkTest, RoutesQueryToMatchingLane) {
+  HabitConfig config;
+  config.rdp_tolerance_m = 0;
+  auto fw = TypedHabitFramework::Build(MakeTypedTrips(), config).MoveValue();
+  // A passenger gap on the passenger lane must stay on lng ~11.0.
+  auto pas = fw->Impute(ais::VesselType::kPassenger, {55.06, 11.0},
+                        {55.30, 11.0});
+  ASSERT_TRUE(pas.ok());
+  for (const geo::LatLng& p : pas.value().path) {
+    EXPECT_NEAR(p.lng, 11.0, 0.02);
+  }
+  // A tanker gap on the tanker lane stays on lng ~11.3.
+  auto tan = fw->Impute(ais::VesselType::kTanker, {55.06, 11.3},
+                        {55.30, 11.3});
+  ASSERT_TRUE(tan.ok());
+  for (const geo::LatLng& p : tan.value().path) {
+    EXPECT_NEAR(p.lng, 11.3, 0.02);
+  }
+}
+
+TEST(TypedFrameworkTest, FallsBackToCombinedForUnknownType) {
+  HabitConfig config;
+  auto fw = TypedHabitFramework::Build(MakeTypedTrips(), config).MoveValue();
+  // Fishing has no dedicated model; the combined graph still answers.
+  auto imp = fw->Impute(ais::VesselType::kFishing, {55.06, 11.0},
+                        {55.30, 11.0});
+  EXPECT_TRUE(imp.ok());
+}
+
+TEST(TypedFrameworkTest, EmptyInputRejected) {
+  HabitConfig config;
+  EXPECT_FALSE(TypedHabitFramework::Build({}, config).ok());
+}
+
+TEST(DensityMapTest, CountsPointsPerCell) {
+  DensityMap map(8);
+  const geo::LatLng p{55.2, 11.1};
+  map.AddPoint(p);
+  map.AddPoint(p);
+  map.AddPoint({55.5, 11.5});
+  EXPECT_EQ(map.num_cells(), 2u);
+  EXPECT_EQ(map.CountAt(p), 2);
+  EXPECT_EQ(map.CountAt(geo::LatLng{55.5, 11.5}), 1);
+  EXPECT_EQ(map.CountAt(geo::LatLng{56.9, 12.9}), 0);
+  EXPECT_EQ(map.MaxCount(), 2);
+  // Invalid points are ignored.
+  map.AddPoint({999, 999});
+  EXPECT_EQ(map.num_cells(), 2u);
+}
+
+TEST(DensityMapTest, PolylineIsGeometryWeighted) {
+  DensityMap map(8);
+  // A 30 km line resampled at 500 m touches many cells roughly evenly.
+  map.AddPolyline({{55.0, 11.0}, {55.27, 11.0}}, 500.0);
+  EXPECT_GT(map.num_cells(), 20u);
+  EXPECT_LE(map.MaxCount(), 5);
+}
+
+TEST(DensityMapTest, TableExportMatchesCells) {
+  DensityMap map(8);
+  map.AddPoint({55.2, 11.1});
+  map.AddPoint({55.5, 11.5});
+  const db::Table t = map.ToTable();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().FieldIndex("count"), 3);
+}
+
+TEST(DensityMapTest, ImputedDensityFillsCoverageHoles) {
+  const auto trips = MakeTypedTrips();
+  HabitConfig config;
+  config.rdp_tolerance_m = 0;
+  auto fw = HabitFramework::Build(trips, config).MoveValue();
+
+  // A degraded trip with a 40-minute hole mid-lane.
+  ais::Trip degraded;
+  degraded.trip_id = 999;
+  degraded.type = ais::VesselType::kPassenger;
+  for (int i = 0; i < 120; ++i) {
+    if (i > 40 && i <= 80) continue;
+    ais::AisRecord r;
+    r.ts = 1000000 + i * 60;
+    r.pos = {55.0 + i * 0.003, 11.0};
+    degraded.points.push_back(r);
+  }
+  auto result =
+      BuildImputedDensity({degraded}, *fw, 8, 10 * 60, 300.0).MoveValue();
+  EXPECT_EQ(result.gaps_filled, 1u);
+  EXPECT_EQ(result.gaps_unfilled, 0u);
+  // The hole's midpoint cell received density from the imputed fill.
+  const geo::LatLng hole_mid{55.0 + 60 * 0.003, 11.0};
+  EXPECT_GT(result.map.CountAt(hole_mid), 0);
+  // Invalid resolution rejected.
+  EXPECT_FALSE(BuildImputedDensity({degraded}, *fw, 99).ok());
+}
+
+}  // namespace
+}  // namespace habit::core

@@ -1,0 +1,327 @@
+// Unit and property tests for the geo module: great-circle math, Mercator
+// projection, polyline operations (resampling, RDP), similarity measures
+// (DTW, Fréchet), and polygon / land-mask geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "geo/latlng.h"
+#include "geo/mercator.h"
+#include "geo/polygon.h"
+#include "geo/polyline.h"
+#include "geo/similarity.h"
+
+namespace habit::geo {
+namespace {
+
+constexpr double kMeterTol = 1.0;
+
+TEST(LatLngTest, ValidityChecks) {
+  EXPECT_TRUE((LatLng{0, 0}).IsValid());
+  EXPECT_TRUE((LatLng{-90, -180}).IsValid());
+  EXPECT_TRUE((LatLng{90, 180}).IsValid());
+  EXPECT_FALSE((LatLng{90.01, 0}).IsValid());
+  EXPECT_FALSE((LatLng{0, 180.01}).IsValid());
+  EXPECT_FALSE((LatLng{std::nan(""), 0}).IsValid());
+  EXPECT_FALSE((LatLng{0, std::nan("")}).IsValid());
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE((LatLng{inf, 0}).IsValid());
+}
+
+TEST(LatLngTest, HaversineKnownDistances) {
+  // One degree of latitude is ~111.2 km on the spherical model.
+  EXPECT_NEAR(HaversineMeters({0, 0}, {1, 0}), 111195, 50);
+  // Equatorial degree of longitude is the same.
+  EXPECT_NEAR(HaversineMeters({0, 0}, {0, 1}), 111195, 50);
+  // At 60N, a degree of longitude shrinks to ~cos(60)=0.5.
+  EXPECT_NEAR(HaversineMeters({60, 0}, {60, 1}), 111195 * 0.5, 100);
+  // Identical points.
+  EXPECT_NEAR(HaversineMeters({55.5, 11.5}, {55.5, 11.5}), 0, 1e-9);
+}
+
+TEST(LatLngTest, HaversineSymmetry) {
+  const LatLng a{55.1, 10.2}, b{57.9, 12.8};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(LatLngTest, InitialBearingCardinal) {
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {1, 0}), 0, 1e-6);    // north
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {0, 1}), 90, 1e-6);   // east
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {-1, 0}), 180, 1e-6); // south
+  EXPECT_NEAR(InitialBearingDeg({0, 0}, {0, -1}), 270, 1e-6); // west
+}
+
+TEST(LatLngTest, DestinationRoundTrip) {
+  const LatLng origin{55.0, 11.0};
+  for (double bearing : {0.0, 45.0, 133.0, 270.5}) {
+    for (double dist : {10.0, 1000.0, 50000.0}) {
+      const LatLng dest = Destination(origin, bearing, dist);
+      EXPECT_NEAR(HaversineMeters(origin, dest), dist, dist * 1e-6 + 1e-3)
+          << "bearing " << bearing << " dist " << dist;
+    }
+  }
+}
+
+TEST(LatLngTest, IntermediateEndpointsAndMidpoint) {
+  const LatLng a{54.0, 10.0}, b{58.0, 13.0};
+  EXPECT_NEAR(HaversineMeters(Intermediate(a, b, 0.0), a), 0, kMeterTol);
+  EXPECT_NEAR(HaversineMeters(Intermediate(a, b, 1.0), b), 0, kMeterTol);
+  const LatLng mid = Intermediate(a, b, 0.5);
+  EXPECT_NEAR(HaversineMeters(a, mid), HaversineMeters(mid, b), kMeterTol);
+}
+
+TEST(LatLngTest, BearingDiff) {
+  EXPECT_NEAR(BearingDiffDeg(10, 350), 20, 1e-9);
+  EXPECT_NEAR(BearingDiffDeg(350, 10), 20, 1e-9);
+  EXPECT_NEAR(BearingDiffDeg(0, 180), 180, 1e-9);
+  EXPECT_NEAR(BearingDiffDeg(90, 90), 0, 1e-9);
+  EXPECT_NEAR(BearingDiffDeg(-10, 10), 20, 1e-9);
+}
+
+TEST(LatLngTest, NormalizeLngWrapsIntoRange) {
+  EXPECT_DOUBLE_EQ(NormalizeLng(181), -179);
+  EXPECT_DOUBLE_EQ(NormalizeLng(-181), 179);
+  EXPECT_DOUBLE_EQ(NormalizeLng(360), 0);
+  EXPECT_DOUBLE_EQ(NormalizeLng(5), 5);
+}
+
+TEST(LatLngTest, KnotsConversionRoundTrip) {
+  EXPECT_NEAR(MpsToKnots(KnotsToMps(17.3)), 17.3, 1e-12);
+  EXPECT_NEAR(KnotsToMps(1.0), 0.514444, 1e-5);
+}
+
+class MercatorRoundTripTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MercatorRoundTripTest, ProjectUnprojectIsIdentity) {
+  const auto [lat, lng] = GetParam();
+  const LatLng p{lat, lng};
+  const LatLng back = MercatorUnproject(MercatorProject(p));
+  EXPECT_NEAR(back.lat, lat, 1e-9);
+  EXPECT_NEAR(back.lng, lng, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coordinates, MercatorRoundTripTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{55.5, 11.3},
+                      std::pair{-33.9, 151.2}, std::pair{37.9, 23.6},
+                      std::pair{80.0, -170.0}, std::pair{-80.0, 179.9}));
+
+TEST(MercatorTest, ScaleMatchesSecantOfLatitude) {
+  EXPECT_NEAR(MercatorScale(0), 1.0, 1e-12);
+  EXPECT_NEAR(MercatorScale(60), 2.0, 1e-9);
+  // Local distances inflate by the scale: measure a small northward step.
+  const LatLng a{56.0, 11.0};
+  const LatLng b = Destination(a, 0.0, 1000.0);
+  const double plane = PlaneDistance(MercatorProject(a), MercatorProject(b));
+  EXPECT_NEAR(plane / 1000.0, MercatorScale(56.0), 0.01);
+}
+
+TEST(PolylineTest, LengthOfKnownPath) {
+  const Polyline line{{0, 0}, {1, 0}, {2, 0}};
+  EXPECT_NEAR(PolylineLengthMeters(line), 2 * 111195, 100);
+  EXPECT_DOUBLE_EQ(PolylineLengthMeters({}), 0);
+  EXPECT_DOUBLE_EQ(PolylineLengthMeters({{5, 5}}), 0);
+}
+
+TEST(PolylineTest, ResampleBoundsSpacing) {
+  const Polyline line{{55.0, 11.0}, {55.2, 11.0}, {55.2, 11.4}};
+  const Polyline dense = ResampleMaxSpacing(line, 250.0);
+  ASSERT_GE(dense.size(), line.size());
+  for (size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_LE(HaversineMeters(dense[i - 1], dense[i]), 250.0 + kMeterTol);
+  }
+  // Endpoints preserved.
+  EXPECT_NEAR(HaversineMeters(dense.front(), line.front()), 0, 1e-9);
+  EXPECT_NEAR(HaversineMeters(dense.back(), line.back()), 0, 1e-9);
+}
+
+TEST(PolylineTest, ResampleNoOpWhenAlreadyDense) {
+  const Polyline line{{55.0, 11.0}, {55.0005, 11.0}};
+  EXPECT_EQ(ResampleMaxSpacing(line, 250.0).size(), 2u);
+}
+
+TEST(PolylineTest, CrossTrackPerpendicularCase) {
+  // Point 1km east of the midpoint of a meridian segment.
+  const LatLng a{55.0, 11.0}, b{56.0, 11.0};
+  const LatLng mid = Intermediate(a, b, 0.5);
+  const LatLng off = Destination(mid, 90.0, 1000.0);
+  EXPECT_NEAR(CrossTrackMeters(off, a, b), 1000.0, 5.0);
+}
+
+TEST(PolylineTest, CrossTrackBeyondEndpointsUsesEndpointDistance) {
+  const LatLng a{55.0, 11.0}, b{55.1, 11.0};
+  const LatLng behind = Destination(a, 180.0, 2000.0);
+  EXPECT_NEAR(CrossTrackMeters(behind, a, b), 2000.0, 10.0);
+  const LatLng beyond = Destination(b, 0.0, 3000.0);
+  EXPECT_NEAR(CrossTrackMeters(beyond, a, b), 3000.0, 10.0);
+}
+
+TEST(RdpTest, ToleranceZeroReturnsInput) {
+  const Polyline line{{55, 11}, {55.01, 11.02}, {55.02, 11.0}};
+  EXPECT_EQ(RdpSimplify(line, 0).size(), line.size());
+}
+
+TEST(RdpTest, CollinearCollapsesToEndpoints) {
+  Polyline line;
+  for (int i = 0; i <= 10; ++i) line.push_back({55.0 + 0.01 * i, 11.0});
+  const Polyline simple = RdpSimplify(line, 50.0);
+  EXPECT_EQ(simple.size(), 2u);
+  EXPECT_NEAR(HaversineMeters(simple.front(), line.front()), 0, 1e-9);
+  EXPECT_NEAR(HaversineMeters(simple.back(), line.back()), 0, 1e-9);
+}
+
+TEST(RdpTest, KeepsSignificantCorner) {
+  // An L-shaped path: the corner deviates far more than the tolerance.
+  const Polyline line{{55.0, 11.0}, {55.2, 11.0}, {55.2, 11.4}};
+  const Polyline simple = RdpSimplify(line, 100.0);
+  EXPECT_EQ(simple.size(), 3u);
+}
+
+class RdpToleranceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RdpToleranceSweep, DeviationBoundedByTolerance) {
+  const double tol = GetParam();
+  // A wiggly path.
+  Rng rng(1234);
+  Polyline line;
+  for (int i = 0; i <= 60; ++i) {
+    line.push_back({55.0 + 0.005 * i + rng.Uniform(-0.001, 0.001),
+                    11.0 + rng.Uniform(-0.002, 0.002)});
+  }
+  const Polyline simple = RdpSimplify(line, tol);
+  ASSERT_GE(simple.size(), 2u);
+  EXPECT_LE(simple.size(), line.size());
+  // Every dropped point must lie within ~tolerance of the simplified path.
+  for (const LatLng& p : line) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < simple.size(); ++i) {
+      best = std::min(best, CrossTrackMeters(p, simple[i - 1], simple[i]));
+    }
+    EXPECT_LE(best, tol * 1.5 + kMeterTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, RdpToleranceSweep,
+                         ::testing::Values(50.0, 100.0, 250.0, 500.0, 1000.0));
+
+TEST(TurnStatsTest, StraightLineHasZeroTurns) {
+  Polyline line;
+  for (int i = 0; i < 10; ++i) line.push_back({55.0 + 0.01 * i, 11.0});
+  const TurnStats st = ComputeTurnStats(line);
+  EXPECT_NEAR(st.avg_rot, 0, 0.2);
+  EXPECT_NEAR(st.max_rot, 0, 0.5);
+  EXPECT_EQ(st.turns_gt45, 0);
+  EXPECT_EQ(st.count, 10);
+}
+
+TEST(TurnStatsTest, RightAngleDetected) {
+  const Polyline line{{55.0, 11.0}, {55.2, 11.0}, {55.2, 11.4}};
+  const TurnStats st = ComputeTurnStats(line);
+  EXPECT_GT(st.max_rot, 80);
+  EXPECT_EQ(st.turns_gt45, 1);
+}
+
+TEST(TurnStatsTest, ShortPathsHaveNoStats) {
+  EXPECT_EQ(ComputeTurnStats({}).max_rot, 0);
+  EXPECT_EQ(ComputeTurnStats({{55, 11}, {56, 11}}).max_rot, 0);
+}
+
+TEST(TurnStatsTest, AverageAcrossPaths) {
+  TurnStats a;
+  a.count = 10;
+  a.avg_rot = 20;
+  TurnStats b;
+  b.count = 20;
+  b.avg_rot = 40;
+  const TurnStats avg = AverageTurnStats({a, b});
+  EXPECT_DOUBLE_EQ(avg.count, 15);
+  EXPECT_DOUBLE_EQ(avg.avg_rot, 30);
+  EXPECT_DOUBLE_EQ(AverageTurnStats({}).count, 0);
+}
+
+TEST(DtwTest, IdenticalPathsScoreZero) {
+  const Polyline line{{55, 11}, {55.1, 11.1}, {55.2, 11.2}};
+  EXPECT_NEAR(DtwAverageMeters(line, line), 0, 1e-9);
+  EXPECT_NEAR(DtwTotalMeters(line, line), 0, 1e-9);
+}
+
+TEST(DtwTest, ParallelOffsetPathsScoreTheOffset) {
+  Polyline a, b;
+  for (int i = 0; i <= 20; ++i) {
+    const LatLng p{55.0 + 0.01 * i, 11.0};
+    a.push_back(p);
+    b.push_back(Destination(p, 90.0, 500.0));
+  }
+  EXPECT_NEAR(DtwAverageMeters(a, b), 500.0, 25.0);
+}
+
+TEST(DtwTest, SymmetricAndEmptyBehaviour) {
+  const Polyline a{{55, 11}, {55.3, 11.2}};
+  const Polyline b{{55.1, 11.0}, {55.2, 11.4}, {55.4, 11.4}};
+  EXPECT_DOUBLE_EQ(DtwAverageMeters(a, b), DtwAverageMeters(b, a));
+  EXPECT_DOUBLE_EQ(DtwAverageMeters({}, {}), 0);
+  EXPECT_TRUE(std::isinf(DtwAverageMeters(a, {})));
+}
+
+TEST(FrechetTest, BoundsAndDegenerateCases) {
+  const Polyline a{{55, 11}, {55.2, 11.0}};
+  const Polyline b{{55, 11.01}, {55.2, 11.01}};
+  const double frechet = DiscreteFrechetMeters(a, b);
+  // For these parallel paths Frechet ~ offset (~630 m at lat 55).
+  EXPECT_NEAR(frechet, HaversineMeters({55, 11}, {55, 11.01}), 50);
+  EXPECT_DOUBLE_EQ(DiscreteFrechetMeters({}, {}), 0);
+  EXPECT_TRUE(std::isinf(DiscreteFrechetMeters(a, {})));
+  // Frechet >= DTW-average for the same pair (max vs mean coupling cost).
+  EXPECT_GE(frechet + 1e-9, DtwAverageMeters(a, b));
+}
+
+TEST(PolygonTest, SquareContainment) {
+  const Polygon square({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_TRUE(square.Contains({0.5, 0.5}));
+  EXPECT_FALSE(square.Contains({1.5, 0.5}));
+  EXPECT_FALSE(square.Contains({-0.1, -0.1}));
+}
+
+TEST(PolygonTest, EmptyPolygonContainsNothing) {
+  Polygon empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Contains({0, 0}));
+  EXPECT_FALSE(empty.IntersectsSegment({0, 0}, {1, 1}));
+}
+
+TEST(PolygonTest, SegmentIntersection) {
+  const Polygon square({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  // Crossing segment.
+  EXPECT_TRUE(square.IntersectsSegment({-0.5, 0.5}, {1.5, 0.5}));
+  // Fully outside.
+  EXPECT_FALSE(square.IntersectsSegment({2, 2}, {3, 3}));
+  // Endpoint inside.
+  EXPECT_TRUE(square.IntersectsSegment({0.5, 0.5}, {2, 2}));
+}
+
+TEST(PolygonTest, SegmentsIntersectBasics) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {0, 1}, {1, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  // Touching at an endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(LandMaskTest, NavigabilityQueries) {
+  LandMask mask;
+  mask.AddPolygon(Polygon({{0, 0}, {0, 1}, {1, 1}, {1, 0}}));
+  mask.AddPolygon(Polygon({{2, 2}, {2, 3}, {3, 3}, {3, 2}}));
+  EXPECT_TRUE(mask.IsOnLand({0.5, 0.5}));
+  EXPECT_TRUE(mask.IsOnLand({2.5, 2.5}));
+  EXPECT_FALSE(mask.IsOnLand({1.5, 1.5}));
+  EXPECT_FALSE(mask.SegmentAtSea({-1, 0.5}, {2, 0.5}));
+  EXPECT_TRUE(mask.SegmentAtSea({1.5, 0.0}, {1.5, 3.0}));
+  const std::vector<LatLng> line{{-1, -1}, {0.5, 0.5}, {1.5, 1.5}};
+  EXPECT_NEAR(mask.FractionOnLand(line), 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(mask.CountLandCrossings(line), 2);
+  EXPECT_DOUBLE_EQ(mask.FractionOnLand({}), 0);
+}
+
+}  // namespace
+}  // namespace habit::geo

@@ -1,0 +1,270 @@
+// Tests for the graph module: digraph storage, Dijkstra/A*, components,
+// SCC, and the KD-tree (validated against brute force).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "graph/digraph.h"
+#include "graph/kdtree.h"
+#include "graph/shortest_path.h"
+
+namespace habit::graph {
+namespace {
+
+Digraph MakeDiamond() {
+  // A diamond 0-{1,2}-3 with a tail 3-4; the cheap route goes via 2.
+  Digraph g;
+  g.AddEdge(0, 1, {.weight = 1.0});
+  g.AddEdge(0, 2, {.weight = 2.0});
+  g.AddEdge(1, 3, {.weight = 2.0});
+  g.AddEdge(2, 3, {.weight = 0.5});
+  g.AddEdge(3, 4, {.weight = 1.0});
+  return g;
+}
+
+TEST(DigraphTest, NodeAndEdgeBookkeeping) {
+  Digraph g;
+  NodeAttrs node7;
+  node7.message_count = 3;
+  EXPECT_TRUE(g.AddNode(7, node7));
+  EXPECT_FALSE(g.AddNode(7));  // already present
+  g.AddEdge(7, 8, {.weight = 2.5, .transitions = 4});
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(7, 8));
+  EXPECT_FALSE(g.HasEdge(8, 7));
+  EXPECT_EQ(g.GetNode(7).value().message_count, 3);
+  EXPECT_EQ(g.GetEdge(7, 8).value().transitions, 4);
+  EXPECT_FALSE(g.GetNode(99).ok());
+  EXPECT_FALSE(g.GetEdge(8, 7).ok());
+  // Replacing an edge keeps the edge count.
+  g.AddEdge(7, 8, {.weight = 9.0});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.GetEdge(7, 8).value().weight, 9.0);
+}
+
+TEST(DigraphTest, SetNodeAttrsAndIteration) {
+  Digraph g = MakeDiamond();
+  NodeAttrs attrs;
+  attrs.message_count = 42;
+  ASSERT_TRUE(g.SetNodeAttrs(3, attrs).ok());
+  EXPECT_EQ(g.GetNode(3).value().message_count, 42);
+  EXPECT_FALSE(g.SetNodeAttrs(99, attrs).ok());
+
+  size_t node_count = 0, edge_count = 0;
+  g.ForEachNode([&](NodeId, const NodeAttrs&) { ++node_count; });
+  g.ForEachEdge([&](NodeId, NodeId, const EdgeAttrs&) { ++edge_count; });
+  EXPECT_EQ(node_count, g.num_nodes());
+  EXPECT_EQ(edge_count, g.num_edges());
+  EXPECT_GT(g.SizeBytes(), 0u);
+}
+
+TEST(ShortestPathTest, DijkstraPicksCheapestRoute) {
+  Digraph g = MakeDiamond();
+  auto result = Dijkstra(g, 0, 4);
+  ASSERT_TRUE(result.ok());
+  // 0-2-3-4 costs 3.5, 0-1-3-4 costs 4.0.
+  EXPECT_DOUBLE_EQ(result.value().cost, 3.5);
+  EXPECT_EQ(result.value().nodes, (std::vector<NodeId>{0, 2, 3, 4}));
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  Digraph g = MakeDiamond();
+  auto result = Dijkstra(g, 3, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().cost, 0.0);
+  EXPECT_EQ(result.value().nodes.size(), 1u);
+}
+
+TEST(ShortestPathTest, UnreachableAndMissingNodes) {
+  Digraph g = MakeDiamond();
+  g.AddNode(99);
+  auto unreachable = Dijkstra(g, 4, 0);  // edges point the other way
+  EXPECT_EQ(unreachable.status().code(), StatusCode::kUnreachable);
+  EXPECT_EQ(Dijkstra(g, 123, 4).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Dijkstra(g, 0, 123).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShortestPathTest, AStarMatchesDijkstraWithAdmissibleHeuristic) {
+  // Random weighted DAG-ish graph; h=0 must match and a scaled true
+  // distance heuristic must stay optimal.
+  Rng rng(5);
+  Digraph g;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      const int j = static_cast<int>(rng.UniformInt(0, n - 1));
+      if (j != i) {
+        g.AddEdge(i, j, {.weight = rng.Uniform(0.1, 5.0)});
+      }
+    }
+  }
+  auto exact = DijkstraAll(g, 0);
+  std::unordered_map<NodeId, double> dist(exact.begin(), exact.end());
+  int checked = 0;
+  for (const auto& [target, d] : exact) {
+    if (target == 0 || checked > 20) continue;
+    ++checked;
+    auto dij = Dijkstra(g, 0, target);
+    ASSERT_TRUE(dij.ok());
+    EXPECT_NEAR(dij.value().cost, d, 1e-9);
+    // Admissible heuristic: half of the true remaining distance from the
+    // *reverse* direction is unavailable; use zero-h A* equivalence.
+    auto astar = AStar(g, 0, target, [](NodeId) { return 0.0; });
+    ASSERT_TRUE(astar.ok());
+    EXPECT_NEAR(astar.value().cost, d, 1e-9);
+  }
+}
+
+TEST(ShortestPathTest, AStarHeuristicReducesExpansion) {
+  // Grid-like chain: a good heuristic should settle fewer nodes.
+  Digraph g;
+  const int n = 400;
+  for (int i = 0; i + 1 < n; ++i) {
+    g.AddEdge(i, i + 1, {.weight = 1.0});
+    g.AddEdge(i + 1, i, {.weight = 1.0});
+  }
+  auto blind = AStar(g, 0, n - 1, [](NodeId) { return 0.0; });
+  auto guided = AStar(g, 0, n - 1, [n](NodeId u) {
+    return static_cast<double>(n - 1 - static_cast<int>(u));
+  });
+  ASSERT_TRUE(blind.ok());
+  ASSERT_TRUE(guided.ok());
+  EXPECT_DOUBLE_EQ(blind.value().cost, guided.value().cost);
+  EXPECT_LE(guided.value().expanded, blind.value().expanded);
+}
+
+TEST(ShortestPathTest, ReachabilityAndComponents) {
+  Digraph g;
+  g.AddEdge(0, 1, {});
+  g.AddEdge(1, 2, {});
+  g.AddEdge(5, 6, {});
+  g.AddNode(9);
+  EXPECT_EQ(ReachableFrom(g, 0).size(), 3u);
+  EXPECT_EQ(ReachableFrom(g, 2).size(), 1u);
+  EXPECT_TRUE(ReachableFrom(g, 77).empty());
+  auto comps = WeaklyConnectedComponents(g);
+  EXPECT_EQ(comps.size(), 3u);  // {0,1,2}, {5,6}, {9}
+  std::multiset<size_t> sizes;
+  for (const auto& c : comps) sizes.insert(c.size());
+  EXPECT_EQ(sizes, (std::multiset<size_t>{1, 2, 3}));
+}
+
+TEST(ShortestPathTest, StronglyConnectedComponents) {
+  Digraph g;
+  // Cycle 0-1-2, tail 2->3->4, separate 2-cycle 5<->6.
+  g.AddEdge(0, 1, {});
+  g.AddEdge(1, 2, {});
+  g.AddEdge(2, 0, {});
+  g.AddEdge(2, 3, {});
+  g.AddEdge(3, 4, {});
+  g.AddEdge(5, 6, {});
+  g.AddEdge(6, 5, {});
+  auto sccs = StronglyConnectedComponents(g);
+  std::multiset<size_t> sizes;
+  for (const auto& c : sccs) sizes.insert(c.size());
+  EXPECT_EQ(sizes, (std::multiset<size_t>{1, 1, 2, 3}));
+  // The 3-cycle is one SCC.
+  for (const auto& c : sccs) {
+    if (c.size() == 3) {
+      std::set<NodeId> ids(c.begin(), c.end());
+      EXPECT_EQ(ids, (std::set<NodeId>{0, 1, 2}));
+    }
+  }
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree;
+  uint64_t id;
+  EXPECT_FALSE(tree.Nearest({55, 11}, &id));
+  EXPECT_TRUE(tree.WithinRadius({55, 11}, 1000).empty());
+  EXPECT_TRUE(tree.KNearest({55, 11}, 3).empty());
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  Rng rng(21);
+  std::vector<std::pair<geo::LatLng, uint64_t>> points;
+  for (uint64_t i = 0; i < 500; ++i) {
+    points.push_back(
+        {{rng.Uniform(54.0, 58.0), rng.Uniform(9.0, 13.0)}, i});
+  }
+  KdTree tree;
+  tree.Build(points);
+  EXPECT_EQ(tree.size(), 500u);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geo::LatLng q{rng.Uniform(54.0, 58.0), rng.Uniform(9.0, 13.0)};
+    uint64_t got;
+    double dist_m;
+    ASSERT_TRUE(tree.Nearest(q, &got, &dist_m));
+    // Brute force in the same metric (Mercator plane).
+    const geo::XY qp = geo::MercatorProject(q);
+    double best = 1e300;
+    uint64_t expected = 0;
+    for (const auto& [p, id] : points) {
+      const geo::XY pp = geo::MercatorProject(p);
+      const double d =
+          (pp.x - qp.x) * (pp.x - qp.x) + (pp.y - qp.y) * (pp.y - qp.y);
+      if (d < best) {
+        best = d;
+        expected = id;
+      }
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_NEAR(dist_m,
+                geo::HaversineMeters(q, points[expected].first),
+                dist_m * 0.02 + 5.0);
+  }
+}
+
+TEST(KdTreeTest, WithinRadiusMatchesBruteForce) {
+  Rng rng(22);
+  std::vector<std::pair<geo::LatLng, uint64_t>> points;
+  for (uint64_t i = 0; i < 400; ++i) {
+    points.push_back(
+        {{rng.Uniform(55.0, 55.5), rng.Uniform(11.0, 11.5)}, i});
+  }
+  KdTree tree;
+  tree.Build(points);
+  const geo::LatLng q{55.25, 11.25};
+  for (double radius : {500.0, 2000.0, 10000.0}) {
+    auto got = tree.WithinRadius(q, radius);
+    std::set<uint64_t> got_set(got.begin(), got.end());
+    // Compare against haversine brute force with slack for the Mercator
+    // metric difference at this small scale.
+    size_t definitely_inside = 0;
+    for (const auto& [p, id] : points) {
+      const double d = geo::HaversineMeters(q, p);
+      if (d < radius * 0.98) {
+        ++definitely_inside;
+        EXPECT_TRUE(got_set.contains(id)) << "missing id " << id;
+      }
+      if (d > radius * 1.02) {
+        EXPECT_FALSE(got_set.contains(id)) << "extra id " << id;
+      }
+    }
+    EXPECT_GE(got.size(), definitely_inside);
+  }
+  EXPECT_TRUE(tree.WithinRadius(q, -5).empty());
+}
+
+TEST(KdTreeTest, KNearestOrderedByDistance) {
+  std::vector<std::pair<geo::LatLng, uint64_t>> points;
+  for (uint64_t i = 0; i < 10; ++i) {
+    points.push_back({{55.0 + 0.01 * static_cast<double>(i), 11.0}, i});
+  }
+  KdTree tree;
+  tree.Build(points);
+  const auto got = tree.KNearest({55.0, 11.0}, 4);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], 0u);
+  EXPECT_EQ(got[1], 1u);
+  EXPECT_EQ(got[2], 2u);
+  EXPECT_EQ(got[3], 3u);
+  // k larger than the point count returns everything.
+  EXPECT_EQ(tree.KNearest({55.0, 11.0}, 100).size(), 10u);
+}
+
+}  // namespace
+}  // namespace habit::graph

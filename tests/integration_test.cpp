@@ -1,0 +1,151 @@
+// End-to-end integration tests: the full pipeline (simulate -> clean ->
+// segment -> build -> impute -> score) and cross-method sanity properties
+// the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "geo/similarity.h"
+
+namespace habit {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::ExperimentOptions options;
+    options.scale = 0.3;
+    options.seed = 21;
+    options.gap_seconds = 3600;
+    static eval::Experiment exp =
+        eval::PrepareExperiment("KIEL", options).MoveValue();
+    exp_ = &exp;
+  }
+
+  static eval::Experiment* exp_;
+};
+
+eval::Experiment* EndToEndTest::exp_ = nullptr;
+
+TEST_F(EndToEndTest, PipelineProducesEvaluableGaps) {
+  ASSERT_GE(exp_->gaps.size(), 3u);
+  for (const auto& gc : exp_->gaps) {
+    EXPECT_GE(gc.ground_truth.size(), 3u);
+    EXPECT_LT(gc.gap_start.ts, gc.gap_end.ts);
+  }
+}
+
+TEST_F(EndToEndTest, HabitImputesMostGapsAccurately) {
+  core::HabitConfig config;
+  config.resolution = 9;
+  config.rdp_tolerance_m = 250;
+  auto report = eval::RunHabit(*exp_, config).MoveValue();
+  // On the confined KIEL-like corridor HABIT should fill nearly all gaps...
+  EXPECT_GE(report.accuracy.count, exp_->gaps.size() * 2 / 3);
+  // ...and stay well under the worst-case error (straight-line distance of
+  // a one-hour gap is ~30 km; lane-following should be within ~2 km DTW).
+  EXPECT_LT(report.accuracy.median, 2000.0);
+  EXPECT_LT(report.latency.Mean(), 1.0);
+}
+
+TEST_F(EndToEndTest, HabitBeatsSliOnCurvedCorridor) {
+  core::HabitConfig config;
+  auto habit_report = eval::RunHabit(*exp_, config).MoveValue();
+  const eval::MethodReport sli_report = eval::RunSli(*exp_);
+  // The corridor bends around islands, so straight-line interpolation
+  // accumulates larger deviations on long gaps. Compare medians.
+  EXPECT_LT(habit_report.accuracy.median, sli_report.accuracy.median * 1.5);
+}
+
+TEST_F(EndToEndTest, HabitModelIsCompactAndGtiIsLarger) {
+  // The storage gap of Table 2 is driven by data density: GTI keeps every
+  // raw point while HABIT's per-cell model saturates once the lanes are
+  // covered. Use class-A reporting density (8 s) as in the paper's feeds.
+  eval::ExperimentOptions options;
+  options.scale = 0.3;
+  options.seed = 21;
+  options.sampler.report_interval_s = 8.0;
+  auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
+
+  core::HabitConfig config;
+  config.resolution = 9;
+  auto habit_report = eval::RunHabit(exp, config).MoveValue();
+
+  baselines::GtiConfig gti_config;
+  gti_config.rm_meters = 250;
+  gti_config.rd_degrees = 1e-3;
+  auto gti_report = eval::RunGti(exp, gti_config).MoveValue();
+
+  // Table 2's headline: the GTI model (every raw point + candidate edges)
+  // outweighs HABIT's aggregated per-cell model.
+  EXPECT_GT(gti_report.model_bytes, habit_report.model_bytes);
+}
+
+TEST_F(EndToEndTest, ResolutionSweepTradesAccuracyForSize) {
+  size_t prev_size = 0;
+  for (int r : {7, 8, 9}) {
+    core::HabitConfig config;
+    config.resolution = r;
+    auto report = eval::RunHabit(*exp_, config).MoveValue();
+    EXPECT_GT(report.model_bytes, prev_size)
+        << "storage must grow with resolution (Table 2)";
+    prev_size = report.model_bytes;
+  }
+}
+
+TEST_F(EndToEndTest, GapDurationDegradesGracefully) {
+  // Fig. 7: larger gaps have equal-or-worse accuracy but the pipeline
+  // still functions.
+  eval::ExperimentOptions options;
+  options.scale = 0.3;
+  options.seed = 21;
+  core::HabitConfig config;
+  double prev_median = 0;
+  for (int64_t gap_s : {3600LL, 4 * 3600LL}) {
+    options.gap_seconds = gap_s;
+    auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
+    if (exp.gaps.empty()) continue;
+    auto report = eval::RunHabit(exp, config).MoveValue();
+    EXPECT_GT(report.accuracy.count, 0u);
+    prev_median = report.accuracy.median;
+  }
+  EXPECT_GT(prev_median, 0.0);
+}
+
+TEST(IntegrationSarTest, MixedTrafficPipelineWorks) {
+  eval::ExperimentOptions options;
+  options.scale = 0.15;
+  options.seed = 33;
+  auto exp = eval::PrepareExperiment("SAR", options).MoveValue();
+  ASSERT_GT(exp.gaps.size(), 2u);
+  core::HabitConfig config;
+  config.resolution = 9;
+  auto report = eval::RunHabit(exp, config).MoveValue();
+  // Mixed irregular traffic: some gaps may fail, most should impute.
+  EXPECT_GE(report.accuracy.count, exp.gaps.size() / 2);
+  const eval::MethodReport sli = eval::RunSli(exp);
+  EXPECT_EQ(sli.accuracy.failures, 0u);
+}
+
+TEST(IntegrationNavigabilityTest, ImputedPathsAvoidLandMoreThanSli) {
+  // Fig. 1 / Section 3.4 claim: HABIT paths are navigable while straight
+  // lines cross land. Count land crossings over all imputed paths.
+  eval::ExperimentOptions options;
+  options.scale = 0.3;
+  options.seed = 21;
+  auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
+  core::HabitConfig config;
+  auto habit_report = eval::RunHabit(exp, config).MoveValue();
+  const eval::MethodReport sli = eval::RunSli(exp);
+  int habit_crossings = 0, sli_crossings = 0;
+  for (size_t i = 0; i < exp.gaps.size(); ++i) {
+    if (!habit_report.paths[i].empty()) {
+      habit_crossings +=
+          exp.world->land().CountLandCrossings(habit_report.paths[i]);
+    }
+    sli_crossings += exp.world->land().CountLandCrossings(sli.paths[i]);
+  }
+  EXPECT_LE(habit_crossings, sli_crossings);
+}
+
+}  // namespace
+}  // namespace habit

@@ -1,0 +1,333 @@
+// Tests for the simulator: world/route planning navigability, vessel
+// kinematics (speed and turn-rate limits), the AIS reception model, dataset
+// presets, and synthetic gap injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ais/segment.h"
+#include "sim/datasets.h"
+#include "sim/gaps.h"
+#include "sim/sampler.h"
+#include "sim/vessel.h"
+#include "sim/world.h"
+
+namespace habit::sim {
+namespace {
+
+World MakeTestWorld() {
+  World world("test", {54.0, 10.0}, {57.0, 13.0});
+  world.AddLand(MakeIsland({55.5, 11.5}, 30000, 8, 0.1, 5));
+  world.AddPort({"south", {54.5, 11.5}});
+  world.AddPort({"north", {56.5, 11.5}});
+  return world;
+}
+
+TEST(WorldTest, MakeIslandIsClosedPolygon) {
+  const geo::Polygon island = MakeIsland({55.0, 11.0}, 10000, 8);
+  EXPECT_EQ(island.ring().size(), 8u);
+  EXPECT_TRUE(island.Contains({55.0, 11.0}));  // center inside
+  EXPECT_FALSE(island.Contains({55.5, 11.0}));
+}
+
+TEST(WorldTest, PortLookup) {
+  World world = MakeTestWorld();
+  EXPECT_TRUE(world.GetPort("south").ok());
+  EXPECT_FALSE(world.GetPort("atlantis").ok());
+}
+
+TEST(WorldTest, DirectRouteWhenNoObstacle) {
+  World world("open", {54.0, 10.0}, {57.0, 13.0});
+  auto route = world.PlanRoute({54.5, 11.0}, {56.5, 11.0});
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value().size(), 2u);
+}
+
+TEST(WorldTest, RouteAvoidsIsland) {
+  World world = MakeTestWorld();
+  // Straight south->north passes through the island; the planned route
+  // must detour and stay fully at sea.
+  const auto south = world.GetPort("south").value().pos;
+  const auto north = world.GetPort("north").value().pos;
+  ASSERT_FALSE(world.land().SegmentAtSea(south, north));
+  auto route = world.PlanRoute(south, north);
+  ASSERT_TRUE(route.ok());
+  EXPECT_GT(route.value().size(), 2u);
+  for (size_t i = 1; i < route.value().size(); ++i) {
+    EXPECT_TRUE(
+        world.land().SegmentAtSea(route.value()[i - 1], route.value()[i]))
+        << "leg " << i << " crosses land";
+  }
+  // Route is longer than the great-circle but not absurdly long.
+  const double direct = geo::HaversineMeters(south, north);
+  const double planned = geo::PolylineLengthMeters(route.value());
+  EXPECT_GT(planned, direct);
+  EXPECT_LT(planned, direct * 2.0);
+}
+
+TEST(WorldTest, EnsureAtSeaMovesLandPoints) {
+  World world = MakeTestWorld();
+  const geo::LatLng inside{55.5, 11.5};  // island center
+  ASSERT_TRUE(world.land().IsOnLand(inside));
+  const geo::LatLng moved = EnsureAtSea(world.land(), inside);
+  EXPECT_FALSE(world.land().IsOnLand(moved));
+  // Points already at sea are untouched.
+  const geo::LatLng sea{54.2, 10.2};
+  EXPECT_EQ(EnsureAtSea(world.land(), sea), sea);
+}
+
+TEST(VesselTest, KinematicsDifferByType) {
+  const auto pas = KinematicsFor(ais::VesselType::kPassenger);
+  const auto tan = KinematicsFor(ais::VesselType::kTanker);
+  const auto fis = KinematicsFor(ais::VesselType::kFishing);
+  EXPECT_GT(pas.cruise_speed_knots, tan.cruise_speed_knots);
+  EXPECT_GT(fis.max_turn_rate_deg_s, tan.max_turn_rate_deg_s);
+}
+
+TEST(VesselTest, VoyageReachesDestinationWithSaneKinematics) {
+  Rng rng(3);
+  const geo::Polyline route{{54.5, 11.0}, {55.0, 11.2}, {55.5, 11.0}};
+  const VesselKinematics kin = KinematicsFor(ais::VesselType::kPassenger);
+  const auto track = SimulateVoyage(route, kin, 1000000, &rng, 15);
+  ASSERT_GT(track.size(), 100u);
+  // Ends near the destination (within the waypoint switch radius + tail).
+  EXPECT_LT(geo::HaversineMeters(track.back().pos, route.back()), 500.0);
+  // Timestamps strictly increasing; speeds within physical bounds.
+  double max_sog = 0;
+  for (size_t i = 0; i < track.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(track[i].ts, track[i - 1].ts);
+    }
+    EXPECT_GE(track[i].sog, 0.0);
+    max_sog = std::max(max_sog, track[i].sog);
+  }
+  EXPECT_LT(max_sog, kin.cruise_speed_knots + 6 * kin.speed_stddev_knots);
+  // Turn rate limited: heading change per step bounded by the slew limit.
+  for (size_t i = 1; i < track.size(); ++i) {
+    const double dt = static_cast<double>(track[i].ts - track[i - 1].ts);
+    const double turn = geo::BearingDiffDeg(track[i].cog, track[i - 1].cog);
+    EXPECT_LE(turn, kin.max_turn_rate_deg_s * dt + 1e-6);
+  }
+}
+
+TEST(VesselTest, DegenerateRoutes) {
+  Rng rng(4);
+  const VesselKinematics kin;
+  EXPECT_TRUE(SimulateVoyage({}, kin, 0, &rng).empty());
+  EXPECT_TRUE(SimulateVoyage({{55, 11}}, kin, 0, &rng).empty());
+  EXPECT_TRUE(SimulateVoyage({{55, 11}, {55.1, 11}}, kin, 0, &rng, 0).empty());
+}
+
+TEST(VesselTest, PerturbRouteKeepsEndpointsAndSea) {
+  World world = MakeTestWorld();
+  auto route = world
+                   .PlanRoute(world.GetPort("south").value().pos,
+                              world.GetPort("north").value().pos)
+                   .MoveValue();
+  Rng rng(5);
+  const geo::Polyline varied = PerturbRoute(route, 800.0, world.land(), &rng);
+  ASSERT_EQ(varied.size(), route.size());
+  EXPECT_EQ(varied.front(), route.front());
+  EXPECT_EQ(varied.back(), route.back());
+  for (const geo::LatLng& p : varied) {
+    EXPECT_FALSE(world.land().IsOnLand(p));
+  }
+}
+
+TEST(SamplerTest, EmitsNoisyIrregularReports) {
+  Rng rng(6);
+  const geo::Polyline route{{54.5, 11.0}, {55.5, 11.0}};
+  const VesselKinematics kin = KinematicsFor(ais::VesselType::kPassenger);
+  const auto track = SimulateVoyage(route, kin, 0, &rng, 15);
+  SamplerOptions options;
+  options.report_interval_s = 60;
+  options.coverage_holes_per_day = 0;  // deterministic coverage here
+  options.drop_probability = 0;
+  const auto reports = SampleAis(track, 42, ais::VesselType::kPassenger,
+                                 options, &rng);
+  ASSERT_GT(reports.size(), 10u);
+  // Sampled coarser than the track, with irregular spacing.
+  EXPECT_LT(reports.size(), track.size());
+  std::set<int64_t> intervals;
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GT(reports[i].ts, reports[i - 1].ts);
+    intervals.insert(reports[i].ts - reports[i - 1].ts);
+  }
+  EXPECT_GT(intervals.size(), 3u);  // exponential jitter, not fixed rate
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.mmsi, 42);
+    EXPECT_TRUE(r.pos.IsValid());
+  }
+}
+
+TEST(SamplerTest, CoverageHolesCreateLongGaps) {
+  Rng rng(7);
+  const geo::Polyline route{{54.5, 11.0}, {56.5, 11.0}};
+  const VesselKinematics kin = KinematicsFor(ais::VesselType::kTanker);
+  const auto track = SimulateVoyage(route, kin, 0, &rng, 15);
+  SamplerOptions options;
+  options.report_interval_s = 30;
+  options.coverage_holes_per_day = 48;  // force holes in a ~12h voyage
+  options.coverage_hole_mean_s = 40 * 60;
+  const auto reports =
+      SampleAis(track, 7, ais::VesselType::kTanker, options, &rng);
+  int64_t max_gap = 0;
+  for (size_t i = 1; i < reports.size(); ++i) {
+    max_gap = std::max(max_gap, reports[i].ts - reports[i - 1].ts);
+  }
+  EXPECT_GT(max_gap, 15 * 60);  // at least one long silence
+}
+
+TEST(DatasetTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeDataset("NOPE").ok());
+}
+
+class DatasetPresetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetPresetTest, GeneratesConsistentTraffic) {
+  DatasetOptions options;
+  options.scale = 0.15;
+  options.seed = 11;
+  auto ds = MakeDataset(GetParam(), options).MoveValue();
+  EXPECT_EQ(ds.name, GetParam());
+  ASSERT_GT(ds.records.size(), 1000u);
+  EXPECT_GT(ds.SizeMb(), 0.0);
+  // All reports at sea (simulated vessels do not drive over land).
+  size_t on_land = 0;
+  for (const auto& r : ds.records) {
+    EXPECT_TRUE(r.pos.IsValid());
+    if (ds.world->land().IsOnLand(r.pos)) ++on_land;
+  }
+  // Position noise may nudge a report ashore very rarely.
+  EXPECT_LT(static_cast<double>(on_land),
+            0.01 * static_cast<double>(ds.records.size()));
+  // Segmentation produces trips.
+  const auto trips = ais::PreprocessAndSegment(ds.records);
+  EXPECT_GT(trips.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, DatasetPresetTest,
+                         ::testing::Values("DAN", "KIEL", "SAR"));
+
+TEST(DatasetTest, DeterministicForSeed) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  options.seed = 9;
+  const auto a = MakeKielDataset(options);
+  const auto b = MakeKielDataset(options);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < std::min<size_t>(100, a.records.size()); ++i) {
+    EXPECT_EQ(a.records[i].ts, b.records[i].ts);
+    EXPECT_DOUBLE_EQ(a.records[i].pos.lat, b.records[i].pos.lat);
+  }
+  options.seed = 10;
+  const auto c = MakeKielDataset(options);
+  bool differs = c.records.size() != a.records.size();
+  for (size_t i = 0; !differs && i < std::min(a.records.size(), c.records.size());
+       ++i) {
+    differs = a.records[i].pos.lat != c.records[i].pos.lat;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DatasetTest, KielIsTwoShipsDanIsSixteen) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  const auto kiel = MakeKielDataset(options);
+  std::set<int64_t> kiel_ships;
+  for (const auto& r : kiel.records) kiel_ships.insert(r.mmsi);
+  EXPECT_EQ(kiel_ships.size(), 2u);
+
+  const auto dan = MakeDanDataset(options);
+  std::set<int64_t> dan_ships;
+  for (const auto& r : dan.records) dan_ships.insert(r.mmsi);
+  EXPECT_EQ(dan_ships.size(), 16u);
+  // DAN is passenger-only.
+  for (const auto& r : dan.records) {
+    EXPECT_EQ(r.type, ais::VesselType::kPassenger);
+  }
+}
+
+TEST(DatasetTest, SarHasMixedVesselTypes) {
+  DatasetOptions options;
+  options.scale = 0.15;
+  const auto sar = MakeSarDataset(options);
+  std::set<ais::VesselType> types;
+  for (const auto& r : sar.records) types.insert(r.type);
+  EXPECT_GE(types.size(), 4u);
+}
+
+TEST(GapTest, InjectGapRemovesRequestedWindow) {
+  // A long synthetic trip: one report per minute for 6 hours.
+  ais::Trip trip;
+  trip.trip_id = 5;
+  trip.mmsi = 1;
+  for (int i = 0; i < 360; ++i) {
+    ais::AisRecord r;
+    r.mmsi = 1;
+    r.ts = i * 60;
+    r.pos = {55.0 + i * 1e-3, 11.0};
+    r.sog = 12;
+    trip.points.push_back(r);
+  }
+  GapOptions options;
+  options.gap_seconds = 3600;
+  Rng rng(13);
+  const auto gc = InjectGap(trip, options, &rng);
+  ASSERT_TRUE(gc.has_value());
+  // Removed points cover ~60 minutes.
+  ASSERT_GE(gc->ground_truth.size(), 50u);
+  const int64_t removed_span =
+      gc->ground_truth.back().ts - gc->ground_truth.front().ts;
+  EXPECT_LE(removed_span, options.gap_seconds);
+  EXPECT_GE(removed_span, options.gap_seconds - 4 * 60);
+  // Degraded trip + ground truth = original.
+  EXPECT_EQ(gc->degraded.points.size() + gc->ground_truth.size(),
+            trip.points.size());
+  // Boundary records bracket the removed window.
+  EXPECT_LT(gc->gap_start.ts, gc->ground_truth.front().ts);
+  EXPECT_GT(gc->gap_end.ts, gc->ground_truth.back().ts);
+  // The degraded trip contains no record inside the removed window.
+  for (const auto& r : gc->degraded.points) {
+    EXPECT_FALSE(r.ts >= gc->ground_truth.front().ts &&
+                 r.ts <= gc->ground_truth.back().ts);
+  }
+}
+
+TEST(GapTest, TooShortTripRejected) {
+  ais::Trip trip;
+  for (int i = 0; i < 10; ++i) {
+    ais::AisRecord r;
+    r.ts = i * 60;
+    r.pos = {55.0, 11.0};
+    trip.points.push_back(r);
+  }
+  GapOptions options;
+  options.gap_seconds = 3600;  // longer than the whole trip
+  Rng rng(14);
+  EXPECT_FALSE(InjectGap(trip, options, &rng).has_value());
+}
+
+TEST(GapTest, InjectGapsProducesOnePerEligibleTrip) {
+  std::vector<ais::Trip> trips;
+  for (int t = 0; t < 5; ++t) {
+    ais::Trip trip;
+    trip.trip_id = t;
+    for (int i = 0; i < 300; ++i) {
+      ais::AisRecord r;
+      r.ts = i * 60;
+      r.pos = {55.0 + i * 1e-3, 11.0 + t * 0.1};
+      trip.points.push_back(r);
+    }
+    trips.push_back(trip);
+  }
+  const auto cases = InjectGaps(trips, {.gap_seconds = 3600}, 77);
+  EXPECT_EQ(cases.size(), 5u);
+  std::set<int64_t> ids;
+  for (const auto& gc : cases) ids.insert(gc.trip_id);
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+}  // namespace
+}  // namespace habit::sim
