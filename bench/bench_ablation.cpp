@@ -8,6 +8,7 @@
 //  (c) median aggregate — exact median vs the constant-memory P^2
 //      estimator inside the per-cell statistics.
 #include <cstdio>
+#include <string>
 
 #include "core/stopwatch.h"
 #include "eval/harness.h"
@@ -39,21 +40,15 @@ int main() {
   std::printf("Ablations [KIEL, %zu gaps]\n", exp.gaps.size());
 
   std::printf("(a) edge-cost policy:\n");
-  for (const auto policy :
-       {core::EdgeCostPolicy::kHops, core::EdgeCostPolicy::kInverseFrequency,
-        core::EdgeCostPolicy::kHopsThenFrequency}) {
-    core::HabitConfig config;
-    config.edge_cost = policy;
-    Report(core::EdgeCostPolicyToString(policy),
-           eval::RunHabit(exp, config));
+  for (const char* cost : {"hops", "invfreq", "hopsfreq"}) {
+    Report(cost, eval::RunMethod(exp, std::string("habit:cost=") + cost));
   }
 
   std::printf("(b) transition expansion:\n");
   for (const bool expand : {true, false}) {
-    core::HabitConfig config;
-    config.expand_transitions = expand;
     Report(expand ? "expand skipped cells (default)" : "raw jumps only",
-           eval::RunHabit(exp, config));
+           eval::RunMethod(
+               exp, std::string("habit:expand=") + (expand ? "1" : "0")));
   }
 
   std::printf("(c) per-cell median aggregate (statistics build only):\n");

@@ -5,8 +5,10 @@
 // the cell center, most visibly at coarse resolutions where the in-cell
 // displacement is large.
 #include <cstdio>
+#include <string>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 
 int main() {
   using namespace habit;
@@ -19,26 +21,18 @@ int main() {
   std::printf("Figure 3: HABIT DTW vs resolution and projection [DAN]\n");
   std::printf("dataset: %zu trips (%zu train), %zu gaps of 60 min\n\n",
               exp.all_trips.size(), exp.train_trips.size(), exp.gaps.size());
-  std::printf("%-4s %-8s %12s %12s %8s\n", "r", "p", "DTW mean(m)",
-              "DTW med(m)", "fails");
+  std::printf("%s\n", eval::FormatReportHeader().c_str());
   for (int r = 6; r <= 10; ++r) {
-    for (const auto p :
-         {core::Projection::kCellCenter, core::Projection::kDataMedian}) {
-      core::HabitConfig config;
-      config.resolution = r;
-      config.projection = p;
-      config.rdp_tolerance_m = 100;
-      auto report = eval::RunHabit(exp, config);
+    for (const char* p : {"c", "w"}) {
+      const std::string spec =
+          "habit:r=" + std::to_string(r) + ",p=" + p + ",t=100";
+      auto report = eval::RunMethod(exp, spec);
       if (!report.ok()) {
-        std::printf("%-4d %-8s  build failed: %s\n", r,
-                    core::ProjectionToString(p),
+        std::printf("%-28s  build failed: %s\n", spec.c_str(),
                     report.status().ToString().c_str());
         continue;
       }
-      std::printf("%-4d %-8s %12.1f %12.1f %8zu\n", r,
-                  core::ProjectionToString(p), report.value().accuracy.mean,
-                  report.value().accuracy.median,
-                  report.value().accuracy.failures);
+      std::printf("%s\n", eval::FormatReportRow(report.value()).c_str());
     }
   }
   std::printf("\npaper shape: finer r -> lower DTW; median projection <= "

@@ -4,8 +4,10 @@
 // Paper shape: accuracy is largely insensitive to t (and to r between 9 and
 // 10) — simplification buys navigability without losing geometric fidelity.
 #include <cstdio>
+#include <string>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 
 int main() {
   using namespace habit;
@@ -15,18 +17,14 @@ int main() {
   options.sampler.report_interval_s = 10.0;  // class-A density
   auto exp = eval::PrepareExperiment("DAN", options).MoveValue();
   std::printf("Figure 4: HABIT DTW vs simplification tolerance [DAN]\n");
-  std::printf("%-4s %-6s %12s %12s %8s\n", "r", "t", "DTW mean(m)",
-              "DTW med(m)", "fails");
+  std::printf("%s\n", eval::FormatReportHeader().c_str());
   for (int r : {9, 10}) {
-    for (double t : {0.0, 100.0, 250.0, 500.0, 1000.0}) {
-      core::HabitConfig config;
-      config.resolution = r;
-      config.rdp_tolerance_m = t;
-      auto report = eval::RunHabit(exp, config);
+    for (int t : {0, 100, 250, 500, 1000}) {
+      const std::string spec =
+          "habit:r=" + std::to_string(r) + ",t=" + std::to_string(t);
+      auto report = eval::RunMethod(exp, spec);
       if (!report.ok()) continue;
-      std::printf("%-4d %-6.0f %12.1f %12.1f %8zu\n", r, t,
-                  report.value().accuracy.mean, report.value().accuracy.median,
-                  report.value().accuracy.failures);
+      std::printf("%s\n", eval::FormatReportRow(report.value()).c_str());
     }
   }
   std::printf("\npaper shape: DTW roughly flat across t within each "

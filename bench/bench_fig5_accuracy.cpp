@@ -7,11 +7,26 @@
 // the diverse SAR traffic HABIT is stable while GTI's tail errors grow and
 // some GTI configurations drop to SLI level or below.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 
 int main() {
   using namespace habit;
+  std::vector<std::string> specs;
+  for (int r : {9, 10}) {
+    for (int t : {100, 250}) {
+      specs.push_back("habit:r=" + std::to_string(r) +
+                      ",t=" + std::to_string(t));
+    }
+  }
+  for (const char* rd : {"1e-4", "5e-4", "1e-3"}) {
+    specs.push_back(std::string("gti:rm=250,rd=") + rd);
+  }
+  specs.push_back("sli");
+
   for (const char* dataset : {"KIEL", "SAR"}) {
     eval::ExperimentOptions options;
     options.scale = 1.0;
@@ -19,31 +34,16 @@ int main() {
     options.sampler.report_interval_s = 10.0;  // class-A density
     options.gap_seconds = 3600;
     auto exp = eval::PrepareExperiment(dataset, options).MoveValue();
-    std::printf("Figure 5 [%s]: %zu gaps of 60 min\n", dataset,
-                exp.gaps.size());
 
-    for (int r : {9, 10}) {
-      for (double t : {100.0, 250.0}) {
-        core::HabitConfig config;
-        config.resolution = r;
-        config.rdp_tolerance_m = t;
-        auto report = eval::RunHabit(exp, config);
-        if (report.ok()) {
-          std::printf("  %s\n",
-                      eval::FormatReportRow(report.value()).c_str());
-        }
-      }
+    std::vector<eval::MethodReport> rows;
+    for (const std::string& spec : specs) {
+      auto report = eval::RunMethod(exp, spec);
+      if (report.ok()) rows.push_back(report.MoveValue());
     }
-    for (double rd : {1e-4, 5e-4, 1e-3}) {
-      baselines::GtiConfig config;
-      config.rm_meters = 250;
-      config.rd_degrees = rd;
-      auto report = eval::RunGti(exp, config);
-      if (report.ok()) {
-        std::printf("  %s\n", eval::FormatReportRow(report.value()).c_str());
-      }
-    }
-    std::printf("  %s\n", eval::FormatReportRow(eval::RunSli(exp)).c_str());
+    char title[128];
+    std::snprintf(title, sizeof(title), "Figure 5 [%s]: %zu gaps of 60 min",
+                  dataset, exp.gaps.size());
+    eval::PrintReportTable(title, rows);
     std::printf("\n");
   }
   std::printf("paper shape: KIEL - GTI best, HABIT close, SLI worst; SAR - "

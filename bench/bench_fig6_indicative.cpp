@@ -2,6 +2,7 @@
 // SLI paths for a handful of gaps, dumped as CSV polylines (one row per
 // vertex) so they can be plotted. Also prints summary DTW per method for
 // the dumped gaps.
+#include <algorithm>
 #include <cstdio>
 
 #include "eval/harness.h"
@@ -14,12 +15,10 @@ int main() {
   options.sampler.report_interval_s = 10.0;  // class-A density
   auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
 
-  core::HabitConfig habit_config;
-  auto habit_report = eval::RunHabit(exp, habit_config).MoveValue();
-  baselines::GtiConfig gti_config;
-  gti_config.rd_degrees = 5e-4;
-  auto gti_report = eval::RunGti(exp, gti_config).MoveValue();
-  const eval::MethodReport sli_report = eval::RunSli(exp);
+  const auto habit_report = eval::RunMethod(exp, "habit").MoveValue();
+  const auto gti_report =
+      eval::RunMethod(exp, "gti:rd=5e-4").MoveValue();
+  const auto sli_report = eval::RunMethod(exp, "sli").MoveValue();
 
   std::printf("Figure 6: indicative imputation results [KIEL]\n");
   std::printf("gap,method,idx,lat,lng\n");

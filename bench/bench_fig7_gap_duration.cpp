@@ -25,13 +25,12 @@ int main() {
       std::printf("%s, %lldh gaps (%zu cases)\n", dataset,
                   static_cast<long long>(hours), exp.gaps.size());
       for (int r : {9, 10}) {
-        for (double t : {100.0, 250.0}) {
-          core::HabitConfig config;
-          config.resolution = r;
-          config.rdp_tolerance_m = t;
-          auto report = eval::RunHabit(exp, config);
+        for (int t : {100, 250}) {
+          const std::string spec =
+              "habit:r=" + std::to_string(r) + ",t=" + std::to_string(t);
+          auto report = eval::RunMethod(exp, spec);
           if (!report.ok()) continue;
-          std::printf("  r=%d|t=%-4.0f  mean %8.1f  median %8.1f  p90 %8.1f "
+          std::printf("  r=%d|t=%-4d  mean %8.1f  median %8.1f  p90 %8.1f "
                       " max %9.1f  fails %zu\n",
                       r, t, report.value().accuracy.mean,
                       report.value().accuracy.median,

@@ -15,14 +15,14 @@
 #include <set>
 
 #include "ais/segment.h"
+#include "eval/report.h"
 #include "sim/datasets.h"
 
 int main() {
   using namespace habit;
   std::printf("Table 1: Characteristics of the AIS datasets (synthetic "
               "stand-ins)\n");
-  std::printf("%-6s %-10s %9s %10s %7s %6s\n", "Data", "Type", "Size(MB)",
-              "Positions", "Trips", "Ships");
+  std::printf("%s\n", eval::FormatDatasetHeader().c_str());
   for (const char* name : {"DAN", "KIEL", "SAR"}) {
     sim::DatasetOptions options;
     options.scale = 1.0;
@@ -32,9 +32,12 @@ int main() {
     for (const auto& r : ds.records) ships.insert(r.mmsi);
     std::set<ais::VesselType> types;
     for (const auto& r : ds.records) types.insert(r.type);
-    std::printf("%-6s %-10s %9.1f %10zu %7zu %6zu\n", name,
-                types.size() == 1 ? "Passenger" : "All", ds.SizeMb(),
-                ds.records.size(), trips.size(), ships.size());
+    std::printf("%s\n",
+                eval::FormatDatasetRow(name,
+                                       types.size() == 1 ? "Passenger" : "All",
+                                       ds.SizeMb(), ds.records.size(),
+                                       trips.size(), ships.size())
+                    .c_str());
   }
   std::printf("\npaper reference: DAN 786MB/4.38M/1292/16, "
               "KIEL 145MB/0.81M/86/2, SAR 141MB/1.17M/20778/2579\n");

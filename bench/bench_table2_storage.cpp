@@ -5,15 +5,16 @@
 // (0.06 MB .. 57 MB); GTI is 1-2 orders of magnitude larger and blows up
 // with rd, especially on the sparser, more diverse SAR dataset.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 
 int main() {
   using namespace habit;
   std::printf("Table 2: Framework storage size (MB)\n");
-  std::printf("%-8s %-22s %10s %10s\n", "Method", "Configuration", "KIEL",
-              "SAR");
+  std::printf("%s\n", eval::FormatStorageHeader({"KIEL", "SAR"}).c_str());
 
   // Storage is driven by data volume: GTI keeps every raw point and its
   // candidate edges, HABIT saturates at the lane-cell count. Use class-A
@@ -28,33 +29,33 @@ int main() {
     experiments.push_back(eval::PrepareExperiment(name, options).MoveValue());
   }
 
-  auto mb = [](size_t bytes) {
-    return static_cast<double>(bytes) / (1024.0 * 1024.0);
-  };
-
+  // One row per method configuration; every model is built through the
+  // registry, so any registered method could be added to this sweep.
+  std::vector<std::string> specs;
   for (int r = 6; r <= 10; ++r) {
-    core::HabitConfig config;
-    config.resolution = r;
-    double sizes[2] = {0, 0};
-    for (int d = 0; d < 2; ++d) {
-      auto fw = core::HabitFramework::Build(experiments[d].train_trips, config);
-      if (fw.ok()) sizes[d] = mb(fw.value()->SizeBytes());
-    }
-    std::printf("%-8s r=%-20d %10.2f %10.2f\n", "HABIT", r, sizes[0],
-                sizes[1]);
+    specs.push_back("habit:r=" + std::to_string(r));
   }
-  for (const double rd : {1e-4, 5e-4, 1e-3}) {
-    baselines::GtiConfig config;
-    config.rm_meters = 250;
-    config.rd_degrees = rd;
-    double sizes[2] = {0, 0};
-    for (int d = 0; d < 2; ++d) {
-      auto model = baselines::GtiModel::Build(experiments[d].train_trips,
-                                              config);
-      if (model.ok()) sizes[d] = mb(model.value()->SizeBytes());
+  for (const char* rd : {"1e-4", "5e-4", "1e-3"}) {
+    specs.push_back(std::string("gti:rm=250,rd=") + rd);
+  }
+
+  for (const std::string& spec : specs) {
+    // The spec labels the row even if every build fails.
+    std::string method = spec;
+    std::string configuration = "(build failed)";
+    std::vector<double> sizes;
+    for (const eval::Experiment& exp : experiments) {
+      auto model = api::MakeModel(spec, exp.train_trips);
+      if (!model.ok()) {
+        sizes.push_back(0.0);
+        continue;
+      }
+      method = model.value()->Name();
+      configuration = model.value()->Configuration();
+      sizes.push_back(eval::BytesToMb(model.value()->SizeBytes()));
     }
-    std::printf("%-8s rd=%-19.0e %10.2f %10.2f\n", "GTI", rd, sizes[0],
-                sizes[1]);
+    std::printf("%s\n",
+                eval::FormatStorageRow(method, configuration, sizes).c_str());
   }
   std::printf("\npaper reference (MB): HABIT r=6..10 KIEL 0.06->37.28, "
               "SAR 0.22->57.40; GTI rd=1e-4..1e-3 KIEL 50->1429, SAR "

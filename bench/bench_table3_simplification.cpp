@@ -7,8 +7,10 @@
 // and suppresses abrupt >45-degree turns; r=10 produces more positions than
 // r=9 at t=0 but simplifies more aggressively.
 #include <cstdio>
+#include <string>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 #include "geo/polyline.h"
 
 int main() {
@@ -20,23 +22,22 @@ int main() {
   auto exp = eval::PrepareExperiment("DAN", options).MoveValue();
   std::printf("Table 3: Effect of simplification on imputed trajectories "
               "[DAN]\n");
-  std::printf("%-4s %-6s %10s %10s %10s %8s\n", "r", "t", "cnt", "Avg rot",
-              "Max rot", ">45deg");
+  std::printf("%s\n", eval::FormatTurnStatsHeader().c_str());
 
   for (int r : {9, 10}) {
-    for (double t : {0.0, 100.0, 250.0, 500.0, 1000.0}) {
-      core::HabitConfig config;
-      config.resolution = r;
-      config.rdp_tolerance_m = t;
-      auto report = eval::RunHabit(exp, config);
+    for (int t : {0, 100, 250, 500, 1000}) {
+      const std::string spec =
+          "habit:r=" + std::to_string(r) + ",t=" + std::to_string(t);
+      auto report = eval::RunMethod(exp, spec);
       if (!report.ok()) continue;
       std::vector<geo::TurnStats> stats;
       for (const auto& path : report.value().paths) {
         if (path.size() >= 2) stats.push_back(geo::ComputeTurnStats(path));
       }
-      const geo::TurnStats avg = geo::AverageTurnStats(stats);
-      std::printf("%-4d %-6.0f %10.2f %10.2f %10.2f %8.2f\n", r, t, avg.count,
-                  avg.avg_rot, avg.max_rot, avg.turns_gt45);
+      std::printf("%s\n",
+                  eval::FormatTurnStatsRow(report.value().configuration,
+                                           geo::AverageTurnStats(stats))
+                      .c_str());
     }
   }
 
@@ -46,9 +47,10 @@ int main() {
     const geo::Polyline truth = eval::GroundTruthPath(gc);
     if (truth.size() >= 2) original.push_back(geo::ComputeTurnStats(truth));
   }
-  const geo::TurnStats avg = geo::AverageTurnStats(original);
-  std::printf("%-11s %10.2f %10.2f %10.2f %8.2f\n", "Original", avg.count,
-              avg.avg_rot, avg.max_rot, avg.turns_gt45);
+  std::printf("%s\n",
+              eval::FormatTurnStatsRow("Original",
+                                       geo::AverageTurnStats(original))
+                  .c_str());
   std::printf("\npaper shape: cnt decreases ~10x from t=0 to t=1000; "
               ">45-degree turns drop to ~0; r=10 starts with ~2x the "
               "positions of r=9\n");

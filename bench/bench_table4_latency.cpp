@@ -5,12 +5,27 @@
 // sub-second maxima; GTI is consistently slower (hundreds of ms to
 // seconds), worst on SAR.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 
 int main() {
   using namespace habit;
   std::printf("Table 4: Average and maximum query latency (sec)\n");
+
+  std::vector<std::string> specs;
+  for (int r : {9, 10}) {
+    for (int t : {100, 250}) {
+      specs.push_back("habit:r=" + std::to_string(r) +
+                      ",t=" + std::to_string(t));
+    }
+  }
+  for (const char* rd : {"1e-4", "5e-4", "1e-3"}) {
+    specs.push_back(std::string("gti:rm=250,rd=") + rd);
+  }
+
   for (const char* dataset : {"KIEL", "SAR"}) {
     eval::ExperimentOptions options;
     options.scale = 1.0;
@@ -18,29 +33,11 @@ int main() {
     options.sampler.report_interval_s = 10.0;  // class-A density
     auto exp = eval::PrepareExperiment(dataset, options).MoveValue();
     std::printf("%s (%zu gaps)\n", dataset, exp.gaps.size());
-    std::printf("  %-8s %-22s %10s %10s\n", "Method", "Configuration", "Avg",
-                "Max");
-
-    for (int r : {9, 10}) {
-      for (double t : {100.0, 250.0}) {
-        core::HabitConfig config;
-        config.resolution = r;
-        config.rdp_tolerance_m = t;
-        auto report = eval::RunHabit(exp, config);
-        if (!report.ok()) continue;
-        std::printf("  %-8s r=%d, t=%-15.0f %10.4f %10.4f\n", "HABIT", r, t,
-                    report.value().latency.Mean(),
-                    report.value().latency.Max());
-      }
-    }
-    for (double rd : {1e-4, 5e-4, 1e-3}) {
-      baselines::GtiConfig config;
-      config.rm_meters = 250;
-      config.rd_degrees = rd;
-      auto report = eval::RunGti(exp, config);
+    std::printf("  %s\n", eval::FormatLatencyHeader().c_str());
+    for (const std::string& spec : specs) {
+      auto report = eval::RunMethod(exp, spec);
       if (!report.ok()) continue;
-      std::printf("  %-8s rm=250, rd=%-11.0e %10.4f %10.4f\n", "GTI", rd,
-                  report.value().latency.Mean(), report.value().latency.Max());
+      std::printf("  %s\n", eval::FormatLatencyRow(report.value()).c_str());
     }
   }
   std::printf("\npaper reference (KIEL): HABIT avg 0.019-0.071s; GTI avg "

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs every bench binary in a build directory and emits one JSON line per
+# bench (name, exit code, wall seconds, output path) so trajectory-tracking
+# tooling can diff runs over time.
+#
+#   usage: bench/run_all.sh [build_dir] [out_dir]
+#
+# Bench stdout/stderr goes to <out_dir>/<bench>.out; the JSON lines go to
+# stdout.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench_out}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+found=0
+for bench in "$BUILD_DIR"/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  found=1
+  name=$(basename "$bench")
+  out="$OUT_DIR/$name.out"
+  start=$(date +%s.%N)
+  "$bench" >"$out" 2>&1
+  code=$?
+  end=$(date +%s.%N)
+  seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+  printf '{"bench":"%s","exit":%d,"seconds":%s,"output":"%s"}\n' \
+    "$name" "$code" "$seconds" "$out"
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "error: no bench_* executables in '$BUILD_DIR'" >&2
+  exit 2
+fi

@@ -2,11 +2,11 @@
 // case): find long reporting silences in vessel streams and score how
 // consistent each silence is with typical traffic.
 //
-// HABIT imputes the silent segment from historical patterns; if even the
-// historically-typical path cannot connect the endpoints, or the vessel
-// would have needed an implausible speed to follow it, the silence is
-// flagged for review (possible deliberate AIS deactivation — the case the
-// paper's imputation explicitly does NOT try to fill).
+// The imputation model fills the silent segment from historical patterns;
+// if even the historically-typical path cannot connect the endpoints, or
+// the vessel would have needed an implausible speed to follow it, the
+// silence is flagged for review (possible deliberate AIS deactivation —
+// the case the paper's imputation explicitly does NOT try to fill).
 #include <cstdio>
 #include <vector>
 
@@ -28,15 +28,15 @@ int main() {
   }
   const eval::Experiment& exp = exp_result.value();
 
-  core::HabitConfig config;
-  config.resolution = 9;
-  auto fw_result = core::HabitFramework::Build(exp.train_trips, config);
-  if (!fw_result.ok()) {
+  // SAR is mixed traffic, so screen with the vessel-type-aware model: each
+  // query routes to the querying vessel's per-type graph when one exists.
+  auto model_result = api::MakeModel("habit_typed:r=9", exp.train_trips);
+  if (!model_result.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
-                 fw_result.status().ToString().c_str());
+                 model_result.status().ToString().c_str());
     return 1;
   }
-  const auto& fw = fw_result.value();
+  const auto& model = model_result.value();
 
   std::printf("screening %zu test trips for anomalous silences...\n\n",
               exp.test_trips.size());
@@ -45,23 +45,44 @@ int main() {
 
   int screened = 0, flagged = 0;
   for (const ais::Trip& trip : exp.test_trips) {
+    // Collect the trip's long silences into one batch of queries.
+    struct Silence {
+      ais::AisRecord a, b;
+    };
+    std::vector<Silence> silences;
+    std::vector<api::ImputeRequest> requests;
     for (size_t i = 1; i < trip.points.size(); ++i) {
       const ais::AisRecord& a = trip.points[i - 1];
       const ais::AisRecord& b = trip.points[i];
+      if (b.ts - a.ts < 15 * 60) continue;  // only long silences
+      silences.push_back({a, b});
+      api::ImputeRequest req;
+      req.gap_start = a.pos;
+      req.gap_end = b.pos;
+      req.t_start = a.ts;
+      req.t_end = b.ts;
+      req.vessel_type = trip.type;
+      requests.push_back(req);
+    }
+    if (requests.empty()) continue;
+    const auto responses = model->ImputeBatch(requests);
+
+    for (size_t s = 0; s < silences.size(); ++s) {
+      const ais::AisRecord& a = silences[s].a;
+      const ais::AisRecord& b = silences[s].b;
       const int64_t dt = b.ts - a.ts;
-      if (dt < 15 * 60) continue;  // only long silences
       ++screened;
 
       const double direct_km = geo::HaversineMeters(a.pos, b.pos) / 1000.0;
       const char* verdict;
-      auto imp = fw->Impute(a.pos, b.pos, a.ts, b.ts);
       double implied_knots = 0.0;
-      if (!imp.ok()) {
+      if (!responses[s].ok()) {
         // Even historical patterns cannot connect the endpoints.
         verdict = "FLAG: off-pattern silence";
         ++flagged;
       } else {
-        const double path_m = geo::PolylineLengthMeters(imp.value().path);
+        const double path_m =
+            geo::PolylineLengthMeters(responses[s].value().path);
         implied_knots = geo::MpsToKnots(path_m / static_cast<double>(dt));
         if (implied_knots > 1.8 * std::max(4.0, (a.sog + b.sog) / 2.0)) {
           // Following the typical lane would need implausible speed: the

@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "api/adapters.h"
 #include "eval/harness.h"
 #include "hexgrid/hexgrid.h"
 
@@ -55,15 +56,21 @@ int main() {
   }
   const eval::Experiment& exp = exp_result.value();
 
-  core::HabitConfig config;
-  config.resolution = 8;
-  auto fw_result = core::HabitFramework::Build(exp.train_trips, config);
-  if (!fw_result.ok()) {
+  auto model_result = api::MakeModel("habit:r=8", exp.train_trips);
+  if (!model_result.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
-                 fw_result.status().ToString().c_str());
+                 model_result.status().ToString().c_str());
     return 1;
   }
-  const auto& fw = fw_result.value();
+  // Trip-level gap filling is a HABIT-specific capability, so unwrap the
+  // adapter to reach ImputeTrip.
+  const auto* habit_model =
+      dynamic_cast<const api::HabitModel*>(model_result.value().get());
+  if (habit_model == nullptr) {
+    std::fprintf(stderr, "registry returned a non-HABIT model\n");
+    return 1;
+  }
+  const core::HabitFramework& fw = habit_model->framework();
 
   // Bin positions of the *test* trips into a screen-sized grid, before and
   // after imputation of their internal gaps.
@@ -87,7 +94,7 @@ int main() {
       ++raw_points;
     }
     // Impute internal gaps (>10 min) and densify for the map.
-    auto filled = fw->ImputeTrip(trip, 10 * 60);
+    auto filled = fw.ImputeTrip(trip, 10 * 60);
     if (!filled.ok()) continue;
     const geo::Polyline dense =
         geo::ResampleMaxSpacing(filled.value(), 1000.0);

@@ -3,11 +3,17 @@
 // Subcommands:
 //   simulate <DAN|KIEL|SAR> <out.csv> [scale]
 //       generate a synthetic AIS feed and write it as CSV
-//   build <ais.csv> <model_prefix> [r] [t]
-//       clean + segment an AIS CSV and build a HABIT model
+//   build <ais.csv> <model_prefix> [spec]
+//       clean + segment an AIS CSV and build a HABIT model via the method
+//       registry (spec defaults to "habit"; e.g. "habit:r=10,t=100")
 //       (writes <model_prefix>_nodes.csv / _edges.csv)
 //   impute <model_prefix> <lat1> <lng1> <lat2> <lng2> [r] [t]
-//       load a model and impute one gap, printing the path as CSV
+//       load a persisted model and impute one gap, printing the path as CSV
+//   eval <DAN|KIEL|SAR> <spec> [scale]
+//       run any registered method over a synthetic experiment and print
+//       its report row (spec e.g. "habit:r=9", "gti:rd=5e-4", "sli")
+//   methods
+//       list the methods the registry knows
 //   stats <ais.csv>
 //       print cleaning / segmentation statistics for a feed
 #include <cstdio>
@@ -17,7 +23,9 @@
 
 #include "ais/io.h"
 #include "ais/segment.h"
-#include "habit/framework.h"
+#include "api/adapters.h"
+#include "eval/harness.h"
+#include "eval/report.h"
 #include "habit/imputer.h"
 #include "habit/serialize.h"
 #include "sim/datasets.h"
@@ -71,34 +79,37 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
-core::HabitConfig ConfigFromArgs(int argc, char** argv, int r_pos) {
-  core::HabitConfig config;
-  if (argc > r_pos) config.resolution = std::atoi(argv[r_pos]);
-  if (argc > r_pos + 1) config.rdp_tolerance_m = std::atof(argv[r_pos + 1]);
-  return config;
-}
-
 int CmdBuild(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: habit_cli build <ais.csv> <model_prefix> [r] [t]\n");
+                 "usage: habit_cli build <ais.csv> <model_prefix> [spec]\n");
     return 2;
   }
   auto records = ais::ReadAisCsv(argv[0]);
   if (!records.ok()) return Fail(records.status());
   const auto trips = ais::PreprocessAndSegment(records.value());
-  const core::HabitConfig config = ConfigFromArgs(argc, argv, 2);
-  auto fw = core::HabitFramework::Build(trips, config);
-  if (!fw.ok()) return Fail(fw.status());
-  const Status st = core::SaveGraphCsv(fw.value()->graph(), argv[1]);
+  const std::string spec = argc > 2 ? argv[2] : "habit";
+  auto model = api::MakeModel(spec, trips);
+  if (!model.ok()) return Fail(model.status());
+  // Persistence needs the transition graph, which only the HABIT adapter
+  // carries.
+  const auto* habit_model =
+      dynamic_cast<const api::HabitModel*>(model.value().get());
+  if (habit_model == nullptr) {
+    std::fprintf(stderr, "error: '%s' built a %s model; only 'habit' models "
+                         "can be persisted\n",
+                 spec.c_str(), model.value()->Name().c_str());
+    return 2;
+  }
+  const core::HabitFramework& fw = habit_model->framework();
+  const Status st = core::SaveGraphCsv(fw.graph(), argv[1]);
   if (!st.ok()) return Fail(st);
-  std::printf("built %s from %zu trips: %zu cells, %zu transitions, "
+  std::printf("built %s from %zu trips in %.2fs: %zu cells, %zu transitions, "
               "%.2f MB -> %s_{nodes,edges}.csv\n",
-              config.ToString().c_str(), trips.size(),
-              fw.value()->graph().num_nodes(), fw.value()->graph().num_edges(),
-              static_cast<double>(fw.value()->SerializedSizeBytes()) /
-                  (1024.0 * 1024.0),
-              argv[1]);
+              model.value()->Configuration().c_str(), trips.size(),
+              model.value()->BuildSeconds(), fw.graph().num_nodes(),
+              fw.graph().num_edges(),
+              eval::BytesToMb(model.value()->SerializedSizeBytes()), argv[1]);
   return 0;
 }
 
@@ -108,7 +119,9 @@ int CmdImpute(int argc, char** argv) {
                          "<lng1> <lat2> <lng2> [r] [t]\n");
     return 2;
   }
-  const core::HabitConfig config = ConfigFromArgs(argc, argv, 5);
+  core::HabitConfig config;
+  if (argc > 5) config.resolution = std::atoi(argv[5]);
+  if (argc > 6) config.rdp_tolerance_m = std::atof(argv[6]);
   auto graph = core::LoadGraphCsv(argv[0], config);
   if (!graph.ok()) return Fail(graph.status());
   const core::Imputer imputer(&graph.value(), config);
@@ -126,13 +139,40 @@ int CmdImpute(int argc, char** argv) {
   return 0;
 }
 
+int CmdEval(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: habit_cli eval <DAN|KIEL|SAR> <spec> [scale]\n");
+    return 2;
+  }
+  eval::ExperimentOptions options;
+  if (argc > 2) options.scale = std::atof(argv[2]);
+  auto exp = eval::PrepareExperiment(argv[0], options);
+  if (!exp.ok()) return Fail(exp.status());
+  auto report = eval::RunMethod(exp.value(), std::string(argv[1]));
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s [%zu gaps]\n", argv[0], exp.value().gaps.size());
+  std::printf("%s\n", eval::FormatReportRow(report.value()).c_str());
+  return 0;
+}
+
+int CmdMethods() {
+  const api::ModelRegistry& registry = api::ModelRegistry::Global();
+  for (const std::string& name : registry.MethodNames()) {
+    std::printf("%-12s %s\n", name.c_str(),
+                registry.Description(name).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "habit_cli — HABIT vessel-trajectory imputation toolkit\n"
-                 "commands: simulate | stats | build | impute\n");
+                 "commands: simulate | stats | build | impute | eval | "
+                 "methods\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -140,6 +180,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
   if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
   if (cmd == "impute") return CmdImpute(argc - 2, argv + 2);
+  if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
+  if (cmd == "methods") return CmdMethods();
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -22,18 +22,16 @@ int main(int argc, char** argv) {
   }
   const eval::Experiment& exp = exp_result.value();
 
-  core::HabitConfig habit_config;
-  auto habit_result = eval::RunHabit(exp, habit_config);
-  baselines::GtiConfig gti_config;
-  gti_config.rd_degrees = 5e-4;
-  auto gti_result = eval::RunGti(exp, gti_config);
-  if (!habit_result.ok() || !gti_result.ok()) {
+  auto habit_result = eval::RunMethod(exp, "habit");
+  auto gti_result = eval::RunMethod(exp, "gti:rd=5e-4");
+  auto sli_result = eval::RunMethod(exp, "sli");
+  if (!habit_result.ok() || !gti_result.ok() || !sli_result.ok()) {
     std::fprintf(stderr, "method run failed\n");
     return 1;
   }
-  const eval::MethodReport sli = eval::RunSli(exp);
   const eval::MethodReport& habit_report = habit_result.value();
   const eval::MethodReport& gti_report = gti_result.value();
+  const eval::MethodReport& sli = sli_result.value();
 
   std::ofstream csv(out_path);
   csv << "gap,method,idx,lat,lng\n";

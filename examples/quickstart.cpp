@@ -1,17 +1,23 @@
-// Quickstart: build a HABIT framework from simulated AIS history and impute
-// one gap.
+// Quickstart: build an imputation model through the unified API and batch
+// impute synthetic gaps.
 //
 //   1. generate a month of synthetic AIS traffic in the KIEL corridor;
-//   2. clean + segment it into trips (Section 3.1);
-//   3. build the H3 transition graph from the training split (Section 3.2);
-//   4. impute a synthetic 60-minute gap (Sections 3.3-3.4);
-//   5. score the fill against the held-out ground truth with DTW.
+//   2. clean + segment it into trips (Section 3.1), 70/30 split, inject
+//      synthetic 60-minute gaps;
+//   3. construct HABIT by registry spec — any registered method name works
+//      here ("habit", "habit_typed", "gti", "palmto", "sli");
+//   4. fill every gap with one ImputeBatch call (Sections 3.3-3.4);
+//   5. score the fills against the held-out ground truth with DTW.
 #include <cstdio>
 
 #include "eval/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace habit;
+
+  // Pass any registry spec to impute with a different method, e.g.
+  //   ./quickstart gti:rd=5e-4
+  const char* spec = argc > 1 ? argv[1] : "habit:r=9,p=w,t=250";
 
   // 1-2. Dataset + preprocessing + 70/30 split + gap injection.
   eval::ExperimentOptions options;
@@ -34,43 +40,47 @@ int main() {
     return 1;
   }
 
-  // 3. Build the framework.
-  core::HabitConfig config;
-  config.resolution = 9;
-  config.projection = core::Projection::kDataMedian;
-  config.rdp_tolerance_m = 250.0;
-  auto fw_result = core::HabitFramework::Build(exp.train_trips, config);
-  if (!fw_result.ok()) {
+  // 3. Build the model by name through the registry.
+  auto model_result = api::MakeModel(spec, exp.train_trips);
+  if (!model_result.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
-                 fw_result.status().ToString().c_str());
+                 model_result.status().ToString().c_str());
     return 1;
   }
-  const auto& fw = fw_result.value();
-  std::printf("HABIT graph: %zu nodes, %zu edges, %.2f MB (%s)\n",
-              fw->graph().num_nodes(), fw->graph().num_edges(),
-              static_cast<double>(fw->SizeBytes()) / (1024.0 * 1024.0),
-              config.ToString().c_str());
+  const auto& model = model_result.value();
+  std::printf("%s %s: built in %.2fs, %.2f MB\n", model->Name().c_str(),
+              model->Configuration().c_str(), model->BuildSeconds(),
+              static_cast<double>(model->SizeBytes()) / (1024.0 * 1024.0));
 
-  // 4. Impute the first test gap.
-  const sim::GapCase& gc = exp.gaps.front();
-  auto imp = fw->Impute(gc.gap_start.pos, gc.gap_end.pos, gc.gap_start.ts,
-                        gc.gap_end.ts);
-  if (!imp.ok()) {
-    std::fprintf(stderr, "imputation failed: %s\n",
-                 imp.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("imputed gap of %zu ground-truth points with %zu cells -> %zu "
-              "path points\n",
-              gc.ground_truth.size(), imp.value().cells.size(),
-              imp.value().path.size());
-  for (size_t i = 0; i < imp.value().path.size(); ++i) {
-    std::printf("  waypoint %2zu: %s\n", i,
-                imp.value().path[i].ToString().c_str());
-  }
+  // 4. Batch impute every gap (one call; HABIT reuses its A* state
+  // across the whole batch).
+  const std::vector<api::ImputeRequest> requests = eval::GapRequests(exp);
+  const auto responses = model->ImputeBatch(requests);
 
   // 5. Accuracy vs ground truth.
-  const double dtw = eval::GapDtw(imp.value().path, gc);
-  std::printf("DTW vs ground truth: %.1f m\n", dtw);
+  size_t ok = 0;
+  double dtw_sum = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) continue;
+    ++ok;
+    dtw_sum += eval::GapDtw(responses[i].value().path, exp.gaps[i]);
+  }
+  std::printf("imputed %zu/%zu gaps, mean DTW %.1f m\n", ok, responses.size(),
+              ok > 0 ? dtw_sum / static_cast<double>(ok) : 0.0);
+
+  // Show the first fill in detail.
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) continue;
+    const api::ImputeResponse& fill = responses[i].value();
+    std::printf("gap %zu: %zu ground-truth points -> %zu path points\n", i,
+                exp.gaps[i].ground_truth.size(), fill.path.size());
+    for (size_t j = 0; j < fill.path.size(); ++j) {
+      std::printf("  waypoint %2zu: %s  t=%lld\n", j,
+                  fill.path[j].ToString().c_str(),
+                  static_cast<long long>(
+                      j < fill.timestamps.size() ? fill.timestamps[j] : 0));
+    }
+    break;
+  }
   return 0;
 }

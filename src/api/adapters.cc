@@ -1,0 +1,409 @@
+#include "api/adapters.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/sli.h"
+#include "core/stopwatch.h"
+#include "geo/latlng.h"
+
+namespace habit::api {
+
+namespace {
+
+// Arc-length timestamp interpolation across the gap duration, shared by the
+// baseline adapters (HABIT computes its own inside the imputer).
+std::vector<int64_t> InterpolateTimestamps(const geo::Polyline& path,
+                                           int64_t t_start, int64_t t_end) {
+  std::vector<int64_t> out(path.size(), t_start);
+  if (path.empty() || t_end <= t_start) return {};
+  const double total = geo::PolylineLengthMeters(path);
+  if (total <= 0) {
+    out.back() = t_end;
+    return out;
+  }
+  double acc = 0;
+  for (size_t i = 1; i < path.size(); ++i) {
+    acc += geo::HaversineMeters(path[i - 1], path[i]);
+    out[i] = t_start + static_cast<int64_t>(std::llround(
+                           (t_end - t_start) * (acc / total)));
+  }
+  return out;
+}
+
+// Every adapter rejects malformed coordinates the same way, so the unified
+// API answers consistently regardless of the wrapped method.
+Status CheckEndpoints(const ImputeRequest& request) {
+  if (!request.gap_start.IsValid() || !request.gap_end.IsValid()) {
+    return Status::InvalidArgument("invalid gap endpoint " +
+                                   request.gap_start.ToString() + " -> " +
+                                   request.gap_end.ToString());
+  }
+  return Status::OK();
+}
+
+ImputeResponse ResponseFromPath(geo::Polyline path,
+                                const ImputeRequest& request) {
+  ImputeResponse response;
+  response.timestamps =
+      InterpolateTimestamps(path, request.t_start, request.t_end);
+  response.path = std::move(path);
+  return response;
+}
+
+ImputeResponse ResponseFromImputation(core::Imputation imputation) {
+  ImputeResponse response;
+  response.path = std::move(imputation.path);
+  response.timestamps = std::move(imputation.timestamps);
+  response.expanded = imputation.expanded;
+  return response;
+}
+
+// Shared HABIT parameter block ("habit" and "habit_typed").
+const std::vector<std::string> kHabitKeys = {"r",    "p",      "t",
+                                             "cost", "expand", "snap"};
+
+Result<core::HabitConfig> ParseHabitConfig(const MethodSpec& spec) {
+  core::HabitConfig config;
+  HABIT_ASSIGN_OR_RETURN(config.resolution,
+                         spec.GetInt("r", config.resolution));
+  HABIT_ASSIGN_OR_RETURN(config.rdp_tolerance_m,
+                         spec.GetDouble("t", config.rdp_tolerance_m));
+  HABIT_ASSIGN_OR_RETURN(config.max_snap_ring,
+                         spec.GetInt("snap", config.max_snap_ring));
+
+  const std::string p = spec.GetString("p", "");
+  if (p == "c") {
+    config.projection = core::Projection::kCellCenter;
+  } else if (p == "w") {
+    config.projection = core::Projection::kDataMedian;
+  } else if (!p.empty()) {
+    return Status::InvalidArgument("projection p=" + p +
+                                   " (expected c or w)");
+  }
+
+  const std::string cost = spec.GetString("cost", "");
+  if (cost == "hops") {
+    config.edge_cost = core::EdgeCostPolicy::kHops;
+  } else if (cost == "invfreq") {
+    config.edge_cost = core::EdgeCostPolicy::kInverseFrequency;
+  } else if (cost == "hopsfreq") {
+    config.edge_cost = core::EdgeCostPolicy::kHopsThenFrequency;
+  } else if (!cost.empty()) {
+    return Status::InvalidArgument(
+        "cost=" + cost + " (expected hops, invfreq, or hopsfreq)");
+  }
+
+  HABIT_ASSIGN_OR_RETURN(const int expand, spec.GetInt("expand", 1));
+  config.expand_transitions = expand != 0;
+  return config;
+}
+
+std::string HabitConfigurationString(const core::HabitConfig& config) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "r=%d t=%d p=%s", config.resolution,
+                static_cast<int>(config.rdp_tolerance_m),
+                core::ProjectionToString(config.projection));
+  return buf;
+}
+
+/// "gti": adapter over baselines::GtiModel.
+class GtiAdapter : public ImputationModel {
+ public:
+  static Result<std::unique_ptr<ImputationModel>> Make(
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys({"rm", "rd", "resample"}));
+    baselines::GtiConfig config;
+    HABIT_ASSIGN_OR_RETURN(config.rm_meters,
+                           spec.GetDouble("rm", config.rm_meters));
+    HABIT_ASSIGN_OR_RETURN(config.rd_degrees,
+                           spec.GetDouble("rd", config.rd_degrees));
+    HABIT_ASSIGN_OR_RETURN(
+        config.resample_seconds,
+        spec.GetInt64("resample", config.resample_seconds));
+    Stopwatch build_timer;
+    HABIT_ASSIGN_OR_RETURN(auto model,
+                           baselines::GtiModel::Build(trips, config));
+    auto adapter = std::unique_ptr<ImputationModel>(
+        new GtiAdapter(std::move(model), config));
+    static_cast<GtiAdapter*>(adapter.get())->build_seconds_ =
+        build_timer.ElapsedSeconds();
+    return adapter;
+  }
+
+  std::string Name() const override { return "GTI"; }
+  std::string Configuration() const override {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "rm=%.0f rd=%.0e", config_.rm_meters,
+                  config_.rd_degrees);
+    return buf;
+  }
+  Result<ImputeResponse> Impute(const ImputeRequest& request) const override {
+    HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+    HABIT_ASSIGN_OR_RETURN(
+        geo::Polyline path,
+        model_->Impute(request.gap_start, request.gap_end));
+    return ResponseFromPath(std::move(path), request);
+  }
+  size_t SizeBytes() const override { return model_->SizeBytes(); }
+  size_t SerializedSizeBytes() const override {
+    return model_->SerializedSizeBytes();
+  }
+
+ private:
+  GtiAdapter(std::unique_ptr<baselines::GtiModel> model,
+             const baselines::GtiConfig& config)
+      : model_(std::move(model)), config_(config) {}
+
+  std::unique_ptr<baselines::GtiModel> model_;
+  baselines::GtiConfig config_;
+};
+
+/// "palmto": adapter over baselines::PalmtoModel.
+class PalmtoAdapter : public ImputationModel {
+ public:
+  static Result<std::unique_ptr<ImputationModel>> Make(
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+    HABIT_RETURN_NOT_OK(
+        spec.CheckKnownKeys({"r", "n", "timeout", "max_tokens", "seed"}));
+    baselines::PalmtoConfig config;
+    HABIT_ASSIGN_OR_RETURN(config.resolution,
+                           spec.GetInt("r", config.resolution));
+    HABIT_ASSIGN_OR_RETURN(config.n, spec.GetInt("n", config.n));
+    HABIT_ASSIGN_OR_RETURN(config.timeout_seconds,
+                           spec.GetDouble("timeout", config.timeout_seconds));
+    HABIT_ASSIGN_OR_RETURN(config.max_tokens,
+                           spec.GetInt("max_tokens", config.max_tokens));
+    HABIT_ASSIGN_OR_RETURN(
+        const int64_t seed,
+        spec.GetInt64("seed", static_cast<int64_t>(config.seed)));
+    config.seed = static_cast<uint64_t>(seed);
+    Stopwatch build_timer;
+    HABIT_ASSIGN_OR_RETURN(auto model,
+                           baselines::PalmtoModel::Build(trips, config));
+    auto adapter = std::unique_ptr<ImputationModel>(
+        new PalmtoAdapter(std::move(model), config));
+    static_cast<PalmtoAdapter*>(adapter.get())->build_seconds_ =
+        build_timer.ElapsedSeconds();
+    return adapter;
+  }
+
+  std::string Name() const override { return "PaLMTO"; }
+  std::string Configuration() const override {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "r=%d n=%d", config_.resolution,
+                  config_.n);
+    return buf;
+  }
+  Result<ImputeResponse> Impute(const ImputeRequest& request) const override {
+    HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+    HABIT_ASSIGN_OR_RETURN(
+        geo::Polyline path,
+        model_->Impute(request.gap_start, request.gap_end));
+    return ResponseFromPath(std::move(path), request);
+  }
+  size_t SizeBytes() const override { return model_->SizeBytes(); }
+
+ private:
+  PalmtoAdapter(std::unique_ptr<baselines::PalmtoModel> model,
+                const baselines::PalmtoConfig& config)
+      : model_(std::move(model)), config_(config) {}
+
+  std::unique_ptr<baselines::PalmtoModel> model_;
+  baselines::PalmtoConfig config_;
+};
+
+/// "sli": the buildless straight-line baseline.
+class SliAdapter : public ImputationModel {
+ public:
+  static Result<std::unique_ptr<ImputationModel>> Make(
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+    (void)trips;  // SLI learns nothing from history
+    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys({"points"}));
+    HABIT_ASSIGN_OR_RETURN(const int points, spec.GetInt("points", 0));
+    if (points < 0) {
+      return Status::InvalidArgument("points must be >= 0");
+    }
+    return std::unique_ptr<ImputationModel>(new SliAdapter(points));
+  }
+
+  std::string Name() const override { return "SLI"; }
+  std::string Configuration() const override { return "-"; }
+  Result<ImputeResponse> Impute(const ImputeRequest& request) const override {
+    HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+    return ResponseFromPath(
+        baselines::StraightLineImpute(request.gap_start, request.gap_end,
+                                      num_points_),
+        request);
+  }
+  size_t SizeBytes() const override { return 0; }
+
+ private:
+  explicit SliAdapter(int num_points) : num_points_(num_points) {}
+
+  int num_points_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ImputationModel>> HabitModel::Make(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+  HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(kHabitKeys));
+  HABIT_ASSIGN_OR_RETURN(const core::HabitConfig config,
+                         ParseHabitConfig(spec));
+  Stopwatch build_timer;
+  HABIT_ASSIGN_OR_RETURN(auto framework,
+                         core::HabitFramework::Build(trips, config));
+  auto model =
+      std::unique_ptr<ImputationModel>(new HabitModel(std::move(framework)));
+  static_cast<HabitModel*>(model.get())->build_seconds_ =
+      build_timer.ElapsedSeconds();
+  return model;
+}
+
+std::string HabitModel::Configuration() const {
+  return HabitConfigurationString(framework_->config());
+}
+
+Result<ImputeResponse> HabitModel::Impute(const ImputeRequest& request) const {
+  HABIT_ASSIGN_OR_RETURN(
+      core::Imputation imputation,
+      framework_->Impute(request.gap_start, request.gap_end, request.t_start,
+                         request.t_end));
+  return ResponseFromImputation(std::move(imputation));
+}
+
+std::vector<Result<ImputeResponse>> HabitModel::ImputeBatch(
+    std::span<const ImputeRequest> requests,
+    std::vector<double>* query_seconds) const {
+  std::vector<Result<ImputeResponse>> responses;
+  responses.reserve(requests.size());
+  if (query_seconds != nullptr) {
+    query_seconds->clear();
+    query_seconds->reserve(requests.size());
+  }
+  // One A* scratch for the whole batch: the distance/parent hash tables and
+  // the heap keep their allocations between queries.
+  core::Imputer::SearchScratch scratch;
+  const core::Imputer& imputer = framework_->imputer();
+  for (const ImputeRequest& request : requests) {
+    Stopwatch sw;
+    auto imputation =
+        imputer.Impute(request.gap_start, request.gap_end, request.t_start,
+                       request.t_end, &scratch);
+    if (imputation.ok()) {
+      responses.push_back(ResponseFromImputation(imputation.MoveValue()));
+    } else {
+      responses.push_back(imputation.status());
+    }
+    if (query_seconds != nullptr) {
+      query_seconds->push_back(sw.ElapsedSeconds());
+    }
+  }
+  return responses;
+}
+
+Result<std::unique_ptr<ImputationModel>> TypedHabitModel::Make(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+  std::vector<std::string> keys = kHabitKeys;
+  keys.push_back("min_trips");
+  HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(keys));
+  HABIT_ASSIGN_OR_RETURN(const core::HabitConfig config,
+                         ParseHabitConfig(spec));
+  HABIT_ASSIGN_OR_RETURN(const int min_trips, spec.GetInt("min_trips", 8));
+  if (min_trips < 1) {
+    return Status::InvalidArgument("min_trips must be >= 1");
+  }
+  Stopwatch build_timer;
+  HABIT_ASSIGN_OR_RETURN(
+      auto framework,
+      core::TypedHabitFramework::Build(trips, config,
+                                       static_cast<size_t>(min_trips)));
+  auto model = std::unique_ptr<ImputationModel>(new TypedHabitModel(
+      std::move(framework), HabitConfigurationString(config)));
+  static_cast<TypedHabitModel*>(model.get())->build_seconds_ =
+      build_timer.ElapsedSeconds();
+  return model;
+}
+
+std::string TypedHabitModel::Configuration() const { return configuration_; }
+
+namespace {
+
+// Routes one request to the per-type or combined graph, sharing the
+// caller's A* scratch.
+Result<core::Imputation> TypedImpute(const core::TypedHabitFramework& fw,
+                                     const ImputeRequest& request,
+                                     core::Imputer::SearchScratch* scratch) {
+  if (request.vessel_type.has_value()) {
+    return fw.Impute(*request.vessel_type, request.gap_start, request.gap_end,
+                     request.t_start, request.t_end, scratch);
+  }
+  return fw.combined().Impute(request.gap_start, request.gap_end,
+                              request.t_start, request.t_end, scratch);
+}
+
+}  // namespace
+
+Result<ImputeResponse> TypedHabitModel::Impute(
+    const ImputeRequest& request) const {
+  core::Imputer::SearchScratch scratch;
+  auto imputation = TypedImpute(*framework_, request, &scratch);
+  if (!imputation.ok()) return imputation.status();
+  return ResponseFromImputation(imputation.MoveValue());
+}
+
+std::vector<Result<ImputeResponse>> TypedHabitModel::ImputeBatch(
+    std::span<const ImputeRequest> requests,
+    std::vector<double>* query_seconds) const {
+  std::vector<Result<ImputeResponse>> responses;
+  responses.reserve(requests.size());
+  if (query_seconds != nullptr) {
+    query_seconds->clear();
+    query_seconds->reserve(requests.size());
+  }
+  core::Imputer::SearchScratch scratch;
+  for (const ImputeRequest& request : requests) {
+    Stopwatch sw;
+    auto imputation = TypedImpute(*framework_, request, &scratch);
+    if (imputation.ok()) {
+      responses.push_back(ResponseFromImputation(imputation.MoveValue()));
+    } else {
+      responses.push_back(imputation.status());
+    }
+    if (query_seconds != nullptr) {
+      query_seconds->push_back(sw.ElapsedSeconds());
+    }
+  }
+  return responses;
+}
+
+size_t TypedHabitModel::SizeBytes() const { return framework_->SizeBytes(); }
+
+void RegisterBuiltinModels(ModelRegistry& registry) {
+  // Registration of the built-ins cannot collide; assert via the Status.
+  Status st;
+  st = registry.Register(
+      "habit", "HABIT transition-graph imputation (r, p, t, cost, expand)",
+      HabitModel::Make);
+  assert(st.ok());
+  st = registry.Register(
+      "habit_typed",
+      "vessel-type-aware HABIT (habit params + min_trips per type)",
+      TypedHabitModel::Make);
+  assert(st.ok());
+  st = registry.Register("gti",
+                         "GTI point-graph baseline (rm, rd, resample)",
+                         GtiAdapter::Make);
+  assert(st.ok());
+  st = registry.Register(
+      "palmto", "PaLMTO N-gram baseline (r, n, timeout, max_tokens, seed)",
+      PalmtoAdapter::Make);
+  assert(st.ok());
+  st = registry.Register("sli", "straight-line interpolation (points)",
+                         SliAdapter::Make);
+  assert(st.ok());
+  (void)st;
+}
+
+}  // namespace habit::api

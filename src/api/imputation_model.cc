@@ -1,0 +1,26 @@
+#include "api/imputation_model.h"
+
+#include "core/stopwatch.h"
+
+namespace habit::api {
+
+std::vector<Result<ImputeResponse>> ImputationModel::ImputeBatch(
+    std::span<const ImputeRequest> requests,
+    std::vector<double>* query_seconds) const {
+  std::vector<Result<ImputeResponse>> responses;
+  responses.reserve(requests.size());
+  if (query_seconds != nullptr) {
+    query_seconds->clear();
+    query_seconds->reserve(requests.size());
+  }
+  for (const ImputeRequest& request : requests) {
+    Stopwatch sw;
+    responses.push_back(Impute(request));
+    if (query_seconds != nullptr) {
+      query_seconds->push_back(sw.ElapsedSeconds());
+    }
+  }
+  return responses;
+}
+
+}  // namespace habit::api

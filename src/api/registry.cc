@@ -1,0 +1,182 @@
+#include "api/registry.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "api/adapters.h"
+
+namespace habit::api {
+
+Result<MethodSpec> MethodSpec::Parse(const std::string& spec) {
+  MethodSpec out;
+  const size_t colon = spec.find(':');
+  out.method = spec.substr(0, colon);
+  if (out.method.empty()) {
+    return Status::InvalidArgument("empty method name in spec '" + spec + "'");
+  }
+  if (colon == std::string::npos) return out;
+
+  // Split the parameter section on ',' into key=value pairs.
+  const std::string param_str = spec.substr(colon + 1);
+  size_t pos = 0;
+  while (pos <= param_str.size()) {
+    const size_t comma = param_str.find(',', pos);
+    const std::string pair = param_str.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? param_str.size() + 1 : comma + 1;
+    if (pair.empty()) {
+      if (comma == std::string::npos && param_str.empty()) break;
+      return Status::InvalidArgument("empty parameter in spec '" + spec + "'");
+    }
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq == pair.size() - 1) {
+      return Status::InvalidArgument("parameter '" + pair + "' in spec '" +
+                                     spec + "' is not key=value");
+    }
+    out.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return out;
+}
+
+std::string MethodSpec::ToString() const {
+  std::string out = method;
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    out += first ? ':' : ',';
+    first = false;
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+Result<int> MethodSpec::GetInt(const std::string& key,
+                               int default_value) const {
+  HABIT_ASSIGN_OR_RETURN(const int64_t v, GetInt64(key, default_value));
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("parameter " + key + "=" +
+                                   std::to_string(v) + " overflows int");
+  }
+  return static_cast<int>(v);
+}
+
+Result<int64_t> MethodSpec::GetInt64(const std::string& key,
+                                     int64_t default_value) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return default_value;
+  char* end = nullptr;
+  errno = 0;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("parameter " + key + "=" + it->second +
+                                   " is not an integer");
+  }
+  return v;
+}
+
+Result<double> MethodSpec::GetDouble(const std::string& key,
+                                     double default_value) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return default_value;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("parameter " + key + "=" + it->second +
+                                   " is not a number");
+  }
+  return v;
+}
+
+std::string MethodSpec::GetString(const std::string& key,
+                                  const std::string& default_value) const {
+  const auto it = params.find(key);
+  return it == params.end() ? default_value : it->second;
+}
+
+Status MethodSpec::CheckKnownKeys(
+    const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : params) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string hint;
+      for (const std::string& k : known) {
+        hint += hint.empty() ? k : ", " + k;
+      }
+      return Status::InvalidArgument("method '" + method +
+                                     "' has no parameter '" + key +
+                                     "' (known: " + hint + ")");
+    }
+  }
+  return Status::OK();
+}
+
+ModelRegistry& ModelRegistry::Global() {
+  static ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    RegisterBuiltinModels(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status ModelRegistry::Register(const std::string& name,
+                               const std::string& description,
+                               ModelFactory factory) {
+  if (name.empty() || factory == nullptr) {
+    return Status::InvalidArgument("model registration needs a name and a "
+                                   "factory");
+  }
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{description, std::move(factory)});
+  if (!inserted) {
+    return Status::AlreadyExists("method '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ModelRegistry::MethodNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string ModelRegistry::Description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? "" : it->second.description;
+}
+
+Result<std::unique_ptr<ImputationModel>> ModelRegistry::Make(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips) const {
+  const auto it = entries_.find(spec.method);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [name, entry] : entries_) {
+      known += known.empty() ? name : ", " + name;
+    }
+    return Status::InvalidArgument("unknown method '" + spec.method +
+                                   "' (registered: " + known + ")");
+  }
+  return it->second.factory(spec, trips);
+}
+
+Result<std::unique_ptr<ImputationModel>> MakeModel(
+    const std::string& spec, const std::vector<ais::Trip>& trips) {
+  HABIT_ASSIGN_OR_RETURN(const MethodSpec parsed, MethodSpec::Parse(spec));
+  return ModelRegistry::Global().Make(parsed, trips);
+}
+
+Result<std::unique_ptr<ImputationModel>> MakeModel(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+  return ModelRegistry::Global().Make(spec, trips);
+}
+
+}  // namespace habit::api

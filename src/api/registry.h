@@ -1,0 +1,97 @@
+// String-keyed model construction: benches, CLIs, and tests select an
+// imputation method by name plus key=value parameters instead of hard
+// wiring concrete types.
+//
+//   "habit"                 -> HABIT with default parameters
+//   "habit:r=9,p=w"         -> HABIT, resolution 9, data-median projection
+//   "gti:rm=250,rd=5e-4"    -> GTI with both radii set
+//   "sli"                   -> straight-line baseline
+//
+// The registry holds one factory per method name; RegisterBuiltinModels
+// (adapters.h) installs the methods shipped with the repo, and future
+// subsystems (a serving frontend, sharded backends) can register their own.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ais/ais.h"
+#include "api/imputation_model.h"
+
+namespace habit::api {
+
+/// \brief A parsed method selector: method name + key=value parameters.
+struct MethodSpec {
+  std::string method;                         ///< registry key ("habit")
+  std::map<std::string, std::string> params;  ///< e.g. {{"r","9"},{"p","w"}}
+
+  /// Parses "method" or "method:k1=v1,k2=v2". Fails with kInvalidArgument
+  /// on an empty method name or a malformed parameter list.
+  static Result<MethodSpec> Parse(const std::string& spec);
+
+  /// Canonical round-trippable form ("habit:p=w,r=9"; params sorted).
+  std::string ToString() const;
+
+  /// Typed parameter accessors: the default when the key is absent, or
+  /// kInvalidArgument when the value does not parse.
+  Result<int> GetInt(const std::string& key, int default_value) const;
+  Result<int64_t> GetInt64(const std::string& key,
+                           int64_t default_value) const;
+  Result<double> GetDouble(const std::string& key,
+                           double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  /// kInvalidArgument when `params` contains a key outside `known` —
+  /// factories call this so a typo ("habit:res=9") fails loudly instead of
+  /// silently running with defaults.
+  Status CheckKnownKeys(const std::vector<std::string>& known) const;
+};
+
+/// Builds a model of the named method from training trips.
+using ModelFactory = std::function<Result<std::unique_ptr<ImputationModel>>(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips)>;
+
+/// \brief Name -> factory table for imputation methods.
+class ModelRegistry {
+ public:
+  /// The process-wide registry with all built-in methods installed.
+  static ModelRegistry& Global();
+
+  /// Registers a method. Fails with kAlreadyExists on a duplicate name.
+  Status Register(const std::string& name, const std::string& description,
+                  ModelFactory factory);
+
+  bool Has(const std::string& name) const { return entries_.contains(name); }
+
+  /// Registered method names, sorted.
+  std::vector<std::string> MethodNames() const;
+
+  /// One-line description of a registered method ("" when unknown).
+  std::string Description(const std::string& name) const;
+
+  /// Builds a model: looks up spec.method and invokes its factory. Fails
+  /// with kInvalidArgument for unknown method names.
+  Result<std::unique_ptr<ImputationModel>> Make(
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    ModelFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Parses `spec` and builds the model through the global registry.
+Result<std::unique_ptr<ImputationModel>> MakeModel(
+    const std::string& spec, const std::vector<ais::Trip>& trips);
+
+/// Builds the model for an already-parsed spec through the global registry.
+Result<std::unique_ptr<ImputationModel>> MakeModel(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips);
+
+}  // namespace habit::api

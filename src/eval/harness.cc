@@ -1,7 +1,6 @@
 #include "eval/harness.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <numeric>
 
 #include "core/rng.h"
@@ -52,135 +51,63 @@ Result<Experiment> PrepareExperiment(const std::string& dataset,
   return exp;
 }
 
-namespace {
+std::vector<api::ImputeRequest> GapRequests(const Experiment& exp) {
+  std::vector<api::ImputeRequest> requests;
+  requests.reserve(exp.gaps.size());
+  for (const sim::GapCase& gc : exp.gaps) {
+    api::ImputeRequest req;
+    req.gap_start = gc.gap_start.pos;
+    req.gap_end = gc.gap_end.pos;
+    req.t_start = gc.gap_start.ts;
+    req.t_end = gc.gap_end.ts;
+    req.vessel_type = gc.degraded.type;
+    requests.push_back(req);
+  }
+  return requests;
+}
 
-// Shared query loop: runs `impute` over every gap, collecting DTW scores,
-// latencies, and the produced paths.
-template <typename ImputeFn>
-void EvaluateGaps(const Experiment& exp, ImputeFn&& impute,
-                  MethodReport* report) {
+MethodReport EvaluateModel(const Experiment& exp,
+                           const api::ImputationModel& model) {
+  MethodReport report;
+  report.method = model.Name();
+  report.configuration = model.Configuration();
+  report.build_seconds = model.BuildSeconds();
+  report.model_bytes = model.SerializedSizeBytes();
+
+  const std::vector<api::ImputeRequest> requests = GapRequests(exp);
+  std::vector<double> query_seconds;
+  const std::vector<Result<api::ImputeResponse>> responses =
+      model.ImputeBatch(requests, &query_seconds);
+
   std::vector<double> scores;
   scores.reserve(exp.gaps.size());
   size_t failures = 0;
-  report->paths.resize(exp.gaps.size());
-  for (size_t i = 0; i < exp.gaps.size(); ++i) {
-    const sim::GapCase& gc = exp.gaps[i];
-    Stopwatch sw;
-    Result<geo::Polyline> path = impute(gc);
-    report->latency.Add(sw.ElapsedSeconds());
-    if (!path.ok()) {
+  report.paths.resize(exp.gaps.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i < query_seconds.size()) report.latency.Add(query_seconds[i]);
+    if (!responses[i].ok()) {
       ++failures;
       continue;
     }
-    report->paths[i] = path.MoveValue();
-    scores.push_back(GapDtw(report->paths[i], gc));
+    report.paths[i] = responses[i].value().path;
+    scores.push_back(GapDtw(report.paths[i], exp.gaps[i]));
   }
-  report->accuracy = AccuracyStats::FromScores(std::move(scores), failures);
-}
-
-}  // namespace
-
-Result<MethodReport> RunHabit(const Experiment& exp,
-                              const core::HabitConfig& config) {
-  MethodReport report;
-  report.method = "HABIT";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "r=%d t=%d p=%s", config.resolution,
-                static_cast<int>(config.rdp_tolerance_m),
-                core::ProjectionToString(config.projection));
-  report.configuration = buf;
-
-  Stopwatch build_timer;
-  HABIT_ASSIGN_OR_RETURN(std::unique_ptr<core::HabitFramework> fw,
-                         core::HabitFramework::Build(exp.train_trips, config));
-  report.build_seconds = build_timer.ElapsedSeconds();
-  report.model_bytes = fw->SerializedSizeBytes();
-
-  EvaluateGaps(
-      exp,
-      [&](const sim::GapCase& gc) -> Result<geo::Polyline> {
-        HABIT_ASSIGN_OR_RETURN(
-            core::Imputation imp,
-            fw->Impute(gc.gap_start.pos, gc.gap_end.pos, gc.gap_start.ts,
-                       gc.gap_end.ts));
-        return imp.path;
-      },
-      &report);
+  report.accuracy = AccuracyStats::FromScores(std::move(scores), failures);
   return report;
 }
 
-Result<MethodReport> RunGti(const Experiment& exp,
-                            const baselines::GtiConfig& config) {
-  MethodReport report;
-  report.method = "GTI";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "rm=%.0f rd=%.0e", config.rm_meters,
-                config.rd_degrees);
-  report.configuration = buf;
-
-  Stopwatch build_timer;
-  HABIT_ASSIGN_OR_RETURN(std::unique_ptr<baselines::GtiModel> model,
-                         baselines::GtiModel::Build(exp.train_trips, config));
-  report.build_seconds = build_timer.ElapsedSeconds();
-  report.model_bytes = model->SerializedSizeBytes();
-
-  EvaluateGaps(
-      exp,
-      [&](const sim::GapCase& gc) {
-        return model->Impute(gc.gap_start.pos, gc.gap_end.pos);
-      },
-      &report);
-  return report;
+Result<MethodReport> RunMethod(const Experiment& exp,
+                               const api::MethodSpec& spec) {
+  HABIT_ASSIGN_OR_RETURN(const std::unique_ptr<api::ImputationModel> model,
+                         api::MakeModel(spec, exp.train_trips));
+  return EvaluateModel(exp, *model);
 }
 
-Result<MethodReport> RunPalmto(const Experiment& exp,
-                               const baselines::PalmtoConfig& config) {
-  MethodReport report;
-  report.method = "PaLMTO";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "r=%d n=%d", config.resolution, config.n);
-  report.configuration = buf;
-
-  Stopwatch build_timer;
-  HABIT_ASSIGN_OR_RETURN(
-      std::unique_ptr<baselines::PalmtoModel> model,
-      baselines::PalmtoModel::Build(exp.train_trips, config));
-  report.build_seconds = build_timer.ElapsedSeconds();
-  report.model_bytes = model->SizeBytes();
-
-  EvaluateGaps(
-      exp,
-      [&](const sim::GapCase& gc) {
-        return model->Impute(gc.gap_start.pos, gc.gap_end.pos);
-      },
-      &report);
-  return report;
-}
-
-MethodReport RunSli(const Experiment& exp) {
-  MethodReport report;
-  report.method = "SLI";
-  report.configuration = "-";
-  EvaluateGaps(
-      exp,
-      [&](const sim::GapCase& gc) -> Result<geo::Polyline> {
-        return baselines::StraightLineImpute(gc.gap_start.pos, gc.gap_end.pos);
-      },
-      &report);
-  return report;
-}
-
-std::string FormatReportRow(const MethodReport& r) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%-8s %-22s | DTW mean %8.1f  median %8.1f  p90 %8.1f | "
-                "lat avg %7.4fs max %7.4fs | size %8.2f MB | fail %zu",
-                r.method.c_str(), r.configuration.c_str(), r.accuracy.mean,
-                r.accuracy.median, r.accuracy.p90, r.latency.Mean(),
-                r.latency.Max(),
-                static_cast<double>(r.model_bytes) / (1024.0 * 1024.0),
-                r.accuracy.failures);
-  return buf;
+Result<MethodReport> RunMethod(const Experiment& exp,
+                               const std::string& spec) {
+  HABIT_ASSIGN_OR_RETURN(const api::MethodSpec parsed,
+                         api::MethodSpec::Parse(spec));
+  return RunMethod(exp, parsed);
 }
 
 }  // namespace habit::eval

@@ -1,19 +1,21 @@
 // Shared experiment harness: dataset preparation (generate -> preprocess ->
-// 70/30 split -> gap injection) and method runners producing the accuracy /
-// latency / storage numbers reported by every table and figure bench.
+// 70/30 split -> gap injection) and the single generic method runner that
+// produces the accuracy / latency / storage numbers reported by every table
+// and figure bench.
+//
+// Methods are selected by registry spec string ("habit:r=9", "gti:rd=5e-4",
+// "sli", ...) and executed through api::ImputationModel::ImputeBatch — the
+// harness has no per-method code.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "ais/segment.h"
-#include "baselines/gti.h"
-#include "baselines/palmto.h"
-#include "baselines/sli.h"
+#include "api/registry.h"
 #include "core/status.h"
 #include "core/stopwatch.h"
 #include "eval/metrics.h"
-#include "habit/framework.h"
 #include "sim/datasets.h"
 #include "sim/gaps.h"
 
@@ -46,6 +48,10 @@ struct ExperimentOptions {
 Result<Experiment> PrepareExperiment(const std::string& dataset,
                                      const ExperimentOptions& options = {});
 
+/// The experiment's gaps as api requests (aligned with Experiment::gaps),
+/// carrying boundary positions, timestamps, and the vessel type.
+std::vector<api::ImputeRequest> GapRequests(const Experiment& exp);
+
 /// \brief Per-method evaluation outcome.
 struct MethodReport {
   std::string method;
@@ -59,23 +65,23 @@ struct MethodReport {
   std::vector<geo::Polyline> paths;
 };
 
-/// Builds HABIT on the training split and imputes every gap.
-Result<MethodReport> RunHabit(const Experiment& exp,
-                              const core::HabitConfig& config);
+/// \brief Builds the specified method on the training split and imputes
+/// every gap through ImputeBatch.
+///
+/// The single runner behind every table/figure bench: any method the
+/// ModelRegistry knows ("habit", "habit_typed", "gti", "palmto", "sli")
+/// runs through the same loop, so a new registered method is instantly
+/// benchable.
+Result<MethodReport> RunMethod(const Experiment& exp,
+                               const api::MethodSpec& spec);
 
-/// Builds GTI on the training split and imputes every gap.
-Result<MethodReport> RunGti(const Experiment& exp,
-                            const baselines::GtiConfig& config);
+/// Convenience overload parsing a spec string ("habit:r=9,t=250").
+Result<MethodReport> RunMethod(const Experiment& exp,
+                               const std::string& spec);
 
-/// Builds PaLMTO on the training split and imputes every gap (queries may
-/// time out; they count as failures).
-Result<MethodReport> RunPalmto(const Experiment& exp,
-                               const baselines::PalmtoConfig& config);
-
-/// Runs the straight-line baseline over every gap.
-MethodReport RunSli(const Experiment& exp);
-
-/// Prints a MethodReport row ("method config | mean median p90 | avg max").
-std::string FormatReportRow(const MethodReport& report);
+/// Scores an already-built model over the experiment's gaps (used when the
+/// same model serves several experiments or the caller keeps the model).
+MethodReport EvaluateModel(const Experiment& exp,
+                           const api::ImputationModel& model);
 
 }  // namespace habit::eval

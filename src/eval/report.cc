@@ -1,0 +1,111 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+namespace habit::eval {
+
+double BytesToMb(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+std::string FormatReportHeader() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s %-22s | %-36s | %-24s | %-11s | %s", "Method",
+                "Configuration", "DTW (m)", "Latency (s)", "Size", "Fails");
+  return buf;
+}
+
+std::string FormatReportRow(const MethodReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s %-22s | DTW mean %8.1f  median %8.1f  p90 %8.1f | "
+                "lat avg %7.4fs max %7.4fs | size %8.2f MB | fail %zu",
+                r.method.c_str(), r.configuration.c_str(), r.accuracy.mean,
+                r.accuracy.median, r.accuracy.p90, r.latency.Mean(),
+                r.latency.Max(), BytesToMb(r.model_bytes),
+                r.accuracy.failures);
+  return buf;
+}
+
+void PrintReportTable(const std::string& title,
+                      const std::vector<MethodReport>& rows) {
+  std::printf("%s\n", title.c_str());
+  for (const MethodReport& row : rows) {
+    std::printf("  %s\n", FormatReportRow(row).c_str());
+  }
+}
+
+std::string FormatLatencyHeader() {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-8s %-22s %10s %10s", "Method",
+                "Configuration", "Avg", "Max");
+  return buf;
+}
+
+std::string FormatLatencyRow(const MethodReport& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-8s %-22s %10.4f %10.4f",
+                r.method.c_str(), r.configuration.c_str(), r.latency.Mean(),
+                r.latency.Max());
+  return buf;
+}
+
+std::string FormatStorageHeader(const std::vector<std::string>& datasets) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-8s %-22s", "Method", "Configuration");
+  std::string out = buf;
+  for (const std::string& name : datasets) {
+    std::snprintf(buf, sizeof(buf), " %10s", name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatStorageRow(const std::string& method,
+                             const std::string& configuration,
+                             const std::vector<double>& size_mb) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-8s %-22s", method.c_str(),
+                configuration.c_str());
+  std::string out = buf;
+  for (const double mb : size_mb) {
+    std::snprintf(buf, sizeof(buf), " %10.2f", mb);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatTurnStatsHeader() {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-20s %10s %10s %10s %8s", "Config",
+                "cnt", "Avg rot", "Max rot", ">45deg");
+  return buf;
+}
+
+std::string FormatTurnStatsRow(const std::string& label,
+                               const geo::TurnStats& stats) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-20s %10.2f %10.2f %10.2f %8.2f",
+                label.c_str(), stats.count, stats.avg_rot, stats.max_rot,
+                stats.turns_gt45);
+  return buf;
+}
+
+std::string FormatDatasetHeader() {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-6s %-10s %9s %10s %7s %6s", "Data",
+                "Type", "Size(MB)", "Positions", "Trips", "Ships");
+  return buf;
+}
+
+std::string FormatDatasetRow(const std::string& name, const std::string& type,
+                             double size_mb, size_t positions, size_t trips,
+                             size_t ships) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-6s %-10s %9.1f %10zu %7zu %6zu",
+                name.c_str(), type.c_str(), size_mb, positions, trips, ships);
+  return buf;
+}
+
+}  // namespace habit::eval

@@ -1,0 +1,50 @@
+// Shared report formatting for the table/figure benches: every bench prints
+// through these helpers so the row layouts live in exactly one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "geo/polyline.h"
+
+namespace habit::eval {
+
+/// Bytes -> mebibytes.
+double BytesToMb(size_t bytes);
+
+/// Header matching FormatReportRow's columns.
+std::string FormatReportHeader();
+
+/// The full accuracy/latency/storage row:
+/// "method config | DTW mean median p90 | lat avg max | size MB | fail n".
+std::string FormatReportRow(const MethodReport& report);
+
+/// Prints a titled block of FormatReportRow rows to stdout.
+void PrintReportTable(const std::string& title,
+                      const std::vector<MethodReport>& rows);
+
+/// Latency-only columns (Table 4): "method config | avg max".
+std::string FormatLatencyHeader();
+std::string FormatLatencyRow(const MethodReport& report);
+
+/// Storage rows (Table 2): one method/configuration, one size column per
+/// dataset.
+std::string FormatStorageHeader(const std::vector<std::string>& datasets);
+std::string FormatStorageRow(const std::string& method,
+                             const std::string& configuration,
+                             const std::vector<double>& size_mb);
+
+/// Turn-statistics rows (Table 3): position count and rate-of-turn summary
+/// for a labeled configuration.
+std::string FormatTurnStatsHeader();
+std::string FormatTurnStatsRow(const std::string& label,
+                               const geo::TurnStats& stats);
+
+/// Dataset-characteristics rows (Table 1).
+std::string FormatDatasetHeader();
+std::string FormatDatasetRow(const std::string& name, const std::string& type,
+                             double size_mb, size_t positions, size_t trips,
+                             size_t ships);
+
+}  // namespace habit::eval

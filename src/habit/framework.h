@@ -32,6 +32,14 @@ class HabitFramework {
     return imputer_->Impute(gap_start, gap_end, t_start, t_end);
   }
 
+  /// Same, reusing the caller's A* scratch across a batch of queries.
+  Result<Imputation> Impute(const geo::LatLng& gap_start,
+                            const geo::LatLng& gap_end, int64_t t_start,
+                            int64_t t_end,
+                            Imputer::SearchScratch* scratch) const {
+    return imputer_->Impute(gap_start, gap_end, t_start, t_end, scratch);
+  }
+
   /// Imputes every gap in a degraded trip: consecutive reports more than
   /// `gap_threshold_s` apart are filled; returns the densified polyline of
   /// the full trip.
@@ -40,6 +48,10 @@ class HabitFramework {
 
   const graph::Digraph& graph() const { return *graph_; }
   const HabitConfig& config() const { return config_; }
+
+  /// The underlying imputer, for callers that manage their own
+  /// Imputer::SearchScratch across a batch of queries.
+  const Imputer& imputer() const { return *imputer_; }
 
   /// In-memory model footprint in bytes.
   size_t SizeBytes() const { return graph_->SizeBytes(); }

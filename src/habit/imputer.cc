@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
 #include <unordered_set>
 
 #include "graph/shortest_path.h"
@@ -83,6 +82,20 @@ geo::LatLng Imputer::ProjectCell(hex::CellId cell) const {
 Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
                                    const geo::LatLng& gap_end,
                                    int64_t t_start, int64_t t_end) const {
+  SearchScratch scratch;
+  return Impute(gap_start, gap_end, t_start, t_end, &scratch);
+}
+
+Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
+                                   const geo::LatLng& gap_end,
+                                   int64_t t_start, int64_t t_end,
+                                   SearchScratch* scratch) const {
+  if (!gap_start.IsValid() || !gap_end.IsValid()) {
+    return Status::InvalidArgument("invalid gap endpoint " +
+                                   gap_start.ToString() + " -> " +
+                                   gap_end.ToString());
+  }
+  scratch->Reset();
   const std::vector<hex::CellId> src_cands =
       SnapCandidates(gap_start, SnapRole::kSource);
   const std::vector<hex::CellId> dst_cands =
@@ -134,16 +147,21 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
            min_edge_cost;
   };
 
-  struct Entry {
-    double priority;
-    graph::NodeId node;
-    bool operator>(const Entry& o) const { return priority > o.priority; }
+  // Min-heap over the scratch vector (push_heap/pop_heap keep the buffer's
+  // capacity alive across batched queries).
+  auto& heap = scratch->heap;
+  auto& dist = scratch->dist;
+  auto& parent = scratch->parent;
+  auto& settled = scratch->settled;
+  auto& sources = scratch->sources;
+  const auto heap_greater = [](const SearchScratch::HeapEntry& a,
+                               const SearchScratch::HeapEntry& b) {
+    return a.priority > b.priority;
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-  std::unordered_map<graph::NodeId, double> dist;
-  std::unordered_map<graph::NodeId, graph::NodeId> parent;
-  std::unordered_set<graph::NodeId> settled;
-  std::unordered_set<graph::NodeId> sources;
+  auto heap_push = [&](double priority, graph::NodeId node) {
+    heap.push_back({priority, node});
+    std::push_heap(heap.begin(), heap.end(), heap_greater);
+  };
 
   for (const hex::CellId s : src_cands) {
     const double seed_cost =
@@ -151,7 +169,7 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
     auto it = dist.find(s);
     if (it == dist.end() || seed_cost < it->second) {
       dist[s] = seed_cost;
-      queue.push({seed_cost + heuristic(s), s});
+      heap_push(seed_cost + heuristic(s), s);
       sources.insert(s);
     }
   }
@@ -159,9 +177,10 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
   graph::NodeId reached = 0;
   bool found = false;
   size_t expanded = 0;
-  while (!queue.empty()) {
-    const graph::NodeId u = queue.top().node;
-    queue.pop();
+  while (!heap.empty()) {
+    const graph::NodeId u = heap.front().node;
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    heap.pop_back();
     if (settled.contains(u)) continue;
     settled.insert(u);
     ++expanded;
@@ -178,7 +197,7 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
       if (it == dist.end() || cand < it->second) {
         dist[v] = cand;
         parent[v] = u;
-        queue.push({cand + heuristic(v), v});
+        heap_push(cand + heuristic(v), v);
       }
     }
   }

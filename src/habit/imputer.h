@@ -5,6 +5,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/status.h"
@@ -32,17 +33,53 @@ struct Imputation {
 /// \brief Imputes gaps against a prebuilt transition graph.
 class Imputer {
  public:
+  /// \brief Reusable A* working state (distance/parent tables, settled
+  /// sets, and the binary heap).
+  ///
+  /// A cold query pays for allocating and rehashing these containers; a
+  /// batch of queries against the same graph can hand the same scratch to
+  /// every call so the hash tables keep their bucket arrays and the heap
+  /// its capacity. Owned by the caller, valid for any number of queries.
+  struct SearchScratch {
+    struct HeapEntry {
+      double priority;
+      graph::NodeId node;
+    };
+    std::vector<HeapEntry> heap;
+    std::unordered_map<graph::NodeId, double> dist;
+    std::unordered_map<graph::NodeId, graph::NodeId> parent;
+    std::unordered_set<graph::NodeId> settled;
+    std::unordered_set<graph::NodeId> sources;
+
+    /// Empties all containers but keeps their allocations.
+    void Reset() {
+      heap.clear();
+      dist.clear();
+      parent.clear();
+      settled.clear();
+      sources.clear();
+    }
+  };
+
   /// The graph must outlive the imputer.
   Imputer(const graph::Digraph* graph, const HabitConfig& config);
 
   /// \brief Fills the gap between two boundary reports.
   ///
   /// `t_start` / `t_end` are the boundary timestamps used to assign times to
-  /// imputed points. Fails with kUnreachable when the graph cannot connect
-  /// the endpoints (disconnected components or snap failure).
+  /// imputed points. Fails with kInvalidArgument for malformed coordinates
+  /// and kUnreachable when the graph cannot connect the endpoints
+  /// (disconnected components or snap failure).
   Result<Imputation> Impute(const geo::LatLng& gap_start,
                             const geo::LatLng& gap_end, int64_t t_start = 0,
                             int64_t t_end = 0) const;
+
+  /// Same as above but reuses `scratch` for the A* working state, which
+  /// amortizes allocation across a batch of queries (the hot path behind
+  /// api::ImputationModel::ImputeBatch).
+  Result<Imputation> Impute(const geo::LatLng& gap_start,
+                            const geo::LatLng& gap_end, int64_t t_start,
+                            int64_t t_end, SearchScratch* scratch) const;
 
   /// Maps a point to its graph node: its own cell if present, else the
   /// nearest node cell by expanding k-ring search (Section 3.3).

@@ -25,13 +25,35 @@ Result<Imputation> TypedHabitFramework::Impute(ais::VesselType type,
                                                const geo::LatLng& gap_end,
                                                int64_t t_start,
                                                int64_t t_end) const {
+  Imputer::SearchScratch scratch;
+  return Impute(type, gap_start, gap_end, t_start, t_end, &scratch);
+}
+
+Result<Imputation> TypedHabitFramework::Impute(
+    ais::VesselType type, const geo::LatLng& gap_start,
+    const geo::LatLng& gap_end, int64_t t_start, int64_t t_end,
+    Imputer::SearchScratch* scratch) const {
   const auto it = typed_.find(type);
   if (it != typed_.end()) {
-    auto result = it->second->Impute(gap_start, gap_end, t_start, t_end);
+    auto result =
+        it->second->Impute(gap_start, gap_end, t_start, t_end, scratch);
     if (result.ok()) return result;
-    // Typed graph disconnected for this gap: fall through to combined.
+    // A sparse per-type graph may simply not cover this gap (snap failure
+    // or disconnected components): retry transparently on the combined
+    // graph. Genuine request errors (invalid coordinates, internal faults)
+    // would fail identically on the combined graph, so propagate them.
+    const StatusCode code = result.status().code();
+    if (code != StatusCode::kUnreachable && code != StatusCode::kNotFound) {
+      return result;
+    }
   }
-  return combined_->Impute(gap_start, gap_end, t_start, t_end);
+  return combined_->Impute(gap_start, gap_end, t_start, t_end, scratch);
+}
+
+size_t TypedHabitFramework::SizeBytes() const {
+  size_t total = combined_->SizeBytes();
+  for (const auto& [type, fw] : typed_) total += fw->SizeBytes();
+  return total;
 }
 
 size_t TypedHabitFramework::SerializedSizeBytes() const {

@@ -30,12 +30,23 @@ class TypedHabitFramework {
                             const geo::LatLng& gap_end, int64_t t_start = 0,
                             int64_t t_end = 0) const;
 
+  /// Same, reusing the caller's A* scratch across a batch of queries (the
+  /// scratch is per-query state, so it is shared safely across the typed
+  /// and combined graphs).
+  Result<Imputation> Impute(ais::VesselType type, const geo::LatLng& gap_start,
+                            const geo::LatLng& gap_end, int64_t t_start,
+                            int64_t t_end,
+                            Imputer::SearchScratch* scratch) const;
+
   /// True iff a dedicated graph exists for the type.
   bool HasTypedModel(ais::VesselType type) const {
     return typed_.contains(type);
   }
 
   const HabitFramework& combined() const { return *combined_; }
+
+  /// Total in-memory footprint across all graphs.
+  size_t SizeBytes() const;
 
   /// Total persisted size across all graphs.
   size_t SerializedSizeBytes() const;

@@ -1,0 +1,294 @@
+// Tests for the unified imputation API: MethodSpec parsing, the model
+// registry, each registered adapter end-to-end, and batch imputation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/adapters.h"
+#include "api/registry.h"
+#include "geo/latlng.h"
+
+namespace habit::api {
+namespace {
+
+// A small two-lane history: passengers sail lng=11.0, tankers lng=11.3.
+// Dense reporting (60 s) over ~40 km keeps every method's graph connected.
+std::vector<ais::Trip> MakeTrips() {
+  std::vector<ais::Trip> trips;
+  int64_t next_id = 1;
+  for (const auto [type, lng] :
+       {std::pair{ais::VesselType::kPassenger, 11.0},
+        std::pair{ais::VesselType::kTanker, 11.3}}) {
+    for (int t = 0; t < 10; ++t) {
+      ais::Trip trip;
+      trip.trip_id = next_id++;
+      trip.mmsi = 100 * static_cast<int>(type) + t;
+      trip.type = type;
+      for (int i = 0; i < 120; ++i) {
+        ais::AisRecord r;
+        r.mmsi = trip.mmsi;
+        r.ts = 1000000 + i * 60;
+        r.pos = {55.0 + i * 0.003, lng + 0.0004 * (t % 3)};
+        r.sog = 12.0;
+        r.type = type;
+        trip.points.push_back(r);
+      }
+      trips.push_back(trip);
+    }
+  }
+  return trips;
+}
+
+// A trivial gap along the passenger lane (a handful of cells at r=9 —
+// short enough that even PaLMTO's sampled generation finishes fast).
+ImputeRequest LaneRequest() {
+  ImputeRequest req;
+  req.gap_start = {55.06, 11.0};
+  req.gap_end = {55.075, 11.0};
+  req.t_start = 1000000;
+  req.t_end = 1003600;
+  return req;
+}
+
+TEST(MethodSpecTest, ParsesNameOnly) {
+  auto spec = MethodSpec::Parse("habit").MoveValue();
+  EXPECT_EQ(spec.method, "habit");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.ToString(), "habit");
+}
+
+TEST(MethodSpecTest, ParamParsingRoundTrips) {
+  auto spec = MethodSpec::Parse("habit:r=9,p=w").MoveValue();
+  EXPECT_EQ(spec.method, "habit");
+  ASSERT_EQ(spec.params.size(), 2u);
+  EXPECT_EQ(spec.params.at("r"), "9");
+  EXPECT_EQ(spec.params.at("p"), "w");
+  // Canonical form re-parses to the same spec.
+  const std::string canonical = spec.ToString();
+  auto reparsed = MethodSpec::Parse(canonical).MoveValue();
+  EXPECT_EQ(reparsed.method, spec.method);
+  EXPECT_EQ(reparsed.params, spec.params);
+  EXPECT_EQ(reparsed.ToString(), canonical);
+}
+
+TEST(MethodSpecTest, RejectsMalformedSpecs) {
+  EXPECT_EQ(MethodSpec::Parse("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MethodSpec::Parse(":r=9").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MethodSpec::Parse("habit:r").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MethodSpec::Parse("habit:r=").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MethodSpec::Parse("habit:=9").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MethodSpec::Parse("habit:r=9,,p=w").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MethodSpecTest, TypedAccessors) {
+  auto spec = MethodSpec::Parse("habit:r=9,t=250.5").MoveValue();
+  EXPECT_EQ(spec.GetInt("r", 7).MoveValue(), 9);
+  EXPECT_EQ(spec.GetInt("missing", 7).MoveValue(), 7);
+  EXPECT_DOUBLE_EQ(spec.GetDouble("t", 0).MoveValue(), 250.5);
+  // A non-numeric value fails loudly.
+  auto bad = MethodSpec::Parse("habit:r=nine").MoveValue();
+  EXPECT_EQ(bad.GetInt("r", 7).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, UnknownMethodIsInvalidArgument) {
+  auto model = MakeModel("definitely_not_a_method", MakeTrips());
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, OverflowingIntParameterRejected) {
+  auto model = MakeModel("habit:r=4294967296", MakeTrips());
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, InvalidEndpointsRejectedConsistently) {
+  const auto trips = MakeTrips();
+  ImputeRequest bad = LaneRequest();
+  bad.gap_start = {999.0, 999.0};
+  for (const char* spec :
+       {"habit", "habit_typed", "gti", "palmto:r=8", "sli"}) {
+    auto model = MakeModel(spec, trips).MoveValue();
+    auto response = model->Impute(bad);
+    ASSERT_FALSE(response.ok()) << spec;
+    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+}
+
+TEST(RegistryTest, UnknownParameterIsInvalidArgument) {
+  const auto trips = MakeTrips();
+  for (const char* spec :
+       {"habit:bogus=1", "habit_typed:bogus=1", "gti:bogus=1",
+        "palmto:bogus=1", "sli:bogus=1"}) {
+    auto model = MakeModel(spec, trips);
+    ASSERT_FALSE(model.ok()) << spec;
+    EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+}
+
+TEST(RegistryTest, ListsAllBuiltinMethods) {
+  const auto names = ModelRegistry::Global().MethodNames();
+  for (const char* expected :
+       {"habit", "habit_typed", "gti", "palmto", "sli"}) {
+    EXPECT_TRUE(ModelRegistry::Global().Has(expected)) << expected;
+    EXPECT_NE(ModelRegistry::Global().Description(expected), "") << expected;
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end());
+  }
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  ModelRegistry registry;
+  auto factory = [](const MethodSpec&, const std::vector<ais::Trip>&)
+      -> Result<std::unique_ptr<ImputationModel>> {
+    return Status::Internal("unused");
+  };
+  EXPECT_TRUE(registry.Register("m", "a method", factory).ok());
+  EXPECT_EQ(registry.Register("m", "again", factory).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ApiTest, EveryRegisteredMethodImputesATrivialGap) {
+  const auto trips = MakeTrips();
+  const ImputeRequest req = LaneRequest();
+  for (const std::string& name : ModelRegistry::Global().MethodNames()) {
+    // PaLMTO needs coarse tokens for reliable generation (as in the
+    // paper's setup and baselines_test); everything else runs defaults.
+    const std::string spec =
+        name == "palmto" ? "palmto:r=8,timeout=5" : name;
+    auto model_result = MakeModel(spec, trips);
+    ASSERT_TRUE(model_result.ok())
+        << name << ": " << model_result.status().ToString();
+    const auto& model = model_result.value();
+    EXPECT_NE(model->Name(), "") << name;
+    EXPECT_NE(model->Configuration(), "") << name;
+
+    auto response = model->Impute(req);
+    ASSERT_TRUE(response.ok())
+        << name << ": " << response.status().ToString();
+    const geo::Polyline& path = response.value().path;
+    ASSERT_GE(path.size(), 2u) << name;
+    // The path connects the gap endpoints (within a cell's width).
+    EXPECT_LT(geo::HaversineMeters(path.front(), req.gap_start), 1000.0)
+        << name;
+    EXPECT_LT(geo::HaversineMeters(path.back(), req.gap_end), 1000.0)
+        << name;
+    // Timestamps, when assigned, span the gap and align with the path.
+    if (!response.value().timestamps.empty()) {
+      EXPECT_EQ(response.value().timestamps.size(), path.size()) << name;
+      EXPECT_GE(response.value().timestamps.front(), req.t_start) << name;
+      EXPECT_LE(response.value().timestamps.back(), req.t_end) << name;
+    }
+
+    // Batch imputation answers every request, aligned with the input, and
+    // reports per-query latency.
+    const std::vector<ImputeRequest> requests(3, req);
+    std::vector<double> query_seconds;
+    const auto batch = model->ImputeBatch(requests, &query_seconds);
+    ASSERT_EQ(batch.size(), requests.size()) << name;
+    ASSERT_EQ(query_seconds.size(), requests.size()) << name;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok()) << name << ": "
+                                 << batch[i].status().ToString();
+      EXPECT_GE(batch[i].value().path.size(), 2u) << name;
+      EXPECT_GT(query_seconds[i], 0.0) << name;
+    }
+  }
+}
+
+TEST(ApiTest, BatchMatchesSingleQueries) {
+  const auto trips = MakeTrips();
+  auto model = MakeModel("habit:r=9,t=0", trips).MoveValue();
+
+  std::vector<ImputeRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    ImputeRequest req;
+    req.gap_start = {55.05 + 0.01 * i, 11.0};
+    req.gap_end = {55.15 + 0.02 * i, 11.0};
+    req.t_start = 1000000;
+    req.t_end = 1003600;
+    requests.push_back(req);
+  }
+  std::vector<double> query_seconds;
+  const auto batch = model->ImputeBatch(requests, &query_seconds);
+  ASSERT_EQ(batch.size(), requests.size());
+  ASSERT_EQ(query_seconds.size(), requests.size());
+
+  // The scratch-reusing batch path must produce exactly the single-query
+  // paths, response by response.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto single = model->Impute(requests[i]);
+    ASSERT_EQ(single.ok(), batch[i].ok()) << i;
+    if (!single.ok()) continue;
+    ASSERT_EQ(single.value().path.size(), batch[i].value().path.size()) << i;
+    for (size_t j = 0; j < single.value().path.size(); ++j) {
+      EXPECT_EQ(single.value().path[j], batch[i].value().path[j]);
+    }
+    EXPECT_EQ(single.value().timestamps, batch[i].value().timestamps);
+    EXPECT_GT(query_seconds[i], 0.0);
+  }
+}
+
+TEST(ApiTest, BatchReportsPerQueryFailures) {
+  const auto trips = MakeTrips();
+  auto model = MakeModel("habit", trips).MoveValue();
+  std::vector<ImputeRequest> requests(3, LaneRequest());
+  // Middle request is far outside the data: it alone must fail.
+  requests[1].gap_start = {40.0, -20.0};
+  requests[1].gap_end = {40.5, -20.0};
+  const auto batch = model->ImputeBatch(requests);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_FALSE(batch[1].ok());
+  EXPECT_TRUE(batch[2].ok());
+}
+
+TEST(ApiTest, TypedModelRoutesByVesselType) {
+  const auto trips = MakeTrips();
+  auto model = MakeModel("habit_typed:t=0", trips).MoveValue();
+
+  // A tanker query on the tanker lane stays on lng ~11.3.
+  ImputeRequest req;
+  req.gap_start = {55.06, 11.3};
+  req.gap_end = {55.30, 11.3};
+  req.vessel_type = ais::VesselType::kTanker;
+  auto tanker = model->Impute(req);
+  ASSERT_TRUE(tanker.ok()) << tanker.status().ToString();
+  for (const geo::LatLng& p : tanker.value().path) {
+    EXPECT_NEAR(p.lng, 11.3, 0.02);
+  }
+
+  // Without a vessel type the combined graph answers.
+  req.vessel_type.reset();
+  EXPECT_TRUE(model->Impute(req).ok());
+}
+
+TEST(ApiTest, ModelsReportFootprintsAndBuildTime) {
+  const auto trips = MakeTrips();
+  for (const char* spec : {"habit", "gti", "palmto"}) {
+    auto model = MakeModel(spec, trips).MoveValue();
+    EXPECT_GT(model->SizeBytes(), 0u) << spec;
+    EXPECT_GT(model->SerializedSizeBytes(), 0u) << spec;
+    EXPECT_GT(model->BuildSeconds(), 0.0) << spec;
+  }
+  auto sli = MakeModel("sli", trips).MoveValue();
+  EXPECT_EQ(sli->SizeBytes(), 0u);
+}
+
+TEST(ApiTest, HabitModelExposesFramework) {
+  const auto trips = MakeTrips();
+  auto model = MakeModel("habit:r=8", trips).MoveValue();
+  const auto* habit_model = dynamic_cast<const HabitModel*>(model.get());
+  ASSERT_NE(habit_model, nullptr);
+  EXPECT_EQ(habit_model->framework().config().resolution, 8);
+  EXPECT_GT(habit_model->framework().graph().num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace habit::api

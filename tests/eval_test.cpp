@@ -1,11 +1,13 @@
 // Tests for the evaluation harness: DTW gap metric, accuracy statistics,
-// experiment preparation (split + gap injection), and the method runners.
+// experiment preparation (split + gap injection), and the generic
+// registry-driven method runner.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 
 #include "eval/harness.h"
+#include "eval/report.h"
 
 namespace habit::eval {
 namespace {
@@ -104,7 +106,7 @@ TEST(HarnessTest, RunSliProducesScores) {
   options.scale = 0.2;
   auto exp = PrepareExperiment("KIEL", options).MoveValue();
   ASSERT_GT(exp.gaps.size(), 0u);
-  const MethodReport report = RunSli(exp);
+  const MethodReport report = RunMethod(exp, "sli").MoveValue();
   EXPECT_EQ(report.method, "SLI");
   EXPECT_EQ(report.accuracy.count, exp.gaps.size());
   EXPECT_EQ(report.accuracy.failures, 0u);
@@ -120,8 +122,7 @@ TEST(HarnessTest, RunHabitBeatsNothingButWorks) {
   options.scale = 0.25;
   auto exp = PrepareExperiment("KIEL", options).MoveValue();
   ASSERT_GT(exp.gaps.size(), 0u);
-  core::HabitConfig config;
-  auto report = RunHabit(exp, config);
+  auto report = RunMethod(exp, "habit");
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report.value().model_bytes, 0u);
   EXPECT_GT(report.value().build_seconds, 0.0);
@@ -137,9 +138,7 @@ TEST(HarnessTest, RunGtiProducesReport) {
   options.scale = 0.25;
   auto exp = PrepareExperiment("KIEL", options).MoveValue();
   ASSERT_GT(exp.gaps.size(), 0u);
-  baselines::GtiConfig config;
-  config.rd_degrees = 5e-4;
-  auto report = RunGti(exp, config);
+  auto report = RunMethod(exp, "gti:rd=5e-4");
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report.value().method, "GTI");
   EXPECT_GT(report.value().model_bytes, 0u);
@@ -151,16 +150,40 @@ TEST(HarnessTest, RunPalmtoCountsTimeoutsAsFailures) {
   options.scale = 0.25;
   auto exp = PrepareExperiment("KIEL", options).MoveValue();
   ASSERT_GT(exp.gaps.size(), 0u);
-  baselines::PalmtoConfig config;
-  config.resolution = 9;
-  config.timeout_seconds = 0.02;  // deliberately tight budget
-  config.max_tokens = 128;
-  auto report = RunPalmto(exp, config);
+  // Deliberately tight generation budget.
+  auto report = RunMethod(exp, "palmto:r=9,timeout=0.02,max_tokens=128");
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   // Scored + failed covers every gap; with this budget long KIEL gaps
   // typically time out (the paper's observation).
   EXPECT_EQ(report.value().accuracy.count + report.value().accuracy.failures,
             exp.gaps.size());
+}
+
+TEST(HarnessTest, RunMethodRejectsUnknownSpecs) {
+  ExperimentOptions options;
+  options.scale = 0.2;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  auto unknown = RunMethod(exp, "nonesuch");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  auto bad_param = RunMethod(exp, "habit:resolution=9");
+  ASSERT_FALSE(bad_param.ok());
+  EXPECT_EQ(bad_param.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HarnessTest, GapRequestsCarryBoundariesAndType) {
+  ExperimentOptions options;
+  options.scale = 0.2;
+  auto exp = PrepareExperiment("KIEL", options).MoveValue();
+  const auto requests = GapRequests(exp);
+  ASSERT_EQ(requests.size(), exp.gaps.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].gap_start, exp.gaps[i].gap_start.pos);
+    EXPECT_EQ(requests[i].gap_end, exp.gaps[i].gap_end.pos);
+    EXPECT_EQ(requests[i].t_start, exp.gaps[i].gap_start.ts);
+    EXPECT_EQ(requests[i].t_end, exp.gaps[i].gap_end.ts);
+    ASSERT_TRUE(requests[i].vessel_type.has_value());
+  }
 }
 
 TEST(HarnessTest, LatencyStatsBehave) {

@@ -79,6 +79,71 @@ TEST(TypedFrameworkTest, EmptyInputRejected) {
   EXPECT_FALSE(TypedHabitFramework::Build({}, config).ok());
 }
 
+// Regression: a type whose dedicated graph is too sparse to connect a gap
+// (two disjoint passenger segments) must transparently retry on the
+// combined graph, which another type's traffic bridges.
+TEST(TypedFrameworkTest, SparseTypedGraphFallsBackToCombined) {
+  std::vector<ais::Trip> trips;
+  int64_t next_id = 1;
+  // Passengers cover only two disjoint stretches of the lane...
+  for (const auto [lat_lo, lat_hi] : {std::pair{55.00, 55.10},
+                                      std::pair{55.30, 55.40}}) {
+    for (int t = 0; t < 10; ++t) {
+      ais::Trip trip;
+      trip.trip_id = next_id++;
+      trip.mmsi = 100 + t;
+      trip.type = ais::VesselType::kPassenger;
+      for (int i = 0; i < 60; ++i) {
+        ais::AisRecord r;
+        r.mmsi = trip.mmsi;
+        r.ts = 1000000 + i * 60;
+        r.pos = {lat_lo + i * (lat_hi - lat_lo) / 59.0, 11.0};
+        r.sog = 12.0;
+        r.type = trip.type;
+        trip.points.push_back(r);
+      }
+      trips.push_back(trip);
+    }
+  }
+  // ...while cargo traffic sails the full lane, bridging the two stretches
+  // in the combined graph.
+  for (int t = 0; t < 10; ++t) {
+    ais::Trip trip;
+    trip.trip_id = next_id++;
+    trip.mmsi = 200 + t;
+    trip.type = ais::VesselType::kCargo;
+    for (int i = 0; i < 120; ++i) {
+      ais::AisRecord r;
+      r.mmsi = trip.mmsi;
+      r.ts = 1000000 + i * 60;
+      r.pos = {55.0 + i * 0.4 / 119.0, 11.0};
+      r.sog = 12.0;
+      r.type = trip.type;
+      trip.points.push_back(r);
+    }
+    trips.push_back(trip);
+  }
+
+  HabitConfig config;
+  config.rdp_tolerance_m = 0;
+  auto fw = TypedHabitFramework::Build(trips, config).MoveValue();
+  ASSERT_TRUE(fw->HasTypedModel(ais::VesselType::kPassenger));
+
+  // A passenger gap spanning the void cannot be answered by the passenger
+  // graph alone but succeeds via the combined fallback.
+  auto imp = fw->Impute(ais::VesselType::kPassenger, {55.05, 11.0},
+                        {55.35, 11.0});
+  ASSERT_TRUE(imp.ok()) << imp.status().ToString();
+  EXPECT_GT(imp.value().path.size(), 2u);
+
+  // Genuine request errors are NOT retried on the combined graph: invalid
+  // coordinates propagate as kInvalidArgument.
+  auto bad = fw->Impute(ais::VesselType::kPassenger, {999.0, 999.0},
+                        {55.35, 11.0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(DensityMapTest, CountsPointsPerCell) {
   DensityMap map(8);
   const geo::LatLng p{55.2, 11.1};

@@ -3,6 +3,8 @@
 // the paper's evaluation relies on.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "eval/harness.h"
 #include "geo/similarity.h"
 
@@ -35,10 +37,7 @@ TEST_F(EndToEndTest, PipelineProducesEvaluableGaps) {
 }
 
 TEST_F(EndToEndTest, HabitImputesMostGapsAccurately) {
-  core::HabitConfig config;
-  config.resolution = 9;
-  config.rdp_tolerance_m = 250;
-  auto report = eval::RunHabit(*exp_, config).MoveValue();
+  auto report = eval::RunMethod(*exp_, "habit:r=9,t=250").MoveValue();
   // On the confined KIEL-like corridor HABIT should fill nearly all gaps...
   EXPECT_GE(report.accuracy.count, exp_->gaps.size() * 2 / 3);
   // ...and stay well under the worst-case error (straight-line distance of
@@ -48,9 +47,8 @@ TEST_F(EndToEndTest, HabitImputesMostGapsAccurately) {
 }
 
 TEST_F(EndToEndTest, HabitBeatsSliOnCurvedCorridor) {
-  core::HabitConfig config;
-  auto habit_report = eval::RunHabit(*exp_, config).MoveValue();
-  const eval::MethodReport sli_report = eval::RunSli(*exp_);
+  auto habit_report = eval::RunMethod(*exp_, "habit").MoveValue();
+  const eval::MethodReport sli_report = eval::RunMethod(*exp_, "sli").MoveValue();
   // The corridor bends around islands, so straight-line interpolation
   // accumulates larger deviations on long gaps. Compare medians.
   EXPECT_LT(habit_report.accuracy.median, sli_report.accuracy.median * 1.5);
@@ -66,14 +64,8 @@ TEST_F(EndToEndTest, HabitModelIsCompactAndGtiIsLarger) {
   options.sampler.report_interval_s = 8.0;
   auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
 
-  core::HabitConfig config;
-  config.resolution = 9;
-  auto habit_report = eval::RunHabit(exp, config).MoveValue();
-
-  baselines::GtiConfig gti_config;
-  gti_config.rm_meters = 250;
-  gti_config.rd_degrees = 1e-3;
-  auto gti_report = eval::RunGti(exp, gti_config).MoveValue();
+  auto habit_report = eval::RunMethod(exp, "habit:r=9").MoveValue();
+  auto gti_report = eval::RunMethod(exp, "gti:rm=250,rd=1e-3").MoveValue();
 
   // Table 2's headline: the GTI model (every raw point + candidate edges)
   // outweighs HABIT's aggregated per-cell model.
@@ -83,9 +75,8 @@ TEST_F(EndToEndTest, HabitModelIsCompactAndGtiIsLarger) {
 TEST_F(EndToEndTest, ResolutionSweepTradesAccuracyForSize) {
   size_t prev_size = 0;
   for (int r : {7, 8, 9}) {
-    core::HabitConfig config;
-    config.resolution = r;
-    auto report = eval::RunHabit(*exp_, config).MoveValue();
+    auto report =
+        eval::RunMethod(*exp_, "habit:r=" + std::to_string(r)).MoveValue();
     EXPECT_GT(report.model_bytes, prev_size)
         << "storage must grow with resolution (Table 2)";
     prev_size = report.model_bytes;
@@ -98,13 +89,12 @@ TEST_F(EndToEndTest, GapDurationDegradesGracefully) {
   eval::ExperimentOptions options;
   options.scale = 0.3;
   options.seed = 21;
-  core::HabitConfig config;
   double prev_median = 0;
   for (int64_t gap_s : {3600LL, 4 * 3600LL}) {
     options.gap_seconds = gap_s;
     auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
     if (exp.gaps.empty()) continue;
-    auto report = eval::RunHabit(exp, config).MoveValue();
+    auto report = eval::RunMethod(exp, "habit").MoveValue();
     EXPECT_GT(report.accuracy.count, 0u);
     prev_median = report.accuracy.median;
   }
@@ -117,12 +107,10 @@ TEST(IntegrationSarTest, MixedTrafficPipelineWorks) {
   options.seed = 33;
   auto exp = eval::PrepareExperiment("SAR", options).MoveValue();
   ASSERT_GT(exp.gaps.size(), 2u);
-  core::HabitConfig config;
-  config.resolution = 9;
-  auto report = eval::RunHabit(exp, config).MoveValue();
+  auto report = eval::RunMethod(exp, "habit:r=9").MoveValue();
   // Mixed irregular traffic: some gaps may fail, most should impute.
   EXPECT_GE(report.accuracy.count, exp.gaps.size() / 2);
-  const eval::MethodReport sli = eval::RunSli(exp);
+  const eval::MethodReport sli = eval::RunMethod(exp, "sli").MoveValue();
   EXPECT_EQ(sli.accuracy.failures, 0u);
 }
 
@@ -133,9 +121,8 @@ TEST(IntegrationNavigabilityTest, ImputedPathsAvoidLandMoreThanSli) {
   options.scale = 0.3;
   options.seed = 21;
   auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
-  core::HabitConfig config;
-  auto habit_report = eval::RunHabit(exp, config).MoveValue();
-  const eval::MethodReport sli = eval::RunSli(exp);
+  auto habit_report = eval::RunMethod(exp, "habit").MoveValue();
+  const eval::MethodReport sli = eval::RunMethod(exp, "sli").MoveValue();
   int habit_crossings = 0, sli_crossings = 0;
   for (size_t i = 0; i < exp.gaps.size(); ++i) {
     if (!habit_report.paths[i].empty()) {

@@ -9,6 +9,7 @@
 #include "core/rng.h"
 #include "eval/harness.h"
 #include "geo/similarity.h"
+#include "habit/framework.h"
 #include "habit/graph_builder.h"
 #include "hexgrid/hexgrid.h"
 #include "minidb/query.h"
