@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/rng.h"
+#include "graph/digraph.h"
 #include "graph/kdtree.h"
 #include "graph/shortest_path.h"
 #include "hexgrid/hexgrid.h"
@@ -36,14 +37,16 @@ graph::Digraph MakeCorridorGraph(int length_cells, hex::CellId* start,
 
 void BM_AStarCorridor(benchmark::State& state) {
   hex::CellId start, end;
-  const graph::Digraph g =
-      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end);
-  const graph::Heuristic h = [end](graph::NodeId n) {
+  const graph::CompactGraph g =
+      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end)
+          .Freeze();
+  const auto h = [end](graph::NodeId n) {
     auto d = hex::GridDistance(static_cast<hex::CellId>(n), end);
     return d.ok() ? static_cast<double>(d.value()) : 0.0;
   };
+  graph::SearchScratch scratch;
   for (auto _ : state) {
-    auto result = graph::AStar(g, start, end, h);
+    auto result = graph::AStar(g, start, end, h, &scratch);
     benchmark::DoNotOptimize(result);
   }
 }
@@ -51,14 +54,27 @@ BENCHMARK(BM_AStarCorridor)->Arg(100)->Arg(1000)->Arg(5000);
 
 void BM_DijkstraCorridor(benchmark::State& state) {
   hex::CellId start, end;
-  const graph::Digraph g =
-      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end);
+  const graph::CompactGraph g =
+      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end)
+          .Freeze();
+  graph::SearchScratch scratch;
   for (auto _ : state) {
-    auto result = graph::Dijkstra(g, start, end);
+    auto result = graph::Dijkstra(g, start, end, &scratch);
     benchmark::DoNotOptimize(result);
   }
 }
 BENCHMARK(BM_DijkstraCorridor)->Arg(1000);
+
+void BM_FreezeCorridor(benchmark::State& state) {
+  hex::CellId start, end;
+  const graph::Digraph g =
+      MakeCorridorGraph(static_cast<int>(state.range(0)), &start, &end);
+  for (auto _ : state) {
+    auto frozen = g.Freeze();
+    benchmark::DoNotOptimize(frozen.num_edges());
+  }
+}
+BENCHMARK(BM_FreezeCorridor)->Arg(1000);
 
 void BM_KdTreeBuild(benchmark::State& state) {
   Rng rng(4);

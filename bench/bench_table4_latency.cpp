@@ -4,12 +4,33 @@
 // Paper shape: HABIT answers in tens of milliseconds (rising with r), with
 // sub-second maxima; GTI is consistently slower (hundreds of ms to
 // seconds), worst on SAR.
+//
+// Also measures ImputeBatch scaling over the `threads` registry parameter
+// (one flat search scratch per worker against the shared frozen graph).
+//
+// Machine-readable results are emitted as `BENCH_METRIC {json}` lines,
+// which bench/run_all.sh folds into its per-bench JSON output so latency
+// trajectories can be diffed across runs.
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/stopwatch.h"
 #include "eval/harness.h"
 #include "eval/report.h"
+
+namespace {
+
+void EmitLatencyMetric(const char* dataset, const std::string& spec,
+                       const habit::eval::MethodReport& report) {
+  std::printf(
+      "BENCH_METRIC {\"metric\":\"query_latency\",\"dataset\":\"%s\","
+      "\"spec\":\"%s\",\"mean_s\":%.6f,\"max_s\":%.6f}\n",
+      dataset, spec.c_str(), report.latency.Mean(), report.latency.Max());
+}
+
+}  // namespace
 
 int main() {
   using namespace habit;
@@ -38,8 +59,59 @@ int main() {
       auto report = eval::RunMethod(exp, spec);
       if (!report.ok()) continue;
       std::printf("  %s\n", eval::FormatLatencyRow(report.value()).c_str());
+      EmitLatencyMetric(dataset, spec, report.value());
     }
   }
+
+  // Parallel-batch scaling: the gap set is tiled to a steady batch so the
+  // wall-clock speedup over the serial path is measurable.
+  {
+    eval::ExperimentOptions options;
+    options.scale = 1.0;
+    options.seed = 42;
+    options.sampler.report_interval_s = 10.0;
+    auto exp = eval::PrepareExperiment("KIEL", options).MoveValue();
+    const std::vector<api::ImputeRequest> gap_requests =
+        eval::GapRequests(exp);
+    if (gap_requests.empty()) {
+      std::printf("\nno gaps prepared; skipping batch-scaling section\n");
+      return 0;
+    }
+    constexpr size_t kBatch = 512;
+    std::vector<api::ImputeRequest> batch;
+    batch.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(gap_requests[i % gap_requests.size()]);
+    }
+    std::printf("\nParallel ImputeBatch scaling (KIEL, %zu queries, "
+                "habit:r=9,threads=N; %u hardware threads)\n", batch.size(),
+                std::thread::hardware_concurrency());
+    double serial_wall = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      const std::string spec = "habit:r=9,threads=" + std::to_string(threads);
+      auto model = api::MakeModel(spec, exp.train_trips);
+      if (!model.ok()) {
+        std::printf("  %s failed: %s\n", spec.c_str(),
+                    model.status().ToString().c_str());
+        continue;
+      }
+      Stopwatch sw;
+      const auto responses = model.value()->ImputeBatch(batch, nullptr);
+      const double wall = sw.ElapsedSeconds();
+      if (threads == 1) serial_wall = wall;
+      const double speedup = wall > 0 ? serial_wall / wall : 0.0;
+      std::printf("  threads=%d  wall=%.3fs  %.0f queries/s  speedup=%.2fx\n",
+                  threads, wall,
+                  static_cast<double>(batch.size()) / wall, speedup);
+      std::printf(
+          "BENCH_METRIC {\"metric\":\"batch_scaling\",\"dataset\":\"KIEL\","
+          "\"spec\":\"%s\",\"threads\":%d,\"hw_threads\":%u,"
+          "\"wall_s\":%.4f,\"speedup\":%.3f}\n",
+          spec.c_str(), threads, std::thread::hardware_concurrency(), wall,
+          speedup);
+    }
+  }
+
   std::printf("\npaper reference (KIEL): HABIT avg 0.019-0.071s; GTI avg "
               "0.26-0.40s. (SAR): HABIT 0.031-0.139s; GTI 0.49-1.22s\n");
   std::printf("expected shape: HABIT subsecond and faster than GTI; both "

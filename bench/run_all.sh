@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Runs every bench binary in a build directory and emits one JSON line per
-# bench (name, exit code, wall seconds, output path) so trajectory-tracking
-# tooling can diff runs over time.
+# bench (name, exit code, wall seconds, bench-reported metrics, output path)
+# so trajectory-tracking tooling can diff runs over time.
 #
 #   usage: bench/run_all.sh [build_dir] [out_dir]
 #
 # Bench stdout/stderr goes to <out_dir>/<bench>.out; the JSON lines go to
-# stdout.
+# stdout. Benches report machine-readable numbers by printing lines of the
+# form `BENCH_METRIC {json object}`; those objects are passed through into
+# the "metrics" array of the bench's JSON line, so BENCH_*.json trajectories
+# capture measured quantities (e.g. query latency), not just wall time.
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -29,8 +32,9 @@ for bench in "$BUILD_DIR"/bench_*; do
   code=$?
   end=$(date +%s.%N)
   seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
-  printf '{"bench":"%s","exit":%d,"seconds":%s,"output":"%s"}\n' \
-    "$name" "$code" "$seconds" "$out"
+  metrics=$(sed -n 's/^BENCH_METRIC //p' "$out" | paste -sd, -)
+  printf '{"bench":"%s","exit":%d,"seconds":%s,"metrics":[%s],"output":"%s"}\n' \
+    "$name" "$code" "$seconds" "$metrics" "$out"
 done
 
 if [ "$found" -eq 0 ]; then

@@ -122,9 +122,11 @@ int CmdImpute(int argc, char** argv) {
   core::HabitConfig config;
   if (argc > 5) config.resolution = std::atoi(argv[5]);
   if (argc > 6) config.rdp_tolerance_m = std::atof(argv[6]);
-  auto graph = core::LoadGraphCsv(argv[0], config);
-  if (!graph.ok()) return Fail(graph.status());
-  const core::Imputer imputer(&graph.value(), config);
+  auto loaded = core::LoadGraphCsv(argv[0], config);
+  if (!loaded.ok()) return Fail(loaded.status());
+  // Queries run against the frozen CSR form; the mutable graph is dropped.
+  const graph::CompactGraph frozen = loaded.value().Freeze();
+  const core::Imputer imputer(&frozen, config);
   const geo::LatLng a{std::atof(argv[1]), std::atof(argv[2])};
   const geo::LatLng b{std::atof(argv[3]), std::atof(argv[4])};
   auto imp = imputer.Impute(a, b, 0, 3600);

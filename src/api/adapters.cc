@@ -1,7 +1,9 @@
 #include "api/adapters.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "baselines/sli.h"
 #include "core/stopwatch.h"
@@ -60,8 +62,63 @@ ImputeResponse ResponseFromImputation(core::Imputation imputation) {
 }
 
 // Shared HABIT parameter block ("habit" and "habit_typed").
-const std::vector<std::string> kHabitKeys = {"r",    "p",      "t",
-                                             "cost", "expand", "snap"};
+const std::vector<std::string> kHabitKeys = {
+    "r", "p", "t", "cost", "expand", "snap", "threads"};
+
+// Batch worker count from the spec ("habit:r=9,threads=8"); 1 = serial.
+Result<int> ParseThreads(const MethodSpec& spec) {
+  HABIT_ASSIGN_OR_RETURN(const int threads, spec.GetInt("threads", 1));
+  if (threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  return threads;
+}
+
+// Runs `impute_one(request, &scratch)` over every request — serially, or
+// partitioned across `threads` workers, each owning one flat SearchScratch
+// so the batch scales with no shared mutable state. Per-query wall times
+// land in `query_seconds` aligned with the requests.
+template <typename ImputeOneFn>
+std::vector<Result<ImputeResponse>> RunImputeBatch(
+    std::span<const ImputeRequest> requests, int threads,
+    std::vector<double>* query_seconds, const ImputeOneFn& impute_one) {
+  const size_t n = requests.size();
+  std::vector<Result<ImputeResponse>> responses(
+      n, Result<ImputeResponse>(Status::Internal("request not processed")));
+  std::vector<double> seconds(n, 0.0);
+  auto run_range = [&](size_t begin, size_t end) {
+    core::Imputer::SearchScratch scratch;
+    for (size_t i = begin; i < end; ++i) {
+      Stopwatch sw;
+      auto imputation = impute_one(requests[i], &scratch);
+      if (imputation.ok()) {
+        responses[i] = ResponseFromImputation(imputation.MoveValue());
+      } else {
+        responses[i] = imputation.status();
+      }
+      seconds[i] = sw.ElapsedSeconds();
+    }
+  };
+  // Cap the pool: more workers than queries is useless, and an absurd
+  // spec value must not exhaust OS threads (std::thread's constructor
+  // throws on failure, which would terminate mid-batch).
+  constexpr size_t kMaxBatchWorkers = 64;
+  const size_t workers = std::min(
+      {static_cast<size_t>(std::max(threads, 1)), std::max<size_t>(n, 1),
+       kMaxBatchWorkers});
+  if (workers <= 1) {
+    run_range(0, n);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(run_range, n * w / workers, n * (w + 1) / workers);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (query_seconds != nullptr) *query_seconds = std::move(seconds);
+  return responses;
+}
 
 Result<core::HabitConfig> ParseHabitConfig(const MethodSpec& spec) {
   core::HabitConfig config;
@@ -144,6 +201,34 @@ class GtiAdapter : public ImputationModel {
         geo::Polyline path,
         model_->Impute(request.gap_start, request.gap_end));
     return ResponseFromPath(std::move(path), request);
+  }
+  std::vector<Result<ImputeResponse>> ImputeBatch(
+      std::span<const ImputeRequest> requests,
+      std::vector<double>* query_seconds) const override {
+    // One search scratch for the whole batch (generation stamps make the
+    // per-query reset free).
+    std::vector<Result<ImputeResponse>> responses;
+    responses.reserve(requests.size());
+    if (query_seconds != nullptr) {
+      query_seconds->clear();
+      query_seconds->reserve(requests.size());
+    }
+    graph::SearchScratch scratch;
+    for (const ImputeRequest& request : requests) {
+      Stopwatch sw;
+      auto response = [&]() -> Result<ImputeResponse> {
+        HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+        HABIT_ASSIGN_OR_RETURN(
+            geo::Polyline path,
+            model_->Impute(request.gap_start, request.gap_end, &scratch));
+        return ResponseFromPath(std::move(path), request);
+      }();
+      responses.push_back(std::move(response));
+      if (query_seconds != nullptr) {
+        query_seconds->push_back(sw.ElapsedSeconds());
+      }
+    }
+    return responses;
   }
   size_t SizeBytes() const override { return model_->SizeBytes(); }
   size_t SerializedSizeBytes() const override {
@@ -251,11 +336,12 @@ Result<std::unique_ptr<ImputationModel>> HabitModel::Make(
   HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(kHabitKeys));
   HABIT_ASSIGN_OR_RETURN(const core::HabitConfig config,
                          ParseHabitConfig(spec));
+  HABIT_ASSIGN_OR_RETURN(const int threads, ParseThreads(spec));
   Stopwatch build_timer;
   HABIT_ASSIGN_OR_RETURN(auto framework,
                          core::HabitFramework::Build(trips, config));
-  auto model =
-      std::unique_ptr<ImputationModel>(new HabitModel(std::move(framework)));
+  auto model = std::unique_ptr<ImputationModel>(
+      new HabitModel(std::move(framework), threads));
   static_cast<HabitModel*>(model.get())->build_seconds_ =
       build_timer.ElapsedSeconds();
   return model;
@@ -276,31 +362,14 @@ Result<ImputeResponse> HabitModel::Impute(const ImputeRequest& request) const {
 std::vector<Result<ImputeResponse>> HabitModel::ImputeBatch(
     std::span<const ImputeRequest> requests,
     std::vector<double>* query_seconds) const {
-  std::vector<Result<ImputeResponse>> responses;
-  responses.reserve(requests.size());
-  if (query_seconds != nullptr) {
-    query_seconds->clear();
-    query_seconds->reserve(requests.size());
-  }
-  // One A* scratch for the whole batch: the distance/parent hash tables and
-  // the heap keep their allocations between queries.
-  core::Imputer::SearchScratch scratch;
   const core::Imputer& imputer = framework_->imputer();
-  for (const ImputeRequest& request : requests) {
-    Stopwatch sw;
-    auto imputation =
-        imputer.Impute(request.gap_start, request.gap_end, request.t_start,
-                       request.t_end, &scratch);
-    if (imputation.ok()) {
-      responses.push_back(ResponseFromImputation(imputation.MoveValue()));
-    } else {
-      responses.push_back(imputation.status());
-    }
-    if (query_seconds != nullptr) {
-      query_seconds->push_back(sw.ElapsedSeconds());
-    }
-  }
-  return responses;
+  return RunImputeBatch(
+      requests, threads_, query_seconds,
+      [&imputer](const ImputeRequest& request,
+                 core::Imputer::SearchScratch* scratch) {
+        return imputer.Impute(request.gap_start, request.gap_end,
+                              request.t_start, request.t_end, scratch);
+      });
 }
 
 Result<std::unique_ptr<ImputationModel>> TypedHabitModel::Make(
@@ -314,13 +383,14 @@ Result<std::unique_ptr<ImputationModel>> TypedHabitModel::Make(
   if (min_trips < 1) {
     return Status::InvalidArgument("min_trips must be >= 1");
   }
+  HABIT_ASSIGN_OR_RETURN(const int threads, ParseThreads(spec));
   Stopwatch build_timer;
   HABIT_ASSIGN_OR_RETURN(
       auto framework,
       core::TypedHabitFramework::Build(trips, config,
                                        static_cast<size_t>(min_trips)));
   auto model = std::unique_ptr<ImputationModel>(new TypedHabitModel(
-      std::move(framework), HabitConfigurationString(config)));
+      std::move(framework), HabitConfigurationString(config), threads));
   static_cast<TypedHabitModel*>(model.get())->build_seconds_ =
       build_timer.ElapsedSeconds();
   return model;
@@ -356,26 +426,13 @@ Result<ImputeResponse> TypedHabitModel::Impute(
 std::vector<Result<ImputeResponse>> TypedHabitModel::ImputeBatch(
     std::span<const ImputeRequest> requests,
     std::vector<double>* query_seconds) const {
-  std::vector<Result<ImputeResponse>> responses;
-  responses.reserve(requests.size());
-  if (query_seconds != nullptr) {
-    query_seconds->clear();
-    query_seconds->reserve(requests.size());
-  }
-  core::Imputer::SearchScratch scratch;
-  for (const ImputeRequest& request : requests) {
-    Stopwatch sw;
-    auto imputation = TypedImpute(*framework_, request, &scratch);
-    if (imputation.ok()) {
-      responses.push_back(ResponseFromImputation(imputation.MoveValue()));
-    } else {
-      responses.push_back(imputation.status());
-    }
-    if (query_seconds != nullptr) {
-      query_seconds->push_back(sw.ElapsedSeconds());
-    }
-  }
-  return responses;
+  const core::TypedHabitFramework& fw = *framework_;
+  return RunImputeBatch(
+      requests, threads_, query_seconds,
+      [&fw](const ImputeRequest& request,
+            core::Imputer::SearchScratch* scratch) {
+        return TypedImpute(fw, request, scratch);
+      });
 }
 
 size_t TypedHabitModel::SizeBytes() const { return framework_->SizeBytes(); }

@@ -2,7 +2,7 @@
 // api::ImputationModel interface, plus the registration hook that installs
 // them into a ModelRegistry under their string keys:
 //
-//   "habit"        HabitFramework        r, p, t, cost, expand, snap
+//   "habit"        HabitFramework        r, p, t, cost, expand, snap, threads
 //   "habit_typed"  TypedHabitFramework   habit params + min_trips
 //   "gti"          GtiModel              rm, rd, resample
 //   "palmto"       PalmtoModel           r, n, timeout, max_tokens, seed
@@ -29,9 +29,10 @@ void RegisterBuiltinModels(ModelRegistry& registry);
 
 /// \brief "habit": adapter over core::HabitFramework.
 ///
-/// ImputeBatch reuses one A* search scratch (hash tables + heap) across
-/// the whole batch, amortizing the per-query allocation that dominates
-/// short searches.
+/// ImputeBatch runs every query against the frozen CSR graph with one flat
+/// search scratch per worker thread (spec parameter `threads`, default 1):
+/// the scratch's generation-stamped arrays make per-query reuse free, and
+/// the batch partitions across threads with no shared mutable state.
 class HabitModel : public ImputationModel {
  public:
   static Result<std::unique_ptr<ImputationModel>> Make(
@@ -52,10 +53,11 @@ class HabitModel : public ImputationModel {
   const core::HabitFramework& framework() const { return *framework_; }
 
  private:
-  explicit HabitModel(std::unique_ptr<core::HabitFramework> framework)
-      : framework_(std::move(framework)) {}
+  HabitModel(std::unique_ptr<core::HabitFramework> framework, int threads)
+      : framework_(std::move(framework)), threads_(threads) {}
 
   std::unique_ptr<core::HabitFramework> framework_;
+  int threads_ = 1;
 };
 
 /// \brief "habit_typed": adapter over core::TypedHabitFramework.
@@ -83,12 +85,14 @@ class TypedHabitModel : public ImputationModel {
 
  private:
   TypedHabitModel(std::unique_ptr<core::TypedHabitFramework> framework,
-                  std::string configuration)
+                  std::string configuration, int threads)
       : framework_(std::move(framework)),
-        configuration_(std::move(configuration)) {}
+        configuration_(std::move(configuration)),
+        threads_(threads) {}
 
   std::unique_ptr<core::TypedHabitFramework> framework_;
   std::string configuration_;
+  int threads_ = 1;
 };
 
 }  // namespace habit::api

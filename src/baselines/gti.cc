@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+
+#include "graph/digraph.h"
 
 namespace habit::baselines {
 
@@ -19,9 +20,11 @@ Result<std::unique_ptr<GtiModel>> GtiModel::Build(
   std::vector<std::pair<int32_t, int32_t>> seq_edges;
   for (const ais::Trip& trip : trips) {
     int32_t prev = -1;
-    int64_t last_ts = std::numeric_limits<int64_t>::min();
+    int64_t last_ts = 0;
     for (const ais::AisRecord& r : trip.points) {
-      if (config.resample_seconds > 0 &&
+      // prev < 0 means no point kept yet for this trip (guards the ts
+      // difference against overflow on a sentinel).
+      if (config.resample_seconds > 0 && prev >= 0 &&
           r.ts - last_ts < config.resample_seconds) {
         continue;
       }
@@ -41,17 +44,21 @@ Result<std::unique_ptr<GtiModel>> GtiModel::Build(
   }
   model->kdtree_.Build(indexed);
 
-  model->adj_.assign(model->points_.size(), {});
+  // Assemble the point graph mutably (node id == point index), then freeze
+  // to the CSR form the shared search engine runs on. Digraph::AddEdge
+  // replaces duplicates, so re-adding an edge is harmless.
+  graph::Digraph builder;
+  for (size_t i = 0; i < model->points_.size(); ++i) {
+    builder.AddNode(static_cast<graph::NodeId>(i));
+  }
   auto add_edge = [&](int32_t u, int32_t v) {
     if (u == v) return;
-    for (const auto& [nbr, w] : model->adj_[u]) {
-      if (nbr == v) return;
-    }
-    const float d = static_cast<float>(
-        geo::HaversineMeters(model->points_[u], model->points_[v]));
-    model->adj_[u].emplace_back(v, d);
-    model->adj_[v].emplace_back(u, d);
-    ++model->num_edges_;
+    const double d =
+        geo::HaversineMeters(model->points_[u], model->points_[v]);
+    builder.AddEdge(static_cast<graph::NodeId>(u),
+                    static_cast<graph::NodeId>(v), {.weight = d});
+    builder.AddEdge(static_cast<graph::NodeId>(v),
+                    static_cast<graph::NodeId>(u), {.weight = d});
   };
   for (const auto& [u, v] : seq_edges) add_edge(u, v);
 
@@ -72,71 +79,51 @@ Result<std::unique_ptr<GtiModel>> GtiModel::Build(
       add_edge(static_cast<int32_t>(i), static_cast<int32_t>(j));
     }
   }
+  model->graph_ = builder.Freeze(/*keep_attrs=*/false);
   return model;
 }
 
 Result<geo::Polyline> GtiModel::Impute(const geo::LatLng& gap_start,
-                                       const geo::LatLng& gap_end) const {
+                                       const geo::LatLng& gap_end,
+                                       graph::SearchScratch* scratch) const {
   if (points_.empty()) return Status::Internal("empty GTI model");
-  uint64_t src = 0, dst = 0;
-  kdtree_.Nearest(gap_start, &src);
-  kdtree_.Nearest(gap_end, &dst);
+  uint64_t src_id = 0, dst_id = 0;
+  kdtree_.Nearest(gap_start, &src_id);
+  kdtree_.Nearest(gap_end, &dst_id);
 
-  // Dijkstra over the point graph (distance-weighted).
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(points_.size(), kInf);
-  std::vector<int32_t> parent(points_.size(), -1);
-  using Entry = std::pair<double, uint32_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-  dist[src] = 0;
-  queue.push({0.0, static_cast<uint32_t>(src)});
-  while (!queue.empty()) {
-    const auto [d, u] = queue.top();
-    queue.pop();
-    if (d > dist[u]) continue;
-    if (u == dst) break;
-    for (const auto& [v, w] : adj_[u]) {
-      const double cand = d + w;
-      if (cand < dist[v]) {
-        dist[v] = cand;
-        parent[v] = static_cast<int32_t>(u);
-        queue.push({cand, static_cast<uint32_t>(v)});
-      }
-    }
-  }
-  if (dist[dst] == kInf) {
+  // Point ids are the dense 0..n-1 range, so id == index after freezing.
+  const graph::NodeIndex src = graph_.IndexOf(src_id);
+  const graph::NodeIndex dst = graph_.IndexOf(dst_id);
+
+  graph::SearchScratch local;
+  graph::SearchScratch& state = scratch != nullptr ? *scratch : local;
+  const graph::SearchSeed seed{src, 0.0};
+  const graph::CsrSearch run = graph::RunSearch(
+      graph_, {&seed, 1}, [dst](graph::NodeIndex u) { return u == dst; },
+      [](graph::NodeIndex) { return 0.0; }, state);
+  if (!run.found) {
     return Status::Unreachable("GTI: endpoints not connected");
   }
 
-  geo::Polyline path;
-  for (int32_t cur = static_cast<int32_t>(dst); cur != -1;
-       cur = parent[cur]) {
-    path.push_back(points_[cur]);
-    if (cur == static_cast<int32_t>(src)) break;
-  }
-  std::reverse(path.begin(), path.end());
-  // Bracket with the true endpoints.
+  // Bracket the point path with the true endpoints.
   geo::Polyline out;
   out.push_back(gap_start);
-  for (const geo::LatLng& p : path) out.push_back(p);
+  for (const graph::NodeIndex i : graph::ReconstructPath(state, run.reached)) {
+    out.push_back(points_[graph_.IdOf(i)]);
+  }
   out.push_back(gap_end);
   return out;
 }
 
 size_t GtiModel::SerializedSizeBytes() const {
-  size_t adjacency_entries = 0;
-  for (const auto& out : adj_) adjacency_entries += out.size();
   // Point row: lat + lng (16). Adjacency entry: neighbor index (4) +
   // length (4).
-  return points_.size() * 16 + adjacency_entries * 8;
+  return points_.size() * 16 + graph_.num_edges() * 8;
 }
 
 size_t GtiModel::SizeBytes() const {
-  size_t bytes = points_.size() * sizeof(geo::LatLng) + kdtree_.SizeBytes();
-  for (const auto& out : adj_) {
-    bytes += 24 + out.size() * (sizeof(int32_t) + sizeof(float));
-  }
-  return bytes;
+  return points_.size() * sizeof(geo::LatLng) + graph_.SizeBytes() +
+         kdtree_.SizeBytes();
 }
 
 }  // namespace habit::baselines

@@ -5,7 +5,9 @@
 // points of the same trip are connected, and additional candidate edges
 // connect nearby points across trips, filtered by two radii — rm (meters)
 // and rd (degrees). Imputation snaps the gap endpoints to their nearest
-// graph nodes and returns the Dijkstra shortest path.
+// graph nodes and returns the shortest point-path, served by the same
+// frozen-CSR search engine as HABIT (the point graph is assembled mutably
+// at build time and frozen without attribute columns).
 #pragma once
 
 #include <memory>
@@ -14,7 +16,9 @@
 #include "ais/ais.h"
 #include "core/status.h"
 #include "geo/polyline.h"
+#include "graph/compact_graph.h"
 #include "graph/kdtree.h"
+#include "graph/search.h"
 
 namespace habit::baselines {
 
@@ -35,14 +39,17 @@ class GtiModel {
   static Result<std::unique_ptr<GtiModel>> Build(
       const std::vector<ais::Trip>& trips, const GtiConfig& config);
 
-  /// Shortest point-path between the snapped gap endpoints.
+  /// Shortest point-path between the snapped gap endpoints. Pass `scratch`
+  /// to reuse the search working state across a batch of queries.
   Result<geo::Polyline> Impute(const geo::LatLng& gap_start,
-                               const geo::LatLng& gap_end) const;
+                               const geo::LatLng& gap_end,
+                               graph::SearchScratch* scratch = nullptr) const;
 
   size_t num_nodes() const { return points_.size(); }
-  size_t num_edges() const { return num_edges_; }
+  /// Undirected edge count (each stored as two directed CSR entries).
+  size_t num_edges() const { return graph_.num_edges() / 2; }
 
-  /// In-memory model footprint in bytes: point store + adjacency + KD-tree.
+  /// In-memory model footprint in bytes: point store + CSR graph + KD-tree.
   size_t SizeBytes() const;
 
   /// Persisted-model footprint in bytes: one row per point (lat, lng) and
@@ -55,9 +62,9 @@ class GtiModel {
 
   GtiConfig config_;
   std::vector<geo::LatLng> points_;
-  // Compact adjacency: neighbor index + edge length in meters.
-  std::vector<std::vector<std::pair<int32_t, float>>> adj_;
-  size_t num_edges_ = 0;
+  /// Frozen point graph (node id == point index, weight == meters); no
+  /// attribute columns.
+  graph::CompactGraph graph_;
   graph::KdTree kdtree_;
 };
 

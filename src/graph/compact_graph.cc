@@ -1,0 +1,86 @@
+#include "graph/compact_graph.h"
+
+#include <algorithm>
+
+namespace habit::graph {
+
+NodeIndex CompactGraph::IndexOf(NodeId id) const {
+  const auto it = std::lower_bound(node_ids_.begin(), node_ids_.end(), id);
+  if (it == node_ids_.end() || *it != id) return kInvalidNodeIndex;
+  return static_cast<NodeIndex>(it - node_ids_.begin());
+}
+
+NodeAttrs CompactGraph::NodeAttrsAt(NodeIndex u) const {
+  NodeAttrs attrs;
+  if (!has_attrs()) return attrs;
+  attrs.median_pos = median_pos_[u];
+  attrs.center_pos = center_pos_[u];
+  attrs.message_count = message_count_[u];
+  attrs.distinct_vessels = distinct_vessels_[u];
+  attrs.median_sog = median_sog_[u];
+  attrs.median_cog = median_cog_[u];
+  return attrs;
+}
+
+EdgeAttrs CompactGraph::EdgeAttrsAt(size_t edge_pos) const {
+  EdgeAttrs attrs;
+  attrs.weight = edge_weight_[edge_pos];
+  if (!edge_transitions_.empty()) {
+    attrs.transitions = edge_transitions_[edge_pos];
+    attrs.grid_distance = edge_grid_distance_[edge_pos];
+  }
+  return attrs;
+}
+
+Result<NodeAttrs> CompactGraph::GetNode(NodeId id) const {
+  const NodeIndex i = IndexOf(id);
+  if (i == kInvalidNodeIndex) {
+    return Status::NotFound("node " + std::to_string(id) + " not in graph");
+  }
+  return NodeAttrsAt(i);
+}
+
+Result<EdgeAttrs> CompactGraph::GetEdge(NodeId u, NodeId v) const {
+  const NodeIndex ui = IndexOf(u);
+  const NodeIndex vi = IndexOf(v);
+  if (ui != kInvalidNodeIndex && vi != kInvalidNodeIndex) {
+    // Rows are sorted by target index at freeze time.
+    const auto row = OutNeighbors(ui);
+    const auto it = std::lower_bound(row.begin(), row.end(), vi);
+    if (it != row.end() && *it == vi) {
+      return EdgeAttrsAt(row_offsets_[ui] + (it - row.begin()));
+    }
+  }
+  return Status::NotFound("edge not in graph");
+}
+
+void CompactGraph::ForEachNode(
+    const std::function<void(NodeId, const NodeAttrs&)>& fn) const {
+  for (NodeIndex i = 0; i < num_nodes(); ++i) {
+    const NodeAttrs attrs = NodeAttrsAt(i);
+    fn(node_ids_[i], attrs);
+  }
+}
+
+void CompactGraph::ForEachEdge(
+    const std::function<void(NodeId, NodeId, const EdgeAttrs&)>& fn) const {
+  for (NodeIndex u = 0; u < num_nodes(); ++u) {
+    for (uint32_t e = row_offsets_[u]; e < row_offsets_[u + 1]; ++e) {
+      const EdgeAttrs attrs = EdgeAttrsAt(e);
+      fn(node_ids_[u], node_ids_[edge_dst_[e]], attrs);
+    }
+  }
+}
+
+size_t CompactGraph::SizeBytes() const {
+  auto bytes = [](const auto& v) {
+    return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  return bytes(node_ids_) + bytes(row_offsets_) + bytes(edge_dst_) +
+         bytes(edge_weight_) + bytes(in_degree_) + bytes(edge_transitions_) +
+         bytes(edge_grid_distance_) + bytes(median_pos_) + bytes(center_pos_) +
+         bytes(message_count_) + bytes(distinct_vessels_) +
+         bytes(median_sog_) + bytes(median_cog_);
+}
+
+}  // namespace habit::graph

@@ -1,0 +1,136 @@
+// Frozen, read-optimized graph core. A Digraph is the mutable build-time
+// representation (hash-map adjacency, cheap inserts); Digraph::Freeze()
+// produces a CompactGraph — an immutable CSR layout with dense uint32 node
+// indices, contiguous out-edge spans, structure-of-arrays attributes, a
+// sorted id->index lookup, and a precomputed in-degree array. Every query
+// in the system (HABIT imputation, GTI, components, benches) runs against
+// the frozen form; only construction and serialization-loading touch
+// Digraph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+#include "geo/latlng.h"
+
+namespace habit::graph {
+
+using NodeId = uint64_t;
+
+/// Dense position of a node inside a CompactGraph. Indices are assigned in
+/// ascending NodeId order, so IdOf is an array read and IndexOf one binary
+/// search.
+using NodeIndex = uint32_t;
+
+/// Sentinel for "no such node" (also the null parent in search state).
+inline constexpr NodeIndex kInvalidNodeIndex = UINT32_MAX;
+
+/// \brief Attributes HABIT stores on nodes (Section 3.2 of the paper).
+struct NodeAttrs {
+  geo::LatLng median_pos;   ///< median longitude/latitude of cell reports
+  geo::LatLng center_pos;   ///< geometric center (H3 cell center)
+  int64_t message_count = 0;  ///< total AIS messages in the cell
+  int64_t distinct_vessels = 0;  ///< approx distinct vessels in the cell
+  double median_sog = 0.0;  ///< median speed over ground, knots
+  double median_cog = 0.0;  ///< median course over ground, degrees
+};
+
+/// \brief Attributes on edges: transition statistics between cells.
+struct EdgeAttrs {
+  double weight = 1.0;     ///< traversal cost used by shortest-path search
+  int64_t transitions = 0;  ///< approx distinct trips making this transition
+  int64_t grid_distance = 0;  ///< hex grid distance between the two cells
+};
+
+/// \brief Immutable CSR snapshot of a Digraph.
+///
+/// Storage: nodes are the sorted distinct NodeIds; out-edges of node i live
+/// in the half-open range [row_offsets_[i], row_offsets_[i+1]) of the edge
+/// arrays. Attributes are structure-of-arrays so a search touches only the
+/// target + weight streams and the statistics arrays stay cold. Freezing
+/// without attributes (Digraph::Freeze(false)) drops the statistics arrays
+/// for graphs that only need topology + weights (the GTI point graph).
+class CompactGraph {
+ public:
+  CompactGraph() = default;
+
+  size_t num_nodes() const { return node_ids_.size(); }
+  size_t num_edges() const { return edge_dst_.size(); }
+
+  /// Dense index of `id`, or kInvalidNodeIndex when absent.
+  NodeIndex IndexOf(NodeId id) const;
+  bool HasNode(NodeId id) const { return IndexOf(id) != kInvalidNodeIndex; }
+  NodeId IdOf(NodeIndex i) const { return node_ids_[i]; }
+
+  /// Out-edge targets / traversal costs of node `u`, index-aligned.
+  std::span<const NodeIndex> OutNeighbors(NodeIndex u) const {
+    return {edge_dst_.data() + row_offsets_[u],
+            edge_dst_.data() + row_offsets_[u + 1]};
+  }
+  std::span<const double> OutWeights(NodeIndex u) const {
+    return {edge_weight_.data() + row_offsets_[u],
+            edge_weight_.data() + row_offsets_[u + 1]};
+  }
+
+  uint32_t OutDegree(NodeIndex u) const {
+    return row_offsets_[u + 1] - row_offsets_[u];
+  }
+  /// Precomputed at freeze time (subsumes the per-imputer in-degree map).
+  uint32_t InDegree(NodeIndex u) const { return in_degree_[u]; }
+
+  /// Node attribute columns (empty when frozen without attributes).
+  const geo::LatLng& MedianPos(NodeIndex u) const { return median_pos_[u]; }
+  const geo::LatLng& CenterPos(NodeIndex u) const { return center_pos_[u]; }
+  int64_t MessageCount(NodeIndex u) const { return message_count_[u]; }
+  bool has_attrs() const { return !median_pos_.empty(); }
+
+  /// Assembled attribute views (row form), for serialization and tests.
+  NodeAttrs NodeAttrsAt(NodeIndex u) const;
+  EdgeAttrs EdgeAttrsAt(size_t edge_pos) const;
+
+  Result<NodeAttrs> GetNode(NodeId id) const;
+  Result<EdgeAttrs> GetEdge(NodeId u, NodeId v) const;
+
+  /// Applies `fn` to every node in ascending id order.
+  void ForEachNode(
+      const std::function<void(NodeId, const NodeAttrs&)>& fn) const;
+
+  /// Applies `fn` to every directed edge, grouped by source node.
+  void ForEachEdge(const std::function<void(NodeId, NodeId, const EdgeAttrs&)>&
+                       fn) const;
+
+  /// Heap footprint in bytes: the sum of the flat arrays.
+  size_t SizeBytes() const;
+
+  /// Size of the persisted model in bytes: one row per node
+  /// (id, median lon/lat, counts, medians) and one per edge
+  /// (src, dst, transitions). This is what Table 2 of the paper reports as
+  /// "framework storage size" (identical to Digraph::SerializedSizeBytes).
+  size_t SerializedSizeBytes() const {
+    return num_nodes() * 40 + num_edges() * 20;
+  }
+
+ private:
+  friend class Digraph;  // Freeze() fills the arrays directly
+
+  std::vector<NodeId> node_ids_;        ///< sorted; index -> id
+  std::vector<uint32_t> row_offsets_;   ///< num_nodes + 1
+  std::vector<NodeIndex> edge_dst_;     ///< CSR edge targets
+  std::vector<double> edge_weight_;     ///< traversal costs, edge-aligned
+  std::vector<uint32_t> in_degree_;     ///< per node
+
+  // Optional statistics columns (attrs freeze only), edge/node-aligned.
+  std::vector<int64_t> edge_transitions_;
+  std::vector<int64_t> edge_grid_distance_;
+  std::vector<geo::LatLng> median_pos_;
+  std::vector<geo::LatLng> center_pos_;
+  std::vector<int64_t> message_count_;
+  std::vector<int64_t> distinct_vessels_;
+  std::vector<double> median_sog_;
+  std::vector<double> median_cog_;
+};
+
+}  // namespace habit::graph

@@ -1,5 +1,7 @@
 #include "graph/digraph.h"
 
+#include <algorithm>
+
 namespace habit::graph {
 
 bool Digraph::AddNode(NodeId id, NodeAttrs attrs) {
@@ -73,6 +75,80 @@ void Digraph::ForEachEdge(
   for (const auto& [u, out] : adj_) {
     for (const auto& [v, attrs] : out) fn(u, v, attrs);
   }
+}
+
+CompactGraph Digraph::Freeze(bool keep_attrs) const {
+  CompactGraph g;
+  g.node_ids_.reserve(nodes_.size());
+  for (const auto& [id, attrs] : nodes_) g.node_ids_.push_back(id);
+  std::sort(g.node_ids_.begin(), g.node_ids_.end());
+
+  const size_t n = g.node_ids_.size();
+  g.row_offsets_.assign(n + 1, 0);
+  g.in_degree_.assign(n, 0);
+
+  // Pass 1: out-degrees -> prefix sums.
+  for (NodeIndex u = 0; u < n; ++u) {
+    const auto it = adj_.find(g.node_ids_[u]);
+    g.row_offsets_[u + 1] =
+        g.row_offsets_[u] +
+        static_cast<uint32_t>(it == adj_.end() ? 0 : it->second.size());
+  }
+
+  // Pass 2: fill edge rows, then sort each row by target index so lookups
+  // can bisect and scans run in index order.
+  const size_t m = g.row_offsets_[n];
+  g.edge_dst_.resize(m);
+  g.edge_weight_.resize(m);
+  if (keep_attrs) {
+    g.edge_transitions_.resize(m);
+    g.edge_grid_distance_.resize(m);
+  }
+  for (NodeIndex u = 0; u < n; ++u) {
+    const auto it = adj_.find(g.node_ids_[u]);
+    if (it == adj_.end()) continue;
+    struct Out {
+      NodeIndex dst;
+      const EdgeAttrs* attrs;
+    };
+    std::vector<Out> row;
+    row.reserve(it->second.size());
+    for (const auto& [v, attrs] : it->second) {
+      row.push_back({g.IndexOf(v), &attrs});
+    }
+    std::sort(row.begin(), row.end(),
+              [](const Out& a, const Out& b) { return a.dst < b.dst; });
+    uint32_t e = g.row_offsets_[u];
+    for (const Out& out : row) {
+      g.edge_dst_[e] = out.dst;
+      g.edge_weight_[e] = out.attrs->weight;
+      if (keep_attrs) {
+        g.edge_transitions_[e] = out.attrs->transitions;
+        g.edge_grid_distance_[e] = out.attrs->grid_distance;
+      }
+      ++g.in_degree_[out.dst];
+      ++e;
+    }
+  }
+
+  if (keep_attrs) {
+    g.median_pos_.resize(n);
+    g.center_pos_.resize(n);
+    g.message_count_.resize(n);
+    g.distinct_vessels_.resize(n);
+    g.median_sog_.resize(n);
+    g.median_cog_.resize(n);
+    for (NodeIndex u = 0; u < n; ++u) {
+      const NodeAttrs& attrs = nodes_.at(g.node_ids_[u]);
+      g.median_pos_[u] = attrs.median_pos;
+      g.center_pos_[u] = attrs.center_pos;
+      g.message_count_[u] = attrs.message_count;
+      g.distinct_vessels_[u] = attrs.distinct_vessels;
+      g.median_sog_[u] = attrs.median_sog;
+      g.median_cog_[u] = attrs.median_cog;
+    }
+  }
+  return g;
 }
 
 size_t Digraph::SerializedSizeBytes() const {

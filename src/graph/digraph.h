@@ -1,6 +1,11 @@
 // Weighted directed graph with per-node and per-edge attributes, standing in
 // for NetworkX (see DESIGN.md). Node ids are opaque uint64 values — HABIT
 // uses hexgrid CellIds, GTI uses point indices.
+//
+// Digraph is the *mutable build-time* representation: hash-map adjacency,
+// cheap incremental inserts. Serving never queries it directly — call
+// Freeze() to obtain the read-optimized graph::CompactGraph (CSR, dense
+// indices) that the search engine runs on.
 #pragma once
 
 #include <cstdint>
@@ -10,29 +15,11 @@
 
 #include "core/status.h"
 #include "geo/latlng.h"
+#include "graph/compact_graph.h"
 
 namespace habit::graph {
 
-using NodeId = uint64_t;
-
-/// \brief Attributes HABIT stores on nodes (Section 3.2 of the paper).
-struct NodeAttrs {
-  geo::LatLng median_pos;   ///< median longitude/latitude of cell reports
-  geo::LatLng center_pos;   ///< geometric center (H3 cell center)
-  int64_t message_count = 0;  ///< total AIS messages in the cell
-  int64_t distinct_vessels = 0;  ///< approx distinct vessels in the cell
-  double median_sog = 0.0;  ///< median speed over ground, knots
-  double median_cog = 0.0;  ///< median course over ground, degrees
-};
-
-/// \brief Attributes on edges: transition statistics between cells.
-struct EdgeAttrs {
-  double weight = 1.0;     ///< traversal cost used by shortest-path search
-  int64_t transitions = 0;  ///< approx distinct trips making this transition
-  int64_t grid_distance = 0;  ///< hex grid distance between the two cells
-};
-
-/// \brief Adjacency-list weighted digraph.
+/// \brief Adjacency-list weighted digraph (build-time only).
 class Digraph {
  public:
   /// Adds a node (no-op if present); returns whether it was inserted.
@@ -61,6 +48,15 @@ class Digraph {
   /// Applies `fn` to every directed edge.
   void ForEachEdge(const std::function<void(NodeId, NodeId, const EdgeAttrs&)>&
                        fn) const;
+
+  /// \brief Snapshots the graph into the frozen CSR form.
+  ///
+  /// Nodes receive dense indices in ascending id order; each node's
+  /// out-edges are sorted by target index. With `keep_attrs` false the
+  /// statistics columns (transitions, grid distance, node medians) are
+  /// dropped and only topology + weights survive — enough for pure
+  /// shortest-path graphs like GTI's point graph.
+  CompactGraph Freeze(bool keep_attrs = true) const;
 
   /// Approximate heap footprint in bytes.
   size_t SizeBytes() const;

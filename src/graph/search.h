@@ -1,0 +1,156 @@
+// The one search engine behind every shortest-path query in the system
+// (graph::Dijkstra / graph::AStar, HABIT's Imputer, the GTI baseline).
+//
+// State is flat and index-keyed: distance / parent / stamp vectors sized to
+// the frozen graph, plus a binary heap buffer. Visited and settled marks
+// are generation stamps, so reusing one SearchScratch across a batch of
+// queries costs a single counter increment instead of clearing or
+// rehashing anything. The heuristic is a template parameter, so the
+// per-edge std::function indirection of the old search layer is gone — a
+// zero heuristic compiles down to plain Dijkstra.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/compact_graph.h"
+
+namespace habit::graph {
+
+/// \brief Reusable flat working state for CSR searches.
+///
+/// Owned by the caller, valid for any number of queries against graphs of
+/// any size (Prepare re-sizes on demand). One scratch serves one thread.
+struct SearchScratch {
+  struct HeapEntry {
+    double priority;
+    NodeIndex node;
+  };
+  std::vector<HeapEntry> heap;
+  std::vector<double> dist;        ///< valid iff visit_stamp matches
+  std::vector<NodeIndex> parent;   ///< kInvalidNodeIndex for seed nodes
+  std::vector<uint32_t> visit_stamp;
+  std::vector<uint32_t> settle_stamp;
+  uint32_t generation = 0;
+
+  /// Starts a new query over a graph of `num_nodes` nodes: bumps the
+  /// generation (invalidating all stamps at once) and grows the arrays if
+  /// this graph is larger than any seen before.
+  void Prepare(size_t num_nodes) {
+    if (visit_stamp.size() < num_nodes) {
+      dist.resize(num_nodes);
+      parent.resize(num_nodes);
+      visit_stamp.resize(num_nodes, 0);
+      settle_stamp.resize(num_nodes, 0);
+    }
+    if (generation == UINT32_MAX) {  // wraparound: hard-reset the stamps
+      std::fill(visit_stamp.begin(), visit_stamp.end(), 0);
+      std::fill(settle_stamp.begin(), settle_stamp.end(), 0);
+      generation = 0;
+    }
+    ++generation;
+    heap.clear();
+  }
+
+  bool Visited(NodeIndex u) const { return visit_stamp[u] == generation; }
+  bool Settled(NodeIndex u) const { return settle_stamp[u] == generation; }
+  void MarkVisited(NodeIndex u) { visit_stamp[u] = generation; }
+  void MarkSettled(NodeIndex u) { settle_stamp[u] = generation; }
+};
+
+/// A search entry point: start node plus its seed cost (0 for classic
+/// single-source; snap displacement for multi-source imputation).
+struct SearchSeed {
+  NodeIndex node = kInvalidNodeIndex;
+  double cost = 0.0;
+};
+
+/// \brief Outcome of one engine run (index domain).
+struct CsrSearch {
+  bool found = false;
+  NodeIndex reached = kInvalidNodeIndex;  ///< first settled target
+  double cost = 0.0;
+  size_t expanded = 0;  ///< settled nodes (search effort)
+};
+
+/// \brief Runs best-first search over the frozen graph.
+///
+/// Seeds are relaxed like discovered nodes (the cheapest wins when a node
+/// is seeded twice); the search stops when `is_target(u)` holds for a
+/// settled node, or runs to exhaustion (single-source all-distances) when
+/// it never does. `h(u)` must be admissible for optimal paths; pass a
+/// lambda returning 0.0 for Dijkstra. After the call, `scratch` holds the
+/// distance/parent state of this query (read via Visited/Settled + dist).
+template <typename IsTargetFn, typename HeuristicFn>
+CsrSearch RunSearch(const CompactGraph& g, std::span<const SearchSeed> seeds,
+                    IsTargetFn&& is_target, HeuristicFn&& h,
+                    SearchScratch& scratch) {
+  scratch.Prepare(g.num_nodes());
+  auto& heap = scratch.heap;
+  const auto heap_greater = [](const SearchScratch::HeapEntry& a,
+                               const SearchScratch::HeapEntry& b) {
+    return a.priority > b.priority;
+  };
+  auto heap_push = [&](double priority, NodeIndex node) {
+    heap.push_back({priority, node});
+    std::push_heap(heap.begin(), heap.end(), heap_greater);
+  };
+
+  for (const SearchSeed& seed : seeds) {
+    if (seed.node == kInvalidNodeIndex) continue;
+    if (!scratch.Visited(seed.node) || seed.cost < scratch.dist[seed.node]) {
+      scratch.MarkVisited(seed.node);
+      scratch.dist[seed.node] = seed.cost;
+      scratch.parent[seed.node] = kInvalidNodeIndex;
+      heap_push(seed.cost + h(seed.node), seed.node);
+    }
+  }
+
+  CsrSearch result;
+  while (!heap.empty()) {
+    const NodeIndex u = heap.front().node;
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    heap.pop_back();
+    if (scratch.Settled(u)) continue;
+    scratch.MarkSettled(u);
+    ++result.expanded;
+    if (is_target(u)) {
+      result.found = true;
+      result.reached = u;
+      result.cost = scratch.dist[u];
+      return result;
+    }
+    const double du = scratch.dist[u];
+    const auto neighbors = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t e = 0; e < neighbors.size(); ++e) {
+      const NodeIndex v = neighbors[e];
+      if (scratch.Settled(v)) continue;
+      const double cand = du + weights[e];
+      if (!scratch.Visited(v) || cand < scratch.dist[v]) {
+        scratch.MarkVisited(v);
+        scratch.dist[v] = cand;
+        scratch.parent[v] = u;
+        heap_push(cand + h(v), v);
+      }
+    }
+  }
+  return result;
+}
+
+/// Walks the parent chain of `scratch` from `reached` back to its seed.
+/// Returns the node indices in seed..reached order.
+inline std::vector<NodeIndex> ReconstructPath(const SearchScratch& scratch,
+                                              NodeIndex reached) {
+  std::vector<NodeIndex> path;
+  for (NodeIndex cur = reached; cur != kInvalidNodeIndex;
+       cur = scratch.parent[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace habit::graph

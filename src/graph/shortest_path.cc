@@ -1,203 +1,140 @@
 #include "graph/shortest_path.h"
 
-#include <algorithm>
-#include <limits>
+#include <numeric>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace habit::graph {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr auto kZeroHeuristic = [](NodeId) { return 0.0; };
 
-struct QueueEntry {
-  double priority;
-  NodeId node;
-  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+// Reverse CSR (in-edges) built with a counting sort over edge targets.
+struct ReverseAdjacency {
+  std::vector<uint32_t> offsets;  // num_nodes + 1
+  std::vector<NodeIndex> src;
+
+  explicit ReverseAdjacency(const CompactGraph& g) {
+    const size_t n = g.num_nodes();
+    offsets.assign(n + 1, 0);
+    for (NodeIndex u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + g.InDegree(u);
+    src.resize(g.num_edges());
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeIndex u = 0; u < n; ++u) {
+      for (const NodeIndex v : g.OutNeighbors(u)) src[cursor[v]++] = u;
+    }
+  }
+
+  std::span<const NodeIndex> InNeighbors(NodeIndex v) const {
+    return {src.data() + offsets[v], src.data() + offsets[v + 1]};
+  }
 };
-
-using MinQueue =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
-
-std::vector<NodeId> Reconstruct(
-    const std::unordered_map<NodeId, NodeId>& parent, NodeId source,
-    NodeId target) {
-  std::vector<NodeId> path;
-  NodeId cur = target;
-  path.push_back(cur);
-  while (cur != source) {
-    cur = parent.at(cur);
-    path.push_back(cur);
-  }
-  std::reverse(path.begin(), path.end());
-  return path;
-}
-
-Result<PathResult> Search(const Digraph& g, NodeId source, NodeId target,
-                          const Heuristic* h) {
-  if (!g.HasNode(source)) {
-    return Status::NotFound("source node not in graph");
-  }
-  if (!g.HasNode(target)) {
-    return Status::NotFound("target node not in graph");
-  }
-
-  std::unordered_map<NodeId, double> dist;
-  std::unordered_map<NodeId, NodeId> parent;
-  std::unordered_set<NodeId> settled;
-  MinQueue queue;
-
-  dist[source] = 0.0;
-  queue.push({h ? (*h)(source) : 0.0, source});
-  size_t expanded = 0;
-
-  while (!queue.empty()) {
-    const NodeId u = queue.top().node;
-    queue.pop();
-    if (settled.contains(u)) continue;
-    settled.insert(u);
-    ++expanded;
-    if (u == target) {
-      PathResult result;
-      result.nodes = Reconstruct(parent, source, target);
-      result.cost = dist[u];
-      result.expanded = expanded;
-      return result;
-    }
-    const double du = dist[u];
-    for (const auto& [v, attrs] : g.OutEdges(u)) {
-      if (settled.contains(v)) continue;
-      const double cand = du + attrs.weight;
-      auto it = dist.find(v);
-      if (it == dist.end() || cand < it->second) {
-        dist[v] = cand;
-        parent[v] = u;
-        queue.push({cand + (h ? (*h)(v) : 0.0), v});
-      }
-    }
-  }
-  return Status::Unreachable("no path from source to target");
-}
 
 }  // namespace
 
-Result<PathResult> Dijkstra(const Digraph& g, NodeId source, NodeId target) {
-  return Search(g, source, target, nullptr);
+Result<PathResult> Dijkstra(const CompactGraph& g, NodeId source,
+                            NodeId target, SearchScratch* scratch) {
+  return AStar(g, source, target, kZeroHeuristic, scratch);
 }
 
-Result<PathResult> AStar(const Digraph& g, NodeId source, NodeId target,
-                         const Heuristic& h) {
-  return Search(g, source, target, &h);
-}
-
-std::vector<std::pair<NodeId, double>> DijkstraAll(const Digraph& g,
+std::vector<std::pair<NodeId, double>> DijkstraAll(const CompactGraph& g,
                                                    NodeId source) {
   std::vector<std::pair<NodeId, double>> out;
-  if (!g.HasNode(source)) return out;
-  std::unordered_map<NodeId, double> dist;
-  std::unordered_set<NodeId> settled;
-  MinQueue queue;
-  dist[source] = 0.0;
-  queue.push({0.0, source});
-  while (!queue.empty()) {
-    const NodeId u = queue.top().node;
-    queue.pop();
-    if (settled.contains(u)) continue;
-    settled.insert(u);
-    out.emplace_back(u, dist[u]);
-    for (const auto& [v, attrs] : g.OutEdges(u)) {
-      if (settled.contains(v)) continue;
-      const double cand = dist[u] + attrs.weight;
-      auto it = dist.find(v);
-      if (it == dist.end() || cand < it->second) {
-        dist[v] = cand;
-        queue.push({cand, v});
-      }
-    }
+  const NodeIndex src = g.IndexOf(source);
+  if (src == kInvalidNodeIndex) return out;
+  SearchScratch scratch;
+  const SearchSeed seed{src, 0.0};
+  RunSearch(g, {&seed, 1}, [](NodeIndex) { return false; }, kZeroHeuristic,
+            scratch);
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    if (scratch.Settled(u)) out.emplace_back(g.IdOf(u), scratch.dist[u]);
   }
   return out;
 }
 
-std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source) {
+std::vector<NodeId> ReachableFrom(const CompactGraph& g, NodeId source) {
   std::vector<NodeId> out;
-  if (!g.HasNode(source)) return out;
-  std::unordered_set<NodeId> seen{source};
-  std::queue<NodeId> frontier;
-  frontier.push(source);
+  const NodeIndex src = g.IndexOf(source);
+  if (src == kInvalidNodeIndex) return out;
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  std::queue<NodeIndex> frontier;
+  seen[src] = 1;
+  frontier.push(src);
   while (!frontier.empty()) {
-    const NodeId u = frontier.front();
+    const NodeIndex u = frontier.front();
     frontier.pop();
-    out.push_back(u);
-    for (const auto& [v, attrs] : g.OutEdges(u)) {
-      if (seen.insert(v).second) frontier.push(v);
+    out.push_back(g.IdOf(u));
+    for (const NodeIndex v : g.OutNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        frontier.push(v);
+      }
     }
   }
   return out;
 }
 
-std::vector<std::vector<NodeId>> WeaklyConnectedComponents(const Digraph& g) {
-  // Build an undirected adjacency view.
-  std::unordered_map<NodeId, std::vector<NodeId>> undirected;
-  g.ForEachNode([&](NodeId id, const NodeAttrs&) { undirected[id]; });
-  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs&) {
-    undirected[u].push_back(v);
-    undirected[v].push_back(u);
-  });
-
-  std::vector<std::vector<NodeId>> components;
-  std::unordered_set<NodeId> seen;
-  for (const auto& [start, nbrs] : undirected) {
-    if (seen.contains(start)) continue;
-    std::vector<NodeId> comp;
-    std::queue<NodeId> frontier;
-    frontier.push(start);
-    seen.insert(start);
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop();
-      comp.push_back(u);
-      for (NodeId v : undirected.at(u)) {
-        if (seen.insert(v).second) frontier.push(v);
-      }
+std::vector<std::vector<NodeId>> WeaklyConnectedComponents(
+    const CompactGraph& g) {
+  // Union-find over the dense indices; edge direction ignored.
+  const size_t n = g.num_nodes();
+  std::vector<NodeIndex> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](NodeIndex x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
     }
-    components.push_back(std::move(comp));
+    return x;
+  };
+  for (NodeIndex u = 0; u < n; ++u) {
+    for (const NodeIndex v : g.OutNeighbors(u)) {
+      const NodeIndex ru = find(u);
+      const NodeIndex rv = find(v);
+      if (ru != rv) parent[ru] = rv;
+    }
+  }
+  std::vector<std::vector<NodeId>> components;
+  std::vector<uint32_t> comp_of(n, UINT32_MAX);
+  for (NodeIndex u = 0; u < n; ++u) {
+    const NodeIndex root = find(u);
+    if (comp_of[root] == UINT32_MAX) {
+      comp_of[root] = static_cast<uint32_t>(components.size());
+      components.emplace_back();
+    }
+    components[comp_of[root]].push_back(g.IdOf(u));
   }
   return components;
 }
 
 std::vector<std::vector<NodeId>> StronglyConnectedComponents(
-    const Digraph& g) {
+    const CompactGraph& g) {
   // Kosaraju: (1) iterative DFS finish order, (2) DFS on the reverse graph
   // in reverse finish order.
-  std::vector<NodeId> order;
-  std::unordered_set<NodeId> visited;
-  std::unordered_map<NodeId, std::vector<NodeId>> reverse_adj;
-  std::vector<NodeId> all_nodes;
-  g.ForEachNode([&](NodeId id, const NodeAttrs&) {
-    all_nodes.push_back(id);
-    reverse_adj[id];
-  });
-  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs&) {
-    reverse_adj[v].push_back(u);
-  });
+  const size_t n = g.num_nodes();
+  const ReverseAdjacency reverse(g);
 
-  // Pass 1: record DFS finish order (explicit stack with child cursor).
+  std::vector<NodeIndex> order;
+  order.reserve(n);
+  std::vector<uint8_t> visited(n, 0);
   struct Frame {
-    NodeId node;
-    size_t next_child;
+    NodeIndex node;
+    uint32_t next_child;
   };
-  for (const NodeId start : all_nodes) {
-    if (visited.contains(start)) continue;
-    std::vector<Frame> stack{{start, 0}};
-    visited.insert(start);
+  std::vector<Frame> stack;
+  for (NodeIndex start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    visited[start] = 1;
+    stack.push_back({start, 0});
     while (!stack.empty()) {
       Frame& frame = stack.back();
-      const auto& out = g.OutEdges(frame.node);
+      const auto out = g.OutNeighbors(frame.node);
       if (frame.next_child < out.size()) {
-        const NodeId child = out[frame.next_child++].first;
-        if (visited.insert(child).second) stack.push_back({child, 0});
+        const NodeIndex child = out[frame.next_child++];
+        if (!visited[child]) {
+          visited[child] = 1;
+          stack.push_back({child, 0});
+        }
       } else {
         order.push_back(frame.node);
         stack.pop_back();
@@ -205,20 +142,23 @@ std::vector<std::vector<NodeId>> StronglyConnectedComponents(
     }
   }
 
-  // Pass 2: reverse-graph DFS in reverse finish order.
   std::vector<std::vector<NodeId>> components;
-  std::unordered_set<NodeId> assigned;
+  std::vector<uint8_t> assigned(n, 0);
+  std::vector<NodeIndex> dfs;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if (assigned.contains(*it)) continue;
+    if (assigned[*it]) continue;
     std::vector<NodeId> comp;
-    std::vector<NodeId> stack{*it};
-    assigned.insert(*it);
-    while (!stack.empty()) {
-      const NodeId u = stack.back();
-      stack.pop_back();
-      comp.push_back(u);
-      for (const NodeId v : reverse_adj.at(u)) {
-        if (assigned.insert(v).second) stack.push_back(v);
+    assigned[*it] = 1;
+    dfs.push_back(*it);
+    while (!dfs.empty()) {
+      const NodeIndex u = dfs.back();
+      dfs.pop_back();
+      comp.push_back(g.IdOf(u));
+      for (const NodeIndex v : reverse.InNeighbors(u)) {
+        if (!assigned[v]) {
+          assigned[v] = 1;
+          dfs.push_back(v);
+        }
       }
     }
     components.push_back(std::move(comp));

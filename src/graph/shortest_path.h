@@ -1,12 +1,15 @@
-// Shortest-path search over Digraph: Dijkstra and A* (the paper's Section
-// 3.3 uses A* minimizing transition-derived edge costs).
+// Shortest-path search over the frozen CompactGraph: Dijkstra and A* (the
+// paper's Section 3.3 uses A* minimizing transition-derived edge costs),
+// reachability, and connected components. All functions are thin id-domain
+// wrappers over the one CSR engine in graph/search.h — build a Digraph,
+// Freeze() it, and query the frozen form.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "core/status.h"
-#include "graph/digraph.h"
+#include "graph/compact_graph.h"
+#include "graph/search.h"
 
 namespace habit::graph {
 
@@ -17,31 +20,60 @@ struct PathResult {
   size_t expanded = 0;        ///< number of settled nodes (search effort)
 };
 
-/// Heuristic for A*: estimated remaining cost from a node to the target.
-/// Must be admissible (never overestimate) for optimal paths.
-using Heuristic = std::function<double(NodeId)>;
+/// \brief A* shortest path with an admissible heuristic over node ids.
+///
+/// The heuristic is a template parameter (no std::function indirection on
+/// the edge-relaxation path). Pass `scratch` to amortize search state
+/// across a batch of queries; with nullptr a local scratch is used.
+template <typename HeuristicFn>
+Result<PathResult> AStar(const CompactGraph& g, NodeId source, NodeId target,
+                         HeuristicFn&& h, SearchScratch* scratch = nullptr) {
+  const NodeIndex src = g.IndexOf(source);
+  if (src == kInvalidNodeIndex) {
+    return Status::NotFound("source node not in graph");
+  }
+  const NodeIndex dst = g.IndexOf(target);
+  if (dst == kInvalidNodeIndex) {
+    return Status::NotFound("target node not in graph");
+  }
+  SearchScratch local;
+  SearchScratch& state = scratch != nullptr ? *scratch : local;
+  const SearchSeed seed{src, 0.0};
+  const CsrSearch run =
+      RunSearch(g, {&seed, 1}, [dst](NodeIndex u) { return u == dst; },
+                [&g, &h](NodeIndex u) { return h(g.IdOf(u)); }, state);
+  if (!run.found) {
+    return Status::Unreachable("no path from source to target");
+  }
+  PathResult result;
+  result.cost = run.cost;
+  result.expanded = run.expanded;
+  for (const NodeIndex i : ReconstructPath(state, run.reached)) {
+    result.nodes.push_back(g.IdOf(i));
+  }
+  return result;
+}
 
-/// Dijkstra shortest path from `source` to `target` using EdgeAttrs::weight.
+/// Dijkstra shortest path from `source` to `target` using the edge weights.
 /// Returns kUnreachable if no path exists.
-Result<PathResult> Dijkstra(const Digraph& g, NodeId source, NodeId target);
-
-/// A* shortest path with the given admissible heuristic.
-Result<PathResult> AStar(const Digraph& g, NodeId source, NodeId target,
-                         const Heuristic& h);
+Result<PathResult> Dijkstra(const CompactGraph& g, NodeId source,
+                            NodeId target, SearchScratch* scratch = nullptr);
 
 /// Single-source Dijkstra distances to every reachable node.
-std::vector<std::pair<NodeId, double>> DijkstraAll(const Digraph& g,
+std::vector<std::pair<NodeId, double>> DijkstraAll(const CompactGraph& g,
                                                    NodeId source);
 
 /// Nodes reachable from `source` following directed edges (BFS order).
-std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source);
+std::vector<NodeId> ReachableFrom(const CompactGraph& g, NodeId source);
 
 /// Weakly connected components (edge direction ignored); each inner vector
 /// is one component.
-std::vector<std::vector<NodeId>> WeaklyConnectedComponents(const Digraph& g);
+std::vector<std::vector<NodeId>> WeaklyConnectedComponents(
+    const CompactGraph& g);
 
 /// Strongly connected components (Kosaraju, iterative); within one component
 /// every node can reach every other along directed edges.
-std::vector<std::vector<NodeId>> StronglyConnectedComponents(const Digraph& g);
+std::vector<std::vector<NodeId>> StronglyConnectedComponents(
+    const CompactGraph& g);
 
 }  // namespace habit::graph

@@ -4,10 +4,10 @@
 
 namespace habit::core {
 
-HabitFramework::HabitFramework(std::unique_ptr<graph::Digraph> graph,
+HabitFramework::HabitFramework(graph::CompactGraph graph,
                                const HabitConfig& config)
     : graph_(std::move(graph)), config_(config) {
-  imputer_ = std::make_unique<Imputer>(graph_.get(), config_);
+  imputer_ = std::make_unique<Imputer>(&graph_, config_);
 }
 
 Result<std::unique_ptr<HabitFramework>> HabitFramework::Build(
@@ -16,11 +16,16 @@ Result<std::unique_ptr<HabitFramework>> HabitFramework::Build(
     return Status::InvalidArgument("cannot build HABIT from zero trips");
   }
   HABIT_ASSIGN_OR_RETURN(graph::Digraph g, BuildGraphFromTrips(trips, config));
-  if (g.num_nodes() == 0) {
+  return FromGraph(std::move(g), config);
+}
+
+Result<std::unique_ptr<HabitFramework>> HabitFramework::FromGraph(
+    graph::Digraph graph, const HabitConfig& config) {
+  if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("trips produced an empty graph");
   }
-  return std::unique_ptr<HabitFramework>(new HabitFramework(
-      std::make_unique<graph::Digraph>(std::move(g)), config));
+  return std::unique_ptr<HabitFramework>(
+      new HabitFramework(graph.Freeze(), config));
 }
 
 Result<geo::Polyline> HabitFramework::ImputeTrip(

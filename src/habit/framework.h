@@ -1,6 +1,8 @@
 // HabitFramework: the end-to-end public facade. Build it once from
-// historical trips (Sections 3.1-3.2), then answer imputation queries
-// (Sections 3.3-3.4).
+// historical trips (Sections 3.1-3.2) — construction assembles a mutable
+// Digraph, freezes it into the CSR CompactGraph, and discards the mutable
+// form — then answer imputation queries (Sections 3.3-3.4) against the
+// frozen graph.
 //
 //   habit::core::HabitConfig config;            // r, p, t, ...
 //   auto fw = habit::core::HabitFramework::Build(trips, config);
@@ -12,18 +14,24 @@
 
 #include "ais/ais.h"
 #include "core/status.h"
+#include "graph/compact_graph.h"
 #include "graph/digraph.h"
 #include "habit/config.h"
 #include "habit/imputer.h"
 
 namespace habit::core {
 
-/// \brief A built HABIT model: transition graph + imputer.
+/// \brief A built HABIT model: frozen transition graph + imputer.
 class HabitFramework {
  public:
   /// Builds the framework from preprocessed trips (the training split).
   static Result<std::unique_ptr<HabitFramework>> Build(
       const std::vector<ais::Trip>& trips, const HabitConfig& config);
+
+  /// Wraps an already-built transition graph (e.g. loaded from CSV by
+  /// LoadGraphCsv); the graph is frozen and the mutable form discarded.
+  static Result<std::unique_ptr<HabitFramework>> FromGraph(
+      graph::Digraph graph, const HabitConfig& config);
 
   /// Imputes the gap between two boundary reports (coordinates + times).
   Result<Imputation> Impute(const geo::LatLng& gap_start,
@@ -32,7 +40,7 @@ class HabitFramework {
     return imputer_->Impute(gap_start, gap_end, t_start, t_end);
   }
 
-  /// Same, reusing the caller's A* scratch across a batch of queries.
+  /// Same, reusing the caller's search scratch across a batch of queries.
   Result<Imputation> Impute(const geo::LatLng& gap_start,
                             const geo::LatLng& gap_end, int64_t t_start,
                             int64_t t_end,
@@ -46,25 +54,25 @@ class HabitFramework {
   Result<geo::Polyline> ImputeTrip(const ais::Trip& trip,
                                    int64_t gap_threshold_s = 30 * 60) const;
 
-  const graph::Digraph& graph() const { return *graph_; }
+  /// The frozen transition graph all queries run against.
+  const graph::CompactGraph& graph() const { return graph_; }
   const HabitConfig& config() const { return config_; }
 
   /// The underlying imputer, for callers that manage their own
   /// Imputer::SearchScratch across a batch of queries.
   const Imputer& imputer() const { return *imputer_; }
 
-  /// In-memory model footprint in bytes.
-  size_t SizeBytes() const { return graph_->SizeBytes(); }
+  /// In-memory model footprint in bytes (the CSR arrays).
+  size_t SizeBytes() const { return graph_.SizeBytes(); }
 
   /// Persisted-model footprint in bytes (Table 2's "framework storage
   /// size"): the node and edge statistic rows.
-  size_t SerializedSizeBytes() const { return graph_->SerializedSizeBytes(); }
+  size_t SerializedSizeBytes() const { return graph_.SerializedSizeBytes(); }
 
  private:
-  HabitFramework(std::unique_ptr<graph::Digraph> graph,
-                 const HabitConfig& config);
+  HabitFramework(graph::CompactGraph graph, const HabitConfig& config);
 
-  std::unique_ptr<graph::Digraph> graph_;
+  graph::CompactGraph graph_;
   HabitConfig config_;
   std::unique_ptr<Imputer> imputer_;
 };

@@ -2,18 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-#include <unordered_set>
-
-#include "graph/shortest_path.h"
 
 namespace habit::core {
 
-Imputer::Imputer(const graph::Digraph* graph, const HabitConfig& config)
-    : graph_(graph), config_(config) {
-  graph_->ForEachEdge([this](graph::NodeId, graph::NodeId v,
-                             const graph::EdgeAttrs&) { ++in_degree_[v]; });
-}
+Imputer::Imputer(const graph::CompactGraph* graph, const HabitConfig& config)
+    : graph_(graph), config_(config) {}
 
 std::vector<hex::CellId> Imputer::SnapCandidates(
     const geo::LatLng& p, SnapRole role, size_t max_candidates) const {
@@ -22,14 +15,16 @@ std::vector<hex::CellId> Imputer::SnapCandidates(
   const hex::CellId own = hex::LatLngToCell(p, config_.resolution);
   if (own == hex::kInvalidCell) return found;
 
-  // A source must have somewhere to go; a target must be enterable.
+  // A source must have somewhere to go; a target must be enterable. Both
+  // checks are O(1) reads of the frozen graph's degree arrays.
   auto usable = [&](hex::CellId c) {
-    if (!graph_->HasNode(c)) return false;
+    const graph::NodeIndex idx = graph_->IndexOf(c);
+    if (idx == graph::kInvalidNodeIndex) return false;
     switch (role) {
       case SnapRole::kSource:
-        return !graph_->OutEdges(c).empty();
+        return graph_->OutDegree(idx) > 0;
       case SnapRole::kTarget:
-        return in_degree_.contains(c);
+        return graph_->InDegree(idx) > 0;
       case SnapRole::kAny:
         return true;
     }
@@ -71,9 +66,10 @@ Result<hex::CellId> Imputer::SnapToNode(const geo::LatLng& p) const {
 
 geo::LatLng Imputer::ProjectCell(hex::CellId cell) const {
   if (config_.projection == Projection::kDataMedian) {
-    auto attrs = graph_->GetNode(cell);
-    if (attrs.ok() && attrs.value().message_count > 0) {
-      return attrs.value().median_pos;
+    const graph::NodeIndex idx = graph_->IndexOf(cell);
+    if (idx != graph::kInvalidNodeIndex && graph_->has_attrs() &&
+        graph_->MessageCount(idx) > 0) {
+      return graph_->MedianPos(idx);
     }
   }
   return hex::CellToLatLng(cell);
@@ -95,7 +91,6 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
                                    gap_start.ToString() + " -> " +
                                    gap_end.ToString());
   }
-  scratch->Reset();
   const std::vector<hex::CellId> src_cands =
       SnapCandidates(gap_start, SnapRole::kSource);
   const std::vector<hex::CellId> dst_cands =
@@ -130,8 +125,28 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
   const double min_edge_cost =
       config_.edge_cost == EdgeCostPolicy::kInverseFrequency ? 0.05 : 1.0;
 
-  std::unordered_set<graph::NodeId> targets(dst_cands.begin(),
-                                            dst_cands.end());
+  std::vector<graph::SearchSeed> seeds;
+  seeds.reserve(src_cands.size());
+  for (const hex::CellId s : src_cands) {
+    const graph::NodeIndex idx = graph_->IndexOf(s);
+    if (idx == graph::kInvalidNodeIndex) continue;
+    const double seed_cost =
+        geo::HaversineMeters(gap_start, hex::CellToLatLng(s)) / cell_pitch_m;
+    seeds.push_back({idx, seed_cost});
+  }
+
+  // Dense target marks over the dst candidates (few dozen at most).
+  std::vector<graph::NodeIndex> target_idx;
+  target_idx.reserve(dst_cands.size());
+  for (const hex::CellId d : dst_cands) {
+    const graph::NodeIndex idx = graph_->IndexOf(d);
+    if (idx != graph::kInvalidNodeIndex) target_idx.push_back(idx);
+  }
+  std::sort(target_idx.begin(), target_idx.end());
+  auto is_target = [&](graph::NodeIndex u) {
+    return std::binary_search(target_idx.begin(), target_idx.end(), u);
+  };
+
   // Heuristic: grid distance to the destination's own cell, reduced by the
   // candidate spread so it never overestimates the cost to any target.
   const hex::CellId dst_anchor = dst_cands.front();
@@ -140,85 +155,26 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
     const auto gd = hex::GridDistance(dst_anchor, d);
     if (gd.ok()) dst_spread = std::max(dst_spread, gd.value());
   }
-  auto heuristic = [&](graph::NodeId n) {
-    const auto gd = hex::GridDistance(static_cast<hex::CellId>(n), dst_anchor);
+  auto heuristic = [&](graph::NodeIndex n) {
+    const auto gd = hex::GridDistance(
+        static_cast<hex::CellId>(graph_->IdOf(n)), dst_anchor);
     if (!gd.ok()) return 0.0;
     return std::max<double>(0.0, static_cast<double>(gd.value() - dst_spread)) *
            min_edge_cost;
   };
 
-  // Min-heap over the scratch vector (push_heap/pop_heap keep the buffer's
-  // capacity alive across batched queries).
-  auto& heap = scratch->heap;
-  auto& dist = scratch->dist;
-  auto& parent = scratch->parent;
-  auto& settled = scratch->settled;
-  auto& sources = scratch->sources;
-  const auto heap_greater = [](const SearchScratch::HeapEntry& a,
-                               const SearchScratch::HeapEntry& b) {
-    return a.priority > b.priority;
-  };
-  auto heap_push = [&](double priority, graph::NodeId node) {
-    heap.push_back({priority, node});
-    std::push_heap(heap.begin(), heap.end(), heap_greater);
-  };
-
-  for (const hex::CellId s : src_cands) {
-    const double seed_cost =
-        geo::HaversineMeters(gap_start, hex::CellToLatLng(s)) / cell_pitch_m;
-    auto it = dist.find(s);
-    if (it == dist.end() || seed_cost < it->second) {
-      dist[s] = seed_cost;
-      heap_push(seed_cost + heuristic(s), s);
-      sources.insert(s);
-    }
-  }
-
-  graph::NodeId reached = 0;
-  bool found = false;
-  size_t expanded = 0;
-  while (!heap.empty()) {
-    const graph::NodeId u = heap.front().node;
-    std::pop_heap(heap.begin(), heap.end(), heap_greater);
-    heap.pop_back();
-    if (settled.contains(u)) continue;
-    settled.insert(u);
-    ++expanded;
-    if (targets.contains(u)) {
-      reached = u;
-      found = true;
-      break;
-    }
-    const double du = dist[u];
-    for (const auto& [v, attrs] : graph_->OutEdges(u)) {
-      if (settled.contains(v)) continue;
-      const double cand = du + attrs.weight;
-      auto it = dist.find(v);
-      if (it == dist.end() || cand < it->second) {
-        dist[v] = cand;
-        parent[v] = u;
-        heap_push(cand + heuristic(v), v);
-      }
-    }
-  }
-  if (!found) {
+  const graph::CsrSearch run =
+      graph::RunSearch(*graph_, seeds, is_target, heuristic, *scratch);
+  if (!run.found) {
     return Status::Unreachable(
         "no snap candidate pair is connected in the transition graph");
   }
 
   Imputation result;
-  result.expanded = expanded;
-  {
-    std::vector<hex::CellId> rev;
-    graph::NodeId cur = reached;
-    rev.push_back(static_cast<hex::CellId>(cur));
-    while (!sources.contains(cur) || parent.contains(cur)) {
-      auto it = parent.find(cur);
-      if (it == parent.end()) break;
-      cur = it->second;
-      rev.push_back(static_cast<hex::CellId>(cur));
-    }
-    result.cells.assign(rev.rbegin(), rev.rend());
+  result.expanded = run.expanded;
+  for (const graph::NodeIndex i :
+       graph::ReconstructPath(*scratch, run.reached)) {
+    result.cells.push_back(static_cast<hex::CellId>(graph_->IdOf(i)));
   }
 
   // Inverse projection (Section 3.3): cells -> coordinates under option p,

@@ -1,16 +1,15 @@
 // Trajectory imputation (Section 3.3) and simplification (Section 3.4):
-// snap gap endpoints to graph nodes, run A* over transition costs, project
-// the cell sequence back to coordinates (center or data-driven median), and
-// smooth the result with RDP.
+// snap gap endpoints to graph nodes, run the shared CSR A* engine over
+// transition costs, project the cell sequence back to coordinates (center
+// or data-driven median), and smooth the result with RDP.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/status.h"
 #include "geo/polyline.h"
-#include "graph/digraph.h"
+#include "graph/compact_graph.h"
+#include "graph/search.h"
 #include "habit/config.h"
 #include "hexgrid/hexgrid.h"
 
@@ -30,39 +29,19 @@ struct Imputation {
   size_t expanded = 0;
 };
 
-/// \brief Imputes gaps against a prebuilt transition graph.
+/// \brief Imputes gaps against a frozen transition graph.
+///
+/// The imputer owns no search state of its own: all queries run through the
+/// flat graph::SearchScratch (generation-stamped distance/parent/settled
+/// arrays keyed by dense NodeIndex), either a per-call local one or a
+/// caller-owned scratch shared across a batch.
 class Imputer {
  public:
-  /// \brief Reusable A* working state (distance/parent tables, settled
-  /// sets, and the binary heap).
-  ///
-  /// A cold query pays for allocating and rehashing these containers; a
-  /// batch of queries against the same graph can hand the same scratch to
-  /// every call so the hash tables keep their bucket arrays and the heap
-  /// its capacity. Owned by the caller, valid for any number of queries.
-  struct SearchScratch {
-    struct HeapEntry {
-      double priority;
-      graph::NodeId node;
-    };
-    std::vector<HeapEntry> heap;
-    std::unordered_map<graph::NodeId, double> dist;
-    std::unordered_map<graph::NodeId, graph::NodeId> parent;
-    std::unordered_set<graph::NodeId> settled;
-    std::unordered_set<graph::NodeId> sources;
+  /// Reusable search working state (one per querying thread).
+  using SearchScratch = graph::SearchScratch;
 
-    /// Empties all containers but keeps their allocations.
-    void Reset() {
-      heap.clear();
-      dist.clear();
-      parent.clear();
-      settled.clear();
-      sources.clear();
-    }
-  };
-
-  /// The graph must outlive the imputer.
-  Imputer(const graph::Digraph* graph, const HabitConfig& config);
+  /// The frozen graph must outlive the imputer.
+  Imputer(const graph::CompactGraph* graph, const HabitConfig& config);
 
   /// \brief Fills the gap between two boundary reports.
   ///
@@ -74,7 +53,7 @@ class Imputer {
                             const geo::LatLng& gap_end, int64_t t_start = 0,
                             int64_t t_end = 0) const;
 
-  /// Same as above but reuses `scratch` for the A* working state, which
+  /// Same as above but reuses `scratch` for the search working state, which
   /// amortizes allocation across a batch of queries (the hot path behind
   /// api::ImputationModel::ImputeBatch).
   Result<Imputation> Impute(const geo::LatLng& gap_start,
@@ -91,7 +70,8 @@ class Imputer {
 
   /// Nearby candidate graph nodes for `p`, sorted by distance. Candidates
   /// from several rings are returned so the search can avoid snapping onto
-  /// a disconnected fragment or a directed dead-end of the transition graph.
+  /// a disconnected fragment or a directed dead-end of the transition
+  /// graph; the role filter reads the frozen graph's out-/in-degree arrays.
   std::vector<hex::CellId> SnapCandidates(const geo::LatLng& p,
                                           SnapRole role = SnapRole::kAny,
                                           size_t max_candidates = 48) const;
@@ -100,11 +80,8 @@ class Imputer {
   geo::LatLng ProjectCell(hex::CellId cell) const;
 
  private:
-  const graph::Digraph* graph_;
+  const graph::CompactGraph* graph_;
   HabitConfig config_;
-  /// Nodes with at least one incoming edge (out-degree is cheap to query
-  /// from the graph; in-degree is precomputed here).
-  std::unordered_map<graph::NodeId, int> in_degree_;
 };
 
 }  // namespace habit::core

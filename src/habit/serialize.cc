@@ -8,7 +8,7 @@
 
 namespace habit::core {
 
-db::Table GraphNodesToTable(const graph::Digraph& g) {
+db::Table GraphNodesToTable(const graph::CompactGraph& g) {
   db::Table t(db::Schema{{"cell", db::DataType::kInt64},
                          {"med_lon", db::DataType::kDouble},
                          {"med_lat", db::DataType::kDouble},
@@ -28,7 +28,7 @@ db::Table GraphNodesToTable(const graph::Digraph& g) {
   return t;
 }
 
-db::Table GraphEdgesToTable(const graph::Digraph& g) {
+db::Table GraphEdgesToTable(const graph::CompactGraph& g) {
   db::Table t(db::Schema{{"src", db::DataType::kInt64},
                          {"dst", db::DataType::kInt64},
                          {"transitions", db::DataType::kInt64},
@@ -43,7 +43,8 @@ db::Table GraphEdgesToTable(const graph::Digraph& g) {
   return t;
 }
 
-Status SaveGraphCsv(const graph::Digraph& g, const std::string& prefix) {
+Status SaveGraphCsv(const graph::CompactGraph& g,
+                    const std::string& prefix) {
   HABIT_RETURN_NOT_OK(
       db::WriteCsv(GraphNodesToTable(g), prefix + "_nodes.csv"));
   return db::WriteCsv(GraphEdgesToTable(g), prefix + "_edges.csv");

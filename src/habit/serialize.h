@@ -1,11 +1,16 @@
 // Model persistence: a built HABIT transition graph is two relational
 // tables (node statistics, edge statistics), saved and loaded as CSV via
 // minidb. The on-disk artifact is exactly what Table 2 of the paper sizes.
+//
+// Saving reads the frozen CompactGraph (what a built framework carries);
+// loading rebuilds the mutable Digraph, which the caller freezes (e.g. via
+// HabitFramework::FromGraph) before serving queries.
 #pragma once
 
 #include <string>
 
 #include "core/status.h"
+#include "graph/compact_graph.h"
 #include "graph/digraph.h"
 #include "habit/config.h"
 #include "minidb/table.h"
@@ -14,14 +19,14 @@ namespace habit::core {
 
 /// Converts the graph's node statistics to a minidb table with columns:
 /// cell, med_lon, med_lat, cnt, vessels, med_sog, med_cog.
-db::Table GraphNodesToTable(const graph::Digraph& g);
+db::Table GraphNodesToTable(const graph::CompactGraph& g);
 
 /// Converts the graph's edges to a minidb table with columns:
 /// src, dst, transitions, grid_distance.
-db::Table GraphEdgesToTable(const graph::Digraph& g);
+db::Table GraphEdgesToTable(const graph::CompactGraph& g);
 
 /// Writes the graph as `<prefix>_nodes.csv` and `<prefix>_edges.csv`.
-Status SaveGraphCsv(const graph::Digraph& g, const std::string& prefix);
+Status SaveGraphCsv(const graph::CompactGraph& g, const std::string& prefix);
 
 /// Rebuilds a graph from files written by SaveGraphCsv. Edge weights are
 /// recomputed under the given config's edge-cost policy, so a saved model

@@ -30,9 +30,10 @@ class TypedHabitFramework {
                             const geo::LatLng& gap_end, int64_t t_start = 0,
                             int64_t t_end = 0) const;
 
-  /// Same, reusing the caller's A* scratch across a batch of queries (the
-  /// scratch is per-query state, so it is shared safely across the typed
-  /// and combined graphs).
+  /// Same, reusing the caller's flat search scratch across a batch of
+  /// queries (the scratch is per-query state sized to the largest frozen
+  /// graph it has seen, so it is shared safely across the typed and
+  /// combined graphs).
   Result<Imputation> Impute(ais::VesselType type, const geo::LatLng& gap_start,
                             const geo::LatLng& gap_end, int64_t t_start,
                             int64_t t_end,

@@ -235,6 +235,50 @@ TEST(ApiTest, BatchMatchesSingleQueries) {
   }
 }
 
+TEST(ApiTest, ParallelBatchMatchesSerialBatch) {
+  // The threads= spec parameter partitions the batch across workers (one
+  // search scratch each); results and alignment must be identical to the
+  // serial path, including per-query failures.
+  const auto trips = MakeTrips();
+  auto serial = MakeModel("habit:r=9,t=0", trips).MoveValue();
+  auto parallel = MakeModel("habit:r=9,t=0,threads=4", trips).MoveValue();
+
+  std::vector<ImputeRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    ImputeRequest req;
+    req.gap_start = {55.05 + 0.01 * i, 11.0};
+    req.gap_end = {55.15 + 0.02 * i, 11.0};
+    req.t_start = 1000000;
+    req.t_end = 1003600;
+    requests.push_back(req);
+  }
+  requests[4].gap_start = {40.0, -20.0};  // far off-data: must fail
+  requests[4].gap_end = {40.5, -20.0};
+
+  std::vector<double> serial_seconds, parallel_seconds;
+  const auto want = serial->ImputeBatch(requests, &serial_seconds);
+  const auto got = parallel->ImputeBatch(requests, &parallel_seconds);
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(parallel_seconds.size(), requests.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].ok(), want[i].ok()) << i;
+    EXPECT_GT(parallel_seconds[i], 0.0) << i;
+    if (!want[i].ok()) {
+      EXPECT_EQ(got[i].status().code(), want[i].status().code()) << i;
+      continue;
+    }
+    ASSERT_EQ(got[i].value().path.size(), want[i].value().path.size()) << i;
+    for (size_t j = 0; j < want[i].value().path.size(); ++j) {
+      EXPECT_EQ(got[i].value().path[j], want[i].value().path[j]);
+    }
+    EXPECT_EQ(got[i].value().timestamps, want[i].value().timestamps);
+  }
+
+  // Degenerate parameters are rejected loudly.
+  EXPECT_FALSE(MakeModel("habit:threads=0", trips).ok());
+  EXPECT_FALSE(MakeModel("habit:threads=-2", trips).ok());
+}
+
 TEST(ApiTest, BatchReportsPerQueryFailures) {
   const auto trips = MakeTrips();
   auto model = MakeModel("habit", trips).MoveValue();

@@ -1,0 +1,309 @@
+// CSR equivalence suite: the frozen CompactGraph must agree with the
+// mutable Digraph it was frozen from — per-node/per-edge attributes, degree
+// arrays, shortest paths against a test-local reference Dijkstra, component
+// structure, and size accounting — and search scratch reuse across many
+// queries must never leak state between generations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/rng.h"
+#include "graph/digraph.h"
+#include "graph/shortest_path.h"
+
+namespace habit::graph {
+namespace {
+
+// A random weighted digraph over ids drawn sparsely from a large id space
+// (so the dense-index mapping is exercised, not just 0..n-1).
+Digraph MakeRandomGraph(uint64_t seed, int num_nodes, int edges_per_node) {
+  Rng rng(seed);
+  std::vector<NodeId> ids;
+  ids.reserve(num_nodes);
+  std::set<NodeId> used;
+  while (static_cast<int>(ids.size()) < num_nodes) {
+    const NodeId id = rng.UniformInt(1, 1'000'000'000);
+    if (used.insert(id).second) ids.push_back(id);
+  }
+  Digraph g;
+  for (const NodeId id : ids) {
+    NodeAttrs attrs;
+    attrs.message_count = static_cast<int64_t>(rng.UniformInt(0, 500));
+    attrs.distinct_vessels = static_cast<int64_t>(rng.UniformInt(0, 50));
+    attrs.median_sog = rng.Uniform(0.0, 20.0);
+    attrs.median_cog = rng.Uniform(0.0, 360.0);
+    attrs.median_pos = {rng.Uniform(54.0, 58.0), rng.Uniform(9.0, 13.0)};
+    attrs.center_pos = attrs.median_pos;
+    g.AddNode(id, attrs);
+  }
+  for (const NodeId u : ids) {
+    for (int k = 0; k < edges_per_node; ++k) {
+      const NodeId v = ids[rng.UniformInt(0, num_nodes - 1)];
+      if (v == u) continue;
+      EdgeAttrs attrs;
+      attrs.weight = rng.Uniform(0.1, 5.0);
+      attrs.transitions = static_cast<int64_t>(rng.UniformInt(1, 100));
+      attrs.grid_distance = static_cast<int64_t>(rng.UniformInt(1, 4));
+      g.AddEdge(u, v, attrs);
+    }
+  }
+  return g;
+}
+
+std::vector<NodeId> AllIds(const Digraph& g) {
+  std::vector<NodeId> ids;
+  g.ForEachNode([&](NodeId id, const NodeAttrs&) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Test-local reference shortest path over the *mutable* graph: textbook
+// Dijkstra on hash maps, sharing no code with the CSR engine under test.
+double ReferenceDijkstraCost(const Digraph& g, NodeId source, NodeId target) {
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_set<NodeId> settled;
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (!settled.insert(u).second) continue;
+    if (u == target) return d;
+    for (const auto& [v, attrs] : g.OutEdges(u)) {
+      const double cand = d + attrs.weight;
+      auto it = dist.find(v);
+      if (it == dist.end() || cand < it->second) {
+        dist[v] = cand;
+        queue.push({cand, v});
+      }
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+// Path legality + cost consistency against the frozen graph's own edges.
+void ExpectValidPath(const CompactGraph& g, const PathResult& path,
+                     NodeId source, NodeId target) {
+  ASSERT_FALSE(path.nodes.empty());
+  EXPECT_EQ(path.nodes.front(), source);
+  EXPECT_EQ(path.nodes.back(), target);
+  double cost = 0.0;
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    auto edge = g.GetEdge(path.nodes[i - 1], path.nodes[i]);
+    ASSERT_TRUE(edge.ok()) << "path uses a non-edge";
+    cost += edge.value().weight;
+  }
+  EXPECT_NEAR(cost, path.cost, 1e-9);
+}
+
+TEST(CompactGraphTest, FreezePreservesNodesEdgesAndAttrs) {
+  const Digraph g = MakeRandomGraph(7, 120, 3);
+  const CompactGraph frozen = g.Freeze();
+
+  ASSERT_EQ(frozen.num_nodes(), g.num_nodes());
+  ASSERT_EQ(frozen.num_edges(), g.num_edges());
+
+  for (const NodeId id : AllIds(g)) {
+    const NodeIndex idx = frozen.IndexOf(id);
+    ASSERT_NE(idx, kInvalidNodeIndex);
+    EXPECT_EQ(frozen.IdOf(idx), id);
+
+    const NodeAttrs want = g.GetNode(id).value();
+    const NodeAttrs got = frozen.GetNode(id).value();
+    EXPECT_EQ(got.message_count, want.message_count);
+    EXPECT_EQ(got.distinct_vessels, want.distinct_vessels);
+    EXPECT_DOUBLE_EQ(got.median_sog, want.median_sog);
+    EXPECT_DOUBLE_EQ(got.median_pos.lat, want.median_pos.lat);
+    EXPECT_DOUBLE_EQ(got.median_pos.lng, want.median_pos.lng);
+
+    EXPECT_EQ(frozen.OutDegree(idx), g.OutEdges(id).size());
+  }
+
+  // Every mutable edge is present with identical attributes, and the degree
+  // arrays are consistent with a recount.
+  std::unordered_map<NodeId, uint32_t> in_degree;
+  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs& attrs) {
+    auto got = frozen.GetEdge(u, v);
+    ASSERT_TRUE(got.ok());
+    EXPECT_DOUBLE_EQ(got.value().weight, attrs.weight);
+    EXPECT_EQ(got.value().transitions, attrs.transitions);
+    EXPECT_EQ(got.value().grid_distance, attrs.grid_distance);
+    ++in_degree[v];
+  });
+  for (const NodeId id : AllIds(g)) {
+    const auto it = in_degree.find(id);
+    EXPECT_EQ(frozen.InDegree(frozen.IndexOf(id)),
+              it == in_degree.end() ? 0u : it->second);
+  }
+
+  EXPECT_EQ(frozen.IndexOf(12345), kInvalidNodeIndex);  // id not inserted
+  EXPECT_FALSE(frozen.GetNode(12345).ok());
+}
+
+TEST(CompactGraphTest, DijkstraAndAStarMatchReference) {
+  const Digraph g = MakeRandomGraph(11, 150, 3);
+  const CompactGraph frozen = g.Freeze();
+  const std::vector<NodeId> ids = AllIds(g);
+
+  Rng rng(13);
+  int connected_pairs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId source = ids[rng.UniformInt(0, ids.size() - 1)];
+    const NodeId target = ids[rng.UniformInt(0, ids.size() - 1)];
+    const double want = ReferenceDijkstraCost(g, source, target);
+    auto dij = Dijkstra(frozen, source, target);
+    auto astar = AStar(frozen, source, target, [](NodeId) { return 0.0; });
+    if (std::isinf(want)) {
+      EXPECT_EQ(dij.status().code(), StatusCode::kUnreachable);
+      EXPECT_EQ(astar.status().code(), StatusCode::kUnreachable);
+      continue;
+    }
+    ++connected_pairs;
+    ASSERT_TRUE(dij.ok());
+    ASSERT_TRUE(astar.ok());
+    EXPECT_NEAR(dij.value().cost, want, 1e-9);
+    EXPECT_NEAR(astar.value().cost, want, 1e-9);
+    ExpectValidPath(frozen, dij.value(), source, target);
+    ExpectValidPath(frozen, astar.value(), source, target);
+  }
+  EXPECT_GT(connected_pairs, 5);  // the random graph is dense enough
+}
+
+TEST(CompactGraphTest, ComponentCountsMatchReference) {
+  // Reference weak components over the mutable graph (label propagation via
+  // BFS on an undirected map).
+  const Digraph g = MakeRandomGraph(17, 80, 1);
+  std::unordered_map<NodeId, std::vector<NodeId>> undirected;
+  g.ForEachNode([&](NodeId id, const NodeAttrs&) { undirected[id]; });
+  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs&) {
+    undirected[u].push_back(v);
+    undirected[v].push_back(u);
+  });
+  std::multiset<size_t> want_sizes;
+  std::unordered_set<NodeId> seen;
+  for (const auto& [start, nbrs] : undirected) {
+    if (seen.contains(start)) continue;
+    size_t size = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen.insert(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      ++size;
+      for (const NodeId v : undirected.at(u)) {
+        if (seen.insert(v).second) frontier.push(v);
+      }
+    }
+    want_sizes.insert(size);
+  }
+
+  const CompactGraph frozen = g.Freeze();
+  const auto comps = WeaklyConnectedComponents(frozen);
+  std::multiset<size_t> got_sizes;
+  size_t total = 0;
+  for (const auto& c : comps) {
+    got_sizes.insert(c.size());
+    total += c.size();
+  }
+  EXPECT_EQ(got_sizes, want_sizes);
+  EXPECT_EQ(total, frozen.num_nodes());
+
+  // SCC partition sanity on the same graph: components partition the nodes.
+  size_t scc_total = 0;
+  for (const auto& c : StronglyConnectedComponents(frozen)) {
+    scc_total += c.size();
+  }
+  EXPECT_EQ(scc_total, frozen.num_nodes());
+}
+
+TEST(CompactGraphTest, SizeAccountingConsistent) {
+  const Digraph g = MakeRandomGraph(23, 60, 2);
+  const CompactGraph frozen = g.Freeze();
+  // The persisted artifact is identical, so the Table 2 number must not
+  // change with the in-memory representation.
+  EXPECT_EQ(frozen.SerializedSizeBytes(), g.SerializedSizeBytes());
+  EXPECT_GT(frozen.SizeBytes(), 0u);
+  // CSR drops the hash-map and per-vector overheads.
+  EXPECT_LT(frozen.SizeBytes(), g.SizeBytes());
+
+  // Attribute-less freeze keeps topology but sheds the statistics columns.
+  const CompactGraph topo = g.Freeze(/*keep_attrs=*/false);
+  EXPECT_EQ(topo.num_nodes(), frozen.num_nodes());
+  EXPECT_EQ(topo.num_edges(), frozen.num_edges());
+  EXPECT_FALSE(topo.has_attrs());
+  EXPECT_LT(topo.SizeBytes(), frozen.SizeBytes());
+  g.ForEachEdge([&](NodeId u, NodeId v, const EdgeAttrs& attrs) {
+    auto got = topo.GetEdge(u, v);
+    ASSERT_TRUE(got.ok());
+    EXPECT_DOUBLE_EQ(got.value().weight, attrs.weight);
+  });
+}
+
+TEST(SearchScratchTest, ReuseAcrossManyQueriesMatchesFreshScratch) {
+  // Stale-generation regression: one scratch shared by hundreds of queries
+  // (including unreachable ones) must give bit-identical costs to a fresh
+  // scratch per query.
+  const Digraph g = MakeRandomGraph(31, 100, 2);
+  const CompactGraph frozen = g.Freeze();
+  const std::vector<NodeId> ids = AllIds(g);
+
+  Rng rng(37);
+  SearchScratch shared;
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId source = ids[rng.UniformInt(0, ids.size() - 1)];
+    const NodeId target = ids[rng.UniformInt(0, ids.size() - 1)];
+    auto reused = Dijkstra(frozen, source, target, &shared);
+    auto fresh = Dijkstra(frozen, source, target);
+    ASSERT_EQ(reused.ok(), fresh.ok());
+    if (!reused.ok()) {
+      EXPECT_EQ(reused.status().code(), fresh.status().code());
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(reused.value().cost, fresh.value().cost);
+    EXPECT_EQ(reused.value().nodes, fresh.value().nodes);
+    EXPECT_EQ(reused.value().expanded, fresh.value().expanded);
+  }
+}
+
+TEST(SearchScratchTest, GenerationWraparoundResetsStamps) {
+  // Force the uint32 generation counter to wrap: the scratch must hard-reset
+  // its stamps instead of treating stale marks as current.
+  const Digraph g = MakeRandomGraph(41, 40, 2);
+  const CompactGraph frozen = g.Freeze();
+  const std::vector<NodeId> ids = AllIds(g);
+
+  SearchScratch scratch;
+  auto before = Dijkstra(frozen, ids[0], ids[1], &scratch);
+  scratch.generation = UINT32_MAX - 1;  // two queries to the wrap boundary
+  for (int i = 0; i < 4; ++i) {
+    auto across = Dijkstra(frozen, ids[0], ids[1], &scratch);
+    ASSERT_EQ(across.ok(), before.ok());
+    if (before.ok()) {
+      EXPECT_DOUBLE_EQ(across.value().cost, before.value().cost);
+      EXPECT_EQ(across.value().nodes, before.value().nodes);
+    }
+  }
+
+  // A scratch grown on a big graph keeps working on a smaller one.
+  const CompactGraph small = MakeRandomGraph(43, 10, 2).Freeze();
+  const std::vector<NodeId> small_ids = [&] {
+    std::vector<NodeId> out;
+    small.ForEachNode([&](NodeId id, const NodeAttrs&) { out.push_back(id); });
+    return out;
+  }();
+  auto on_small = Dijkstra(small, small_ids[0], small_ids[0], &scratch);
+  ASSERT_TRUE(on_small.ok());
+  EXPECT_DOUBLE_EQ(on_small.value().cost, 0.0);
+}
+
+}  // namespace
+}  // namespace habit::graph

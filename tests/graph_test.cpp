@@ -1,5 +1,7 @@
-// Tests for the graph module: digraph storage, Dijkstra/A*, components,
-// SCC, and the KD-tree (validated against brute force).
+// Tests for the graph module: digraph storage, the frozen-CSR search layer
+// (Dijkstra/A*, components, SCC), and the KD-tree (validated against brute
+// force). Graphs are built mutably and frozen before querying — the search
+// API only accepts CompactGraph.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -62,7 +64,7 @@ TEST(DigraphTest, SetNodeAttrsAndIteration) {
 }
 
 TEST(ShortestPathTest, DijkstraPicksCheapestRoute) {
-  Digraph g = MakeDiamond();
+  const CompactGraph g = MakeDiamond().Freeze();
   auto result = Dijkstra(g, 0, 4);
   ASSERT_TRUE(result.ok());
   // 0-2-3-4 costs 3.5, 0-1-3-4 costs 4.0.
@@ -71,7 +73,7 @@ TEST(ShortestPathTest, DijkstraPicksCheapestRoute) {
 }
 
 TEST(ShortestPathTest, SourceEqualsTarget) {
-  Digraph g = MakeDiamond();
+  const CompactGraph g = MakeDiamond().Freeze();
   auto result = Dijkstra(g, 3, 3);
   ASSERT_TRUE(result.ok());
   EXPECT_DOUBLE_EQ(result.value().cost, 0.0);
@@ -79,8 +81,9 @@ TEST(ShortestPathTest, SourceEqualsTarget) {
 }
 
 TEST(ShortestPathTest, UnreachableAndMissingNodes) {
-  Digraph g = MakeDiamond();
-  g.AddNode(99);
+  Digraph mutable_g = MakeDiamond();
+  mutable_g.AddNode(99);
+  const CompactGraph g = mutable_g.Freeze();
   auto unreachable = Dijkstra(g, 4, 0);  // edges point the other way
   EXPECT_EQ(unreachable.status().code(), StatusCode::kUnreachable);
   EXPECT_EQ(Dijkstra(g, 123, 4).status().code(), StatusCode::kNotFound);
@@ -91,16 +94,17 @@ TEST(ShortestPathTest, AStarMatchesDijkstraWithAdmissibleHeuristic) {
   // Random weighted DAG-ish graph; h=0 must match and a scaled true
   // distance heuristic must stay optimal.
   Rng rng(5);
-  Digraph g;
+  Digraph mutable_g;
   const int n = 200;
   for (int i = 0; i < n; ++i) {
     for (int k = 0; k < 3; ++k) {
       const int j = static_cast<int>(rng.UniformInt(0, n - 1));
       if (j != i) {
-        g.AddEdge(i, j, {.weight = rng.Uniform(0.1, 5.0)});
+        mutable_g.AddEdge(i, j, {.weight = rng.Uniform(0.1, 5.0)});
       }
     }
   }
+  const CompactGraph g = mutable_g.Freeze();
   auto exact = DijkstraAll(g, 0);
   std::unordered_map<NodeId, double> dist(exact.begin(), exact.end());
   int checked = 0;
@@ -120,12 +124,13 @@ TEST(ShortestPathTest, AStarMatchesDijkstraWithAdmissibleHeuristic) {
 
 TEST(ShortestPathTest, AStarHeuristicReducesExpansion) {
   // Grid-like chain: a good heuristic should settle fewer nodes.
-  Digraph g;
+  Digraph mutable_g;
   const int n = 400;
   for (int i = 0; i + 1 < n; ++i) {
-    g.AddEdge(i, i + 1, {.weight = 1.0});
-    g.AddEdge(i + 1, i, {.weight = 1.0});
+    mutable_g.AddEdge(i, i + 1, {.weight = 1.0});
+    mutable_g.AddEdge(i + 1, i, {.weight = 1.0});
   }
+  const CompactGraph g = mutable_g.Freeze();
   auto blind = AStar(g, 0, n - 1, [](NodeId) { return 0.0; });
   auto guided = AStar(g, 0, n - 1, [n](NodeId u) {
     return static_cast<double>(n - 1 - static_cast<int>(u));
@@ -137,11 +142,12 @@ TEST(ShortestPathTest, AStarHeuristicReducesExpansion) {
 }
 
 TEST(ShortestPathTest, ReachabilityAndComponents) {
-  Digraph g;
-  g.AddEdge(0, 1, {});
-  g.AddEdge(1, 2, {});
-  g.AddEdge(5, 6, {});
-  g.AddNode(9);
+  Digraph mutable_g;
+  mutable_g.AddEdge(0, 1, {});
+  mutable_g.AddEdge(1, 2, {});
+  mutable_g.AddEdge(5, 6, {});
+  mutable_g.AddNode(9);
+  const CompactGraph g = mutable_g.Freeze();
   EXPECT_EQ(ReachableFrom(g, 0).size(), 3u);
   EXPECT_EQ(ReachableFrom(g, 2).size(), 1u);
   EXPECT_TRUE(ReachableFrom(g, 77).empty());
@@ -153,15 +159,16 @@ TEST(ShortestPathTest, ReachabilityAndComponents) {
 }
 
 TEST(ShortestPathTest, StronglyConnectedComponents) {
-  Digraph g;
+  Digraph mutable_g;
   // Cycle 0-1-2, tail 2->3->4, separate 2-cycle 5<->6.
-  g.AddEdge(0, 1, {});
-  g.AddEdge(1, 2, {});
-  g.AddEdge(2, 0, {});
-  g.AddEdge(2, 3, {});
-  g.AddEdge(3, 4, {});
-  g.AddEdge(5, 6, {});
-  g.AddEdge(6, 5, {});
+  mutable_g.AddEdge(0, 1, {});
+  mutable_g.AddEdge(1, 2, {});
+  mutable_g.AddEdge(2, 0, {});
+  mutable_g.AddEdge(2, 3, {});
+  mutable_g.AddEdge(3, 4, {});
+  mutable_g.AddEdge(5, 6, {});
+  mutable_g.AddEdge(6, 5, {});
+  const CompactGraph g = mutable_g.Freeze();
   auto sccs = StronglyConnectedComponents(g);
   std::multiset<size_t> sizes;
   for (const auto& c : sccs) sizes.insert(c.size());

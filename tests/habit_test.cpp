@@ -308,7 +308,8 @@ TEST(SerializeTest, GraphRoundTripsThroughCsv) {
   const std::string prefix =
       (std::filesystem::temp_directory_path() / "habit_serialize_test")
           .string();
-  ASSERT_TRUE(SaveGraphCsv(graph, prefix).ok());
+  const auto frozen = graph.Freeze();
+  ASSERT_TRUE(SaveGraphCsv(frozen, prefix).ok());
   auto loaded = LoadGraphCsv(prefix, config);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
@@ -342,8 +343,9 @@ TEST(SerializeTest, NodeAndEdgeTablesHaveExpectedShape) {
   const auto trips = MakeCorridorTrips(3, 50);
   HabitConfig config;
   auto graph = BuildGraphFromTrips(trips, config).MoveValue();
-  const db::Table nodes = GraphNodesToTable(graph);
-  const db::Table edges = GraphEdgesToTable(graph);
+  const auto frozen = graph.Freeze();
+  const db::Table nodes = GraphNodesToTable(frozen);
+  const db::Table edges = GraphEdgesToTable(frozen);
   EXPECT_EQ(nodes.num_rows(), graph.num_nodes());
   EXPECT_EQ(edges.num_rows(), graph.num_edges());
   EXPECT_EQ(nodes.schema().FieldIndex("med_lon"), 1);
