@@ -4,12 +4,20 @@
 // Paper shape: HABIT footprints grow with resolution but stay tiny
 // (0.06 MB .. 57 MB); GTI is 1-2 orders of magnitude larger and blows up
 // with rd, especially on the sparser, more diverse SAR dataset.
+//
+// A second section measures cold start: retraining each method from raw
+// trips vs loading its binary snapshot (save=/load= registry parameters),
+// emitted as BENCH_METRIC lines so run_all.sh trajectories capture the
+// speedup persistence buys a serving process.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/stopwatch.h"
 #include "eval/harness.h"
 #include "eval/report.h"
+#include "graph/snapshot.h"
 
 int main() {
   using namespace habit;
@@ -63,5 +71,65 @@ int main() {
   std::printf("expected shape: HABIT grows ~7x per resolution step and "
               "stays far below GTI; GTI grows with rd and is larger on "
               "SAR\n");
+
+  // Cold start: retrain-from-trips vs snapshot-load for every
+  // snapshot-capable method. Each model is built once with save=<path>,
+  // then reconstructed with load=<path> and no trips — the serving
+  // process's restart path. Snapshot load should beat retraining by a
+  // wide margin (for HABIT the load is one validated bulk read of the
+  // CSR arrays).
+  std::printf("\nCold start: retrain vs snapshot load (KIEL)\n");
+  std::printf("%-28s %12s %12s %10s\n", "spec", "retrain (s)", "load (s)",
+              "snap MB");
+  const eval::Experiment& kiel = experiments[0];
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "habit_bench_snapshots";
+  std::filesystem::create_directories(dir);
+  const std::vector<std::string> cold_specs = {"habit:r=9", "habit:r=10",
+                                               "gti:rm=250,rd=5e-4",
+                                               "palmto:r=9"};
+  for (const std::string& spec : cold_specs) {
+    const std::string path =
+        (dir / (spec.substr(0, spec.find(':')) + ".snap")).string();
+    // Pure retrain time first; the snapshot is written by a second,
+    // untimed build so retrain_s excludes serialization and disk I/O.
+    Stopwatch build_timer;
+    auto retrained = api::MakeModel(spec, kiel.train_trips);
+    const double build_s = build_timer.ElapsedSeconds();
+    auto built = retrained.ok()
+                     ? api::MakeModel(spec + ",save=" + path,
+                                      kiel.train_trips)
+                     : std::move(retrained);
+    if (!built.ok()) {
+      std::printf("%-28s build failed: %s\n", spec.c_str(),
+                  built.status().ToString().c_str());
+      continue;
+    }
+    const std::string load_spec =
+        spec.substr(0, spec.find(':')) + ":load=" + path;
+    Stopwatch load_timer;
+    auto loaded = api::MakeModel(load_spec, {});
+    const double load_s = load_timer.ElapsedSeconds();
+    if (!loaded.ok()) {
+      std::printf("%-28s load failed: %s\n", spec.c_str(),
+                  loaded.status().ToString().c_str());
+      continue;
+    }
+    auto info = graph::InspectSnapshot(path);
+    const double snap_mb =
+        info.ok() ? eval::BytesToMb(info.value().payload_bytes) : 0.0;
+    std::printf("%-28s %12.3f %12.3f %10.2f\n", spec.c_str(), build_s,
+                load_s, snap_mb);
+    std::printf("BENCH_METRIC {\"metric\":\"cold_start\",\"dataset\":"
+                "\"KIEL\",\"spec\":\"%s\",\"retrain_s\":%.6f,"
+                "\"snapshot_load_s\":%.6f,\"snapshot_mb\":%.3f,"
+                "\"speedup\":%.1f}\n",
+                spec.c_str(), build_s, load_s, snap_mb,
+                load_s > 0 ? build_s / load_s : 0.0);
+    std::filesystem::remove(path);
+  }
+  // Covers snapshots leaked by failed load paths above.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
   return 0;
 }

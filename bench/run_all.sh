@@ -15,6 +15,45 @@ set -u
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$BUILD_DIR/bench_out}"
 
+# Escapes a string for embedding in a JSON string literal: backslashes and
+# quotes are escaped, control characters dropped (paths never legitimately
+# contain them, and one raw newline would corrupt the whole JSON line).
+json_escape() {
+  printf '%s' "$1" | tr -d '\000-\037' | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g'
+}
+
+# Keeps only lines that are one self-contained JSON object (balanced braces
+# outside string literals, nothing after the closing brace). A bench that
+# prints a malformed BENCH_METRIC payload gets a warning on stderr instead
+# of corrupting the trajectory file.
+filter_metric_objects() {
+  awk '
+    function valid(s,   i, c, n, depth, instr, esc) {
+      n = length(s)
+      if (n < 2 || substr(s, 1, 1) != "{") return 0
+      depth = 0; instr = 0; esc = 0
+      for (i = 1; i <= n; i++) {
+        c = substr(s, i, 1)
+        if (instr) {
+          if (esc) esc = 0
+          else if (c == "\\") esc = 1
+          else if (c == "\"") instr = 0
+        } else if (c == "\"") instr = 1
+        else if (c == "{") depth++
+        else if (c == "}") {
+          depth--
+          if (depth == 0 && i < n) return 0
+        }
+      }
+      return depth == 0 && instr == 0
+    }
+    {
+      if (valid($0)) print
+      else printf "warning: dropping malformed BENCH_METRIC line: %s\n", \
+                  $0 > "/dev/stderr"
+    }'
+}
+
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
   exit 2
@@ -32,9 +71,11 @@ for bench in "$BUILD_DIR"/bench_*; do
   code=$?
   end=$(date +%s.%N)
   seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
-  metrics=$(sed -n 's/^BENCH_METRIC //p' "$out" | paste -sd, -)
+  metrics=$(sed -n 's/^BENCH_METRIC //p' "$out" | filter_metric_objects |
+            paste -sd, -)
   printf '{"bench":"%s","exit":%d,"seconds":%s,"metrics":[%s],"output":"%s"}\n' \
-    "$name" "$code" "$seconds" "$metrics" "$out"
+    "$(json_escape "$name")" "$code" "$seconds" "$metrics" \
+    "$(json_escape "$out")"
 done
 
 if [ "$found" -eq 0 ]; then

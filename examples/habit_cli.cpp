@@ -9,6 +9,12 @@
 //       (writes <model_prefix>_nodes.csv / _edges.csv)
 //   impute <model_prefix> <lat1> <lng1> <lat2> <lng2> [r] [t]
 //       load a persisted model and impute one gap, printing the path as CSV
+//   snapshot <ais.csv> <snapshot.bin> [spec]
+//       build any snapshot-capable method ("habit", "gti", "palmto") and
+//       write its binary snapshot (versioned + checksummed; O(read) load)
+//   serve-from-snapshot <snapshot.bin> <lat1> <lng1> <lat2> <lng2> [spec]
+//       cold-start a model from a snapshot — no trips, no retraining — and
+//       impute one gap, printing the path as CSV
 //   eval <DAN|KIEL|SAR> <spec> [scale]
 //       run any registered method over a synthetic experiment and print
 //       its report row (spec e.g. "habit:r=9", "gti:rd=5e-4", "sli")
@@ -26,6 +32,7 @@
 #include "api/adapters.h"
 #include "eval/harness.h"
 #include "eval/report.h"
+#include "graph/snapshot.h"
 #include "habit/imputer.h"
 #include "habit/serialize.h"
 #include "sim/datasets.h"
@@ -141,6 +148,77 @@ int CmdImpute(int argc, char** argv) {
   return 0;
 }
 
+// Parses `spec`, injects key=path (the save/load persistence parameter),
+// and fails when the spec already carries it.
+Result<api::MethodSpec> SpecWithPath(const std::string& spec,
+                                     const std::string& key,
+                                     const std::string& path) {
+  HABIT_ASSIGN_OR_RETURN(api::MethodSpec parsed, api::MethodSpec::Parse(spec));
+  if (parsed.params.contains(key)) {
+    return Status::InvalidArgument("spec '" + spec + "' already sets " + key +
+                                   "= (pass the path as the positional "
+                                   "argument instead)");
+  }
+  parsed.params[key] = path;
+  return parsed;
+}
+
+int CmdSnapshot(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: habit_cli snapshot <ais.csv> <snapshot.bin> "
+                         "[spec]\n");
+    return 2;
+  }
+  auto records = ais::ReadAisCsv(argv[0]);
+  if (!records.ok()) return Fail(records.status());
+  const auto trips = ais::PreprocessAndSegment(records.value());
+  const std::string path = argv[1];
+  auto spec = SpecWithPath(argc > 2 ? argv[2] : "habit", "save", path);
+  if (!spec.ok()) return Fail(spec.status());
+  auto model = api::MakeModel(spec.value(), trips);
+  if (!model.ok()) return Fail(model.status());
+  auto info = graph::InspectSnapshot(path);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("built %s %s from %zu trips in %.2fs -> %s (%.2f MB, "
+              "fingerprint %016llx)\n",
+              model.value()->Name().c_str(),
+              model.value()->Configuration().c_str(), trips.size(),
+              model.value()->BuildSeconds(), path.c_str(),
+              eval::BytesToMb(info.value().payload_bytes),
+              static_cast<unsigned long long>(info.value().checksum));
+  return 0;
+}
+
+int CmdServeFromSnapshot(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: habit_cli serve-from-snapshot <snapshot.bin> "
+                         "<lat1> <lng1> <lat2> <lng2> [spec]\n");
+    return 2;
+  }
+  auto spec = SpecWithPath(argc > 5 ? argv[5] : "habit", "load", argv[0]);
+  if (!spec.ok()) return Fail(spec.status());
+  // Cold start: no trips, the snapshot is the whole model.
+  auto model = api::MakeModel(spec.value(), {});
+  if (!model.ok()) return Fail(model.status());
+  api::ImputeRequest req;
+  req.gap_start = {std::atof(argv[1]), std::atof(argv[2])};
+  req.gap_end = {std::atof(argv[3]), std::atof(argv[4])};
+  req.t_start = 0;
+  req.t_end = 3600;
+  auto response = model.value()->Impute(req);
+  if (!response.ok()) return Fail(response.status());
+  std::printf("idx,lat,lng\n");
+  for (size_t i = 0; i < response.value().path.size(); ++i) {
+    std::printf("%zu,%.6f,%.6f\n", i, response.value().path[i].lat,
+                response.value().path[i].lng);
+  }
+  std::fprintf(stderr, "%s %s loaded in %.3fs, %zu path points\n",
+               model.value()->Name().c_str(),
+               model.value()->Configuration().c_str(),
+               model.value()->BuildSeconds(), response.value().path.size());
+  return 0;
+}
+
 int CmdEval(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
@@ -173,8 +251,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "habit_cli — HABIT vessel-trajectory imputation toolkit\n"
-                 "commands: simulate | stats | build | impute | eval | "
-                 "methods\n");
+                 "commands: simulate | stats | build | impute | snapshot | "
+                 "serve-from-snapshot | eval | methods\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -182,6 +260,10 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
   if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
   if (cmd == "impute") return CmdImpute(argc - 2, argv + 2);
+  if (cmd == "snapshot") return CmdSnapshot(argc - 2, argv + 2);
+  if (cmd == "serve-from-snapshot") {
+    return CmdServeFromSnapshot(argc - 2, argv + 2);
+  }
   if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
   if (cmd == "methods") return CmdMethods();
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

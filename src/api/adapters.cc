@@ -8,6 +8,7 @@
 #include "baselines/sli.h"
 #include "core/stopwatch.h"
 #include "geo/latlng.h"
+#include "habit/serialize.h"
 
 namespace habit::api {
 
@@ -64,6 +65,33 @@ ImputeResponse ResponseFromImputation(core::Imputation imputation) {
 // Shared HABIT parameter block ("habit" and "habit_typed").
 const std::vector<std::string> kHabitKeys = {
     "r", "p", "t", "cost", "expand", "snap", "threads"};
+
+// Persistence spec parameters, shared by every snapshot-capable method:
+// "load=<path>" cold-starts the model from a binary snapshot (the trips
+// argument may be empty), "save=<path>" writes one after the build. Both
+// may be given to convert a freshly trained model into an artifact.
+const char kSaveKey[] = "save";
+const char kLoadKey[] = "load";
+
+// Snapshots embed the build configuration, so build parameters alongside
+// load= would be silently ignored — reject the combination instead so a
+// spec never aliases two different models. `serving_keys` lists parameters
+// that do NOT describe the build (e.g. habit's threads) and stay legal.
+Status RejectBuildParamsWithLoad(
+    const MethodSpec& spec,
+    const std::vector<std::string>& serving_keys = {}) {
+  for (const auto& [key, value] : spec.params) {
+    if (key == kSaveKey || key == kLoadKey) continue;
+    if (std::find(serving_keys.begin(), serving_keys.end(), key) !=
+        serving_keys.end()) {
+      continue;
+    }
+    return Status::InvalidArgument(
+        "parameter '" + key + "' conflicts with load= (the snapshot "
+        "carries the build configuration)");
+  }
+  return Status::OK();
+}
 
 // Batch worker count from the spec ("habit:r=9,threads=8"); 1 = serial.
 Result<int> ParseThreads(const MethodSpec& spec) {
@@ -169,18 +197,30 @@ class GtiAdapter : public ImputationModel {
  public:
   static Result<std::unique_ptr<ImputationModel>> Make(
       const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
-    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys({"rm", "rd", "resample"}));
-    baselines::GtiConfig config;
-    HABIT_ASSIGN_OR_RETURN(config.rm_meters,
-                           spec.GetDouble("rm", config.rm_meters));
-    HABIT_ASSIGN_OR_RETURN(config.rd_degrees,
-                           spec.GetDouble("rd", config.rd_degrees));
-    HABIT_ASSIGN_OR_RETURN(
-        config.resample_seconds,
-        spec.GetInt64("resample", config.resample_seconds));
+    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(
+        {"rm", "rd", "resample", kSaveKey, kLoadKey}));
+    const std::string load_path = spec.GetString(kLoadKey, "");
     Stopwatch build_timer;
-    HABIT_ASSIGN_OR_RETURN(auto model,
-                           baselines::GtiModel::Build(trips, config));
+    std::unique_ptr<baselines::GtiModel> model;
+    if (!load_path.empty()) {
+      HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec));
+      HABIT_ASSIGN_OR_RETURN(model, baselines::GtiModel::Load(load_path));
+    } else {
+      baselines::GtiConfig config;
+      HABIT_ASSIGN_OR_RETURN(config.rm_meters,
+                             spec.GetDouble("rm", config.rm_meters));
+      HABIT_ASSIGN_OR_RETURN(config.rd_degrees,
+                             spec.GetDouble("rd", config.rd_degrees));
+      HABIT_ASSIGN_OR_RETURN(
+          config.resample_seconds,
+          spec.GetInt64("resample", config.resample_seconds));
+      HABIT_ASSIGN_OR_RETURN(model, baselines::GtiModel::Build(trips, config));
+    }
+    const std::string save_path = spec.GetString(kSaveKey, "");
+    if (!save_path.empty()) {
+      HABIT_RETURN_NOT_OK(model->Save(save_path));
+    }
+    const baselines::GtiConfig config = model->config();
     auto adapter = std::unique_ptr<ImputationModel>(
         new GtiAdapter(std::move(model), config));
     static_cast<GtiAdapter*>(adapter.get())->build_seconds_ =
@@ -249,23 +289,48 @@ class PalmtoAdapter : public ImputationModel {
  public:
   static Result<std::unique_ptr<ImputationModel>> Make(
       const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
-    HABIT_RETURN_NOT_OK(
-        spec.CheckKnownKeys({"r", "n", "timeout", "max_tokens", "seed"}));
-    baselines::PalmtoConfig config;
-    HABIT_ASSIGN_OR_RETURN(config.resolution,
-                           spec.GetInt("r", config.resolution));
-    HABIT_ASSIGN_OR_RETURN(config.n, spec.GetInt("n", config.n));
-    HABIT_ASSIGN_OR_RETURN(config.timeout_seconds,
-                           spec.GetDouble("timeout", config.timeout_seconds));
-    HABIT_ASSIGN_OR_RETURN(config.max_tokens,
-                           spec.GetInt("max_tokens", config.max_tokens));
-    HABIT_ASSIGN_OR_RETURN(
-        const int64_t seed,
-        spec.GetInt64("seed", static_cast<int64_t>(config.seed)));
-    config.seed = static_cast<uint64_t>(seed);
+    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(
+        {"r", "n", "timeout", "max_tokens", "seed", kSaveKey, kLoadKey}));
+    const std::string load_path = spec.GetString(kLoadKey, "");
     Stopwatch build_timer;
-    HABIT_ASSIGN_OR_RETURN(auto model,
-                           baselines::PalmtoModel::Build(trips, config));
+    std::unique_ptr<baselines::PalmtoModel> model;
+    if (!load_path.empty()) {
+      // timeout= and max_tokens= are per-query generation budgets, not
+      // build configuration — they stay overridable on a loaded model
+      // (like habit's threads=).
+      HABIT_RETURN_NOT_OK(
+          RejectBuildParamsWithLoad(spec, {"timeout", "max_tokens"}));
+      HABIT_ASSIGN_OR_RETURN(model, baselines::PalmtoModel::Load(load_path));
+      HABIT_ASSIGN_OR_RETURN(
+          const double timeout,
+          spec.GetDouble("timeout", model->config().timeout_seconds));
+      HABIT_ASSIGN_OR_RETURN(
+          const int max_tokens,
+          spec.GetInt("max_tokens", model->config().max_tokens));
+      model->set_timeout_seconds(timeout);
+      model->set_max_tokens(max_tokens);
+    } else {
+      baselines::PalmtoConfig config;
+      HABIT_ASSIGN_OR_RETURN(config.resolution,
+                             spec.GetInt("r", config.resolution));
+      HABIT_ASSIGN_OR_RETURN(config.n, spec.GetInt("n", config.n));
+      HABIT_ASSIGN_OR_RETURN(
+          config.timeout_seconds,
+          spec.GetDouble("timeout", config.timeout_seconds));
+      HABIT_ASSIGN_OR_RETURN(config.max_tokens,
+                             spec.GetInt("max_tokens", config.max_tokens));
+      HABIT_ASSIGN_OR_RETURN(
+          const int64_t seed,
+          spec.GetInt64("seed", static_cast<int64_t>(config.seed)));
+      config.seed = static_cast<uint64_t>(seed);
+      HABIT_ASSIGN_OR_RETURN(model,
+                             baselines::PalmtoModel::Build(trips, config));
+    }
+    const std::string save_path = spec.GetString(kSaveKey, "");
+    if (!save_path.empty()) {
+      HABIT_RETURN_NOT_OK(model->Save(save_path));
+    }
+    const baselines::PalmtoConfig config = model->config();
     auto adapter = std::unique_ptr<ImputationModel>(
         new PalmtoAdapter(std::move(model), config));
     static_cast<PalmtoAdapter*>(adapter.get())->build_seconds_ =
@@ -333,13 +398,30 @@ class SliAdapter : public ImputationModel {
 
 Result<std::unique_ptr<ImputationModel>> HabitModel::Make(
     const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
-  HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(kHabitKeys));
-  HABIT_ASSIGN_OR_RETURN(const core::HabitConfig config,
-                         ParseHabitConfig(spec));
+  std::vector<std::string> keys = kHabitKeys;
+  keys.insert(keys.end(), {kSaveKey, kLoadKey});
+  HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(keys));
   HABIT_ASSIGN_OR_RETURN(const int threads, ParseThreads(spec));
+  const std::string load_path = spec.GetString(kLoadKey, "");
   Stopwatch build_timer;
-  HABIT_ASSIGN_OR_RETURN(auto framework,
-                         core::HabitFramework::Build(trips, config));
+  std::unique_ptr<core::HabitFramework> framework;
+  if (!load_path.empty()) {
+    // O(read) cold start: the snapshot is self-describing (build config +
+    // frozen CSR arrays), so build parameters alongside load= are rejected
+    // — a spec must never serve a graph under a mismatched resolution or
+    // cost policy. threads= is a serving parameter and stays legal.
+    HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec, {"threads"}));
+    HABIT_ASSIGN_OR_RETURN(framework, core::LoadModelSnapshot(load_path));
+  } else {
+    HABIT_ASSIGN_OR_RETURN(const core::HabitConfig config,
+                           ParseHabitConfig(spec));
+    HABIT_ASSIGN_OR_RETURN(framework,
+                           core::HabitFramework::Build(trips, config));
+  }
+  const std::string save_path = spec.GetString(kSaveKey, "");
+  if (!save_path.empty()) {
+    HABIT_RETURN_NOT_OK(core::SaveModelSnapshot(*framework, save_path));
+  }
   auto model = std::unique_ptr<ImputationModel>(
       new HabitModel(std::move(framework), threads));
   static_cast<HabitModel*>(model.get())->build_seconds_ =
@@ -441,7 +523,8 @@ void RegisterBuiltinModels(ModelRegistry& registry) {
   // Registration of the built-ins cannot collide; assert via the Status.
   Status st;
   st = registry.Register(
-      "habit", "HABIT transition-graph imputation (r, p, t, cost, expand)",
+      "habit",
+      "HABIT transition-graph imputation (r, p, t, cost, expand, save, load)",
       HabitModel::Make);
   assert(st.ok());
   st = registry.Register(
@@ -449,12 +532,13 @@ void RegisterBuiltinModels(ModelRegistry& registry) {
       "vessel-type-aware HABIT (habit params + min_trips per type)",
       TypedHabitModel::Make);
   assert(st.ok());
-  st = registry.Register("gti",
-                         "GTI point-graph baseline (rm, rd, resample)",
-                         GtiAdapter::Make);
+  st = registry.Register(
+      "gti", "GTI point-graph baseline (rm, rd, resample, save, load)",
+      GtiAdapter::Make);
   assert(st.ok());
   st = registry.Register(
-      "palmto", "PaLMTO N-gram baseline (r, n, timeout, max_tokens, seed)",
+      "palmto",
+      "PaLMTO N-gram baseline (r, n, timeout, max_tokens, seed, save, load)",
       PalmtoAdapter::Make);
   assert(st.ok());
   st = registry.Register("sli", "straight-line interpolation (points)",

@@ -2,11 +2,17 @@
 // api::ImputationModel interface, plus the registration hook that installs
 // them into a ModelRegistry under their string keys:
 //
-//   "habit"        HabitFramework        r, p, t, cost, expand, snap, threads
+//   "habit"        HabitFramework        r, p, t, cost, expand, snap,
+//                                        threads, save, load
 //   "habit_typed"  TypedHabitFramework   habit params + min_trips
-//   "gti"          GtiModel              rm, rd, resample
-//   "palmto"       PalmtoModel           r, n, timeout, max_tokens, seed
+//   "gti"          GtiModel              rm, rd, resample, save, load
+//   "palmto"       PalmtoModel           r, n, timeout, max_tokens, seed,
+//                                        save, load
 //   "sli"          StraightLineImpute    points
+//
+// save=<path> writes a binary model snapshot after the build; load=<path>
+// cold-starts the model from one in O(read) — MakeModel(spec, {}) with an
+// empty trips vector serves a persisted model without retraining.
 //
 // Most callers never name these classes — they go through MakeModel. The
 // HABIT adapters are exposed because persistence tooling (habit_cli) and

@@ -34,7 +34,15 @@ Result<MethodSpec> MethodSpec::Parse(const std::string& spec) {
       return Status::InvalidArgument("parameter '" + pair + "' in spec '" +
                                      spec + "' is not key=value");
     }
-    out.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    // Reject duplicate keys instead of letting the last one win: cache
+    // keys derived from ToString() must never alias two user intents
+    // ("habit:r=9,r=10" silently becoming r=10).
+    const auto [it, inserted] =
+        out.params.emplace(pair.substr(0, eq), pair.substr(eq + 1));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate parameter '" + it->first +
+                                     "' in spec '" + spec + "'");
+    }
   }
   return out;
 }

@@ -29,7 +29,12 @@ struct MethodSpec {
   std::map<std::string, std::string> params;  ///< e.g. {{"r","9"},{"p","w"}}
 
   /// Parses "method" or "method:k1=v1,k2=v2". Fails with kInvalidArgument
-  /// on an empty method name or a malformed parameter list.
+  /// on an empty method name, a malformed parameter list, or a duplicate
+  /// key (so no two distinct spec strings canonicalize to one ToString()).
+  /// Values cannot contain ',' (there is no escaping in the spec grammar);
+  /// callers with such values — e.g. a save=/load= path with a comma —
+  /// must Parse first and insert into `params` directly, as habit_cli
+  /// does.
   static Result<MethodSpec> Parse(const std::string& spec);
 
   /// Canonical round-trippable form ("habit:p=w,r=9"; params sorted).

@@ -5,8 +5,26 @@
 #include <limits>
 
 #include "graph/digraph.h"
+#include "graph/snapshot.h"
 
 namespace habit::baselines {
+
+namespace {
+
+// Rebuilds the KD-tree over a loaded point store. KdTree::Build is
+// deterministic for a fixed point order, so snapping — and therefore
+// imputation output — matches the saved model exactly.
+void BuildKdTree(const std::vector<geo::LatLng>& points,
+                 graph::KdTree* kdtree) {
+  std::vector<std::pair<geo::LatLng, uint64_t>> indexed;
+  indexed.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    indexed.emplace_back(points[i], static_cast<uint64_t>(i));
+  }
+  kdtree->Build(indexed);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<GtiModel>> GtiModel::Build(
     const std::vector<ais::Trip>& trips, const GtiConfig& config) {
@@ -37,12 +55,7 @@ Result<std::unique_ptr<GtiModel>> GtiModel::Build(
   }
 
   // KD-tree over all points for candidate search and endpoint snapping.
-  std::vector<std::pair<geo::LatLng, uint64_t>> indexed;
-  indexed.reserve(model->points_.size());
-  for (size_t i = 0; i < model->points_.size(); ++i) {
-    indexed.emplace_back(model->points_[i], static_cast<uint64_t>(i));
-  }
-  model->kdtree_.Build(indexed);
+  BuildKdTree(model->points_, &model->kdtree_);
 
   // Assemble the point graph mutably (node id == point index), then freeze
   // to the CSR form the shared search engine runs on. Digraph::AddEdge
@@ -113,6 +126,43 @@ Result<geo::Polyline> GtiModel::Impute(const geo::LatLng& gap_start,
   }
   out.push_back(gap_end);
   return out;
+}
+
+Status GtiModel::Save(const std::string& path) const {
+  graph::SnapshotWriter writer;
+  writer.F64(config_.rm_meters);
+  writer.F64(config_.rd_degrees);
+  writer.I64(config_.resample_seconds);
+  writer.Array(points_);
+  graph::AppendGraphSection(writer, graph_);
+  return writer.WriteToFile(path, graph::SnapshotKind::kGti);
+}
+
+Result<std::unique_ptr<GtiModel>> GtiModel::Load(const std::string& path) {
+  HABIT_ASSIGN_OR_RETURN(
+      graph::SnapshotReader reader,
+      graph::SnapshotReader::FromFile(path, graph::SnapshotKind::kGti));
+  auto model = std::unique_ptr<GtiModel>(new GtiModel());
+  HABIT_ASSIGN_OR_RETURN(model->config_.rm_meters, reader.F64());
+  HABIT_ASSIGN_OR_RETURN(model->config_.rd_degrees, reader.F64());
+  HABIT_ASSIGN_OR_RETURN(model->config_.resample_seconds, reader.I64());
+  HABIT_RETURN_NOT_OK(reader.Array(&model->points_));
+  HABIT_ASSIGN_OR_RETURN(model->graph_, graph::ReadGraphSection(reader));
+  if (!reader.AtEnd()) {
+    return Status::IoError("GTI snapshot '" + path + "' has trailing bytes");
+  }
+  // Node ids must be exactly the dense point-index range 0..n-1 (Impute
+  // indexes points_ by IdOf). Ids are strictly ascending after the graph
+  // section validation, so checking the count and the last id suffices.
+  const size_t n = model->points_.size();
+  if (model->graph_.num_nodes() != n ||
+      (n > 0 && model->graph_.IdOf(static_cast<graph::NodeIndex>(n - 1)) !=
+                    static_cast<graph::NodeId>(n - 1))) {
+    return Status::IoError("GTI snapshot '" + path +
+                           "': point graph does not cover the point store");
+  }
+  BuildKdTree(model->points_, &model->kdtree_);
+  return model;
 }
 
 size_t GtiModel::SerializedSizeBytes() const {

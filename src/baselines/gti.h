@@ -39,12 +39,22 @@ class GtiModel {
   static Result<std::unique_ptr<GtiModel>> Build(
       const std::vector<ais::Trip>& trips, const GtiConfig& config);
 
+  /// Writes the model as a binary snapshot (config + point store + frozen
+  /// point graph; the KD-tree is rebuilt deterministically on load).
+  Status Save(const std::string& path) const;
+
+  /// Cold-starts a model from a snapshot written by Save — no trips, no
+  /// candidate-edge search, no re-freeze. Imputation output is identical
+  /// to the model that was saved.
+  static Result<std::unique_ptr<GtiModel>> Load(const std::string& path);
+
   /// Shortest point-path between the snapped gap endpoints. Pass `scratch`
   /// to reuse the search working state across a batch of queries.
   Result<geo::Polyline> Impute(const geo::LatLng& gap_start,
                                const geo::LatLng& gap_end,
                                graph::SearchScratch* scratch = nullptr) const;
 
+  const GtiConfig& config() const { return config_; }
   size_t num_nodes() const { return points_.size(); }
   /// Undirected edge count (each stored as two directed CSR entries).
   size_t num_edges() const { return graph_.num_edges() / 2; }

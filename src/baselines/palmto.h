@@ -5,15 +5,22 @@
 // walks token-by-token from the gap start toward the gap end under a query
 // timeout — the paper reports PaLMTO frequently timing out, which this
 // implementation reproduces on graphs with little lane structure.
+//
+// Impute is deterministic and thread-safe: each call derives its sampling
+// RNG from the model seed and the query endpoints (no shared mutable
+// state), and candidate tokens are ranked in cell-id order so the sampled
+// path is independent of hash-map iteration order. The same gap therefore
+// yields the same polyline across repeated calls, batch parallelism, and
+// snapshot save/load round-trips.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ais/ais.h"
-#include "core/rng.h"
 #include "core/status.h"
 #include "geo/polyline.h"
 #include "hexgrid/hexgrid.h"
@@ -35,10 +42,29 @@ class PalmtoModel {
   static Result<std::unique_ptr<PalmtoModel>> Build(
       const std::vector<ais::Trip>& trips, const PalmtoConfig& config);
 
+  /// Writes the model as a binary snapshot (config + unigram and n-gram
+  /// count tables, flattened in sorted order).
+  Status Save(const std::string& path) const;
+
+  /// Cold-starts a model from a snapshot written by Save — no trips, no
+  /// tokenization pass. Imputation output is identical to the model that
+  /// was saved.
+  static Result<std::unique_ptr<PalmtoModel>> Load(const std::string& path);
+
   /// Generates a token path from gap start to gap end. Returns kTimeout
   /// when the budget expires before reaching the destination cell.
   Result<geo::Polyline> Impute(const geo::LatLng& gap_start,
                                const geo::LatLng& gap_end) const;
+
+  const PalmtoConfig& config() const { return config_; }
+
+  /// Query-time generation budgets: serving parameters, not build
+  /// configuration — overridable on a loaded model (the n-gram tables are
+  /// unaffected).
+  void set_timeout_seconds(double seconds) {
+    config_.timeout_seconds = seconds;
+  }
+  void set_max_tokens(int max_tokens) { config_.max_tokens = max_tokens; }
 
   size_t num_contexts() const { return table_.size(); }
   size_t SizeBytes() const;
@@ -55,7 +81,6 @@ class PalmtoModel {
       table_;
   // Unigram fallback.
   std::unordered_map<hex::CellId, uint32_t> unigrams_;
-  mutable Rng rng_{7};
 };
 
 }  // namespace habit::baselines

@@ -18,6 +18,9 @@
 
 namespace habit::graph {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 using NodeId = uint64_t;
 
 /// Dense position of a node inside a CompactGraph. Indices are assigned in
@@ -115,6 +118,11 @@ class CompactGraph {
 
  private:
   friend class Digraph;  // Freeze() fills the arrays directly
+  // Binary snapshot I/O (graph/snapshot.h) dumps and restores the flat
+  // arrays verbatim, bypassing the Digraph build path.
+  friend void AppendGraphSection(SnapshotWriter& writer,
+                                 const CompactGraph& g);
+  friend Result<CompactGraph> ReadGraphSection(SnapshotReader& reader);
 
   std::vector<NodeId> node_ids_;        ///< sorted; index -> id
   std::vector<uint32_t> row_offsets_;   ///< num_nodes + 1

@@ -1,0 +1,253 @@
+#include "graph/snapshot.h"
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+namespace habit::graph {
+
+namespace {
+
+// FNV-1a 64 over the payload bytes: fast, dependency-free, and stable
+// across platforms (the format is little-endian by construction — every
+// supported target writes scalars in native LE order).
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SnapshotWriter::WriteToFile(const std::string& path,
+                                   SnapshotKind kind) const {
+  // Write to a sibling temp file and rename into place, so refreshing an
+  // existing artifact is atomic: a crash mid-save leaves the previous
+  // good snapshot untouched instead of a truncated file.
+  const std::string tmp_path = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp_path.c_str(), "wb"));
+    if (f == nullptr) {
+      return Status::IoError("cannot open '" + tmp_path + "' for writing");
+    }
+    const uint32_t header[3] = {kSnapshotMagic, kSnapshotVersion,
+                                static_cast<uint32_t>(kind)};
+    const uint64_t payload_bytes = payload_.size();
+    const uint64_t checksum = Fnv1a64(payload_.data(), payload_.size());
+    bool ok =
+        std::fwrite(header, sizeof(header), 1, f.get()) == 1 &&
+        std::fwrite(&payload_bytes, sizeof(payload_bytes), 1, f.get()) == 1;
+    if (ok && !payload_.empty()) {
+      ok = std::fwrite(payload_.data(), payload_.size(), 1, f.get()) == 1;
+    }
+    ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f.get()) == 1;
+    if (!ok || std::fflush(f.get()) != 0) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("short write to '" + tmp_path + "'");
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot move snapshot into place at '" + path +
+                           "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Shared header parse for FromFile and InspectSnapshot: reads the whole
+// file, validates magic/version/length/checksum, and hands back the header
+// fields plus the payload bytes.
+Result<std::pair<SnapshotInfo, std::vector<char>>> ReadAndVerify(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open snapshot '" + path + "'");
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  const long file_size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  constexpr size_t kHeaderBytes = 3 * sizeof(uint32_t) + sizeof(uint64_t);
+  constexpr size_t kChecksumBytes = sizeof(uint64_t);
+  if (file_size < 0 ||
+      static_cast<size_t>(file_size) < kHeaderBytes + kChecksumBytes) {
+    return Status::IoError("snapshot '" + path + "' is truncated");
+  }
+
+  uint32_t header[3];
+  uint64_t payload_bytes = 0;
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+      std::fread(&payload_bytes, sizeof(payload_bytes), 1, f.get()) != 1) {
+    return Status::IoError("cannot read snapshot header of '" + path + "'");
+  }
+  if (header[0] != kSnapshotMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a model snapshot "
+                                   "(bad magic)");
+  }
+  if (header[1] != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has version " + std::to_string(header[1]) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  if (payload_bytes !=
+      static_cast<uint64_t>(file_size) - kHeaderBytes - kChecksumBytes) {
+    return Status::IoError("snapshot '" + path +
+                           "' payload length does not match the file size");
+  }
+
+  std::vector<char> payload(payload_bytes);
+  if (!payload.empty() &&
+      std::fread(payload.data(), payload.size(), 1, f.get()) != 1) {
+    return Status::IoError("cannot read snapshot payload of '" + path + "'");
+  }
+  uint64_t stored_checksum = 0;
+  if (std::fread(&stored_checksum, sizeof(stored_checksum), 1, f.get()) != 1) {
+    return Status::IoError("cannot read snapshot checksum of '" + path + "'");
+  }
+  const uint64_t computed = Fnv1a64(payload.data(), payload.size());
+  if (computed != stored_checksum) {
+    return Status::IoError("snapshot '" + path +
+                           "' is corrupt (checksum mismatch)");
+  }
+
+  SnapshotInfo info;
+  info.kind = static_cast<SnapshotKind>(header[2]);
+  info.version = header[1];
+  info.payload_bytes = payload_bytes;
+  info.checksum = stored_checksum;
+  return std::make_pair(info, std::move(payload));
+}
+
+}  // namespace
+
+Result<SnapshotReader> SnapshotReader::FromFile(const std::string& path,
+                                                SnapshotKind expected_kind) {
+  HABIT_ASSIGN_OR_RETURN(auto verified, ReadAndVerify(path));
+  if (verified.first.kind != expected_kind) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' holds kind " +
+        std::to_string(static_cast<uint32_t>(verified.first.kind)) +
+        ", expected " +
+        std::to_string(static_cast<uint32_t>(expected_kind)));
+  }
+  SnapshotReader reader;
+  reader.payload_ = std::move(verified.second);
+  return reader;
+}
+
+Result<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  HABIT_ASSIGN_OR_RETURN(auto verified, ReadAndVerify(path));
+  return verified.first;
+}
+
+void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g) {
+  writer.Array(g.node_ids_);
+  writer.Array(g.row_offsets_);
+  writer.Array(g.edge_dst_);
+  writer.Array(g.edge_weight_);
+  writer.Array(g.in_degree_);
+  writer.U32(g.has_attrs() ? 1 : 0);
+  if (g.has_attrs()) {
+    writer.Array(g.edge_transitions_);
+    writer.Array(g.edge_grid_distance_);
+    writer.Array(g.median_pos_);
+    writer.Array(g.center_pos_);
+    writer.Array(g.message_count_);
+    writer.Array(g.distinct_vessels_);
+    writer.Array(g.median_sog_);
+    writer.Array(g.median_cog_);
+  }
+}
+
+Result<CompactGraph> ReadGraphSection(SnapshotReader& reader) {
+  CompactGraph g;
+  HABIT_RETURN_NOT_OK(reader.Array(&g.node_ids_));
+  HABIT_RETURN_NOT_OK(reader.Array(&g.row_offsets_));
+  HABIT_RETURN_NOT_OK(reader.Array(&g.edge_dst_));
+  HABIT_RETURN_NOT_OK(reader.Array(&g.edge_weight_));
+  HABIT_RETURN_NOT_OK(reader.Array(&g.in_degree_));
+  HABIT_ASSIGN_OR_RETURN(const uint32_t has_attrs, reader.U32());
+  if (has_attrs != 0) {
+    HABIT_RETURN_NOT_OK(reader.Array(&g.edge_transitions_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.edge_grid_distance_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.median_pos_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.center_pos_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.message_count_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.distinct_vessels_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.median_sog_));
+    HABIT_RETURN_NOT_OK(reader.Array(&g.median_cog_));
+  }
+
+  // Structural invariants the search engine and IndexOf rely on. The
+  // checksum catches bit rot; these catch a well-formed file holding an
+  // impossible graph (hand-edited or written by a buggy producer).
+  const size_t n = g.node_ids_.size();
+  const size_t m = g.edge_dst_.size();
+  if (g.row_offsets_.size() != n + 1 || g.row_offsets_.front() != 0 ||
+      g.row_offsets_.back() != m) {
+    return Status::IoError("graph snapshot: row offsets do not frame the "
+                           "edge arrays");
+  }
+  for (size_t i = 0; i + 1 < g.row_offsets_.size(); ++i) {
+    if (g.row_offsets_[i] > g.row_offsets_[i + 1]) {
+      return Status::IoError("graph snapshot: row offsets not monotonic");
+    }
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (g.node_ids_[i] >= g.node_ids_[i + 1]) {
+      return Status::IoError("graph snapshot: node ids not strictly "
+                             "ascending");
+    }
+  }
+  for (const NodeIndex dst : g.edge_dst_) {
+    if (dst >= n) {
+      return Status::IoError("graph snapshot: edge target out of range");
+    }
+  }
+  if (g.edge_weight_.size() != m || g.in_degree_.size() != n ||
+      std::accumulate(g.in_degree_.begin(), g.in_degree_.end(),
+                      uint64_t{0}) != m) {
+    return Status::IoError("graph snapshot: degree arrays inconsistent "
+                           "with the edge count");
+  }
+  if (has_attrs != 0 &&
+      (g.edge_transitions_.size() != m || g.edge_grid_distance_.size() != m ||
+       g.median_pos_.size() != n || g.center_pos_.size() != n ||
+       g.message_count_.size() != n || g.distinct_vessels_.size() != n ||
+       g.median_sog_.size() != n || g.median_cog_.size() != n)) {
+    return Status::IoError("graph snapshot: attribute columns misaligned");
+  }
+  return g;
+}
+
+Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path) {
+  SnapshotWriter writer;
+  AppendGraphSection(writer, g);
+  return writer.WriteToFile(path, SnapshotKind::kCompactGraph);
+}
+
+Result<CompactGraph> LoadGraphSnapshot(const std::string& path) {
+  HABIT_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::FromFile(path, SnapshotKind::kCompactGraph));
+  HABIT_ASSIGN_OR_RETURN(CompactGraph g, ReadGraphSection(reader));
+  if (!reader.AtEnd()) {
+    return Status::IoError("graph snapshot '" + path +
+                           "' has trailing bytes");
+  }
+  return g;
+}
+
+}  // namespace habit::graph

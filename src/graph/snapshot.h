@@ -1,0 +1,157 @@
+// Binary model snapshots: a versioned, checksummed container format that
+// turns a trained model into a durable artifact loadable in O(read).
+//
+// Layout of every snapshot file:
+//
+//   [magic u32] [version u32] [kind u32] [payload bytes u64]
+//   [payload ...]
+//   [FNV-1a 64 checksum of payload u64]
+//
+// The payload is a sequence of scalars and length-prefixed flat arrays.
+// Loading is a validated bulk read — no Digraph rebuild, no re-freeze: the
+// CompactGraph loader fills the CSR arrays directly and only checks
+// structural invariants (monotonic row offsets, in-range edge targets,
+// aligned column lengths). GTI and PaLMTO snapshots (baselines/) reuse the
+// same writer/reader and embed a graph section via AppendGraphSection /
+// ReadGraphSection.
+//
+// The checksum doubles as a cheap model fingerprint (see InspectSnapshot):
+// two snapshots with equal checksums were built from identical arrays,
+// which is what a registry-level model cache keys on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/compact_graph.h"
+
+namespace habit::graph {
+
+/// First bytes of every snapshot file ("HBSN", little-endian).
+inline constexpr uint32_t kSnapshotMagic = 0x4E534248;
+/// Bumped whenever the payload layout of any kind changes.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// \brief What a snapshot file contains (stored in the header).
+enum class SnapshotKind : uint32_t {
+  kCompactGraph = 1,  ///< bare frozen graph (CSR arrays only)
+  kGti = 2,           ///< GTI point store + point graph
+  kPalmto = 3,        ///< PaLMTO n-gram table
+  kHabitModel = 4,    ///< HABIT: build configuration + transition graph
+};
+
+/// \brief Accumulates a snapshot payload in memory, then writes
+/// header + payload + checksum to disk in one pass.
+class SnapshotWriter {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+  /// Length-prefixed bulk dump of a flat array of trivially copyable
+  /// elements (the CSR arrays, point stores, count tables).
+  template <typename T>
+  void Array(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Writes header + payload + checksum to `path` via a sibling ".tmp"
+  /// file + rename, so replacing an existing artifact is atomic (a crash
+  /// mid-save never destroys the previous good snapshot).
+  Status WriteToFile(const std::string& path, SnapshotKind kind) const;
+
+ private:
+  void Raw(const void* data, size_t n) {
+    payload_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string payload_;
+};
+
+/// \brief Validated cursor over a snapshot payload. FromFile verifies the
+/// magic, version, kind, and checksum before any field is parsed; every
+/// read is bounds-checked so a truncated or corrupt (but
+/// checksum-colliding) file fails with a Status, never UB.
+class SnapshotReader {
+ public:
+  /// Reads the whole file, verifies header + checksum against
+  /// `expected_kind`, and positions the cursor at the payload start.
+  static Result<SnapshotReader> FromFile(const std::string& path,
+                                         SnapshotKind expected_kind);
+
+  Result<uint32_t> U32() { return Scalar<uint32_t>(); }
+  Result<uint64_t> U64() { return Scalar<uint64_t>(); }
+  Result<int64_t> I64() { return Scalar<int64_t>(); }
+  Result<double> F64() { return Scalar<double>(); }
+
+  /// Reads a length-prefixed array written by SnapshotWriter::Array.
+  template <typename T>
+  Status Array(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    HABIT_ASSIGN_OR_RETURN(const uint64_t count, U64());
+    if (count > (payload_.size() - pos_) / sizeof(T)) {
+      return Status::IoError("snapshot array of " + std::to_string(count) +
+                             " elements overruns the payload");
+    }
+    out->resize(count);
+    if (count > 0) {
+      std::memcpy(out->data(), payload_.data() + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  /// True when every payload byte has been consumed (loaders check this to
+  /// reject trailing garbage).
+  bool AtEnd() const { return pos_ == payload_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> Scalar() {
+    if (payload_.size() - pos_ < sizeof(T)) {
+      return Status::IoError("snapshot payload truncated");
+    }
+    T v;
+    std::memcpy(&v, payload_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<char> payload_;
+  size_t pos_ = 0;
+};
+
+/// \brief Header + checksum of a snapshot, readable without parsing the
+/// payload. The checksum is the model fingerprint the ROADMAP's model-cache
+/// item keys on.
+struct SnapshotInfo {
+  SnapshotKind kind;
+  uint32_t version = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+/// Validates the file's magic/version/checksum and returns its header.
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Dumps the frozen CSR arrays verbatim (kind kCompactGraph).
+Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path);
+
+/// Loads a graph snapshot: one validated bulk read per CSR array, no
+/// Digraph rebuild or re-freeze. The result is bit-identical to the graph
+/// that was saved (same SizeBytes, same weights, same degrees).
+Result<CompactGraph> LoadGraphSnapshot(const std::string& path);
+
+/// Appends / reads a CompactGraph section inside a larger snapshot payload
+/// (used by the GTI snapshot, whose point graph is a CompactGraph).
+void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g);
+Result<CompactGraph> ReadGraphSection(SnapshotReader& reader);
+
+}  // namespace habit::graph

@@ -24,8 +24,21 @@ Result<std::unique_ptr<HabitFramework>> HabitFramework::FromGraph(
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("trips produced an empty graph");
   }
+  return FromFrozen(graph.Freeze(), config);
+}
+
+Result<std::unique_ptr<HabitFramework>> HabitFramework::FromFrozen(
+    graph::CompactGraph graph, const HabitConfig& config) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot serve an empty graph");
+  }
+  if (!graph.has_attrs()) {
+    return Status::InvalidArgument(
+        "HABIT needs a graph frozen with attributes (node medians drive "
+        "snapping and projection)");
+  }
   return std::unique_ptr<HabitFramework>(
-      new HabitFramework(graph.Freeze(), config));
+      new HabitFramework(std::move(graph), config));
 }
 
 Result<geo::Polyline> HabitFramework::ImputeTrip(

@@ -33,6 +33,14 @@ class HabitFramework {
   static Result<std::unique_ptr<HabitFramework>> FromGraph(
       graph::Digraph graph, const HabitConfig& config);
 
+  /// Wraps an already-frozen graph (e.g. loaded from a binary snapshot by
+  /// graph::LoadGraphSnapshot) — the O(read) cold-start path: no Digraph
+  /// rebuild, no re-freeze. The caller's config must describe how the
+  /// graph was built (resolution, projection); edge weights are served
+  /// from the snapshot verbatim.
+  static Result<std::unique_ptr<HabitFramework>> FromFrozen(
+      graph::CompactGraph graph, const HabitConfig& config);
+
   /// Imputes the gap between two boundary reports (coordinates + times).
   Result<Imputation> Impute(const geo::LatLng& gap_start,
                             const geo::LatLng& gap_end, int64_t t_start = 0,

@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "graph/snapshot.h"
 #include "habit/graph_builder.h"
 #include "hexgrid/hexgrid.h"
 #include "minidb/csv.h"
 
 namespace habit::core {
+
+namespace {
+
+// CSV columns are type-inferred, so a corrupt file can hand back a column
+// of the wrong type — and reading it through the wrong accessor (GetInt on
+// a double column) indexes an empty value vector. Validate before touching
+// any row. Double reads accept int64 columns (GetDouble widens).
+Status RequireNumericColumn(const db::Column* col, const char* name,
+                            bool need_int) {
+  if (col->type() == db::DataType::kInt64 ||
+      (!need_int && col->type() == db::DataType::kDouble)) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      std::string("corrupt model file: column '") + name + "' holds " +
+      db::DataTypeToString(col->type()) +
+      (need_int ? ", expected int64" : ", expected a numeric type"));
+}
+
+}  // namespace
 
 db::Table GraphNodesToTable(const graph::CompactGraph& g) {
   db::Table t(db::Schema{{"cell", db::DataType::kInt64},
@@ -67,6 +88,13 @@ Result<graph::Digraph> LoadGraphCsv(const std::string& prefix,
                            nodes.GetColumn("vessels"));
     HABIT_ASSIGN_OR_RETURN(const db::Column* sog, nodes.GetColumn("med_sog"));
     HABIT_ASSIGN_OR_RETURN(const db::Column* cog, nodes.GetColumn("med_cog"));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(cell, "cell", true));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(lon, "med_lon", false));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(lat, "med_lat", false));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(cnt, "cnt", true));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(vessels, "vessels", true));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(sog, "med_sog", false));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(cog, "med_cog", false));
     for (size_t r = 0; r < nodes.num_rows(); ++r) {
       const auto id = static_cast<hex::CellId>(cell->GetInt(r));
       if (!hex::IsValidCell(id)) {
@@ -90,17 +118,82 @@ Result<graph::Digraph> LoadGraphCsv(const std::string& prefix,
                            edges.GetColumn("transitions"));
     HABIT_ASSIGN_OR_RETURN(const db::Column* dist,
                            edges.GetColumn("grid_distance"));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(src, "src", true));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(dst, "dst", true));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(trans, "transitions", true));
+    HABIT_RETURN_NOT_OK(RequireNumericColumn(dist, "grid_distance", true));
     for (size_t r = 0; r < edges.num_rows(); ++r) {
       graph::EdgeAttrs attrs;
       attrs.transitions = trans->GetInt(r);
       attrs.grid_distance = std::max<int64_t>(1, dist->GetInt(r));
       attrs.weight = EdgeCost(config.edge_cost, attrs.transitions) *
                      static_cast<double>(attrs.grid_distance);
-      g.AddEdge(static_cast<graph::NodeId>(src->GetInt(r)),
-                static_cast<graph::NodeId>(dst->GetInt(r)), attrs);
+      const auto u = static_cast<graph::NodeId>(src->GetInt(r));
+      const auto v = static_cast<graph::NodeId>(dst->GetInt(r));
+      // Both endpoints must come from the nodes table: Digraph::AddEdge
+      // auto-creates missing nodes with default attributes, so a corrupt
+      // edges file would otherwise load into a graph with phantom cells at
+      // lat/lng (0,0) that the snap-candidate search could select.
+      if (!g.HasNode(u) || !g.HasNode(v)) {
+        return Status::InvalidArgument(
+            "corrupt edge row " + std::to_string(r) + ": endpoint " +
+            std::to_string(g.HasNode(u) ? v : u) + " is not in the nodes "
+            "table");
+      }
+      g.AddEdge(u, v, attrs);
     }
   }
   return g;
+}
+
+Status SaveModelSnapshot(const HabitFramework& fw, const std::string& path) {
+  const HabitConfig& config = fw.config();
+  graph::SnapshotWriter writer;
+  writer.I64(config.resolution);
+  writer.U32(static_cast<uint32_t>(config.projection));
+  writer.F64(config.rdp_tolerance_m);
+  writer.U32(static_cast<uint32_t>(config.edge_cost));
+  writer.I64(config.hll_precision);
+  writer.I64(config.max_snap_ring);
+  writer.U32(config.expand_transitions ? 1 : 0);
+  graph::AppendGraphSection(writer, fw.graph());
+  return writer.WriteToFile(path, graph::SnapshotKind::kHabitModel);
+}
+
+Result<std::unique_ptr<HabitFramework>> LoadModelSnapshot(
+    const std::string& path) {
+  HABIT_ASSIGN_OR_RETURN(
+      graph::SnapshotReader reader,
+      graph::SnapshotReader::FromFile(path,
+                                      graph::SnapshotKind::kHabitModel));
+  HabitConfig config;
+  HABIT_ASSIGN_OR_RETURN(const int64_t resolution, reader.I64());
+  HABIT_ASSIGN_OR_RETURN(const uint32_t projection, reader.U32());
+  HABIT_ASSIGN_OR_RETURN(config.rdp_tolerance_m, reader.F64());
+  HABIT_ASSIGN_OR_RETURN(const uint32_t edge_cost, reader.U32());
+  HABIT_ASSIGN_OR_RETURN(const int64_t hll_precision, reader.I64());
+  HABIT_ASSIGN_OR_RETURN(const int64_t max_snap_ring, reader.I64());
+  HABIT_ASSIGN_OR_RETURN(const uint32_t expand, reader.U32());
+  if (resolution < 0 || resolution > hex::kMaxResolution ||
+      projection > static_cast<uint32_t>(Projection::kDataMedian) ||
+      edge_cost >
+          static_cast<uint32_t>(EdgeCostPolicy::kHopsThenFrequency)) {
+    return Status::IoError("HABIT snapshot '" + path +
+                           "' carries an invalid configuration");
+  }
+  config.resolution = static_cast<int>(resolution);
+  config.projection = static_cast<Projection>(projection);
+  config.edge_cost = static_cast<EdgeCostPolicy>(edge_cost);
+  config.hll_precision = static_cast<int>(hll_precision);
+  config.max_snap_ring = static_cast<int>(max_snap_ring);
+  config.expand_transitions = expand != 0;
+  HABIT_ASSIGN_OR_RETURN(graph::CompactGraph frozen,
+                         graph::ReadGraphSection(reader));
+  if (!reader.AtEnd()) {
+    return Status::IoError("HABIT snapshot '" + path +
+                           "' has trailing bytes");
+  }
+  return HabitFramework::FromFrozen(std::move(frozen), config);
 }
 
 }  // namespace habit::core

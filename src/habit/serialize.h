@@ -7,12 +7,14 @@
 // HabitFramework::FromGraph) before serving queries.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/status.h"
 #include "graph/compact_graph.h"
 #include "graph/digraph.h"
 #include "habit/config.h"
+#include "habit/framework.h"
 #include "minidb/table.h"
 
 namespace habit::core {
@@ -31,7 +33,23 @@ Status SaveGraphCsv(const graph::CompactGraph& g, const std::string& prefix);
 /// Rebuilds a graph from files written by SaveGraphCsv. Edge weights are
 /// recomputed under the given config's edge-cost policy, so a saved model
 /// can be reloaded with a different policy (an ablation the benches use).
+/// Fails with kInvalidArgument on structurally corrupt files: invalid cell
+/// ids in the nodes table, or edges whose endpoints the nodes table does
+/// not contain.
 Result<graph::Digraph> LoadGraphCsv(const std::string& prefix,
                                     const HabitConfig& config);
+
+/// Writes a built framework as a binary model snapshot: the build
+/// configuration followed by the frozen CSR graph section (snapshot kind
+/// kHabitModel). Unlike the CSV pair, the artifact is self-describing —
+/// loading needs no spec parameters and cannot run the graph under a
+/// mismatched resolution or cost policy.
+Status SaveModelSnapshot(const HabitFramework& fw, const std::string& path);
+
+/// Cold-starts a framework from a snapshot written by SaveModelSnapshot:
+/// one validated bulk read, no Digraph rebuild, no re-freeze. Imputation
+/// output is bit-identical to the framework that was saved.
+Result<std::unique_ptr<HabitFramework>> LoadModelSnapshot(
+    const std::string& path);
 
 }  // namespace habit::core

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
 #include "api/adapters.h"
 #include "api/registry.h"
@@ -84,6 +86,22 @@ TEST(MethodSpecTest, RejectsMalformedSpecs) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(MethodSpec::Parse("habit:r=9,,p=w").status().code(),
             StatusCode::kInvalidArgument);
+  // Trailing comma and empty value are malformed, not silently dropped.
+  EXPECT_EQ(MethodSpec::Parse("habit:r=9,").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MethodSpec::Parse("habit:p=").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MethodSpecTest, RejectsDuplicateKeys) {
+  // Last-win would make "habit:r=9,r=10" canonicalize to "habit:r=10" —
+  // two different user intents aliasing one ToString() cache key.
+  auto dup = MethodSpec::Parse("habit:r=9,r=10");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+  // Same key, same value is still a duplicate.
+  EXPECT_FALSE(MethodSpec::Parse("gti:rd=1e-4,rm=250,rd=1e-4").ok());
 }
 
 TEST(MethodSpecTest, TypedAccessors) {
@@ -332,6 +350,108 @@ TEST(ApiTest, HabitModelExposesFramework) {
   ASSERT_NE(habit_model, nullptr);
   EXPECT_EQ(habit_model->framework().config().resolution, 8);
   EXPECT_GT(habit_model->framework().graph().num_nodes(), 0u);
+}
+
+TEST(ApiTest, SnapshotSpecParamsColdStartEveryMethod) {
+  // The snapshot-equality contract at the registry level: for every
+  // snapshot-capable method, build with save=<path>, cold-start with
+  // load=<path> and ZERO trips, and require bit-identical imputation
+  // output and identical in-memory footprint vs the trained model.
+  const auto trips = MakeTrips();
+  const ImputeRequest req = LaneRequest();
+  struct Case {
+    const char* build_spec;  ///< trained model, trailing save= appended
+    const char* load_spec;   ///< cold start, trailing load= appended
+  };
+  for (const auto& [build_spec, load_spec] :
+       {Case{"habit:r=9", "habit:load="},
+        Case{"gti:rd=1e-3", "gti:load="},
+        Case{"palmto:r=8,timeout=5", "palmto:load="}}) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "api_snapshot.snap")
+            .string();
+    auto built =
+        MakeModel(std::string(build_spec) + ",save=" + path, trips);
+    ASSERT_TRUE(built.ok()) << build_spec << ": "
+                            << built.status().ToString();
+    auto loaded = MakeModel(std::string(load_spec) + path, {});
+    ASSERT_TRUE(loaded.ok()) << load_spec << ": "
+                             << loaded.status().ToString();
+
+    EXPECT_EQ(loaded.value()->Name(), built.value()->Name());
+    EXPECT_EQ(loaded.value()->Configuration(),
+              built.value()->Configuration());
+    EXPECT_EQ(loaded.value()->SizeBytes(), built.value()->SizeBytes())
+        << build_spec;
+
+    auto want = built.value()->Impute(req);
+    auto got = loaded.value()->Impute(req);
+    ASSERT_EQ(want.ok(), got.ok()) << build_spec;
+    if (want.ok()) {
+      EXPECT_EQ(want.value().path, got.value().path) << build_spec;
+      EXPECT_EQ(want.value().timestamps, got.value().timestamps)
+          << build_spec;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ApiTest, SnapshotSpecParamErrors) {
+  const auto trips = MakeTrips();
+  // load= from a missing file fails loudly for every method.
+  for (const char* spec :
+       {"habit:load=/nonexistent/model.snap",
+        "gti:load=/nonexistent/model.snap",
+        "palmto:load=/nonexistent/model.snap"}) {
+    EXPECT_FALSE(MakeModel(spec, trips).ok()) << spec;
+  }
+  // save= to an unwritable path surfaces the I/O error instead of
+  // silently serving an unpersisted model.
+  EXPECT_FALSE(
+      MakeModel("habit:r=8,save=/nonexistent/dir/model.snap", trips).ok());
+  // Build parameters alongside load= are rejected — every snapshot embeds
+  // its build configuration, so "gti:rd=1e-4,load=..." or
+  // "habit:r=9,load=..." would alias two different models.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "api_spec_err.snap")
+          .string();
+  ASSERT_TRUE(MakeModel("gti:rd=1e-3,save=" + path, trips).ok());
+  auto conflicting = MakeModel("gti:rd=1e-4,load=" + path, {});
+  ASSERT_FALSE(conflicting.ok());
+  EXPECT_EQ(conflicting.status().code(), StatusCode::kInvalidArgument);
+  // A wrong-kind snapshot is rejected by the loader, not misparsed.
+  EXPECT_FALSE(MakeModel("palmto:load=" + path, {}).ok());
+
+  // PaLMTO's query budgets are serving parameters: they compose with
+  // load= (unlike the build params r= and n=).
+  const std::string palmto_path =
+      (std::filesystem::temp_directory_path() / "api_spec_err_palmto.snap")
+          .string();
+  ASSERT_TRUE(MakeModel("palmto:r=8,save=" + palmto_path, trips).ok());
+  EXPECT_TRUE(
+      MakeModel("palmto:timeout=9,max_tokens=128,load=" + palmto_path, {})
+          .ok());
+  EXPECT_FALSE(MakeModel("palmto:r=8,load=" + palmto_path, {}).ok());
+  std::remove(palmto_path.c_str());
+
+  const std::string habit_path =
+      (std::filesystem::temp_directory_path() / "api_spec_err_habit.snap")
+          .string();
+  ASSERT_TRUE(MakeModel("habit:r=8,save=" + habit_path, trips).ok());
+  auto habit_conflicting = MakeModel("habit:r=8,load=" + habit_path, {});
+  ASSERT_FALSE(habit_conflicting.ok());
+  EXPECT_EQ(habit_conflicting.status().code(),
+            StatusCode::kInvalidArgument);
+  // Serving parameters are not build parameters: threads= composes with
+  // load=, and the loaded model serves at the snapshot's resolution.
+  auto threaded = MakeModel("habit:threads=2,load=" + habit_path, {});
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+  const auto* habit_model =
+      dynamic_cast<const HabitModel*>(threaded.value().get());
+  ASSERT_NE(habit_model, nullptr);
+  EXPECT_EQ(habit_model->framework().config().resolution, 8);
+  std::remove(path.c_str());
+  std::remove(habit_path.c_str());
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 // Tests for the comparator implementations: SLI, GTI, and PaLMTO.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
 #include "baselines/gti.h"
 #include "baselines/palmto.h"
 #include "baselines/sli.h"
@@ -155,6 +159,124 @@ TEST(PalmtoTest, InvalidEndpointsRejected) {
   const auto trips = MakeCorridorTrips(2, 30);
   auto model = PalmtoModel::Build(trips, {}).MoveValue();
   EXPECT_FALSE(model->Impute({std::nan(""), 11.0}, {55.1, 11.0}).ok());
+}
+
+std::string SnapshotPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(GtiTest, SnapshotRoundTripServesIdenticalPaths) {
+  const auto trips = MakeCorridorTrips(6, 120);
+  GtiConfig config;
+  config.rd_degrees = 1e-3;
+  auto built = GtiModel::Build(trips, config).MoveValue();
+
+  const std::string path = SnapshotPath("gti_model.snap");
+  ASSERT_TRUE(built->Save(path).ok());
+  auto loaded_result = GtiModel::Load(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  const auto loaded = std::move(loaded_result.value());
+
+  EXPECT_EQ(loaded->num_nodes(), built->num_nodes());
+  EXPECT_EQ(loaded->num_edges(), built->num_edges());
+  EXPECT_EQ(loaded->SizeBytes(), built->SizeBytes());
+  EXPECT_EQ(loaded->SerializedSizeBytes(), built->SerializedSizeBytes());
+  EXPECT_EQ(loaded->config().rd_degrees, config.rd_degrees);
+
+  // Bit-identical imputation: the loaded model snaps to the same points
+  // and walks the same point paths as the model it was saved from.
+  for (const auto& [start, end] :
+       {std::pair{geo::LatLng{55.06, 11.0}, geo::LatLng{55.30, 11.0}},
+        std::pair{geo::LatLng{55.10, 11.001}, geo::LatLng{55.20, 11.0}}}) {
+    auto want = built->Impute(start, end);
+    auto got = loaded->Impute(start, end);
+    ASSERT_EQ(want.ok(), got.ok());
+    if (want.ok()) EXPECT_EQ(want.value(), got.value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GtiTest, LoadRejectsWrongKindAndCorruption) {
+  const auto trips = MakeCorridorTrips(2, 40);
+  auto gti = GtiModel::Build(trips, {}).MoveValue();
+  auto palmto = PalmtoModel::Build(trips, {}).MoveValue();
+  const std::string path = SnapshotPath("kind_mismatch.snap");
+  // A PaLMTO snapshot is not a GTI snapshot, even though both carry the
+  // same container header.
+  ASSERT_TRUE(palmto->Save(path).ok());
+  auto wrong_kind = GtiModel::Load(path);
+  ASSERT_FALSE(wrong_kind.ok());
+  EXPECT_EQ(wrong_kind.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncated GTI snapshot fails the checksum, not UB.
+  ASSERT_TRUE(gti->Save(path).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 9);
+  EXPECT_FALSE(GtiModel::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PalmtoTest, ImputeIsDeterministicAcrossRepeatedAndConcurrentCalls) {
+  const auto trips = MakeCorridorTrips(8, 150);
+  PalmtoConfig config;
+  config.resolution = 8;
+  config.timeout_seconds = 5.0;
+  auto model = PalmtoModel::Build(trips, config).MoveValue();
+  const geo::LatLng start{55.05, 11.0}, end{55.30, 11.0};
+
+  auto first = model->Impute(start, end);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Repeated calls on the same (const) model: identical polyline — no
+  // hidden RNG state advances between queries.
+  for (int i = 0; i < 3; ++i) {
+    auto again = model->Impute(start, end);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value(), first.value());
+  }
+
+  // Concurrent calls (the ImputeBatch parallelism shape): every thread
+  // sees the same answer, and under ASan/TSan this would flag any shared
+  // mutable sampling state.
+  std::vector<geo::Polyline> results(8);
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < results.size(); ++t) {
+    pool.emplace_back([&, t] {
+      auto r = model->Impute(start, end);
+      if (r.ok()) results[t] = r.MoveValue();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const geo::Polyline& r : results) {
+    EXPECT_EQ(r, first.value());
+  }
+}
+
+TEST(PalmtoTest, SnapshotRoundTripServesIdenticalPaths) {
+  const auto trips = MakeCorridorTrips(8, 150);
+  PalmtoConfig config;
+  config.resolution = 8;
+  config.timeout_seconds = 5.0;
+  config.seed = 99;
+  auto built = PalmtoModel::Build(trips, config).MoveValue();
+
+  const std::string path = SnapshotPath("palmto_model.snap");
+  ASSERT_TRUE(built->Save(path).ok());
+  auto loaded_result = PalmtoModel::Load(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  const auto loaded = std::move(loaded_result.value());
+
+  EXPECT_EQ(loaded->num_contexts(), built->num_contexts());
+  EXPECT_EQ(loaded->SizeBytes(), built->SizeBytes());
+  EXPECT_EQ(loaded->config().resolution, config.resolution);
+  EXPECT_EQ(loaded->config().seed, config.seed);
+
+  // Sampling is independent of hash-map iteration order, so the loaded
+  // model generates the exact token path the trained model does.
+  const geo::LatLng start{55.05, 11.0}, end{55.30, 11.0};
+  auto want = built->Impute(start, end);
+  auto got = loaded->Impute(start, end);
+  ASSERT_EQ(want.ok(), got.ok());
+  if (want.ok()) EXPECT_EQ(want.value(), got.value());
+  std::remove(path.c_str());
 }
 
 }  // namespace

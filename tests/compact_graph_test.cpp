@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <queue>
@@ -16,6 +19,7 @@
 #include "core/rng.h"
 #include "graph/digraph.h"
 #include "graph/shortest_path.h"
+#include "graph/snapshot.h"
 
 namespace habit::graph {
 namespace {
@@ -303,6 +307,172 @@ TEST(SearchScratchTest, GenerationWraparoundResetsStamps) {
   auto on_small = Dijkstra(small, small_ids[0], small_ids[0], &scratch);
   ASSERT_TRUE(on_small.ok());
   EXPECT_DOUBLE_EQ(on_small.value().cost, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshots: LoadGraphSnapshot(SaveGraphSnapshot(g)) must be
+// indistinguishable from g — the equality contract all persistence work
+// tests against.
+
+std::string SnapshotPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Exhaustive equality of two frozen graphs: identity arrays, degrees,
+// attributes, weights, and size accounting.
+void ExpectGraphsIdentical(const CompactGraph& a, const CompactGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.has_attrs(), b.has_attrs());
+  EXPECT_EQ(a.SizeBytes(), b.SizeBytes());
+  EXPECT_EQ(a.SerializedSizeBytes(), b.SerializedSizeBytes());
+  for (NodeIndex i = 0; i < a.num_nodes(); ++i) {
+    ASSERT_EQ(a.IdOf(i), b.IdOf(i));
+    EXPECT_EQ(b.IndexOf(a.IdOf(i)), i);
+    EXPECT_EQ(a.OutDegree(i), b.OutDegree(i));
+    EXPECT_EQ(a.InDegree(i), b.InDegree(i));
+    const auto nbr_a = a.OutNeighbors(i);
+    const auto nbr_b = b.OutNeighbors(i);
+    const auto w_a = a.OutWeights(i);
+    const auto w_b = b.OutWeights(i);
+    ASSERT_TRUE(std::equal(nbr_a.begin(), nbr_a.end(), nbr_b.begin(),
+                           nbr_b.end()));
+    ASSERT_TRUE(std::equal(w_a.begin(), w_a.end(), w_b.begin(), w_b.end()));
+    if (a.has_attrs()) {
+      const NodeAttrs na = a.NodeAttrsAt(i);
+      const NodeAttrs nb = b.NodeAttrsAt(i);
+      EXPECT_EQ(na.median_pos, nb.median_pos);
+      EXPECT_EQ(na.center_pos, nb.center_pos);
+      EXPECT_EQ(na.message_count, nb.message_count);
+      EXPECT_EQ(na.distinct_vessels, nb.distinct_vessels);
+      EXPECT_EQ(na.median_sog, nb.median_sog);
+      EXPECT_EQ(na.median_cog, nb.median_cog);
+    }
+  }
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    const EdgeAttrs ea = a.EdgeAttrsAt(e);
+    const EdgeAttrs eb = b.EdgeAttrsAt(e);
+    EXPECT_EQ(ea.weight, eb.weight);
+    EXPECT_EQ(ea.transitions, eb.transitions);
+    EXPECT_EQ(ea.grid_distance, eb.grid_distance);
+  }
+}
+
+TEST(SnapshotTest, RandomizedGraphsRoundTripExactly) {
+  for (const uint64_t seed : {3u, 5u, 9u}) {
+    const Digraph g = MakeRandomGraph(seed, 90, 3);
+    const CompactGraph frozen = g.Freeze();
+    const std::string path = SnapshotPath("graph_roundtrip.snap");
+    ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+    auto loaded = LoadGraphSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectGraphsIdentical(frozen, loaded.value());
+
+    // Shortest paths over the loaded graph are bit-identical to the saved
+    // one (costs and node sequences).
+    const std::vector<NodeId> ids = AllIds(g);
+    Rng rng(seed + 100);
+    for (int trial = 0; trial < 30; ++trial) {
+      const NodeId s = ids[rng.UniformInt(0, ids.size() - 1)];
+      const NodeId t = ids[rng.UniformInt(0, ids.size() - 1)];
+      auto want = Dijkstra(frozen, s, t);
+      auto got = Dijkstra(loaded.value(), s, t);
+      ASSERT_EQ(want.ok(), got.ok());
+      if (want.ok()) {
+        EXPECT_EQ(want.value().cost, got.value().cost);
+        EXPECT_EQ(want.value().nodes, got.value().nodes);
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotTest, AttributeLessGraphRoundTrips) {
+  // The GTI point graph freezes without statistics columns; the snapshot
+  // must preserve that shape instead of materializing empty columns.
+  const Digraph g = MakeRandomGraph(13, 50, 2);
+  const CompactGraph topo = g.Freeze(/*keep_attrs=*/false);
+  const std::string path = SnapshotPath("graph_topo.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(topo, path).ok());
+  auto loaded = LoadGraphSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value().has_attrs());
+  ExpectGraphsIdentical(topo, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptyGraphRoundTrips) {
+  const CompactGraph empty = Digraph().Freeze();
+  const std::string path = SnapshotPath("graph_empty.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(empty, path).ok());
+  auto loaded = LoadGraphSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), 0u);
+  EXPECT_EQ(loaded.value().num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ChecksumIsAStableFingerprint) {
+  const CompactGraph frozen = MakeRandomGraph(17, 60, 2).Freeze();
+  const std::string path_a = SnapshotPath("graph_fp_a.snap");
+  const std::string path_b = SnapshotPath("graph_fp_b.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path_a).ok());
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path_b).ok());
+  auto info_a = InspectSnapshot(path_a);
+  auto info_b = InspectSnapshot(path_b);
+  ASSERT_TRUE(info_a.ok());
+  ASSERT_TRUE(info_b.ok());
+  // Same model -> same checksum (the dataset fingerprint a model cache
+  // keys on); a different model -> a different one.
+  EXPECT_EQ(info_a.value().checksum, info_b.value().checksum);
+  EXPECT_EQ(info_a.value().kind, SnapshotKind::kCompactGraph);
+
+  const CompactGraph other = MakeRandomGraph(19, 60, 2).Freeze();
+  ASSERT_TRUE(SaveGraphSnapshot(other, path_b).ok());
+  auto info_other = InspectSnapshot(path_b);
+  ASSERT_TRUE(info_other.ok());
+  EXPECT_NE(info_a.value().checksum, info_other.value().checksum);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(SnapshotTest, CorruptFilesAreRejected) {
+  const CompactGraph frozen = MakeRandomGraph(23, 40, 2).Freeze();
+  const std::string path = SnapshotPath("graph_corrupt.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+
+  // Flip one payload byte: the checksum must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char byte = 0;
+    f.seekg(64);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(64);
+    f.write(&byte, 1);
+  }
+  auto flipped = LoadGraphSnapshot(path);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.status().code(), StatusCode::kIoError);
+
+  // Truncation (payload shorter than the header promises).
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(LoadGraphSnapshot(path).ok());
+
+  // A file that was never a snapshot.
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "cell,med_lon,med_lat\n1234,11.0,55.0\n";
+  }
+  auto not_snapshot = LoadGraphSnapshot(path);
+  ASSERT_FALSE(not_snapshot.ok());
+
+  // Missing file.
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadGraphSnapshot(path).ok());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "geo/similarity.h"
+#include "graph/snapshot.h"
 #include "habit/framework.h"
 #include "habit/graph_builder.h"
 #include "habit/serialize.h"
@@ -337,6 +338,140 @@ TEST(SerializeTest, GraphRoundTripsThroughCsv) {
 TEST(SerializeTest, LoadMissingFileFails) {
   HabitConfig config;
   EXPECT_FALSE(LoadGraphCsv("/nonexistent/habit_model", config).ok());
+}
+
+TEST(SerializeTest, LoadRejectsEdgesWithUnknownEndpoints) {
+  // Regression: an edge row naming a cell that is not in the nodes table
+  // used to load silently — Digraph::AddEdge auto-creates attr-less nodes,
+  // leaving a phantom cell at lat/lng (0,0) that the snap-candidate search
+  // could select. Corrupt files must fail the load instead.
+  const auto trips = MakeCorridorTrips(3, 60);
+  HabitConfig config;
+  auto graph = BuildGraphFromTrips(trips, config).MoveValue();
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "habit_corrupt_edges")
+          .string();
+  ASSERT_TRUE(SaveGraphCsv(graph.Freeze(), prefix).ok());
+
+  // Append an edge whose destination is a valid-looking cell id that the
+  // nodes table does not contain.
+  const auto some_node = [&] {
+    graph::NodeId id = 0;
+    graph.ForEachNode(
+        [&](graph::NodeId node, const graph::NodeAttrs&) { id = node; });
+    return id;
+  }();
+  const hex::CellId phantom = hex::LatLngToCell({57.9, 13.9}, 9);
+  ASSERT_FALSE(graph.HasNode(phantom));
+  {
+    // Cell ids are persisted as int64 (high-bit ids print negative), same
+    // as GraphEdgesToTable writes them.
+    std::FILE* f = std::fopen((prefix + "_edges.csv").c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "%lld,%lld,3,1\n", static_cast<long long>(some_node),
+                 static_cast<long long>(phantom));
+    std::fclose(f);
+  }
+
+  auto loaded = LoadGraphCsv(prefix, config);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("not in the nodes"),
+            std::string::npos)
+      << loaded.status().ToString();
+
+  // A row that breaks the src column's int64 type inference must also fail
+  // the load (GetInt on a type-confused column used to be UB, not a
+  // Status).
+  {
+    std::FILE* f = std::fopen((prefix + "_edges.csv").c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "18446744073709551615,%lld,3,1\n",
+                 static_cast<long long>(some_node));
+    std::fclose(f);
+  }
+  auto type_confused = LoadGraphCsv(prefix, config);
+  ASSERT_FALSE(type_confused.ok());
+  EXPECT_EQ(type_confused.status().code(), StatusCode::kInvalidArgument);
+  std::remove((prefix + "_nodes.csv").c_str());
+  std::remove((prefix + "_edges.csv").c_str());
+}
+
+TEST(FrameworkTest, SnapshotColdStartMatchesTrainedFramework) {
+  // The O(read) cold-start path: dump the frozen CSR arrays, reload them
+  // with no Digraph rebuild or re-freeze, and serve identical queries.
+  const auto trips = MakeCorridorTrips(6, 120);
+  HabitConfig config;
+  auto trained = HabitFramework::Build(trips, config).MoveValue();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "habit_framework.snap")
+          .string();
+  ASSERT_TRUE(graph::SaveGraphSnapshot(trained->graph(), path).ok());
+  auto frozen = graph::LoadGraphSnapshot(path);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  auto cold = HabitFramework::FromFrozen(frozen.MoveValue(), config)
+                  .MoveValue();
+
+  EXPECT_EQ(cold->SizeBytes(), trained->SizeBytes());
+  EXPECT_EQ(cold->SerializedSizeBytes(), trained->SerializedSizeBytes());
+  for (double start_lat : {55.05, 55.10, 55.18}) {
+    auto want = trained->Impute({start_lat, 11.0}, {55.30, 11.0}, 0, 3600);
+    auto got = cold->Impute({start_lat, 11.0}, {55.30, 11.0}, 0, 3600);
+    ASSERT_EQ(want.ok(), got.ok());
+    if (!want.ok()) continue;
+    EXPECT_EQ(want.value().path, got.value().path);
+    EXPECT_EQ(want.value().cells, got.value().cells);
+    EXPECT_EQ(want.value().timestamps, got.value().timestamps);
+  }
+
+  // A topology-only snapshot cannot serve HABIT (no medians to project).
+  graph::Digraph topo;
+  topo.AddEdge(1, 2, {.weight = 1.0});
+  EXPECT_FALSE(
+      HabitFramework::FromFrozen(topo.Freeze(/*keep_attrs=*/false), config)
+          .ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModelSnapshotEmbedsTheBuildConfiguration) {
+  // The self-describing artifact: loading needs no spec parameters, and a
+  // non-default configuration survives the round trip — the graph can
+  // never be served under a mismatched resolution or cost policy.
+  const auto trips = MakeCorridorTrips(5, 100);
+  HabitConfig config;
+  config.resolution = 8;
+  config.projection = Projection::kCellCenter;
+  config.rdp_tolerance_m = 100.0;
+  config.edge_cost = EdgeCostPolicy::kInverseFrequency;
+  config.expand_transitions = false;
+  auto trained = HabitFramework::Build(trips, config).MoveValue();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "habit_model.snap").string();
+  ASSERT_TRUE(SaveModelSnapshot(*trained, path).ok());
+  auto loaded_result = LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  const auto loaded = std::move(loaded_result.value());
+
+  EXPECT_EQ(loaded->config().resolution, config.resolution);
+  EXPECT_EQ(loaded->config().projection, config.projection);
+  EXPECT_EQ(loaded->config().rdp_tolerance_m, config.rdp_tolerance_m);
+  EXPECT_EQ(loaded->config().edge_cost, config.edge_cost);
+  EXPECT_EQ(loaded->config().expand_transitions, config.expand_transitions);
+  EXPECT_EQ(loaded->SizeBytes(), trained->SizeBytes());
+
+  auto want = trained->Impute({55.05, 11.0}, {55.25, 11.0}, 0, 3600);
+  auto got = loaded->Impute({55.05, 11.0}, {55.25, 11.0}, 0, 3600);
+  ASSERT_EQ(want.ok(), got.ok());
+  if (want.ok()) EXPECT_EQ(want.value().path, got.value().path);
+
+  // A bare graph snapshot (kCompactGraph) is not a model snapshot.
+  ASSERT_TRUE(graph::SaveGraphSnapshot(trained->graph(), path).ok());
+  auto wrong_kind = LoadModelSnapshot(path);
+  ASSERT_FALSE(wrong_kind.ok());
+  EXPECT_EQ(wrong_kind.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 TEST(SerializeTest, NodeAndEdgeTablesHaveExpectedShape) {
