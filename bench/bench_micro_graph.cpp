@@ -1,9 +1,20 @@
 // Microbenchmarks for the graph substrate: A* / Dijkstra over lane-like
-// hexgrid graphs and KD-tree queries (the inner loops of HABIT and GTI
-// imputation).
+// hexgrid graphs, KD-tree queries (the inner loops of HABIT and GTI
+// imputation), the bucketed id->index lookup, and edge iteration.
+//
+// Unlike the other micro benches this one defines its own main: after the
+// Google Benchmark suite it emits BENCH_METRIC lines (folded by
+// bench/run_all.sh) comparing the bucketed CompactGraph::IndexOf against
+// the plain binary search it replaced, and the templated ForEachEdge
+// visitor against a std::function-wrapped one.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
 #include "core/rng.h"
+#include "core/stopwatch.h"
 #include "graph/digraph.h"
 #include "graph/kdtree.h"
 #include "graph/shortest_path.h"
@@ -76,6 +87,94 @@ void BM_FreezeCorridor(benchmark::State& state) {
 }
 BENCHMARK(BM_FreezeCorridor)->Arg(1000);
 
+// The id universe + query mix the IndexOf benchmarks share: corridor cell
+// ids (the realistic clustered-uint64 distribution) queried with ~2/3
+// present ids and ~1/3 near-misses (the imputer probes ring neighbors that
+// are often absent).
+struct IndexOfFixture {
+  graph::CompactGraph g;
+  std::vector<graph::NodeId> sorted_ids;
+  std::vector<graph::NodeId> queries;
+};
+
+IndexOfFixture MakeIndexOfFixture(int num_cells) {
+  IndexOfFixture fx;
+  hex::CellId start, end;
+  fx.g = MakeCorridorGraph(num_cells, &start, &end).Freeze();
+  fx.sorted_ids.reserve(fx.g.num_nodes());
+  for (graph::NodeIndex i = 0; i < fx.g.num_nodes(); ++i) {
+    fx.sorted_ids.push_back(fx.g.IdOf(i));
+  }
+  Rng rng(11);
+  fx.queries.reserve(4096);
+  for (int q = 0; q < 4096; ++q) {
+    const graph::NodeId id =
+        fx.sorted_ids[rng.UniformInt(0, fx.sorted_ids.size() - 1)];
+    // Perturb a third of the probes off the graph.
+    fx.queries.push_back(q % 3 == 0 ? id ^ 0x3 : id);
+  }
+  return fx;
+}
+
+// Baseline: the full-range std::lower_bound IndexOf this PR replaced.
+graph::NodeIndex BinarySearchIndexOf(const std::vector<graph::NodeId>& ids,
+                                     graph::NodeId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return graph::kInvalidNodeIndex;
+  return static_cast<graph::NodeIndex>(it - ids.begin());
+}
+
+void BM_IndexOfBucket(benchmark::State& state) {
+  const IndexOfFixture fx = MakeIndexOfFixture(static_cast<int>(state.range(0)));
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.g.IndexOf(fx.queries[q]));
+    q = (q + 1) % fx.queries.size();
+  }
+}
+BENCHMARK(BM_IndexOfBucket)->Arg(1000)->Arg(50000);
+
+void BM_IndexOfBinarySearch(benchmark::State& state) {
+  const IndexOfFixture fx = MakeIndexOfFixture(static_cast<int>(state.range(0)));
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinarySearchIndexOf(fx.sorted_ids, fx.queries[q]));
+    q = (q + 1) % fx.queries.size();
+  }
+}
+BENCHMARK(BM_IndexOfBinarySearch)->Arg(1000)->Arg(50000);
+
+void BM_ForEachEdgeTemplated(benchmark::State& state) {
+  hex::CellId start, end;
+  const graph::CompactGraph g =
+      MakeCorridorGraph(2000, &start, &end).Freeze();
+  for (auto _ : state) {
+    double sum = 0;
+    g.ForEachEdge([&](graph::NodeId, graph::NodeId,
+                      const graph::EdgeAttrs& attrs) { sum += attrs.weight; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ForEachEdgeTemplated);
+
+void BM_ForEachEdgeStdFunction(benchmark::State& state) {
+  hex::CellId start, end;
+  const graph::CompactGraph g =
+      MakeCorridorGraph(2000, &start, &end).Freeze();
+  for (auto _ : state) {
+    double sum = 0;
+    // The pre-PR iteration shape: the visitor type-erased behind
+    // std::function, one indirect call per edge.
+    const std::function<void(graph::NodeId, graph::NodeId,
+                             const graph::EdgeAttrs&)>
+        visit = [&](graph::NodeId, graph::NodeId,
+                    const graph::EdgeAttrs& attrs) { sum += attrs.weight; };
+    g.ForEachEdge(visit);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ForEachEdgeStdFunction);
+
 void BM_KdTreeBuild(benchmark::State& state) {
   Rng rng(4);
   std::vector<std::pair<geo::LatLng, uint64_t>> points;
@@ -125,4 +224,91 @@ void BM_KdTreeRadius(benchmark::State& state) {
 }
 BENCHMARK(BM_KdTreeRadius);
 
+// ---------------------------------------------------------------------------
+// BENCH_METRIC rows: manual head-to-head timings the trajectory tooling
+// tracks (Google Benchmark's own numbers stay in its human output).
+
+double MeanNsIndexOfBucket(const IndexOfFixture& fx, int rounds) {
+  uint64_t sink = 0;
+  Stopwatch sw;
+  for (int r = 0; r < rounds; ++r) {
+    for (const graph::NodeId id : fx.queries) sink += fx.g.IndexOf(id);
+  }
+  const double ns = sw.ElapsedSeconds() * 1e9;
+  benchmark::DoNotOptimize(sink);
+  return ns / (static_cast<double>(rounds) * fx.queries.size());
+}
+
+double MeanNsIndexOfBinary(const IndexOfFixture& fx, int rounds) {
+  uint64_t sink = 0;
+  Stopwatch sw;
+  for (int r = 0; r < rounds; ++r) {
+    for (const graph::NodeId id : fx.queries) {
+      sink += BinarySearchIndexOf(fx.sorted_ids, id);
+    }
+  }
+  const double ns = sw.ElapsedSeconds() * 1e9;
+  benchmark::DoNotOptimize(sink);
+  return ns / (static_cast<double>(rounds) * fx.queries.size());
+}
+
+void PrintIndexOfMetric() {
+  const IndexOfFixture fx = MakeIndexOfFixture(50000);
+  // Warm both paths once, then measure.
+  MeanNsIndexOfBucket(fx, 1);
+  MeanNsIndexOfBinary(fx, 1);
+  const double bucket_ns = MeanNsIndexOfBucket(fx, 50);
+  const double binary_ns = MeanNsIndexOfBinary(fx, 50);
+  std::printf("BENCH_METRIC {\"metric\":\"index_of_lookup\",\"nodes\":%zu,"
+              "\"bucket_ns\":%.2f,\"binary_search_ns\":%.2f,"
+              "\"speedup\":%.2f}\n",
+              fx.g.num_nodes(), bucket_ns, binary_ns,
+              bucket_ns > 0 ? binary_ns / bucket_ns : 0.0);
+}
+
+void PrintForEachEdgeMetric() {
+  hex::CellId start, end;
+  const graph::CompactGraph g =
+      MakeCorridorGraph(20000, &start, &end).Freeze();
+  const int rounds = 200;
+  double sum_templated = 0;
+  Stopwatch sw_templated;
+  for (int r = 0; r < rounds; ++r) {
+    g.ForEachEdge([&](graph::NodeId, graph::NodeId,
+                      const graph::EdgeAttrs& attrs) {
+      sum_templated += attrs.weight;
+    });
+  }
+  const double templated_s = sw_templated.ElapsedSeconds();
+
+  double sum_erased = 0;
+  const std::function<void(graph::NodeId, graph::NodeId,
+                           const graph::EdgeAttrs&)>
+      visit = [&](graph::NodeId, graph::NodeId,
+                  const graph::EdgeAttrs& attrs) { sum_erased += attrs.weight; };
+  Stopwatch sw_erased;
+  for (int r = 0; r < rounds; ++r) g.ForEachEdge(visit);
+  const double erased_s = sw_erased.ElapsedSeconds();
+
+  benchmark::DoNotOptimize(sum_templated);
+  benchmark::DoNotOptimize(sum_erased);
+  const double per_edge = static_cast<double>(rounds) * g.num_edges();
+  std::printf("BENCH_METRIC {\"metric\":\"foreach_edge_visit\",\"edges\":%zu,"
+              "\"templated_ns\":%.2f,\"std_function_ns\":%.2f,"
+              "\"speedup\":%.2f}\n",
+              g.num_edges(), templated_s * 1e9 / per_edge,
+              erased_s * 1e9 / per_edge,
+              templated_s > 0 ? erased_s / templated_s : 0.0);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  PrintIndexOfMetric();
+  PrintForEachEdgeMetric();
+  return 0;
+}

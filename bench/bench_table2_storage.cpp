@@ -5,37 +5,108 @@
 // (0.06 MB .. 57 MB); GTI is 1-2 orders of magnitude larger and blows up
 // with rd, especially on the sparser, more diverse SAR dataset.
 //
-// A second section measures cold start: retraining each method from raw
-// trips vs loading its binary snapshot (save=/load= registry parameters),
-// emitted as BENCH_METRIC lines so run_all.sh trajectories capture the
-// speedup persistence buys a serving process.
+// A second section measures the serving restart path and emits
+// BENCH_METRIC lines for run_all.sh trajectories:
+//   cold_start       retraining from raw trips vs loading the binary
+//                    snapshot (save=/load= registry parameters)
+//   mmap_cold_start  copy-load (load=) vs zero-copy mmap load
+//                    (load=,map=1) on the same snapshot — latency plus
+//                    load-time RSS delta and peak (the copy path
+//                    transiently holds payload + arrays, ~2x the model)
+//   model_cache      cold miss (snapshot load) vs warm hit through
+//                    api::ModelCache — the O(1) repeat-MakeModel path
+//
+// Usage: bench_table2_storage [coldstart [scale]]
+//   coldstart  skip the storage table and run only the cold-start /
+//              mmap / cache section (the CI smoke step uses this with a
+//              small scale so load-path regressions surface per push).
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "api/model_cache.h"
 #include "core/stopwatch.h"
 #include "eval/harness.h"
 #include "eval/report.h"
 #include "graph/snapshot.h"
 
-int main() {
-  using namespace habit;
+namespace {
+
+using namespace habit;
+
+// Linux process-memory probes via /proc/self/status (0 when unavailable —
+// metrics then report deltas of 0 instead of failing the bench).
+long ReadProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, std::strlen(field)) == 0) {
+      std::sscanf(line + std::strlen(field), "%ld", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+long CurrentRssKb() { return ReadProcStatusKb("VmRSS:"); }
+long PeakRssKb() { return ReadProcStatusKb("VmHWM:"); }
+
+// Resets VmHWM so the next PeakRssKb() reads the peak of *this phase*
+// only (writing "5" to clear_refs is the documented reset knob).
+void ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return;
+  std::fputs("5", f);
+  std::fclose(f);
+}
+
+struct LoadMeasurement {
+  double seconds = 0;
+  long rss_delta_kb = 0;
+  long peak_delta_kb = 0;
+  bool ok = false;
+  std::string error;
+};
+
+// Builds the model for `spec` while watching wall time and resident
+// memory. The model is dropped before returning, so successive
+// measurements start from a comparable baseline.
+LoadMeasurement MeasureLoad(const std::string& spec) {
+  LoadMeasurement m;
+#if defined(__GLIBC__)
+  // Return freed heap to the OS first: without this, the copy loader's
+  // vectors are satisfied from arenas freed by earlier builds and the
+  // measured RSS delta under-reports the real footprint of a fresh
+  // serving process.
+  malloc_trim(0);
+#endif
+  ResetPeakRss();
+  const long rss_before = CurrentRssKb();
+  Stopwatch sw;
+  auto model = api::MakeModel(spec, {});
+  m.seconds = sw.ElapsedSeconds();
+  if (!model.ok()) {
+    m.error = model.status().ToString();
+    return m;
+  }
+  m.rss_delta_kb = CurrentRssKb() - rss_before;
+  m.peak_delta_kb = PeakRssKb() - rss_before;
+  m.ok = true;
+  return m;
+}
+
+void RunStorageTable(const std::vector<eval::Experiment>& experiments) {
   std::printf("Table 2: Framework storage size (MB)\n");
   std::printf("%s\n", eval::FormatStorageHeader({"KIEL", "SAR"}).c_str());
-
-  // Storage is driven by data volume: GTI keeps every raw point and its
-  // candidate edges, HABIT saturates at the lane-cell count. Use class-A
-  // reporting density (8 s) and a larger scale — Table 2 only builds
-  // models, so this stays cheap.
-  std::vector<eval::Experiment> experiments;
-  for (const char* name : {"KIEL", "SAR"}) {
-    eval::ExperimentOptions options;
-    options.scale = 2.0;
-    options.seed = 42;
-    options.sampler.report_interval_s = 8.0;
-    experiments.push_back(eval::PrepareExperiment(name, options).MoveValue());
-  }
 
   // One row per method configuration; every model is built through the
   // registry, so any registered method could be added to this sweep.
@@ -71,17 +142,18 @@ int main() {
   std::printf("expected shape: HABIT grows ~7x per resolution step and "
               "stays far below GTI; GTI grows with rd and is larger on "
               "SAR\n");
+}
 
+void RunColdStartSection(const eval::Experiment& kiel) {
   // Cold start: retrain-from-trips vs snapshot-load for every
-  // snapshot-capable method. Each model is built once with save=<path>,
-  // then reconstructed with load=<path> and no trips — the serving
-  // process's restart path. Snapshot load should beat retraining by a
-  // wide margin (for HABIT the load is one validated bulk read of the
-  // CSR arrays).
-  std::printf("\nCold start: retrain vs snapshot load (KIEL)\n");
-  std::printf("%-28s %12s %12s %10s\n", "spec", "retrain (s)", "load (s)",
-              "snap MB");
-  const eval::Experiment& kiel = experiments[0];
+  // snapshot-capable method, then copy-load vs zero-copy mmap-load on the
+  // same artifact, and finally the model-cache hit path. Snapshot load
+  // beats retraining by orders of magnitude; mmap beats copy-load on both
+  // time (no alloc, no memcpy, no checksum pass) and load-time memory
+  // (the copy path transiently holds read buffer + arrays).
+  std::printf("\nCold start: retrain vs snapshot load vs mmap (KIEL)\n");
+  std::printf("%-22s %11s %10s %10s %11s %11s %8s\n", "spec", "retrain(s)",
+              "load(s)", "mmap(s)", "loadPk(kB)", "mmapPk(kB)", "snapMB");
   const std::filesystem::path dir =
       std::filesystem::temp_directory_path() / "habit_bench_snapshots";
   std::filesystem::create_directories(dir);
@@ -101,35 +173,115 @@ int main() {
                                       kiel.train_trips)
                      : std::move(retrained);
     if (!built.ok()) {
-      std::printf("%-28s build failed: %s\n", spec.c_str(),
+      std::printf("%-22s build failed: %s\n", spec.c_str(),
                   built.status().ToString().c_str());
       continue;
     }
-    const std::string load_spec =
-        spec.substr(0, spec.find(':')) + ":load=" + path;
-    Stopwatch load_timer;
-    auto loaded = api::MakeModel(load_spec, {});
-    const double load_s = load_timer.ElapsedSeconds();
-    if (!loaded.ok()) {
-      std::printf("%-28s load failed: %s\n", spec.c_str(),
-                  loaded.status().ToString().c_str());
+    const std::string method = spec.substr(0, spec.find(':'));
+    const LoadMeasurement copy_load = MeasureLoad(method + ":load=" + path);
+    const LoadMeasurement mmap_load =
+        MeasureLoad(method + ":load=" + path + ",map=1");
+    if (!copy_load.ok || !mmap_load.ok) {
+      std::printf("%-22s load failed: %s\n", spec.c_str(),
+                  (copy_load.ok ? mmap_load.error : copy_load.error).c_str());
       continue;
     }
     auto info = graph::InspectSnapshot(path);
     const double snap_mb =
         info.ok() ? eval::BytesToMb(info.value().payload_bytes) : 0.0;
-    std::printf("%-28s %12.3f %12.3f %10.2f\n", spec.c_str(), build_s,
-                load_s, snap_mb);
+    std::printf("%-22s %11.3f %10.4f %10.4f %11ld %11ld %8.2f\n",
+                spec.c_str(), build_s, copy_load.seconds, mmap_load.seconds,
+                copy_load.peak_delta_kb, mmap_load.peak_delta_kb, snap_mb);
     std::printf("BENCH_METRIC {\"metric\":\"cold_start\",\"dataset\":"
                 "\"KIEL\",\"spec\":\"%s\",\"retrain_s\":%.6f,"
                 "\"snapshot_load_s\":%.6f,\"snapshot_mb\":%.3f,"
                 "\"speedup\":%.1f}\n",
-                spec.c_str(), build_s, load_s, snap_mb,
-                load_s > 0 ? build_s / load_s : 0.0);
+                spec.c_str(), build_s, copy_load.seconds, snap_mb,
+                copy_load.seconds > 0 ? build_s / copy_load.seconds : 0.0);
+    std::printf("BENCH_METRIC {\"metric\":\"mmap_cold_start\",\"dataset\":"
+                "\"KIEL\",\"spec\":\"%s\",\"copy_load_s\":%.6f,"
+                "\"mmap_load_s\":%.6f,\"copy_rss_delta_kb\":%ld,"
+                "\"mmap_rss_delta_kb\":%ld,\"copy_peak_kb\":%ld,"
+                "\"mmap_peak_kb\":%ld,\"speedup\":%.2f}\n",
+                spec.c_str(), copy_load.seconds, mmap_load.seconds,
+                copy_load.rss_delta_kb, mmap_load.rss_delta_kb,
+                copy_load.peak_delta_kb, mmap_load.peak_delta_kb,
+                mmap_load.seconds > 0
+                    ? copy_load.seconds / mmap_load.seconds
+                    : 0.0);
     std::filesystem::remove(path);
   }
+
+  // Model cache: a serving process resolves every model through the
+  // cache, so only the first MakeModel per (spec, snapshot) pays the
+  // load; repeats are a header probe + hash lookup.
+  {
+    const std::string path = (dir / "habit_cache.snap").string();
+    auto built =
+        api::MakeModel("habit:r=9,save=" + path, kiel.train_trips);
+    if (built.ok()) {
+      // The cold miss pays the plain (copying, checksum-verified)
+      // snapshot load — the serving restart baseline; the warm hit is a
+      // header probe + hash lookup regardless of load flavor.
+      const std::string spec = "habit:load=" + path;
+      api::ModelCache cache(/*byte_budget=*/1ull << 30);
+      Stopwatch cold_timer;
+      auto cold = cache.Get(spec);
+      const double cold_s = cold_timer.ElapsedSeconds();
+      // Steady-state hit cost: mean over a burst of repeat Gets (each one
+      // re-probes the snapshot header, so file replacement is still
+      // detected between hits).
+      constexpr int kWarmRounds = 20;
+      Stopwatch warm_timer;
+      auto warm = cache.Get(spec);
+      for (int i = 1; i < kWarmRounds; ++i) {
+        auto again = cache.Get(spec);
+        if (!again.ok()) break;
+      }
+      const double warm_s = warm_timer.ElapsedSeconds() / kWarmRounds;
+      if (cold.ok() && warm.ok()) {
+        std::printf("\nModel cache (habit:r=9): cold %.4fs, warm "
+                    "%.6fs, %.0fx\n",
+                    cold_s, warm_s, warm_s > 0 ? cold_s / warm_s : 0.0);
+        std::printf("BENCH_METRIC {\"metric\":\"model_cache\",\"dataset\":"
+                    "\"KIEL\",\"spec\":\"habit:r=9\",\"cold_s\":%.6f,"
+                    "\"warm_s\":%.6f,\"speedup\":%.1f,"
+                    "\"cached_bytes\":%zu}\n",
+                    cold_s, warm_s, warm_s > 0 ? cold_s / warm_s : 0.0,
+                    cache.SizeBytes());
+      }
+      std::filesystem::remove(path);
+    }
+  }
+
   // Covers snapshots leaked by failed load paths above.
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool coldstart_only =
+      argc > 1 && std::string(argv[1]) == "coldstart";
+  // Storage is driven by data volume: GTI keeps every raw point and its
+  // candidate edges, HABIT saturates at the lane-cell count. Use class-A
+  // reporting density (8 s) and a larger scale — Table 2 only builds
+  // models, so this stays cheap. The coldstart smoke mode accepts a
+  // smaller scale for CI.
+  const double scale = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  std::vector<eval::Experiment> experiments;
+  for (const char* name : {"KIEL", "SAR"}) {
+    if (coldstart_only && std::string(name) != "KIEL") continue;
+    eval::ExperimentOptions options;
+    options.scale = scale;
+    options.seed = 42;
+    options.sampler.report_interval_s = 8.0;
+    experiments.push_back(eval::PrepareExperiment(name, options).MoveValue());
+  }
+
+  if (!coldstart_only) RunStorageTable(experiments);
+  RunColdStartSection(experiments.front());
   return 0;
 }

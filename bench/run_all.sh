@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every bench binary in a build directory and emits one JSON line per
-# bench (name, exit code, wall seconds, bench-reported metrics, output path)
-# so trajectory-tracking tooling can diff runs over time.
+# bench (name, exit code, wall seconds, peak RSS, bench-reported metrics,
+# output path) so trajectory-tracking tooling can diff runs over time.
+# Peak RSS comes from GNU time (/usr/bin/time -v) when available, 0
+# otherwise — memory regressions in the load/serving paths then show up in
+# the trajectory next to the latency metrics.
 #
 #   usage: bench/run_all.sh [build_dir] [out_dir]
 #
@@ -60,6 +63,31 @@ if [ ! -d "$BUILD_DIR" ]; then
 fi
 mkdir -p "$OUT_DIR"
 
+# GNU time gives per-bench peak RSS; without it, fall back to a python3
+# wrapper reading getrusage(RUSAGE_CHILDREN) (ru_maxrss is kbytes on
+# Linux). With neither, max_rss_kb stays 0.
+TIME_BIN=""
+if [ -x /usr/bin/time ] && /usr/bin/time -v true >/dev/null 2>&1; then
+  TIME_BIN=/usr/bin/time
+fi
+HAVE_PYTHON3=0
+command -v python3 >/dev/null 2>&1 && HAVE_PYTHON3=1
+
+# Runs $1 with stdout+stderr to $2, prints the child's peak RSS in kbytes
+# on our stdout, and returns the child's exit code.
+run_with_python_rss() {
+  python3 -c '
+import resource, subprocess, sys
+with open(sys.argv[2], "wb") as out:
+    code = subprocess.call([sys.argv[1]], stdout=out, stderr=subprocess.STDOUT)
+rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+if sys.platform == "darwin":  # BSD ru_maxrss is bytes, Linux kbytes
+    rss //= 1024
+print(rss)
+sys.exit(code)
+' "$1" "$2"
+}
+
 found=0
 for bench in "$BUILD_DIR"/bench_*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
@@ -67,14 +95,30 @@ for bench in "$BUILD_DIR"/bench_*; do
   name=$(basename "$bench")
   out="$OUT_DIR/$name.out"
   start=$(date +%s.%N)
-  "$bench" >"$out" 2>&1
-  code=$?
+  max_rss_kb=0
+  if [ -n "$TIME_BIN" ]; then
+    "$TIME_BIN" -v -o "$OUT_DIR/$name.time" "$bench" >"$out" 2>&1
+    code=$?
+    rss=$(sed -n 's/.*Maximum resident set size (kbytes): *//p' \
+          "$OUT_DIR/$name.time" | head -n1)
+  elif [ "$HAVE_PYTHON3" -eq 1 ]; then
+    rss=$(run_with_python_rss "$bench" "$out")
+    code=$?
+  else
+    "$bench" >"$out" 2>&1
+    code=$?
+    rss=""
+  fi
+  case "$rss" in
+    ''|*[!0-9]*) ;;
+    *) max_rss_kb=$rss ;;
+  esac
   end=$(date +%s.%N)
   seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
   metrics=$(sed -n 's/^BENCH_METRIC //p' "$out" | filter_metric_objects |
             paste -sd, -)
-  printf '{"bench":"%s","exit":%d,"seconds":%s,"metrics":[%s],"output":"%s"}\n' \
-    "$(json_escape "$name")" "$code" "$seconds" "$metrics" \
+  printf '{"bench":"%s","exit":%d,"seconds":%s,"max_rss_kb":%s,"metrics":[%s],"output":"%s"}\n' \
+    "$(json_escape "$name")" "$code" "$seconds" "$max_rss_kb" "$metrics" \
     "$(json_escape "$out")"
 done
 

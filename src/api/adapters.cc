@@ -70,8 +70,24 @@ const std::vector<std::string> kHabitKeys = {
 // "load=<path>" cold-starts the model from a binary snapshot (the trips
 // argument may be empty), "save=<path>" writes one after the build. Both
 // may be given to convert a freshly trained model into an artifact.
+// "map=1" serves the snapshot zero-copy from an mmap'd view instead of
+// heap copies (O(page-in) cold start); it is a serving parameter and only
+// meaningful with load=.
 const char kSaveKey[] = "save";
 const char kLoadKey[] = "load";
+const char kMapKey[] = "map";
+
+// map=1 without a snapshot is meaningless (a freshly built model is
+// heap-resident by construction), so any map parameter requires load=.
+Result<bool> ParseMapped(const MethodSpec& spec) {
+  if (spec.params.contains(kMapKey) &&
+      spec.GetString(kLoadKey, "").empty()) {
+    return Status::InvalidArgument("parameter map= requires load= (only a "
+                                   "snapshot can be memory-mapped)");
+  }
+  HABIT_ASSIGN_OR_RETURN(const int map, spec.GetInt(kMapKey, 0));
+  return map != 0;
+}
 
 // Snapshots embed the build configuration, so build parameters alongside
 // load= would be silently ignored — reject the combination instead so a
@@ -198,13 +214,15 @@ class GtiAdapter : public ImputationModel {
   static Result<std::unique_ptr<ImputationModel>> Make(
       const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
     HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(
-        {"rm", "rd", "resample", kSaveKey, kLoadKey}));
+        {"rm", "rd", "resample", kSaveKey, kLoadKey, kMapKey}));
+    HABIT_ASSIGN_OR_RETURN(const bool mapped, ParseMapped(spec));
     const std::string load_path = spec.GetString(kLoadKey, "");
     Stopwatch build_timer;
     std::unique_ptr<baselines::GtiModel> model;
     if (!load_path.empty()) {
-      HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec));
-      HABIT_ASSIGN_OR_RETURN(model, baselines::GtiModel::Load(load_path));
+      HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec, {kMapKey}));
+      HABIT_ASSIGN_OR_RETURN(model,
+                             baselines::GtiModel::Load(load_path, mapped));
     } else {
       baselines::GtiConfig config;
       HABIT_ASSIGN_OR_RETURN(config.rm_meters,
@@ -289,8 +307,10 @@ class PalmtoAdapter : public ImputationModel {
  public:
   static Result<std::unique_ptr<ImputationModel>> Make(
       const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
-    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(
-        {"r", "n", "timeout", "max_tokens", "seed", kSaveKey, kLoadKey}));
+    HABIT_RETURN_NOT_OK(spec.CheckKnownKeys({"r", "n", "timeout",
+                                             "max_tokens", "seed", kSaveKey,
+                                             kLoadKey, kMapKey}));
+    HABIT_ASSIGN_OR_RETURN(const bool mapped, ParseMapped(spec));
     const std::string load_path = spec.GetString(kLoadKey, "");
     Stopwatch build_timer;
     std::unique_ptr<baselines::PalmtoModel> model;
@@ -299,8 +319,9 @@ class PalmtoAdapter : public ImputationModel {
       // build configuration — they stay overridable on a loaded model
       // (like habit's threads=).
       HABIT_RETURN_NOT_OK(
-          RejectBuildParamsWithLoad(spec, {"timeout", "max_tokens"}));
-      HABIT_ASSIGN_OR_RETURN(model, baselines::PalmtoModel::Load(load_path));
+          RejectBuildParamsWithLoad(spec, {"timeout", "max_tokens", kMapKey}));
+      HABIT_ASSIGN_OR_RETURN(
+          model, baselines::PalmtoModel::Load(load_path, mapped));
       HABIT_ASSIGN_OR_RETURN(
           const double timeout,
           spec.GetDouble("timeout", model->config().timeout_seconds));
@@ -399,19 +420,22 @@ class SliAdapter : public ImputationModel {
 Result<std::unique_ptr<ImputationModel>> HabitModel::Make(
     const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
   std::vector<std::string> keys = kHabitKeys;
-  keys.insert(keys.end(), {kSaveKey, kLoadKey});
+  keys.insert(keys.end(), {kSaveKey, kLoadKey, kMapKey});
   HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(keys));
   HABIT_ASSIGN_OR_RETURN(const int threads, ParseThreads(spec));
+  HABIT_ASSIGN_OR_RETURN(const bool mapped, ParseMapped(spec));
   const std::string load_path = spec.GetString(kLoadKey, "");
   Stopwatch build_timer;
   std::unique_ptr<core::HabitFramework> framework;
   if (!load_path.empty()) {
-    // O(read) cold start: the snapshot is self-describing (build config +
-    // frozen CSR arrays), so build parameters alongside load= are rejected
-    // — a spec must never serve a graph under a mismatched resolution or
-    // cost policy. threads= is a serving parameter and stays legal.
-    HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec, {"threads"}));
-    HABIT_ASSIGN_OR_RETURN(framework, core::LoadModelSnapshot(load_path));
+    // O(read) cold start — O(page-in) with map=1: the snapshot is
+    // self-describing (build config + frozen CSR arrays), so build
+    // parameters alongside load= are rejected — a spec must never serve a
+    // graph under a mismatched resolution or cost policy. threads= and
+    // map= are serving parameters and stay legal.
+    HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec, {"threads", kMapKey}));
+    HABIT_ASSIGN_OR_RETURN(framework,
+                           core::LoadModelSnapshot(load_path, mapped));
   } else {
     HABIT_ASSIGN_OR_RETURN(const core::HabitConfig config,
                            ParseHabitConfig(spec));
@@ -524,7 +548,8 @@ void RegisterBuiltinModels(ModelRegistry& registry) {
   Status st;
   st = registry.Register(
       "habit",
-      "HABIT transition-graph imputation (r, p, t, cost, expand, save, load)",
+      "HABIT transition-graph imputation (r, p, t, cost, expand, save, "
+      "load, map)",
       HabitModel::Make);
   assert(st.ok());
   st = registry.Register(
@@ -533,12 +558,13 @@ void RegisterBuiltinModels(ModelRegistry& registry) {
       TypedHabitModel::Make);
   assert(st.ok());
   st = registry.Register(
-      "gti", "GTI point-graph baseline (rm, rd, resample, save, load)",
+      "gti", "GTI point-graph baseline (rm, rd, resample, save, load, map)",
       GtiAdapter::Make);
   assert(st.ok());
   st = registry.Register(
       "palmto",
-      "PaLMTO N-gram baseline (r, n, timeout, max_tokens, seed, save, load)",
+      "PaLMTO N-gram baseline (r, n, timeout, max_tokens, seed, save, "
+      "load, map)",
       PalmtoAdapter::Make);
   assert(st.ok());
   st = registry.Register("sli", "straight-line interpolation (points)",

@@ -1,0 +1,165 @@
+#include "api/model_cache.h"
+
+#include <cstdio>
+
+#include "graph/snapshot.h"
+
+namespace habit::api {
+
+namespace {
+
+// FNV-1a accumulation over a trivially copyable value.
+void HashValue(const void* data, size_t n, uint64_t* h) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= bytes[i];
+    *h *= 1099511628211ULL;
+  }
+}
+
+// Structural fingerprint of a training set: per-trip identity, size, and
+// time/position endpoints. O(#trips), no per-point work — strong enough
+// that two different datasets under the same spec never share a key.
+uint64_t FingerprintTrips(const std::vector<ais::Trip>& trips) {
+  uint64_t h = 1469598103934665603ULL;
+  const uint64_t count = trips.size();
+  HashValue(&count, sizeof(count), &h);
+  for (const ais::Trip& trip : trips) {
+    HashValue(&trip.trip_id, sizeof(trip.trip_id), &h);
+    HashValue(&trip.mmsi, sizeof(trip.mmsi), &h);
+    const uint64_t points = trip.points.size();
+    HashValue(&points, sizeof(points), &h);
+    if (!trip.points.empty()) {
+      for (const ais::AisRecord* r :
+           {&trip.points.front(), &trip.points.back()}) {
+        HashValue(&r->ts, sizeof(r->ts), &h);
+        HashValue(&r->pos.lat, sizeof(r->pos.lat), &h);
+        HashValue(&r->pos.lng, sizeof(r->pos.lng), &h);
+      }
+    }
+  }
+  return h;
+}
+
+std::string HexSuffix(char tag, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "@%c%016llx", tag,
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+Result<std::string> ModelCache::CacheKey(const MethodSpec& spec,
+                                         const std::vector<ais::Trip>& trips) {
+  std::string key = spec.ToString();
+  const std::string load_path = spec.GetString("load", "");
+  if (!load_path.empty()) {
+    // O(1) fingerprint: the stored checksum identifies the artifact's
+    // content, so the same spec over a replaced snapshot file keys a
+    // distinct entry. Probe failure means the load would fail too.
+    HABIT_ASSIGN_OR_RETURN(const graph::SnapshotInfo info,
+                           graph::ProbeSnapshot(load_path));
+    key += HexSuffix('s', info.checksum);
+  } else if (!trips.empty()) {
+    // Trips-built model: the dataset is part of the identity, otherwise
+    // "habit:r=9" trained on KIEL would be served for SAR queries.
+    key += HexSuffix('t', FingerprintTrips(trips));
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
+    const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
+  HABIT_ASSIGN_OR_RETURN(const std::string key, CacheKey(spec, trips));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->model;
+    }
+    ++stats_.misses;
+  }
+
+  // Build outside the lock: a load or retrain can take seconds and must
+  // not serialize unrelated cache traffic.
+  HABIT_ASSIGN_OR_RETURN(std::unique_ptr<ImputationModel> built,
+                         MakeModel(spec, trips));
+  std::shared_ptr<const ImputationModel> model = std::move(built);
+
+  // save= writes a snapshot as a side effect of building; a cached repeat
+  // would skip it, so such specs always pass through.
+  if (spec.params.contains("save")) return model;
+
+  // Re-key after the build: the artifact may have been replaced between
+  // the fingerprint probe and the load. Caching what we just loaded under
+  // the pre-replacement key would serve the wrong model forever after a
+  // rollback to the original file — serve this one uncached instead.
+  // (Only load= keys can race; a trips fingerprint is deterministic, so
+  // skip the re-hash for trips-built misses.)
+  if (spec.params.contains("load")) {
+    HABIT_ASSIGN_OR_RETURN(const std::string key_after_build,
+                           CacheKey(spec, trips));
+    if (key_after_build != key) return model;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent Get built the same model first; serve the cached one
+    // and drop ours.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->model;
+  }
+  Insert(key, model);
+  return model;
+}
+
+Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
+    const std::string& spec, const std::vector<ais::Trip>& trips) {
+  HABIT_ASSIGN_OR_RETURN(const MethodSpec parsed, MethodSpec::Parse(spec));
+  return Get(parsed, trips);
+}
+
+void ModelCache::Insert(
+    const std::string& key,
+    const std::shared_ptr<const ImputationModel>& model) {
+  const size_t bytes = model->SizeBytes();
+  if (bytes > byte_budget_) return;  // would evict everything and still not fit
+  lru_.push_front(Entry{key, model, bytes});
+  index_[key] = lru_.begin();
+  total_bytes_ += bytes;
+  while (total_bytes_ > byte_budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    total_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+size_t ModelCache::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+size_t ModelCache::num_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ModelCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  total_bytes_ = 0;
+}
+
+}  // namespace habit::api

@@ -1,0 +1,110 @@
+// ModelCache: a byte-budgeted LRU in front of the model registry, so a
+// serving process pays the snapshot load (or retrain) once per model and
+// answers every repeat MakeModel in O(1).
+//
+// Keying. An entry is identified by the canonical MethodSpec::ToString()
+// (duplicate spec keys are rejected at parse time, so the canonical form
+// cannot alias two intents) plus a dataset fingerprint:
+//   load= specs   the snapshot's stored checksum via graph::ProbeSnapshot,
+//                 an O(1) header+trailer read — a cache hit never re-reads
+//                 a multi-GB artifact, and replacing the snapshot file
+//                 with a different model creates a distinct entry instead
+//                 of serving stale bytes;
+//   trips-built   a structural hash of the training trips (ids, sizes,
+//                 time/position endpoints), so the same spec trained on
+//                 two datasets ("habit:r=9" on KIEL vs SAR) never aliases
+//                 to one entry.
+//
+// Eviction. Entries are charged their exact ImputationModel::SizeBytes()
+// (for HABIT/GTI an exact CSR-array sum) and evicted least-recently-used
+// until the configured byte budget holds. Handles are
+// shared_ptr<const ImputationModel>: eviction only drops the cache's
+// reference, so a model stays alive — and an in-flight ImputeBatch stays
+// valid — until the last caller releases it.
+//
+// Specs with save= are built but never cached: caching would silently skip
+// the snapshot-writing side effect on repeat calls.
+//
+// Artifact lifecycle. Every Get of a load= spec probes the snapshot
+// header, so the file must stay probeable for lookups to resolve —
+// refresh artifacts by atomic rename over the old path (the snapshot
+// writer's own tmp+rename idiom), not by unlinking. Unlinking only breaks
+// *lookups*: handles already handed out (including mmap-backed models,
+// which pin the file contents) keep serving.
+//
+// Thread safety: all operations lock; concurrent Get of a missing key may
+// build the model more than once (last insert wins), which trades a rare
+// duplicate build for never holding the lock across a multi-second load.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ais/ais.h"
+#include "api/imputation_model.h"
+#include "api/registry.h"
+
+namespace habit::api {
+
+/// \brief Byte-budgeted LRU cache of built imputation models.
+class ModelCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Models are cached while their total SizeBytes() stays within
+  /// `byte_budget`; a single model larger than the whole budget is built
+  /// and returned but never cached.
+  explicit ModelCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  /// Returns the cached model for `spec` or builds it through the global
+  /// registry (`trips` is only consulted on a miss; load= specs cold-start
+  /// from their snapshot with empty trips).
+  Result<std::shared_ptr<const ImputationModel>> Get(
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips = {});
+  Result<std::shared_ptr<const ImputationModel>> Get(
+      const std::string& spec, const std::vector<ais::Trip>& trips = {});
+
+  /// The cache key `spec` resolves to: canonical spec string plus the
+  /// dataset fingerprint (snapshot checksum for load= specs, a structural
+  /// trips hash otherwise). Fails when the snapshot cannot be probed (a
+  /// model that could not be loaded is never keyed).
+  static Result<std::string> CacheKey(
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips = {});
+
+  size_t byte_budget() const { return byte_budget_; }
+  size_t SizeBytes() const;    ///< bytes currently cached
+  size_t num_models() const;   ///< entries currently cached
+  Stats stats() const;
+
+  /// Drops every cached entry (in-flight handles stay valid).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const ImputationModel> model;
+    size_t bytes = 0;
+  };
+
+  /// Inserts behind the lock, evicting LRU entries past the budget.
+  void Insert(const std::string& key,
+              const std::shared_ptr<const ImputationModel>& model);
+
+  mutable std::mutex mu_;
+  size_t byte_budget_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t total_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace habit::api

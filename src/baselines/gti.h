@@ -45,8 +45,12 @@ class GtiModel {
 
   /// Cold-starts a model from a snapshot written by Save — no trips, no
   /// candidate-edge search, no re-freeze. Imputation output is identical
-  /// to the model that was saved.
-  static Result<std::unique_ptr<GtiModel>> Load(const std::string& path);
+  /// to the model that was saved. With `mapped` true the point graph's
+  /// CSR arrays are served in place from the mmap'd file (the point store
+  /// is still copied: the KD-tree rebuild walks it anyway); v1 snapshots
+  /// fall back to copying.
+  static Result<std::unique_ptr<GtiModel>> Load(const std::string& path,
+                                                bool mapped = false);
 
   /// Shortest point-path between the snapped gap endpoints. Pass `scratch`
   /// to reuse the search working state across a batch of queries.

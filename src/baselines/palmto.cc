@@ -182,10 +182,13 @@ Status PalmtoModel::Save(const std::string& path) const {
 }
 
 Result<std::unique_ptr<PalmtoModel>> PalmtoModel::Load(
-    const std::string& path) {
+    const std::string& path, bool mapped) {
   HABIT_ASSIGN_OR_RETURN(
       graph::SnapshotReader reader,
-      graph::SnapshotReader::FromFile(path, graph::SnapshotKind::kPalmto));
+      mapped ? graph::SnapshotReader::FromFileMapped(
+                   path, graph::SnapshotKind::kPalmto)
+             : graph::SnapshotReader::FromFile(
+                   path, graph::SnapshotKind::kPalmto));
   auto model = std::unique_ptr<PalmtoModel>(new PalmtoModel());
   HABIT_ASSIGN_OR_RETURN(const int64_t resolution, reader.I64());
   HABIT_ASSIGN_OR_RETURN(const int64_t n, reader.I64());

@@ -48,8 +48,12 @@ class PalmtoModel {
 
   /// Cold-starts a model from a snapshot written by Save — no trips, no
   /// tokenization pass. Imputation output is identical to the model that
-  /// was saved.
-  static Result<std::unique_ptr<PalmtoModel>> Load(const std::string& path);
+  /// was saved. With `mapped` true the snapshot is parsed straight out of
+  /// an mmap'd view instead of a heap read buffer (the n-gram hash tables
+  /// are rebuilt either way — PaLMTO has no flat serving arrays to view in
+  /// place, so map=1 only drops the transient read copy).
+  static Result<std::unique_ptr<PalmtoModel>> Load(const std::string& path,
+                                                   bool mapped = false);
 
   /// Generates a token path from gap start to gap end. Returns kTimeout
   /// when the budget expires before reaching the destination cell.

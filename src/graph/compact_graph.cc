@@ -2,12 +2,66 @@
 
 #include <algorithm>
 
+#include "graph/mmap_region.h"
+
 namespace habit::graph {
 
-NodeIndex CompactGraph::IndexOf(NodeId id) const {
-  const auto it = std::lower_bound(node_ids_.begin(), node_ids_.end(), id);
-  if (it == node_ids_.end() || *it != id) return kInvalidNodeIndex;
+NodeIndex CompactGraph::BisectBucket(NodeId id, uint32_t lo,
+                                     uint32_t hi) const {
+  const auto first = node_ids_.begin() + lo;
+  const auto last = node_ids_.begin() + hi;
+  const auto it = std::lower_bound(first, last, id);
+  if (it == last || *it != id) return kInvalidNodeIndex;
   return static_cast<NodeIndex>(it - node_ids_.begin());
+}
+
+void CompactGraph::BuildIdLookup() {
+  const size_t n = node_ids_.size();
+  if (n == 0) {
+    id_buckets_.reset();
+    id_bucket_count_ = 0;
+    id_range_ = 0;
+    return;
+  }
+  // One bucket per node on average: the lookup array costs 4 bytes/node
+  // and makes the expected probe a one- or two-element scan.
+  id_bucket_count_ = n;
+  id_range_ = node_ids_.back() - node_ids_.front();
+  auto buckets = std::make_shared<std::vector<uint32_t>>(
+      id_bucket_count_ + 1, 0);
+  // node i belongs to bucket BucketOf(id_i); ids are sorted and the bucket
+  // map is monotonic, so bucket contents are contiguous index ranges.
+  // Walk the nodes once, recording where each bucket begins.
+  size_t next_bucket = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t b = BucketOf(node_ids_[i], node_ids_.front());
+    while (next_bucket <= b) (*buckets)[next_bucket++] = static_cast<uint32_t>(i);
+  }
+  while (next_bucket <= id_bucket_count_) {
+    (*buckets)[next_bucket++] = static_cast<uint32_t>(n);
+  }
+  id_buckets_ = std::move(buckets);
+}
+
+CompactGraph CompactGraph::FromOwned(Arrays arrays) {
+  CompactGraph g;
+  auto owned = std::make_shared<const Arrays>(std::move(arrays));
+  g.node_ids_ = owned->node_ids;
+  g.row_offsets_ = owned->row_offsets;
+  g.edge_dst_ = owned->edge_dst;
+  g.edge_weight_ = owned->edge_weight;
+  g.in_degree_ = owned->in_degree;
+  g.edge_transitions_ = owned->edge_transitions;
+  g.edge_grid_distance_ = owned->edge_grid_distance;
+  g.median_pos_ = owned->median_pos;
+  g.center_pos_ = owned->center_pos;
+  g.message_count_ = owned->message_count;
+  g.distinct_vessels_ = owned->distinct_vessels;
+  g.median_sog_ = owned->median_sog;
+  g.median_cog_ = owned->median_cog;
+  g.owned_ = std::move(owned);
+  g.BuildIdLookup();
+  return g;
 }
 
 NodeAttrs CompactGraph::NodeAttrsAt(NodeIndex u) const {
@@ -54,33 +108,17 @@ Result<EdgeAttrs> CompactGraph::GetEdge(NodeId u, NodeId v) const {
   return Status::NotFound("edge not in graph");
 }
 
-void CompactGraph::ForEachNode(
-    const std::function<void(NodeId, const NodeAttrs&)>& fn) const {
-  for (NodeIndex i = 0; i < num_nodes(); ++i) {
-    const NodeAttrs attrs = NodeAttrsAt(i);
-    fn(node_ids_[i], attrs);
-  }
-}
-
-void CompactGraph::ForEachEdge(
-    const std::function<void(NodeId, NodeId, const EdgeAttrs&)>& fn) const {
-  for (NodeIndex u = 0; u < num_nodes(); ++u) {
-    for (uint32_t e = row_offsets_[u]; e < row_offsets_[u + 1]; ++e) {
-      const EdgeAttrs attrs = EdgeAttrsAt(e);
-      fn(node_ids_[u], node_ids_[edge_dst_[e]], attrs);
-    }
-  }
-}
-
 size_t CompactGraph::SizeBytes() const {
   auto bytes = [](const auto& v) {
-    return v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+    return v.size() * sizeof(typename std::decay_t<decltype(v)>::element_type);
   };
+  const size_t lookup_bytes =
+      id_buckets_ == nullptr ? 0 : id_buckets_->size() * sizeof(uint32_t);
   return bytes(node_ids_) + bytes(row_offsets_) + bytes(edge_dst_) +
          bytes(edge_weight_) + bytes(in_degree_) + bytes(edge_transitions_) +
          bytes(edge_grid_distance_) + bytes(median_pos_) + bytes(center_pos_) +
          bytes(message_count_) + bytes(distinct_vessels_) +
-         bytes(median_sog_) + bytes(median_cog_);
+         bytes(median_sog_) + bytes(median_cog_) + lookup_bytes;
 }
 
 }  // namespace habit::graph

@@ -2,14 +2,24 @@
 // representation (hash-map adjacency, cheap inserts); Digraph::Freeze()
 // produces a CompactGraph — an immutable CSR layout with dense uint32 node
 // indices, contiguous out-edge spans, structure-of-arrays attributes, a
-// sorted id->index lookup, and a precomputed in-degree array. Every query
+// bucketed id->index lookup, and a precomputed in-degree array. Every query
 // in the system (HABIT imputation, GTI, components, benches) runs against
 // the frozen form; only construction and serialization-loading touch
 // Digraph.
+//
+// Storage backend: every flat array is a std::span<const T> view over one
+// of two backings —
+//   owned   vectors filled by Freeze() or the copying snapshot loader
+//           (graph/snapshot.h), heap-resident;
+//   mapped  a single MmapRegion holding a v2 snapshot whose arrays are
+//           64-byte aligned on disk, so the graph serves directly from the
+//           kernel page cache with zero copies (LoadGraphSnapshotMapped).
+// Both backings are immutable and held by shared_ptr, so copying a
+// CompactGraph is cheap (views + refcounts) and views never dangle.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,12 +30,13 @@ namespace habit::graph {
 
 class SnapshotWriter;
 class SnapshotReader;
+class MmapRegion;
 
 using NodeId = uint64_t;
 
 /// Dense position of a node inside a CompactGraph. Indices are assigned in
-/// ascending NodeId order, so IdOf is an array read and IndexOf one binary
-/// search.
+/// ascending NodeId order, so IdOf is an array read and IndexOf one bucket
+/// probe.
 using NodeIndex = uint32_t;
 
 /// Sentinel for "no such node" (also the null parent in search state).
@@ -60,22 +71,68 @@ class CompactGraph {
  public:
   CompactGraph() = default;
 
+  /// Copies share the immutable backing (views + refcounts, no array
+  /// copy). Moves must not leave the source half-alive: the default move
+  /// would null the backing pointers but keep the span views and the
+  /// lookup parameters (spans are trivially copyable), so IndexOf on a
+  /// moved-from graph would dereference a null bucket array. Share, then
+  /// clear the source — a moved-from graph is an empty graph.
+  CompactGraph(const CompactGraph&) = default;
+  CompactGraph& operator=(const CompactGraph&) = default;
+  CompactGraph(CompactGraph&& other) noexcept : CompactGraph(other) {
+    other.Clear();
+  }
+  CompactGraph& operator=(CompactGraph&& other) noexcept {
+    if (this != &other) {
+      *this = other;  // copy-assign: share the backing
+      other.Clear();
+    }
+    return *this;
+  }
+
   size_t num_nodes() const { return node_ids_.size(); }
   size_t num_edges() const { return edge_dst_.size(); }
 
+  /// True when the CSR arrays are views into a mapped snapshot instead of
+  /// heap vectors (zero-copy serving).
+  bool is_mapped() const { return mapped_ != nullptr; }
+
   /// Dense index of `id`, or kInvalidNodeIndex when absent.
-  NodeIndex IndexOf(NodeId id) const;
+  ///
+  /// Two-level lookup instead of a full binary search: ids bucket by
+  /// linear interpolation over the id range (monotonic, so each bucket is
+  /// a contiguous slice of the sorted id array), and short buckets resolve
+  /// with a branch-predictable linear scan. This is the imputer's
+  /// per-snap-candidate hot path.
+  NodeIndex IndexOf(NodeId id) const {
+    if (node_ids_.empty()) return kInvalidNodeIndex;
+    const NodeId lo = node_ids_.front();
+    if (id < lo || id > node_ids_.back()) return kInvalidNodeIndex;
+    const auto& buckets = *id_buckets_;
+    const size_t b = BucketOf(id, lo);
+    const uint32_t end = buckets[b + 1];
+    // Buckets average ~1 entry; degenerate (skewed-distribution) buckets
+    // fall back to bisection so the worst case stays logarithmic.
+    uint32_t i = buckets[b];
+    if (end - i > 32) return BisectBucket(id, i, end);
+    for (; i < end; ++i) {
+      if (node_ids_[i] >= id) {
+        return node_ids_[i] == id ? i : kInvalidNodeIndex;
+      }
+    }
+    return kInvalidNodeIndex;
+  }
   bool HasNode(NodeId id) const { return IndexOf(id) != kInvalidNodeIndex; }
   NodeId IdOf(NodeIndex i) const { return node_ids_[i]; }
 
   /// Out-edge targets / traversal costs of node `u`, index-aligned.
   std::span<const NodeIndex> OutNeighbors(NodeIndex u) const {
-    return {edge_dst_.data() + row_offsets_[u],
-            edge_dst_.data() + row_offsets_[u + 1]};
+    return edge_dst_.subspan(row_offsets_[u],
+                             row_offsets_[u + 1] - row_offsets_[u]);
   }
   std::span<const double> OutWeights(NodeIndex u) const {
-    return {edge_weight_.data() + row_offsets_[u],
-            edge_weight_.data() + row_offsets_[u + 1]};
+    return edge_weight_.subspan(row_offsets_[u],
+                                row_offsets_[u + 1] - row_offsets_[u]);
   }
 
   uint32_t OutDegree(NodeIndex u) const {
@@ -97,15 +154,31 @@ class CompactGraph {
   Result<NodeAttrs> GetNode(NodeId id) const;
   Result<EdgeAttrs> GetEdge(NodeId u, NodeId v) const;
 
-  /// Applies `fn` to every node in ascending id order.
-  void ForEachNode(
-      const std::function<void(NodeId, const NodeAttrs&)>& fn) const;
+  /// Applies `fn(NodeId, const NodeAttrs&)` to every node in ascending id
+  /// order. Templated (not std::function) so hot loops inline the visitor.
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    for (NodeIndex i = 0; i < num_nodes(); ++i) {
+      fn(node_ids_[i], NodeAttrsAt(i));
+    }
+  }
 
-  /// Applies `fn` to every directed edge, grouped by source node.
-  void ForEachEdge(const std::function<void(NodeId, NodeId, const EdgeAttrs&)>&
-                       fn) const;
+  /// Applies `fn(NodeId src, NodeId dst, const EdgeAttrs&)` to every
+  /// directed edge, grouped by source node.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (NodeIndex u = 0; u < num_nodes(); ++u) {
+      for (uint32_t e = row_offsets_[u]; e < row_offsets_[u + 1]; ++e) {
+        fn(node_ids_[u], node_ids_[edge_dst_[e]], EdgeAttrsAt(e));
+      }
+    }
+  }
 
-  /// Heap footprint in bytes: the sum of the flat arrays.
+  /// Model footprint in bytes: the sum of the flat CSR arrays plus the
+  /// id-lookup buckets. Identical for the owned and mapped backings (the
+  /// mapped arrays are resident in the page cache rather than the heap,
+  /// but they are what the model keeps warm — and what a byte-budgeted
+  /// model cache must account for).
   size_t SizeBytes() const;
 
   /// Size of the persisted model in bytes: one row per node
@@ -117,28 +190,103 @@ class CompactGraph {
   }
 
  private:
-  friend class Digraph;  // Freeze() fills the arrays directly
-  // Binary snapshot I/O (graph/snapshot.h) dumps and restores the flat
-  // arrays verbatim, bypassing the Digraph build path.
+  friend class Digraph;  // Freeze() fills an Arrays block directly
+  // Binary snapshot I/O (graph/snapshot.h) dumps the column views and
+  // restores either owned arrays (copy load) or mapped views (v2 mmap
+  // load), bypassing the Digraph build path.
   friend void AppendGraphSection(SnapshotWriter& writer,
                                  const CompactGraph& g);
   friend Result<CompactGraph> ReadGraphSection(SnapshotReader& reader);
 
-  std::vector<NodeId> node_ids_;        ///< sorted; index -> id
-  std::vector<uint32_t> row_offsets_;   ///< num_nodes + 1
-  std::vector<NodeIndex> edge_dst_;     ///< CSR edge targets
-  std::vector<double> edge_weight_;     ///< traversal costs, edge-aligned
-  std::vector<uint32_t> in_degree_;     ///< per node
+  /// Owned backing: the flat arrays built by Freeze() or the copying
+  /// snapshot loader.
+  struct Arrays {
+    std::vector<NodeId> node_ids;        ///< sorted; index -> id
+    std::vector<uint32_t> row_offsets;   ///< num_nodes + 1
+    std::vector<NodeIndex> edge_dst;     ///< CSR edge targets
+    std::vector<double> edge_weight;     ///< traversal costs, edge-aligned
+    std::vector<uint32_t> in_degree;     ///< per node
 
-  // Optional statistics columns (attrs freeze only), edge/node-aligned.
-  std::vector<int64_t> edge_transitions_;
-  std::vector<int64_t> edge_grid_distance_;
-  std::vector<geo::LatLng> median_pos_;
-  std::vector<geo::LatLng> center_pos_;
-  std::vector<int64_t> message_count_;
-  std::vector<int64_t> distinct_vessels_;
-  std::vector<double> median_sog_;
-  std::vector<double> median_cog_;
+    // Optional statistics columns (attrs freeze only), edge/node-aligned.
+    std::vector<int64_t> edge_transitions;
+    std::vector<int64_t> edge_grid_distance;
+    std::vector<geo::LatLng> median_pos;
+    std::vector<geo::LatLng> center_pos;
+    std::vector<int64_t> message_count;
+    std::vector<int64_t> distinct_vessels;
+    std::vector<double> median_sog;
+    std::vector<double> median_cog;
+  };
+
+  /// Adopts owned arrays: views point into `arrays`, which is shared so
+  /// copies of the graph alias one backing.
+  static CompactGraph FromOwned(Arrays arrays);
+
+  /// Binds views into `region` (set by the mapped snapshot loader, which
+  /// validated alignment and bounds). The region is shared so views stay
+  /// valid for the graph's whole lifetime.
+  void AdoptMapped(std::shared_ptr<const MmapRegion> region) {
+    mapped_ = std::move(region);
+    BuildIdLookup();
+  }
+
+  /// Builds the interpolation-bucket index over node_ids_.
+  void BuildIdLookup();
+
+  /// Returns to the default-constructed (empty) state.
+  void Clear() {
+    owned_.reset();
+    mapped_.reset();
+    id_buckets_.reset();
+    id_bucket_count_ = 0;
+    id_range_ = 0;
+    node_ids_ = {};
+    row_offsets_ = {};
+    edge_dst_ = {};
+    edge_weight_ = {};
+    in_degree_ = {};
+    edge_transitions_ = {};
+    edge_grid_distance_ = {};
+    median_pos_ = {};
+    center_pos_ = {};
+    message_count_ = {};
+    distinct_vessels_ = {};
+    median_sog_ = {};
+    median_cog_ = {};
+  }
+
+  size_t BucketOf(NodeId id, NodeId lo) const {
+    // Monotonic map of the id range onto [0, num_buckets): equal scaling
+    // for every id, 128-bit so the widest id spans cannot overflow.
+    const unsigned __int128 offset = id - lo;
+    return static_cast<size_t>((offset * id_bucket_count_) /
+                               (id_range_ + 1));
+  }
+  NodeIndex BisectBucket(NodeId id, uint32_t lo, uint32_t hi) const;
+
+  std::shared_ptr<const Arrays> owned_;
+  std::shared_ptr<const MmapRegion> mapped_;
+  /// id -> bucket start positions (size id_bucket_count_ + 1), built at
+  /// freeze/load time; always owned (it is derived, not persisted).
+  std::shared_ptr<const std::vector<uint32_t>> id_buckets_;
+  uint64_t id_bucket_count_ = 0;
+  unsigned __int128 id_range_ = 0;  ///< node_ids_.back() - node_ids_.front()
+
+  // The column views every accessor reads through; they alias owned_ or
+  // mapped_ (or are empty on a default-constructed graph).
+  std::span<const NodeId> node_ids_;
+  std::span<const uint32_t> row_offsets_;
+  std::span<const NodeIndex> edge_dst_;
+  std::span<const double> edge_weight_;
+  std::span<const uint32_t> in_degree_;
+  std::span<const int64_t> edge_transitions_;
+  std::span<const int64_t> edge_grid_distance_;
+  std::span<const geo::LatLng> median_pos_;
+  std::span<const geo::LatLng> center_pos_;
+  std::span<const int64_t> message_count_;
+  std::span<const int64_t> distinct_vessels_;
+  std::span<const double> median_sog_;
+  std::span<const double> median_cog_;
 };
 
 }  // namespace habit::graph

@@ -65,47 +65,42 @@ const std::vector<std::pair<NodeId, EdgeAttrs>>& Digraph::OutEdges(
   return it == adj_.end() ? empty : it->second;
 }
 
-void Digraph::ForEachNode(
-    const std::function<void(NodeId, const NodeAttrs&)>& fn) const {
-  for (const auto& [id, attrs] : nodes_) fn(id, attrs);
-}
-
-void Digraph::ForEachEdge(
-    const std::function<void(NodeId, NodeId, const EdgeAttrs&)>& fn) const {
-  for (const auto& [u, out] : adj_) {
-    for (const auto& [v, attrs] : out) fn(u, v, attrs);
-  }
-}
-
 CompactGraph Digraph::Freeze(bool keep_attrs) const {
-  CompactGraph g;
-  g.node_ids_.reserve(nodes_.size());
-  for (const auto& [id, attrs] : nodes_) g.node_ids_.push_back(id);
-  std::sort(g.node_ids_.begin(), g.node_ids_.end());
+  CompactGraph::Arrays a;
+  a.node_ids.reserve(nodes_.size());
+  for (const auto& [id, attrs] : nodes_) a.node_ids.push_back(id);
+  std::sort(a.node_ids.begin(), a.node_ids.end());
 
-  const size_t n = g.node_ids_.size();
-  g.row_offsets_.assign(n + 1, 0);
-  g.in_degree_.assign(n, 0);
+  const size_t n = a.node_ids.size();
+  // The arrays are still being filled, so resolve ids locally (the graph's
+  // bucketed IndexOf only exists after adoption).
+  auto index_of = [&a](NodeId id) {
+    return static_cast<NodeIndex>(
+        std::lower_bound(a.node_ids.begin(), a.node_ids.end(), id) -
+        a.node_ids.begin());
+  };
+  a.row_offsets.assign(n + 1, 0);
+  a.in_degree.assign(n, 0);
 
   // Pass 1: out-degrees -> prefix sums.
   for (NodeIndex u = 0; u < n; ++u) {
-    const auto it = adj_.find(g.node_ids_[u]);
-    g.row_offsets_[u + 1] =
-        g.row_offsets_[u] +
+    const auto it = adj_.find(a.node_ids[u]);
+    a.row_offsets[u + 1] =
+        a.row_offsets[u] +
         static_cast<uint32_t>(it == adj_.end() ? 0 : it->second.size());
   }
 
   // Pass 2: fill edge rows, then sort each row by target index so lookups
   // can bisect and scans run in index order.
-  const size_t m = g.row_offsets_[n];
-  g.edge_dst_.resize(m);
-  g.edge_weight_.resize(m);
+  const size_t m = a.row_offsets[n];
+  a.edge_dst.resize(m);
+  a.edge_weight.resize(m);
   if (keep_attrs) {
-    g.edge_transitions_.resize(m);
-    g.edge_grid_distance_.resize(m);
+    a.edge_transitions.resize(m);
+    a.edge_grid_distance.resize(m);
   }
   for (NodeIndex u = 0; u < n; ++u) {
-    const auto it = adj_.find(g.node_ids_[u]);
+    const auto it = adj_.find(a.node_ids[u]);
     if (it == adj_.end()) continue;
     struct Out {
       NodeIndex dst;
@@ -114,41 +109,41 @@ CompactGraph Digraph::Freeze(bool keep_attrs) const {
     std::vector<Out> row;
     row.reserve(it->second.size());
     for (const auto& [v, attrs] : it->second) {
-      row.push_back({g.IndexOf(v), &attrs});
+      row.push_back({index_of(v), &attrs});
     }
     std::sort(row.begin(), row.end(),
               [](const Out& a, const Out& b) { return a.dst < b.dst; });
-    uint32_t e = g.row_offsets_[u];
+    uint32_t e = a.row_offsets[u];
     for (const Out& out : row) {
-      g.edge_dst_[e] = out.dst;
-      g.edge_weight_[e] = out.attrs->weight;
+      a.edge_dst[e] = out.dst;
+      a.edge_weight[e] = out.attrs->weight;
       if (keep_attrs) {
-        g.edge_transitions_[e] = out.attrs->transitions;
-        g.edge_grid_distance_[e] = out.attrs->grid_distance;
+        a.edge_transitions[e] = out.attrs->transitions;
+        a.edge_grid_distance[e] = out.attrs->grid_distance;
       }
-      ++g.in_degree_[out.dst];
+      ++a.in_degree[out.dst];
       ++e;
     }
   }
 
   if (keep_attrs) {
-    g.median_pos_.resize(n);
-    g.center_pos_.resize(n);
-    g.message_count_.resize(n);
-    g.distinct_vessels_.resize(n);
-    g.median_sog_.resize(n);
-    g.median_cog_.resize(n);
+    a.median_pos.resize(n);
+    a.center_pos.resize(n);
+    a.message_count.resize(n);
+    a.distinct_vessels.resize(n);
+    a.median_sog.resize(n);
+    a.median_cog.resize(n);
     for (NodeIndex u = 0; u < n; ++u) {
-      const NodeAttrs& attrs = nodes_.at(g.node_ids_[u]);
-      g.median_pos_[u] = attrs.median_pos;
-      g.center_pos_[u] = attrs.center_pos;
-      g.message_count_[u] = attrs.message_count;
-      g.distinct_vessels_[u] = attrs.distinct_vessels;
-      g.median_sog_[u] = attrs.median_sog;
-      g.median_cog_[u] = attrs.median_cog;
+      const NodeAttrs& attrs = nodes_.at(a.node_ids[u]);
+      a.median_pos[u] = attrs.median_pos;
+      a.center_pos[u] = attrs.center_pos;
+      a.message_count[u] = attrs.message_count;
+      a.distinct_vessels[u] = attrs.distinct_vessels;
+      a.median_sog[u] = attrs.median_sog;
+      a.median_cog[u] = attrs.median_cog;
     }
   }
-  return g;
+  return CompactGraph::FromOwned(std::move(a));
 }
 
 size_t Digraph::SerializedSizeBytes() const {

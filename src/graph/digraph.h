@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -41,13 +40,22 @@ class Digraph {
   /// Outgoing (neighbor, attrs) pairs of u; empty if u is absent.
   const std::vector<std::pair<NodeId, EdgeAttrs>>& OutEdges(NodeId u) const;
 
-  /// Applies `fn` to every node.
-  void ForEachNode(
-      const std::function<void(NodeId, const NodeAttrs&)>& fn) const;
+  /// Applies `fn(NodeId, const NodeAttrs&)` to every node. Templated (not
+  /// std::function) so the visitor inlines; iteration order is the hash
+  /// map's, i.e. unspecified.
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    for (const auto& [id, attrs] : nodes_) fn(id, attrs);
+  }
 
-  /// Applies `fn` to every directed edge.
-  void ForEachEdge(const std::function<void(NodeId, NodeId, const EdgeAttrs&)>&
-                       fn) const;
+  /// Applies `fn(NodeId src, NodeId dst, const EdgeAttrs&)` to every
+  /// directed edge.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const auto& [u, out] : adj_) {
+      for (const auto& [v, attrs] : out) fn(u, v, attrs);
+    }
+  }
 
   /// \brief Snapshots the graph into the frozen CSR form.
   ///

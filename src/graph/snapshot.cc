@@ -1,8 +1,8 @@
 #include "graph/snapshot.h"
 
 #include <cstdio>
-#include <memory>
 #include <numeric>
+#include <utility>
 
 namespace habit::graph {
 
@@ -27,6 +27,40 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+constexpr size_t kChecksumBytes = sizeof(uint64_t);
+
+bool VersionSupported(uint32_t version) {
+  return version == 1 || version == kSnapshotVersion;
+}
+
+// Parses and sanity-checks the fixed-size header fields against the total
+// file size. Shared by every load path (copying, mapped, probe).
+Status ParseHeader(const char* bytes, uint64_t file_size,
+                   const std::string& path, SnapshotInfo* info) {
+  uint32_t header[3];
+  uint64_t payload_bytes = 0;
+  std::memcpy(header, bytes, sizeof(header));
+  std::memcpy(&payload_bytes, bytes + sizeof(header), sizeof(payload_bytes));
+  if (header[0] != kSnapshotMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a model snapshot "
+                                   "(bad magic)");
+  }
+  if (!VersionSupported(header[1])) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has version " + std::to_string(header[1]) +
+        " (this build reads versions 1.." +
+        std::to_string(kSnapshotVersion) + ")");
+  }
+  if (payload_bytes != file_size - kSnapshotHeaderBytes - kChecksumBytes) {
+    return Status::IoError("snapshot '" + path +
+                           "' payload length does not match the file size");
+  }
+  info->kind = static_cast<SnapshotKind>(header[2]);
+  info->version = header[1];
+  info->payload_bytes = payload_bytes;
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SnapshotWriter::WriteToFile(const std::string& path,
@@ -40,7 +74,7 @@ Status SnapshotWriter::WriteToFile(const std::string& path,
     if (f == nullptr) {
       return Status::IoError("cannot open '" + tmp_path + "' for writing");
     }
-    const uint32_t header[3] = {kSnapshotMagic, kSnapshotVersion,
+    const uint32_t header[3] = {kSnapshotMagic, version_,
                                 static_cast<uint32_t>(kind)};
     const uint64_t payload_bytes = payload_.size();
     const uint64_t checksum = Fnv1a64(payload_.data(), payload_.size());
@@ -78,36 +112,21 @@ Result<std::pair<SnapshotInfo, std::vector<char>>> ReadAndVerify(
   std::fseek(f.get(), 0, SEEK_END);
   const long file_size = std::ftell(f.get());
   std::fseek(f.get(), 0, SEEK_SET);
-  constexpr size_t kHeaderBytes = 3 * sizeof(uint32_t) + sizeof(uint64_t);
-  constexpr size_t kChecksumBytes = sizeof(uint64_t);
-  if (file_size < 0 ||
-      static_cast<size_t>(file_size) < kHeaderBytes + kChecksumBytes) {
+  if (file_size < 0 || static_cast<size_t>(file_size) <
+                           kSnapshotHeaderBytes + kChecksumBytes) {
     return Status::IoError("snapshot '" + path + "' is truncated");
   }
 
-  uint32_t header[3];
-  uint64_t payload_bytes = 0;
-  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
-      std::fread(&payload_bytes, sizeof(payload_bytes), 1, f.get()) != 1) {
+  char header_bytes[kSnapshotHeaderBytes];
+  if (std::fread(header_bytes, sizeof(header_bytes), 1, f.get()) != 1) {
     return Status::IoError("cannot read snapshot header of '" + path + "'");
   }
-  if (header[0] != kSnapshotMagic) {
-    return Status::InvalidArgument("'" + path + "' is not a model snapshot "
-                                   "(bad magic)");
-  }
-  if (header[1] != kSnapshotVersion) {
-    return Status::InvalidArgument(
-        "snapshot '" + path + "' has version " + std::to_string(header[1]) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
-        ")");
-  }
-  if (payload_bytes !=
-      static_cast<uint64_t>(file_size) - kHeaderBytes - kChecksumBytes) {
-    return Status::IoError("snapshot '" + path +
-                           "' payload length does not match the file size");
-  }
+  SnapshotInfo info;
+  HABIT_RETURN_NOT_OK(ParseHeader(header_bytes,
+                                  static_cast<uint64_t>(file_size), path,
+                                  &info));
 
-  std::vector<char> payload(payload_bytes);
+  std::vector<char> payload(info.payload_bytes);
   if (!payload.empty() &&
       std::fread(payload.data(), payload.size(), 1, f.get()) != 1) {
     return Status::IoError("cannot read snapshot payload of '" + path + "'");
@@ -122,12 +141,17 @@ Result<std::pair<SnapshotInfo, std::vector<char>>> ReadAndVerify(
                            "' is corrupt (checksum mismatch)");
   }
 
-  SnapshotInfo info;
-  info.kind = static_cast<SnapshotKind>(header[2]);
-  info.version = header[1];
-  info.payload_bytes = payload_bytes;
   info.checksum = stored_checksum;
   return std::make_pair(info, std::move(payload));
+}
+
+Status CheckKind(SnapshotKind got, SnapshotKind expected,
+                 const std::string& path) {
+  if (got == expected) return Status::OK();
+  return Status::InvalidArgument(
+      "snapshot '" + path + "' holds kind " +
+      std::to_string(static_cast<uint32_t>(got)) + ", expected " +
+      std::to_string(static_cast<uint32_t>(expected)));
 }
 
 }  // namespace
@@ -135,21 +159,83 @@ Result<std::pair<SnapshotInfo, std::vector<char>>> ReadAndVerify(
 Result<SnapshotReader> SnapshotReader::FromFile(const std::string& path,
                                                 SnapshotKind expected_kind) {
   HABIT_ASSIGN_OR_RETURN(auto verified, ReadAndVerify(path));
-  if (verified.first.kind != expected_kind) {
-    return Status::InvalidArgument(
-        "snapshot '" + path + "' holds kind " +
-        std::to_string(static_cast<uint32_t>(verified.first.kind)) +
-        ", expected " +
-        std::to_string(static_cast<uint32_t>(expected_kind)));
-  }
+  HABIT_RETURN_NOT_OK(CheckKind(verified.first.kind, expected_kind, path));
   SnapshotReader reader;
-  reader.payload_ = std::move(verified.second);
+  reader.buffer_ = std::move(verified.second);
+  reader.payload_ = reader.buffer_;
+  reader.version_ = verified.first.version;
+  return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::FromFileMapped(
+    const std::string& path, SnapshotKind expected_kind) {
+  HABIT_ASSIGN_OR_RETURN(MmapRegion mapped, MmapRegion::MapFile(path));
+  if (mapped.size() < kSnapshotHeaderBytes + kChecksumBytes) {
+    return Status::IoError("snapshot '" + path + "' is truncated");
+  }
+  SnapshotInfo info;
+  HABIT_RETURN_NOT_OK(
+      ParseHeader(mapped.data(), mapped.size(), path, &info));
+  HABIT_RETURN_NOT_OK(CheckKind(info.kind, expected_kind, path));
+  SnapshotReader reader;
+  auto region = std::make_shared<const MmapRegion>(std::move(mapped));
+  reader.payload_ = {region->data() + kSnapshotHeaderBytes,
+                     static_cast<size_t>(info.payload_bytes)};
+  reader.region_ = std::move(region);
+  reader.version_ = info.version;
+  if (!reader.CanView()) {
+    // The v1 fallback copies every payload byte out of the mapping
+    // anyway, so skipping the checksum there would drop integrity
+    // checking for zero latency benefit — verify it. Only genuinely
+    // zero-copy (v2) loads skip the recompute: hashing would page in
+    // every byte, the O(model-size) work the mapped path exists to
+    // avoid; structural validation still rejects malformed graphs, and
+    // FromFile / InspectSnapshot remain the bit-rot-detecting paths.
+    uint64_t stored_checksum = 0;
+    std::memcpy(&stored_checksum,
+                reader.payload_.data() + reader.payload_.size(),
+                sizeof(stored_checksum));
+    if (Fnv1a64(reader.payload_.data(), reader.payload_.size()) !=
+        stored_checksum) {
+      return Status::IoError("snapshot '" + path +
+                             "' is corrupt (checksum mismatch)");
+    }
+  }
   return reader;
 }
 
 Result<SnapshotInfo> InspectSnapshot(const std::string& path) {
   HABIT_ASSIGN_OR_RETURN(auto verified, ReadAndVerify(path));
   return verified.first;
+}
+
+Result<SnapshotInfo> ProbeSnapshot(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open snapshot '" + path + "'");
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  const long file_size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (file_size < 0 || static_cast<size_t>(file_size) <
+                           kSnapshotHeaderBytes + kChecksumBytes) {
+    return Status::IoError("snapshot '" + path + "' is truncated");
+  }
+  char header_bytes[kSnapshotHeaderBytes];
+  if (std::fread(header_bytes, sizeof(header_bytes), 1, f.get()) != 1) {
+    return Status::IoError("cannot read snapshot header of '" + path + "'");
+  }
+  SnapshotInfo info;
+  HABIT_RETURN_NOT_OK(ParseHeader(header_bytes,
+                                  static_cast<uint64_t>(file_size), path,
+                                  &info));
+  uint64_t stored_checksum = 0;
+  if (std::fseek(f.get(), -static_cast<long>(kChecksumBytes), SEEK_END) != 0 ||
+      std::fread(&stored_checksum, sizeof(stored_checksum), 1, f.get()) != 1) {
+    return Status::IoError("cannot read snapshot checksum of '" + path + "'");
+  }
+  info.checksum = stored_checksum;
+  return info;
 }
 
 void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g) {
@@ -171,65 +257,162 @@ void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g) {
   }
 }
 
-Result<CompactGraph> ReadGraphSection(SnapshotReader& reader) {
-  CompactGraph g;
-  HABIT_RETURN_NOT_OK(reader.Array(&g.node_ids_));
-  HABIT_RETURN_NOT_OK(reader.Array(&g.row_offsets_));
-  HABIT_RETURN_NOT_OK(reader.Array(&g.edge_dst_));
-  HABIT_RETURN_NOT_OK(reader.Array(&g.edge_weight_));
-  HABIT_RETURN_NOT_OK(reader.Array(&g.in_degree_));
-  HABIT_ASSIGN_OR_RETURN(const uint32_t has_attrs, reader.U32());
-  if (has_attrs != 0) {
-    HABIT_RETURN_NOT_OK(reader.Array(&g.edge_transitions_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.edge_grid_distance_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.median_pos_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.center_pos_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.message_count_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.distinct_vessels_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.median_sog_));
-    HABIT_RETURN_NOT_OK(reader.Array(&g.median_cog_));
-  }
+namespace {
 
-  // Structural invariants the search engine and IndexOf rely on. The
-  // checksum catches bit rot; these catch a well-formed file holding an
-  // impossible graph (hand-edited or written by a buggy producer).
-  const size_t n = g.node_ids_.size();
-  const size_t m = g.edge_dst_.size();
-  if (g.row_offsets_.size() != n + 1 || g.row_offsets_.front() != 0 ||
-      g.row_offsets_.back() != m) {
+// The thirteen graph columns as raw views, independent of backing — the
+// one shape structural validation runs on for both load paths.
+struct GraphCols {
+  std::span<const NodeId> node_ids;
+  std::span<const uint32_t> row_offsets;
+  std::span<const NodeIndex> edge_dst;
+  std::span<const double> edge_weight;
+  std::span<const uint32_t> in_degree;
+  bool has_attrs = false;
+  std::span<const int64_t> edge_transitions;
+  std::span<const int64_t> edge_grid_distance;
+  std::span<const geo::LatLng> median_pos;
+  std::span<const geo::LatLng> center_pos;
+  std::span<const int64_t> message_count;
+  std::span<const int64_t> distinct_vessels;
+  std::span<const double> median_sog;
+  std::span<const double> median_cog;
+};
+
+// Structural invariants the search engine and IndexOf rely on. The
+// checksum catches bit rot (copying path); these catch a well-formed file
+// holding an impossible graph (hand-edited, version-spoofed, or written by
+// a buggy producer) on either path — and they must pass before the
+// id-lookup buckets are built, which assumes sorted ids.
+Status ValidateGraphCols(const GraphCols& c) {
+  const size_t n = c.node_ids.size();
+  const size_t m = c.edge_dst.size();
+  if (c.row_offsets.size() != n + 1 || c.row_offsets.front() != 0 ||
+      c.row_offsets.back() != m) {
     return Status::IoError("graph snapshot: row offsets do not frame the "
                            "edge arrays");
   }
-  for (size_t i = 0; i + 1 < g.row_offsets_.size(); ++i) {
-    if (g.row_offsets_[i] > g.row_offsets_[i + 1]) {
+  for (size_t i = 0; i + 1 < c.row_offsets.size(); ++i) {
+    if (c.row_offsets[i] > c.row_offsets[i + 1]) {
       return Status::IoError("graph snapshot: row offsets not monotonic");
     }
   }
   for (size_t i = 0; i + 1 < n; ++i) {
-    if (g.node_ids_[i] >= g.node_ids_[i + 1]) {
+    if (c.node_ids[i] >= c.node_ids[i + 1]) {
       return Status::IoError("graph snapshot: node ids not strictly "
                              "ascending");
     }
   }
-  for (const NodeIndex dst : g.edge_dst_) {
+  for (const NodeIndex dst : c.edge_dst) {
     if (dst >= n) {
       return Status::IoError("graph snapshot: edge target out of range");
     }
   }
-  if (g.edge_weight_.size() != m || g.in_degree_.size() != n ||
-      std::accumulate(g.in_degree_.begin(), g.in_degree_.end(),
-                      uint64_t{0}) != m) {
+  if (c.edge_weight.size() != m || c.in_degree.size() != n ||
+      std::accumulate(c.in_degree.begin(), c.in_degree.end(), uint64_t{0}) !=
+          m) {
     return Status::IoError("graph snapshot: degree arrays inconsistent "
                            "with the edge count");
   }
-  if (has_attrs != 0 &&
-      (g.edge_transitions_.size() != m || g.edge_grid_distance_.size() != m ||
-       g.median_pos_.size() != n || g.center_pos_.size() != n ||
-       g.message_count_.size() != n || g.distinct_vessels_.size() != n ||
-       g.median_sog_.size() != n || g.median_cog_.size() != n)) {
+  if (c.has_attrs &&
+      (c.edge_transitions.size() != m || c.edge_grid_distance.size() != m ||
+       c.median_pos.size() != n || c.center_pos.size() != n ||
+       c.message_count.size() != n || c.distinct_vessels.size() != n ||
+       c.median_sog.size() != n || c.median_cog.size() != n)) {
     return Status::IoError("graph snapshot: attribute columns misaligned");
   }
-  return g;
+  return Status::OK();
+}
+
+// The validation view of an owned CompactGraph::Arrays block (one shared
+// column enumeration for the copy path instead of a second hand-bound
+// list). Templated so the private nested type is deduced at the friend
+// call site rather than named here.
+template <typename ArraysT>
+GraphCols ColsOfArrays(const ArraysT& a, bool has_attrs) {
+  GraphCols c;
+  c.node_ids = a.node_ids;
+  c.row_offsets = a.row_offsets;
+  c.edge_dst = a.edge_dst;
+  c.edge_weight = a.edge_weight;
+  c.in_degree = a.in_degree;
+  c.has_attrs = has_attrs;
+  c.edge_transitions = a.edge_transitions;
+  c.edge_grid_distance = a.edge_grid_distance;
+  c.median_pos = a.median_pos;
+  c.center_pos = a.center_pos;
+  c.message_count = a.message_count;
+  c.distinct_vessels = a.distinct_vessels;
+  c.median_sog = a.median_sog;
+  c.median_cog = a.median_cog;
+  return c;
+}
+
+// Reads the graph section as zero-copy views over the reader's mapping.
+Result<GraphCols> ReadGraphColsMapped(SnapshotReader& reader) {
+  GraphCols c;
+  HABIT_RETURN_NOT_OK(reader.ArrayView(&c.node_ids));
+  HABIT_RETURN_NOT_OK(reader.ArrayView(&c.row_offsets));
+  HABIT_RETURN_NOT_OK(reader.ArrayView(&c.edge_dst));
+  HABIT_RETURN_NOT_OK(reader.ArrayView(&c.edge_weight));
+  HABIT_RETURN_NOT_OK(reader.ArrayView(&c.in_degree));
+  HABIT_ASSIGN_OR_RETURN(const uint32_t has_attrs, reader.U32());
+  c.has_attrs = has_attrs != 0;
+  if (c.has_attrs) {
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.edge_transitions));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.edge_grid_distance));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.median_pos));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.center_pos));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.message_count));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.distinct_vessels));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.median_sog));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.median_cog));
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<CompactGraph> ReadGraphSection(SnapshotReader& reader) {
+  if (reader.CanView()) {
+    HABIT_ASSIGN_OR_RETURN(const GraphCols c, ReadGraphColsMapped(reader));
+    HABIT_RETURN_NOT_OK(ValidateGraphCols(c));
+    CompactGraph g;
+    g.node_ids_ = c.node_ids;
+    g.row_offsets_ = c.row_offsets;
+    g.edge_dst_ = c.edge_dst;
+    g.edge_weight_ = c.edge_weight;
+    g.in_degree_ = c.in_degree;
+    g.edge_transitions_ = c.edge_transitions;
+    g.edge_grid_distance_ = c.edge_grid_distance;
+    g.median_pos_ = c.median_pos;
+    g.center_pos_ = c.center_pos;
+    g.message_count_ = c.message_count;
+    g.distinct_vessels_ = c.distinct_vessels;
+    g.median_sog_ = c.median_sog;
+    g.median_cog_ = c.median_cog;
+    g.AdoptMapped(reader.region());
+    return g;
+  }
+
+  CompactGraph::Arrays a;
+  HABIT_RETURN_NOT_OK(reader.Array(&a.node_ids));
+  HABIT_RETURN_NOT_OK(reader.Array(&a.row_offsets));
+  HABIT_RETURN_NOT_OK(reader.Array(&a.edge_dst));
+  HABIT_RETURN_NOT_OK(reader.Array(&a.edge_weight));
+  HABIT_RETURN_NOT_OK(reader.Array(&a.in_degree));
+  HABIT_ASSIGN_OR_RETURN(const uint32_t has_attrs, reader.U32());
+  if (has_attrs != 0) {
+    HABIT_RETURN_NOT_OK(reader.Array(&a.edge_transitions));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.edge_grid_distance));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.median_pos));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.center_pos));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.message_count));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.distinct_vessels));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.median_sog));
+    HABIT_RETURN_NOT_OK(reader.Array(&a.median_cog));
+  }
+  HABIT_RETURN_NOT_OK(ValidateGraphCols(ColsOfArrays(a, has_attrs != 0)));
+  return CompactGraph::FromOwned(std::move(a));
 }
 
 Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path) {
@@ -238,16 +421,35 @@ Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path) {
   return writer.WriteToFile(path, SnapshotKind::kCompactGraph);
 }
 
-Result<CompactGraph> LoadGraphSnapshot(const std::string& path) {
-  HABIT_ASSIGN_OR_RETURN(
-      SnapshotReader reader,
-      SnapshotReader::FromFile(path, SnapshotKind::kCompactGraph));
+namespace {
+
+Result<CompactGraph> LoadGraphFromReader(SnapshotReader reader,
+                                         const std::string& path) {
   HABIT_ASSIGN_OR_RETURN(CompactGraph g, ReadGraphSection(reader));
   if (!reader.AtEnd()) {
     return Status::IoError("graph snapshot '" + path +
                            "' has trailing bytes");
   }
   return g;
+}
+
+}  // namespace
+
+Result<CompactGraph> LoadGraphSnapshot(const std::string& path) {
+  HABIT_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::FromFile(path, SnapshotKind::kCompactGraph));
+  return LoadGraphFromReader(std::move(reader), path);
+}
+
+Result<CompactGraph> LoadGraphSnapshotMapped(const std::string& path) {
+  // A v1 snapshot (unpadded arrays) cannot be viewed in place; the mapped
+  // reader then copies each array out of the mapping — the documented
+  // fallback, same graph, owned backing.
+  HABIT_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::FromFileMapped(path, SnapshotKind::kCompactGraph));
+  return LoadGraphFromReader(std::move(reader), path);
 }
 
 }  // namespace habit::graph

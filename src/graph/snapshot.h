@@ -1,5 +1,6 @@
 // Binary model snapshots: a versioned, checksummed container format that
-// turns a trained model into a durable artifact loadable in O(read).
+// turns a trained model into a durable artifact loadable in O(read) — or,
+// for v2 snapshots, servable in place with zero copies (O(page-in)).
 //
 // Layout of every snapshot file:
 //
@@ -8,33 +9,51 @@
 //   [FNV-1a 64 checksum of payload u64]
 //
 // The payload is a sequence of scalars and length-prefixed flat arrays.
-// Loading is a validated bulk read — no Digraph rebuild, no re-freeze: the
-// CompactGraph loader fills the CSR arrays directly and only checks
-// structural invariants (monotonic row offsets, in-range edge targets,
-// aligned column lengths). GTI and PaLMTO snapshots (baselines/) reuse the
-// same writer/reader and embed a graph section via AppendGraphSection /
-// ReadGraphSection.
+// Version 2 (current) pads each array so its data begins at a 64-byte
+// aligned *file* offset; since mmap bases are page-aligned, every column
+// of a mapped v2 snapshot can be viewed in place as a correctly aligned
+// std::span with no copy — the zero-copy serving path (SplinterDB-style:
+// the kernel page cache is the only resident copy). Version 1 files (no
+// padding) stay loadable through the copying path.
 //
-// The checksum doubles as a cheap model fingerprint (see InspectSnapshot):
-// two snapshots with equal checksums were built from identical arrays,
-// which is what a registry-level model cache keys on.
+// Loading is a validated bulk read — no Digraph rebuild, no re-freeze: the
+// CompactGraph loader fills the CSR arrays directly (or binds views into
+// the mapping) and only checks structural invariants (monotonic row
+// offsets, in-range edge targets, aligned column lengths). GTI and PaLMTO
+// snapshots (baselines/) reuse the same writer/reader and embed a graph
+// section via AppendGraphSection / ReadGraphSection.
+//
+// The checksum doubles as a cheap model fingerprint (see InspectSnapshot /
+// ProbeSnapshot): two snapshots with equal checksums were built from
+// identical arrays, which is what the registry-level model cache keys on.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "core/status.h"
 #include "graph/compact_graph.h"
+#include "graph/mmap_region.h"
 
 namespace habit::graph {
 
 /// First bytes of every snapshot file ("HBSN", little-endian).
 inline constexpr uint32_t kSnapshotMagic = 0x4E534248;
-/// Bumped whenever the payload layout of any kind changes.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Bumped whenever the payload layout of any kind changes. Version 2 adds
+/// per-array alignment padding; readers accept 1 (copy-load only) and 2.
+inline constexpr uint32_t kSnapshotVersion = 2;
+/// Every v2 array's data starts at a file offset that is a multiple of
+/// this (covers the strictest column alignment — double/int64/uint64 need
+/// 8 — with headroom for future SIMD-friendly columns).
+inline constexpr size_t kSnapshotArrayAlignment = 64;
+/// magic + version + kind + payload length.
+inline constexpr size_t kSnapshotHeaderBytes =
+    3 * sizeof(uint32_t) + sizeof(uint64_t);
 
 /// \brief What a snapshot file contains (stored in the header).
 enum class SnapshotKind : uint32_t {
@@ -48,18 +67,31 @@ enum class SnapshotKind : uint32_t {
 /// header + payload + checksum to disk in one pass.
 class SnapshotWriter {
  public:
+  /// Writes the given container version (tests use 1 to produce legacy
+  /// artifacts; everything else should keep the default).
+  explicit SnapshotWriter(uint32_t version = kSnapshotVersion)
+      : version_(version) {}
+
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void I64(int64_t v) { Raw(&v, sizeof(v)); }
   void F64(double v) { Raw(&v, sizeof(v)); }
 
   /// Length-prefixed bulk dump of a flat array of trivially copyable
-  /// elements (the CSR arrays, point stores, count tables).
+  /// elements (the CSR arrays, point stores, count tables). In v2 the data
+  /// is preceded by zero padding up to the next 64-byte file-offset
+  /// boundary, so a mapped reader can view it in place.
+  template <typename T>
+  void Array(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(alignof(T) <= kSnapshotArrayAlignment);
+    U64(v.size());
+    if (version_ >= 2) PadToAlignment();
+    if (!v.empty()) Raw(v.data(), v.size_bytes());
+  }
   template <typename T>
   void Array(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    U64(v.size());
-    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+    Array(std::span<const T>(v));
   }
 
   /// Writes header + payload + checksum to `path` via a sibling ".tmp"
@@ -71,14 +103,38 @@ class SnapshotWriter {
   void Raw(const void* data, size_t n) {
     payload_.append(static_cast<const char*>(data), n);
   }
+  void PadToAlignment() {
+    const size_t file_pos = kSnapshotHeaderBytes + payload_.size();
+    payload_.append((kSnapshotArrayAlignment -
+                     file_pos % kSnapshotArrayAlignment) %
+                        kSnapshotArrayAlignment,
+                    '\0');
+  }
 
   std::string payload_;
+  uint32_t version_;
 };
 
-/// \brief Validated cursor over a snapshot payload. FromFile verifies the
-/// magic, version, kind, and checksum before any field is parsed; every
-/// read is bounds-checked so a truncated or corrupt (but
-/// checksum-colliding) file fails with a Status, never UB.
+/// \brief Validated cursor over a snapshot payload.
+///
+/// Two modes share one parsing surface:
+///   FromFile        reads the whole file into memory and verifies the
+///                   checksum before any field is parsed — the durable,
+///                   bit-rot-detecting path.
+///   FromFileMapped  mmaps the file and parses in place. For v2 (view)
+///                   loads the checksum is NOT recomputed — hashing would
+///                   page in every byte, while the zero-copy load itself
+///                   touches only the structural columns (roughly a
+///                   quarter of a HABIT payload; weights and statistics
+///                   page in lazily on first query). When the reader
+///                   cannot serve views (a v1 file) it copies every byte
+///                   anyway, so there the checksum IS verified. Header,
+///                   length, and per-read bounds are always enforced, and
+///                   the loaders' structural validation still runs. Use
+///                   the copying path or InspectSnapshot when bit-rot
+///                   detection matters more than latency.
+/// Every read is bounds-checked so a truncated or corrupt file fails with
+/// a Status, never UB.
 class SnapshotReader {
  public:
   /// Reads the whole file, verifies header + checksum against
@@ -86,16 +142,24 @@ class SnapshotReader {
   static Result<SnapshotReader> FromFile(const std::string& path,
                                          SnapshotKind expected_kind);
 
+  /// Maps the file and positions the cursor at the payload start. Arrays
+  /// of a v2 snapshot can then be taken as zero-copy views (ArrayView);
+  /// v1 snapshots parse through the same cursor but always copy.
+  static Result<SnapshotReader> FromFileMapped(const std::string& path,
+                                               SnapshotKind expected_kind);
+
   Result<uint32_t> U32() { return Scalar<uint32_t>(); }
   Result<uint64_t> U64() { return Scalar<uint64_t>(); }
   Result<int64_t> I64() { return Scalar<int64_t>(); }
   Result<double> F64() { return Scalar<double>(); }
 
-  /// Reads a length-prefixed array written by SnapshotWriter::Array.
+  /// Reads a length-prefixed array written by SnapshotWriter::Array,
+  /// copying the data into `out`.
   template <typename T>
   Status Array(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     HABIT_ASSIGN_OR_RETURN(const uint64_t count, U64());
+    HABIT_RETURN_NOT_OK(SkipArrayPadding());
     if (count > (payload_.size() - pos_) / sizeof(T)) {
       return Status::IoError("snapshot array of " + std::to_string(count) +
                              " elements overruns the payload");
@@ -107,6 +171,44 @@ class SnapshotReader {
     }
     return Status::OK();
   }
+
+  /// Zero-copy view of a length-prefixed array: the span aliases the
+  /// mapped region, which the caller must keep alive (see region()). Fails
+  /// unless the reader is mapped and the snapshot is v2 with correctly
+  /// aligned data — a v2 header over unpadded (or truncated) content is
+  /// rejected here rather than served misaligned.
+  template <typename T>
+  Status ArrayView(std::span<const T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!CanView()) {
+      return Status::Internal("snapshot array views need a mapped v2 "
+                              "snapshot");
+    }
+    HABIT_ASSIGN_OR_RETURN(const uint64_t count, U64());
+    HABIT_RETURN_NOT_OK(SkipArrayPadding());
+    if (count > (payload_.size() - pos_) / sizeof(T)) {
+      return Status::IoError("snapshot array of " + std::to_string(count) +
+                             " elements overruns the payload");
+    }
+    const char* data = payload_.data() + pos_;
+    if (count > 0 &&
+        reinterpret_cast<uintptr_t>(data) % alignof(T) != 0) {
+      return Status::IoError("snapshot array data is misaligned (v2 header "
+                             "over unpadded content?)");
+    }
+    *out = {reinterpret_cast<const T*>(data), static_cast<size_t>(count)};
+    pos_ += count * sizeof(T);
+    return Status::OK();
+  }
+
+  /// True when ArrayView can produce in-place views (mapped + v2).
+  bool CanView() const { return region_ != nullptr && version_ >= 2; }
+
+  /// The mapping backing a FromFileMapped reader (null for FromFile);
+  /// consumers of ArrayView spans must hold it as long as the views live.
+  const std::shared_ptr<const MmapRegion>& region() const { return region_; }
+
+  uint32_t version() const { return version_; }
 
   /// True when every payload byte has been consumed (loaders check this to
   /// reject trailing garbage).
@@ -124,13 +226,35 @@ class SnapshotReader {
     return v;
   }
 
-  std::vector<char> payload_;
+  /// Advances over the alignment padding a v2 writer inserted before array
+  /// data (no-op for v1 payloads).
+  Status SkipArrayPadding() {
+    if (version_ < 2) return Status::OK();
+    const size_t file_pos = payload_file_offset_ + pos_;
+    const size_t pad = (kSnapshotArrayAlignment -
+                        file_pos % kSnapshotArrayAlignment) %
+                       kSnapshotArrayAlignment;
+    if (payload_.size() - pos_ < pad) {
+      return Status::IoError("snapshot payload truncated inside array "
+                             "padding");
+    }
+    pos_ += pad;
+    return Status::OK();
+  }
+
+  std::vector<char> buffer_;  ///< owns the payload in copy mode
+  std::shared_ptr<const MmapRegion> region_;  ///< owns it in mapped mode
+  std::span<const char> payload_;
   size_t pos_ = 0;
+  /// File offset where payload_[0] lives (padding is computed against file
+  /// offsets so mapped views are aligned in memory, not just in payload
+  /// coordinates).
+  size_t payload_file_offset_ = kSnapshotHeaderBytes;
+  uint32_t version_ = kSnapshotVersion;
 };
 
 /// \brief Header + checksum of a snapshot, readable without parsing the
-/// payload. The checksum is the model fingerprint the ROADMAP's model-cache
-/// item keys on.
+/// payload. The checksum is the model fingerprint the model cache keys on.
 struct SnapshotInfo {
   SnapshotKind kind;
   uint32_t version = 0;
@@ -139,7 +263,15 @@ struct SnapshotInfo {
 };
 
 /// Validates the file's magic/version/checksum and returns its header.
+/// Reads (and hashes) the whole file.
 Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Reads the header and the *stored* checksum in O(1) I/O — header and
+/// trailer only, no payload hash. This is the cache-hit fingerprint path:
+/// a warm model lookup must not re-read a multi-GB artifact. Magic,
+/// version, and length are still validated; bit rot inside the payload is
+/// not detected (use InspectSnapshot for that).
+Result<SnapshotInfo> ProbeSnapshot(const std::string& path);
 
 /// Dumps the frozen CSR arrays verbatim (kind kCompactGraph).
 Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path);
@@ -149,8 +281,18 @@ Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path);
 /// that was saved (same SizeBytes, same weights, same degrees).
 Result<CompactGraph> LoadGraphSnapshot(const std::string& path);
 
+/// Zero-copy load: maps the file and serves the CSR arrays in place — no
+/// heap copy of the payload, ~half the load-time peak RSS of
+/// LoadGraphSnapshot, and only the structural columns are paged in up
+/// front (validation + id-lookup build); weights and statistics fault in
+/// on first query. v1 snapshots fall back to copying out of the mapping —
+/// same result, owned backing, checksum verified. Structural invariants
+/// are validated either way; v2 view loads skip the checksum recompute.
+Result<CompactGraph> LoadGraphSnapshotMapped(const std::string& path);
+
 /// Appends / reads a CompactGraph section inside a larger snapshot payload
-/// (used by the GTI snapshot, whose point graph is a CompactGraph).
+/// (used by the GTI and HABIT snapshots). ReadGraphSection binds zero-copy
+/// views when the reader is mapped v2, and copies otherwise.
 void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g);
 Result<CompactGraph> ReadGraphSection(SnapshotReader& reader);
 

@@ -161,11 +161,13 @@ Status SaveModelSnapshot(const HabitFramework& fw, const std::string& path) {
 }
 
 Result<std::unique_ptr<HabitFramework>> LoadModelSnapshot(
-    const std::string& path) {
+    const std::string& path, bool mapped) {
   HABIT_ASSIGN_OR_RETURN(
       graph::SnapshotReader reader,
-      graph::SnapshotReader::FromFile(path,
-                                      graph::SnapshotKind::kHabitModel));
+      mapped ? graph::SnapshotReader::FromFileMapped(
+                   path, graph::SnapshotKind::kHabitModel)
+             : graph::SnapshotReader::FromFile(
+                   path, graph::SnapshotKind::kHabitModel));
   HabitConfig config;
   HABIT_ASSIGN_OR_RETURN(const int64_t resolution, reader.I64());
   HABIT_ASSIGN_OR_RETURN(const uint32_t projection, reader.U32());

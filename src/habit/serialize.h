@@ -48,8 +48,11 @@ Status SaveModelSnapshot(const HabitFramework& fw, const std::string& path);
 
 /// Cold-starts a framework from a snapshot written by SaveModelSnapshot:
 /// one validated bulk read, no Digraph rebuild, no re-freeze. Imputation
-/// output is bit-identical to the framework that was saved.
+/// output is bit-identical to the framework that was saved. With `mapped`
+/// true the CSR arrays are served in place from the mmap'd file
+/// (O(page-in) cold start, no heap copy; v1 snapshots silently fall back
+/// to copying) — the registry exposes this as "habit:load=...,map=1".
 Result<std::unique_ptr<HabitFramework>> LoadModelSnapshot(
-    const std::string& path);
+    const std::string& path, bool mapped = false);
 
 }  // namespace habit::core

@@ -454,5 +454,79 @@ TEST(ApiTest, SnapshotSpecParamErrors) {
   std::remove(habit_path.c_str());
 }
 
+TEST(ApiTest, MappedLoadIsBitIdenticalToCopyLoadEveryMethod) {
+  // The zero-copy serving contract: for every snapshot-capable method,
+  // "m:load=p,map=1" must be observationally identical to "m:load=p" —
+  // same batch output bit for bit, same SizeBytes — with the only
+  // difference being where the arrays live (mapped file vs heap).
+  const auto trips = MakeTrips();
+  std::vector<ImputeRequest> requests;
+  requests.push_back(LaneRequest());
+  {
+    ImputeRequest far = LaneRequest();
+    far.gap_end = {55.2, 11.0};
+    requests.push_back(far);
+    ImputeRequest cross = LaneRequest();
+    cross.gap_end = {55.08, 11.3};  // lane change: usually unreachable
+    requests.push_back(cross);
+  }
+  for (const char* build_spec :
+       {"habit:r=9", "gti:rd=1e-3", "palmto:r=8,timeout=5"}) {
+    const std::string method =
+        std::string(build_spec).substr(0, std::string(build_spec).find(':'));
+    const std::string path =
+        (std::filesystem::temp_directory_path() / (method + "_map.snap"))
+            .string();
+    ASSERT_TRUE(
+        MakeModel(std::string(build_spec) + ",save=" + path, trips).ok())
+        << build_spec;
+    auto copied = MakeModel(method + ":load=" + path, {});
+    auto mapped = MakeModel(method + ":load=" + path + ",map=1", {});
+    ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_EQ(mapped.value()->SizeBytes(), copied.value()->SizeBytes())
+        << build_spec;
+    EXPECT_EQ(mapped.value()->Configuration(),
+              copied.value()->Configuration())
+        << build_spec;
+
+    const auto want = copied.value()->ImputeBatch(requests);
+    const auto got = mapped.value()->ImputeBatch(requests);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i].ok(), got[i].ok()) << build_spec << " request " << i;
+      if (want[i].ok()) {
+        EXPECT_EQ(want[i].value().path, got[i].value().path)
+            << build_spec << " request " << i;
+        EXPECT_EQ(want[i].value().timestamps, got[i].value().timestamps)
+            << build_spec << " request " << i;
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ApiTest, MapSpecParamErrors) {
+  const auto trips = MakeTrips();
+  // map= without load= is meaningless for every snapshot-capable method.
+  for (const char* spec : {"habit:map=1", "gti:map=1", "palmto:map=1",
+                           "habit:r=9,map=0"}) {
+    auto model = MakeModel(spec, trips);
+    ASSERT_FALSE(model.ok()) << spec;
+    EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+  // map=1 over a missing snapshot surfaces the I/O error.
+  EXPECT_FALSE(MakeModel("habit:load=/nonexistent/m.snap,map=1", {}).ok());
+  // Build params are still rejected alongside load= when map= is present.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "api_map_err.snap").string();
+  ASSERT_TRUE(MakeModel("habit:r=8,save=" + path, trips).ok());
+  EXPECT_FALSE(MakeModel("habit:r=8,load=" + path + ",map=1", {}).ok());
+  // map composes with other serving params (threads=).
+  EXPECT_TRUE(
+      MakeModel("habit:threads=2,load=" + path + ",map=1", {}).ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace habit::api

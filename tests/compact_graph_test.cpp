@@ -475,5 +475,237 @@ TEST(SnapshotTest, CorruptFilesAreRejected) {
   EXPECT_FALSE(LoadGraphSnapshot(path).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy mmap loads: a mapped graph must be indistinguishable from the
+// copy-loaded one (views into the file vs heap vectors is an
+// implementation detail the query surface never exposes).
+
+TEST(SnapshotTest, MappedLoadIsBitIdentical) {
+  for (const uint64_t seed : {3u, 7u}) {
+    const Digraph g = MakeRandomGraph(seed, 90, 3);
+    const CompactGraph frozen = g.Freeze();
+    const std::string path = SnapshotPath("graph_mmap.snap");
+    ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+    auto copied = LoadGraphSnapshot(path);
+    ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+    auto mapped = LoadGraphSnapshotMapped(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_FALSE(copied.value().is_mapped());
+    EXPECT_TRUE(mapped.value().is_mapped());
+    ExpectGraphsIdentical(frozen, mapped.value());
+    ExpectGraphsIdentical(copied.value(), mapped.value());
+
+    // Shortest paths over the mapped graph are bit-identical to the
+    // frozen one (costs and node sequences).
+    const std::vector<NodeId> ids = AllIds(g);
+    Rng rng(seed + 200);
+    for (int trial = 0; trial < 20; ++trial) {
+      const NodeId s = ids[rng.UniformInt(0, ids.size() - 1)];
+      const NodeId t = ids[rng.UniformInt(0, ids.size() - 1)];
+      auto want = Dijkstra(frozen, s, t);
+      auto got = Dijkstra(mapped.value(), s, t);
+      ASSERT_EQ(want.ok(), got.ok());
+      if (want.ok()) {
+        EXPECT_EQ(want.value().cost, got.value().cost);
+        EXPECT_EQ(want.value().nodes, got.value().nodes);
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotTest, MappedAttributeLessGraphRoundTrips) {
+  const Digraph g = MakeRandomGraph(31, 50, 2);
+  const CompactGraph topo = g.Freeze(/*keep_attrs=*/false);
+  const std::string path = SnapshotPath("graph_mmap_topo.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(topo, path).ok());
+  auto mapped = LoadGraphSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().is_mapped());
+  EXPECT_FALSE(mapped.value().has_attrs());
+  ExpectGraphsIdentical(topo, mapped.value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MappedGraphOutlivesTheFileEntry) {
+  // POSIX semantics the serving path relies on: the mapping pins the file
+  // contents, so an artifact can be replaced/unlinked under a live model.
+  const CompactGraph frozen = MakeRandomGraph(37, 40, 2).Freeze();
+  const std::string path = SnapshotPath("graph_mmap_unlink.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+  auto mapped = LoadGraphSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  std::remove(path.c_str());
+  ExpectGraphsIdentical(frozen, mapped.value());
+}
+
+TEST(SnapshotTest, V1SnapshotsLoadThroughBothPaths) {
+  // Pre-PR artifacts (version 1, no alignment padding) must keep loading:
+  // the copying loader reads them natively and the mapped loader falls
+  // back to copying out of the mapping.
+  const CompactGraph frozen = MakeRandomGraph(29, 60, 2).Freeze();
+  const std::string path = SnapshotPath("graph_v1.snap");
+  SnapshotWriter writer(/*version=*/1);
+  AppendGraphSection(writer, frozen);
+  ASSERT_TRUE(writer.WriteToFile(path, SnapshotKind::kCompactGraph).ok());
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, 1u);
+
+  auto copied = LoadGraphSnapshot(path);
+  ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+  ExpectGraphsIdentical(frozen, copied.value());
+
+  auto mapped = LoadGraphSnapshotMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_FALSE(mapped.value().is_mapped());  // documented copy fallback
+  ExpectGraphsIdentical(frozen, mapped.value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, VersionSpoofedUnpaddedFileIsRejected) {
+  // The header version is not covered by the payload checksum, so a v1
+  // file restamped as v2 still "verifies" — the padding arithmetic and
+  // alignment checks must reject it instead of serving misaligned or
+  // misframed views.
+  const CompactGraph frozen = MakeRandomGraph(41, 60, 2).Freeze();
+  const std::string path = SnapshotPath("graph_spoof.snap");
+  SnapshotWriter writer(/*version=*/1);
+  AppendGraphSection(writer, frozen);
+  ASSERT_TRUE(writer.WriteToFile(path, SnapshotKind::kCompactGraph).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const uint32_t v2 = 2;
+    f.seekp(sizeof(uint32_t));  // version field follows the magic
+    f.write(reinterpret_cast<const char*>(&v2), sizeof(v2));
+  }
+  EXPECT_FALSE(LoadGraphSnapshotMapped(path).ok());
+  EXPECT_FALSE(LoadGraphSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedFilesAreRejectedByTheMappedLoader) {
+  const CompactGraph frozen = MakeRandomGraph(43, 40, 2).Freeze();
+  const std::string path = SnapshotPath("graph_mmap_trunc.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(LoadGraphSnapshotMapped(path).ok());
+
+  // Shorter than the fixed header: rejected before any field parse.
+  std::filesystem::resize_file(path, 8);
+  EXPECT_FALSE(LoadGraphSnapshotMapped(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadGraphSnapshotMapped(path).ok());
+}
+
+TEST(SnapshotTest, ProbeMatchesInspect) {
+  // ProbeSnapshot reads header + stored trailer only (the cache-hit
+  // fingerprint path); it must agree with the fully verifying
+  // InspectSnapshot on a healthy file.
+  const CompactGraph frozen = MakeRandomGraph(47, 50, 2).Freeze();
+  const std::string path = SnapshotPath("graph_probe.snap");
+  ASSERT_TRUE(SaveGraphSnapshot(frozen, path).ok());
+  auto inspected = InspectSnapshot(path);
+  auto probed = ProbeSnapshot(path);
+  ASSERT_TRUE(inspected.ok());
+  ASSERT_TRUE(probed.ok()) << probed.status().ToString();
+  EXPECT_EQ(probed.value().kind, inspected.value().kind);
+  EXPECT_EQ(probed.value().version, inspected.value().version);
+  EXPECT_EQ(probed.value().payload_bytes, inspected.value().payload_bytes);
+  EXPECT_EQ(probed.value().checksum, inspected.value().checksum);
+
+  // Not-a-snapshot and missing files still fail loudly.
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "cell,med_lon,med_lat\n1234,11.0,55.0\nmore,rows,here\n";
+  }
+  EXPECT_FALSE(ProbeSnapshot(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ProbeSnapshot(path).ok());
+}
+
+// The bucketed two-level IndexOf must stay exact on adversarial id
+// distributions: a dense cluster plus a far outlier collapses almost every
+// id into one interpolation bucket (the bisection fallback path).
+TEST(CompactGraphTest, IndexOfHandlesSkewedIdDistributions) {
+  Digraph g;
+  std::vector<NodeId> ids;
+  for (uint64_t i = 0; i < 200; ++i) ids.push_back(1000 + i);
+  ids.push_back(uint64_t{1} << 62);  // outlier stretches the id range
+  for (uint64_t i = 1; i <= 50; ++i) {
+    ids.push_back((uint64_t{1} << 62) + 7 * i);
+  }
+  for (const NodeId id : ids) g.AddNode(id);
+  const CompactGraph frozen = g.Freeze();
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(frozen.num_nodes(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(frozen.IndexOf(ids[i]), static_cast<NodeIndex>(i)) << ids[i];
+  }
+  // Misses on every side and inside every gap flavor.
+  EXPECT_EQ(frozen.IndexOf(0), kInvalidNodeIndex);
+  EXPECT_EQ(frozen.IndexOf(999), kInvalidNodeIndex);
+  EXPECT_EQ(frozen.IndexOf(1200), kInvalidNodeIndex);
+  EXPECT_EQ(frozen.IndexOf(uint64_t{1} << 40), kInvalidNodeIndex);
+  EXPECT_EQ(frozen.IndexOf((uint64_t{1} << 62) + 3), kInvalidNodeIndex);
+  EXPECT_EQ(frozen.IndexOf(UINT64_MAX), kInvalidNodeIndex);
+}
+
+// A moved-from graph must behave as an empty graph, not a half-alive one
+// (spans are trivially copyable, so the default move would have kept the
+// views while nulling the bucket array IndexOf dereferences).
+TEST(CompactGraphTest, MovedFromGraphIsEmpty) {
+  CompactGraph a = MakeRandomGraph(53, 30, 2).Freeze();
+  const NodeId probe = a.IdOf(0);
+  const CompactGraph b = std::move(a);
+  EXPECT_EQ(a.num_nodes(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.num_edges(), 0u);
+  EXPECT_FALSE(a.HasNode(probe));
+  EXPECT_EQ(a.IndexOf(probe), kInvalidNodeIndex);
+  EXPECT_EQ(b.IndexOf(probe), 0u);
+
+  CompactGraph c;
+  c = std::move(a);  // moving an empty graph is fine too
+  EXPECT_EQ(c.num_nodes(), 0u);
+}
+
+// The v1 mapped fallback copies every byte anyway, so it must keep the
+// checksum verification the copying loader has (a mapped v2 load skips it
+// by design — that is the documented zero-copy trade).
+TEST(SnapshotTest, CorruptV1SnapshotIsRejectedByTheMappedLoader) {
+  const CompactGraph frozen = MakeRandomGraph(59, 40, 2).Freeze();
+  const std::string path = SnapshotPath("graph_v1_corrupt.snap");
+  SnapshotWriter writer(/*version=*/1);
+  AppendGraphSection(writer, frozen);
+  ASSERT_TRUE(writer.WriteToFile(path, SnapshotKind::kCompactGraph).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(600);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(600);
+    f.write(&byte, 1);
+  }
+  auto copied = LoadGraphSnapshot(path);
+  ASSERT_FALSE(copied.ok());
+  auto mapped = LoadGraphSnapshotMapped(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+// A single-node graph (id range zero) must not divide by zero or probe
+// out of bucket bounds.
+TEST(CompactGraphTest, IndexOfSingleNode) {
+  Digraph g;
+  g.AddNode(42);
+  const CompactGraph frozen = g.Freeze();
+  EXPECT_EQ(frozen.IndexOf(42), 0u);
+  EXPECT_EQ(frozen.IndexOf(41), kInvalidNodeIndex);
+  EXPECT_EQ(frozen.IndexOf(43), kInvalidNodeIndex);
+}
+
 }  // namespace
 }  // namespace habit::graph

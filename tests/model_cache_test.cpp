@@ -1,0 +1,252 @@
+// ModelCache contract tests: hit/miss accounting, LRU eviction order
+// against the byte budget, handle safety across eviction (an in-flight
+// batch must never lose its model), and snapshot-fingerprint keying (the
+// same spec over a replaced artifact is a different cache entry).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/model_cache.h"
+#include "api/registry.h"
+
+namespace habit::api {
+namespace {
+
+// One dense lane of trips — enough structure for small HABIT builds at
+// several resolutions (distinct graphs => distinct SizeBytes per spec).
+std::vector<ais::Trip> MakeTrips() {
+  std::vector<ais::Trip> trips;
+  for (int t = 0; t < 6; ++t) {
+    ais::Trip trip;
+    trip.trip_id = t + 1;
+    trip.mmsi = 100 + t;
+    trip.type = ais::VesselType::kPassenger;
+    for (int i = 0; i < 90; ++i) {
+      ais::AisRecord r;
+      r.mmsi = trip.mmsi;
+      r.ts = 1000000 + i * 60;
+      r.pos = {55.0 + i * 0.003, 11.0 + 0.0004 * (t % 3)};
+      r.sog = 12.0;
+      r.type = trip.type;
+      trip.points.push_back(r);
+    }
+    trips.push_back(trip);
+  }
+  return trips;
+}
+
+ImputeRequest LaneRequest() {
+  ImputeRequest req;
+  req.gap_start = {55.06, 11.0};
+  req.gap_end = {55.08, 11.0};
+  req.t_start = 1000000;
+  req.t_end = 1003600;
+  return req;
+}
+
+std::string TmpPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+size_t ModelBytes(const std::string& spec,
+                  const std::vector<ais::Trip>& trips) {
+  auto model = MakeModel(spec, trips);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return model.value()->SizeBytes();
+}
+
+TEST(ModelCacheTest, HitMissAndLruEvictionOrder) {
+  const auto trips = MakeTrips();
+  const std::string a = "habit:r=7", b = "habit:r=8", c = "habit:r=9";
+  const size_t sa = ModelBytes(a, trips);
+  const size_t sb = ModelBytes(b, trips);
+  const size_t sc = ModelBytes(c, trips);
+  // Budget holds any two models but never all three, so the third insert
+  // must evict exactly the least-recently-used entry.
+  ModelCache cache(sa + sb + sc - 1);
+
+  ASSERT_TRUE(cache.Get(a, trips).ok());  // miss
+  ASSERT_TRUE(cache.Get(b, trips).ok());  // miss
+  ASSERT_TRUE(cache.Get(a, trips).ok());  // hit; b becomes LRU
+  ASSERT_TRUE(cache.Get(c, trips).ok());  // miss; evicts b, not a
+  ModelCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(cache.num_models(), 2u);
+
+  ASSERT_TRUE(cache.Get(a, trips).ok());  // still cached
+  EXPECT_EQ(cache.stats().hits, 2u);
+  ASSERT_TRUE(cache.Get(b, trips).ok());  // was evicted -> miss again
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ModelCacheTest, ByteBudgetIsEnforcedAgainstSizeBytes) {
+  const auto trips = MakeTrips();
+  const size_t sa = ModelBytes("habit:r=7", trips);
+  const size_t sb = ModelBytes("habit:r=8", trips);
+  ModelCache cache(sa + sb);
+  ASSERT_TRUE(cache.Get("habit:r=7", trips).ok());
+  EXPECT_EQ(cache.SizeBytes(), sa);
+  ASSERT_TRUE(cache.Get("habit:r=8", trips).ok());
+  EXPECT_EQ(cache.SizeBytes(), sa + sb);
+  EXPECT_LE(cache.SizeBytes(), cache.byte_budget());
+  ASSERT_TRUE(cache.Get("habit:r=9", trips).ok());
+  // Whatever was evicted, the budget invariant holds with exact
+  // SizeBytes accounting.
+  EXPECT_LE(cache.SizeBytes(), cache.byte_budget());
+
+  // A model larger than the whole budget is served but never cached.
+  ModelCache tiny(1);
+  auto oversized = tiny.Get("habit:r=8", trips);
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_GT(oversized.value()->SizeBytes(), tiny.byte_budget());
+  EXPECT_EQ(tiny.num_models(), 0u);
+  EXPECT_EQ(tiny.SizeBytes(), 0u);
+  EXPECT_TRUE(oversized.value()->Impute(LaneRequest()).ok());
+}
+
+TEST(ModelCacheTest, EvictionKeepsInFlightHandlesAlive) {
+  const auto trips = MakeTrips();
+  const size_t sa = ModelBytes("habit:r=8", trips);
+  ModelCache cache(sa);  // the r=8 model fills the whole budget
+
+  auto held = cache.Get("habit:r=8", trips);
+  ASSERT_TRUE(held.ok());
+  const auto want = held.value()->Impute(LaneRequest());
+  ASSERT_TRUE(want.ok());
+
+  // A worker keeps imputing on its handle while the cache churns through
+  // other models and evicts this one.
+  std::shared_ptr<const ImputationModel> handle = held.value();
+  std::thread worker([&handle, &want] {
+    const std::vector<ImputeRequest> batch(8, LaneRequest());
+    for (int i = 0; i < 30; ++i) {
+      const auto responses = handle->ImputeBatch(batch);
+      for (const auto& response : responses) {
+        ASSERT_TRUE(response.ok());
+        EXPECT_EQ(response.value().path, want.value().path);
+      }
+    }
+  });
+  // The r=7 model is smaller and under budget, so caching it forces the
+  // held r=8 model out.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cache.Get("habit:r=7", trips).ok());
+  }
+  worker.join();
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  // The eviction dropped the cache's reference; the two copies in this
+  // test (`held` and `handle`) are all that keep the model alive — and it
+  // still serves.
+  EXPECT_EQ(handle.use_count(), 2);
+  auto after = handle->Impute(LaneRequest());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().path, want.value().path);
+}
+
+TEST(ModelCacheTest, ReplacedSnapshotKeysADistinctEntry) {
+  const auto trips = MakeTrips();
+  const std::string path = TmpPath("cache_fingerprint.snap");
+  ASSERT_TRUE(MakeModel("habit:r=8,save=" + path, trips).ok());
+
+  const std::string load_spec = "habit:load=" + path;
+  const auto spec = MethodSpec::Parse(load_spec).MoveValue();
+  const std::string key_v1 = ModelCache::CacheKey(spec).MoveValue();
+
+  ModelCache cache(1ull << 30);
+  auto first = cache.Get(load_spec);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(cache.Get(load_spec).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Replace the artifact with a different model under the same path: the
+  // fingerprint changes, so the same spec is a fresh miss and both
+  // versions coexist as distinct entries.
+  ASSERT_TRUE(MakeModel("habit:r=9,save=" + path, trips).ok());
+  const std::string key_v2 = ModelCache::CacheKey(spec).MoveValue();
+  EXPECT_NE(key_v1, key_v2);
+
+  auto second = cache.Get(load_spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.num_models(), 2u);
+  EXPECT_EQ(first.value()->Configuration().substr(0, 3), "r=8");
+  EXPECT_EQ(second.value()->Configuration().substr(0, 3), "r=9");
+
+  // Specs without load= (and without trips) key on the canonical string
+  // alone.
+  const auto plain = MethodSpec::Parse("habit:r=8").MoveValue();
+  EXPECT_EQ(ModelCache::CacheKey(plain).MoveValue(), "habit:r=8");
+  // A missing snapshot cannot be keyed (the load would fail too).
+  const auto missing =
+      MethodSpec::Parse("habit:load=/nonexistent/m.snap").MoveValue();
+  EXPECT_FALSE(ModelCache::CacheKey(missing).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelCacheTest, SameSpecDifferentTrainingDataKeysDistinctEntries) {
+  // "habit:r=8" trained on two datasets must never alias: the KIEL-built
+  // model serving SAR queries would be silently wrong output.
+  const auto trips_a = MakeTrips();
+  auto trips_b = MakeTrips();
+  for (ais::Trip& trip : trips_b) {
+    for (ais::AisRecord& r : trip.points) r.pos.lng += 0.5;  // other lane
+  }
+  const auto spec = MethodSpec::Parse("habit:r=8").MoveValue();
+  EXPECT_NE(ModelCache::CacheKey(spec, trips_a).MoveValue(),
+            ModelCache::CacheKey(spec, trips_b).MoveValue());
+
+  ModelCache cache(1ull << 30);
+  auto on_a = cache.Get("habit:r=8", trips_a);
+  auto on_b = cache.Get("habit:r=8", trips_b);
+  ASSERT_TRUE(on_a.ok());
+  ASSERT_TRUE(on_b.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);  // second dataset is not a hit
+  EXPECT_EQ(cache.num_models(), 2u);
+  EXPECT_NE(on_a.value().get(), on_b.value().get());
+  // Same spec + same dataset still hits.
+  ASSERT_TRUE(cache.Get("habit:r=8", trips_a).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ModelCacheTest, SaveSpecsAlwaysPassThrough) {
+  // save= has a write side effect a cached repeat would skip; such specs
+  // are built every time and never enter the cache.
+  const auto trips = MakeTrips();
+  const std::string path = TmpPath("cache_save.snap");
+  ModelCache cache(1ull << 30);
+  ASSERT_TRUE(cache.Get("habit:r=8,save=" + path, trips).ok());
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+  ASSERT_TRUE(cache.Get("habit:r=8,save=" + path, trips).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));  // written again, not cached
+  EXPECT_EQ(cache.num_models(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelCacheTest, MappedModelsCacheAndServe) {
+  // map=1 composes with the cache: the entry serves from the mapping and
+  // survives Get-churn like any other model.
+  const auto trips = MakeTrips();
+  const std::string path = TmpPath("cache_mapped.snap");
+  ASSERT_TRUE(MakeModel("habit:r=8,save=" + path, trips).ok());
+  ModelCache cache(1ull << 30);
+  const std::string spec = "habit:load=" + path + ",map=1";
+  auto cold = cache.Get(spec);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = cache.Get(spec);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cold.value().get(), warm.value().get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(warm.value()->Impute(LaneRequest()).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace habit::api
