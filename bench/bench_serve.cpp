@@ -1,0 +1,205 @@
+// bench_serve — serving-frontend throughput/latency bench.
+//
+// Stands up a real habit_serve engine (TCP on an ephemeral loopback port,
+// shared worker pool, process-wide ModelCache over a snapshot built from
+// a synthetic KIEL feed), then drives it with N concurrent line-protocol
+// clients issuing ImputeBatch frames drawn from the experiment's gap
+// cases. Reports throughput (serve_qps) and per-frame latency (p50/p99),
+// next to the in-process ImputeBatch rate over the identical workload so
+// the protocol + dispatch overhead is visible as one ratio.
+//
+//   bench_serve [scale] [clients] [frames_per_client] [batch]
+//
+// Machine-readable results are emitted as `BENCH_METRIC {json}` lines
+// (folded by bench/run_all.sh into the trajectory file).
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parse.h"
+#include "core/stopwatch.h"
+#include "eval/harness.h"
+#include "server/line_client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace habit;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.25;
+  int clients = 4;
+  int frames_per_client = 8;
+  int batch = 32;
+  const char* names[] = {"scale", "clients", "frames_per_client", "batch"};
+  const auto usage = [&names](int i, const char* arg) {
+    std::fprintf(stderr,
+                 "usage: bench_serve [scale] [clients] "
+                 "[frames_per_client] [batch] (%s: %s)\n",
+                 names[i - 1], arg);
+    return 2;
+  };
+  if (argc > 1) {
+    const auto v = core::ParseDouble(argv[1]);
+    if (!v.ok() || v.value() <= 0 || v.value() > 1000) return usage(1, argv[1]);
+    scale = v.value();
+  }
+  // Integer knobs are parsed as integers: "2.7 clients" is garbage, not 2.
+  for (int i = 2; i < argc && i <= 4; ++i) {
+    const auto v = core::ParseInt(argv[i]);
+    if (!v.ok() || v.value() < 1 || v.value() > 1024) return usage(i, argv[i]);
+    if (i == 2) clients = v.value();
+    if (i == 3) frames_per_client = v.value();
+    if (i == 4) batch = v.value();
+  }
+
+  // ---- model: build once from a synthetic KIEL feed, snapshot, serve.
+  std::printf("preparing KIEL (scale %.2f)...\n", scale);
+  eval::ExperimentOptions exp_options;
+  exp_options.scale = scale;
+  auto exp = eval::PrepareExperiment("KIEL", exp_options);
+  if (!exp.ok()) return Fail(exp.status());
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "bench_serve.snap").string();
+  {
+    auto built = api::MakeModel("habit:r=9,save=" + snapshot_path,
+                                exp.value().train_trips);
+    if (!built.ok()) return Fail(built.status());
+  }
+  const std::string load_spec = "habit:load=" + snapshot_path;
+  const std::vector<api::ImputeRequest> gap_requests =
+      eval::GapRequests(exp.value());
+  if (gap_requests.empty()) return Fail(Status::Internal("no gap cases"));
+
+  // The per-frame batches every client cycles through.
+  std::vector<api::ImputeRequest> frame(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    frame[static_cast<size_t>(i)] =
+        gap_requests[static_cast<size_t>(i) % gap_requests.size()];
+  }
+  const uint64_t total_queries = static_cast<uint64_t>(clients) *
+                                 static_cast<uint64_t>(frames_per_client) *
+                                 static_cast<uint64_t>(batch);
+
+  // ---- in-process reference: the same total workload on one model.
+  auto inproc = api::MakeModel(load_spec, {});
+  if (!inproc.ok()) return Fail(inproc.status());
+  Stopwatch inproc_timer;
+  for (int f = 0; f < clients * frames_per_client; ++f) {
+    const auto responses = inproc.value()->ImputeBatch(frame);
+    if (responses.size() != frame.size()) {
+      return Fail(Status::Internal("short batch"));
+    }
+  }
+  const double inproc_seconds = inproc_timer.ElapsedSeconds();
+  const double inproc_qps =
+      static_cast<double>(total_queries) / inproc_seconds;
+
+  // ---- server: TCP on an ephemeral port, hardware-sized worker pool.
+  server::ServerOptions options;
+  options.max_batch = static_cast<size_t>(batch);
+  server::Server server(options);
+  {
+    auto spec = api::MethodSpec::Parse(load_spec);
+    if (!spec.ok()) return Fail(spec.status());
+    auto warm = server.Resolve(spec.value());  // pay the cold load up front
+    if (!warm.ok()) return Fail(warm.status());
+  }
+  const Status listen = server.Listen(0);
+  if (!listen.ok()) return Fail(listen);
+  std::thread serve_thread([&server] { (void)server.Serve(); });
+
+  const std::string frame_line =
+      server::EncodeImputeBatchRequest(load_spec, frame);
+  std::vector<std::vector<double>> frame_seconds(
+      static_cast<size_t>(clients));
+  // vector<char>, not vector<bool>: clients write their slot concurrently
+  // and vector<bool> packs flags into shared bytes (a data race).
+  std::vector<char> client_ok(static_cast<size_t>(clients), 0);
+  Stopwatch wall;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      server::LineClient client(server.bound_port());
+      if (!client.connected()) return;
+      std::string response;
+      for (int f = 0; f < frames_per_client; ++f) {
+        Stopwatch frame_timer;
+        if (!client.Call(frame_line, &response)) return;
+        frame_seconds[static_cast<size_t>(c)].push_back(
+            frame_timer.ElapsedSeconds());
+        // Every frame-level response must be ok:true (per-query failures
+        // embed inside "results"; a frame error means the bench is broken).
+        if (response.rfind("{\"ok\":true", 0) != 0) return;
+      }
+      client_ok[static_cast<size_t>(c)] = 1;
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double serve_seconds = wall.ElapsedSeconds();
+  server.Shutdown();
+  serve_thread.join();
+
+  std::vector<double> all_frames;
+  for (int c = 0; c < clients; ++c) {
+    if (!client_ok[static_cast<size_t>(c)]) {
+      return Fail(Status::Internal("client " + std::to_string(c) +
+                                   " failed mid-run"));
+    }
+    all_frames.insert(all_frames.end(),
+                      frame_seconds[static_cast<size_t>(c)].begin(),
+                      frame_seconds[static_cast<size_t>(c)].end());
+  }
+  const double serve_qps = static_cast<double>(total_queries) / serve_seconds;
+  const double p50_ms = Percentile(all_frames, 0.50) * 1e3;
+  const double p99_ms = Percentile(all_frames, 0.99) * 1e3;
+
+  std::printf(
+      "served %llu queries (%d clients x %d frames x batch %d) in %.2fs "
+      "over TCP: %.0f q/s (in-process %.0f q/s, overhead x%.2f)\n"
+      "frame latency p50 %.2f ms, p99 %.2f ms (batch of %d)\n",
+      static_cast<unsigned long long>(total_queries), clients,
+      frames_per_client, batch, serve_seconds, serve_qps, inproc_qps,
+      inproc_qps / serve_qps, p50_ms, p99_ms, batch);
+  const api::ModelCache::Stats stats = server.cache().stats();
+  std::printf("cache: %llu hits, %llu misses, %llu coalesced\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.coalesced));
+
+  std::printf(
+      "BENCH_METRIC {\"metric\":\"serve_qps\",\"dataset\":\"KIEL\","
+      "\"scale\":%.3f,\"clients\":%d,\"batch\":%d,\"workers\":%d,"
+      "\"serve_qps\":%.1f,\"inproc_qps\":%.1f,\"frame_p50_ms\":%.3f,"
+      "\"frame_p99_ms\":%.3f}\n",
+      scale, clients, batch, server.workers(), serve_qps, inproc_qps,
+      p50_ms, p99_ms);
+
+  std::remove(snapshot_path.c_str());
+  return 0;
+}

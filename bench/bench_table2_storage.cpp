@@ -31,6 +31,7 @@
 #endif
 
 #include "api/model_cache.h"
+#include "core/parse.h"
 #include "core/stopwatch.h"
 #include "eval/harness.h"
 #include "eval/report.h"
@@ -269,7 +270,18 @@ int main(int argc, char** argv) {
   // reporting density (8 s) and a larger scale — Table 2 only builds
   // models, so this stays cheap. The coldstart smoke mode accepts a
   // smaller scale for CI.
-  const double scale = argc > 2 ? std::atof(argv[2]) : 2.0;
+  double scale = 2.0;
+  if (argc > 2) {
+    const auto parsed = habit::core::ParseDouble(argv[2]);
+    if (!parsed.ok() || parsed.value() <= 0 || parsed.value() > 1000) {
+      std::fprintf(stderr,
+                   "usage: bench_table2_storage [coldstart] [scale] "
+                   "(scale: %s)\n",
+                   argv[2]);
+      return 2;
+    }
+    scale = parsed.value();
+  }
 
   std::vector<eval::Experiment> experiments;
   for (const char* name : {"KIEL", "SAR"}) {

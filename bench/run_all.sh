@@ -13,6 +13,9 @@
 # form `BENCH_METRIC {json object}`; those objects are passed through into
 # the "metrics" array of the bench's JSON line, so BENCH_*.json trajectories
 # capture measured quantities (e.g. query latency), not just wall time.
+# The glob picks up every bench_* binary — including bench_serve, which
+# stands up a real habit_serve TCP instance and reports serve_qps +
+# frame p50/p99 against the in-process ImputeBatch rate.
 set -u
 
 BUILD_DIR="${1:-build}"

@@ -33,13 +33,14 @@
 #include "ais/io.h"
 #include "ais/segment.h"
 #include "api/adapters.h"
-#include "api/model_cache.h"
+#include "core/parse.h"
 #include "core/stopwatch.h"
 #include "eval/harness.h"
 #include "eval/report.h"
 #include "graph/snapshot.h"
 #include "habit/imputer.h"
 #include "habit/serialize.h"
+#include "server/server.h"
 #include "sim/datasets.h"
 
 namespace {
@@ -51,14 +52,72 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Checked argument parsing (exit code 2 paths). atof/atoi would silently
+// turn garbage into 0 — "habit_cli impute m junk junk 54 10" must fail
+// loudly, not impute a gap from (0,0).
+
+/// Prints `usage` and returns 2 — argument errors are usage errors.
+int UsageError(const Status& status, const char* usage) {
+  std::fprintf(stderr, "error: %s\nusage: %s\n", status.ToString().c_str(),
+               usage);
+  return 2;
+}
+
+Result<double> ParseArgDouble(const char* arg, const char* name) {
+  auto v = core::ParseDouble(arg);
+  if (!v.ok()) {
+    return Status::InvalidArgument(std::string(name) + ": " +
+                                   v.status().message());
+  }
+  return v;
+}
+
+Result<int> ParseArgInt(const char* arg, const char* name) {
+  auto v = core::ParseInt(arg);
+  if (!v.ok()) {
+    return Status::InvalidArgument(std::string(name) + ": " +
+                                   v.status().message());
+  }
+  return v;
+}
+
+/// A lat/lng pair with geographic range validation (finite, |lat| <= 90,
+/// |lng| <= 180).
+Result<geo::LatLng> ParseArgLatLng(const char* lat_arg, const char* lng_arg,
+                                   const char* name) {
+  HABIT_ASSIGN_OR_RETURN(const double lat, ParseArgDouble(lat_arg, name));
+  HABIT_ASSIGN_OR_RETURN(const double lng, ParseArgDouble(lng_arg, name));
+  const geo::LatLng pos{lat, lng};
+  if (!pos.IsValid()) {
+    return Status::InvalidArgument(std::string(name) + ": " + pos.ToString() +
+                                   " is outside valid geographic bounds");
+  }
+  return pos;
+}
+
+/// Dataset scale factor: a finite double in (0, 1000].
+Result<double> ParseArgScale(const char* arg) {
+  HABIT_ASSIGN_OR_RETURN(const double scale, ParseArgDouble(arg, "scale"));
+  if (scale <= 0 || scale > 1000) {
+    return Status::InvalidArgument("scale " + std::string(arg) +
+                                   " out of range (0, 1000]");
+  }
+  return scale;
+}
+
 int CmdSimulate(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "habit_cli simulate <DAN|KIEL|SAR> <out.csv> [scale]";
   if (argc < 2) {
-    std::fprintf(stderr, "usage: habit_cli simulate <DAN|KIEL|SAR> <out.csv> "
-                         "[scale]\n");
+    std::fprintf(stderr, "usage: %s\n", kUsage);
     return 2;
   }
   sim::DatasetOptions options;
-  if (argc > 2) options.scale = std::atof(argv[2]);
+  if (argc > 2) {
+    const auto scale = ParseArgScale(argv[2]);
+    if (!scale.ok()) return UsageError(scale.status(), kUsage);
+    options.scale = scale.value();
+  }
   auto ds = sim::MakeDataset(argv[0], options);
   if (!ds.ok()) return Fail(ds.status());
   const Status st = ais::WriteAisCsv(ds.value().records, argv[1]);
@@ -126,22 +185,46 @@ int CmdBuild(int argc, char** argv) {
 }
 
 int CmdImpute(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "habit_cli impute <model_prefix> <lat1> <lng1> <lat2> <lng2> [r] [t]";
   if (argc < 5) {
-    std::fprintf(stderr, "usage: habit_cli impute <model_prefix> <lat1> "
-                         "<lng1> <lat2> <lng2> [r] [t]\n");
+    std::fprintf(stderr, "usage: %s\n", kUsage);
     return 2;
   }
+  const auto a = ParseArgLatLng(argv[1], argv[2], "gap start");
+  if (!a.ok()) return UsageError(a.status(), kUsage);
+  const auto b = ParseArgLatLng(argv[3], argv[4], "gap end");
+  if (!b.ok()) return UsageError(b.status(), kUsage);
   core::HabitConfig config;
-  if (argc > 5) config.resolution = std::atoi(argv[5]);
-  if (argc > 6) config.rdp_tolerance_m = std::atof(argv[6]);
+  if (argc > 5) {
+    const auto r = ParseArgInt(argv[5], "r (resolution)");
+    if (!r.ok()) return UsageError(r.status(), kUsage);
+    if (r.value() < 0 || r.value() > hex::kMaxResolution) {
+      return UsageError(
+          Status::InvalidArgument(
+              "r (resolution) " + std::to_string(r.value()) +
+              " out of range [0, " + std::to_string(hex::kMaxResolution) +
+              "]"),
+          kUsage);
+    }
+    config.resolution = r.value();
+  }
+  if (argc > 6) {
+    const auto t = ParseArgDouble(argv[6], "t (RDP tolerance, m)");
+    if (!t.ok()) return UsageError(t.status(), kUsage);
+    if (t.value() < 0) {
+      return UsageError(Status::InvalidArgument(
+                            "t (RDP tolerance, m) must be >= 0"),
+                        kUsage);
+    }
+    config.rdp_tolerance_m = t.value();
+  }
   auto loaded = core::LoadGraphCsv(argv[0], config);
   if (!loaded.ok()) return Fail(loaded.status());
   // Queries run against the frozen CSR form; the mutable graph is dropped.
   const graph::CompactGraph frozen = loaded.value().Freeze();
   const core::Imputer imputer(&frozen, config);
-  const geo::LatLng a{std::atof(argv[1]), std::atof(argv[2])};
-  const geo::LatLng b{std::atof(argv[3]), std::atof(argv[4])};
-  auto imp = imputer.Impute(a, b, 0, 3600);
+  auto imp = imputer.Impute(a.value(), b.value(), 0, 3600);
   if (!imp.ok()) return Fail(imp.status());
   std::printf("idx,lat,lng\n");
   for (size_t i = 0; i < imp.value().path.size(); ++i) {
@@ -195,29 +278,39 @@ int CmdSnapshot(int argc, char** argv) {
 }
 
 int CmdServeFromSnapshot(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "habit_cli serve-from-snapshot <snapshot.bin> <lat1> <lng1> <lat2> "
+      "<lng2> [spec]";
   if (argc < 5) {
-    std::fprintf(stderr, "usage: habit_cli serve-from-snapshot <snapshot.bin> "
-                         "<lat1> <lng1> <lat2> <lng2> [spec]\n");
+    std::fprintf(stderr, "usage: %s\n", kUsage);
     return 2;
   }
+  const auto a = ParseArgLatLng(argv[1], argv[2], "gap start");
+  if (!a.ok()) return UsageError(a.status(), kUsage);
+  const auto b = ParseArgLatLng(argv[3], argv[4], "gap end");
+  if (!b.ok()) return UsageError(b.status(), kUsage);
   auto spec = SpecWithPath(argc > 5 ? argv[5] : "habit", "load", argv[0]);
   if (!spec.ok()) return Fail(spec.status());
-  // Cold start: no trips, the snapshot is the whole model. The cache is
-  // what a serving frontend would hold for its lifetime; here it
-  // demonstrates the warm-hit path (the second Get is O(1) plus a
-  // snapshot header probe).
-  api::ModelCache cache(/*byte_budget=*/1ull << 30);
+  // Cold start: no trips, the snapshot is the whole model. Resolution goes
+  // through the same server::Server path habit_serve runs for its
+  // lifetime — one process-wide ModelCache — here exercised for one cold
+  // and one warm hit (the second Resolve is O(1) plus a snapshot header
+  // probe).
+  server::ServerOptions options;
+  options.cache_bytes = 1ull << 30;
+  options.threads = 1;
+  server::Server server(options);
   Stopwatch cold_timer;
-  auto model = cache.Get(spec.value());
+  auto model = server.Resolve(spec.value());
   if (!model.ok()) return Fail(model.status());
   const double cold_s = cold_timer.ElapsedSeconds();
   Stopwatch warm_timer;
-  auto warm = cache.Get(spec.value());
+  auto warm = server.Resolve(spec.value());
   if (!warm.ok()) return Fail(warm.status());
   const double warm_s = warm_timer.ElapsedSeconds();
   api::ImputeRequest req;
-  req.gap_start = {std::atof(argv[1]), std::atof(argv[2])};
-  req.gap_end = {std::atof(argv[3]), std::atof(argv[4])};
+  req.gap_start = a.value();
+  req.gap_end = b.value();
   req.t_start = 0;
   req.t_end = 3600;
   auto response = model.value()->Impute(req);
@@ -227,7 +320,7 @@ int CmdServeFromSnapshot(int argc, char** argv) {
     std::printf("%zu,%.6f,%.6f\n", i, response.value().path[i].lat,
                 response.value().path[i].lng);
   }
-  const api::ModelCache::Stats stats = cache.stats();
+  const api::ModelCache::Stats stats = server.cache().stats();
   std::fprintf(stderr,
                "%s %s cold load %.3fs, warm cache hit %.6fs "
                "(%llu hit/%llu miss, %.2f MB cached), %zu path points\n",
@@ -235,19 +328,23 @@ int CmdServeFromSnapshot(int argc, char** argv) {
                model.value()->Configuration().c_str(), cold_s, warm_s,
                static_cast<unsigned long long>(stats.hits),
                static_cast<unsigned long long>(stats.misses),
-               eval::BytesToMb(cache.SizeBytes()),
+               eval::BytesToMb(server.cache().SizeBytes()),
                response.value().path.size());
   return 0;
 }
 
 int CmdEval(int argc, char** argv) {
+  constexpr char kUsage[] = "habit_cli eval <DAN|KIEL|SAR> <spec> [scale]";
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: habit_cli eval <DAN|KIEL|SAR> <spec> [scale]\n");
+    std::fprintf(stderr, "usage: %s\n", kUsage);
     return 2;
   }
   eval::ExperimentOptions options;
-  if (argc > 2) options.scale = std::atof(argv[2]);
+  if (argc > 2) {
+    const auto scale = ParseArgScale(argv[2]);
+    if (!scale.ok()) return UsageError(scale.status(), kUsage);
+    options.scale = scale.value();
+  }
   auto exp = eval::PrepareExperiment(argv[0], options);
   if (!exp.ok()) return Fail(exp.status());
   auto report = eval::RunMethod(exp.value(), std::string(argv[1]));

@@ -1,0 +1,200 @@
+// habit_serve — the long-lived snapshot-serving frontend.
+//
+// Holds one process-wide api::ModelCache and answers the newline-delimited
+// JSON line protocol (see src/server/protocol.h) over TCP, or over
+// stdin/stdout with --stdin (no sockets — the mode tests and CI pipe
+// through). Models are named per request by registry spec
+// ("habit:load=/models/kiel.snap,map=1"), resolved through the cache
+// (single-flight: concurrent cold requests pay one snapshot load), and
+// batches partition across a shared worker pool — one SearchScratch per
+// worker against the frozen graph, the in-process threads=N discipline
+// generalized across concurrent clients.
+//
+//   habit_serve [--port N] [--cache-bytes N] [--threads N]
+//               [--max-batch N] [--preload SPEC]... [--stdin]
+//
+//   --port N         TCP port to listen on (loopback; 0 = ephemeral,
+//                    default 7411)
+//   --stdin          serve stdin/stdout instead of TCP
+//   --cache-bytes N  ModelCache byte budget (default 1 GiB)
+//   --threads N      worker pool size (default: hardware concurrency)
+//   --max-batch N    per-frame request cap (default 4096)
+//   --preload SPEC   resolve SPEC at startup (warm the cache before the
+//                    first request; repeatable)
+//
+// Example session:
+//   $ habit_serve --port 7411 --cache-bytes 2147483648 &
+//   $ printf '%s\n' '{"op":"impute","model":"habit:load=kiel.snap",
+//     "request":{"gap_start":{"lat":54.4,"lng":10.22},
+//     "gap_end":{"lat":54.52,"lng":10.3},"t_start":0,"t_end":3600}}' | nc 127.0.0.1 7411
+#include <sys/socket.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/parse.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace habit;
+
+// The listening socket, for the signal handler: shutdown(2) is
+// async-signal-safe and wakes the accept loop, which then exits cleanly.
+volatile int g_listen_fd = -1;
+
+void HandleSignal(int) {
+  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: habit_serve [--port N] [--cache-bytes N] "
+               "[--threads N] [--max-batch N]\n"
+               "                   [--preload SPEC]... [--stdin]\n");
+  return 2;
+}
+
+int BadFlag(const char* flag, const Status& status) {
+  std::fprintf(stderr, "error: %s: %s\n", flag, status.ToString().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  bool use_stdin = false;
+  int64_t port = 7411;
+  std::vector<std::string> preload;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--stdin") {
+      use_stdin = true;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return Usage();
+      const auto parsed = core::ParseInt64(v);
+      if (!parsed.ok()) return BadFlag("--port", parsed.status());
+      if (parsed.value() < 0 || parsed.value() > 65535) {
+        std::fprintf(stderr, "error: --port %lld out of range [0, 65535]\n",
+                     static_cast<long long>(parsed.value()));
+        return 2;
+      }
+      port = parsed.value();
+    } else if (arg == "--cache-bytes") {
+      const char* v = next("--cache-bytes");
+      if (v == nullptr) return Usage();
+      const auto parsed = core::ParseInt64(v);
+      if (!parsed.ok() || parsed.value() <= 0) {
+        return BadFlag("--cache-bytes",
+                       parsed.ok() ? Status::InvalidArgument("must be > 0")
+                                   : parsed.status());
+      }
+      options.cache_bytes = static_cast<size_t>(parsed.value());
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return Usage();
+      const auto parsed = core::ParseInt(v);
+      if (!parsed.ok() || parsed.value() < 1 || parsed.value() > 1024) {
+        return BadFlag("--threads",
+                       parsed.ok()
+                           ? Status::InvalidArgument("must be in [1, 1024]")
+                           : parsed.status());
+      }
+      options.threads = parsed.value();
+    } else if (arg == "--max-batch") {
+      const char* v = next("--max-batch");
+      if (v == nullptr) return Usage();
+      const auto parsed = core::ParseInt64(v);
+      if (!parsed.ok() || parsed.value() < 1) {
+        return BadFlag("--max-batch",
+                       parsed.ok() ? Status::InvalidArgument("must be >= 1")
+                                   : parsed.status());
+      }
+      options.max_batch = static_cast<size_t>(parsed.value());
+    } else if (arg == "--preload") {
+      const char* v = next("--preload");
+      if (v == nullptr) return Usage();
+      preload.push_back(v);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  server::Server server(options);
+
+  for (const std::string& spec_str : preload) {
+    auto spec = api::MethodSpec::Parse(spec_str);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "error: --preload %s: %s\n", spec_str.c_str(),
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    // Same spec policy as the serving surface: preloading a spec every
+    // client request would be refused for (or one with a save= side
+    // effect that is never cached) is a misconfiguration, not a warmup.
+    if (const Status policy = server::CheckServedSpec(spec.value());
+        !policy.ok()) {
+      std::fprintf(stderr, "error: --preload %s: %s\n", spec_str.c_str(),
+                   policy.ToString().c_str());
+      return 2;
+    }
+    auto model = server.Resolve(spec.value());
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: --preload %s: %s\n", spec_str.c_str(),
+                   model.status().ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "preloaded %s %s (%.1f MB)\n",
+                 model.value()->Name().c_str(),
+                 model.value()->Configuration().c_str(),
+                 static_cast<double>(model.value()->SizeBytes()) / 1048576.0);
+  }
+
+  if (use_stdin) {
+    server.ServeStream(std::cin, std::cout);
+    return 0;
+  }
+
+  const Status listen = server.Listen(static_cast<uint16_t>(port));
+  if (!listen.ok()) {
+    std::fprintf(stderr, "error: %s\n", listen.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "habit_serve listening on 127.0.0.1:%u (workers=%d, "
+               "cache=%.1f MB, max_batch=%zu)\n",
+               server.bound_port(), server.workers(),
+               static_cast<double>(options.cache_bytes) / 1048576.0,
+               options.max_batch);
+
+  // Publish the fd before installing handlers: a signal landing in
+  // between must find the fd, or the terminate request is silently
+  // swallowed and the supervisor escalates to SIGKILL.
+  g_listen_fd = server.listen_fd();
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  const Status served = server.Serve();
+  server.Shutdown();
+  if (!served.ok()) {
+    std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "habit_serve: shut down\n");
+  return 0;
+}

@@ -34,17 +34,6 @@ std::vector<int64_t> InterpolateTimestamps(const geo::Polyline& path,
   return out;
 }
 
-// Every adapter rejects malformed coordinates the same way, so the unified
-// API answers consistently regardless of the wrapped method.
-Status CheckEndpoints(const ImputeRequest& request) {
-  if (!request.gap_start.IsValid() || !request.gap_end.IsValid()) {
-    return Status::InvalidArgument("invalid gap endpoint " +
-                                   request.gap_start.ToString() + " -> " +
-                                   request.gap_end.ToString());
-  }
-  return Status::OK();
-}
-
 ImputeResponse ResponseFromPath(geo::Polyline path,
                                 const ImputeRequest& request) {
   ImputeResponse response;
@@ -134,6 +123,12 @@ std::vector<Result<ImputeResponse>> RunImputeBatch(
     core::Imputer::SearchScratch scratch;
     for (size_t i = begin; i < end; ++i) {
       Stopwatch sw;
+      const Status valid = ValidateRequest(requests[i]);
+      if (!valid.ok()) {
+        responses[i] = valid;
+        seconds[i] = sw.ElapsedSeconds();
+        continue;
+      }
       auto imputation = impute_one(requests[i], &scratch);
       if (imputation.ok()) {
         responses[i] = ResponseFromImputation(imputation.MoveValue());
@@ -254,7 +249,7 @@ class GtiAdapter : public ImputationModel {
     return buf;
   }
   Result<ImputeResponse> Impute(const ImputeRequest& request) const override {
-    HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+    HABIT_RETURN_NOT_OK(ValidateRequest(request));
     HABIT_ASSIGN_OR_RETURN(
         geo::Polyline path,
         model_->Impute(request.gap_start, request.gap_end));
@@ -275,7 +270,7 @@ class GtiAdapter : public ImputationModel {
     for (const ImputeRequest& request : requests) {
       Stopwatch sw;
       auto response = [&]() -> Result<ImputeResponse> {
-        HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+        HABIT_RETURN_NOT_OK(ValidateRequest(request));
         HABIT_ASSIGN_OR_RETURN(
             geo::Polyline path,
             model_->Impute(request.gap_start, request.gap_end, &scratch));
@@ -367,7 +362,7 @@ class PalmtoAdapter : public ImputationModel {
     return buf;
   }
   Result<ImputeResponse> Impute(const ImputeRequest& request) const override {
-    HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+    HABIT_RETURN_NOT_OK(ValidateRequest(request));
     HABIT_ASSIGN_OR_RETURN(
         geo::Polyline path,
         model_->Impute(request.gap_start, request.gap_end));
@@ -401,7 +396,7 @@ class SliAdapter : public ImputationModel {
   std::string Name() const override { return "SLI"; }
   std::string Configuration() const override { return "-"; }
   Result<ImputeResponse> Impute(const ImputeRequest& request) const override {
-    HABIT_RETURN_NOT_OK(CheckEndpoints(request));
+    HABIT_RETURN_NOT_OK(ValidateRequest(request));
     return ResponseFromPath(
         baselines::StraightLineImpute(request.gap_start, request.gap_end,
                                       num_points_),
@@ -458,6 +453,7 @@ std::string HabitModel::Configuration() const {
 }
 
 Result<ImputeResponse> HabitModel::Impute(const ImputeRequest& request) const {
+  HABIT_RETURN_NOT_OK(ValidateRequest(request));
   HABIT_ASSIGN_OR_RETURN(
       core::Imputation imputation,
       framework_->Impute(request.gap_start, request.gap_end, request.t_start,
@@ -523,6 +519,7 @@ Result<core::Imputation> TypedImpute(const core::TypedHabitFramework& fw,
 
 Result<ImputeResponse> TypedHabitModel::Impute(
     const ImputeRequest& request) const {
+  HABIT_RETURN_NOT_OK(ValidateRequest(request));
   core::Imputer::SearchScratch scratch;
   auto imputation = TypedImpute(*framework_, request, &scratch);
   if (!imputation.ok()) return imputation.status();

@@ -4,6 +4,21 @@
 
 namespace habit::api {
 
+Status ValidateRequest(const ImputeRequest& request) {
+  if (!request.gap_start.IsValid() || !request.gap_end.IsValid()) {
+    return Status::InvalidArgument("invalid gap endpoint " +
+                                   request.gap_start.ToString() + " -> " +
+                                   request.gap_end.ToString());
+  }
+  if (request.t_end < request.t_start) {
+    return Status::InvalidArgument(
+        "gap time span is negative (t_start=" +
+        std::to_string(request.t_start) +
+        " > t_end=" + std::to_string(request.t_end) + ")");
+  }
+  return Status::OK();
+}
+
 std::vector<Result<ImputeResponse>> ImputationModel::ImputeBatch(
     std::span<const ImputeRequest> requests,
     std::vector<double>* query_seconds) const {

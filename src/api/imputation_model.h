@@ -40,6 +40,18 @@ struct ImputeRequest {
   std::optional<ais::VesselType> vessel_type;
 };
 
+/// \brief Validates a request before it reaches any model.
+///
+/// kInvalidArgument when either endpoint is non-finite or outside valid
+/// geographic bounds, or when the time span is negative (t_end < t_start;
+/// an empty span t_end == t_start is legal — such requests carry no time
+/// model and get no interpolated timestamps). Every adapter's Impute /
+/// ImputeBatch applies this uniformly, and the serving frontend rejects
+/// invalid requests before resolving a model, so garbage input never
+/// reaches H3 indexing or timestamp interpolation — and never triggers a
+/// multi-second snapshot load.
+Status ValidateRequest(const ImputeRequest& request);
+
 /// \brief One imputed gap fill.
 struct ImputeResponse {
   /// The imputed path, starting at the gap start point and ending at the

@@ -72,6 +72,8 @@ Result<std::string> ModelCache::CacheKey(const MethodSpec& spec,
 Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
     const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
   HABIT_ASSIGN_OR_RETURN(const std::string key, CacheKey(spec, trips));
+  std::shared_ptr<InFlight> flight;
+  bool builder = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = index_.find(key);
@@ -80,11 +82,52 @@ Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->model;
     }
-    ++stats_.misses;
+    // Single-flight: the first miss on a key builds; concurrent misses on
+    // the same key wait on the builder's flight and share its result, so
+    // N simultaneous cold requests pay one load instead of N.
+    const auto [fit, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      fit->second = std::make_shared<InFlight>();
+      builder = true;
+      ++stats_.misses;
+    } else {
+      ++stats_.coalesced;
+    }
+    flight = fit->second;
+  }
+
+  if (!builder) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+    return flight->result;
   }
 
   // Build outside the lock: a load or retrain can take seconds and must
-  // not serialize unrelated cache traffic.
+  // not serialize unrelated cache traffic (misses on other keys keep
+  // building concurrently).
+  Result<std::shared_ptr<const ImputationModel>> result =
+      BuildAndInsert(key, spec, trips);
+
+  // Publish to waiters, then retire the flight. Order matters only in
+  // that the cache insert (inside BuildAndInsert) precedes the erase:
+  // a Get arriving in between finds either the cached entry or the
+  // still-open flight, never a gap that would trigger a second build.
+  {
+    std::lock_guard<std::mutex> publish_lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+  }
+  return result;
+}
+
+Result<std::shared_ptr<const ImputationModel>> ModelCache::BuildAndInsert(
+    const std::string& key, const MethodSpec& spec,
+    const std::vector<ais::Trip>& trips) {
   HABIT_ASSIGN_OR_RETURN(std::unique_ptr<ImputationModel> built,
                          MakeModel(spec, trips));
   std::shared_ptr<const ImputationModel> model = std::move(built);
@@ -96,23 +139,21 @@ Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
   // Re-key after the build: the artifact may have been replaced between
   // the fingerprint probe and the load. Caching what we just loaded under
   // the pre-replacement key would serve the wrong model forever after a
-  // rollback to the original file — serve this one uncached instead.
-  // (Only load= keys can race; a trips fingerprint is deterministic, so
-  // skip the re-hash for trips-built misses.)
+  // rollback to the original file — serve this one uncached instead. A
+  // probe *failure* (artifact unlinked mid-load — a pattern the mmap path
+  // explicitly supports, the mapped graph outlives the file) gets the
+  // same treatment: the build succeeded, so serve the model rather than
+  // manufacturing an error; it just cannot be keyed. (Only load= keys can
+  // race; a trips fingerprint is deterministic, so skip the re-hash for
+  // trips-built misses.)
   if (spec.params.contains("load")) {
-    HABIT_ASSIGN_OR_RETURN(const std::string key_after_build,
-                           CacheKey(spec, trips));
-    if (key_after_build != key) return model;
+    const Result<std::string> key_after_build = CacheKey(spec, trips);
+    if (!key_after_build.ok() || key_after_build.value() != key) {
+      return model;
+    }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    // A concurrent Get built the same model first; serve the cached one
-    // and drop ours.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->model;
-  }
   Insert(key, model);
   return model;
 }

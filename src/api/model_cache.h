@@ -32,11 +32,16 @@
 // *lookups*: handles already handed out (including mmap-backed models,
 // which pin the file contents) keep serving.
 //
-// Thread safety: all operations lock; concurrent Get of a missing key may
-// build the model more than once (last insert wins), which trades a rare
-// duplicate build for never holding the lock across a multi-second load.
+// Thread safety: all operations lock, but no build runs under the cache
+// lock. Concurrent Get misses on the same key are single-flighted: the
+// first caller becomes the builder, later callers wait on its in-flight
+// entry and share the winner's result (model or error) instead of
+// re-loading — under a serving frontend, N simultaneous cold requests for
+// one model pay exactly one multi-second snapshot load. Misses on
+// *different* keys still build concurrently.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -56,8 +61,12 @@ class ModelCache {
  public:
   struct Stats {
     uint64_t hits = 0;
-    uint64_t misses = 0;
+    uint64_t misses = 0;     ///< Gets that triggered a build
     uint64_t evictions = 0;
+    /// Gets that joined another caller's in-flight build of the same key
+    /// instead of building again (neither a hit nor a miss: no build was
+    /// triggered, but nothing was served from the cache either).
+    uint64_t coalesced = 0;
   };
 
   /// Models are cached while their total SizeBytes() stays within
@@ -95,6 +104,25 @@ class ModelCache {
     size_t bytes = 0;
   };
 
+  /// One in-flight build, shared between its builder and any coalesced
+  /// waiters. The builder publishes into `result` under `mu` and wakes the
+  /// waiters; the shared_ptr keeps it alive for late waiters even after
+  /// the key leaves `inflight_`.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::shared_ptr<const ImputationModel>> result =
+        Status::Internal("build pending");
+  };
+
+  /// Builds `spec` through the registry and inserts it under `key` (unless
+  /// the spec is uncacheable: save= side effects, or a load= artifact
+  /// replaced mid-build). Runs outside mu_.
+  Result<std::shared_ptr<const ImputationModel>> BuildAndInsert(
+      const std::string& key, const MethodSpec& spec,
+      const std::vector<ais::Trip>& trips);
+
   /// Inserts behind the lock, evicting LRU entries past the budget.
   void Insert(const std::string& key,
               const std::shared_ptr<const ImputationModel>& model);
@@ -103,6 +131,8 @@ class ModelCache {
   size_t byte_budget_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Builds currently in flight, keyed like `index_` (single-flight).
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   size_t total_bytes_ = 0;
   Stats stats_;
 };

@@ -1,10 +1,9 @@
 #include "api/registry.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <limits>
 
 #include "api/adapters.h"
+#include "core/parse.h"
 
 namespace habit::api {
 
@@ -73,28 +72,24 @@ Result<int64_t> MethodSpec::GetInt64(const std::string& key,
                                      int64_t default_value) const {
   const auto it = params.find(key);
   if (it == params.end()) return default_value;
-  char* end = nullptr;
-  errno = 0;
-  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+  const auto v = core::ParseInt64(it->second);
+  if (!v.ok()) {
     return Status::InvalidArgument("parameter " + key + "=" + it->second +
                                    " is not an integer");
   }
-  return v;
+  return v.value();
 }
 
 Result<double> MethodSpec::GetDouble(const std::string& key,
                                      double default_value) const {
   const auto it = params.find(key);
   if (it == params.end()) return default_value;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+  const auto v = core::ParseDouble(it->second);
+  if (!v.ok()) {
     return Status::InvalidArgument("parameter " + key + "=" + it->second +
-                                   " is not a number");
+                                   " is not a finite number");
   }
-  return v;
+  return v.value();
 }
 
 std::string MethodSpec::GetString(const std::string& key,

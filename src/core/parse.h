@@ -1,0 +1,61 @@
+// Checked string-to-number parsing: the strtod/strtoll-with-endptr idiom
+// behind MethodSpec's typed accessors, habit_cli's argument parsing, and
+// habit_serve's flag parsing. Unlike atof/atoi, these reject trailing
+// garbage, overflow, and (for doubles) non-finite values, so "junk" or
+// "1e999" never silently becomes a valid-looking number.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "core/status.h"
+
+namespace habit::core {
+
+/// Parses a finite double from the whole of `text` (leading whitespace per
+/// strtod; nothing may follow the number). kInvalidArgument on garbage,
+/// partial parses, overflow, and inf/nan.
+inline Result<double> ParseDouble(const std::string& text) {
+  // strtod also accepts C99 hex floats ("0x10" -> 16.0); for arguments
+  // that is garbage, not a number.
+  if (text.find('x') != std::string::npos ||
+      text.find('X') != std::string::npos) {
+    return Status::InvalidArgument("'" + text + "' is not a finite number");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  // No errno test: glibc sets ERANGE on *underflow* while returning a
+  // perfectly representable subnormal ("1e-310" must parse), and the
+  // overflow case it would catch is already rejected by !isfinite.
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
+    return Status::InvalidArgument("'" + text + "' is not a finite number");
+  }
+  return v;
+}
+
+/// Parses a base-10 int64 from the whole of `text`. kInvalidArgument on
+/// garbage, partial parses, and overflow.
+inline Result<int64_t> ParseInt64(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("'" + text + "' is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// ParseInt64 narrowed to int, rejecting values that overflow it.
+inline Result<int> ParseInt(const std::string& text) {
+  HABIT_ASSIGN_OR_RETURN(const int64_t v, ParseInt64(text));
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("'" + text + "' overflows int");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace habit::core

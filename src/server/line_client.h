@@ -1,0 +1,86 @@
+// A minimal blocking line-protocol client over loopback TCP: one frame
+// out (newline appended), one response line back. The ONE client-side
+// framing implementation — the server tests and bench_serve both drive
+// habit_serve through this, so a framing fix cannot drift between them.
+// For tooling and tests, not production clients (no timeouts, no TLS —
+// per the README, external traffic terminates at a fronting router).
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+namespace habit::server {
+
+class LineClient {
+ public:
+  explicit LineClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  /// Sends one newline-terminated frame.
+  bool Send(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Sends raw bytes (no framing added) — for malformed-input tests.
+  bool SendRaw(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t sent = ::send(fd_, bytes.data() + off,
+                                  bytes.size() - off, MSG_NOSIGNAL);
+      if (sent < 0 && errno == EINTR) continue;
+      if (sent <= 0) return false;
+      off += static_cast<size_t>(sent);
+    }
+    return true;
+  }
+
+  /// Half-closes the write side (the "one request, no trailing newline,
+  /// then shutdown" client pattern).
+  void HalfClose() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Reads one newline-terminated response (without the newline).
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[64 * 1024];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+  }
+
+  /// One round trip: Send then ReadLine.
+  bool Call(const std::string& line, std::string* response) {
+    return Send(line) && ReadLine(response);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+}  // namespace habit::server

@@ -1,0 +1,308 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ais/io.h"
+
+namespace habit::server {
+
+namespace {
+
+// The VesselType names the protocol accepts. VesselTypeFromString maps
+// unknown strings to kOther, which is exactly the silent-garbage behavior
+// a hardened surface must not have — so the protocol validates against
+// the round-trip instead.
+Result<ais::VesselType> ParseVesselType(const std::string& s) {
+  const ais::VesselType t = ais::VesselTypeFromString(s);
+  if (t == ais::VesselType::kOther && s != "other") {
+    return Status::InvalidArgument("unknown vessel_type '" + s + "'");
+  }
+  return t;
+}
+
+Status FieldError(const char* field, const char* what) {
+  return Status::InvalidArgument("request field '" + std::string(field) +
+                                 "' " + what);
+}
+
+Result<double> GetNumber(const Json& obj, const char* field) {
+  const Json* v = obj.Find(field);
+  if (v == nullptr) return FieldError(field, "is missing");
+  if (!v->is_number()) return FieldError(field, "must be a number");
+  return v->number_value();
+}
+
+Result<int64_t> GetOptionalInt64(const Json& obj, const char* field,
+                                 int64_t default_value) {
+  const Json* v = obj.Find(field);
+  if (v == nullptr) return default_value;
+  if (!v->is_number()) return FieldError(field, "must be a number");
+  const double d = v->number_value();
+  if (d != std::floor(d) || std::fabs(d) > 9.007199254740992e15) {
+    return FieldError(field, "must be an integer timestamp");
+  }
+  return static_cast<int64_t>(d);
+}
+
+Status CheckKnownMembers(const Json& obj,
+                         std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : obj.members()) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string hint;
+      for (const char* k : known) {
+        hint += hint.empty() ? k : std::string(", ") + k;
+      }
+      return Status::InvalidArgument("unknown field '" + key +
+                                     "' (known: " + hint + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Result<geo::LatLng> ParseEndpoint(const Json& obj, const char* field) {
+  const Json* v = obj.Find(field);
+  if (v == nullptr) return FieldError(field, "is missing");
+  if (!v->is_object()) {
+    return FieldError(field, "must be an object {\"lat\":..,\"lng\":..}");
+  }
+  HABIT_RETURN_NOT_OK(CheckKnownMembers(*v, {"lat", "lng"}));
+  HABIT_ASSIGN_OR_RETURN(const double lat, GetNumber(*v, "lat"));
+  HABIT_ASSIGN_OR_RETURN(const double lng, GetNumber(*v, "lng"));
+  return geo::LatLng{lat, lng};
+}
+
+Result<api::ImputeRequest> ParseImputeRequest(const Json& obj) {
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  HABIT_RETURN_NOT_OK(CheckKnownMembers(
+      obj, {"gap_start", "gap_end", "t_start", "t_end", "vessel_type"}));
+  api::ImputeRequest request;
+  HABIT_ASSIGN_OR_RETURN(request.gap_start, ParseEndpoint(obj, "gap_start"));
+  HABIT_ASSIGN_OR_RETURN(request.gap_end, ParseEndpoint(obj, "gap_end"));
+  HABIT_ASSIGN_OR_RETURN(request.t_start,
+                         GetOptionalInt64(obj, "t_start", 0));
+  HABIT_ASSIGN_OR_RETURN(request.t_end, GetOptionalInt64(obj, "t_end", 0));
+  if (const Json* vt = obj.Find("vessel_type"); vt != nullptr) {
+    if (!vt->is_string()) {
+      return FieldError("vessel_type", "must be a string");
+    }
+    HABIT_ASSIGN_OR_RETURN(const ais::VesselType type,
+                           ParseVesselType(vt->string_value()));
+    request.vessel_type = type;
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line, size_t max_batch) {
+  // Scale the parser's tree cap with the configured batch cap (a request
+  // is ~11 JSON values) so an operator raising --max-batch does not make
+  // legitimate in-limit frames unparseable; the floor keeps the default
+  // expansion-bomb protection.
+  const size_t max_values = std::max<size_t>(
+      262144, std::min<size_t>(max_batch, 50'000'000) * 20);
+  HABIT_ASSIGN_OR_RETURN(const Json frame,
+                         Json::Parse(line, /*max_depth=*/64, max_values));
+  if (!frame.is_object()) {
+    return Status::InvalidArgument("request frame must be a JSON object");
+  }
+  const Json* op = frame.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument(
+        "request frame needs a string \"op\" field");
+  }
+
+  Request out;
+  if (const Json* id = frame.Find("id"); id != nullptr) {
+    if (!id->is_string() && !id->is_number()) {
+      return Status::InvalidArgument("\"id\" must be a string or number");
+    }
+    out.id = *id;
+  }
+
+  const std::string& name = op->string_value();
+  if (name == "ping" || name == "methods" || name == "stats") {
+    HABIT_RETURN_NOT_OK(CheckKnownMembers(frame, {"op", "id"}));
+    out.op = name == "ping"      ? Request::Op::kPing
+             : name == "methods" ? Request::Op::kMethods
+                                 : Request::Op::kStats;
+    return out;
+  }
+  if (name != "impute" && name != "impute_batch") {
+    return Status::InvalidArgument(
+        "unknown op '" + name +
+        "' (known: ping, methods, stats, impute, impute_batch)");
+  }
+
+  const Json* model = frame.Find("model");
+  if (model == nullptr || !model->is_string() ||
+      model->string_value().empty()) {
+    return Status::InvalidArgument("op '" + name +
+                                   "' needs a non-empty string \"model\"");
+  }
+  out.model = model->string_value();
+
+  if (name == "impute") {
+    HABIT_RETURN_NOT_OK(
+        CheckKnownMembers(frame, {"op", "id", "model", "request"}));
+    out.op = Request::Op::kImpute;
+    const Json* request = frame.Find("request");
+    if (request == nullptr) {
+      return Status::InvalidArgument("op 'impute' needs a \"request\"");
+    }
+    HABIT_ASSIGN_OR_RETURN(api::ImputeRequest parsed,
+                           ParseImputeRequest(*request));
+    out.requests.push_back(parsed);
+    return out;
+  }
+
+  HABIT_RETURN_NOT_OK(
+      CheckKnownMembers(frame, {"op", "id", "model", "requests"}));
+  out.op = Request::Op::kImputeBatch;
+  const Json* requests = frame.Find("requests");
+  if (requests == nullptr || !requests->is_array()) {
+    return Status::InvalidArgument(
+        "op 'impute_batch' needs a \"requests\" array");
+  }
+  if (requests->items().empty()) {
+    return Status::InvalidArgument("\"requests\" must not be empty");
+  }
+  if (requests->items().size() > max_batch) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(requests->items().size()) +
+        " requests exceeds the per-frame limit of " +
+        std::to_string(max_batch));
+  }
+  out.requests.reserve(requests->items().size());
+  for (size_t i = 0; i < requests->items().size(); ++i) {
+    auto parsed = ParseImputeRequest(requests->items()[i]);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("requests[" + std::to_string(i) +
+                                     "]: " + parsed.status().message());
+    }
+    out.requests.push_back(parsed.MoveValue());
+  }
+  return out;
+}
+
+Json ImputeRequestToJson(const api::ImputeRequest& request) {
+  Json obj = Json::Object();
+  Json start = Json::Object();
+  start.Set("lat", Json::Number(request.gap_start.lat));
+  start.Set("lng", Json::Number(request.gap_start.lng));
+  Json end = Json::Object();
+  end.Set("lat", Json::Number(request.gap_end.lat));
+  end.Set("lng", Json::Number(request.gap_end.lng));
+  obj.Set("gap_start", std::move(start));
+  obj.Set("gap_end", std::move(end));
+  obj.Set("t_start", Json::Number(static_cast<double>(request.t_start)));
+  obj.Set("t_end", Json::Number(static_cast<double>(request.t_end)));
+  if (request.vessel_type.has_value()) {
+    obj.Set("vessel_type",
+            Json::String(ais::VesselTypeToString(*request.vessel_type)));
+  }
+  return obj;
+}
+
+std::string EncodeImputeRequest(const std::string& model,
+                                const api::ImputeRequest& request) {
+  Json frame = Json::Object();
+  frame.Set("op", Json::String("impute"));
+  frame.Set("model", Json::String(model));
+  frame.Set("request", ImputeRequestToJson(request));
+  return frame.Dump();
+}
+
+std::string EncodeImputeBatchRequest(
+    const std::string& model, std::span<const api::ImputeRequest> requests) {
+  Json frame = Json::Object();
+  frame.Set("op", Json::String("impute_batch"));
+  frame.Set("model", Json::String(model));
+  Json arr = Json::Array();
+  for (const api::ImputeRequest& request : requests) {
+    arr.Append(ImputeRequestToJson(request));
+  }
+  frame.Set("requests", std::move(arr));
+  return frame.Dump();
+}
+
+namespace {
+
+Json ErrorObject(const Status& status) {
+  Json err = Json::Object();
+  err.Set("code", Json::String(StatusCodeToString(status.code())));
+  err.Set("message", Json::String(status.message()));
+  return err;
+}
+
+void MaybeEchoId(Json* frame, const Json& id) {
+  if (!id.is_null()) frame->Set("id", id);
+}
+
+}  // namespace
+
+Json ImputeResultToJson(const Result<api::ImputeResponse>& result) {
+  Json obj = Json::Object();
+  if (!result.ok()) {
+    obj.Set("ok", Json::Bool(false));
+    obj.Set("error", ErrorObject(result.status()));
+    return obj;
+  }
+  const api::ImputeResponse& response = result.value();
+  obj.Set("ok", Json::Bool(true));
+  Json path = Json::Array();
+  for (const geo::LatLng& p : response.path) {
+    Json point = Json::Array();
+    point.Append(Json::Number(p.lat));
+    point.Append(Json::Number(p.lng));
+    path.Append(std::move(point));
+  }
+  obj.Set("path", std::move(path));
+  Json timestamps = Json::Array();
+  for (const int64_t t : response.timestamps) {
+    timestamps.Append(Json::Number(static_cast<double>(t)));
+  }
+  obj.Set("timestamps", std::move(timestamps));
+  obj.Set("expanded", Json::Number(static_cast<double>(response.expanded)));
+  return obj;
+}
+
+std::string ImputeResponseLine(const Result<api::ImputeResponse>& result,
+                               const Json& id) {
+  Json frame = ImputeResultToJson(result);
+  MaybeEchoId(&frame, id);
+  return frame.Dump();
+}
+
+std::string BatchResponseLine(
+    std::span<const Result<api::ImputeResponse>> results, const Json& id) {
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  Json arr = Json::Array();
+  for (const Result<api::ImputeResponse>& result : results) {
+    arr.Append(ImputeResultToJson(result));
+  }
+  frame.Set("results", std::move(arr));
+  MaybeEchoId(&frame, id);
+  return frame.Dump();
+}
+
+std::string ErrorResponseLine(const Status& status, const Json& id) {
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(false));
+  frame.Set("error", ErrorObject(status));
+  MaybeEchoId(&frame, id);
+  return frame.Dump();
+}
+
+}  // namespace habit::server

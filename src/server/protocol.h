@@ -1,0 +1,88 @@
+// The habit_serve line protocol: newline-delimited JSON frames, one
+// request line in, one response line out, over TCP or a stdin/stdout
+// pipe. Framing and parsing are hardened for network input — every
+// malformed frame maps to a structured error response, never to a crash
+// or a silently defaulted field.
+//
+// Requests (one JSON object per line):
+//   {"op":"ping"}
+//   {"op":"methods"}
+//   {"op":"stats"}
+//   {"op":"impute","model":"habit:load=/m.snap","request":{
+//        "gap_start":{"lat":54.4,"lng":10.2},
+//        "gap_end":{"lat":54.5,"lng":10.3},
+//        "t_start":0,"t_end":3600,"vessel_type":"cargo"}}
+//   {"op":"impute_batch","model":<spec>,"requests":[<request>,...]}
+//
+// `t_start`/`t_end` default to 0 (no time model); `vessel_type` is
+// optional and must be one of the ais::VesselType names. Any request may
+// carry an "id" (string or number), echoed verbatim in the response so
+// clients can pipeline frames over one connection. Unknown fields are
+// rejected, not ignored: a typo ("lng" vs "lon") must fail loudly, the
+// same contract as MethodSpec::CheckKnownKeys.
+//
+// Responses:
+//   {"ok":true,...}                          op-specific payload
+//   {"ok":false,"error":{"code":"InvalidArgument","message":"..."}}
+// Batch responses carry per-query results — a query-level failure
+// (e.g. Unreachable) is {"ok":false,...} *inside* "results" while the
+// frame itself stays ok:true.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/imputation_model.h"
+#include "core/status.h"
+#include "server/json.h"
+
+namespace habit::server {
+
+/// \brief One parsed protocol request.
+struct Request {
+  enum class Op { kPing, kMethods, kStats, kImpute, kImputeBatch };
+  Op op = Op::kPing;
+  std::string model;  ///< registry spec string (impute ops only)
+  /// The queries: exactly one for kImpute, 1..max_batch for kImputeBatch.
+  std::vector<api::ImputeRequest> requests;
+  Json id;  ///< client correlation id (echoed); null when absent
+};
+
+/// Parses one request frame. `max_batch` bounds the per-frame query count
+/// (a single frame must not buffer unbounded work); kInvalidArgument on
+/// malformed JSON, unknown ops, missing/mistyped/unknown fields, and
+/// oversized batches.
+Result<Request> ParseRequest(std::string_view line, size_t max_batch);
+
+/// Serializes one ImputeRequest as a protocol JSON object (client side:
+/// bench_serve, tests, and doc examples build frames through this).
+Json ImputeRequestToJson(const api::ImputeRequest& request);
+
+/// Builds the full frame for a single-impute / batch request.
+std::string EncodeImputeRequest(const std::string& model,
+                                const api::ImputeRequest& request);
+std::string EncodeImputeBatchRequest(
+    const std::string& model, std::span<const api::ImputeRequest> requests);
+
+/// One imputation result as a JSON object: {"ok":true,"path":[[lat,lng],
+/// ...],"timestamps":[...],"expanded":n} or {"ok":false,"error":{...}}.
+Json ImputeResultToJson(const Result<api::ImputeResponse>& result);
+
+/// The ok:true frame for a single impute (the result object plus echoed
+/// id) — a response line, without the trailing newline.
+std::string ImputeResponseLine(const Result<api::ImputeResponse>& result,
+                               const Json& id);
+
+/// The ok:true frame for a batch: {"ok":true,"results":[...]}. Per-query
+/// failures are embedded per-result; the frame itself is ok. Serializing
+/// in-process ImputeBatch output through this yields byte-identical lines
+/// to the server's — the equivalence the protocol tests assert.
+std::string BatchResponseLine(
+    std::span<const Result<api::ImputeResponse>> results, const Json& id);
+
+/// The ok:false frame for a frame-level error.
+std::string ErrorResponseLine(const Status& status, const Json& id = Json());
+
+}  // namespace habit::server

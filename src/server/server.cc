@@ -1,0 +1,555 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "api/registry.h"
+
+namespace habit::server {
+
+// ---------------------------------------------------------------- WorkerPool
+
+WorkerPool::WorkerPool(int workers) {
+  const int n = workers > 0
+                    ? workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  const int count = n > 0 ? n : 1;
+  threads_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerMain() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Per-batch completion latch: the submitting (connection) thread blocks
+  // here, not on the pool, so many connections can have batches in flight
+  // while total search concurrency stays at workers().
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back([task = std::move(task), latch] {
+        task();
+        std::lock_guard<std::mutex> done_lock(latch->mu);
+        if (--latch->remaining == 0) latch->cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> wait_lock(latch->mu);
+  latch->cv.wait(wait_lock, [&latch] { return latch->remaining == 0; });
+}
+
+// -------------------------------------------------------------------- Server
+
+Status CheckServedSpec(const api::MethodSpec& spec) {
+  // save= has a write side effect per resolution; a query surface must
+  // not be a remote file-writing primitive.
+  if (spec.params.contains("save")) {
+    return Status::InvalidArgument(
+        "save= is not allowed in a served model spec");
+  }
+  // threads= is the *in-process* batch-parallelism knob; under the server
+  // the worker pool owns concurrency. Letting clients set it would nest
+  // thread pools (workers x threads searches per frame, unbounded by
+  // --threads) and key a distinct cache entry per value — an easy way to
+  // flood the byte budget with duplicate models.
+  if (spec.params.contains("threads")) {
+    return Status::InvalidArgument(
+        "threads= is not allowed in a served model spec (concurrency is "
+        "the server's --threads worker pool)");
+  }
+  return Status::OK();
+}
+
+Server::Server(const ServerOptions& options)
+    : options_(options), cache_(options.cache_bytes), pool_(options.threads) {}
+
+Server::~Server() {
+  Shutdown();
+  // Connection threads are detached but counted; they touch no Server
+  // state after their final decrement, so once the count drains the
+  // object is safe to destroy.
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  lock.unlock();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Result<std::shared_ptr<const api::ImputationModel>> Server::Resolve(
+    const api::MethodSpec& spec) {
+  auto model = cache_.Get(spec);
+  if (model.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++model_stats_[spec.ToString()].resolves;
+  }
+  return model;
+}
+
+std::string Server::HandleLine(std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++frames_total_;
+  }
+  if (line.size() > options_.max_line_bytes) {
+    return RejectFrame(Status::InvalidArgument(
+        "frame of " + std::to_string(line.size()) +
+        " bytes exceeds the limit of " +
+        std::to_string(options_.max_line_bytes)));
+  }
+  auto parsed = ParseRequest(line, options_.max_batch);
+  if (!parsed.ok()) return RejectFrame(parsed.status());
+  return HandleParsed(parsed.value());
+}
+
+std::string Server::RejectFrame(const Status& status, const Json& id) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++frames_rejected_;
+  }
+  return ErrorResponseLine(status, id);
+}
+
+std::string Server::HandleParsed(const Request& request) {
+  switch (request.op) {
+    case Request::Op::kPing: {
+      Json frame = Json::Object();
+      frame.Set("ok", Json::Bool(true));
+      frame.Set("op", Json::String("ping"));
+      if (!request.id.is_null()) frame.Set("id", request.id);
+      return frame.Dump();
+    }
+    case Request::Op::kMethods:
+      return MethodsLine(request.id);
+    case Request::Op::kStats:
+      return StatsLine(request.id);
+    case Request::Op::kImpute:
+    case Request::Op::kImputeBatch:
+      return HandleImpute(request);
+  }
+  return ErrorResponseLine(Status::Internal("unhandled op"));
+}
+
+std::string Server::HandleImpute(const Request& request) {
+  // Validate every query before touching the cache: an invalid request
+  // must never trigger (or wait on) a snapshot load. The whole frame is
+  // rejected fail-fast — a client sending garbage gets told so instead of
+  // paying for the valid remainder.
+  for (size_t i = 0; i < request.requests.size(); ++i) {
+    const Status valid = api::ValidateRequest(request.requests[i]);
+    if (!valid.ok()) {
+      // Name the field the client actually sent: "request" for the
+      // single-impute op, the failing array index for batches.
+      const std::string field = request.op == Request::Op::kImpute
+                                    ? "request"
+                                    : "requests[" + std::to_string(i) + "]";
+      return RejectFrame(
+          Status::InvalidArgument(field + ": " + valid.message()),
+          request.id);
+    }
+  }
+
+  auto spec = api::MethodSpec::Parse(request.model);
+  if (!spec.ok()) return RejectFrame(spec.status(), request.id);
+  if (const Status policy = CheckServedSpec(spec.value()); !policy.ok()) {
+    return RejectFrame(policy, request.id);
+  }
+  auto model = Resolve(spec.value());
+  if (!model.ok()) return RejectFrame(model.status(), request.id);
+
+  const std::vector<Result<api::ImputeResponse>> results =
+      DispatchBatch(*model.value(), request.requests);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ModelStats& stats = model_stats_[spec.value().ToString()];
+    for (const auto& result : results) {
+      if (result.ok()) {
+        ++stats.queries_ok;
+      } else {
+        ++stats.queries_failed;
+      }
+    }
+  }
+
+  if (request.op == Request::Op::kImpute) {
+    return ImputeResponseLine(results.front(), request.id);
+  }
+  return BatchResponseLine(results, request.id);
+}
+
+std::vector<Result<api::ImputeResponse>> Server::DispatchBatch(
+    const api::ImputationModel& model,
+    std::span<const api::ImputeRequest> requests) {
+  const size_t n = requests.size();
+  const size_t chunks =
+      std::min(static_cast<size_t>(pool_.workers()), n > 0 ? n : 1);
+  if (chunks <= 1) {
+    // Still runs on the pool: every search runs on a worker thread, so
+    // process-wide search concurrency is bounded by the pool size no
+    // matter how many connection threads exist.
+    std::vector<Result<api::ImputeResponse>> results;
+    pool_.RunAll({[&] { results = model.ImputeBatch(requests); }});
+    return results;
+  }
+  // Partition across workers, one serial sub-batch (and therefore one
+  // SearchScratch, inside the adapter's ImputeBatch) per chunk. Queries
+  // are independent, so chunked results concatenate to exactly the
+  // single-call ImputeBatch output.
+  std::vector<std::vector<Result<api::ImputeResponse>>> parts(chunks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    tasks.push_back([&model, &parts, requests, c, begin, end] {
+      parts[c] = model.ImputeBatch(requests.subspan(begin, end - begin));
+    });
+  }
+  pool_.RunAll(std::move(tasks));
+  std::vector<Result<api::ImputeResponse>> results;
+  results.reserve(n);
+  for (std::vector<Result<api::ImputeResponse>>& part : parts) {
+    for (Result<api::ImputeResponse>& result : part) {
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+std::string Server::MethodsLine(const Json& id) {
+  const api::ModelRegistry& registry = api::ModelRegistry::Global();
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  Json methods = Json::Array();
+  for (const std::string& name : registry.MethodNames()) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::String(name));
+    entry.Set("description", Json::String(registry.Description(name)));
+    methods.Append(std::move(entry));
+  }
+  frame.Set("methods", std::move(methods));
+  if (!id.is_null()) frame.Set("id", id);
+  return frame.Dump();
+}
+
+std::string Server::StatsLine(const Json& id) {
+  const api::ModelCache::Stats cache_stats = cache_.stats();
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  Json cache = Json::Object();
+  cache.Set("budget_bytes",
+            Json::Number(static_cast<double>(cache_.byte_budget())));
+  cache.Set("cached_bytes",
+            Json::Number(static_cast<double>(cache_.SizeBytes())));
+  cache.Set("models", Json::Number(static_cast<double>(cache_.num_models())));
+  cache.Set("hits", Json::Number(static_cast<double>(cache_stats.hits)));
+  cache.Set("misses", Json::Number(static_cast<double>(cache_stats.misses)));
+  cache.Set("evictions",
+            Json::Number(static_cast<double>(cache_stats.evictions)));
+  cache.Set("coalesced",
+            Json::Number(static_cast<double>(cache_stats.coalesced)));
+  frame.Set("cache", std::move(cache));
+  frame.Set("workers", Json::Number(pool_.workers()));
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  frame.Set("frames", Json::Number(static_cast<double>(frames_total_)));
+  frame.Set("frames_rejected",
+            Json::Number(static_cast<double>(frames_rejected_)));
+  Json models = Json::Array();
+  for (const auto& [spec, stats] : model_stats_) {
+    Json entry = Json::Object();
+    entry.Set("model", Json::String(spec));
+    entry.Set("resolves", Json::Number(static_cast<double>(stats.resolves)));
+    entry.Set("queries_ok",
+              Json::Number(static_cast<double>(stats.queries_ok)));
+    entry.Set("queries_failed",
+              Json::Number(static_cast<double>(stats.queries_failed)));
+    models.Append(std::move(entry));
+  }
+  frame.Set("models", std::move(models));
+  if (!id.is_null()) frame.Set("id", id);
+  return frame.Dump();
+}
+
+namespace {
+
+// Drains complete newline-terminated lines from *buffer ('\r' stripped,
+// blank lines skipped), calling emit(line) for each. emit returns false
+// to stop; consumed bytes are erased either way. Used by the TCP
+// transport; ServeStream frames per character (it must answer the moment
+// a newline arrives on a still-open pipe) but follows the same rules —
+// the framing contract shared by both lives in the server tests.
+template <typename EmitFn>
+bool DrainLines(std::string* buffer, const EmitFn& emit) {
+  size_t start = 0;
+  size_t nl;
+  bool keep_going = true;
+  while (keep_going &&
+         (nl = buffer->find('\n', start)) != std::string::npos) {
+    std::string_view line(buffer->data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = nl + 1;
+    if (line.empty()) continue;
+    keep_going = emit(line);
+  }
+  buffer->erase(0, start);
+  return keep_going;
+}
+
+// True when the buffer holds an unterminated frame already past the cap —
+// it can never become a valid line, so the transport answers once and
+// stops instead of buffering unboundedly.
+bool FrameOverflowed(const std::string& buffer, size_t max_line_bytes) {
+  return buffer.find('\n') == std::string::npos &&
+         buffer.size() > max_line_bytes;
+}
+
+}  // namespace
+
+void Server::ServeStream(std::istream& in, std::ostream& out) {
+  // Character-at-a-time so each frame is answered the moment its newline
+  // arrives — a block read would sit on a long-lived pipe waiting for a
+  // full chunk while the writer waits for the response (deadlock). The
+  // per-char overhead is irrelevant next to request handling, and the
+  // line buffer stays bounded by the same cap as the TCP path.
+  std::string line;
+  const auto emit = [this, &out](std::string_view frame) {
+    if (!frame.empty() && frame.back() == '\r') frame.remove_suffix(1);
+    if (frame.empty()) return true;
+    out << HandleLine(frame) << '\n';
+    out.flush();
+    return static_cast<bool>(out);
+  };
+  int ch;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    if (ch == '\n') {
+      if (!emit(line)) return;
+      line.clear();
+      continue;
+    }
+    line.push_back(static_cast<char>(ch));
+    // Same oversized-frame rule as the TCP path: any frame past the cap —
+    // terminated or not — is answered once and serving stops (the buffer
+    // must not grow with the input, and the rule must not depend on where
+    // chunk boundaries landed).
+    if (line.size() > options_.max_line_bytes) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++frames_total_;
+      }
+      out << RejectFrame(Status::InvalidArgument(
+                 "frame exceeds " +
+                 std::to_string(options_.max_line_bytes) + " bytes"))
+          << '\n';
+      out.flush();
+      return;
+    }
+  }
+  // A final unterminated frame at EOF is still answered (piping a single
+  // request without a trailing newline is too common to reject).
+  emit(line);
+}
+
+// ----------------------------------------------------------------- TCP layer
+
+Status Server::Listen(uint16_t port) {
+  if (listen_fd_ >= 0) return Status::Internal("already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: external traffic belongs behind a router/LB (which is
+  // also where the ROADMAP's sharding layer goes), not on a raw port.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  return Status::OK();
+}
+
+Status Server::Serve() {
+  if (listen_fd_ < 0) return Status::Internal("Listen() first");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion: back off instead of shutting the
+        // whole server down — the condition clears when clients close.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;  // listener shut down (Shutdown / signal handler) or broken
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(fd);
+      ++active_conns_;
+    }
+    // Detached but counted: a terminated connection must not keep a
+    // joinable thread (and its stack) alive until server teardown.
+    std::thread([this, fd] { ServeConnection(fd); }).detach();
+  }
+  // The accept loop only exits to shut down — including via the signal
+  // handler, which can only shutdown(2) the *listen* fd (the one
+  // async-signal-safe option). Run the full Shutdown here so open
+  // connections are woken too; otherwise one idle client would keep the
+  // drain wait below blocked forever.
+  Shutdown();
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+namespace {
+
+// Writes the whole buffer, riding out partial writes; MSG_NOSIGNAL so a
+// client that vanished mid-response surfaces as EPIPE, not SIGPIPE.
+bool SendAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  // One deterministic oversized-frame rule (not dependent on where recv
+  // chunk boundaries land): any frame past the cap is answered with an
+  // error once and the connection closed. Terminated oversized lines are
+  // answered (and counted) through HandleLine; emit then stops the
+  // connection.
+  const auto emit = [this, fd](std::string_view line) {
+    const std::string response = HandleLine(line) + "\n";
+    return SendAll(fd, response.data(), response.size()) &&
+           line.size() <= options_.max_line_bytes;
+  };
+  while (true) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // peer closed or connection shut down
+    buffer.append(chunk, static_cast<size_t>(got));
+    // An unterminated frame already past the cap can never become valid;
+    // answer once and hang up rather than buffering unboundedly.
+    if (FrameOverflowed(buffer, options_.max_line_bytes)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++frames_total_;
+      }
+      const std::string response =
+          RejectFrame(Status::InvalidArgument(
+              "frame exceeds " + std::to_string(options_.max_line_bytes) +
+              " bytes")) +
+          "\n";
+      SendAll(fd, response.data(), response.size());
+      buffer.clear();  // already answered; don't also treat as a trailing frame
+      break;
+    }
+    if (!DrainLines(&buffer, emit)) {
+      buffer.clear();
+      break;
+    }
+  }
+  // A final unterminated frame before peer EOF / half-close is answered,
+  // matching ServeStream — a client that sends one request and
+  // shutdown(SHUT_WR)s still gets its response.
+  if (!buffer.empty()) {
+    std::string_view line(buffer);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) emit(line);
+  }
+  // Final decrement wakes Serve()/~Server(); no Server state is touched
+  // after it (this thread is detached).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_.erase(conn_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    --active_conns_;
+    conn_cv_.notify_all();
+  }
+  ::close(fd);
+}
+
+}  // namespace habit::server

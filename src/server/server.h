@@ -1,0 +1,177 @@
+// habit_serve's engine: a long-lived, multi-threaded line-protocol server
+// holding ONE process-wide api::ModelCache. Each request line names its
+// model by registry spec; the server validates the request *before*
+// resolving the model (garbage input must never trigger a multi-second
+// snapshot load), resolves through the cache (single-flight: N concurrent
+// cold requests for one model pay one load), and answers Impute /
+// ImputeBatch. Batches partition across a shared worker pool — one
+// serial ImputeBatch chunk, and therefore one SearchScratch, per worker —
+// which generalizes the in-process `threads=N` discipline across
+// concurrent client connections: all connections feed the same pool, so
+// total search parallelism stays bounded by `ServerOptions::threads`
+// regardless of client count.
+//
+// Transports share one dispatch path (HandleLine): a TCP accept loop
+// (thread per connection, loopback by default — a router/load-balancer
+// terminates external traffic, per the ROADMAP's sharding plan) and a
+// stdin/stdout pipe mode so tests and CI need no sockets.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/model_cache.h"
+#include "server/protocol.h"
+
+namespace habit::server {
+
+/// \brief Fixed-size thread pool executing submitted closures; batch
+/// handlers split work into chunks and wait on a per-batch latch.
+///
+/// All connections share one pool, so the process-wide search concurrency
+/// is `workers` no matter how many clients are connected.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `tasks` on the pool and blocks until all complete. Tasks must
+  /// not submit to the pool themselves (one level of parallelism, no
+  /// nesting — a nested submit would deadlock a full pool).
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// The serving-surface spec policy, in ONE place (the request router and
+/// habit_serve's --preload both enforce it — a param banned here must be
+/// banned in both, or preload warms cache entries every request refuses):
+/// save= is a file-write side effect, threads= is in-process concurrency
+/// that would nest pools and key unbounded duplicate cache entries.
+Status CheckServedSpec(const api::MethodSpec& spec);
+
+/// \brief Configuration for a Server.
+struct ServerOptions {
+  size_t cache_bytes = 1ull << 30;  ///< ModelCache byte budget
+  int threads = 0;      ///< worker pool size; 0 = hardware concurrency
+  size_t max_batch = 4096;          ///< per-frame request cap
+  size_t max_line_bytes = 4ull << 20;  ///< frame size cap (TCP + stdin)
+};
+
+/// \brief The long-lived serving frontend.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The whole request path: one protocol frame in, one response line out
+  /// (no trailing newline). Thread-safe — every transport and test goes
+  /// through here, so transport code stays a dumb byte shuttle.
+  std::string HandleLine(std::string_view line);
+
+  /// Resolves `spec` through the process-wide cache, recording per-model
+  /// request stats. Shared with habit_cli serve-from-snapshot, so the CLI
+  /// and the server exercise the same resolution path.
+  Result<std::shared_ptr<const api::ImputationModel>> Resolve(
+      const api::MethodSpec& spec);
+
+  const api::ModelCache& cache() const { return cache_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Serves newline-delimited frames from `in` to `out` until EOF (the
+  /// --stdin pipe mode; also the easiest harness for tests).
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  /// Binds a loopback TCP listener. Port 0 picks an ephemeral port
+  /// (bound_port() reports it).
+  Status Listen(uint16_t port);
+  uint16_t bound_port() const { return bound_port_; }
+
+  /// The listening socket (-1 before Listen). Exposed so a signal handler
+  /// can shutdown(2) it — the only async-signal-safe way to stop Serve().
+  int listen_fd() const { return listen_fd_; }
+
+  /// Worker pool size actually in effect (options.threads resolved).
+  int workers() const { return pool_.workers(); }
+
+  /// Accept loop: one detached thread per connection, each reading frames
+  /// and writing responses until the peer closes (connections are counted,
+  /// not kept joinable — 100k short-lived clients must not accumulate
+  /// 100k dead thread stacks). Transient fd exhaustion (EMFILE/ENFILE)
+  /// backs off and retries. Returns after Shutdown() once every
+  /// connection has drained.
+  Status Serve();
+
+  /// Stops Serve(): shuts down the listener and every connection socket,
+  /// waking their threads. Safe to call from any thread; ~Server calls it
+  /// too (and then waits for connections to drain).
+  void Shutdown();
+
+ private:
+  struct ModelStats {
+    uint64_t resolves = 0;  ///< cache resolutions (frames + CLI lookups)
+    uint64_t queries_ok = 0;
+    uint64_t queries_failed = 0;
+  };
+
+  std::string HandleParsed(const Request& request);
+  std::string HandleImpute(const Request& request);
+
+  /// Builds the frame-level error response and counts it in
+  /// frames_rejected_ — every ok:false *frame* goes through here, so the
+  /// stats counter covers all rejection classes (framing, validation,
+  /// spec errors, resolution failures), not a subset.
+  std::string RejectFrame(const Status& status, const Json& id = Json());
+  std::string StatsLine(const Json& id);
+  std::string MethodsLine(const Json& id);
+
+  /// Partitions `requests` across the worker pool (one serial
+  /// ImputeBatch chunk per worker) and returns results aligned with the
+  /// input — byte-identical to one in-process ImputeBatch call.
+  std::vector<Result<api::ImputeResponse>> DispatchBatch(
+      const api::ImputationModel& model,
+      std::span<const api::ImputeRequest> requests);
+
+  void ServeConnection(int fd);
+
+  ServerOptions options_;
+  api::ModelCache cache_;
+  WorkerPool pool_;
+
+  std::mutex stats_mu_;
+  std::map<std::string, ModelStats> model_stats_;  ///< canonical spec -> stats
+  uint64_t frames_total_ = 0;
+  uint64_t frames_rejected_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;  ///< signaled as connections drain
+  size_t active_conns_ = 0;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace habit::server

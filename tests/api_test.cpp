@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "api/adapters.h"
 #include "api/registry.h"
@@ -127,16 +128,63 @@ TEST(RegistryTest, OverflowingIntParameterRejected) {
   EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ApiTest, InvalidEndpointsRejectedConsistently) {
+TEST(ApiTest, ValidateRequestContract) {
+  EXPECT_TRUE(ValidateRequest(LaneRequest()).ok());
+
+  // An empty time span is legal (no time model), negative is not.
+  ImputeRequest no_span = LaneRequest();
+  no_span.t_start = no_span.t_end = 0;
+  EXPECT_TRUE(ValidateRequest(no_span).ok());
+  ImputeRequest negative_span = LaneRequest();
+  negative_span.t_end = negative_span.t_start - 1;
+  EXPECT_EQ(ValidateRequest(negative_span).code(),
+            StatusCode::kInvalidArgument);
+
+  // Out-of-range and non-finite coordinates, in any slot.
+  for (const double bad_lat : {91.0, -91.0,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity()}) {
+    ImputeRequest bad = LaneRequest();
+    bad.gap_start.lat = bad_lat;
+    EXPECT_EQ(ValidateRequest(bad).code(), StatusCode::kInvalidArgument)
+        << bad_lat;
+    ImputeRequest bad_end = LaneRequest();
+    bad_end.gap_end.lat = bad_lat;
+    EXPECT_EQ(ValidateRequest(bad_end).code(), StatusCode::kInvalidArgument);
+  }
+  ImputeRequest bad_lng = LaneRequest();
+  bad_lng.gap_end.lng = 181.0;
+  EXPECT_EQ(ValidateRequest(bad_lng).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, InvalidRequestsRejectedConsistently) {
   const auto trips = MakeTrips();
-  ImputeRequest bad = LaneRequest();
-  bad.gap_start = {999.0, 999.0};
+  ImputeRequest bad_coords = LaneRequest();
+  bad_coords.gap_start = {999.0, 999.0};
+  ImputeRequest nan_coords = LaneRequest();
+  nan_coords.gap_end.lng = std::numeric_limits<double>::quiet_NaN();
+  ImputeRequest bad_span = LaneRequest();
+  bad_span.t_end = bad_span.t_start - 3600;
   for (const char* spec :
        {"habit", "habit_typed", "gti", "palmto:r=8", "sli"}) {
     auto model = MakeModel(spec, trips).MoveValue();
-    auto response = model->Impute(bad);
-    ASSERT_FALSE(response.ok()) << spec;
-    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument) << spec;
+    for (const ImputeRequest& bad : {bad_coords, nan_coords, bad_span}) {
+      auto response = model->Impute(bad);
+      ASSERT_FALSE(response.ok()) << spec;
+      EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument)
+          << spec;
+      // The batch path rejects per-query, and a garbage query must not
+      // poison its neighbors.
+      const std::vector<ImputeRequest> batch = {LaneRequest(), bad,
+                                                LaneRequest()};
+      const auto responses = model->ImputeBatch(batch);
+      ASSERT_EQ(responses.size(), 3u);
+      EXPECT_TRUE(responses[0].ok()) << spec << ": "
+                                     << responses[0].status().ToString();
+      EXPECT_EQ(responses[1].status().code(), StatusCode::kInvalidArgument)
+          << spec;
+      EXPECT_TRUE(responses[2].ok()) << spec;
+    }
   }
 }
 

@@ -230,6 +230,60 @@ TEST(ModelCacheTest, SaveSpecsAlwaysPassThrough) {
   std::remove(path.c_str());
 }
 
+TEST(ModelCacheTest, SingleFlightColdMissesBuildOnce) {
+  // N threads Get the same cold key at once: exactly one build runs (one
+  // miss), the other callers coalesce onto it and share the same handle.
+  // Before single-flight each caller built the model independently
+  // (model_cache.h documented it as an accepted race) — under a server, N
+  // concurrent cold requests would each pay a multi-second load.
+  const auto trips = MakeTrips();
+  ModelCache cache(1ull << 30);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ImputationModel>> models(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cache, &trips, &models, i] {
+      auto model = cache.Get("habit:r=8", trips);
+      ASSERT_TRUE(model.ok()) << model.status().ToString();
+      models[i] = model.value();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const ModelCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u) << "single-flight must coalesce cold misses";
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1u);
+  EXPECT_EQ(cache.num_models(), 1u);
+  // Everyone got the one model the winner built.
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(models[i].get(), models[0].get());
+  }
+  // The flight is retired: a later Get is a plain hit.
+  ASSERT_TRUE(cache.Get("habit:r=8", trips).ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST(ModelCacheTest, SingleFlightDistinctKeysBuildConcurrently) {
+  // Misses on different keys must not serialize behind one flight: all
+  // three specs build (three misses), none coalesce.
+  const auto trips = MakeTrips();
+  ModelCache cache(1ull << 30);
+  const char* specs[] = {"habit:r=7", "habit:r=8", "habit:r=9"};
+  std::vector<std::thread> threads;
+  for (const char* spec : specs) {
+    threads.emplace_back([&cache, &trips, spec] {
+      ASSERT_TRUE(cache.Get(spec, trips).ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const ModelCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(cache.num_models(), 3u);
+}
+
 TEST(ModelCacheTest, MappedModelsCacheAndServe) {
   // map=1 composes with the cache: the entry serves from the mapping and
   // survives Get-churn like any other model.

@@ -1,0 +1,48 @@
+// Checked-parsing contract (core/parse.h): the strtod/strtoll-with-endptr
+// idiom behind habit_cli argument parsing, habit_serve flags, and
+// MethodSpec's typed accessors. The CLI-level bug these guard: atof("junk")
+// silently yields 0.0, so "habit_cli impute m junk junk 54 10" imputed a
+// gap from (0,0) instead of exiting with a usage error.
+#include <gtest/gtest.h>
+
+#include "core/parse.h"
+
+namespace habit::core {
+namespace {
+
+TEST(ParseTest, DoubleAcceptsPlainAndScientific) {
+  EXPECT_EQ(ParseDouble("54.4").MoveValue(), 54.4);
+  EXPECT_EQ(ParseDouble("-10.22").MoveValue(), -10.22);
+  EXPECT_EQ(ParseDouble("5e-4").MoveValue(), 5e-4);
+  EXPECT_EQ(ParseDouble("0").MoveValue(), 0.0);
+  // Subnormals are finite, representable doubles; glibc's ERANGE-on-
+  // underflow must not turn them into parse errors.
+  EXPECT_EQ(ParseDouble("1e-310").MoveValue(), 1e-310);
+}
+
+TEST(ParseTest, DoubleRejectsGarbageTrailingAndNonFinite) {
+  for (const char* text : {"junk", "", "54.4x", "54.4 10.2", "nan", "inf",
+                           "-inf", "1e999", "--1", "0x10"}) {
+    const auto v = ParseDouble(text);
+    ASSERT_FALSE(v.ok()) << text;
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(ParseTest, Int64AcceptsAndRejects) {
+  EXPECT_EQ(ParseInt64("3600").MoveValue(), 3600);
+  EXPECT_EQ(ParseInt64("-1").MoveValue(), -1);
+  for (const char* text :
+       {"junk", "", "12.5", "12x", "99999999999999999999"}) {
+    EXPECT_FALSE(ParseInt64(text).ok()) << text;
+  }
+}
+
+TEST(ParseTest, IntRejectsOverflow) {
+  EXPECT_EQ(ParseInt("15").MoveValue(), 15);
+  EXPECT_FALSE(ParseInt("4294967296").ok());   // > INT_MAX
+  EXPECT_FALSE(ParseInt("-4294967296").ok());  // < INT_MIN
+}
+
+}  // namespace
+}  // namespace habit::core
