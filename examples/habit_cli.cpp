@@ -12,6 +12,11 @@
 //   snapshot <ais.csv> <snapshot.bin> [spec]
 //       build any snapshot-capable method ("habit", "gti", "palmto") and
 //       write its binary snapshot (versioned + checksummed; O(read) load)
+//   shard-build <ais.csv> <out_dir> [spec] [parent_res] [halo_k]
+//       partition the corpus by H3 parent cell and train one model per
+//       shard (clipped to a k-ring overlap halo) plus a full-graph
+//       fallback; writes per-shard snapshots and the checksummed
+//       manifest.json habit_route serves from
 //   serve-from-snapshot <snapshot.bin> <lat1> <lng1> <lat2> <lng2> [spec]
 //       cold-start a model from a snapshot — no trips, no retraining — and
 //       impute one gap, printing the path as CSV. The model is resolved
@@ -40,6 +45,7 @@
 #include "graph/snapshot.h"
 #include "habit/imputer.h"
 #include "habit/serialize.h"
+#include "router/shard_builder.h"
 #include "server/server.h"
 #include "sim/datasets.h"
 
@@ -277,6 +283,52 @@ int CmdSnapshot(int argc, char** argv) {
   return 0;
 }
 
+int CmdShardBuild(int argc, char** argv) {
+  constexpr char kUsage[] =
+      "habit_cli shard-build <ais.csv> <out_dir> [spec] [parent_res] "
+      "[halo_k]";
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s\n", kUsage);
+    return 2;
+  }
+  router::ShardBuildOptions options;
+  options.out_dir = argv[1];
+  if (argc > 2) options.spec = argv[2];
+  if (argc > 3) {
+    const auto parent_res = ParseArgInt(argv[3], "parent_res");
+    if (!parent_res.ok()) return UsageError(parent_res.status(), kUsage);
+    options.parent_res = parent_res.value();
+  }
+  if (argc > 4) {
+    const auto halo_k = ParseArgInt(argv[4], "halo_k");
+    if (!halo_k.ok()) return UsageError(halo_k.status(), kUsage);
+    options.halo_k = halo_k.value();
+  }
+  auto records = ais::ReadAisCsv(argv[0]);
+  if (!records.ok()) return Fail(records.status());
+  const auto trips = ais::PreprocessAndSegment(records.value());
+  auto manifest = router::BuildShards(trips, options);
+  if (!manifest.ok()) return Fail(manifest.status());
+  for (const router::ShardEntry& shard : manifest.value().shards) {
+    std::printf("shard %s: %llu trips, %llu points -> %s\n",
+                router::CellToHex(shard.parent_cell).c_str(),
+                static_cast<unsigned long long>(shard.trips),
+                static_cast<unsigned long long>(shard.points),
+                shard.snapshot_path.c_str());
+  }
+  const router::ShardEntry& fb = manifest.value().fallback;
+  std::printf("fallback: %llu trips, %llu points -> %s\n",
+              static_cast<unsigned long long>(fb.trips),
+              static_cast<unsigned long long>(fb.points),
+              fb.snapshot_path.c_str());
+  std::printf("built %zu shards (parent_res=%d, halo_k=%d, spec=%s) -> "
+              "%s/manifest.json\n",
+              manifest.value().shards.size(), manifest.value().parent_res,
+              manifest.value().halo_k, manifest.value().spec.c_str(),
+              options.out_dir.c_str());
+  return 0;
+}
+
 int CmdServeFromSnapshot(int argc, char** argv) {
   constexpr char kUsage[] =
       "habit_cli serve-from-snapshot <snapshot.bin> <lat1> <lng1> <lat2> "
@@ -370,7 +422,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "habit_cli — HABIT vessel-trajectory imputation toolkit\n"
                  "commands: simulate | stats | build | impute | snapshot | "
-                 "serve-from-snapshot | eval | methods\n");
+                 "shard-build | serve-from-snapshot | eval | methods\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -379,6 +431,7 @@ int main(int argc, char** argv) {
   if (cmd == "build") return CmdBuild(argc - 2, argv + 2);
   if (cmd == "impute") return CmdImpute(argc - 2, argv + 2);
   if (cmd == "snapshot") return CmdSnapshot(argc - 2, argv + 2);
+  if (cmd == "shard-build") return CmdShardBuild(argc - 2, argv + 2);
   if (cmd == "serve-from-snapshot") {
     return CmdServeFromSnapshot(argc - 2, argv + 2);
   }

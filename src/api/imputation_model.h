@@ -38,6 +38,11 @@ struct ImputeRequest {
   int64_t t_end = 0;      ///< timestamp of gap_end, unix seconds
   /// Vessel type of the querying vessel, when known.
   std::optional<ais::VesselType> vessel_type;
+  /// Identity (MMSI) of the querying vessel, when known. Metadata only:
+  /// no model conditions on it — it feeds the serving layer's
+  /// distinct-vessel HyperLogLog, so it must never affect imputation
+  /// output (byte-identity across the router depends on that).
+  std::optional<int64_t> vessel_id;
 };
 
 /// \brief Validates a request before it reaches any model.

@@ -6,8 +6,6 @@
 
 namespace habit::graph {
 
-namespace {
-
 // FNV-1a 64 over the payload bytes: fast, dependency-free, and stable
 // across platforms (the format is little-endian by construction — every
 // supported target writes scalars in native LE order).
@@ -19,6 +17,8 @@ uint64_t Fnv1a64(const char* data, size_t n) {
   }
   return h;
 }
+
+namespace {
 
 struct FileCloser {
   void operator()(std::FILE* f) const {

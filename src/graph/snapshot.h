@@ -55,6 +55,11 @@ inline constexpr size_t kSnapshotArrayAlignment = 64;
 inline constexpr size_t kSnapshotHeaderBytes =
     3 * sizeof(uint32_t) + sizeof(uint64_t);
 
+/// FNV-1a 64 — the repo's one checksum function. Snapshot payloads hash
+/// through it, and the router's shard manifest reuses it so a corrupted
+/// manifest is rejected by the same primitive that guards snapshots.
+uint64_t Fnv1a64(const char* data, size_t n);
+
 /// \brief What a snapshot file contains (stored in the header).
 enum class SnapshotKind : uint32_t {
   kCompactGraph = 1,  ///< bare frozen graph (CSR arrays only)

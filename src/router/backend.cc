@@ -1,0 +1,44 @@
+#include "router/backend.h"
+
+#include <utility>
+
+namespace habit::router {
+
+Result<std::string> RemoteBackend::Call(const std::string& line) {
+  std::unique_ptr<server::LineClient> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      client = std::move(idle_.back());
+      idle_.pop_back();
+    }
+  }
+  const bool fresh = client == nullptr;
+  if (fresh) {
+    client = std::make_unique<server::LineClient>(port_, options_);
+    if (!client->connected()) {
+      return Status::Unreachable(Describe() + ": " + client->last_error());
+    }
+  }
+  std::string response;
+  if (!client->Call(line, &response)) {
+    // A parked connection may have been idle-closed by a restarting
+    // backend; one transparent reconnect distinguishes that from the
+    // backend actually being down. Fresh connections get no such retry —
+    // their failure IS the signal the router's degrade policy wants.
+    if (!fresh) {
+      client = std::make_unique<server::LineClient>(port_, options_);
+      if (client->connected() && client->Call(line, &response)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_.push_back(std::move(client));
+        return response;
+      }
+    }
+    return Status::Unreachable(Describe() + ": " + client->last_error());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(client));
+  return response;
+}
+
+}  // namespace habit::router

@@ -1,0 +1,82 @@
+// Where the router sends a sub-frame: a ShardBackend is one habit_serve
+// address space (or the in-process equivalent), speaking the NDJSON line
+// protocol. The router holds one backend per serving process and maps
+// shards onto them deterministically; which MODEL a backend answers with
+// is chosen per-request by the "model" field ("habit:load=<shard
+// snapshot>"), so any backend can serve any shard — backends are
+// capacity, the manifest is placement.
+//
+// RemoteBackend pools LineClient connections (one in-flight call per
+// pooled connection; concurrent calls open additional connections, capped
+// by the server's thread-per-connection model, and park them for reuse).
+// A failed call surfaces a Status and discards the connection — the
+// router's retry-once-then-degrade policy decides what happens next, not
+// the transport.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "server/line_client.h"
+#include "server/server.h"
+
+namespace habit::router {
+
+/// \brief One serving address space the router can send a frame to.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// One protocol round trip: request line in, response line out.
+  /// Non-OK only for TRANSPORT failures (connect/send/recv/timeout);
+  /// protocol-level errors come back as ok:false response lines.
+  virtual Result<std::string> Call(const std::string& line) = 0;
+
+  /// Human-readable address ("local", "port 7761") for error messages.
+  virtual std::string Describe() const = 0;
+};
+
+/// \brief In-process backend: frames go straight to a server::Server's
+/// dispatch path — no sockets, no serve fleet. This is `habit_route
+/// --local` (tests, CI, single-machine deployments): one process-wide
+/// ModelCache holds every shard model, and Call never fails at the
+/// transport level.
+class LocalBackend : public ShardBackend {
+ public:
+  /// `server` must outlive the backend.
+  explicit LocalBackend(server::Server* server) : server_(server) {}
+
+  Result<std::string> Call(const std::string& line) override {
+    return server_->HandleLine(line);
+  }
+  std::string Describe() const override { return "local"; }
+
+ private:
+  server::Server* server_;
+};
+
+/// \brief Loopback-TCP backend over pooled LineClient connections.
+class RemoteBackend : public ShardBackend {
+ public:
+  RemoteBackend(uint16_t port, const server::ClientOptions& options)
+      : port_(port), options_(options) {}
+
+  Result<std::string> Call(const std::string& line) override;
+  std::string Describe() const override {
+    return "port " + std::to_string(port_);
+  }
+
+ private:
+  uint16_t port_;
+  server::ClientOptions options_;
+  std::mutex mu_;
+  /// Parked connections with no call in flight. A connection that failed
+  /// mid-call is never parked — the next call reconnects rather than
+  /// inheriting a poisoned stream position.
+  std::vector<std::unique_ptr<server::LineClient>> idle_;
+};
+
+}  // namespace habit::router

@@ -1,0 +1,282 @@
+#include "router/manifest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+
+#include "graph/snapshot.h"
+
+namespace habit::router {
+
+using server::Json;
+
+std::string CellToHex(hex::CellId cell) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(cell));
+  return buf;
+}
+
+Result<hex::CellId> CellFromHex(const std::string& hex) {
+  if (hex.size() != 16) {
+    return Status::InvalidArgument("cell id '" + hex +
+                                   "' is not 16 hex digits");
+  }
+  uint64_t value = 0;
+  for (const char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::InvalidArgument("cell id '" + hex +
+                                     "' is not 16 hex digits");
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+namespace {
+
+constexpr char kFormat[] = "habit-shard-manifest-v1";
+
+Json ShardToJson(const ShardEntry& shard, bool with_cell) {
+  Json obj = Json::Object();
+  if (with_cell) obj.Set("cell", Json::String(CellToHex(shard.parent_cell)));
+  obj.Set("snapshot", Json::String(shard.snapshot_path));
+  obj.Set("checksum", Json::String(CellToHex(shard.snapshot_checksum)));
+  Json bbox = Json::Array();
+  bbox.Append(Json::Number(shard.min_lat));
+  bbox.Append(Json::Number(shard.min_lng));
+  bbox.Append(Json::Number(shard.max_lat));
+  bbox.Append(Json::Number(shard.max_lng));
+  obj.Set("bbox", std::move(bbox));
+  obj.Set("trips", Json::Number(static_cast<double>(shard.trips)));
+  obj.Set("points", Json::Number(static_cast<double>(shard.points)));
+  return obj;
+}
+
+Status FieldError(const std::string& where, const char* what) {
+  return Status::InvalidArgument("manifest field '" + where + "' " + what);
+}
+
+Status CheckKnown(const Json& obj, const std::string& where,
+                  std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : obj.members()) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("manifest: unknown field '" + where +
+                                     key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<int> GetInt(const Json& obj, const char* field) {
+  const Json* v = obj.Find(field);
+  if (v == nullptr) return FieldError(field, "is missing");
+  if (!v->is_number()) return FieldError(field, "must be a number");
+  const double d = v->number_value();
+  if (d != static_cast<int>(d)) return FieldError(field, "must be an integer");
+  return static_cast<int>(d);
+}
+
+Result<std::string> GetString(const Json& obj, const std::string& where,
+                              const char* field) {
+  const Json* v = obj.Find(field);
+  if (v == nullptr) return FieldError(where + field, "is missing");
+  if (!v->is_string()) return FieldError(where + field, "must be a string");
+  return v->string_value();
+}
+
+Result<ShardEntry> ParseShard(const Json& obj, const std::string& where,
+                              bool with_cell) {
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("manifest: '" + where +
+                                   "' must be an object");
+  }
+  ShardEntry shard;
+  if (with_cell) {
+    HABIT_RETURN_NOT_OK(CheckKnown(
+        obj, where,
+        {"cell", "snapshot", "checksum", "bbox", "trips", "points"}));
+    HABIT_ASSIGN_OR_RETURN(const std::string cell,
+                           GetString(obj, where, "cell"));
+    HABIT_ASSIGN_OR_RETURN(shard.parent_cell, CellFromHex(cell));
+  } else {
+    HABIT_RETURN_NOT_OK(CheckKnown(
+        obj, where, {"snapshot", "checksum", "bbox", "trips", "points"}));
+  }
+  HABIT_ASSIGN_OR_RETURN(shard.snapshot_path,
+                         GetString(obj, where, "snapshot"));
+  if (shard.snapshot_path.empty()) {
+    return FieldError(where + "snapshot", "must not be empty");
+  }
+  HABIT_ASSIGN_OR_RETURN(const std::string checksum,
+                         GetString(obj, where, "checksum"));
+  HABIT_ASSIGN_OR_RETURN(shard.snapshot_checksum, CellFromHex(checksum));
+  const Json* bbox = obj.Find("bbox");
+  if (bbox == nullptr || !bbox->is_array() || bbox->items().size() != 4) {
+    return FieldError(where + "bbox", "must be a 4-element array");
+  }
+  for (const Json& v : bbox->items()) {
+    if (!v.is_number()) {
+      return FieldError(where + "bbox", "must hold numbers");
+    }
+  }
+  shard.min_lat = bbox->items()[0].number_value();
+  shard.min_lng = bbox->items()[1].number_value();
+  shard.max_lat = bbox->items()[2].number_value();
+  shard.max_lng = bbox->items()[3].number_value();
+  for (const char* field : {"trips", "points"}) {
+    const Json* v = obj.Find(field);
+    if (v == nullptr) return FieldError(where + field, "is missing");
+    const double d = v->is_number() ? v->number_value() : -1;
+    // Counts are exact below 2^53; negative, fractional, or non-numeric
+    // values are corruption.
+    if (d < 0 || d != std::floor(d) || d > 9.007199254740992e15) {
+      return FieldError(where + field, "must be a non-negative integer");
+    }
+    (std::string_view(field) == "trips" ? shard.trips : shard.points) =
+        static_cast<uint64_t>(d);
+  }
+  return shard;
+}
+
+uint64_t ManifestChecksum(const ShardManifest& manifest) {
+  const std::string canonical = ManifestToJson(manifest).Dump();
+  return graph::Fnv1a64(canonical.data(), canonical.size());
+}
+
+}  // namespace
+
+Json ManifestToJson(const ShardManifest& manifest) {
+  Json obj = Json::Object();
+  obj.Set("format", Json::String(kFormat));
+  obj.Set("parent_res", Json::Number(manifest.parent_res));
+  obj.Set("halo_k", Json::Number(manifest.halo_k));
+  obj.Set("resolution", Json::Number(manifest.resolution));
+  obj.Set("spec", Json::String(manifest.spec));
+  obj.Set("fallback", ShardToJson(manifest.fallback, /*with_cell=*/false));
+  Json shards = Json::Array();
+  for (const ShardEntry& shard : manifest.shards) {
+    shards.Append(ShardToJson(shard, /*with_cell=*/true));
+  }
+  obj.Set("shards", std::move(shards));
+  return obj;
+}
+
+std::string DumpManifest(const ShardManifest& manifest) {
+  Json obj = ManifestToJson(manifest);
+  obj.Set("checksum", Json::String(CellToHex(ManifestChecksum(manifest))));
+  return obj.Dump();
+}
+
+Result<ShardManifest> ParseManifest(std::string_view text) {
+  HABIT_ASSIGN_OR_RETURN(const Json doc, Json::Parse(text));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("manifest must be a JSON object");
+  }
+  HABIT_RETURN_NOT_OK(
+      CheckKnown(doc, "", {"format", "parent_res", "halo_k", "resolution",
+                           "spec", "fallback", "shards", "checksum"}));
+  HABIT_ASSIGN_OR_RETURN(const std::string format,
+                         GetString(doc, "", "format"));
+  if (format != kFormat) {
+    return Status::InvalidArgument("manifest format '" + format +
+                                   "' is not '" + kFormat + "'");
+  }
+  ShardManifest manifest;
+  HABIT_ASSIGN_OR_RETURN(manifest.parent_res, GetInt(doc, "parent_res"));
+  HABIT_ASSIGN_OR_RETURN(manifest.halo_k, GetInt(doc, "halo_k"));
+  HABIT_ASSIGN_OR_RETURN(manifest.resolution, GetInt(doc, "resolution"));
+  if (manifest.parent_res < 0 || manifest.parent_res > hex::kMaxResolution ||
+      manifest.resolution < 0 || manifest.resolution > hex::kMaxResolution ||
+      manifest.parent_res > manifest.resolution) {
+    return Status::InvalidArgument(
+        "manifest resolutions out of range (need 0 <= parent_res <= "
+        "resolution <= " +
+        std::to_string(hex::kMaxResolution) + ")");
+  }
+  if (manifest.halo_k < 0) {
+    return FieldError("halo_k", "must be non-negative");
+  }
+  HABIT_ASSIGN_OR_RETURN(manifest.spec, GetString(doc, "", "spec"));
+  const Json* fallback = doc.Find("fallback");
+  if (fallback == nullptr) return FieldError("fallback", "is missing");
+  HABIT_ASSIGN_OR_RETURN(
+      manifest.fallback,
+      ParseShard(*fallback, "fallback.", /*with_cell=*/false));
+  const Json* shards = doc.Find("shards");
+  if (shards == nullptr || !shards->is_array()) {
+    return FieldError("shards", "must be an array");
+  }
+  manifest.shards.reserve(shards->items().size());
+  for (size_t i = 0; i < shards->items().size(); ++i) {
+    HABIT_ASSIGN_OR_RETURN(
+        ShardEntry shard,
+        ParseShard(shards->items()[i],
+                   "shards[" + std::to_string(i) + "].", /*with_cell=*/true));
+    if (!hex::IsValidCell(shard.parent_cell) ||
+        hex::Resolution(shard.parent_cell) != manifest.parent_res) {
+      return Status::InvalidArgument(
+          "manifest: shards[" + std::to_string(i) + "].cell is not a valid "
+          "resolution-" + std::to_string(manifest.parent_res) + " cell");
+    }
+    for (const ShardEntry& prev : manifest.shards) {
+      if (prev.parent_cell == shard.parent_cell) {
+        return Status::InvalidArgument("manifest: duplicate shard cell " +
+                                       CellToHex(shard.parent_cell));
+      }
+    }
+    manifest.shards.push_back(std::move(shard));
+  }
+  // Verify last, against the canonical re-dump of everything parsed above:
+  // a manifest edited anywhere — a path, a bbox digit, a reordered member —
+  // re-dumps differently and is rejected here.
+  HABIT_ASSIGN_OR_RETURN(const std::string stored,
+                         GetString(doc, "", "checksum"));
+  HABIT_ASSIGN_OR_RETURN(const uint64_t stored_sum, CellFromHex(stored));
+  const uint64_t actual = ManifestChecksum(manifest);
+  if (stored_sum != actual) {
+    return Status::InvalidArgument(
+        "manifest checksum mismatch (stored " + stored + ", computed " +
+        CellToHex(actual) + ") — the manifest was edited or corrupted");
+  }
+  return manifest;
+}
+
+Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << DumpManifest(manifest) << '\n';
+  out.flush();
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<ShardManifest> LoadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open manifest " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read of manifest " + path + " failed");
+  auto manifest = ParseManifest(buffer.str());
+  if (!manifest.ok()) {
+    return Status(manifest.status().code(),
+                  path + ": " + manifest.status().message());
+  }
+  return manifest;
+}
+
+}  // namespace habit::router

@@ -1,0 +1,94 @@
+// The shard manifest: the one artifact connecting the offline shard
+// builder (habit_cli shard-build) to the online router (habit_route). It
+// is a single JSON document listing, per H3 parent cell, the frozen
+// per-shard model snapshot — path, payload checksum, bounding box — plus
+// the designated full-graph fallback shard and the two parameters the
+// routing decision needs (parent_res, halo_k).
+//
+// Integrity: the manifest carries its own FNV-1a 64 checksum (the same
+// primitive that guards snapshot payloads, graph::Fnv1a64). The checksum
+// covers the canonical re-dump of the manifest *without* the checksum
+// member, so the loader can verify by rebuilding that form — any edit to
+// any member, however small, is rejected at load, and there is no "hash
+// the raw bytes except these" carve-out to get subtly wrong. Snapshot
+// paths are stored relative to the manifest file, so a shard directory
+// can be moved or shipped as a unit.
+//
+// Cell ids serialize as 16-digit hex strings, not JSON numbers: the
+// protocol's numbers are doubles, and a packed 64-bit CellId does not
+// survive a double round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "hexgrid/hexgrid.h"
+#include "server/json.h"
+
+namespace habit::router {
+
+/// \brief One shard: a frozen model covering GridDisk(parent_cell, halo_k).
+struct ShardEntry {
+  /// The shard's core parent cell (kInvalidCell for the fallback shard,
+  /// which covers everything).
+  hex::CellId parent_cell = hex::kInvalidCell;
+  /// Snapshot file, relative to the manifest's directory.
+  std::string snapshot_path;
+  /// The snapshot's payload checksum (graph::Fnv1a64, as stored in the
+  /// snapshot trailer) — the router verifies it against ProbeSnapshot at
+  /// startup so a swapped or truncated shard file is caught before the
+  /// first query routes to it.
+  uint64_t snapshot_checksum = 0;
+  /// Geographic bounds of the shard's (clipped) training points.
+  double min_lat = 0, min_lng = 0, max_lat = 0, max_lng = 0;
+  /// Training-set size after clipping (diagnostics, not used for routing).
+  uint64_t trips = 0;
+  uint64_t points = 0;
+};
+
+/// \brief The full manifest one shard-build emits.
+struct ShardManifest {
+  /// Coarse H3 resolution whose cells define the shards.
+  int parent_res = 4;
+  /// k-ring overlap halo each shard was trained with: shard P's training
+  /// set is the trips clipped to GridDisk(P, halo_k).
+  int halo_k = 1;
+  /// Fine model resolution r (the routing layer maps gap endpoints to
+  /// parent cells through it).
+  int resolution = 9;
+  /// Canonical base model spec the shards were built with (no save=/load=).
+  std::string spec;
+  /// The designated full-graph shard cross-shard gaps fall back to.
+  ShardEntry fallback;
+  /// Per-parent-cell shards, sorted by parent_cell (build order).
+  std::vector<ShardEntry> shards;
+};
+
+/// 16-digit lowercase hex form of a cell id (and the inverse). The parse
+/// rejects anything but exactly 16 hex digits — manifest fields are not a
+/// place for leniency.
+std::string CellToHex(hex::CellId cell);
+Result<hex::CellId> CellFromHex(const std::string& hex);
+
+/// The manifest as canonical JSON, WITHOUT the checksum member — the form
+/// the checksum covers. Member order is fixed; DumpManifest and the
+/// loader's verification both go through here.
+server::Json ManifestToJson(const ShardManifest& manifest);
+
+/// Serializes the manifest with its checksum member appended.
+std::string DumpManifest(const ShardManifest& manifest);
+
+/// Parses and verifies one manifest document: strict member checking
+/// (unknown fields rejected), then the checksum is recomputed over the
+/// canonical re-dump and compared — kInvalidArgument on any mismatch.
+Result<ShardManifest> ParseManifest(std::string_view text);
+
+/// Writes DumpManifest(manifest) to `path` (trailing newline included).
+Status SaveManifest(const ShardManifest& manifest, const std::string& path);
+
+/// Reads and ParseManifest()s the file at `path`.
+Result<ShardManifest> LoadManifest(const std::string& path);
+
+}  // namespace habit::router

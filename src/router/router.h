@@ -1,0 +1,151 @@
+// Online half of sharded serving (habit_route): a line-protocol frontend
+// that owns no model — it owns a verified ShardManifest and a set of
+// ShardBackends, maps each request's gap to a shard, fans sub-frames out
+// over the backends, and reassembles responses in request order.
+//
+// Routing strategy per request (recorded in the response so operators and
+// tests can see which path answered):
+//   "shard"        both gap endpoints in one shard's core parent cell
+//   "halo"         endpoints within halo_k parent rings of a shard's core
+//                  — the overlap halo the shard trained with covers the
+//                  gap, so the shard answers without the full graph
+//   "fallback"     no single shard covers the gap; the designated
+//                  full-graph shard answers
+//   "degraded"     the planned shard's backend failed (down, timeout,
+//                  refused) after one retry; the fallback answered
+//   "unavailable"  the fallback failed too; the response carries a
+//                  per-request error, the batch's other requests are
+//                  unaffected
+//
+// The client surface is the habit_serve protocol minus "model": the
+// manifest picks models. Frames that DO name one are rejected — a model
+// choice the router would silently override must not look honored.
+//
+// Startup is fail-fast: the manifest's own checksum was verified at
+// parse, and every shard snapshot's stored checksum is verified against
+// the manifest (O(1) header probes) before the router accepts a frame —
+// a swapped or truncated shard file is a startup error, not a
+// mid-traffic surprise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "router/backend.h"
+#include "router/manifest.h"
+#include "server/protocol.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/quantile.h"
+
+namespace habit::router {
+
+/// \brief Router configuration.
+struct RouterOptions {
+  size_t max_batch = 4096;             ///< per-frame request cap
+  size_t max_line_bytes = 4ull << 20;  ///< frame size cap
+  /// Serve shard snapshots zero-copy from the mmap'd file (adds map=1 to
+  /// every load spec) — per-shard RSS becomes O(touched pages).
+  bool map_snapshots = false;
+  /// Transport retries per sub-frame before degrading to the fallback.
+  int retries = 1;
+};
+
+/// \brief The shard-routing frontend.
+class Router {
+ public:
+  /// Validates the manifest against the snapshots on disk and binds
+  /// shards to backends: shard i is served by backends[i % backends],
+  /// the fallback by backends.back() (so a one-backend fleet serves
+  /// everything, and the fallback never shares fate with shard 0 when
+  /// there are at least two). `manifest_dir` anchors the manifest's
+  /// relative snapshot paths.
+  static Result<std::unique_ptr<Router>> Make(
+      ShardManifest manifest, const std::string& manifest_dir,
+      std::vector<std::shared_ptr<ShardBackend>> backends,
+      const RouterOptions& options = {});
+
+  /// The whole request path: one frame in, one response line out (no
+  /// trailing newline). Thread-safe.
+  std::string HandleLine(std::string_view line);
+
+  /// Response line for an unterminated oversized frame (LineTransport's
+  /// oversize hook).
+  std::string OversizeLine();
+
+  const ShardManifest& manifest() const { return manifest_; }
+
+  /// The load spec shard `i` is served with ("habit:load=..."): the spec
+  /// a single-process habit_serve would use for the same snapshot —
+  /// equivalence tests route traffic both ways through it.
+  const std::string& shard_spec(size_t i) const {
+    return shards_[i].model_spec;
+  }
+  const std::string& fallback_spec() const { return fallback_.model_spec; }
+
+ private:
+  struct ShardRuntime {
+    ShardEntry entry;
+    std::string model_spec;  ///< canonical "habit:load=<abs path>[,map=1]"
+    ShardBackend* backend = nullptr;
+    // Router-side observability (guarded by stats_mu_): request counts
+    // and per-sub-frame latency sketches, aggregated per shard.
+    uint64_t requests = 0;
+    uint64_t degraded = 0;
+    sketch::P2Quantile latency_p50{0.5};
+    sketch::P2Quantile latency_p99{0.99};
+  };
+
+  /// Sentinel shard index meaning "the fallback shard".
+  static constexpr size_t kFallback = static_cast<size_t>(-1);
+
+  struct RouteDecision {
+    size_t shard = kFallback;
+    const char* strategy = "fallback";
+  };
+
+  Router(ShardManifest manifest,
+         std::vector<std::shared_ptr<ShardBackend>> backends,
+         const RouterOptions& options);
+
+  RouteDecision Decide(const api::ImputeRequest& request) const;
+  std::string HandleImpute(const server::Request& request);
+  std::string RejectFrame(const Status& status,
+                          const server::Json& id = server::Json());
+  std::string StatsLine(const server::Json& id);
+
+  /// Runs one sub-frame against its planned shard with retry-then-degrade
+  /// and returns per-request result objects (always `requests.size()` of
+  /// them) plus the strategy actually used for the whole group.
+  struct GroupOutcome {
+    std::vector<server::Json> results;
+    const char* strategy;
+  };
+  GroupOutcome ExecuteGroup(size_t shard_index, const char* strategy,
+                            std::span<const api::ImputeRequest> requests);
+
+  /// One impute_batch round trip to `runtime`'s backend; OK result holds
+  /// the per-request result objects.
+  Result<std::vector<server::Json>> CallShard(
+      ShardRuntime& runtime, std::span<const api::ImputeRequest> requests);
+
+  ShardManifest manifest_;
+  std::vector<std::shared_ptr<ShardBackend>> backends_;
+  RouterOptions options_;
+  std::vector<ShardRuntime> shards_;
+  ShardRuntime fallback_;
+  std::unordered_map<hex::CellId, size_t> shard_by_cell_;
+
+  std::mutex stats_mu_;
+  uint64_t frames_total_ = 0;
+  uint64_t frames_rejected_ = 0;
+  sketch::HyperLogLog vessels_{12};
+};
+
+}  // namespace habit::router

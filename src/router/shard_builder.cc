@@ -1,0 +1,196 @@
+#include "router/shard_builder.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <unordered_set>
+
+#include "api/adapters.h"
+#include "api/registry.h"
+#include "graph/snapshot.h"
+
+namespace habit::router {
+
+namespace {
+
+// Parent cell of a point at the shard resolution, kInvalidCell when the
+// point does not index (never the case for preprocessed trips — kept
+// defensive so a stray record degrades to "outside every shard" instead
+// of corrupting a disk-membership test).
+hex::CellId ParentOf(const geo::LatLng& p, int resolution, int parent_res) {
+  const hex::CellId fine = hex::LatLngToCell(p, resolution);
+  if (fine == hex::kInvalidCell) return hex::kInvalidCell;
+  auto parent = hex::CellToParent(fine, parent_res);
+  return parent.ok() ? parent.value() : hex::kInvalidCell;
+}
+
+// Maximal runs of consecutive points inside `region`, each re-segmented
+// as its own trip. trip_ids are reassigned from a per-shard counter: two
+// runs of one source trip must not share an id (everything downstream —
+// LAG partitions in serialization, distinct-trip counts — keys on it).
+std::vector<ais::Trip> ClipTrips(
+    const std::vector<ais::Trip>& trips,
+    const std::unordered_set<hex::CellId>& region, int resolution,
+    int parent_res) {
+  std::vector<ais::Trip> clipped;
+  int64_t next_id = 1;
+  for (const ais::Trip& trip : trips) {
+    ais::Trip run;
+    const auto flush = [&] {
+      if (run.points.empty()) return;
+      run.trip_id = next_id++;
+      run.mmsi = trip.mmsi;
+      run.type = trip.type;
+      clipped.push_back(std::move(run));
+      run = ais::Trip{};
+    };
+    for (const ais::AisRecord& record : trip.points) {
+      if (region.contains(
+              ParentOf(record.pos, resolution, parent_res))) {
+        run.points.push_back(record);
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+  return clipped;
+}
+
+struct TripSetStats {
+  double min_lat = 90, min_lng = 180, max_lat = -90, max_lng = -180;
+  uint64_t points = 0;
+};
+
+TripSetStats StatsOf(const std::vector<ais::Trip>& trips) {
+  TripSetStats stats;
+  for (const ais::Trip& trip : trips) {
+    for (const ais::AisRecord& record : trip.points) {
+      stats.min_lat = std::min(stats.min_lat, record.pos.lat);
+      stats.min_lng = std::min(stats.min_lng, record.pos.lng);
+      stats.max_lat = std::max(stats.max_lat, record.pos.lat);
+      stats.max_lng = std::max(stats.max_lng, record.pos.lng);
+      ++stats.points;
+    }
+  }
+  return stats;
+}
+
+// Trains one model on `trips`, snapshots it to out_dir/filename, and
+// returns the entry (sans parent_cell). The snapshot checksum comes from
+// a full InspectSnapshot re-read — build time is the one moment hashing
+// the whole artifact is cheap relative to what just happened.
+Result<ShardEntry> BuildOne(const api::MethodSpec& base_spec,
+                            const std::vector<ais::Trip>& trips,
+                            const std::string& out_dir,
+                            const std::string& filename) {
+  const std::string path = out_dir + "/" + filename;
+  api::MethodSpec spec = base_spec;
+  spec.params["save"] = path;
+  HABIT_ASSIGN_OR_RETURN(const std::unique_ptr<api::ImputationModel> model,
+                         api::MakeModel(spec, trips));
+  HABIT_ASSIGN_OR_RETURN(const graph::SnapshotInfo info,
+                         graph::InspectSnapshot(path));
+  ShardEntry entry;
+  entry.snapshot_path = filename;
+  entry.snapshot_checksum = info.checksum;
+  const TripSetStats stats = StatsOf(trips);
+  entry.min_lat = stats.min_lat;
+  entry.min_lng = stats.min_lng;
+  entry.max_lat = stats.max_lat;
+  entry.max_lng = stats.max_lng;
+  entry.trips = trips.size();
+  entry.points = stats.points;
+  return entry;
+}
+
+}  // namespace
+
+Result<ShardManifest> BuildShards(const std::vector<ais::Trip>& trips,
+                                  const ShardBuildOptions& options) {
+  HABIT_ASSIGN_OR_RETURN(const api::MethodSpec base_spec,
+                         api::MethodSpec::Parse(options.spec));
+  if (base_spec.method != "habit" && base_spec.method != "habit_typed") {
+    return Status::InvalidArgument(
+        "shard-build needs a HABIT-family spec (got '" + base_spec.method +
+        "'); shards are frozen via the HABIT model snapshot format");
+  }
+  for (const char* banned : {"save", "load"}) {
+    if (base_spec.params.contains(banned)) {
+      return Status::InvalidArgument(
+          std::string("spec must not set ") + banned +
+          "= (the shard builder owns model persistence)");
+    }
+  }
+  if (options.parent_res < 0 || options.parent_res > hex::kMaxResolution) {
+    return Status::InvalidArgument("parent_res out of range [0, " +
+                                   std::to_string(hex::kMaxResolution) + "]");
+  }
+  if (options.halo_k < 0) {
+    return Status::InvalidArgument("halo_k must be non-negative");
+  }
+  HABIT_ASSIGN_OR_RETURN(const int resolution,
+                         base_spec.GetInt("r", core::HabitConfig{}.resolution));
+  if (options.parent_res > resolution) {
+    return Status::InvalidArgument(
+        "parent_res " + std::to_string(options.parent_res) +
+        " is finer than the model resolution r=" + std::to_string(resolution));
+  }
+  if (trips.empty()) {
+    return Status::InvalidArgument("no training trips");
+  }
+  if (options.out_dir.empty()) {
+    return Status::InvalidArgument("out_dir must be set");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + options.out_dir + ": " +
+                           ec.message());
+  }
+
+  // Occupied parent cells, sorted — shard order (and therefore trip-id
+  // assignment and manifest bytes) is deterministic for a given corpus.
+  std::set<hex::CellId> occupied;
+  for (const ais::Trip& trip : trips) {
+    for (const ais::AisRecord& record : trip.points) {
+      const hex::CellId parent =
+          ParentOf(record.pos, resolution, options.parent_res);
+      if (parent != hex::kInvalidCell) occupied.insert(parent);
+    }
+  }
+  if (occupied.empty()) {
+    return Status::InvalidArgument(
+        "no training point indexes to a parent cell");
+  }
+
+  ShardManifest manifest;
+  manifest.parent_res = options.parent_res;
+  manifest.halo_k = options.halo_k;
+  manifest.resolution = resolution;
+  manifest.spec = base_spec.ToString();
+
+  for (const hex::CellId parent : occupied) {
+    const std::vector<hex::CellId> disk =
+        hex::GridDisk(parent, options.halo_k);
+    const std::unordered_set<hex::CellId> region(disk.begin(), disk.end());
+    const std::vector<ais::Trip> clipped =
+        ClipTrips(trips, region, resolution, options.parent_res);
+    HABIT_ASSIGN_OR_RETURN(
+        ShardEntry entry,
+        BuildOne(base_spec, clipped, options.out_dir,
+                 "shard_" + CellToHex(parent) + ".bin"));
+    entry.parent_cell = parent;
+    manifest.shards.push_back(std::move(entry));
+  }
+
+  HABIT_ASSIGN_OR_RETURN(
+      manifest.fallback,
+      BuildOne(base_spec, trips, options.out_dir, "fallback.bin"));
+
+  HABIT_RETURN_NOT_OK(
+      SaveManifest(manifest, options.out_dir + "/manifest.json"));
+  return manifest;
+}
+
+}  // namespace habit::router

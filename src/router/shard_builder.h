@@ -1,0 +1,66 @@
+// Offline half of the sharded-serving story (habit_cli shard-build): cut
+// a training corpus into H3-parent-cell shards, train one HABIT model per
+// shard, freeze each as a binary snapshot, and emit the checksummed
+// manifest habit_route serves from.
+//
+// Sharding is POINTWISE, not per-trip. A shard for parent cell P trains
+// on the maximal runs of consecutive trip points whose parent cell lies
+// in GridDisk(P, halo_k) — each run re-segmented as its own trip. Two
+// properties follow:
+//
+//  * Fidelity inside the core: every training point whose fine cell has a
+//    parent in the disk is kept, so per-cell node statistics (median
+//    positions — the p=w projection) are IDENTICAL to the full model's
+//    for every in-disk cell, and every transition between consecutive
+//    in-disk points is preserved. Only transitions crossing the disk
+//    boundary are lost — which is why gaps inside the core cell impute
+//    byte-identically to the monolithic model (the router's tests pin
+//    this), while gaps spanning shards route to the halo or the fallback.
+//
+//  * Scaling: a corridor-spanning trip (KIEL's ferries cross the whole
+//    map) contributes only its in-disk segment to each shard, so
+//    per-shard graphs — and per-shard serving RSS — shrink with the
+//    number of shards instead of every shard swallowing every trip.
+//
+// The fallback shard is the full model (all trips, unclipped): routing
+// degrades to it for gaps no single shard covers and for shard outages,
+// trading the memory win for always-correct answers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/status.h"
+#include "router/manifest.h"
+
+namespace habit::router {
+
+/// \brief shard-build parameters.
+struct ShardBuildOptions {
+  /// Coarse H3 resolution whose cells become shards. At the default fine
+  /// resolution (r=9) a res-4 parent is ~5 aperture-7 levels up (~39 km
+  /// edge in the Mercator plane) — a few shards across a regional
+  /// dataset.
+  int parent_res = 4;
+  /// k-ring overlap halo: shard P trains on GridDisk(P, halo_k).
+  int halo_k = 1;
+  /// Base model spec ("habit", "habit:r=8,t=100"). Must be a HABIT-family
+  /// method (shards are frozen via the model snapshot format); must not
+  /// carry save=/load= (the builder owns persistence).
+  std::string spec = "habit";
+  /// Output directory for the snapshots and manifest.json; created if
+  /// missing.
+  std::string out_dir;
+};
+
+/// Builds every shard plus the fallback and writes
+/// `<out_dir>/shard_<cellhex>.bin`, `<out_dir>/fallback.bin`, and
+/// `<out_dir>/manifest.json`. Returns the manifest (as written). Parent
+/// cells with training points but no multi-point run still get a shard
+/// (node statistics alone are a servable model); parent cells with no
+/// training points get none — gaps there route to the fallback.
+Result<ShardManifest> BuildShards(const std::vector<ais::Trip>& trips,
+                                  const ShardBuildOptions& options);
+
+}  // namespace habit::router

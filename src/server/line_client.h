@@ -1,31 +1,65 @@
 // A minimal blocking line-protocol client over loopback TCP: one frame
 // out (newline appended), one response line back. The ONE client-side
-// framing implementation — the server tests and bench_serve both drive
-// habit_serve through this, so a framing fix cannot drift between them.
-// For tooling and tests, not production clients (no timeouts, no TLS —
-// per the README, external traffic terminates at a fronting router).
+// framing implementation — the server tests, bench_serve, and the shard
+// router all drive habit_serve through this, so a framing fix cannot
+// drift between them.
+//
+// Timeouts: a router fanning one batch out to N backends cannot afford a
+// hung backend blocking a caller forever, so the client takes optional
+// connect / IO deadlines (ClientOptions). Zero (the default for the bare
+// port constructor) preserves fully blocking behavior for tests that want
+// it. Every failure surfaces through last_error() so callers can tell a
+// refused connection from a read timeout from a peer close — the router's
+// retry-then-degrade policy branches on exactly that.
+//
+// Loopback only, no TLS — per the README, external traffic terminates at
+// a fronting router (which is itself a LineClient caller).
 #pragma once
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 #include <string>
 
 namespace habit::server {
 
+/// \brief Connection and IO deadlines for a LineClient. Zero = no limit
+/// (fully blocking, the pre-router behavior).
+struct ClientOptions {
+  int connect_timeout_ms = 0;  ///< limit on the TCP connect
+  int io_timeout_ms = 0;       ///< per-recv/send limit (SO_RCVTIMEO/SNDTIMEO)
+};
+
 class LineClient {
  public:
-  explicit LineClient(uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  explicit LineClient(uint16_t port) : LineClient(port, ClientOptions{}) {}
+
+  LineClient(uint16_t port, const ClientOptions& options) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      error_ = std::string("socket: ") + std::strerror(errno);
+      return;
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    connected_ = fd_ >= 0 &&
-                 ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                           sizeof(addr)) == 0;
+    connected_ = options.connect_timeout_ms > 0
+                     ? ConnectWithTimeout(addr, options.connect_timeout_ms)
+                     : ConnectBlocking(addr);
+    if (connected_ && options.io_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options.io_timeout_ms / 1000;
+      tv.tv_usec = (options.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
   }
   ~LineClient() {
     if (fd_ >= 0) ::close(fd_);
@@ -34,6 +68,11 @@ class LineClient {
   LineClient& operator=(const LineClient&) = delete;
 
   bool connected() const { return connected_; }
+
+  /// Human-readable cause of the most recent failure ("" when none):
+  /// "connect: ...", "connect timed out", "send: ...", "read timed out",
+  /// "connection closed by peer".
+  const std::string& last_error() const { return error_; }
 
   /// Sends one newline-terminated frame.
   bool Send(const std::string& line) { return SendRaw(line + "\n"); }
@@ -45,7 +84,14 @@ class LineClient {
       const ssize_t sent = ::send(fd_, bytes.data() + off,
                                   bytes.size() - off, MSG_NOSIGNAL);
       if (sent < 0 && errno == EINTR) continue;
-      if (sent <= 0) return false;
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        error_ = "send timed out";
+        return false;
+      }
+      if (sent <= 0) {
+        error_ = std::string("send: ") + std::strerror(errno);
+        return false;
+      }
       off += static_cast<size_t>(sent);
     }
     return true;
@@ -55,7 +101,8 @@ class LineClient {
   /// then shutdown" client pattern).
   void HalfClose() { ::shutdown(fd_, SHUT_WR); }
 
-  /// Reads one newline-terminated response (without the newline).
+  /// Reads one newline-terminated response (without the newline). False on
+  /// peer close or IO timeout — last_error() tells them apart.
   bool ReadLine(std::string* line) {
     while (true) {
       const size_t nl = buffer_.find('\n');
@@ -67,7 +114,18 @@ class LineClient {
       char chunk[64 * 1024];
       const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (got < 0 && errno == EINTR) continue;
-      if (got <= 0) return false;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        error_ = "read timed out";
+        return false;
+      }
+      if (got < 0) {
+        error_ = std::string("recv: ") + std::strerror(errno);
+        return false;
+      }
+      if (got == 0) {
+        error_ = "connection closed by peer";
+        return false;
+      }
       buffer_.append(chunk, static_cast<size_t>(got));
     }
   }
@@ -78,9 +136,57 @@ class LineClient {
   }
 
  private:
+  bool ConnectBlocking(const sockaddr_in& addr) {
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return true;
+    }
+    error_ = std::string("connect: ") + std::strerror(errno);
+    return false;
+  }
+
+  // Non-blocking connect + poll deadline, then back to blocking mode so
+  // the IO path stays simple (per-op deadlines come from SO_RCVTIMEO).
+  bool ConnectWithTimeout(const sockaddr_in& addr, int timeout_ms) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      error_ = std::string("connect: ") + std::strerror(errno);
+      return false;
+    }
+    if (rc != 0) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        error_ = "connect timed out";
+        return false;
+      }
+      if (rc < 0) {
+        error_ = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        error_ = std::string("connect: ") + std::strerror(so_error);
+        return false;
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+    return true;
+  }
+
   int fd_ = -1;
   bool connected_ = false;
   std::string buffer_;
+  std::string error_;
 };
 
 }  // namespace habit::server

@@ -40,7 +40,7 @@ Result<int64_t> GetOptionalInt64(const Json& obj, const char* field,
   if (!v->is_number()) return FieldError(field, "must be a number");
   const double d = v->number_value();
   if (d != std::floor(d) || std::fabs(d) > 9.007199254740992e15) {
-    return FieldError(field, "must be an integer timestamp");
+    return FieldError(field, "must be an integer");
   }
   return static_cast<int64_t>(d);
 }
@@ -84,7 +84,8 @@ Result<api::ImputeRequest> ParseImputeRequest(const Json& obj) {
     return Status::InvalidArgument("request must be a JSON object");
   }
   HABIT_RETURN_NOT_OK(CheckKnownMembers(
-      obj, {"gap_start", "gap_end", "t_start", "t_end", "vessel_type"}));
+      obj,
+      {"gap_start", "gap_end", "t_start", "t_end", "vessel_type", "vessel"}));
   api::ImputeRequest request;
   HABIT_ASSIGN_OR_RETURN(request.gap_start, ParseEndpoint(obj, "gap_start"));
   HABIT_ASSIGN_OR_RETURN(request.gap_end, ParseEndpoint(obj, "gap_end"));
@@ -99,12 +100,22 @@ Result<api::ImputeRequest> ParseImputeRequest(const Json& obj) {
                            ParseVesselType(vt->string_value()));
     request.vessel_type = type;
   }
+  // "vessel" (MMSI) is observability metadata — it feeds the server's
+  // distinct-vessel sketch and never reaches a model, so it cannot change
+  // imputation output. Still validated strictly: a hardened surface does
+  // not accept garbage anywhere.
+  if (obj.Find("vessel") != nullptr) {
+    HABIT_ASSIGN_OR_RETURN(const int64_t vessel,
+                           GetOptionalInt64(obj, "vessel", 0));
+    request.vessel_id = vessel;
+  }
   return request;
 }
 
 }  // namespace
 
-Result<Request> ParseRequest(std::string_view line, size_t max_batch) {
+Result<Request> ParseRequest(std::string_view line, size_t max_batch,
+                             bool require_model) {
   // Scale the parser's tree cap with the configured batch cap (a request
   // is ~11 JSON values) so an operator raising --max-batch does not make
   // legitimate in-limit frames unparseable; the floor keeps the default
@@ -147,10 +158,13 @@ Result<Request> ParseRequest(std::string_view line, size_t max_batch) {
   const Json* model = frame.Find("model");
   if (model == nullptr || !model->is_string() ||
       model->string_value().empty()) {
-    return Status::InvalidArgument("op '" + name +
-                                   "' needs a non-empty string \"model\"");
+    if (require_model || model != nullptr) {
+      return Status::InvalidArgument("op '" + name +
+                                     "' needs a non-empty string \"model\"");
+    }
+  } else {
+    out.model = model->string_value();
   }
-  out.model = model->string_value();
 
   if (name == "impute") {
     HABIT_RETURN_NOT_OK(
@@ -211,6 +225,10 @@ Json ImputeRequestToJson(const api::ImputeRequest& request) {
     obj.Set("vessel_type",
             Json::String(ais::VesselTypeToString(*request.vessel_type)));
   }
+  if (request.vessel_id.has_value()) {
+    obj.Set("vessel",
+            Json::Number(static_cast<double>(*request.vessel_id)));
+  }
   return obj;
 }
 
@@ -218,7 +236,9 @@ std::string EncodeImputeRequest(const std::string& model,
                                 const api::ImputeRequest& request) {
   Json frame = Json::Object();
   frame.Set("op", Json::String("impute"));
-  frame.Set("model", Json::String(model));
+  // Empty model = the router surface (the manifest picks models); the
+  // member is omitted entirely because the parser rejects an empty one.
+  if (!model.empty()) frame.Set("model", Json::String(model));
   frame.Set("request", ImputeRequestToJson(request));
   return frame.Dump();
 }
@@ -227,7 +247,7 @@ std::string EncodeImputeBatchRequest(
     const std::string& model, std::span<const api::ImputeRequest> requests) {
   Json frame = Json::Object();
   frame.Set("op", Json::String("impute_batch"));
-  frame.Set("model", Json::String(model));
+  if (!model.empty()) frame.Set("model", Json::String(model));
   Json arr = Json::Array();
   for (const api::ImputeRequest& request : requests) {
     arr.Append(ImputeRequestToJson(request));

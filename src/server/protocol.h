@@ -53,8 +53,13 @@ struct Request {
 /// Parses one request frame. `max_batch` bounds the per-frame query count
 /// (a single frame must not buffer unbounded work); kInvalidArgument on
 /// malformed JSON, unknown ops, missing/mistyped/unknown fields, and
-/// oversized batches.
-Result<Request> ParseRequest(std::string_view line, size_t max_batch);
+/// oversized batches. With `require_model` false the "model" field of
+/// impute ops becomes optional (Request::model stays "") — the shard
+/// router's surface, where the manifest picks models and clients cannot:
+/// the router rejects frames that DO name one, so a client cannot believe
+/// a model choice that was silently overridden was honored.
+Result<Request> ParseRequest(std::string_view line, size_t max_batch,
+                             bool require_model = true);
 
 /// Serializes one ImputeRequest as a protocol JSON object (client side:
 /// bench_serve, tests, and doc examples build frames through this).

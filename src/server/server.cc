@@ -1,15 +1,6 @@
 #include "server/server.h"
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <istream>
-#include <ostream>
 #include <utility>
 
 #include "api/registry.h"
@@ -102,18 +93,33 @@ Status CheckServedSpec(const api::MethodSpec& spec) {
 }
 
 Server::Server(const ServerOptions& options)
-    : options_(options), cache_(options.cache_bytes), pool_(options.threads) {}
+    : options_(options),
+      cache_(options.cache_bytes),
+      pool_(options.threads),
+      transport_(
+          options.max_line_bytes,
+          TransportHooks{
+              .handle = [this](std::string_view line) {
+                return HandleLine(line);
+              },
+              // The transport's unterminated-overflow answer: count the
+              // frame (HandleLine never saw it) and reject it with the
+              // same message a terminated oversized line gets.
+              .oversize = [this] {
+                {
+                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  ++frames_total_;
+                }
+                return RejectFrame(Status::InvalidArgument(
+                    "frame exceeds " +
+                    std::to_string(options_.max_line_bytes) + " bytes"));
+              },
+          }) {}
 
-Server::~Server() {
-  Shutdown();
-  // Connection threads are detached but counted; they touch no Server
-  // state after their final decrement, so once the count drains the
-  // object is safe to destroy.
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
-  lock.unlock();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-}
+// transport_ is the last member: its destructor shuts the listener down
+// and drains connection threads (which call HandleLine) before the cache
+// and pool above it are destroyed.
+Server::~Server() = default;
 
 Result<std::shared_ptr<const api::ImputationModel>> Server::Resolve(
     const api::MethodSpec& spec) {
@@ -196,17 +202,28 @@ std::string Server::HandleImpute(const Request& request) {
   auto model = Resolve(spec.value());
   if (!model.ok()) return RejectFrame(model.status(), request.id);
 
+  std::vector<double> query_seconds;
   const std::vector<Result<api::ImputeResponse>> results =
-      DispatchBatch(*model.value(), request.requests);
+      DispatchBatch(*model.value(), request.requests, &query_seconds);
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ModelStats& stats = model_stats_[spec.value().ToString()];
-    for (const auto& result : results) {
-      if (result.ok()) {
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
         ++stats.queries_ok;
       } else {
         ++stats.queries_failed;
+      }
+      // Failed queries feed the sketches too: a pathological query that
+      // burns the whole A* budget before failing is exactly what a p99
+      // should surface.
+      const double ms = query_seconds[i] * 1e3;
+      stats.latency_p50.Add(ms);
+      stats.latency_p99.Add(ms);
+      if (request.requests[i].vessel_id.has_value()) {
+        stats.vessels.AddInt(
+            static_cast<uint64_t>(*request.requests[i].vessel_id));
       }
     }
   }
@@ -219,7 +236,8 @@ std::string Server::HandleImpute(const Request& request) {
 
 std::vector<Result<api::ImputeResponse>> Server::DispatchBatch(
     const api::ImputationModel& model,
-    std::span<const api::ImputeRequest> requests) {
+    std::span<const api::ImputeRequest> requests,
+    std::vector<double>* query_seconds) {
   const size_t n = requests.size();
   const size_t chunks =
       std::min(static_cast<size_t>(pool_.workers()), n > 0 ? n : 1);
@@ -228,29 +246,45 @@ std::vector<Result<api::ImputeResponse>> Server::DispatchBatch(
     // process-wide search concurrency is bounded by the pool size no
     // matter how many connection threads exist.
     std::vector<Result<api::ImputeResponse>> results;
-    pool_.RunAll({[&] { results = model.ImputeBatch(requests); }});
+    pool_.RunAll(
+        {[&] { results = model.ImputeBatch(requests, query_seconds); }});
     return results;
   }
   // Partition across workers, one serial sub-batch (and therefore one
   // SearchScratch, inside the adapter's ImputeBatch) per chunk. Queries
   // are independent, so chunked results concatenate to exactly the
-  // single-call ImputeBatch output.
+  // single-call ImputeBatch output. Per-query wall times come from the
+  // adapter's own measurement (the paper's Table 4 latency), stitched
+  // back into request order alongside the results.
   std::vector<std::vector<Result<api::ImputeResponse>>> parts(chunks);
+  std::vector<std::vector<double>> part_seconds(chunks);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = n * c / chunks;
     const size_t end = n * (c + 1) / chunks;
-    tasks.push_back([&model, &parts, requests, c, begin, end] {
-      parts[c] = model.ImputeBatch(requests.subspan(begin, end - begin));
-    });
+    tasks.push_back(
+        [&model, &parts, &part_seconds, query_seconds, requests, c, begin,
+         end] {
+          parts[c] = model.ImputeBatch(
+              requests.subspan(begin, end - begin),
+              query_seconds != nullptr ? &part_seconds[c] : nullptr);
+        });
   }
   pool_.RunAll(std::move(tasks));
   std::vector<Result<api::ImputeResponse>> results;
   results.reserve(n);
-  for (std::vector<Result<api::ImputeResponse>>& part : parts) {
-    for (Result<api::ImputeResponse>& result : part) {
+  if (query_seconds != nullptr) {
+    query_seconds->clear();
+    query_seconds->reserve(n);
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    for (Result<api::ImputeResponse>& result : parts[c]) {
       results.push_back(std::move(result));
+    }
+    if (query_seconds != nullptr) {
+      query_seconds->insert(query_seconds->end(), part_seconds[c].begin(),
+                            part_seconds[c].end());
     }
   }
   return results;
@@ -304,6 +338,17 @@ std::string Server::StatsLine(const Json& id) {
               Json::Number(static_cast<double>(stats.queries_ok)));
     entry.Set("queries_failed",
               Json::Number(static_cast<double>(stats.queries_failed)));
+    // Sketch-backed observability: O(1) memory regardless of traffic.
+    // latency_count gates the percentiles (an estimate over <5 samples is
+    // just those samples); distinct_vessels only counts requests that
+    // carried "vessel".
+    entry.Set("latency_count",
+              Json::Number(static_cast<double>(stats.latency_p50.count())));
+    if (stats.latency_p50.count() > 0) {
+      entry.Set("latency_p50_ms", Json::Number(stats.latency_p50.Estimate()));
+      entry.Set("latency_p99_ms", Json::Number(stats.latency_p99.Estimate()));
+    }
+    entry.Set("distinct_vessels", Json::Number(stats.vessels.Estimate()));
     models.Append(std::move(entry));
   }
   frame.Set("models", std::move(models));
@@ -311,245 +356,8 @@ std::string Server::StatsLine(const Json& id) {
   return frame.Dump();
 }
 
-namespace {
-
-// Drains complete newline-terminated lines from *buffer ('\r' stripped,
-// blank lines skipped), calling emit(line) for each. emit returns false
-// to stop; consumed bytes are erased either way. Used by the TCP
-// transport; ServeStream frames per character (it must answer the moment
-// a newline arrives on a still-open pipe) but follows the same rules —
-// the framing contract shared by both lives in the server tests.
-template <typename EmitFn>
-bool DrainLines(std::string* buffer, const EmitFn& emit) {
-  size_t start = 0;
-  size_t nl;
-  bool keep_going = true;
-  while (keep_going &&
-         (nl = buffer->find('\n', start)) != std::string::npos) {
-    std::string_view line(buffer->data() + start, nl - start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    start = nl + 1;
-    if (line.empty()) continue;
-    keep_going = emit(line);
-  }
-  buffer->erase(0, start);
-  return keep_going;
-}
-
-// True when the buffer holds an unterminated frame already past the cap —
-// it can never become a valid line, so the transport answers once and
-// stops instead of buffering unboundedly.
-bool FrameOverflowed(const std::string& buffer, size_t max_line_bytes) {
-  return buffer.find('\n') == std::string::npos &&
-         buffer.size() > max_line_bytes;
-}
-
-}  // namespace
-
 void Server::ServeStream(std::istream& in, std::ostream& out) {
-  // Character-at-a-time so each frame is answered the moment its newline
-  // arrives — a block read would sit on a long-lived pipe waiting for a
-  // full chunk while the writer waits for the response (deadlock). The
-  // per-char overhead is irrelevant next to request handling, and the
-  // line buffer stays bounded by the same cap as the TCP path.
-  std::string line;
-  const auto emit = [this, &out](std::string_view frame) {
-    if (!frame.empty() && frame.back() == '\r') frame.remove_suffix(1);
-    if (frame.empty()) return true;
-    out << HandleLine(frame) << '\n';
-    out.flush();
-    return static_cast<bool>(out);
-  };
-  int ch;
-  while ((ch = in.get()) != std::char_traits<char>::eof()) {
-    if (ch == '\n') {
-      if (!emit(line)) return;
-      line.clear();
-      continue;
-    }
-    line.push_back(static_cast<char>(ch));
-    // Same oversized-frame rule as the TCP path: any frame past the cap —
-    // terminated or not — is answered once and serving stops (the buffer
-    // must not grow with the input, and the rule must not depend on where
-    // chunk boundaries landed).
-    if (line.size() > options_.max_line_bytes) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++frames_total_;
-      }
-      out << RejectFrame(Status::InvalidArgument(
-                 "frame exceeds " +
-                 std::to_string(options_.max_line_bytes) + " bytes"))
-          << '\n';
-      out.flush();
-      return;
-    }
-  }
-  // A final unterminated frame at EOF is still answered (piping a single
-  // request without a trailing newline is too common to reject).
-  emit(line);
-}
-
-// ----------------------------------------------------------------- TCP layer
-
-Status Server::Listen(uint16_t port) {
-  if (listen_fd_ >= 0) return Status::Internal("already listening");
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  // Loopback only: external traffic belongs behind a router/LB (which is
-  // also where the ROADMAP's sharding layer goes), not on a raw port.
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status st =
-        Status::IoError(std::string("bind: ") + std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  if (::listen(fd, 128) < 0) {
-    const Status st =
-        Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    bound_port_ = ntohs(bound.sin_port);
-  }
-  listen_fd_ = fd;
-  return Status::OK();
-}
-
-Status Server::Serve() {
-  if (listen_fd_ < 0) return Status::Internal("Listen() first");
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        // Transient resource exhaustion: back off instead of shutting the
-        // whole server down — the condition clears when clients close.
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        continue;
-      }
-      break;  // listener shut down (Shutdown / signal handler) or broken
-    }
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      conn_fds_.push_back(fd);
-      ++active_conns_;
-    }
-    // Detached but counted: a terminated connection must not keep a
-    // joinable thread (and its stack) alive until server teardown.
-    std::thread([this, fd] { ServeConnection(fd); }).detach();
-  }
-  // The accept loop only exits to shut down — including via the signal
-  // handler, which can only shutdown(2) the *listen* fd (the one
-  // async-signal-safe option). Run the full Shutdown here so open
-  // connections are woken too; otherwise one idle client would keep the
-  // drain wait below blocked forever.
-  Shutdown();
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
-  return Status::OK();
-}
-
-void Server::Shutdown() {
-  stopping_.store(true, std::memory_order_relaxed);
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-}
-
-namespace {
-
-// Writes the whole buffer, riding out partial writes; MSG_NOSIGNAL so a
-// client that vanished mid-response surfaces as EPIPE, not SIGPIPE.
-bool SendAll(int fd, const char* data, size_t n) {
-  while (n > 0) {
-    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += sent;
-    n -= static_cast<size_t>(sent);
-  }
-  return true;
-}
-
-}  // namespace
-
-void Server::ServeConnection(int fd) {
-  std::string buffer;
-  char chunk[64 * 1024];
-  // One deterministic oversized-frame rule (not dependent on where recv
-  // chunk boundaries land): any frame past the cap is answered with an
-  // error once and the connection closed. Terminated oversized lines are
-  // answered (and counted) through HandleLine; emit then stops the
-  // connection.
-  const auto emit = [this, fd](std::string_view line) {
-    const std::string response = HandleLine(line) + "\n";
-    return SendAll(fd, response.data(), response.size()) &&
-           line.size() <= options_.max_line_bytes;
-  };
-  while (true) {
-    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) break;  // peer closed or connection shut down
-    buffer.append(chunk, static_cast<size_t>(got));
-    // An unterminated frame already past the cap can never become valid;
-    // answer once and hang up rather than buffering unboundedly.
-    if (FrameOverflowed(buffer, options_.max_line_bytes)) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++frames_total_;
-      }
-      const std::string response =
-          RejectFrame(Status::InvalidArgument(
-              "frame exceeds " + std::to_string(options_.max_line_bytes) +
-              " bytes")) +
-          "\n";
-      SendAll(fd, response.data(), response.size());
-      buffer.clear();  // already answered; don't also treat as a trailing frame
-      break;
-    }
-    if (!DrainLines(&buffer, emit)) {
-      buffer.clear();
-      break;
-    }
-  }
-  // A final unterminated frame before peer EOF / half-close is answered,
-  // matching ServeStream — a client that sends one request and
-  // shutdown(SHUT_WR)s still gets its response.
-  if (!buffer.empty()) {
-    std::string_view line(buffer);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (!line.empty()) emit(line);
-  }
-  // Final decrement wakes Serve()/~Server(); no Server state is touched
-  // after it (this thread is detached).
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (size_t i = 0; i < conn_fds_.size(); ++i) {
-      if (conn_fds_[i] == fd) {
-        conn_fds_.erase(conn_fds_.begin() + static_cast<ptrdiff_t>(i));
-        break;
-      }
-    }
-    --active_conns_;
-    conn_cv_.notify_all();
-  }
-  ::close(fd);
+  transport_.ServeStream(in, out);
 }
 
 }  // namespace habit::server

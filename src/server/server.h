@@ -11,13 +11,18 @@
 // total search parallelism stays bounded by `ServerOptions::threads`
 // regardless of client count.
 //
-// Transports share one dispatch path (HandleLine): a TCP accept loop
-// (thread per connection, loopback by default — a router/load-balancer
-// terminates external traffic, per the ROADMAP's sharding plan) and a
-// stdin/stdout pipe mode so tests and CI need no sockets.
+// Transports live in server/transport.h (LineTransport — shared with the
+// habit_route shard router): a TCP accept loop (thread per connection,
+// loopback by default — a router/load-balancer terminates external
+// traffic) and a stdin/stdout pipe mode, both feeding one dispatch path
+// (HandleLine).
+//
+// Observability is O(1)-memory under unbounded traffic: per-model query
+// latency runs through P^2 quantile estimators (p50/p99) and distinct
+// vessels through a HyperLogLog, both surfaced by the `stats` op — no
+// per-request log retained, ever.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,6 +37,9 @@
 
 #include "api/model_cache.h"
 #include "server/protocol.h"
+#include "server/transport.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/quantile.h"
 
 namespace habit::server {
 
@@ -106,34 +114,36 @@ class Server {
 
   /// Binds a loopback TCP listener. Port 0 picks an ephemeral port
   /// (bound_port() reports it).
-  Status Listen(uint16_t port);
-  uint16_t bound_port() const { return bound_port_; }
+  Status Listen(uint16_t port) { return transport_.Listen(port); }
+  uint16_t bound_port() const { return transport_.bound_port(); }
 
   /// The listening socket (-1 before Listen). Exposed so a signal handler
   /// can shutdown(2) it — the only async-signal-safe way to stop Serve().
-  int listen_fd() const { return listen_fd_; }
+  int listen_fd() const { return transport_.listen_fd(); }
 
   /// Worker pool size actually in effect (options.threads resolved).
   int workers() const { return pool_.workers(); }
 
-  /// Accept loop: one detached thread per connection, each reading frames
-  /// and writing responses until the peer closes (connections are counted,
-  /// not kept joinable — 100k short-lived clients must not accumulate
-  /// 100k dead thread stacks). Transient fd exhaustion (EMFILE/ENFILE)
-  /// backs off and retries. Returns after Shutdown() once every
-  /// connection has drained.
-  Status Serve();
+  /// Accept loop (see LineTransport::Serve): returns after Shutdown()
+  /// once every connection has drained.
+  Status Serve() { return transport_.Serve(); }
 
   /// Stops Serve(): shuts down the listener and every connection socket,
-  /// waking their threads. Safe to call from any thread; ~Server calls it
-  /// too (and then waits for connections to drain).
-  void Shutdown();
+  /// waking their threads. Safe to call from any thread; ~Server waits
+  /// for connections to drain.
+  void Shutdown() { transport_.Shutdown(); }
 
  private:
   struct ModelStats {
     uint64_t resolves = 0;  ///< cache resolutions (frames + CLI lookups)
     uint64_t queries_ok = 0;
     uint64_t queries_failed = 0;
+    /// Per-query wall-time percentiles, O(1) memory under unbounded
+    /// traffic (P^2 estimators — no latency log retained).
+    sketch::P2Quantile latency_p50{0.5};
+    sketch::P2Quantile latency_p99{0.99};
+    /// Distinct vessels seen by this model (requests carrying "vessel").
+    sketch::HyperLogLog vessels{12};
   };
 
   std::string HandleParsed(const Request& request);
@@ -149,12 +159,13 @@ class Server {
 
   /// Partitions `requests` across the worker pool (one serial
   /// ImputeBatch chunk per worker) and returns results aligned with the
-  /// input — byte-identical to one in-process ImputeBatch call.
+  /// input — byte-identical to one in-process ImputeBatch call. When
+  /// `query_seconds` is non-null it receives per-query wall times aligned
+  /// with the input (the latency percentile feed).
   std::vector<Result<api::ImputeResponse>> DispatchBatch(
       const api::ImputationModel& model,
-      std::span<const api::ImputeRequest> requests);
-
-  void ServeConnection(int fd);
+      std::span<const api::ImputeRequest> requests,
+      std::vector<double>* query_seconds = nullptr);
 
   ServerOptions options_;
   api::ModelCache cache_;
@@ -165,13 +176,9 @@ class Server {
   uint64_t frames_total_ = 0;
   uint64_t frames_rejected_ = 0;
 
-  std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
-  uint16_t bound_port_ = 0;
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;  ///< signaled as connections drain
-  size_t active_conns_ = 0;
-  std::vector<int> conn_fds_;
+  /// Last member: its destructor drains connection threads, which still
+  /// call HandleLine (touching everything above) until they finish.
+  LineTransport transport_;
 };
 
 }  // namespace habit::server

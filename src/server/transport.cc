@@ -1,0 +1,252 @@
+#include "server/transport.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+namespace habit::server {
+
+LineTransport::LineTransport(size_t max_line_bytes, TransportHooks hooks)
+    : max_line_bytes_(max_line_bytes), hooks_(std::move(hooks)) {}
+
+LineTransport::~LineTransport() {
+  Shutdown();
+  // Connection threads are detached but counted; they touch no transport
+  // state after their final decrement, so once the count drains the
+  // object is safe to destroy.
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  lock.unlock();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+namespace {
+
+// Drains complete newline-terminated lines from *buffer ('\r' stripped,
+// blank lines skipped), calling emit(line) for each. emit returns false
+// to stop; consumed bytes are erased either way. Used by the TCP
+// transport; ServeStream frames per character (it must answer the moment
+// a newline arrives on a still-open pipe) but follows the same rules —
+// the framing contract shared by both lives in the server tests.
+template <typename EmitFn>
+bool DrainLines(std::string* buffer, const EmitFn& emit) {
+  size_t start = 0;
+  size_t nl;
+  bool keep_going = true;
+  while (keep_going &&
+         (nl = buffer->find('\n', start)) != std::string::npos) {
+    std::string_view line(buffer->data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = nl + 1;
+    if (line.empty()) continue;
+    keep_going = emit(line);
+  }
+  buffer->erase(0, start);
+  return keep_going;
+}
+
+// True when the buffer holds an unterminated frame already past the cap —
+// it can never become a valid line, so the transport answers once and
+// stops instead of buffering unboundedly.
+bool FrameOverflowed(const std::string& buffer, size_t max_line_bytes) {
+  return buffer.find('\n') == std::string::npos &&
+         buffer.size() > max_line_bytes;
+}
+
+// Writes the whole buffer, riding out partial writes; MSG_NOSIGNAL so a
+// client that vanished mid-response surfaces as EPIPE, not SIGPIPE.
+bool SendAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+void LineTransport::ServeStream(std::istream& in, std::ostream& out) {
+  // Character-at-a-time so each frame is answered the moment its newline
+  // arrives — a block read would sit on a long-lived pipe waiting for a
+  // full chunk while the writer waits for the response (deadlock). The
+  // per-char overhead is irrelevant next to request handling, and the
+  // line buffer stays bounded by the same cap as the TCP path.
+  std::string line;
+  const auto emit = [this, &out](std::string_view frame) {
+    if (!frame.empty() && frame.back() == '\r') frame.remove_suffix(1);
+    if (frame.empty()) return true;
+    out << hooks_.handle(frame) << '\n';
+    out.flush();
+    return static_cast<bool>(out);
+  };
+  int ch;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    if (ch == '\n') {
+      if (!emit(line)) return;
+      line.clear();
+      continue;
+    }
+    line.push_back(static_cast<char>(ch));
+    // Same oversized-frame rule as the TCP path: any frame past the cap —
+    // terminated or not — is answered once and serving stops (the buffer
+    // must not grow with the input, and the rule must not depend on where
+    // chunk boundaries landed).
+    if (line.size() > max_line_bytes_) {
+      out << hooks_.oversize() << '\n';
+      out.flush();
+      return;
+    }
+  }
+  // A final unterminated frame at EOF is still answered (piping a single
+  // request without a trailing newline is too common to reject).
+  emit(line);
+}
+
+Status LineTransport::Listen(uint16_t port) {
+  if (listen_fd_ >= 0) return Status::Internal("already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: external traffic belongs behind a router/LB, not on a
+  // raw port (and the router itself is loopback too — this repo's fleet
+  // story is one machine, many address spaces).
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  return Status::OK();
+}
+
+Status LineTransport::Serve() {
+  if (listen_fd_ < 0) return Status::Internal("Listen() first");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion: back off instead of shutting the
+        // whole server down — the condition clears when clients close.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;  // listener shut down (Shutdown / signal handler) or broken
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(fd);
+      ++active_conns_;
+    }
+    // Detached but counted: a terminated connection must not keep a
+    // joinable thread (and its stack) alive until server teardown.
+    std::thread([this, fd] { ServeConnection(fd); }).detach();
+  }
+  // The accept loop only exits to shut down — including via the signal
+  // handler, which can only shutdown(2) the *listen* fd (the one
+  // async-signal-safe option). Run the full Shutdown here so open
+  // connections are woken too; otherwise one idle client would keep the
+  // drain wait below blocked forever.
+  Shutdown();
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  return Status::OK();
+}
+
+void LineTransport::Shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void LineTransport::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  // One deterministic oversized-frame rule (not dependent on where recv
+  // chunk boundaries land): any frame past the cap is answered with an
+  // error once and the connection closed. Terminated oversized lines are
+  // answered (and counted) through the handler; emit then stops the
+  // connection.
+  const auto emit = [this, fd](std::string_view line) {
+    const std::string response = hooks_.handle(line) + "\n";
+    return SendAll(fd, response.data(), response.size()) &&
+           line.size() <= max_line_bytes_;
+  };
+  while (true) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // peer closed or connection shut down
+    buffer.append(chunk, static_cast<size_t>(got));
+    // An unterminated frame already past the cap can never become valid;
+    // answer once and hang up rather than buffering unboundedly.
+    if (FrameOverflowed(buffer, max_line_bytes_)) {
+      const std::string response = hooks_.oversize() + "\n";
+      SendAll(fd, response.data(), response.size());
+      buffer.clear();  // already answered; don't also treat as a trailing frame
+      break;
+    }
+    if (!DrainLines(&buffer, emit)) {
+      buffer.clear();
+      break;
+    }
+  }
+  // A final unterminated frame before peer EOF / half-close is answered,
+  // matching ServeStream — a client that sends one request and
+  // shutdown(SHUT_WR)s still gets its response.
+  if (!buffer.empty()) {
+    std::string_view line(buffer);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) emit(line);
+  }
+  // Final decrement wakes Serve()/~LineTransport(); no transport state is
+  // touched after it (this thread is detached).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_.erase(conn_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    --active_conns_;
+    conn_cv_.notify_all();
+  }
+  ::close(fd);
+}
+
+}  // namespace habit::server

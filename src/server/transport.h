@@ -1,0 +1,100 @@
+// The line-protocol transport layer, factored out of server::Server so
+// every line-serving frontend in the repo — habit_serve's model server
+// and habit_route's shard router — shares ONE hardened implementation of
+// framing, accept-loop, connection draining, and oversized-frame policy.
+//
+// A LineTransport is a dumb byte shuttle: it owns the sockets and the
+// newline framing, and delegates every complete frame to the handler
+// hook. Two transports share one dispatch path:
+//   * loopback TCP (thread per connection, detached but counted), and
+//   * a stdin/stdout pipe mode (ServeStream) so tests and CI need no
+//     sockets.
+//
+// The oversized-frame rule is deterministic and shared by both: any frame
+// past max_line_bytes — terminated or not — is answered exactly once and
+// the connection (or stream) stops. Terminated oversized lines flow
+// through the normal handler (which applies its own cap); an unterminated
+// frame already past the cap can never become a valid line, so the
+// transport answers with hooks.oversize() and hangs up rather than
+// buffering unboundedly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace habit::server {
+
+/// \brief The frontend-specific pieces of a line server.
+struct TransportHooks {
+  /// The whole request path: one frame in (newline stripped), one
+  /// response line out (no trailing newline). Must be thread-safe — the
+  /// TCP transport calls it from one thread per connection.
+  std::function<std::string(std::string_view line)> handle;
+  /// Builds the response line for an unterminated frame that overflowed
+  /// max_line_bytes (the callee counts it in its own stats).
+  std::function<std::string()> oversize;
+};
+
+/// \brief Shared line-protocol transport: TCP accept loop + pipe mode.
+class LineTransport {
+ public:
+  LineTransport(size_t max_line_bytes, TransportHooks hooks);
+
+  /// Drains connections (Shutdown + wait) before destruction.
+  ~LineTransport();
+
+  LineTransport(const LineTransport&) = delete;
+  LineTransport& operator=(const LineTransport&) = delete;
+
+  /// Serves newline-delimited frames from `in` to `out` until EOF (the
+  /// --stdin pipe mode; also the easiest harness for tests). Frames per
+  /// character so each frame is answered the moment its newline arrives
+  /// on a still-open pipe.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  /// Binds a loopback TCP listener. Port 0 picks an ephemeral port
+  /// (bound_port() reports it).
+  Status Listen(uint16_t port);
+  uint16_t bound_port() const { return bound_port_; }
+
+  /// The listening socket (-1 before Listen). Exposed so a signal handler
+  /// can shutdown(2) it — the only async-signal-safe way to stop Serve().
+  int listen_fd() const { return listen_fd_; }
+
+  /// Accept loop: one detached thread per connection, each reading frames
+  /// and writing responses until the peer closes (connections are
+  /// counted, not kept joinable — 100k short-lived clients must not
+  /// accumulate 100k dead thread stacks). Transient fd exhaustion
+  /// (EMFILE/ENFILE) backs off and retries. Returns after Shutdown()
+  /// once every connection has drained.
+  Status Serve();
+
+  /// Stops Serve(): shuts down the listener and every connection socket,
+  /// waking their threads. Safe to call from any thread.
+  void Shutdown();
+
+ private:
+  void ServeConnection(int fd);
+
+  size_t max_line_bytes_;
+  TransportHooks hooks_;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;  ///< signaled as connections drain
+  size_t active_conns_ = 0;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace habit::server

@@ -414,6 +414,10 @@ TEST_F(ServerTest, ConcurrentClientsShareOneColdLoadAndAgreeByteForByte) {
 TEST_F(ServerTest, StatsReportPerModelCounters) {
   Server server(SmallOptions());
   std::vector<api::ImputeRequest> requests(4, LaneRequest());
+  // Distinct vessel ids on the batch feed the HyperLogLog sketch.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].vessel_id = 219000100 + static_cast<int64_t>(i);
+  }
   ASSERT_FALSE(server.HandleLine(
                    EncodeImputeBatchRequest(*load_spec_, requests))
                    .empty());
@@ -429,7 +433,44 @@ TEST_F(ServerTest, StatsReportPerModelCounters) {
   EXPECT_EQ(entry.Find("queries_ok")->number_value() +
                 entry.Find("queries_failed")->number_value(),
             5.0);
+  // Every query fed the latency sketches; the estimates are sane (>= 0,
+  // p99 >= p50 once both estimate off the same sample set).
+  ASSERT_NE(entry.Find("latency_count"), nullptr);
+  EXPECT_EQ(entry.Find("latency_count")->number_value(), 5.0);
+  ASSERT_NE(entry.Find("latency_p50_ms"), nullptr);
+  ASSERT_NE(entry.Find("latency_p99_ms"), nullptr);
+  EXPECT_GE(entry.Find("latency_p50_ms")->number_value(), 0.0);
+  EXPECT_GE(entry.Find("latency_p99_ms")->number_value() + 1e-9,
+            entry.Find("latency_p50_ms")->number_value());
+  // 4 distinct vessel ids: HLL linear counting is near-exact at this
+  // scale (the bias correction keeps it from being exactly integral).
+  ASSERT_NE(entry.Find("distinct_vessels"), nullptr);
+  EXPECT_NEAR(entry.Find("distinct_vessels")->number_value(), 4.0, 0.05);
   EXPECT_EQ(stats.Find("cache")->Find("coalesced")->number_value(), 0.0);
+}
+
+TEST_F(ServerTest, VesselFieldRoundTripsAndIsMetadataOnly) {
+  Server server(SmallOptions());
+  // The same gap with and without a vessel id answers byte-identically
+  // except for the request echo — metadata must never reach the model.
+  api::ImputeRequest with_vessel = LaneRequest();
+  with_vessel.vessel_id = 219012345;
+  const std::string tagged =
+      server.HandleLine(EncodeImputeRequest(*load_spec_, with_vessel));
+  const std::string plain =
+      server.HandleLine(EncodeImputeRequest(*load_spec_, LaneRequest()));
+  EXPECT_EQ(tagged, plain);
+  // Encode emits the field, parse round-trips it.
+  const std::string frame = EncodeImputeRequest(*load_spec_, with_vessel);
+  auto parsed = ParseRequest(frame, 64);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed.value().requests[0].vessel_id.has_value());
+  EXPECT_EQ(*parsed.value().requests[0].vessel_id, 219012345);
+  // Strict validation: a non-integer vessel is rejected like any field.
+  EXPECT_TRUE(IsErrorWith(
+      server.HandleLine(
+          R"({"op":"impute","model":"habit","request":{"gap_start":{"lat":55,"lng":11},"gap_end":{"lat":55.1,"lng":11},"vessel":1.5}})"),
+      "InvalidArgument", "must be an integer"));
 }
 
 TEST_F(ServerTest, ServeStreamAnswersLineByLine) {
