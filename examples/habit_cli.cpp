@@ -11,7 +11,10 @@
 //       load a persisted model and impute one gap, printing the path as CSV
 //   snapshot <ais.csv> <snapshot.bin> [spec]
 //       build any snapshot-capable method ("habit", "gti", "palmto") and
-//       write its binary snapshot (versioned + checksummed; O(read) load)
+//       write its binary snapshot (versioned + checksummed; O(read) load).
+//       For habit, "landmarks=<k>" additionally precomputes k ALT landmark
+//       distance columns into the snapshot (v3 section), which
+//       "alt=1"-serving then uses to cut long-gap search effort
 //   shard-build <ais.csv> <out_dir> [spec] [parent_res] [halo_k]
 //       partition the corpus by H3 parent cell and train one model per
 //       shard (clipped to a k-ring overlap halo) plus a full-graph
@@ -22,7 +25,9 @@
 //       impute one gap, printing the path as CSV. The model is resolved
 //       through a byte-budgeted ModelCache (cold + warm timings go to
 //       stderr); pass a spec like "habit:map=1" to serve the CSR arrays
-//       zero-copy from the mmap'd snapshot instead of heap copies
+//       zero-copy from the mmap'd snapshot instead of heap copies, and
+//       "habit:alt=1" to search under the snapshot's ALT landmarks
+//       (identical output, fewer expanded nodes)
 //   eval <DAN|KIEL|SAR> <spec> [scale]
 //       run any registered method over a synthetic experiment and print
 //       its report row (spec e.g. "habit:r=9", "gti:rd=5e-4", "sli")

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <thread>
 
 #include "baselines/sli.h"
 #include "core/stopwatch.h"
 #include "geo/latlng.h"
+#include "graph/compact_graph.h"
 #include "habit/serialize.h"
+#include "hexgrid/hexgrid.h"
 
 namespace habit::api {
 
@@ -66,6 +69,14 @@ const char kSaveKey[] = "save";
 const char kLoadKey[] = "load";
 const char kMapKey[] = "map";
 
+// ALT landmark parameters (habit only): "landmarks=<k>" precomputes k
+// landmark distance columns at save time (they persist in the snapshot v3
+// landmark section), "alt=1" enables the landmark-accelerated search when
+// serving a loaded snapshot. alt changes search effort, never output —
+// imputed paths are identical with and without it.
+const char kLandmarksKey[] = "landmarks";
+const char kAltKey[] = "alt";
+
 // map=1 without a snapshot is meaningless (a freshly built model is
 // heap-resident by construction), so any map parameter requires load=.
 Result<bool> ParseMapped(const MethodSpec& spec) {
@@ -111,17 +122,36 @@ Result<int> ParseThreads(const MethodSpec& spec) {
 // partitioned across `threads` workers, each owning one flat SearchScratch
 // so the batch scales with no shared mutable state. Per-query wall times
 // land in `query_seconds` aligned with the requests.
+//
+// Batch-level locality: requests are processed in ascending H3-cell order
+// of their gap start at the model's `resolution`. H3 indices order
+// hierarchically (a child shares its parent's bit prefix), so the sorted
+// sequence approximates a space-filling curve over the globe — each
+// worker's contiguous chunk lands in one geographic neighborhood, and its
+// searches keep revisiting the same CSR rows and landmark columns instead
+// of striding the whole graph between queries. Responses and per-query
+// times are still written at their original indices, so the output order
+// is exactly the input order.
 template <typename ImputeOneFn>
 std::vector<Result<ImputeResponse>> RunImputeBatch(
-    std::span<const ImputeRequest> requests, int threads,
+    std::span<const ImputeRequest> requests, int threads, int resolution,
     std::vector<double>* query_seconds, const ImputeOneFn& impute_one) {
   const size_t n = requests.size();
   std::vector<Result<ImputeResponse>> responses(
       n, Result<ImputeResponse>(Status::Internal("request not processed")));
   std::vector<double> seconds(n, 0.0);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // stable_sort keeps the input order within a cell (and for the invalid
+  // coordinates that map to kInvalidCell), so scheduling is deterministic.
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return hex::LatLngToCell(requests[a].gap_start, resolution) <
+           hex::LatLngToCell(requests[b].gap_start, resolution);
+  });
   auto run_range = [&](size_t begin, size_t end) {
     core::Imputer::SearchScratch scratch;
-    for (size_t i = begin; i < end; ++i) {
+    for (size_t pos = begin; pos < end; ++pos) {
+      const size_t i = order[pos];
       Stopwatch sw;
       const Status valid = ValidateRequest(requests[i]);
       if (!valid.ok()) {
@@ -415,20 +445,46 @@ class SliAdapter : public ImputationModel {
 Result<std::unique_ptr<ImputationModel>> HabitModel::Make(
     const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
   std::vector<std::string> keys = kHabitKeys;
-  keys.insert(keys.end(), {kSaveKey, kLoadKey, kMapKey});
+  keys.insert(keys.end(), {kSaveKey, kLoadKey, kMapKey, kLandmarksKey,
+                           kAltKey});
   HABIT_RETURN_NOT_OK(spec.CheckKnownKeys(keys));
   HABIT_ASSIGN_OR_RETURN(const int threads, ParseThreads(spec));
   HABIT_ASSIGN_OR_RETURN(const bool mapped, ParseMapped(spec));
   const std::string load_path = spec.GetString(kLoadKey, "");
+  const std::string save_path = spec.GetString(kSaveKey, "");
+  // landmarks= is save-time precomputation: the columns only pay off when
+  // they persist into a snapshot's v3 landmark section, so require save=.
+  HABIT_ASSIGN_OR_RETURN(const int landmarks, spec.GetInt(kLandmarksKey, 0));
+  if (spec.params.contains(kLandmarksKey)) {
+    if (save_path.empty()) {
+      return Status::InvalidArgument(
+          "parameter landmarks= requires save= (landmark columns are "
+          "precomputed into the snapshot)");
+    }
+    if (landmarks < 1 ||
+        landmarks > static_cast<int>(graph::kMaxLandmarks)) {
+      return Status::InvalidArgument(
+          "landmarks must be in [1, " +
+          std::to_string(graph::kMaxLandmarks) + "]");
+    }
+  }
+  // alt=1 turns the landmark acceleration on at serve time; only a loaded
+  // snapshot can carry landmark columns, so it requires load= (like map=).
+  if (spec.params.contains(kAltKey) && load_path.empty()) {
+    return Status::InvalidArgument(
+        "parameter alt= requires load= (landmarks live in the snapshot)");
+  }
+  HABIT_ASSIGN_OR_RETURN(const int alt, spec.GetInt(kAltKey, 0));
   Stopwatch build_timer;
   std::unique_ptr<core::HabitFramework> framework;
   if (!load_path.empty()) {
     // O(read) cold start — O(page-in) with map=1: the snapshot is
     // self-describing (build config + frozen CSR arrays), so build
     // parameters alongside load= are rejected — a spec must never serve a
-    // graph under a mismatched resolution or cost policy. threads= and
-    // map= are serving parameters and stay legal.
-    HABIT_RETURN_NOT_OK(RejectBuildParamsWithLoad(spec, {"threads", kMapKey}));
+    // graph under a mismatched resolution or cost policy. threads=, map=,
+    // and alt= are serving parameters and stay legal.
+    HABIT_RETURN_NOT_OK(
+        RejectBuildParamsWithLoad(spec, {"threads", kMapKey, kAltKey}));
     HABIT_ASSIGN_OR_RETURN(framework,
                            core::LoadModelSnapshot(load_path, mapped));
   } else {
@@ -436,8 +492,12 @@ Result<std::unique_ptr<ImputationModel>> HabitModel::Make(
                            ParseHabitConfig(spec));
     HABIT_ASSIGN_OR_RETURN(framework,
                            core::HabitFramework::Build(trips, config));
+    if (landmarks > 0) {
+      HABIT_RETURN_NOT_OK(
+          framework->PrecomputeLandmarks(static_cast<size_t>(landmarks)));
+    }
   }
-  const std::string save_path = spec.GetString(kSaveKey, "");
+  framework->set_use_landmarks(alt != 0);
   if (!save_path.empty()) {
     HABIT_RETURN_NOT_OK(core::SaveModelSnapshot(*framework, save_path));
   }
@@ -466,7 +526,7 @@ std::vector<Result<ImputeResponse>> HabitModel::ImputeBatch(
     std::vector<double>* query_seconds) const {
   const core::Imputer& imputer = framework_->imputer();
   return RunImputeBatch(
-      requests, threads_, query_seconds,
+      requests, threads_, framework_->config().resolution, query_seconds,
       [&imputer](const ImputeRequest& request,
                  core::Imputer::SearchScratch* scratch) {
         return imputer.Impute(request.gap_start, request.gap_end,
@@ -531,7 +591,7 @@ std::vector<Result<ImputeResponse>> TypedHabitModel::ImputeBatch(
     std::vector<double>* query_seconds) const {
   const core::TypedHabitFramework& fw = *framework_;
   return RunImputeBatch(
-      requests, threads_, query_seconds,
+      requests, threads_, fw.combined().config().resolution, query_seconds,
       [&fw](const ImputeRequest& request,
             core::Imputer::SearchScratch* scratch) {
         return TypedImpute(fw, request, scratch);
@@ -545,8 +605,8 @@ void RegisterBuiltinModels(ModelRegistry& registry) {
   Status st;
   st = registry.Register(
       "habit",
-      "HABIT transition-graph imputation (r, p, t, cost, expand, save, "
-      "load, map)",
+      "HABIT transition-graph imputation (r, p, t, cost, expand, "
+      "landmarks, save, load, map, alt)",
       HabitModel::Make);
   assert(st.ok());
   st = registry.Register(

@@ -32,12 +32,17 @@ Polyline ResampleMaxSpacing(const Polyline& line, double max_gap_m) {
   return out;
 }
 
-double CrossTrackMeters(const LatLng& p, const LatLng& a, const LatLng& b) {
-  const double d_ab = HaversineMeters(a, b);
+namespace {
+
+// The per-point body of CrossTrackMeters with the segment-constant terms
+// (d_ab and theta_ab, the trig-heavy half of the formula) hoisted out, so
+// a caller sweeping many points against one segment — RDP — computes them
+// once. Arithmetic is identical to the standalone function.
+double CrossTrackWithSegment(const LatLng& p, const LatLng& a,
+                             const LatLng& b, double d_ab, double theta_ab) {
   if (d_ab < 1e-6) return HaversineMeters(p, a);
   const double d_ap = HaversineMeters(a, p);
   if (d_ap < 1e-9) return 0.0;
-  const double theta_ab = DegToRad(InitialBearingDeg(a, b));
   const double theta_ap = DegToRad(InitialBearingDeg(a, p));
   const double delta_ap = d_ap / kEarthRadiusMeters;
   const double xt =
@@ -57,15 +62,49 @@ double CrossTrackMeters(const LatLng& p, const LatLng& a, const LatLng& b) {
   return std::fabs(xt);
 }
 
+}  // namespace
+
+double CrossTrackMeters(const LatLng& p, const LatLng& a, const LatLng& b) {
+  const double d_ab = HaversineMeters(a, b);
+  const double theta_ab =
+      d_ab < 1e-6 ? 0.0 : DegToRad(InitialBearingDeg(a, b));
+  return CrossTrackWithSegment(p, a, b, d_ab, theta_ab);
+}
+
 namespace {
 
-void RdpRecurse(const Polyline& line, size_t lo, size_t hi, double tol,
+// RDP runs in a local equirectangular frame: points are projected once to
+// meters (x scaled by cos of the polyline's mean latitude), and deviation
+// becomes a flat point-to-segment distance — a handful of mul/adds per
+// point instead of the haversine + bearing + arcsine chain of the
+// spherical cross-track. Over the spans RDP sees (simplifying an imputed
+// track, segments of tens of km at most) the projection error is far
+// below any sensible tolerance, and the simplification is a keep/drop
+// decision, not a measurement — so the flat sweep picks the same points.
+struct XY {
+  double x, y;
+};
+
+double FlatSegmentDistance(const XY& p, const XY& a, const XY& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double px = p.x - a.x;
+  const double py = p.y - a.y;
+  const double d2 = dx * dx + dy * dy;
+  if (d2 < 1e-12) return std::sqrt(px * px + py * py);
+  const double t = std::clamp((px * dx + py * dy) / d2, 0.0, 1.0);
+  const double ex = px - t * dx;
+  const double ey = py - t * dy;
+  return std::sqrt(ex * ex + ey * ey);
+}
+
+void RdpRecurse(const std::vector<XY>& pts, size_t lo, size_t hi, double tol,
                 std::vector<bool>* keep) {
   if (hi <= lo + 1) return;
   double max_dev = -1.0;
   size_t max_idx = lo;
   for (size_t i = lo + 1; i < hi; ++i) {
-    const double dev = CrossTrackMeters(line[i], line[lo], line[hi]);
+    const double dev = FlatSegmentDistance(pts[i], pts[lo], pts[hi]);
     if (dev > max_dev) {
       max_dev = dev;
       max_idx = i;
@@ -73,8 +112,8 @@ void RdpRecurse(const Polyline& line, size_t lo, size_t hi, double tol,
   }
   if (max_dev > tol) {
     (*keep)[max_idx] = true;
-    RdpRecurse(line, lo, max_idx, tol, keep);
-    RdpRecurse(line, max_idx, hi, tol, keep);
+    RdpRecurse(pts, lo, max_idx, tol, keep);
+    RdpRecurse(pts, max_idx, hi, tol, keep);
   }
 }
 
@@ -82,9 +121,25 @@ void RdpRecurse(const Polyline& line, size_t lo, size_t hi, double tol,
 
 Polyline RdpSimplify(const Polyline& line, double tolerance_m) {
   if (tolerance_m <= 0 || line.size() < 3) return line;
+  double mean_lat = 0;
+  for (const LatLng& p : line) mean_lat += p.lat;
+  mean_lat /= static_cast<double>(line.size());
+  const double m_per_deg = DegToRad(1.0) * kEarthRadiusMeters;
+  const double cos_lat = std::cos(DegToRad(mean_lat));
+  std::vector<XY> pts;
+  pts.reserve(line.size());
+  const double lon0 = line.front().lng;
+  for (const LatLng& p : line) {
+    // Unwrap longitude relative to the first point so a track crossing
+    // the antimeridian stays contiguous in the flat frame.
+    double dlon = p.lng - lon0;
+    if (dlon > 180.0) dlon -= 360.0;
+    if (dlon < -180.0) dlon += 360.0;
+    pts.push_back({dlon * m_per_deg * cos_lat, p.lat * m_per_deg});
+  }
   std::vector<bool> keep(line.size(), false);
   keep.front() = keep.back() = true;
-  RdpRecurse(line, 0, line.size() - 1, tolerance_m, &keep);
+  RdpRecurse(pts, 0, line.size() - 1, tolerance_m, &keep);
   Polyline out;
   out.reserve(line.size());
   for (size_t i = 0; i < line.size(); ++i) {

@@ -1,10 +1,63 @@
 #include "graph/compact_graph.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/mmap_region.h"
 
 namespace habit::graph {
+
+Status ValidateLandmarks(size_t num_nodes, std::span<const NodeIndex> nodes,
+                         std::span<const double> from,
+                         std::span<const double> to) {
+  const size_t k = nodes.size();
+  if (k > kMaxLandmarks) {
+    return Status::IoError("landmark section: " + std::to_string(k) +
+                           " landmarks exceeds the cap of " +
+                           std::to_string(kMaxLandmarks));
+  }
+  if (from.size() != k * num_nodes || to.size() != k * num_nodes) {
+    return Status::IoError(
+        "landmark section: distance columns do not cover k * num_nodes");
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (nodes[i] >= num_nodes) {
+      return Status::IoError("landmark section: landmark node out of range");
+    }
+    for (size_t j = i + 1; j < k; ++j) {
+      if (nodes[i] == nodes[j]) {
+        return Status::IoError("landmark section: duplicate landmark node");
+      }
+    }
+  }
+  // Distances must be non-negative and never NaN (+inf = unreachable is
+  // fine). A NaN would poison every bound computed from its column, and a
+  // negative distance would make the "heuristic" inadmissible — on the
+  // mapped load path this scan is the only thing standing between a
+  // tampered section and silently wrong search corridors.
+  for (const double d : from) {
+    if (std::isnan(d) || d < 0.0) {
+      return Status::IoError("landmark section: invalid distance value");
+    }
+  }
+  for (const double d : to) {
+    if (std::isnan(d) || d < 0.0) {
+      return Status::IoError("landmark section: invalid distance value");
+    }
+  }
+  return Status::OK();
+}
+
+Status CompactGraph::AttachLandmarks(LandmarkSet set) {
+  HABIT_RETURN_NOT_OK(
+      ValidateLandmarks(num_nodes(), set.nodes, set.from, set.to));
+  auto owned = std::make_shared<const LandmarkSet>(std::move(set));
+  landmark_nodes_ = owned->nodes;
+  landmark_from_ = owned->from;
+  landmark_to_ = owned->to;
+  landmarks_owned_ = std::move(owned);
+  return Status::OK();
+}
 
 NodeIndex CompactGraph::BisectBucket(NodeId id, uint32_t lo,
                                      uint32_t hi) const {
@@ -118,7 +171,8 @@ size_t CompactGraph::SizeBytes() const {
          bytes(edge_weight_) + bytes(in_degree_) + bytes(edge_transitions_) +
          bytes(edge_grid_distance_) + bytes(median_pos_) + bytes(center_pos_) +
          bytes(message_count_) + bytes(distinct_vessels_) +
-         bytes(median_sog_) + bytes(median_cog_) + lookup_bytes;
+         bytes(median_sog_) + bytes(median_cog_) + bytes(landmark_nodes_) +
+         bytes(landmark_from_) + bytes(landmark_to_) + lookup_bytes;
 }
 
 }  // namespace habit::graph

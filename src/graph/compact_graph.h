@@ -59,6 +59,35 @@ struct EdgeAttrs {
   int64_t grid_distance = 0;  ///< hex grid distance between the two cells
 };
 
+/// Upper bound on landmarks per graph. Columns cost 16 bytes/node each, so
+/// this caps the precomputation at ~1KB/node — and bounds what a snapshot
+/// reader will accept as a plausible landmark section.
+inline constexpr size_t kMaxLandmarks = 64;
+
+/// \brief ALT landmark distances for a frozen graph (graph/landmarks.h
+/// computes them; the snapshot v3 container persists them).
+///
+/// Node-major layout: `from[u * k + l]` is the shortest-path cost from
+/// landmark `l` to node `u`, `to[u * k + l]` the cost from `u` to landmark
+/// `l` (+infinity when unreachable). One query-time bound evaluation reads
+/// the 2k doubles of one node contiguously.
+struct LandmarkSet {
+  std::vector<NodeIndex> nodes;  ///< landmark node indices, k entries
+  std::vector<double> from;      ///< k * num_nodes, node-major
+  std::vector<double> to;        ///< k * num_nodes, node-major
+};
+
+/// Structural validation of landmark columns against a graph of
+/// `num_nodes` nodes: k within [0, kMaxLandmarks], landmark indices
+/// in-range and strictly ascending-free (distinct), column sizes k * n,
+/// every distance finite-or-+inf and non-negative. Shared by
+/// CompactGraph::AttachLandmarks and the snapshot loaders (a mapped v3
+/// load skips the checksum, so this is its only line of defense against a
+/// garbage landmark section).
+Status ValidateLandmarks(size_t num_nodes, std::span<const NodeIndex> nodes,
+                         std::span<const double> from,
+                         std::span<const double> to);
+
 /// \brief Immutable CSR snapshot of a Digraph.
 ///
 /// Storage: nodes are the sorted distinct NodeIds; out-edges of node i live
@@ -146,6 +175,29 @@ class CompactGraph {
   const geo::LatLng& CenterPos(NodeIndex u) const { return center_pos_[u]; }
   int64_t MessageCount(NodeIndex u) const { return message_count_[u]; }
   bool has_attrs() const { return !median_pos_.empty(); }
+
+  /// Number of ALT landmarks attached (0 for graphs without
+  /// precomputation — searches then run on the zero heuristic).
+  size_t num_landmarks() const { return landmark_nodes_.size(); }
+  std::span<const NodeIndex> landmark_nodes() const {
+    return landmark_nodes_;
+  }
+  /// Distance columns of node `u`: entry l is the cost from landmark l to
+  /// u (LandmarkFrom) / from u to landmark l (LandmarkTo), +inf when
+  /// unreachable. Contiguous per node (node-major storage).
+  std::span<const double> LandmarkFrom(NodeIndex u) const {
+    const size_t k = num_landmarks();
+    return landmark_from_.subspan(static_cast<size_t>(u) * k, k);
+  }
+  std::span<const double> LandmarkTo(NodeIndex u) const {
+    const size_t k = num_landmarks();
+    return landmark_to_.subspan(static_cast<size_t>(u) * k, k);
+  }
+
+  /// Attaches freeze-time ALT precomputation (graph/landmarks.h) to this
+  /// graph; validated, and serialized with the graph from then on.
+  /// Replaces any landmarks already attached.
+  Status AttachLandmarks(LandmarkSet set);
 
   /// Assembled attribute views (row form), for serialization and tests.
   NodeAttrs NodeAttrsAt(NodeIndex u) const;
@@ -237,6 +289,10 @@ class CompactGraph {
   void Clear() {
     owned_.reset();
     mapped_.reset();
+    landmarks_owned_.reset();
+    landmark_nodes_ = {};
+    landmark_from_ = {};
+    landmark_to_ = {};
     id_buckets_.reset();
     id_bucket_count_ = 0;
     id_range_ = 0;
@@ -266,6 +322,9 @@ class CompactGraph {
 
   std::shared_ptr<const Arrays> owned_;
   std::shared_ptr<const MmapRegion> mapped_;
+  /// Backing for landmark columns attached in-process or copy-loaded (a
+  /// mapped v3 snapshot serves them through mapped_ instead).
+  std::shared_ptr<const LandmarkSet> landmarks_owned_;
   /// id -> bucket start positions (size id_bucket_count_ + 1), built at
   /// freeze/load time; always owned (it is derived, not persisted).
   std::shared_ptr<const std::vector<uint32_t>> id_buckets_;
@@ -287,6 +346,9 @@ class CompactGraph {
   std::span<const int64_t> distinct_vessels_;
   std::span<const double> median_sog_;
   std::span<const double> median_cog_;
+  std::span<const NodeIndex> landmark_nodes_;
+  std::span<const double> landmark_from_;  ///< node-major, k per node
+  std::span<const double> landmark_to_;    ///< node-major, k per node
 };
 
 }  // namespace habit::graph

@@ -1,0 +1,237 @@
+#include "graph/landmarks.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace habit::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Full single-source Dijkstra over `g` from `source`; writes the distance
+// of every reachable node into `col` (+inf elsewhere). One landmark column.
+void DistanceColumn(const CompactGraph& g, NodeIndex source,
+                    SearchScratch& scratch, std::vector<double>* col) {
+  col->assign(g.num_nodes(), kInf);
+  const SearchSeed seed{source, 0.0};
+  RunSearch(
+      g, {&seed, 1}, [](NodeIndex) { return false; },
+      [](NodeIndex) { return 0.0; }, scratch);
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    if (scratch.Visited(u)) (*col)[u] = scratch.dist[u];
+  }
+}
+
+// The reversed graph (same node-id set, every edge flipped, same weights).
+// Freezing assigns dense indices in ascending id order, and the id set is
+// unchanged — so index i means the same node in both graphs, and a forward
+// Dijkstra here yields distances *to* a node of the original graph.
+CompactGraph ReverseGraph(const CompactGraph& g) {
+  Digraph rev;
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    rev.AddNode(g.IdOf(u));
+  }
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    const auto neighbors = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t e = 0; e < neighbors.size(); ++e) {
+      EdgeAttrs attrs;
+      attrs.weight = weights[e];
+      rev.AddEdge(g.IdOf(neighbors[e]), g.IdOf(u), attrs);
+    }
+  }
+  return rev.Freeze(/*keep_attrs=*/false);
+}
+
+}  // namespace
+
+Result<LandmarkSet> ComputeLandmarks(const CompactGraph& g, size_t k) {
+  const size_t n = g.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "cannot compute landmarks for an empty graph");
+  }
+  if (k < 1 || k > kMaxLandmarks) {
+    return Status::InvalidArgument(
+        "landmark count must be in [1, " + std::to_string(kMaxLandmarks) +
+        "]");
+  }
+  k = std::min(k, n);
+
+  // Farthest-point sampling, seeded at the best-connected node so the
+  // first column is useful even on a 1-landmark budget. Coverage of a node
+  // is its SYMMETRIZED distance to the nearest chosen landmark,
+  // min(dist(L, u), dist(u, L)): trajectory graphs are directed lanes, and
+  // under forward distance alone the node one step *behind* a landmark is
+  // maximally far (reaching it means looping the whole lane), so the
+  // argmax would burn the entire budget walking backward node by node from
+  // the first pick. The symmetric metric spreads landmarks across the
+  // periphery instead — and +inf coverage deliberately lands the next
+  // landmark inside a fragment no previous landmark touches.
+  NodeIndex seed = 0;
+  uint64_t best_degree = 0;
+  for (NodeIndex u = 0; u < n; ++u) {
+    const uint64_t degree =
+        static_cast<uint64_t>(g.OutDegree(u)) + g.InDegree(u);
+    if (degree > best_degree) {
+      best_degree = degree;
+      seed = u;
+    }
+  }
+
+  const CompactGraph reverse = ReverseGraph(g);
+  SearchScratch scratch;
+  std::vector<NodeIndex> chosen;
+  std::vector<std::vector<double>> from_cols;  // landmark-major while picking
+  std::vector<std::vector<double>> to_cols;
+  std::vector<double> coverage(n, kInf);
+  chosen.reserve(k);
+  from_cols.reserve(k);
+  to_cols.reserve(k);
+
+  NodeIndex next = seed;
+  for (size_t i = 0; i < k; ++i) {
+    chosen.push_back(next);
+    from_cols.emplace_back();
+    to_cols.emplace_back();
+    DistanceColumn(g, next, scratch, &from_cols.back());
+    DistanceColumn(reverse, next, scratch, &to_cols.back());
+    const std::vector<double>& from_col = from_cols.back();
+    const std::vector<double>& to_col = to_cols.back();
+    NodeIndex farthest = kInvalidNodeIndex;
+    double farthest_cov = -1.0;
+    for (NodeIndex u = 0; u < n; ++u) {
+      coverage[u] = std::min(coverage[u], std::min(from_col[u], to_col[u]));
+      if (std::find(chosen.begin(), chosen.end(), u) != chosen.end()) {
+        continue;
+      }
+      if (coverage[u] > farthest_cov) {
+        farthest_cov = coverage[u];
+        farthest = u;
+      }
+    }
+    // Every remaining node sits on a chosen landmark (or none remain):
+    // more landmarks would duplicate columns, so stop early.
+    if (farthest == kInvalidNodeIndex || farthest_cov <= 0.0) break;
+    next = farthest;
+  }
+
+  const size_t chosen_k = chosen.size();
+  LandmarkSet set;
+  set.nodes = chosen;
+  set.from.assign(chosen_k * n, kInf);
+  set.to.assign(chosen_k * n, kInf);
+  for (size_t l = 0; l < chosen_k; ++l) {
+    for (NodeIndex u = 0; u < n; ++u) {
+      set.from[static_cast<size_t>(u) * chosen_k + l] = from_cols[l][u];
+      set.to[static_cast<size_t>(u) * chosen_k + l] = to_cols[l][u];
+    }
+  }
+  return set;
+}
+
+void PrepareAltQuery(const CompactGraph& g,
+                     std::span<const NodeIndex> targets,
+                     std::span<const SearchSeed> seeds,
+                     SearchScratch& scratch) {
+  const size_t k = g.num_landmarks();
+  SearchScratch::AltState& alt = scratch.alt;
+  alt.active.clear();
+  alt.from_min.clear();
+  alt.to_max.clear();
+  alt.upper = kInf;
+  alt.dense = k <= kMaxActiveLandmarks && k > 0;
+  if (k == 0 || targets.empty()) return;
+
+  // Aggregate each landmark's bound ingredients over the target set: the
+  // from-bound needs min over targets of dist(L, t), the to-bound max over
+  // targets of dist(t, L). A from_min of +inf (no target reachable from L)
+  // is stored as -inf so the bound term is vacuously -inf; a to_max of
+  // +inf stays +inf and the vacuous to-term comes out -inf or NaN, which
+  // the evaluation's strict > rejects either way.
+  struct Scored {
+    uint32_t landmark;
+    double from_min;
+    double to_max;
+    double score;
+  };
+  std::vector<Scored> scored(k);
+  for (size_t l = 0; l < k; ++l) {
+    scored[l] = {static_cast<uint32_t>(l), kInf, -kInf, 0.0};
+  }
+  for (const NodeIndex t : targets) {
+    const std::span<const double> from_row = g.LandmarkFrom(t);
+    const std::span<const double> to_row = g.LandmarkTo(t);
+    for (size_t l = 0; l < k; ++l) {
+      scored[l].from_min = std::min(scored[l].from_min, from_row[l]);
+      scored[l].to_max = std::max(scored[l].to_max, to_row[l]);
+    }
+  }
+  for (size_t l = 0; l < k; ++l) {
+    if (scored[l].from_min == kInf) scored[l].from_min = -kInf;
+    if (scored[l].to_max == -kInf) scored[l].to_max = kInf;
+  }
+
+  // Accumulate the landmark-relay UPPER bound that defines the search
+  // corridor: seed -> landmark -> target is a real path, so its cost caps
+  // the optimum. When more landmarks are stored than the active budget,
+  // the same pass scores each landmark by the bound it gives at the seed
+  // set (the strongest possible statement about this query's total cost)
+  // so the strongest kMaxActiveLandmarks can be kept.
+  for (Scored& s : scored) {
+    double best = -kInf;
+    for (const SearchSeed& seed : seeds) {
+      if (seed.node == kInvalidNodeIndex) continue;
+      const double f = s.from_min - g.LandmarkFrom(seed.node)[s.landmark];
+      if (f > best) best = f;
+      if (s.to_max < kInf) {
+        const double t = g.LandmarkTo(seed.node)[s.landmark] - s.to_max;
+        if (t > best) best = t;
+      }
+      if (s.from_min > -kInf) {
+        // dist(seed, L) + min over targets of dist(L, t), a real relay.
+        const double relay = seed.cost +
+                             g.LandmarkTo(seed.node)[s.landmark] +
+                             s.from_min;
+        if (relay < alt.upper) alt.upper = relay;
+      }
+    }
+    s.score = best;
+  }
+
+  if (alt.dense) {
+    // All stored landmarks fit the active budget: identity subset, column
+    // order preserved so the bound evaluation can scan rows linearly.
+    alt.active.reserve(k);
+    alt.from_min.reserve(k);
+    alt.to_max.reserve(k);
+    for (size_t l = 0; l < k; ++l) {
+      alt.active.push_back(static_cast<uint32_t>(l));
+      alt.from_min.push_back(scored[l].from_min);
+      alt.to_max.push_back(scored[l].to_max);
+    }
+    return;
+  }
+
+  // Ties resolve by landmark index for determinism.
+  std::sort(scored.begin(), scored.end(), [](const Scored& a,
+                                             const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.landmark < b.landmark;
+  });
+  alt.active.reserve(kMaxActiveLandmarks);
+  alt.from_min.reserve(kMaxActiveLandmarks);
+  alt.to_max.reserve(kMaxActiveLandmarks);
+  for (size_t i = 0; i < kMaxActiveLandmarks; ++i) {
+    alt.active.push_back(scored[i].landmark);
+    alt.from_min.push_back(scored[i].from_min);
+    alt.to_max.push_back(scored[i].to_max);
+  }
+}
+
+}  // namespace habit::graph

@@ -35,6 +35,26 @@ struct SearchScratch {
   std::vector<uint32_t> settle_stamp;
   uint32_t generation = 0;
 
+  /// Per-query ALT state (graph/landmarks.h): the active landmark subset
+  /// and its aggregated bounds toward this query's target set. Lives here
+  /// so a batch of ALT queries allocates nothing in steady state; plain
+  /// searches never touch it. Survives Prepare() — it is set up once per
+  /// query and read by both phases of an ALT run.
+  struct AltState {
+    std::vector<uint32_t> active;  ///< landmark column indices in use
+    std::vector<double> from_min;  ///< min over targets of dist(L -> t)
+    std::vector<double> to_max;    ///< max over targets of dist(t -> L)
+    /// Triangle *upper* bound on the query's optimal cost: the cheapest
+    /// seed -> landmark -> target relay, min over all stored landmarks.
+    /// +inf when no landmark connects the seed set to the target set.
+    double upper = 0.0;
+    /// True when `active` is the identity over all stored landmarks — the
+    /// bound evaluation then scans the distance rows linearly (one cache
+    /// line per direction at k = 8) instead of through the index vector.
+    bool dense = false;
+  };
+  AltState alt;
+
   /// Starts a new query over a graph of `num_nodes` nodes: bumps the
   /// generation (invalidating all stamps at once) and grows the arrays if
   /// this graph is larger than any seen before.
@@ -75,23 +95,40 @@ struct CsrSearch {
   size_t expanded = 0;  ///< settled nodes (search effort)
 };
 
-/// \brief Runs best-first search over the frozen graph.
+/// \brief Runs best-first search over the frozen graph, with a record-time
+/// prune hook.
 ///
-/// Seeds are relaxed like discovered nodes (the cheapest wins when a node
-/// is seeded twice); the search stops when `is_target(u)` holds for a
-/// settled node, or runs to exhaustion (single-source all-distances) when
-/// it never does. `h(u)` must be admissible for optimal paths; pass a
-/// lambda returning 0.0 for Dijkstra. After the call, `scratch` holds the
-/// distance/parent state of this query (read via Visited/Settled + dist).
-template <typename IsTargetFn, typename HeuristicFn>
-CsrSearch RunSearch(const CompactGraph& g, std::span<const SearchSeed> seeds,
-                    IsTargetFn&& is_target, HeuristicFn&& h,
-                    SearchScratch& scratch) {
+/// Identical to RunSearch except that a candidate entry (a seed, or an
+/// improving edge relaxation reaching `u` at distance `du`) is discarded —
+/// never recorded, never pushed, never settled — when `prune(u, du)`
+/// returns true, as if the node did not exist at that distance. Pruning at
+/// record time rather than pop time means rejected nodes cost one
+/// predicate call instead of a full heap push/pop cycle.
+///
+/// For a prune predicate monotone in `du` (true for the ALT corridor test,
+/// `du + bound(u) > limit`), this is output-equivalent to filtering pops:
+/// the relaxation that establishes a surviving node's final distance has
+/// the smallest `du` seen for that node, hence always passes, and with it
+/// every (priority, node) heap entry that determines the settle sequence.
+/// The ALT replay phase (graph/landmarks.h) uses this to restrict the
+/// baseline search to the corridor that can contain an optimal path;
+/// everything else should call RunSearch.
+///
+/// Equal-priority heap entries pop in ascending node order. This makes the
+/// settle sequence a function of the entry set alone (not of heap
+/// operation history), which is what lets a pruned replay reproduce the
+/// unpruned search's parent choices exactly.
+template <typename IsTargetFn, typename HeuristicFn, typename PruneFn>
+CsrSearch RunSearchPruned(const CompactGraph& g,
+                          std::span<const SearchSeed> seeds,
+                          IsTargetFn&& is_target, HeuristicFn&& h,
+                          PruneFn&& prune, SearchScratch& scratch) {
   scratch.Prepare(g.num_nodes());
   auto& heap = scratch.heap;
   const auto heap_greater = [](const SearchScratch::HeapEntry& a,
                                const SearchScratch::HeapEntry& b) {
-    return a.priority > b.priority;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.node > b.node;
   };
   auto heap_push = [&](double priority, NodeIndex node) {
     heap.push_back({priority, node});
@@ -101,6 +138,7 @@ CsrSearch RunSearch(const CompactGraph& g, std::span<const SearchSeed> seeds,
   for (const SearchSeed& seed : seeds) {
     if (seed.node == kInvalidNodeIndex) continue;
     if (!scratch.Visited(seed.node) || seed.cost < scratch.dist[seed.node]) {
+      if (prune(seed.node, seed.cost)) continue;
       scratch.MarkVisited(seed.node);
       scratch.dist[seed.node] = seed.cost;
       scratch.parent[seed.node] = kInvalidNodeIndex;
@@ -130,6 +168,7 @@ CsrSearch RunSearch(const CompactGraph& g, std::span<const SearchSeed> seeds,
       if (scratch.Settled(v)) continue;
       const double cand = du + weights[e];
       if (!scratch.Visited(v) || cand < scratch.dist[v]) {
+        if (prune(v, cand)) continue;
         scratch.MarkVisited(v);
         scratch.dist[v] = cand;
         scratch.parent[v] = u;
@@ -138,6 +177,22 @@ CsrSearch RunSearch(const CompactGraph& g, std::span<const SearchSeed> seeds,
     }
   }
   return result;
+}
+
+/// \brief Runs best-first search over the frozen graph.
+///
+/// Seeds are relaxed like discovered nodes (the cheapest wins when a node
+/// is seeded twice); the search stops when `is_target(u)` holds for a
+/// settled node, or runs to exhaustion (single-source all-distances) when
+/// it never does. `h(u)` must be admissible for optimal paths; pass a
+/// lambda returning 0.0 for Dijkstra. After the call, `scratch` holds the
+/// distance/parent state of this query (read via Visited/Settled + dist).
+template <typename IsTargetFn, typename HeuristicFn>
+CsrSearch RunSearch(const CompactGraph& g, std::span<const SearchSeed> seeds,
+                    IsTargetFn&& is_target, HeuristicFn&& h,
+                    SearchScratch& scratch) {
+  return RunSearchPruned(g, seeds, is_target, h,
+                         [](NodeIndex, double) { return false; }, scratch);
 }
 
 /// Walks the parent chain of `scratch` from `reached` back to its seed.

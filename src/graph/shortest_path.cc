@@ -3,6 +3,8 @@
 #include <numeric>
 #include <queue>
 
+#include "graph/landmarks.h"
+
 namespace habit::graph {
 
 namespace {
@@ -35,6 +37,34 @@ struct ReverseAdjacency {
 Result<PathResult> Dijkstra(const CompactGraph& g, NodeId source,
                             NodeId target, SearchScratch* scratch) {
   return AStar(g, source, target, kZeroHeuristic, scratch);
+}
+
+Result<PathResult> DijkstraAlt(const CompactGraph& g, NodeId source,
+                               NodeId target, SearchScratch* scratch) {
+  const NodeIndex src = g.IndexOf(source);
+  if (src == kInvalidNodeIndex) {
+    return Status::NotFound("source node not in graph");
+  }
+  const NodeIndex dst = g.IndexOf(target);
+  if (dst == kInvalidNodeIndex) {
+    return Status::NotFound("target node not in graph");
+  }
+  SearchScratch local;
+  SearchScratch& state = scratch != nullptr ? *scratch : local;
+  const SearchSeed seed{src, 0.0};
+  const CsrSearch run = RunSearchAlt(
+      g, {&seed, 1}, [dst](NodeIndex u) { return u == dst; }, {&dst, 1},
+      state);
+  if (!run.found) {
+    return Status::Unreachable("no path from source to target");
+  }
+  PathResult result;
+  result.cost = run.cost;
+  result.expanded = run.expanded;
+  for (const NodeIndex i : ReconstructPath(state, run.reached)) {
+    result.nodes.push_back(g.IdOf(i));
+  }
+  return result;
 }
 
 std::vector<std::pair<NodeId, double>> DijkstraAll(const CompactGraph& g,

@@ -59,6 +59,14 @@ Result<PathResult> AStar(const CompactGraph& g, NodeId source, NodeId target,
 Result<PathResult> Dijkstra(const CompactGraph& g, NodeId source,
                             NodeId target, SearchScratch* scratch = nullptr);
 
+/// \brief Dijkstra accelerated by the graph's ALT landmark columns (see
+/// graph/landmarks.h). Returns the same path, cost, and parent chain as
+/// `Dijkstra` — the landmarks only shrink the explored corridor — and
+/// degrades to plain Dijkstra when the graph carries no landmarks.
+Result<PathResult> DijkstraAlt(const CompactGraph& g, NodeId source,
+                               NodeId target,
+                               SearchScratch* scratch = nullptr);
+
 /// Single-source Dijkstra distances to every reachable node.
 std::vector<std::pair<NodeId, double>> DijkstraAll(const CompactGraph& g,
                                                    NodeId source);

@@ -30,7 +30,7 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 constexpr size_t kChecksumBytes = sizeof(uint64_t);
 
 bool VersionSupported(uint32_t version) {
-  return version == 1 || version == kSnapshotVersion;
+  return version >= 1 && version <= kSnapshotVersion;
 }
 
 // Parses and sanity-checks the fixed-size header fields against the total
@@ -255,6 +255,17 @@ void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g) {
     writer.Array(g.median_sog_);
     writer.Array(g.median_cog_);
   }
+  // v3: the ALT landmark block closes the section (k = 0 when the graph
+  // carries no precomputation). Writers pinned to older versions (tests,
+  // compatibility artifacts) must emit a payload those parsers accept, so
+  // the block is version-gated — landmarks attached to the graph are then
+  // simply not persisted.
+  if (writer.version() >= 3) {
+    writer.U32(static_cast<uint32_t>(g.num_landmarks()));
+    writer.Array(g.landmark_nodes_);
+    writer.Array(g.landmark_from_);
+    writer.Array(g.landmark_to_);
+  }
 }
 
 namespace {
@@ -276,7 +287,23 @@ struct GraphCols {
   std::span<const int64_t> distinct_vessels;
   std::span<const double> median_sog;
   std::span<const double> median_cog;
+  // v3 landmark block (empty spans on older versions).
+  std::span<const NodeIndex> landmark_nodes;
+  std::span<const double> landmark_from;
+  std::span<const double> landmark_to;
 };
+
+// The landmark block's own framing check: the explicit count must match
+// the node-index array (a cheap tamper tripwire ahead of the full
+// ValidateLandmarks scan, which a mapped v3 load relies on because it
+// never rehashes the payload).
+Status CheckLandmarkCount(uint64_t declared, size_t got) {
+  if (declared == got) return Status::OK();
+  return Status::IoError(
+      "graph snapshot: landmark count " + std::to_string(declared) +
+      " does not match the landmark node array (" + std::to_string(got) +
+      ")");
+}
 
 // Structural invariants the search engine and IndexOf rely on. The
 // checksum catches bit rot (copying path); these catch a well-formed file
@@ -367,6 +394,13 @@ Result<GraphCols> ReadGraphColsMapped(SnapshotReader& reader) {
     HABIT_RETURN_NOT_OK(reader.ArrayView(&c.median_sog));
     HABIT_RETURN_NOT_OK(reader.ArrayView(&c.median_cog));
   }
+  if (reader.version() >= 3) {
+    HABIT_ASSIGN_OR_RETURN(const uint32_t k, reader.U32());
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.landmark_nodes));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.landmark_from));
+    HABIT_RETURN_NOT_OK(reader.ArrayView(&c.landmark_to));
+    HABIT_RETURN_NOT_OK(CheckLandmarkCount(k, c.landmark_nodes.size()));
+  }
   return c;
 }
 
@@ -376,6 +410,9 @@ Result<CompactGraph> ReadGraphSection(SnapshotReader& reader) {
   if (reader.CanView()) {
     HABIT_ASSIGN_OR_RETURN(const GraphCols c, ReadGraphColsMapped(reader));
     HABIT_RETURN_NOT_OK(ValidateGraphCols(c));
+    HABIT_RETURN_NOT_OK(ValidateLandmarks(c.node_ids.size(),
+                                          c.landmark_nodes, c.landmark_from,
+                                          c.landmark_to));
     CompactGraph g;
     g.node_ids_ = c.node_ids;
     g.row_offsets_ = c.row_offsets;
@@ -390,6 +427,9 @@ Result<CompactGraph> ReadGraphSection(SnapshotReader& reader) {
     g.distinct_vessels_ = c.distinct_vessels;
     g.median_sog_ = c.median_sog;
     g.median_cog_ = c.median_cog;
+    g.landmark_nodes_ = c.landmark_nodes;
+    g.landmark_from_ = c.landmark_from;
+    g.landmark_to_ = c.landmark_to;
     g.AdoptMapped(reader.region());
     return g;
   }
@@ -411,8 +451,20 @@ Result<CompactGraph> ReadGraphSection(SnapshotReader& reader) {
     HABIT_RETURN_NOT_OK(reader.Array(&a.median_sog));
     HABIT_RETURN_NOT_OK(reader.Array(&a.median_cog));
   }
+  LandmarkSet landmarks;
+  if (reader.version() >= 3) {
+    HABIT_ASSIGN_OR_RETURN(const uint32_t k, reader.U32());
+    HABIT_RETURN_NOT_OK(reader.Array(&landmarks.nodes));
+    HABIT_RETURN_NOT_OK(reader.Array(&landmarks.from));
+    HABIT_RETURN_NOT_OK(reader.Array(&landmarks.to));
+    HABIT_RETURN_NOT_OK(CheckLandmarkCount(k, landmarks.nodes.size()));
+  }
   HABIT_RETURN_NOT_OK(ValidateGraphCols(ColsOfArrays(a, has_attrs != 0)));
-  return CompactGraph::FromOwned(std::move(a));
+  CompactGraph g = CompactGraph::FromOwned(std::move(a));
+  if (!landmarks.nodes.empty()) {
+    HABIT_RETURN_NOT_OK(g.AttachLandmarks(std::move(landmarks)));
+  }
+  return g;
 }
 
 Status SaveGraphSnapshot(const CompactGraph& g, const std::string& path) {

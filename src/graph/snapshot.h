@@ -9,12 +9,14 @@
 //   [FNV-1a 64 checksum of payload u64]
 //
 // The payload is a sequence of scalars and length-prefixed flat arrays.
-// Version 2 (current) pads each array so its data begins at a 64-byte
-// aligned *file* offset; since mmap bases are page-aligned, every column
-// of a mapped v2 snapshot can be viewed in place as a correctly aligned
-// std::span with no copy — the zero-copy serving path (SplinterDB-style:
-// the kernel page cache is the only resident copy). Version 1 files (no
-// padding) stay loadable through the copying path.
+// Version 2 pads each array so its data begins at a 64-byte aligned *file*
+// offset; since mmap bases are page-aligned, every column of a mapped v2+
+// snapshot can be viewed in place as a correctly aligned std::span with no
+// copy — the zero-copy serving path (SplinterDB-style: the kernel page
+// cache is the only resident copy). Version 3 (current) appends the ALT
+// landmark block to every embedded graph section — freeze-time
+// precomputation served through the same aligned-array machinery. Version
+// 1 files (no padding) stay loadable through the copying path.
 //
 // Loading is a validated bulk read — no Digraph rebuild, no re-freeze: the
 // CompactGraph loader fills the CSR arrays directly (or binds views into
@@ -45,8 +47,10 @@ namespace habit::graph {
 /// First bytes of every snapshot file ("HBSN", little-endian).
 inline constexpr uint32_t kSnapshotMagic = 0x4E534248;
 /// Bumped whenever the payload layout of any kind changes. Version 2 adds
-/// per-array alignment padding; readers accept 1 (copy-load only) and 2.
-inline constexpr uint32_t kSnapshotVersion = 2;
+/// per-array alignment padding; version 3 adds the landmark block at the
+/// end of every graph section (k = 0 when no precomputation was run).
+/// Readers accept 1 (copy-load only), 2, and 3.
+inline constexpr uint32_t kSnapshotVersion = 3;
 /// Every v2 array's data starts at a file offset that is a multiple of
 /// this (covers the strictest column alignment — double/int64/uint64 need
 /// 8 — with headroom for future SIMD-friendly columns).
@@ -103,6 +107,11 @@ class SnapshotWriter {
   /// file + rename, so replacing an existing artifact is atomic (a crash
   /// mid-save never destroys the previous good snapshot).
   Status WriteToFile(const std::string& path, SnapshotKind kind) const;
+
+  /// The container version being written; version-gated sections (the
+  /// graph landmark block, v3+) key off this so a writer constructed for a
+  /// legacy version emits a legacy-parsable payload.
+  uint32_t version() const { return version_; }
 
  private:
   void Raw(const void* data, size_t n) {
@@ -297,7 +306,11 @@ Result<CompactGraph> LoadGraphSnapshotMapped(const std::string& path);
 
 /// Appends / reads a CompactGraph section inside a larger snapshot payload
 /// (used by the GTI and HABIT snapshots). ReadGraphSection binds zero-copy
-/// views when the reader is mapped v2, and copies otherwise.
+/// views when the reader is mapped v2+, and copies otherwise. From v3 the
+/// section ends with the ALT landmark block (count + node indices +
+/// forward/backward distance columns), structurally validated on both
+/// paths; earlier versions simply have no landmarks and searches degrade
+/// to the zero heuristic.
 void AppendGraphSection(SnapshotWriter& writer, const CompactGraph& g);
 Result<CompactGraph> ReadGraphSection(SnapshotReader& reader);
 

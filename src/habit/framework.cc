@@ -1,5 +1,6 @@
 #include "habit/framework.h"
 
+#include "graph/landmarks.h"
 #include "habit/graph_builder.h"
 
 namespace habit::core {
@@ -39,6 +40,12 @@ Result<std::unique_ptr<HabitFramework>> HabitFramework::FromFrozen(
   }
   return std::unique_ptr<HabitFramework>(
       new HabitFramework(std::move(graph), config));
+}
+
+Status HabitFramework::PrecomputeLandmarks(size_t k) {
+  HABIT_ASSIGN_OR_RETURN(graph::LandmarkSet set,
+                         graph::ComputeLandmarks(graph_, k));
+  return graph_.AttachLandmarks(std::move(set));
 }
 
 Result<geo::Polyline> HabitFramework::ImputeTrip(

@@ -70,6 +70,17 @@ class HabitFramework {
   /// Imputer::SearchScratch across a batch of queries.
   const Imputer& imputer() const { return *imputer_; }
 
+  /// \brief Computes `k` ALT landmarks over the frozen graph and attaches
+  /// their distance columns (see graph/landmarks.h). Save-time work: the
+  /// columns persist through SaveModelSnapshot into the v3 landmark
+  /// section. O(k) full Dijkstras per direction.
+  Status PrecomputeLandmarks(size_t k);
+
+  /// Turns ALT acceleration on or off for subsequent queries; only
+  /// effective when the graph carries landmark columns. Either way,
+  /// imputed outputs are identical — landmarks change search effort only.
+  void set_use_landmarks(bool on) { imputer_->set_use_landmarks(on); }
+
   /// In-memory model footprint in bytes (the CSR arrays).
   size_t SizeBytes() const { return graph_.SizeBytes(); }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/landmarks.h"
+
 namespace habit::core {
 
 Imputer::Imputer(const graph::CompactGraph* graph, const HabitConfig& config)
@@ -42,10 +44,19 @@ std::vector<hex::CellId> Imputer::SnapCandidates(
       if (usable(c)) found.push_back(c);
     }
   }
-  std::sort(found.begin(), found.end(), [&](hex::CellId a, hex::CellId b) {
-    return geo::HaversineMeters(p, hex::CellToLatLng(a)) <
-           geo::HaversineMeters(p, hex::CellToLatLng(b));
-  });
+  // Decorate-sort-undecorate: the cell-center projection and haversine
+  // are trig-heavy, so compute them once per candidate instead of once
+  // per comparison.
+  std::vector<std::pair<double, hex::CellId>> by_distance;
+  by_distance.reserve(found.size());
+  for (const hex::CellId c : found) {
+    by_distance.emplace_back(geo::HaversineMeters(p, hex::CellToLatLng(c)),
+                             c);
+  }
+  std::sort(by_distance.begin(), by_distance.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  found.clear();
+  for (const auto& [dist, c] : by_distance) found.push_back(c);
   if (found.size() > max_candidates) found.resize(max_candidates);
   return found;
 }
@@ -112,18 +123,16 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
     }
   }
 
-  // Multi-source / multi-target A*: every source candidate is seeded with a
-  // cost proportional to its snap displacement (so the search prefers
-  // nearby, *connected* entry points without committing to one up front);
-  // the search settles the first destination candidate reached.
+  // Multi-source / multi-target search: every source candidate is seeded
+  // with a cost proportional to its snap displacement (so the search
+  // prefers nearby, *connected* entry points without committing to one up
+  // front); the search settles the first destination candidate reached.
   //
   // Costs are measured in "hops" (edge weights are >= 1 per grid step for
   // the hop-based policies), so displacements are converted via the cell
   // pitch at this resolution.
   const double cell_pitch_m =
       hex::EdgeLengthMeters(config_.resolution) * 1.7320508;
-  const double min_edge_cost =
-      config_.edge_cost == EdgeCostPolicy::kInverseFrequency ? 0.05 : 1.0;
 
   std::vector<graph::SearchSeed> seeds;
   seeds.reserve(src_cands.size());
@@ -147,24 +156,16 @@ Result<Imputation> Imputer::Impute(const geo::LatLng& gap_start,
     return std::binary_search(target_idx.begin(), target_idx.end(), u);
   };
 
-  // Heuristic: grid distance to the destination's own cell, reduced by the
-  // candidate spread so it never overestimates the cost to any target.
-  const hex::CellId dst_anchor = dst_cands.front();
-  int64_t dst_spread = 0;
-  for (const hex::CellId d : dst_cands) {
-    const auto gd = hex::GridDistance(dst_anchor, d);
-    if (gd.ok()) dst_spread = std::max(dst_spread, gd.value());
-  }
-  auto heuristic = [&](graph::NodeIndex n) {
-    const auto gd = hex::GridDistance(
-        static_cast<hex::CellId>(graph_->IdOf(n)), dst_anchor);
-    if (!gd.ok()) return 0.0;
-    return std::max<double>(0.0, static_cast<double>(gd.value() - dst_spread)) *
-           min_edge_cost;
-  };
-
+  // The baseline is plain Dijkstra (zero heuristic); with landmarks
+  // enabled, RunSearchAlt accelerates it through the snapshot's ALT
+  // columns while returning byte-identical paths (see graph/landmarks.h).
   const graph::CsrSearch run =
-      graph::RunSearch(*graph_, seeds, is_target, heuristic, *scratch);
+      use_landmarks_ && graph_->num_landmarks() > 0
+          ? graph::RunSearchAlt(*graph_, seeds, is_target, target_idx,
+                                *scratch)
+          : graph::RunSearch(
+                *graph_, seeds, is_target,
+                [](graph::NodeIndex) { return 0.0; }, *scratch);
   if (!run.found) {
     return Status::Unreachable(
         "no snap candidate pair is connected in the transition graph");

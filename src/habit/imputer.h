@@ -79,9 +79,17 @@ class Imputer {
   /// Inverse projection of one cell under the configured option p.
   geo::LatLng ProjectCell(hex::CellId cell) const;
 
+  /// Turns ALT landmark acceleration on or off for subsequent queries.
+  /// Only effective when the frozen graph carries landmark columns (a v3
+  /// snapshot saved with landmarks=k); otherwise queries stay on the plain
+  /// zero-heuristic baseline. On or off, imputed outputs are identical.
+  void set_use_landmarks(bool on) { use_landmarks_ = on; }
+  bool use_landmarks() const { return use_landmarks_; }
+
  private:
   const graph::CompactGraph* graph_;
   HabitConfig config_;
+  bool use_landmarks_ = false;
 };
 
 }  // namespace habit::core

@@ -576,5 +576,105 @@ TEST(ApiTest, MapSpecParamErrors) {
   std::remove(path.c_str());
 }
 
+TEST(ApiTest, AltServingIsByteIdenticalToBaseline) {
+  // The ALT acceleration contract at the API boundary: a snapshot saved
+  // with landmarks= served with alt=1 (heap or mapped) must produce
+  // byte-identical imputations to the same snapshot served without —
+  // landmarks change search effort, never output.
+  const auto trips = MakeTrips();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "api_alt.snap").string();
+  ASSERT_TRUE(
+      MakeModel("habit:r=9,landmarks=8,save=" + path, trips).ok());
+
+  std::vector<ImputeRequest> requests;
+  requests.push_back(LaneRequest());
+  {
+    ImputeRequest far = LaneRequest();
+    far.gap_end = {55.2, 11.0};  // the long gap, where ALT matters
+    requests.push_back(far);
+    ImputeRequest cross = LaneRequest();
+    cross.gap_end = {55.08, 11.3};  // lane change: usually unreachable
+    requests.push_back(cross);
+  }
+
+  auto baseline = MakeModel("habit:load=" + path, {});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const auto want = baseline.value()->ImputeBatch(requests);
+  for (const char* serve_params : {",alt=1", ",alt=1,map=1"}) {
+    auto alt = MakeModel("habit:load=" + path + serve_params, {});
+    ASSERT_TRUE(alt.ok()) << alt.status().ToString();
+    const auto got = alt.value()->ImputeBatch(requests);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i].ok(), got[i].ok())
+          << serve_params << " request " << i;
+      if (want[i].ok()) {
+        EXPECT_EQ(want[i].value().path, got[i].value().path)
+            << serve_params << " request " << i;
+        EXPECT_EQ(want[i].value().timestamps, got[i].value().timestamps)
+            << serve_params << " request " << i;
+      }
+    }
+  }
+
+  // The landmark columns are part of the model footprint (the ModelCache
+  // budgets against SizeBytes): the same build saved without landmarks
+  // must be strictly smaller.
+  const std::string plain_path =
+      (std::filesystem::temp_directory_path() / "api_alt_plain.snap")
+          .string();
+  ASSERT_TRUE(MakeModel("habit:r=9,save=" + plain_path, trips).ok());
+  auto plain = MakeModel("habit:load=" + plain_path, {});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(baseline.value()->SizeBytes(), plain.value()->SizeBytes());
+  std::remove(path.c_str());
+  std::remove(plain_path.c_str());
+}
+
+TEST(ApiTest, AltAndLandmarksSpecParamErrors) {
+  const auto trips = MakeTrips();
+  // landmarks= is save-time precomputation: without save= it is a spec
+  // error, and the count must stay within the format's cap.
+  for (const char* spec :
+       {"habit:r=9,landmarks=8", "habit:landmarks=8"}) {
+    auto model = MakeModel(spec, trips);
+    ASSERT_FALSE(model.ok()) << spec;
+    EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "api_alt_err.snap")
+          .string();
+  EXPECT_FALSE(
+      MakeModel("habit:r=9,landmarks=0,save=" + path, trips).ok());
+  EXPECT_FALSE(
+      MakeModel("habit:r=9,landmarks=65,save=" + path, trips).ok());
+  // alt= is a serving parameter: it requires load= (only a snapshot can
+  // carry landmark columns).
+  for (const char* spec : {"habit:r=9,alt=1", "habit:alt=1"}) {
+    auto model = MakeModel(spec, trips);
+    ASSERT_FALSE(model.ok()) << spec;
+    EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+  ASSERT_TRUE(
+      MakeModel("habit:r=9,landmarks=8,save=" + path, trips).ok());
+  // landmarks= alongside load= is a build-param conflict like r=.
+  EXPECT_FALSE(MakeModel("habit:landmarks=8,load=" + path, {}).ok());
+  // alt composes with the other serving params.
+  EXPECT_TRUE(
+      MakeModel("habit:threads=2,alt=1,map=1,load=" + path, {}).ok());
+  // alt=1 over a landmark-less snapshot degrades silently (zero
+  // heuristic), it does not fail.
+  const std::string plain_path =
+      (std::filesystem::temp_directory_path() / "api_alt_err_plain.snap")
+          .string();
+  ASSERT_TRUE(MakeModel("habit:r=9,save=" + plain_path, trips).ok());
+  auto degraded = MakeModel("habit:alt=1,load=" + plain_path, {});
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.value()->Impute(LaneRequest()).ok());
+  std::remove(path.c_str());
+  std::remove(plain_path.c_str());
+}
+
 }  // namespace
 }  // namespace habit::api

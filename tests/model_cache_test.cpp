@@ -109,6 +109,35 @@ TEST(ModelCacheTest, ByteBudgetIsEnforcedAgainstSizeBytes) {
   EXPECT_TRUE(oversized.value()->Impute(LaneRequest()).ok());
 }
 
+TEST(ModelCacheTest, LandmarkColumnsCountTowardTheByteBudget) {
+  // A snapshot saved with landmarks= carries k extra distance columns per
+  // direction; the loaded model's SizeBytes — the quantity the cache
+  // budgets and evicts against — must include them, or a cache sized for
+  // plain models would silently overcommit on landmark-bearing ones.
+  const auto trips = MakeTrips();
+  const std::string plain_path = TmpPath("cache_plain.snap");
+  const std::string lm_path = TmpPath("cache_lm.snap");
+  ASSERT_TRUE(MakeModel("habit:r=9,save=" + plain_path, trips).ok());
+  ASSERT_TRUE(
+      MakeModel("habit:r=9,landmarks=8,save=" + lm_path, trips).ok());
+  const size_t plain_bytes = ModelBytes("habit:load=" + plain_path, {});
+  const size_t lm_bytes = ModelBytes("habit:load=" + lm_path, {});
+  // At least two double columns per landmark over every node (the graphs
+  // are otherwise identical); small graphs may clamp k below 8.
+  EXPECT_GT(lm_bytes, plain_bytes);
+
+  // The budget math sees the difference: a cache sized for exactly one
+  // plain model must refuse to admit the landmark-bearing one.
+  ModelCache cache(plain_bytes);
+  ASSERT_TRUE(cache.Get("habit:load=" + plain_path, {}).ok());
+  EXPECT_EQ(cache.SizeBytes(), plain_bytes);
+  auto oversized = cache.Get("habit:load=" + lm_path, {});
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_LE(cache.SizeBytes(), cache.byte_budget());
+  std::remove(plain_path.c_str());
+  std::remove(lm_path.c_str());
+}
+
 TEST(ModelCacheTest, EvictionKeepsInFlightHandlesAlive) {
   const auto trips = MakeTrips();
   const size_t sa = ModelBytes("habit:r=8", trips);
