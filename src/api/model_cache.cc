@@ -75,7 +75,7 @@ Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
   std::shared_ptr<InFlight> flight;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++stats_.hits;
@@ -97,8 +97,8 @@ Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
   }
 
   if (!builder) {
-    std::unique_lock<std::mutex> wait_lock(flight->mu);
-    flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+    core::MutexLock wait_lock(flight->mu);
+    while (!flight->done) flight->cv.Wait(flight->mu);
     return flight->result;
   }
 
@@ -113,13 +113,13 @@ Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
   // a Get arriving in between finds either the cached entry or the
   // still-open flight, never a gap that would trigger a second build.
   {
-    std::lock_guard<std::mutex> publish_lock(flight->mu);
+    core::MutexLock publish_lock(flight->mu);
     flight->result = result;
     flight->done = true;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     inflight_.erase(key);
   }
   return result;
@@ -153,7 +153,7 @@ Result<std::shared_ptr<const ImputationModel>> ModelCache::BuildAndInsert(
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   Insert(key, model);
   return model;
 }
@@ -182,22 +182,22 @@ void ModelCache::Insert(
 }
 
 size_t ModelCache::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return total_bytes_;
 }
 
 size_t ModelCache::num_models() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return lru_.size();
 }
 
 ModelCache::Stats ModelCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return stats_;
 }
 
 void ModelCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   total_bytes_ = 0;

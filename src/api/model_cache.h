@@ -41,16 +41,16 @@
 // *different* keys still build concurrently.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ais/ais.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "api/imputation_model.h"
 #include "api/registry.h"
 
@@ -78,9 +78,11 @@ class ModelCache {
   /// registry (`trips` is only consulted on a miss; load= specs cold-start
   /// from their snapshot with empty trips).
   Result<std::shared_ptr<const ImputationModel>> Get(
-      const MethodSpec& spec, const std::vector<ais::Trip>& trips = {});
+      const MethodSpec& spec, const std::vector<ais::Trip>& trips = {})
+      EXCLUDES(mu_);
   Result<std::shared_ptr<const ImputationModel>> Get(
-      const std::string& spec, const std::vector<ais::Trip>& trips = {});
+      const std::string& spec, const std::vector<ais::Trip>& trips = {})
+      EXCLUDES(mu_);
 
   /// The cache key `spec` resolves to: canonical spec string plus the
   /// dataset fingerprint (snapshot checksum for load= specs, a structural
@@ -90,12 +92,12 @@ class ModelCache {
       const MethodSpec& spec, const std::vector<ais::Trip>& trips = {});
 
   size_t byte_budget() const { return byte_budget_; }
-  size_t SizeBytes() const;    ///< bytes currently cached
-  size_t num_models() const;   ///< entries currently cached
-  Stats stats() const;
+  size_t SizeBytes() const EXCLUDES(mu_);   ///< bytes currently cached
+  size_t num_models() const EXCLUDES(mu_);  ///< entries currently cached
+  Stats stats() const EXCLUDES(mu_);
 
   /// Drops every cached entry (in-flight handles stay valid).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -109,10 +111,10 @@ class ModelCache {
   /// waiters; the shared_ptr keeps it alive for late waiters even after
   /// the key leaves `inflight_`.
   struct InFlight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Result<std::shared_ptr<const ImputationModel>> result =
+    core::Mutex mu;
+    core::CondVar cv;  ///< signaled once when the builder publishes
+    bool done GUARDED_BY(mu) = false;
+    Result<std::shared_ptr<const ImputationModel>> result GUARDED_BY(mu) =
         Status::Internal("build pending");
   };
 
@@ -125,16 +127,21 @@ class ModelCache {
 
   /// Inserts behind the lock, evicting LRU entries past the budget.
   void Insert(const std::string& key,
-              const std::shared_ptr<const ImputationModel>& model);
+              const std::shared_ptr<const ImputationModel>& model)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  size_t byte_budget_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Guards the LRU structure, the in-flight build registry, and the
+  /// stats — everything but the builds themselves, which run unlocked.
+  mutable core::Mutex mu_;
+  size_t byte_budget_;  ///< immutable after construction
+  std::list<Entry> lru_ GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
   /// Builds currently in flight, keyed like `index_` (single-flight).
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
-  size_t total_bytes_ = 0;
-  Stats stats_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_
+      GUARDED_BY(mu_);
+  size_t total_bytes_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace habit::api

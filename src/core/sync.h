@@ -1,0 +1,91 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry Clang thread-safety capability
+// attributes, so GUARDED_BY / REQUIRES annotations across the repo are
+// actually *checked* (libstdc++'s own types are unannotated — guarding a
+// member with a raw std::mutex would compile but verify nothing).
+//
+// Usage mirrors the std types:
+//
+//   core::Mutex mu_;
+//   core::CondVar cv_;
+//   bool ready_ GUARDED_BY(mu_) = false;
+//
+//   {
+//     core::MutexLock lock(mu_);
+//     while (!ready_) cv_.Wait(mu_);   // explicit loop, not a predicate
+//   }                                  // lambda — the analysis must SEE
+//                                      // the guarded read under the lock
+//
+// Zero overhead: every method is an inline forward to the std call; the
+// attributes vanish off-Clang (core/thread_annotations.h).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+namespace habit::core {
+
+/// \brief Annotated std::mutex. Lock/Unlock are for the analysis-aware
+/// RAII types below; prefer core::MutexLock over manual pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// The wrapped handle — only CondVar needs it (std::condition_variable
+  /// waits on std::mutex). Not a path around the analysis: waiting
+  /// re-acquires before returning, so the capability state is unchanged.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;  // lint: unguarded(the capability wrapper itself)
+};
+
+/// \brief RAII lock for core::Mutex (std::lock_guard with attributes).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with core::Mutex.
+///
+/// Wait takes the Mutex explicitly and REQUIRES it, so the analysis
+/// verifies the caller holds the lock at every wait site. There is
+/// deliberately no predicate overload: the idiomatic
+/// `while (!cond) cv.Wait(mu);` keeps the guarded reads in the caller's
+/// body where the analysis can check them (a predicate lambda would be
+/// analyzed as a lockless function and rejected).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // still locked; ownership stays with the caller
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint: unguarded(wakeups need no guard)
+};
+
+}  // namespace habit::core

@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis attribute macros, no-ops off-Clang.
+//
+// These make the repo's lock invariants *compiler-enforced*: a member
+// declared GUARDED_BY(mu_) cannot be read or written without holding mu_,
+// a function declared REQUIRES(mu_) cannot be called without it, and the
+// Clang build (CMake -DHABIT_THREAD_SAFETY=ON) promotes every violation
+// to a hard error (-Werror=thread-safety). GCC and MSVC see empty macros
+// and compile the same code unchecked.
+//
+// The analysis only fires on *annotated capability types*. libstdc++'s
+// std::mutex carries no capability attributes, so annotating members
+// GUARDED_BY a raw std::mutex would check nothing — concurrent code in
+// this repo locks through the annotated wrappers in core/sync.h
+// (core::Mutex / core::MutexLock / core::CondVar) instead. The repo
+// linter (tools/lint/check_invariants.py) enforces that every mutex
+// member has at least one GUARDED_BY-annotated peer, so an unannotated
+// lock cannot silently slip back in.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HABIT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HABIT_THREAD_ANNOTATION__(x)  // no-op off-Clang
+#endif
+
+/// Declares a type as a capability ("mutex" in diagnostics).
+#define CAPABILITY(x) HABIT_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY HABIT_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define GUARDED_BY(x) HABIT_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) HABIT_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given capabilities.
+#define REQUIRES(...) \
+  HABIT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called in *shared* (reader) mode.
+#define REQUIRES_SHARED(...) \
+  HABIT_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the given capabilities and does not release them.
+#define ACQUIRE(...) \
+  HABIT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HABIT_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the given capabilities (held on entry).
+#define RELEASE(...) \
+  HABIT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HABIT_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function that may NOT be called while holding the given capabilities
+/// (deadlock prevention: public entry points EXCLUDES the lock they take).
+#define EXCLUDES(...) HABIT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function that returns a reference to the capability guarding its class.
+#define RETURN_CAPABILITY(x) HABIT_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Try-acquire: first argument is the success value.
+#define TRY_ACQUIRE(...) \
+  HABIT_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model. Every use is a review
+/// flag — prefer restructuring so the analysis can see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HABIT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Runtime assertion that a capability is held (tells the analysis so).
+#define ASSERT_CAPABILITY(x) HABIT_THREAD_ANNOTATION__(assert_capability(x))

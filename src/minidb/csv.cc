@@ -49,7 +49,7 @@ bool LooksLikeInt(const std::string& s) {
 bool LooksLikeDouble(const std::string& s) {
   if (s.empty()) return false;
   char* end = nullptr;
-  std::strtod(s.c_str(), &end);
+  std::strtod(s.c_str(), &end);  // lint: raw-parse(type sniffing; end-pointer checked below)
   return end == s.c_str() + s.size();
 }
 
@@ -121,8 +121,10 @@ Result<Table> ParseCsv(const std::string& content, const CsvOptions& options) {
       if (f.empty()) {
         col.AppendNull();
       } else if (col.type() == DataType::kInt64) {
+        // lint: raw-parse(column already type-sniffed by LooksLike*)
         col.AppendInt(std::strtoll(f.c_str(), nullptr, 10));
       } else if (col.type() == DataType::kDouble) {
+        // lint: raw-parse(column already type-sniffed by LooksLike*)
         col.AppendDouble(std::strtod(f.c_str(), nullptr));
       } else {
         col.AppendString(f);

@@ -67,6 +67,7 @@ std::string Value::ToString() const {
     const double d = std::get<double>(var_);
     for (int precision : {15, 16, 17}) {
       std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+      // lint: raw-parse(round-trip probe of our own snprintf output)
       if (std::strtod(buf, nullptr) == d) break;
     }
     return buf;

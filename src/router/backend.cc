@@ -7,7 +7,7 @@ namespace habit::router {
 Result<std::string> RemoteBackend::Call(const std::string& line) {
   std::unique_ptr<server::LineClient> client;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     if (!idle_.empty()) {
       client = std::move(idle_.back());
       idle_.pop_back();
@@ -29,14 +29,14 @@ Result<std::string> RemoteBackend::Call(const std::string& line) {
     if (!fresh) {
       client = std::make_unique<server::LineClient>(port_, options_);
       if (client->connected() && client->Call(line, &response)) {
-        std::lock_guard<std::mutex> lock(mu_);
+        core::MutexLock lock(mu_);
         idle_.push_back(std::move(client));
         return response;
       }
     }
     return Status::Unreachable(Describe() + ": " + client->last_error());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   idle_.push_back(std::move(client));
   return response;
 }

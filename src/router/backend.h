@@ -15,11 +15,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "server/line_client.h"
 #include "server/server.h"
 
@@ -64,7 +65,8 @@ class RemoteBackend : public ShardBackend {
   RemoteBackend(uint16_t port, const server::ClientOptions& options)
       : port_(port), options_(options) {}
 
-  Result<std::string> Call(const std::string& line) override;
+  Result<std::string> Call(const std::string& line) override
+      EXCLUDES(mu_);
   std::string Describe() const override {
     return "port " + std::to_string(port_);
   }
@@ -72,11 +74,11 @@ class RemoteBackend : public ShardBackend {
  private:
   uint16_t port_;
   server::ClientOptions options_;
-  std::mutex mu_;
+  core::Mutex mu_;
   /// Parked connections with no call in flight. A connection that failed
   /// mid-call is never parked — the next call reconnects rather than
   /// inheriting a poisoned stream position.
-  std::vector<std::unique_ptr<server::LineClient>> idle_;
+  std::vector<std::unique_ptr<server::LineClient>> idle_ GUARDED_BY(mu_);
 };
 
 }  // namespace habit::router

@@ -108,6 +108,13 @@ Result<std::unique_ptr<Router>> Router::Make(
       router->fallback_.model_spec,
       LoadSpecFor(m.spec, fallback_abs, options.map_snapshots));
   router->fallback_.backend = router->backends_.back().get();
+  {
+    // Row per shard plus the trailing fallback row (StatsIndexFor). Make
+    // is not a constructor, so the analysis holds it to the same locking
+    // rules as any other function.
+    core::MutexLock lock(router->stats_mu_);
+    router->shard_stats_.resize(router->shards_.size() + 1);
+  }
   return router;
 }
 
@@ -142,7 +149,7 @@ Router::RouteDecision Router::Decide(const api::ImputeRequest& request) const {
 
 std::string Router::HandleLine(std::string_view line) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++frames_total_;
   }
   if (line.size() > options_.max_line_bytes) {
@@ -187,7 +194,7 @@ std::string Router::HandleLine(std::string_view line) {
 
 std::string Router::OversizeLine() {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++frames_total_;
   }
   return RejectFrame(Status::InvalidArgument(
@@ -196,14 +203,15 @@ std::string Router::OversizeLine() {
 
 std::string Router::RejectFrame(const Status& status, const Json& id) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++frames_rejected_;
   }
   return server::ErrorResponseLine(status, id);
 }
 
 Result<std::vector<Json>> Router::CallShard(
-    ShardRuntime& runtime, std::span<const api::ImputeRequest> requests) {
+    const ShardRuntime& runtime, size_t stats_index,
+    std::span<const api::ImputeRequest> requests) {
   const std::string frame = server::EncodeImputeBatchRequest(
       runtime.model_spec, requests);
   const auto t0 = std::chrono::steady_clock::now();
@@ -212,9 +220,9 @@ Result<std::vector<Json>> Router::CallShard(
                         std::chrono::steady_clock::now() - t0)
                         .count();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    runtime.latency_p50.Add(ms);
-    runtime.latency_p99.Add(ms);
+    core::MutexLock lock(stats_mu_);
+    shard_stats_[stats_index].latency_p50.Add(ms);
+    shard_stats_[stats_index].latency_p99.Add(ms);
   }
   if (!response.ok()) return response.status();
   // The backend speaks the protocol we speak; anything else (a port that
@@ -252,15 +260,17 @@ Result<std::vector<Json>> Router::CallShard(
 Router::GroupOutcome Router::ExecuteGroup(
     size_t shard_index, const char* strategy,
     std::span<const api::ImputeRequest> requests) {
-  ShardRuntime& planned =
+  const ShardRuntime& planned =
       shard_index == kFallback ? fallback_ : shards_[shard_index];
+  const size_t planned_stats = StatsIndexFor(shard_index);
+  const size_t fallback_stats = StatsIndexFor(kFallback);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    planned.requests += requests.size();
+    core::MutexLock lock(stats_mu_);
+    shard_stats_[planned_stats].requests += requests.size();
   }
   Status failure = Status::OK();
   for (int attempt = 0; attempt <= options_.retries; ++attempt) {
-    auto results = CallShard(planned, requests);
+    auto results = CallShard(planned, planned_stats, requests);
     if (results.ok()) return {results.MoveValue(), strategy};
     failure = results.status();
     // A protocol-level rejection is deterministic (bad snapshot, bad
@@ -272,11 +282,11 @@ Router::GroupOutcome Router::ExecuteGroup(
     // could. One attempt, no retry — the fallback failing too means the
     // fleet is down, and a third round trip just delays the error.
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      planned.degraded += requests.size();
-      fallback_.requests += requests.size();
+      core::MutexLock lock(stats_mu_);
+      shard_stats_[planned_stats].degraded += requests.size();
+      shard_stats_[fallback_stats].requests += requests.size();
     }
-    auto results = CallShard(fallback_, requests);
+    auto results = CallShard(fallback_, fallback_stats, requests);
     if (results.ok()) return {results.MoveValue(), "degraded"};
     failure = results.status();
   }
@@ -309,7 +319,7 @@ std::string Router::HandleImpute(const Request& request) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     for (const api::ImputeRequest& r : request.requests) {
       if (r.vessel_id.has_value()) {
         vessels_.AddInt(static_cast<uint64_t>(*r.vessel_id));
@@ -405,34 +415,36 @@ std::string Router::StatsLine(const Json& id) {
   frame.Set("spec", Json::String(manifest_.spec));
   frame.Set("backends", Json::Number(static_cast<double>(backends_.size())));
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  core::MutexLock lock(stats_mu_);
   frame.Set("frames", Json::Number(static_cast<double>(frames_total_)));
   frame.Set("frames_rejected",
             Json::Number(static_cast<double>(frames_rejected_)));
-  const auto shard_json = [](const ShardRuntime& runtime, Json cell) {
+  // The guarded shard_stats_ rows are read at the call sites below, all
+  // under the lock held for the rest of this function; the lambda only
+  // formats the copies it is handed.
+  const auto shard_json = [](const ShardRuntime& runtime,
+                             const ShardStats& stats, Json cell) {
     Json entry = Json::Object();
     entry.Set("cell", std::move(cell));
     entry.Set("backend", Json::String(runtime.backend->Describe()));
-    entry.Set("requests",
-              Json::Number(static_cast<double>(runtime.requests)));
-    entry.Set("degraded",
-              Json::Number(static_cast<double>(runtime.degraded)));
+    entry.Set("requests", Json::Number(static_cast<double>(stats.requests)));
+    entry.Set("degraded", Json::Number(static_cast<double>(stats.degraded)));
     entry.Set("latency_count",
-              Json::Number(static_cast<double>(runtime.latency_p50.count())));
-    if (runtime.latency_p50.count() > 0) {
-      entry.Set("latency_p50_ms",
-                Json::Number(runtime.latency_p50.Estimate()));
-      entry.Set("latency_p99_ms",
-                Json::Number(runtime.latency_p99.Estimate()));
+              Json::Number(static_cast<double>(stats.latency_p50.count())));
+    if (stats.latency_p50.count() > 0) {
+      entry.Set("latency_p50_ms", Json::Number(stats.latency_p50.Estimate()));
+      entry.Set("latency_p99_ms", Json::Number(stats.latency_p99.Estimate()));
     }
     return entry;
   };
   Json shards = Json::Array();
-  for (const ShardRuntime& runtime : shards_) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
     shards.Append(shard_json(
-        runtime, Json::String(CellToHex(runtime.entry.parent_cell))));
+        shards_[i], shard_stats_[i],
+        Json::String(CellToHex(shards_[i].entry.parent_cell))));
   }
-  shards.Append(shard_json(fallback_, Json::String("fallback")));
+  shards.Append(shard_json(fallback_, shard_stats_[shards_.size()],
+                           Json::String("fallback")));
   frame.Set("shards", std::move(shards));
   frame.Set("distinct_vessels", Json::Number(vessels_.Estimate()));
   if (!id.is_null()) frame.Set("id", id);

@@ -30,7 +30,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,6 +37,8 @@
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "router/backend.h"
 #include "router/manifest.h"
 #include "server/protocol.h"
@@ -73,11 +74,11 @@ class Router {
 
   /// The whole request path: one frame in, one response line out (no
   /// trailing newline). Thread-safe.
-  std::string HandleLine(std::string_view line);
+  std::string HandleLine(std::string_view line) EXCLUDES(stats_mu_);
 
   /// Response line for an unterminated oversized frame (LineTransport's
   /// oversize hook).
-  std::string OversizeLine();
+  std::string OversizeLine() EXCLUDES(stats_mu_);
 
   const ShardManifest& manifest() const { return manifest_; }
 
@@ -90,12 +91,19 @@ class Router {
   const std::string& fallback_spec() const { return fallback_.model_spec; }
 
  private:
+  /// Immutable per-shard routing state, fixed by Make() before any frame
+  /// is served — readable from every fan-out thread without a lock.
   struct ShardRuntime {
     ShardEntry entry;
     std::string model_spec;  ///< canonical "habit:load=<abs path>[,map=1]"
     ShardBackend* backend = nullptr;
-    // Router-side observability (guarded by stats_mu_): request counts
-    // and per-sub-frame latency sketches, aggregated per shard.
+  };
+
+  /// Mutable per-shard observability, kept OUT of ShardRuntime so the
+  /// whole parallel vector can carry one GUARDED_BY(stats_mu_) and the
+  /// compiler rejects any unlocked counter/sketch access (a nested
+  /// struct's fields cannot name the enclosing class's mutex).
+  struct ShardStats {
     uint64_t requests = 0;
     uint64_t degraded = 0;
     sketch::P2Quantile latency_p50{0.5};
@@ -115,10 +123,12 @@ class Router {
          const RouterOptions& options);
 
   RouteDecision Decide(const api::ImputeRequest& request) const;
-  std::string HandleImpute(const server::Request& request);
+  std::string HandleImpute(const server::Request& request)
+      EXCLUDES(stats_mu_);
   std::string RejectFrame(const Status& status,
-                          const server::Json& id = server::Json());
-  std::string StatsLine(const server::Json& id);
+                          const server::Json& id = server::Json())
+      EXCLUDES(stats_mu_);
+  std::string StatsLine(const server::Json& id) EXCLUDES(stats_mu_);
 
   /// Runs one sub-frame against its planned shard with retry-then-degrade
   /// and returns per-request result objects (always `requests.size()` of
@@ -128,12 +138,21 @@ class Router {
     const char* strategy;
   };
   GroupOutcome ExecuteGroup(size_t shard_index, const char* strategy,
-                            std::span<const api::ImputeRequest> requests);
+                            std::span<const api::ImputeRequest> requests)
+      EXCLUDES(stats_mu_);
 
   /// One impute_batch round trip to `runtime`'s backend; OK result holds
-  /// the per-request result objects.
+  /// the per-request result objects. `stats_index` names the
+  /// shard_stats_ row charged for the call's latency.
   Result<std::vector<server::Json>> CallShard(
-      ShardRuntime& runtime, std::span<const api::ImputeRequest> requests);
+      const ShardRuntime& runtime, size_t stats_index,
+      std::span<const api::ImputeRequest> requests) EXCLUDES(stats_mu_);
+
+  /// The shard_stats_ row for a RouteDecision index (the fallback's
+  /// kFallback sentinel maps to the trailing row).
+  size_t StatsIndexFor(size_t shard_index) const {
+    return shard_index == kFallback ? shards_.size() : shard_index;
+  }
 
   ShardManifest manifest_;
   std::vector<std::shared_ptr<ShardBackend>> backends_;
@@ -142,10 +161,15 @@ class Router {
   ShardRuntime fallback_;
   std::unordered_map<hex::CellId, size_t> shard_by_cell_;
 
-  std::mutex stats_mu_;
-  uint64_t frames_total_ = 0;
-  uint64_t frames_rejected_ = 0;
-  sketch::HyperLogLog vessels_{12};
+  /// Guards every mutable counter/sketch below; fan-out threads write
+  /// them per sub-frame while the `stats` op reads a snapshot.
+  core::Mutex stats_mu_;
+  /// Row i = shards_[i]; trailing row = the fallback (StatsIndexFor).
+  std::vector<ShardStats> shard_stats_ GUARDED_BY(stats_mu_);
+  uint64_t frames_total_ GUARDED_BY(stats_mu_) = 0;
+  uint64_t frames_rejected_ GUARDED_BY(stats_mu_) = 0;
+  sketch::HyperLogLog vessels_ GUARDED_BY(stats_mu_) =
+      sketch::HyperLogLog(12);
 };
 
 }  // namespace habit::router

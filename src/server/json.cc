@@ -167,6 +167,7 @@ class Parser {
     }
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
+    // lint: raw-parse(this IS the JSON number parser; end-pointer checked)
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return Error("invalid number");
     if (!std::isfinite(v)) return Error("number out of range");
@@ -353,6 +354,7 @@ std::string DumpDouble(double d) {
   char buf[40];
   for (const int precision : {15, 16, 17}) {
     std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    // lint: raw-parse(round-trip probe of our own snprintf output)
     if (std::strtod(buf, nullptr) == d) break;
   }
   return buf;

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 #include "api/registry.h"
@@ -9,32 +10,46 @@ namespace habit::server {
 
 // ---------------------------------------------------------------- WorkerPool
 
-WorkerPool::WorkerPool(int workers) {
+namespace {
+
+int ResolveWorkerCount(int workers) {
   const int n = workers > 0
                     ? workers
                     : static_cast<int>(std::thread::hardware_concurrency());
-  const int count = n > 0 ? n : 1;
-  threads_.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < count; ++i) {
+  return n > 0 ? n : 1;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int workers) : workers_(ResolveWorkerCount(workers)) {
+  threads_.reserve(static_cast<size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
     threads_.emplace_back([this] { WorkerMain(); });
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
+  // The first caller swaps the joinable threads out under the lock, so a
+  // concurrent Shutdown (or the destructor racing an explicit call) never
+  // double-joins; later callers see an empty vector and return.
+  std::vector<std::thread> joinable;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     stopping_ = true;
+    joinable.swap(threads_);
   }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  work_cv_.NotifyAll();
+  for (std::thread& t : joinable) t.join();
 }
 
 void WorkerPool::WorkerMain() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      core::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -43,31 +58,64 @@ void WorkerPool::WorkerMain() {
   }
 }
 
-void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
-  if (tasks.empty()) return;
+Status WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return Status::OK();
   // Per-batch completion latch: the submitting (connection) thread blocks
   // here, not on the pool, so many connections can have batches in flight
   // while total search concurrency stays at workers().
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
+    core::Mutex mu;
+    core::CondVar cv;
+    size_t remaining GUARDED_BY(mu) = 0;
+    /// First exception any task of this batch threw (the rest still run).
+    std::exception_ptr error GUARDED_BY(mu);
   };
   auto latch = std::make_shared<Latch>();
-  latch->remaining = tasks.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(latch->mu);
+    latch->remaining = tasks.size();
+  }
+  {
+    core::MutexLock lock(mu_);
+    if (stopping_) {
+      // Enqueueing onto a stopping pool could strand this caller forever
+      // (the workers may already be gone); fail loudly instead.
+      return Status::Internal("worker pool is shut down");
+    }
     for (std::function<void()>& task : tasks) {
       queue_.push_back([task = std::move(task), latch] {
-        task();
-        std::lock_guard<std::mutex> done_lock(latch->mu);
-        if (--latch->remaining == 0) latch->cv.notify_all();
+        // Contain task exceptions: an escaping exception on a worker
+        // thread is std::terminate, and a skipped latch decrement wedges
+        // the submitter forever. The first exception is reported to the
+        // RunAll caller; the worker thread itself survives.
+        try {
+          task();
+        } catch (...) {
+          core::MutexLock error_lock(latch->mu);
+          if (!latch->error) latch->error = std::current_exception();
+        }
+        core::MutexLock done_lock(latch->mu);
+        if (--latch->remaining == 0) latch->cv.NotifyAll();
       });
     }
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> wait_lock(latch->mu);
-  latch->cv.wait(wait_lock, [&latch] { return latch->remaining == 0; });
+  work_cv_.NotifyAll();
+  std::exception_ptr error;
+  {
+    core::MutexLock wait_lock(latch->mu);
+    while (latch->remaining != 0) latch->cv.Wait(latch->mu);
+    error = latch->error;
+  }
+  if (error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("worker task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("worker task threw a non-std exception");
+    }
+  }
+  return Status::OK();
 }
 
 // -------------------------------------------------------------------- Server
@@ -107,7 +155,7 @@ Server::Server(const ServerOptions& options)
               // same message a terminated oversized line gets.
               .oversize = [this] {
                 {
-                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  core::MutexLock lock(stats_mu_);
                   ++frames_total_;
                 }
                 return RejectFrame(Status::InvalidArgument(
@@ -125,7 +173,7 @@ Result<std::shared_ptr<const api::ImputationModel>> Server::Resolve(
     const api::MethodSpec& spec) {
   auto model = cache_.Get(spec);
   if (model.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++model_stats_[spec.ToString()].resolves;
   }
   return model;
@@ -133,7 +181,7 @@ Result<std::shared_ptr<const api::ImputationModel>> Server::Resolve(
 
 std::string Server::HandleLine(std::string_view line) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++frames_total_;
   }
   if (line.size() > options_.max_line_bytes) {
@@ -149,7 +197,7 @@ std::string Server::HandleLine(std::string_view line) {
 
 std::string Server::RejectFrame(const Status& status, const Json& id) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++frames_rejected_;
   }
   return ErrorResponseLine(status, id);
@@ -207,7 +255,7 @@ std::string Server::HandleImpute(const Request& request) {
       DispatchBatch(*model.value(), request.requests, &query_seconds);
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ModelStats& stats = model_stats_[spec.value().ToString()];
     for (size_t i = 0; i < results.size(); ++i) {
       if (results[i].ok()) {
@@ -241,13 +289,24 @@ std::vector<Result<api::ImputeResponse>> Server::DispatchBatch(
   const size_t n = requests.size();
   const size_t chunks =
       std::min(static_cast<size_t>(pool_.workers()), n > 0 ? n : 1);
+  // A pool failure (shutdown mid-request, or a task that threw inside
+  // ImputeBatch) yields per-request errors aligned with the input — the
+  // response stays well-formed and the frame is still answered.
+  const auto fail_all = [&](const Status& status) {
+    std::vector<Result<api::ImputeResponse>> failed;
+    failed.reserve(n);
+    for (size_t i = 0; i < n; ++i) failed.emplace_back(status);
+    if (query_seconds != nullptr) query_seconds->assign(n, 0.0);
+    return failed;
+  };
   if (chunks <= 1) {
     // Still runs on the pool: every search runs on a worker thread, so
     // process-wide search concurrency is bounded by the pool size no
     // matter how many connection threads exist.
     std::vector<Result<api::ImputeResponse>> results;
-    pool_.RunAll(
+    const Status run = pool_.RunAll(
         {[&] { results = model.ImputeBatch(requests, query_seconds); }});
+    if (!run.ok()) return fail_all(run);
     return results;
   }
   // Partition across workers, one serial sub-batch (and therefore one
@@ -271,7 +330,8 @@ std::vector<Result<api::ImputeResponse>> Server::DispatchBatch(
               query_seconds != nullptr ? &part_seconds[c] : nullptr);
         });
   }
-  pool_.RunAll(std::move(tasks));
+  const Status run = pool_.RunAll(std::move(tasks));
+  if (!run.ok()) return fail_all(run);
   std::vector<Result<api::ImputeResponse>> results;
   results.reserve(n);
   if (query_seconds != nullptr) {
@@ -325,7 +385,7 @@ std::string Server::StatsLine(const Json& id) {
   frame.Set("cache", std::move(cache));
   frame.Set("workers", Json::Number(pool_.workers()));
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  core::MutexLock lock(stats_mu_);
   frame.Set("frames", Json::Number(static_cast<double>(frames_total_)));
   frame.Set("frames_rejected",
             Json::Number(static_cast<double>(frames_rejected_)));

@@ -23,19 +23,19 @@
 // per-request log retained, ever.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/model_cache.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "server/protocol.h"
 #include "server/transport.h"
 #include "sketch/hyperloglog.h"
@@ -51,23 +51,41 @@ namespace habit::server {
 class WorkerPool {
  public:
   explicit WorkerPool(int workers);
+
+  /// Shuts down (idempotent) and joins the worker threads. Tasks already
+  /// queued still run to completion first — destruction drains, it never
+  /// abandons work a RunAll caller is blocked on.
   ~WorkerPool();
 
-  int workers() const { return static_cast<int>(threads_.size()); }
+  int workers() const { return workers_; }
 
   /// Runs `tasks` on the pool and blocks until all complete. Tasks must
   /// not submit to the pool themselves (one level of parallelism, no
   /// nesting — a nested submit would deadlock a full pool).
-  void RunAll(std::vector<std::function<void()>> tasks);
+  ///
+  /// Returns non-OK without running anything when the pool has been shut
+  /// down, and kInternal when a task threw (the exception is contained:
+  /// remaining tasks still run, the worker thread survives, and the
+  /// first exception's message is reported to THIS caller).
+  Status RunAll(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
+
+  /// Stops accepting work, drains the queue, and joins the workers. Safe
+  /// to call from any thread, any number of times; the destructor calls
+  /// it too. Subsequent RunAll calls fail cleanly instead of deadlocking
+  /// on a dead pool.
+  void Shutdown() EXCLUDES(mu_);
 
  private:
-  void WorkerMain();
+  void WorkerMain() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  const int workers_;  ///< resolved pool size (immutable after ctor)
+  core::Mutex mu_;
+  core::CondVar work_cv_;  ///< signaled on new work and on shutdown
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Joinable workers; swapped out (under mu_) by the first Shutdown so
+  /// concurrent shutdowns never double-join.
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
 };
 
 /// The serving-surface spec policy, in ONE place (the request router and
@@ -97,13 +115,13 @@ class Server {
   /// The whole request path: one protocol frame in, one response line out
   /// (no trailing newline). Thread-safe — every transport and test goes
   /// through here, so transport code stays a dumb byte shuttle.
-  std::string HandleLine(std::string_view line);
+  std::string HandleLine(std::string_view line) EXCLUDES(stats_mu_);
 
   /// Resolves `spec` through the process-wide cache, recording per-model
   /// request stats. Shared with habit_cli serve-from-snapshot, so the CLI
   /// and the server exercise the same resolution path.
   Result<std::shared_ptr<const api::ImputationModel>> Resolve(
-      const api::MethodSpec& spec);
+      const api::MethodSpec& spec) EXCLUDES(stats_mu_);
 
   const api::ModelCache& cache() const { return cache_; }
   const ServerOptions& options() const { return options_; }
@@ -153,8 +171,9 @@ class Server {
   /// frames_rejected_ — every ok:false *frame* goes through here, so the
   /// stats counter covers all rejection classes (framing, validation,
   /// spec errors, resolution failures), not a subset.
-  std::string RejectFrame(const Status& status, const Json& id = Json());
-  std::string StatsLine(const Json& id);
+  std::string RejectFrame(const Status& status, const Json& id = Json())
+      EXCLUDES(stats_mu_);
+  std::string StatsLine(const Json& id) EXCLUDES(stats_mu_);
   std::string MethodsLine(const Json& id);
 
   /// Partitions `requests` across the worker pool (one serial
@@ -171,10 +190,13 @@ class Server {
   api::ModelCache cache_;
   WorkerPool pool_;
 
-  std::mutex stats_mu_;
-  std::map<std::string, ModelStats> model_stats_;  ///< canonical spec -> stats
-  uint64_t frames_total_ = 0;
-  uint64_t frames_rejected_ = 0;
+  /// Guards every serving counter below: connection threads write them
+  /// per frame while the `stats` op reads a consistent snapshot.
+  core::Mutex stats_mu_;
+  /// canonical spec -> stats
+  std::map<std::string, ModelStats> model_stats_ GUARDED_BY(stats_mu_);
+  uint64_t frames_total_ GUARDED_BY(stats_mu_) = 0;
+  uint64_t frames_rejected_ GUARDED_BY(stats_mu_) = 0;
 
   /// Last member: its destructor drains connection threads, which still
   /// call HandleLine (touching everything above) until they finish.

@@ -22,9 +22,10 @@ LineTransport::~LineTransport() {
   // Connection threads are detached but counted; they touch no transport
   // state after their final decrement, so once the count drains the
   // object is safe to destroy.
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
-  lock.unlock();
+  {
+    core::MutexLock lock(conn_mu_);
+    while (active_conns_ != 0) conn_cv_.Wait(conn_mu_);
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
@@ -168,7 +169,7 @@ Status LineTransport::Serve() {
       break;  // listener shut down (Shutdown / signal handler) or broken
     }
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      core::MutexLock lock(conn_mu_);
       conn_fds_.push_back(fd);
       ++active_conns_;
     }
@@ -182,15 +183,15 @@ Status LineTransport::Serve() {
   // connections are woken too; otherwise one idle client would keep the
   // drain wait below blocked forever.
   Shutdown();
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+  core::MutexLock lock(conn_mu_);
+  while (active_conns_ != 0) conn_cv_.Wait(conn_mu_);
   return Status::OK();
 }
 
 void LineTransport::Shutdown() {
   stopping_.store(true, std::memory_order_relaxed);
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  core::MutexLock lock(conn_mu_);
   for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
 }
 
@@ -236,7 +237,7 @@ void LineTransport::ServeConnection(int fd) {
   // Final decrement wakes Serve()/~LineTransport(); no transport state is
   // touched after it (this thread is detached).
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    core::MutexLock lock(conn_mu_);
     for (size_t i = 0; i < conn_fds_.size(); ++i) {
       if (conn_fds_[i] == fd) {
         conn_fds_.erase(conn_fds_.begin() + static_cast<ptrdiff_t>(i));
@@ -244,7 +245,7 @@ void LineTransport::ServeConnection(int fd) {
       }
     }
     --active_conns_;
-    conn_cv_.notify_all();
+    conn_cv_.NotifyAll();
   }
   ::close(fd);
 }

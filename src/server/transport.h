@@ -20,16 +20,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 
 namespace habit::server {
 
@@ -76,25 +76,28 @@ class LineTransport {
   /// accumulate 100k dead thread stacks). Transient fd exhaustion
   /// (EMFILE/ENFILE) backs off and retries. Returns after Shutdown()
   /// once every connection has drained.
-  Status Serve();
+  Status Serve() EXCLUDES(conn_mu_);
 
   /// Stops Serve(): shuts down the listener and every connection socket,
   /// waking their threads. Safe to call from any thread.
-  void Shutdown();
+  void Shutdown() EXCLUDES(conn_mu_);
 
  private:
-  void ServeConnection(int fd);
+  void ServeConnection(int fd) EXCLUDES(conn_mu_);
 
   size_t max_line_bytes_;
   TransportHooks hooks_;
 
   std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
-  uint16_t bound_port_ = 0;
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;  ///< signaled as connections drain
-  size_t active_conns_ = 0;
-  std::vector<int> conn_fds_;
+  int listen_fd_ = -1;      ///< written by Listen() before Serve() runs
+  uint16_t bound_port_ = 0;  ///< written by Listen() before Serve() runs
+  /// Guards the connection registry: the accept loop registers fds,
+  /// detached connection threads deregister and decrement, Shutdown
+  /// iterates, and Serve()/the destructor wait for the count to drain.
+  core::Mutex conn_mu_;
+  core::CondVar conn_cv_;  ///< signaled as connections drain
+  size_t active_conns_ GUARDED_BY(conn_mu_) = 0;
+  std::vector<int> conn_fds_ GUARDED_BY(conn_mu_);
 };
 
 }  // namespace habit::server
