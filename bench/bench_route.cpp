@@ -14,6 +14,14 @@
 //    max_shard_peak_rss_kb stays strictly below the monolithic figure.
 //
 //   bench_route [scale] [clients] [frames_per_client] [batch] [parent_res]
+//               [--backend local|json|binary]
+//
+//   --backend   what carries the router's shard fan-out: "local" (default)
+//               calls the server in-process; "json" and "binary" stand up
+//               a real TCP server on an ephemeral loopback port behind a
+//               RemoteBackend, speaking JSON lines or the negotiated
+//               binary frame protocol — the router->backend hop the
+//               sharded fleet deployment pays.
 //
 // Machine-readable results are emitted as `BENCH_METRIC {json}` lines
 // (folded by bench/run_all.sh into the trajectory file).
@@ -128,26 +136,43 @@ int main(int argc, char** argv) {
   int frames_per_client = 8;
   int batch = 32;
   int parent_res = 4;
-  if (argc > 1) {
-    const auto v = core::ParseDouble(argv[1]);
-    if (!v.ok() || v.value() <= 0 || v.value() > 1000) {
-      std::fprintf(stderr,
-                   "usage: bench_route [scale] [clients] "
-                   "[frames_per_client] [batch] [parent_res]\n");
-      return 2;
+  std::string backend_mode = "local";
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: bench_route [scale] [clients] "
+                 "[frames_per_client] [batch] [parent_res]\n"
+                 "                   [--backend local|json|binary]\n");
+    return 2;
+  };
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend") {
+      if (i + 1 >= argc) return usage();
+      backend_mode = argv[++i];
+      if (backend_mode != "local" && backend_mode != "json" &&
+          backend_mode != "binary") {
+        return usage();
+      }
+      continue;
     }
-    scale = v.value();
-  }
-  for (int i = 2; i < argc && i <= 5; ++i) {
+    ++positional;
+    if (positional == 1) {
+      const auto v = core::ParseDouble(argv[i]);
+      if (!v.ok() || v.value() <= 0 || v.value() > 1000) return usage();
+      scale = v.value();
+      continue;
+    }
+    if (positional > 5) return usage();
     const auto v = core::ParseInt(argv[i]);
     if (!v.ok() || v.value() < 1 || v.value() > 1024) {
       std::fprintf(stderr, "bad integer argument '%s'\n", argv[i]);
       return 2;
     }
-    if (i == 2) clients = v.value();
-    if (i == 3) frames_per_client = v.value();
-    if (i == 4) batch = v.value();
-    if (i == 5) parent_res = v.value();
+    if (positional == 2) clients = v.value();
+    if (positional == 3) frames_per_client = v.value();
+    if (positional == 4) batch = v.value();
+    if (positional == 5) parent_res = v.value();
   }
 
   // ---- shard deployment: one build from a synthetic KIEL feed.
@@ -181,12 +206,28 @@ int main(int argc, char** argv) {
         gap_requests[static_cast<size_t>(i) % gap_requests.size()];
   }
 
-  // ---- routed path: Router over a local backend, warmed.
+  // ---- routed path: Router over the selected backend, warmed. "local"
+  // calls the server in-process; "json"/"binary" pay the real TCP hop a
+  // sharded fleet pays, through RemoteBackend's pooled connections.
   server::ServerOptions server_options;
   server::Server server(server_options);
+  std::thread serve_thread;
+  std::vector<std::shared_ptr<router::ShardBackend>> backends;
+  if (backend_mode == "local") {
+    backends.push_back(std::make_shared<router::LocalBackend>(&server));
+  } else {
+    const Status listen = server.Listen(0);
+    if (!listen.ok()) return Fail(listen);
+    serve_thread = std::thread([&server] { (void)server.Serve(); });
+    server::ClientOptions client_options;
+    client_options.connect_timeout_ms = 2000;
+    client_options.io_timeout_ms = 30000;
+    client_options.binary = backend_mode == "binary";
+    backends.push_back(std::make_shared<router::RemoteBackend>(
+        server.bound_port(), client_options));
+  }
   auto made = router::Router::Make(
-      manifest.value(), shard_dir,
-      {std::make_shared<router::LocalBackend>(&server)},
+      manifest.value(), shard_dir, std::move(backends),
       router::RouterOptions{.max_batch = static_cast<size_t>(batch)});
   if (!made.ok()) return Fail(made.status());
   router::Router& router = *made.value();
@@ -202,6 +243,10 @@ int main(int argc, char** argv) {
                      return router.HandleLine(line);
                    });
   if (routed_qps == 0) return Fail(Status::Internal("routed client failed"));
+  if (serve_thread.joinable()) {
+    server.Shutdown();
+    serve_thread.join();
+  }
 
   // ---- monolithic reference: the same frames against the full-graph
   // snapshot on an identical fresh server.
@@ -220,10 +265,10 @@ int main(int argc, char** argv) {
   if (serve_qps == 0) return Fail(Status::Internal("mono client failed"));
 
   std::printf(
-      "routed %.0f q/s vs monolithic %.0f q/s (%d clients x %d frames x "
-      "batch %d, overhead x%.2f)\n",
-      routed_qps, serve_qps, clients, frames_per_client, batch,
-      serve_qps / routed_qps);
+      "routed %.0f q/s (%s backend) vs monolithic %.0f q/s (%d clients x "
+      "%d frames x batch %d, overhead x%.2f)\n",
+      routed_qps, backend_mode.c_str(), serve_qps, clients,
+      frames_per_client, batch, serve_qps / routed_qps);
 
   // ---- memory: per-shard peak vs monolithic peak, loads in isolation.
   long max_shard_peak_kb = 0;
@@ -253,10 +298,10 @@ int main(int argc, char** argv) {
   std::printf(
       "BENCH_METRIC {\"metric\":\"routed_qps\",\"dataset\":\"KIEL\","
       "\"scale\":%.3f,\"clients\":%d,\"batch\":%d,\"parent_res\":%d,"
-      "\"shards\":%zu,\"routed_qps\":%.1f,\"serve_qps\":%.1f,"
-      "\"shard_build_seconds\":%.2f}\n",
+      "\"shards\":%zu,\"backend\":\"%s\",\"routed_qps\":%.1f,"
+      "\"serve_qps\":%.1f,\"shard_build_seconds\":%.2f}\n",
       scale, clients, batch, parent_res, manifest.value().shards.size(),
-      routed_qps, serve_qps, build_seconds);
+      backend_mode.c_str(), routed_qps, serve_qps, build_seconds);
   std::printf(
       "BENCH_METRIC {\"metric\":\"shard_rss\",\"dataset\":\"KIEL\","
       "\"scale\":%.3f,\"parent_res\":%d,\"shards\":%zu,"

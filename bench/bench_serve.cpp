@@ -9,10 +9,21 @@
 // the protocol + dispatch overhead is visible as one ratio.
 //
 //   bench_serve [scale] [clients] [frames_per_client] [batch]
+//              [--binary] [--idle N]
+//
+//   --binary   clients speak the length-prefixed binary frame protocol
+//              (src/server/frame.h) instead of JSON lines; the request
+//              frame is encoded once and reused, so the row measures the
+//              wire + dispatch path, not client-side encoding
+//   --idle N   park N connected-but-silent connections before the timed
+//              run — the ingest shape the epoll loop exists for; raises
+//              RLIMIT_NOFILE as needed (each idle connection costs two
+//              fds here: both endpoints live in this process)
 //
 // Machine-readable results are emitted as `BENCH_METRIC {json}` lines
 // (folded by bench/run_all.sh into the trajectory file).
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +39,7 @@
 #include "core/parse.h"
 #include "core/stopwatch.h"
 #include "eval/harness.h"
+#include "server/frame.h"
 #include "server/line_client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -55,26 +68,51 @@ int main(int argc, char** argv) {
   int clients = 4;
   int frames_per_client = 8;
   int batch = 32;
+  bool binary = false;
+  int64_t idle_count = 0;
   const char* names[] = {"scale", "clients", "frames_per_client", "batch"};
   const auto usage = [&names](int i, const char* arg) {
     std::fprintf(stderr,
                  "usage: bench_serve [scale] [clients] "
-                 "[frames_per_client] [batch] (%s: %s)\n",
-                 names[i - 1], arg);
+                 "[frames_per_client] [batch] [--binary] [--idle N] "
+                 "(%s: %s)\n",
+                 i > 0 ? names[i - 1] : "flag", arg);
     return 2;
   };
-  if (argc > 1) {
-    const auto v = core::ParseDouble(argv[1]);
-    if (!v.ok() || v.value() <= 0 || v.value() > 1000) return usage(1, argv[1]);
-    scale = v.value();
-  }
-  // Integer knobs are parsed as integers: "2.7 clients" is garbage, not 2.
-  for (int i = 2; i < argc && i <= 4; ++i) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--binary") {
+      binary = true;
+      continue;
+    }
+    if (arg == "--idle") {
+      if (i + 1 >= argc) return usage(0, "--idle needs a value");
+      const auto v = core::ParseInt64(argv[++i]);
+      if (!v.ok() || v.value() < 0 || v.value() > 1000000) {
+        return usage(0, argv[i]);
+      }
+      idle_count = v.value();
+      continue;
+    }
+    ++positional;
+    if (positional == 1) {
+      const auto v = core::ParseDouble(argv[i]);
+      if (!v.ok() || v.value() <= 0 || v.value() > 1000) {
+        return usage(1, argv[i]);
+      }
+      scale = v.value();
+      continue;
+    }
+    if (positional > 4) return usage(0, argv[i]);
+    // Integer knobs are parsed as integers: "2.7 clients" is garbage, not 2.
     const auto v = core::ParseInt(argv[i]);
-    if (!v.ok() || v.value() < 1 || v.value() > 1024) return usage(i, argv[i]);
-    if (i == 2) clients = v.value();
-    if (i == 3) frames_per_client = v.value();
-    if (i == 4) batch = v.value();
+    if (!v.ok() || v.value() < 1 || v.value() > 1024) {
+      return usage(positional, argv[i]);
+    }
+    if (positional == 2) clients = v.value();
+    if (positional == 3) frames_per_client = v.value();
+    if (positional == 4) batch = v.value();
   }
 
   // ---- model: build once from a synthetic KIEL feed, snapshot, serve.
@@ -133,8 +171,51 @@ int main(int argc, char** argv) {
   if (!listen.ok()) return Fail(listen);
   std::thread serve_thread([&server] { (void)server.Serve(); });
 
+  // ---- the idle fleet: connected, silent, and never a thread. Parked
+  // before the timed run so the loop carries their registrations the
+  // whole time. Two fds per connection — both endpoints are ours.
+  if (idle_count > 0) {
+    rlimit limit{};
+    if (getrlimit(RLIMIT_NOFILE, &limit) == 0) {
+      const rlim_t want = static_cast<rlim_t>(2 * idle_count + 512);
+      if (limit.rlim_cur < want) {
+        limit.rlim_cur = std::min<rlim_t>(limit.rlim_max, want);
+        (void)setrlimit(RLIMIT_NOFILE, &limit);
+      }
+      const rlim_t budget =
+          limit.rlim_cur > 512 ? (limit.rlim_cur - 512) / 2 : 0;
+      if (static_cast<rlim_t>(idle_count) > budget) {
+        std::fprintf(stderr,
+                     "note: fd limit %llu caps --idle %lld at %llu\n",
+                     static_cast<unsigned long long>(limit.rlim_cur),
+                     static_cast<long long>(idle_count),
+                     static_cast<unsigned long long>(budget));
+        idle_count = static_cast<int64_t>(budget);
+      }
+    }
+  }
+  std::vector<std::unique_ptr<server::LineClient>> idle;
+  idle.reserve(static_cast<size_t>(idle_count));
+  for (int64_t i = 0; i < idle_count; ++i) {
+    auto parked = std::make_unique<server::LineClient>(server.bound_port());
+    if (!parked->connected()) {
+      return Fail(Status::Internal("idle connection " + std::to_string(i) +
+                                   " failed to connect"));
+    }
+    idle.push_back(std::move(parked));
+  }
+
   const std::string frame_line =
       server::EncodeImputeBatchRequest(load_spec, frame);
+  // The binary path encodes the frame once and reuses it — the measured
+  // row is wire + decode + dispatch, with no per-call client JSON work.
+  std::string frame_bytes;
+  if (binary) {
+    auto parsed = server::ParseRequest(frame_line,
+                                       static_cast<size_t>(batch));
+    if (!parsed.ok()) return Fail(parsed.status());
+    frame_bytes = server::frame::EncodeRequestFrame(parsed.value());
+  }
   std::vector<std::vector<double>> frame_seconds(
       static_cast<size_t>(clients));
   // vector<char>, not vector<bool>: clients write their slot concurrently
@@ -145,17 +226,36 @@ int main(int argc, char** argv) {
   client_threads.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
-      server::LineClient client(server.bound_port());
+      server::ClientOptions client_options;
+      client_options.binary = binary;
+      server::LineClient client(server.bound_port(), client_options);
       if (!client.connected()) return;
-      std::string response;
-      for (int f = 0; f < frames_per_client; ++f) {
-        Stopwatch frame_timer;
-        if (!client.Call(frame_line, &response)) return;
-        frame_seconds[static_cast<size_t>(c)].push_back(
-            frame_timer.ElapsedSeconds());
-        // Every frame-level response must be ok:true (per-query failures
-        // embed inside "results"; a frame error means the bench is broken).
-        if (response.rfind("{\"ok\":true", 0) != 0) return;
+      if (binary) {
+        for (int f = 0; f < frames_per_client; ++f) {
+          Stopwatch frame_timer;
+          server::frame::FrameResponse response;
+          if (!client.CallBinary(frame_bytes, &response)) return;
+          frame_seconds[static_cast<size_t>(c)].push_back(
+              frame_timer.ElapsedSeconds());
+          // tag=results is the binary frame-level ok; per-query failures
+          // ride inside results, same as the JSON "results" member.
+          if (response.tag != server::frame::ResponseTag::kResults ||
+              response.results.size() != frame.size()) {
+            return;
+          }
+        }
+      } else {
+        std::string response;
+        for (int f = 0; f < frames_per_client; ++f) {
+          Stopwatch frame_timer;
+          if (!client.Call(frame_line, &response)) return;
+          frame_seconds[static_cast<size_t>(c)].push_back(
+              frame_timer.ElapsedSeconds());
+          // Every frame-level response must be ok:true (per-query failures
+          // embed inside "results"; a frame error means the bench is
+          // broken).
+          if (response.rfind("{\"ok\":true", 0) != 0) return;
+        }
       }
       client_ok[static_cast<size_t>(c)] = 1;
     });
@@ -180,12 +280,14 @@ int main(int argc, char** argv) {
   const double p99_ms = Percentile(all_frames, 0.99) * 1e3;
 
   std::printf(
-      "served %llu queries (%d clients x %d frames x batch %d) in %.2fs "
-      "over TCP: %.0f q/s (in-process %.0f q/s, overhead x%.2f)\n"
+      "served %llu queries (%d clients x %d frames x batch %d, %s, "
+      "%lld idle) in %.2fs over TCP: %.0f q/s (in-process %.0f q/s, "
+      "overhead x%.2f)\n"
       "frame latency p50 %.2f ms, p99 %.2f ms (batch of %d)\n",
       static_cast<unsigned long long>(total_queries), clients,
-      frames_per_client, batch, serve_seconds, serve_qps, inproc_qps,
-      inproc_qps / serve_qps, p50_ms, p99_ms, batch);
+      frames_per_client, batch, binary ? "binary" : "json",
+      static_cast<long long>(idle_count), serve_seconds, serve_qps,
+      inproc_qps, inproc_qps / serve_qps, p50_ms, p99_ms, batch);
   const api::ModelCache::Stats stats = server.cache().stats();
   std::printf("cache: %llu hits, %llu misses, %llu coalesced\n",
               static_cast<unsigned long long>(stats.hits),
@@ -195,10 +297,12 @@ int main(int argc, char** argv) {
   std::printf(
       "BENCH_METRIC {\"metric\":\"serve_qps\",\"dataset\":\"KIEL\","
       "\"scale\":%.3f,\"clients\":%d,\"batch\":%d,\"workers\":%d,"
+      "\"mode\":\"%s\",\"idle\":%lld,"
       "\"serve_qps\":%.1f,\"inproc_qps\":%.1f,\"frame_p50_ms\":%.3f,"
       "\"frame_p99_ms\":%.3f}\n",
-      scale, clients, batch, server.workers(), serve_qps, inproc_qps,
-      p50_ms, p99_ms);
+      scale, clients, batch, server.workers(),
+      binary ? "binary" : "json", static_cast<long long>(idle_count),
+      serve_qps, inproc_qps, p50_ms, p99_ms);
 
   std::remove(snapshot_path.c_str());
   return 0;

@@ -12,9 +12,11 @@
 //   --backends P1,P2,...   a habit_serve fleet on loopback ports; shard i
 //                          is served by port[i % N], the fallback by the
 //                          last port. Calls ride pooled LineClient
-//                          connections with connect/IO timeouts; a failed
-//                          shard degrades to the fallback instead of
-//                          erroring the batch.
+//                          connections with connect/IO timeouts; each
+//                          connection negotiates the binary frame
+//                          protocol (--json-backends forces JSON lines);
+//                          a failed shard degrades to the fallback
+//                          instead of erroring the batch.
 //   --local                one in-process server::Server holds every
 //                          shard model behind one ModelCache — no
 //                          sockets, no fleet. Tests, CI, and
@@ -24,6 +26,7 @@
 //               [--port N | --stdin] [--map] [--retries N]
 //               [--connect-timeout-ms N] [--io-timeout-ms N]
 //               [--threads N] [--cache-bytes N] [--max-batch N]
+//               [--json-backends]
 //
 //   --manifest PATH        the shard manifest (required)
 //   --map                  serve shard snapshots zero-copy (mmap; load
@@ -35,7 +38,10 @@
 //                          (default 2000 / 10000; 0 = blocking)
 //   --threads / --cache-bytes
 //                          the in-process server's pool and cache
-//                          (--local mode only)
+//                          (--local mode; --threads also sizes the
+//                          router's frame-dispatch pool)
+//   --json-backends        speak JSON lines to the fleet instead of
+//                          negotiating the binary frame protocol
 //   --port N               TCP port (loopback; 0 = ephemeral, default
 //                          7412); --stdin serves the pipe instead
 //
@@ -45,9 +51,10 @@
 //   {"op":"impute","request":{"gap_start":{"lat":54.4,"lng":10.22},
 //    "gap_end":{"lat":54.41,"lng":10.24},"t_start":0,"t_end":3600}}
 //   EOF
-#include <sys/socket.h>
+#include <unistd.h>
 
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -57,16 +64,23 @@
 #include "core/parse.h"
 #include "router/backend.h"
 #include "router/router.h"
+#include "server/server.h"
 #include "server/transport.h"
 
 namespace {
 
 using namespace habit;
 
-volatile int g_listen_fd = -1;
+// The transport's stop eventfd: write(2) is async-signal-safe and
+// reliably wakes the epoll event loop.
+volatile int g_stop_fd = -1;
 
 void HandleSignal(int) {
-  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+  if (g_stop_fd >= 0) {
+    const uint64_t one = 1;
+    // lint: socket-io(async-signal-safe eventfd wake, not socket IO)
+    [[maybe_unused]] auto n = ::write(g_stop_fd, &one, sizeof(one));
+  }
 }
 
 int Usage() {
@@ -75,7 +89,8 @@ int Usage() {
       "usage: habit_route --manifest PATH (--local | --backends P1,P2,...)\n"
       "                   [--port N | --stdin] [--map] [--retries N]\n"
       "                   [--connect-timeout-ms N] [--io-timeout-ms N]\n"
-      "                   [--threads N] [--cache-bytes N] [--max-batch N]\n");
+      "                   [--threads N] [--cache-bytes N] [--max-batch N]\n"
+      "                   [--json-backends]\n");
   return 2;
 }
 
@@ -116,6 +131,7 @@ int main(int argc, char** argv) {
   server::ClientOptions client_options;
   client_options.connect_timeout_ms = 2000;
   client_options.io_timeout_ms = 10000;
+  client_options.binary = true;  // fall back to JSON against old servers
   server::ServerOptions local_options;
 
   for (int i = 1; i < argc; ++i) {
@@ -158,6 +174,8 @@ int main(int argc, char** argv) {
       backend_ports = ports.MoveValue();
     } else if (arg == "--stdin") {
       use_stdin = true;
+    } else if (arg == "--json-backends") {
+      client_options.binary = false;
     } else if (arg == "--map") {
       options.map_snapshots = true;
     } else if (arg == "--port") {
@@ -257,6 +275,13 @@ int main(int argc, char** argv) {
                router.manifest().halo_k, router.manifest().spec.c_str(),
                local ? "local" : "fleet");
 
+  // Frame handling runs on a dispatch pool, not the event loop: a router
+  // frame blocks on backend round trips, and the loop must keep serving
+  // other connections meanwhile. The router's own frontend stays
+  // JSON-only (routed responses carry "route"/"routes" members the
+  // binary results frame cannot express); the binary protocol rides the
+  // router->backend hop via RemoteBackend's negotiation.
+  server::WorkerPool dispatch(local_options.threads);
   server::LineTransport transport(
       options.max_line_bytes,
       server::TransportHooks{
@@ -264,6 +289,9 @@ int main(int argc, char** argv) {
             return router.HandleLine(line);
           },
           .oversize = [&router] { return router.OversizeLine(); },
+          .submit = [&dispatch](std::function<void()> work) {
+            return dispatch.Submit(std::move(work));
+          },
       });
 
   if (use_stdin) {
@@ -277,7 +305,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "habit_route listening on 127.0.0.1:%u\n",
                transport.bound_port());
-  g_listen_fd = transport.listen_fd();
+  g_stop_fd = transport.stop_fd();
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 

@@ -27,9 +27,10 @@
 //   $ printf '%s\n' '{"op":"impute","model":"habit:load=kiel.snap",
 //     "request":{"gap_start":{"lat":54.4,"lng":10.22},
 //     "gap_end":{"lat":54.52,"lng":10.3},"t_start":0,"t_end":3600}}' | nc 127.0.0.1 7411
-#include <sys/socket.h>
+#include <unistd.h>
 
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -43,12 +44,17 @@ namespace {
 
 using namespace habit;
 
-// The listening socket, for the signal handler: shutdown(2) is
-// async-signal-safe and wakes the accept loop, which then exits cleanly.
-volatile int g_listen_fd = -1;
+// The server's stop eventfd, for the signal handler: write(2) is
+// async-signal-safe and reliably wakes the epoll event loop, which then
+// exits cleanly (shutdown(2) on a listener does not wake epoll).
+volatile int g_stop_fd = -1;
 
 void HandleSignal(int) {
-  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+  if (g_stop_fd >= 0) {
+    const uint64_t one = 1;
+    // lint: socket-io(async-signal-safe eventfd wake, not socket IO)
+    [[maybe_unused]] auto n = ::write(g_stop_fd, &one, sizeof(one));
+  }
 }
 
 int Usage() {
@@ -185,7 +191,7 @@ int main(int argc, char** argv) {
   // Publish the fd before installing handlers: a signal landing in
   // between must find the fd, or the terminate request is silently
   // swallowed and the supervisor escalates to SIGKILL.
-  g_listen_fd = server.listen_fd();
+  g_stop_fd = server.stop_fd();
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 

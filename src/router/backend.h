@@ -7,11 +7,14 @@
 // capacity, the manifest is placement.
 //
 // RemoteBackend pools LineClient connections (one in-flight call per
-// pooled connection; concurrent calls open additional connections, capped
-// by the server's thread-per-connection model, and park them for reuse).
-// A failed call surfaces a Status and discards the connection — the
-// router's retry-once-then-degrade policy decides what happens next, not
-// the transport.
+// pooled connection; concurrent calls open additional connections — cheap
+// on the server's epoll loop — and park them for reuse). With
+// ClientOptions::binary each fresh connection negotiates the binary frame
+// protocol at connect and falls back to JSON against an old server, so
+// the fan-out path skips JSON re-parse/re-print per sub-frame wherever
+// the backend supports it. A failed call surfaces a Status and discards
+// the connection — the router's retry-once-then-degrade policy decides
+// what happens next, not the transport.
 #pragma once
 
 #include <memory>

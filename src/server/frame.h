@@ -1,0 +1,122 @@
+// The binary wire format for the line protocol: length-prefixed
+// little-endian frames, negotiated per connection by the first bytes (the
+// magic vs. '{'/whitespace — JSON stays the debug/compat surface and is
+// byte-identical to the NDJSON protocol). The layout reuses the snapshot
+// container's conventions — a u32 magic, u32 payload length, then flat
+// little-endian fields; batched gaps travel as SoA arrays with no
+// per-request key strings, so a batch of n requests decodes with zero
+// JSON parsing and exactly one allocation per column.
+//
+// Frame:        magic u32 ("HBTF") | length u32 | payload[length]
+// Request payload:
+//   op u32      1=ping 2=methods 3=stats 4=impute 5=impute_batch 6=json
+//   id          kind u8 (0 none, 1 number f64, 2 string u32+bytes)
+//   op=json:    the raw JSON request line (the escape hatch: anything the
+//               structured ops cannot express runs the JSON dispatch path)
+//   op=impute / impute_batch:
+//     model     u32 length + bytes (registry spec)
+//     n u32     query count (1 for impute, 1..max_batch for impute_batch)
+//     lat_start f64[n] | lng_start f64[n] | lat_end f64[n] | lng_end f64[n]
+//     t_start  i64[n] | t_end i64[n]
+//     vessel_type u8[n]   (0xFF = absent, else ais::VesselType value)
+//     has_vessel  u8[n]   (0/1)
+//     vessel_id  i64[n]   (meaningful where has_vessel=1)
+// Response payload:
+//   tag u32     1=pong 2=results 3=error 4=json
+//   id          echoed, same encoding as requests
+//   tag=error:  code u32 (StatusCode) | message u32+bytes
+//   tag=json:   a raw JSON response line (methods/stats responses)
+//   tag=results: is_batch u8 | count u32 | per result:
+//     ok u8; ok=1: points u32 | (lat f64, lng f64)[points] |
+//                  timestamps u32 | t i64[...] | expanded u64
+//           ok=0: code u32 | message u32+bytes
+//
+// Doubles travel bit-exact in both directions and Json::Dump renders the
+// shortest round-trip form, so a binary response re-rendered as JSON
+// (ResponseToJsonLine) is byte-identical to what the server's JSON path
+// would have emitted — the equivalence transport_test asserts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "server/protocol.h"
+
+namespace habit::server::frame {
+
+/// Frame magic, "HBTF" in little-endian byte order. The first byte on the
+/// wire is 'H' — never '{' or whitespace, which is the whole negotiation
+/// rule: a connection whose first bytes match the magic speaks binary,
+/// anything else is JSON.
+inline constexpr uint32_t kMagic = 0x46544248u;
+inline constexpr size_t kHeaderBytes = 8;  ///< magic u32 + length u32
+
+/// \brief One decoded request frame payload: either a structured Request
+/// or a raw JSON line (the op=json escape hatch).
+struct FrameRequest {
+  bool is_json = false;
+  std::string json;  ///< the inner request line when is_json
+  Request request;   ///< the structured request otherwise
+};
+
+/// \brief Response frame kinds (the `tag` field on the wire).
+enum class ResponseTag : uint32_t {
+  kPong = 1,
+  kResults = 2,
+  kError = 3,
+  kJson = 4,
+};
+
+/// \brief One decoded response frame payload.
+struct FrameResponse {
+  ResponseTag tag = ResponseTag::kError;
+  Json id;            ///< echoed correlation id; null when absent
+  bool batch = false;  ///< results: impute vs impute_batch shape
+  std::vector<Result<api::ImputeResponse>> results;
+  Status error;       ///< tag=error payload
+  std::string json;   ///< tag=json payload (a full response line)
+};
+
+/// Encodes one structured request as a complete frame (header included).
+std::string EncodeRequestFrame(const Request& request);
+
+/// Wraps a raw JSON request line in an op=json frame.
+std::string EncodeJsonRequestFrame(std::string_view line);
+
+/// Decodes a request frame payload (header already stripped by the
+/// transport). Mirrors ParseRequest's validation: `max_batch` bounds the
+/// query count, `require_model` demands a non-empty model on impute ops.
+/// Every malformed payload maps to kInvalidArgument, never a crash.
+Result<FrameRequest> DecodeRequestPayload(std::string_view payload,
+                                          size_t max_batch,
+                                          bool require_model);
+
+/// Encodes the response to a ping.
+std::string EncodePongFrame(const Json& id);
+
+/// Encodes a frame-level error response.
+std::string EncodeErrorFrame(const Status& status, const Json& id);
+
+/// Wraps a JSON response line (methods/stats output, or the answer to an
+/// op=json passthrough) in a tag=json frame.
+std::string EncodeJsonResponseFrame(std::string_view json_line);
+
+/// Encodes impute results; `batch` selects the impute vs impute_batch
+/// response shape on the way back to JSON.
+std::string EncodeResultsFrame(
+    std::span<const Result<api::ImputeResponse>> results, const Json& id,
+    bool batch);
+
+/// Decodes a response frame payload (header already stripped).
+Result<FrameResponse> DecodeResponsePayload(std::string_view payload);
+
+/// Re-renders a decoded binary response as the protocol's JSON line —
+/// byte-identical to the line the server's JSON path would have produced
+/// for the same request (doubles travel bit-exact; Dump is canonical).
+std::string ResponseToJsonLine(const FrameResponse& response);
+
+}  // namespace habit::server::frame

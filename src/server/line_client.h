@@ -12,6 +12,17 @@
 // refused connection from a read timeout from a peer close — the router's
 // retry-then-degrade policy branches on exactly that.
 //
+// Binary mode (ClientOptions::binary): the client probes the server with
+// one binary ping frame plus a trailing newline. A binary-capable server
+// answers with a pong *frame* (first byte 'H'); a JSON-only server parses
+// the probe as one garbage line and answers a JSON error (first byte
+// '{'), and the client silently falls back to JSON on the same
+// connection. After a successful handshake, Call() parses the request
+// line once client-side, ships it as a structured frame (no JSON on the
+// wire), and re-renders the response frame as the canonical JSON line —
+// byte-identical to what the JSON path returns, so callers never know
+// which protocol ran. The IO deadlines apply to every partial frame read.
+//
 // Loopback only, no TLS — per the README, external traffic terminates at
 // a fronting router (which is itself a LineClient caller).
 #pragma once
@@ -27,6 +38,9 @@
 #include <cstring>
 #include <string>
 
+#include "server/frame.h"
+#include "server/protocol.h"
+
 namespace habit::server {
 
 /// \brief Connection and IO deadlines for a LineClient. Zero = no limit
@@ -34,6 +48,9 @@ namespace habit::server {
 struct ClientOptions {
   int connect_timeout_ms = 0;  ///< limit on the TCP connect
   int io_timeout_ms = 0;       ///< per-recv/send limit (SO_RCVTIMEO/SNDTIMEO)
+  /// Negotiate the binary frame protocol at connect; falls back to JSON
+  /// against a server (or router) that only speaks lines.
+  bool binary = false;
 };
 
 class LineClient {
@@ -60,6 +77,7 @@ class LineClient {
       ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
       ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
+    if (connected_ && options.binary && !Negotiate()) connected_ = false;
   }
   ~LineClient() {
     if (fd_ >= 0) ::close(fd_);
@@ -68,6 +86,10 @@ class LineClient {
   LineClient& operator=(const LineClient&) = delete;
 
   bool connected() const { return connected_; }
+
+  /// True when the binary handshake succeeded (Call() frames instead of
+  /// sending JSON). False on plain connections and after JSON fallback.
+  bool binary() const { return binary_; }
 
   /// Human-readable cause of the most recent failure ("" when none):
   /// "connect: ...", "connect timed out", "send: ...", "read timed out",
@@ -130,12 +152,116 @@ class LineClient {
     }
   }
 
-  /// One round trip: Send then ReadLine.
+  /// One round trip. On a binary connection the line is parsed once
+  /// client-side and travels as a structured frame; the response comes
+  /// back as the canonical JSON line either way.
   bool Call(const std::string& line, std::string* response) {
+    if (binary_) return CallViaBinary(line, response);
     return Send(line) && ReadLine(response);
   }
 
+  /// Reads one complete frame's payload (header stripped). False on
+  /// close/timeout/bad magic — partial reads honor the IO deadline.
+  bool ReadFrame(std::string* payload) {
+    if (!FillBuffer(frame::kHeaderBytes)) return false;
+    uint32_t magic;
+    uint32_t length;
+    std::memcpy(&magic, buffer_.data(), sizeof(magic));
+    std::memcpy(&length, buffer_.data() + sizeof(magic), sizeof(length));
+    if (magic != frame::kMagic) {
+      error_ = "bad frame magic from server";
+      return false;
+    }
+    if (length > (64u << 20)) {  // sanity: never buffer a corrupt length
+      error_ = "oversized frame from server";
+      return false;
+    }
+    if (!FillBuffer(frame::kHeaderBytes + length)) return false;
+    *payload = buffer_.substr(frame::kHeaderBytes, length);
+    buffer_.erase(0, frame::kHeaderBytes + length);
+    return true;
+  }
+
+  /// One pre-encoded frame out, one decoded response frame back — the
+  /// zero-JSON round trip bench_serve measures (the frame is encoded once
+  /// and reused across calls).
+  bool CallBinary(const std::string& frame_bytes,
+                  frame::FrameResponse* response) {
+    if (!SendRaw(frame_bytes)) return false;
+    std::string payload;
+    if (!ReadFrame(&payload)) return false;
+    auto decoded = frame::DecodeResponsePayload(payload);
+    if (!decoded.ok()) {
+      error_ = "bad response frame: " + decoded.status().message();
+      return false;
+    }
+    *response = std::move(decoded.value());
+    return true;
+  }
+
  private:
+  bool CallViaBinary(const std::string& line, std::string* response) {
+    // Parse leniently (no model requirement, no batch cap — the server
+    // enforces both with the same messages the JSON path uses) so every
+    // server-acceptable line encodes structurally; anything unparseable
+    // ships verbatim through the op=json escape hatch and gets the JSON
+    // path's byte-identical error.
+    auto parsed = ParseRequest(line, /*max_batch=*/1u << 30,
+                               /*require_model=*/false);
+    const std::string frame_bytes =
+        parsed.ok() ? frame::EncodeRequestFrame(parsed.value())
+                    : frame::EncodeJsonRequestFrame(line);
+    frame::FrameResponse decoded;
+    if (!CallBinary(frame_bytes, &decoded)) return false;
+    *response = frame::ResponseToJsonLine(decoded);
+    return true;
+  }
+
+  /// The negotiation probe: a binary ping frame plus a newline. The
+  /// newline makes the probe one parseable-as-garbage line for JSON-only
+  /// servers (they answer a '{'-prefixed error and we fall back); a
+  /// binary server skips it between frames and answers a pong frame.
+  bool Negotiate() {
+    Request ping;
+    ping.op = Request::Op::kPing;
+    if (!SendRaw(frame::EncodeRequestFrame(ping) + "\n")) return false;
+    if (!FillBuffer(1)) return false;
+    if (static_cast<unsigned char>(buffer_[0]) == (frame::kMagic & 0xFF)) {
+      std::string payload;
+      if (!ReadFrame(&payload)) return false;  // the pong — discard
+      binary_ = true;
+      return true;
+    }
+    std::string discard;  // the JSON error line answering the probe
+    if (!ReadLine(&discard)) return false;
+    binary_ = false;
+    return true;
+  }
+
+  /// Blocks until the buffer holds at least `need` bytes. Same error
+  /// mapping as ReadLine (timeout vs peer close vs recv error).
+  bool FillBuffer(size_t need) {
+    while (buffer_.size() < need) {
+      char chunk[64 * 1024];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        error_ = "read timed out";
+        return false;
+      }
+      if (got < 0) {
+        error_ = std::string("recv: ") + std::strerror(errno);
+        return false;
+      }
+      if (got == 0) {
+        error_ = "connection closed by peer";
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+    return true;
+  }
+
   bool ConnectBlocking(const sockaddr_in& addr) {
     if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
@@ -185,6 +311,7 @@ class LineClient {
 
   int fd_ = -1;
   bool connected_ = false;
+  bool binary_ = false;
   std::string buffer_;
   std::string error_;
 };

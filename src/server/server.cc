@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "api/registry.h"
+#include "server/frame.h"
 
 namespace habit::server {
 
@@ -49,13 +50,38 @@ void WorkerPool::WorkerMain() {
     std::function<void()> task;
     {
       core::MutexLock lock(mu_);
-      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
-      if (queue_.empty()) return;  // stopping, queue drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (!stopping_ && queue_.empty() && submitted_.empty()) {
+        work_cv_.Wait(mu_);
+      }
+      // Batch chunks first: they are sub-work of frames already being
+      // handled, so finishing them beats starting new frames.
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else if (!submitted_.empty()) {
+        task = std::move(submitted_.front());
+        submitted_.pop_front();
+      } else {
+        return;  // stopping, both queues drained
+      }
     }
     task();
   }
+}
+
+Status WorkerPool::Submit(std::function<void()> work) {
+  {
+    core::MutexLock lock(mu_);
+    if (stopping_) {
+      // The workers may already be gone; the caller runs inline instead
+      // of stranding the closure (a dropped frame handler would leak the
+      // transport's in-flight count).
+      return Status::Internal("worker pool is shut down");
+    }
+    submitted_.push_back(std::move(work));
+  }
+  work_cv_.NotifyOne();
+  return Status::OK();
 }
 
 Status WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
@@ -100,11 +126,33 @@ Status WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
     }
   }
   work_cv_.NotifyAll();
+  // Help while waiting: drain queue_ tasks on THIS thread until the batch
+  // completes. A frame handler running on a worker (Submit) that calls
+  // RunAll therefore always makes progress — even with every worker busy
+  // in nested RunAll, each waiter executes its own batch's chunks. Safe
+  // against missed wakeups because this batch is fully enqueued above:
+  // once queue_ looks empty, our chunks are running or done, and the
+  // latch re-check under its mutex catches the final completion.
   std::exception_ptr error;
-  {
+  while (true) {
+    std::function<void()> task;
+    {
+      core::MutexLock lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
     core::MutexLock wait_lock(latch->mu);
-    while (latch->remaining != 0) latch->cv.Wait(latch->mu);
-    error = latch->error;
+    if (latch->remaining == 0) {
+      error = latch->error;
+      break;
+    }
+    latch->cv.Wait(latch->mu);
   }
   if (error) {
     try {
@@ -150,6 +198,9 @@ Server::Server(const ServerOptions& options)
               .handle = [this](std::string_view line) {
                 return HandleLine(line);
               },
+              .handle_frame = [this](std::string_view payload) {
+                return HandleFrame(payload);
+              },
               // The transport's unterminated-overflow answer: count the
               // frame (HandleLine never saw it) and reject it with the
               // same message a terminated oversized line gets.
@@ -161,6 +212,20 @@ Server::Server(const ServerOptions& options)
                 return RejectFrame(Status::InvalidArgument(
                     "frame exceeds " +
                     std::to_string(options_.max_line_bytes) + " bytes"));
+              },
+              // Framing-level binary violations (oversized declared
+              // length, bad magic): HandleFrame never saw them, so count
+              // both the frame and the rejection here.
+              .frame_error = [this](const Status& error) {
+                {
+                  core::MutexLock lock(stats_mu_);
+                  ++frames_total_;
+                  ++frames_rejected_;
+                }
+                return frame::EncodeErrorFrame(error, Json());
+              },
+              .submit = [this](std::function<void()> work) {
+                return pool_.Submit(std::move(work));
               },
           }) {}
 
@@ -224,6 +289,16 @@ std::string Server::HandleParsed(const Request& request) {
 }
 
 std::string Server::HandleImpute(const Request& request) {
+  auto results = ExecuteImpute(request);
+  if (!results.ok()) return RejectFrame(results.status(), request.id);
+  if (request.op == Request::Op::kImpute) {
+    return ImputeResponseLine(results.value().front(), request.id);
+  }
+  return BatchResponseLine(results.value(), request.id);
+}
+
+Result<std::vector<Result<api::ImputeResponse>>> Server::ExecuteImpute(
+    const Request& request) {
   // Validate every query before touching the cache: an invalid request
   // must never trigger (or wait on) a snapshot load. The whole frame is
   // rejected fail-fast — a client sending garbage gets told so instead of
@@ -236,22 +311,18 @@ std::string Server::HandleImpute(const Request& request) {
       const std::string field = request.op == Request::Op::kImpute
                                     ? "request"
                                     : "requests[" + std::to_string(i) + "]";
-      return RejectFrame(
-          Status::InvalidArgument(field + ": " + valid.message()),
-          request.id);
+      return Status::InvalidArgument(field + ": " + valid.message());
     }
   }
 
   auto spec = api::MethodSpec::Parse(request.model);
-  if (!spec.ok()) return RejectFrame(spec.status(), request.id);
-  if (const Status policy = CheckServedSpec(spec.value()); !policy.ok()) {
-    return RejectFrame(policy, request.id);
-  }
+  if (!spec.ok()) return spec.status();
+  HABIT_RETURN_NOT_OK(CheckServedSpec(spec.value()));
   auto model = Resolve(spec.value());
-  if (!model.ok()) return RejectFrame(model.status(), request.id);
+  if (!model.ok()) return model.status();
 
   std::vector<double> query_seconds;
-  const std::vector<Result<api::ImputeResponse>> results =
+  std::vector<Result<api::ImputeResponse>> results =
       DispatchBatch(*model.value(), request.requests, &query_seconds);
 
   {
@@ -275,11 +346,55 @@ std::string Server::HandleImpute(const Request& request) {
       }
     }
   }
+  return results;
+}
 
-  if (request.op == Request::Op::kImpute) {
-    return ImputeResponseLine(results.front(), request.id);
+std::string Server::HandleFrame(std::string_view payload) {
+  auto decoded = frame::DecodeRequestPayload(payload, options_.max_batch,
+                                             /*require_model=*/true);
+  if (!decoded.ok()) {
+    // A malformed payload carries no recoverable id; count the frame and
+    // the rejection (HandleLine never saw it).
+    {
+      core::MutexLock lock(stats_mu_);
+      ++frames_total_;
+      ++frames_rejected_;
+    }
+    return frame::EncodeErrorFrame(decoded.status(), Json());
   }
-  return BatchResponseLine(results, request.id);
+  if (decoded.value().is_json) {
+    // The escape hatch: the inner line runs the full JSON dispatch path
+    // (which does its own counting) and the response travels back framed.
+    return frame::EncodeJsonResponseFrame(HandleLine(decoded.value().json));
+  }
+  const Request& request = decoded.value().request;
+  {
+    core::MutexLock lock(stats_mu_);
+    ++frames_total_;
+  }
+  switch (request.op) {
+    case Request::Op::kPing:
+      return frame::EncodePongFrame(request.id);
+    case Request::Op::kMethods:
+      return frame::EncodeJsonResponseFrame(MethodsLine(request.id));
+    case Request::Op::kStats:
+      return frame::EncodeJsonResponseFrame(StatsLine(request.id));
+    case Request::Op::kImpute:
+    case Request::Op::kImputeBatch: {
+      auto results = ExecuteImpute(request);
+      if (!results.ok()) {
+        {
+          core::MutexLock lock(stats_mu_);
+          ++frames_rejected_;
+        }
+        return frame::EncodeErrorFrame(results.status(), request.id);
+      }
+      return frame::EncodeResultsFrame(
+          results.value(), request.id,
+          /*batch=*/request.op == Request::Op::kImputeBatch);
+    }
+  }
+  return frame::EncodeErrorFrame(Status::Internal("unhandled op"), Json());
 }
 
 std::vector<Result<api::ImputeResponse>> Server::DispatchBatch(

@@ -12,10 +12,12 @@
 // regardless of client count.
 //
 // Transports live in server/transport.h (LineTransport — shared with the
-// habit_route shard router): a TCP accept loop (thread per connection,
-// loopback by default — a router/load-balancer terminates external
-// traffic) and a stdin/stdout pipe mode, both feeding one dispatch path
-// (HandleLine).
+// habit_route shard router): a loopback TCP epoll event loop (idle
+// connections cost a fd, not a thread; a router/load-balancer terminates
+// external traffic) and a stdin/stdout pipe mode. Both protocols feed one
+// dispatch path — JSON lines through HandleLine, binary frames
+// (server/frame.h) through HandleFrame, which share ExecuteImpute so the
+// answers are identical bit for bit.
 //
 // Observability is O(1)-memory under unbounded traffic: per-model query
 // latency runs through P^2 quantile estimators (p50/p99) and distinct
@@ -59,15 +61,24 @@ class WorkerPool {
 
   int workers() const { return workers_; }
 
-  /// Runs `tasks` on the pool and blocks until all complete. Tasks must
-  /// not submit to the pool themselves (one level of parallelism, no
-  /// nesting — a nested submit would deadlock a full pool).
+  /// Runs `tasks` on the pool and blocks until all complete. The waiting
+  /// thread HELPS: while its batch is outstanding it drains other RunAll
+  /// tasks from the queue, so a Submit()ted frame handler may itself call
+  /// RunAll (DispatchBatch) without deadlocking a fully-busy pool. RunAll
+  /// leaf tasks themselves must not nest further.
   ///
   /// Returns non-OK without running anything when the pool has been shut
   /// down, and kInternal when a task threw (the exception is contained:
   /// remaining tasks still run, the worker thread survives, and the
   /// first exception's message is reported to THIS caller).
   Status RunAll(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
+
+  /// Enqueues one fire-and-forget closure (the transport's frame
+  /// handlers). Runs at lower priority than RunAll batch tasks — batch
+  /// chunks are latency-critical sub-work of a frame already being
+  /// handled. Returns non-OK (and does not run `work`) when the pool is
+  /// shut down; the caller runs it inline instead.
+  Status Submit(std::function<void()> work) EXCLUDES(mu_);
 
   /// Stops accepting work, drains the queue, and joins the workers. Safe
   /// to call from any thread, any number of times; the destructor calls
@@ -82,6 +93,9 @@ class WorkerPool {
   core::Mutex mu_;
   core::CondVar work_cv_;  ///< signaled on new work and on shutdown
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  /// Fire-and-forget closures (Submit): drained after queue_ so frame
+  /// handling never starves the batch chunks of frames already running.
+  std::deque<std::function<void()>> submitted_ GUARDED_BY(mu_);
   bool stopping_ GUARDED_BY(mu_) = false;
   /// Joinable workers; swapped out (under mu_) by the first Shutdown so
   /// concurrent shutdowns never double-join.
@@ -117,6 +131,12 @@ class Server {
   /// through here, so transport code stays a dumb byte shuttle.
   std::string HandleLine(std::string_view line) EXCLUDES(stats_mu_);
 
+  /// The binary request path: one frame payload in (header stripped by
+  /// the transport), one complete encoded response frame out. Structured
+  /// impute ops skip JSON entirely; op=json payloads pass through
+  /// HandleLine. Thread-safe, same as HandleLine.
+  std::string HandleFrame(std::string_view payload) EXCLUDES(stats_mu_);
+
   /// Resolves `spec` through the process-wide cache, recording per-model
   /// request stats. Shared with habit_cli serve-from-snapshot, so the CLI
   /// and the server exercise the same resolution path.
@@ -135,9 +155,12 @@ class Server {
   Status Listen(uint16_t port) { return transport_.Listen(port); }
   uint16_t bound_port() const { return transport_.bound_port(); }
 
-  /// The listening socket (-1 before Listen). Exposed so a signal handler
-  /// can shutdown(2) it — the only async-signal-safe way to stop Serve().
+  /// The listening socket (-1 before Listen).
   int listen_fd() const { return transport_.listen_fd(); }
+
+  /// Stop eventfd: a signal handler write(2)s any value here to stop
+  /// Serve() (async-signal-safe, reliably wakes the event loop).
+  int stop_fd() const { return transport_.stop_fd(); }
 
   /// Worker pool size actually in effect (options.threads resolved).
   int workers() const { return pool_.workers(); }
@@ -166,6 +189,14 @@ class Server {
 
   std::string HandleParsed(const Request& request);
   std::string HandleImpute(const Request& request);
+
+  /// The shared impute engine behind both protocols: validation (with the
+  /// JSON path's field naming), spec policy, cache resolution, pool
+  /// dispatch, and stats recording. Returns the per-request results or
+  /// the frame-level rejection status; the caller renders whichever
+  /// wire format its protocol speaks.
+  Result<std::vector<Result<api::ImputeResponse>>> ExecuteImpute(
+      const Request& request) EXCLUDES(stats_mu_);
 
   /// Builds the frame-level error response and counts it in
   /// frames_rejected_ — every ok:false *frame* goes through here, so the
@@ -198,8 +229,9 @@ class Server {
   uint64_t frames_total_ GUARDED_BY(stats_mu_) = 0;
   uint64_t frames_rejected_ GUARDED_BY(stats_mu_) = 0;
 
-  /// Last member: its destructor drains connection threads, which still
-  /// call HandleLine (touching everything above) until they finish.
+  /// Last member: its destructor drains the event loop and every
+  /// in-flight frame, whose handlers (HandleLine/HandleFrame) touch
+  /// everything above until they finish.
   LineTransport transport_;
 };
 

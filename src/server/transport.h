@@ -1,22 +1,36 @@
-// The line-protocol transport layer, factored out of server::Server so
-// every line-serving frontend in the repo — habit_serve's model server
-// and habit_route's shard router — shares ONE hardened implementation of
-// framing, accept-loop, connection draining, and oversized-frame policy.
+// The wire transport layer, factored out of server::Server so every
+// frame-serving frontend in the repo — habit_serve's model server and
+// habit_route's shard router — shares ONE hardened implementation of
+// framing, event loop, connection draining, and oversized-frame policy.
 //
 // A LineTransport is a dumb byte shuttle: it owns the sockets and the
-// newline framing, and delegates every complete frame to the handler
-// hook. Two transports share one dispatch path:
-//   * loopback TCP (thread per connection, detached but counted), and
+// framing (newline-delimited JSON, and — when hooks.handle_frame is set —
+// the length-prefixed binary protocol from server/frame.h, negotiated per
+// connection by the first bytes), and delegates every complete frame to
+// the handler hooks. Two transports share one dispatch path:
+//   * loopback TCP served by a single epoll event loop (level-triggered,
+//     non-blocking fds, per-connection read/write buffers) — idle
+//     connections cost one fd and a small struct, never a thread; and
 //   * a stdin/stdout pipe mode (ServeStream) so tests and CI need no
 //     sockets.
 //
-// The oversized-frame rule is deterministic and shared by both: any frame
-// past max_line_bytes — terminated or not — is answered exactly once and
-// the connection (or stream) stops. Terminated oversized lines flow
-// through the normal handler (which applies its own cap); an unterminated
-// frame already past the cap can never become a valid line, so the
-// transport answers with hooks.oversize() and hangs up rather than
-// buffering unboundedly.
+// Concurrency model: all per-connection state lives on the event-loop
+// thread and is never touched by another thread. Frame handling runs via
+// hooks.submit (the worker pool); the ONLY cross-thread state is the
+// completion queue (ready_/in_flight_, GUARDED_BY mu_) plus an eventfd
+// that wakes the loop when a response is ready. One frame per connection
+// is in flight at a time, so responses come back in request order;
+// reading is disarmed while a frame is being handled or a response is
+// unflushed, which bounds both buffers (backpressure instead of memory).
+//
+// The oversized-frame rule is deterministic and shared by every mode: any
+// frame past max_line_bytes — terminated or not — is answered exactly
+// once and the connection (or stream) stops. Terminated oversized JSON
+// lines flow through the normal handler (which applies its own cap); an
+// unterminated frame already past the cap — or a binary frame whose
+// declared length exceeds it — can never become valid, so the transport
+// answers with hooks.oversize()/hooks.frame_error() and hangs up rather
+// than buffering unboundedly.
 #pragma once
 
 #include <atomic>
@@ -33,23 +47,36 @@
 
 namespace habit::server {
 
-/// \brief The frontend-specific pieces of a line server.
+/// \brief The frontend-specific pieces of a frame server.
 struct TransportHooks {
-  /// The whole request path: one frame in (newline stripped), one
+  /// The whole JSON request path: one frame in (newline stripped), one
   /// response line out (no trailing newline). Must be thread-safe — the
-  /// TCP transport calls it from one thread per connection.
+  /// transport calls it from worker threads (or the loop thread when no
+  /// submit hook is installed).
   std::function<std::string(std::string_view line)> handle;
-  /// Builds the response line for an unterminated frame that overflowed
-  /// max_line_bytes (the callee counts it in its own stats).
+  /// The binary request path: one frame payload in (header stripped), one
+  /// complete encoded response frame out. Non-null enables the binary
+  /// protocol — connections whose first bytes match frame::kMagic are
+  /// served binary, everything else stays JSON.
+  std::function<std::string(std::string_view payload)> handle_frame;
+  /// Builds the response line for an unterminated JSON frame that
+  /// overflowed max_line_bytes (the callee counts it in its own stats).
   std::function<std::string()> oversize;
+  /// Builds the encoded binary error frame for a framing-level violation
+  /// (oversized declared length, bad magic); the callee counts it.
+  std::function<std::string(const Status& error)> frame_error;
+  /// Runs one frame-handling closure asynchronously (the worker pool).
+  /// Non-OK (pool shut down) makes the transport run the closure inline.
+  /// Null runs every frame inline on the event-loop thread.
+  std::function<Status(std::function<void()> work)> submit;
 };
 
-/// \brief Shared line-protocol transport: TCP accept loop + pipe mode.
+/// \brief Shared wire transport: epoll event loop + pipe mode.
 class LineTransport {
  public:
   LineTransport(size_t max_line_bytes, TransportHooks hooks);
 
-  /// Drains connections (Shutdown + wait) before destruction.
+  /// Drains the event loop and in-flight frames before destruction.
   ~LineTransport();
 
   LineTransport(const LineTransport&) = delete;
@@ -58,7 +85,7 @@ class LineTransport {
   /// Serves newline-delimited frames from `in` to `out` until EOF (the
   /// --stdin pipe mode; also the easiest harness for tests). Frames per
   /// character so each frame is answered the moment its newline arrives
-  /// on a still-open pipe.
+  /// on a still-open pipe. JSON only — binary framing needs a socket.
   void ServeStream(std::istream& in, std::ostream& out);
 
   /// Binds a loopback TCP listener. Port 0 picks an ephemeral port
@@ -66,38 +93,47 @@ class LineTransport {
   Status Listen(uint16_t port);
   uint16_t bound_port() const { return bound_port_; }
 
-  /// The listening socket (-1 before Listen). Exposed so a signal handler
-  /// can shutdown(2) it — the only async-signal-safe way to stop Serve().
+  /// The listening socket (-1 before Listen).
   int listen_fd() const { return listen_fd_; }
 
-  /// Accept loop: one detached thread per connection, each reading frames
-  /// and writing responses until the peer closes (connections are
-  /// counted, not kept joinable — 100k short-lived clients must not
-  /// accumulate 100k dead thread stacks). Transient fd exhaustion
-  /// (EMFILE/ENFILE) backs off and retries. Returns after Shutdown()
-  /// once every connection has drained.
-  Status Serve() EXCLUDES(conn_mu_);
+  /// Stop eventfd: writing any value stops Serve(). write(2) is
+  /// async-signal-safe, so THIS is how a signal handler stops the loop
+  /// (shutdown(2) on the listener does not reliably wake epoll).
+  int stop_fd() const { return stop_fd_; }
 
-  /// Stops Serve(): shuts down the listener and every connection socket,
-  /// waking their threads. Safe to call from any thread.
-  void Shutdown() EXCLUDES(conn_mu_);
+  /// The event loop: accepts, reads frames, dispatches them through
+  /// hooks.submit, and writes responses back with EPOLLOUT backpressure.
+  /// Returns after Shutdown() (or a stop_fd() write) once every
+  /// connection fd is closed and every in-flight frame has drained.
+  Status Serve() EXCLUDES(mu_);
+
+  /// Stops Serve() by waking the event loop; it closes the listener and
+  /// every connection. Safe to call from any thread, any number of times.
+  void Shutdown();
 
  private:
-  void ServeConnection(int fd) EXCLUDES(conn_mu_);
+  struct Conn;        // per-connection state, event-loop thread only
+  struct Completion;  // a handled frame's response, crossing back
+  class Loop;         // the epoll loop body (lives in transport.cc)
+  friend class Loop;
 
   size_t max_line_bytes_;
   TransportHooks hooks_;
 
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;      ///< written by Listen() before Serve() runs
+  int wake_fd_ = -1;  ///< eventfd: a completion is ready (ctor-created)
+  int stop_fd_ = -1;  ///< eventfd: stop serving (ctor-created)
   uint16_t bound_port_ = 0;  ///< written by Listen() before Serve() runs
-  /// Guards the connection registry: the accept loop registers fds,
-  /// detached connection threads deregister and decrement, Shutdown
-  /// iterates, and Serve()/the destructor wait for the count to drain.
-  core::Mutex conn_mu_;
-  core::CondVar conn_cv_;  ///< signaled as connections drain
-  size_t active_conns_ GUARDED_BY(conn_mu_) = 0;
-  std::vector<int> conn_fds_ GUARDED_BY(conn_mu_);
+
+  /// Guards the loop/worker handoff: workers push completions and
+  /// decrement in_flight_; the loop swaps ready_ out; Serve() and the
+  /// destructor wait for in_flight_ to drain and serving_ to drop.
+  core::Mutex mu_;
+  core::CondVar cv_;  ///< signaled as frames complete and Serve() exits
+  bool serving_ GUARDED_BY(mu_) = false;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  std::vector<Completion> ready_ GUARDED_BY(mu_);
 };
 
 }  // namespace habit::server

@@ -10,7 +10,10 @@
 // reporting zero races across all of it.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <atomic>
+#include <algorithm>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -24,6 +27,7 @@
 #include "router/manifest.h"
 #include "router/router.h"
 #include "router/shard_builder.h"
+#include "server/line_client.h"
 #include "server/protocol.h"
 #include "server/server.h"
 
@@ -277,6 +281,93 @@ TEST(ServerStressTest, PipelinedClientsOverServeStreamStayCoherent) {
   }
   const api::ModelCache::Stats stats = server.cache().stats();
   EXPECT_EQ(stats.misses, 1u);  // one cold load across the whole storm
+  std::remove(snapshot.c_str());
+}
+
+TEST(ServerStressTest, ManyIdleConnectionsPlusActiveClientsSoak) {
+  // The ingest-traffic shape the epoll transport exists for: thousands of
+  // connected-but-idle sockets (each costs one fd and a small struct —
+  // never a thread) while a band of active clients hammers mixed JSON and
+  // binary traffic. Under TSan this drives the loop/worker completion
+  // handoff, the negotiation path, and shutdown with a full house.
+  rlimit limit{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &limit), 0);
+  limit.rlim_cur = std::min<rlim_t>(limit.rlim_max, 24576);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &limit), 0);
+  // Both endpoints live in this process: every idle connection costs two
+  // fds (the client socket and the accepted server socket), plus slack
+  // for the active band, the snapshot, and the suite's own fds.
+  const size_t idle_target =
+      limit.rlim_cur > 800
+          ? std::min<size_t>((limit.rlim_cur - 600) / 2, 10000)
+          : 100;
+
+  const std::string snapshot = TmpPath("concurrency_stress_soak.snap");
+  ASSERT_TRUE(api::MakeModel("habit:r=8,save=" + snapshot, MakeTrips()).ok());
+  const std::string load_spec = "habit:load=" + snapshot;
+
+  server::ServerOptions options;
+  options.cache_bytes = 1ull << 30;
+  options.threads = 4;
+  options.max_batch = 64;
+  server::Server server(options);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serve_thread([&server] { ASSERT_TRUE(server.Serve().ok()); });
+
+  // Park the idle fleet. Some park mid-frame (a partial binary header)
+  // so shutdown also covers half-negotiated connections.
+  server::ClientOptions idle_options;
+  idle_options.connect_timeout_ms = 10000;
+  idle_options.io_timeout_ms = 30000;  // a hang here should fail, not wedge
+  std::vector<std::unique_ptr<server::LineClient>> idle;
+  idle.reserve(idle_target);
+  for (size_t i = 0; i < idle_target; ++i) {
+    auto client = std::make_unique<server::LineClient>(server.bound_port(),
+                                                       idle_options);
+    if (!client->connected()) break;  // fd budget tighter than probed
+    if (i % 1000 == 0) ASSERT_TRUE(client->SendRaw("HB"));
+    idle.push_back(std::move(client));
+  }
+  ASSERT_GE(idle.size(), idle_target / 2) << "could not park idle fleet";
+
+  // The active band: 64 clients, mixed protocols, real deadlines — an
+  // idle-swamped server must still answer promptly.
+  const std::string line = server::EncodeImputeRequest(load_spec,
+                                                       LaneRequest());
+  constexpr int kActive = 64;
+  constexpr int kCallsPerClient = 6;
+  std::vector<char> ok(kActive, 0);
+  std::vector<std::thread> active;
+  for (int c = 0; c < kActive; ++c) {
+    active.emplace_back([&, c] {
+      server::ClientOptions client_options;
+      client_options.connect_timeout_ms = 10000;
+      client_options.io_timeout_ms = 30000;
+      client_options.binary = (c % 2 == 0);
+      server::LineClient client(server.bound_port(), client_options);
+      if (!client.connected()) return;
+      std::string first;
+      if (!client.Call(line, &first) || first.empty()) return;
+      for (int k = 1; k < kCallsPerClient; ++k) {
+        std::string again;
+        if (!client.Call(line, &again) || again != first) return;
+      }
+      ok[static_cast<size_t>(c)] = 1;
+    });
+  }
+  for (std::thread& t : active) t.join();
+  for (int c = 0; c < kActive; ++c) {
+    EXPECT_TRUE(ok[static_cast<size_t>(c)]) << "active client " << c;
+  }
+
+  // Shutdown with the idle fleet still parked: every fd closes, the loop
+  // drains, Serve returns OK.
+  server.Shutdown();
+  serve_thread.join();
+  for (auto& client : idle) {
+    std::string discard;
+    EXPECT_FALSE(client->ReadLine(&discard));
+  }
   std::remove(snapshot.c_str());
 }
 

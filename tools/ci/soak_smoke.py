@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Transport soak smoke: a habit_serve under thousands of idle connections
+must still answer a busy client within a deadline, over both protocols.
+
+    python3 tools/ci/soak_smoke.py PORT IDLE DEADLINE_SECONDS
+
+Parks IDLE connected-but-silent sockets (every 1000th stops mid-frame: a
+partial binary magic, the half-negotiated state shutdown must also cover),
+then drives one busy JSON client and one busy binary client through the
+same impute request and requires:
+
+  * both answer within DEADLINE_SECONDS wall clock for the whole band;
+  * the binary results frame decodes to EXACTLY the doubles and
+    timestamps the JSON line carries (doubles travel bit-exact on the
+    binary path and Json::Dump renders shortest-round-trip form, so
+    float() on the JSON text reproduces the same double — any mismatch
+    means one path corrupted a value).
+
+This is an independent reimplementation of the frame layout in
+src/server/frame.h — if the C++ encoder drifts from the documented wire
+format, this script fails, which is the point.
+"""
+
+import json
+import socket
+import struct
+import sys
+import time
+
+MAGIC = 0x46544248
+REQUEST = {
+    "gap_start": {"lat": 54.40, "lng": 10.22},
+    "gap_end": {"lat": 54.52, "lng": 10.30},
+    "t_start": 0,
+    "t_end": 3600,
+}
+
+
+def impute_frame(model: str) -> bytes:
+    """One op=impute request frame (header included), n=1 SoA layout."""
+    payload = struct.pack("<I", 4)  # op=impute
+    payload += struct.pack("<B", 0)  # id: absent
+    payload += struct.pack("<I", len(model)) + model.encode()
+    payload += struct.pack("<I", 1)  # n=1
+    payload += struct.pack("<d", REQUEST["gap_start"]["lat"])
+    payload += struct.pack("<d", REQUEST["gap_start"]["lng"])
+    payload += struct.pack("<d", REQUEST["gap_end"]["lat"])
+    payload += struct.pack("<d", REQUEST["gap_end"]["lng"])
+    payload += struct.pack("<q", REQUEST["t_start"])
+    payload += struct.pack("<q", REQUEST["t_end"])
+    payload += struct.pack("<B", 0xFF)  # vessel_type: absent
+    payload += struct.pack("<B", 0)  # has_vessel: no
+    payload += struct.pack("<q", 0)  # vessel_id: unused
+    return struct.pack("<II", MAGIC, len(payload)) + payload
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise SystemExit("FAIL: server closed the connection mid-read")
+        buf += chunk
+    return buf
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    magic, length = struct.unpack("<II", recv_exact(sock, 8))
+    if magic != MAGIC:
+        raise SystemExit(f"FAIL: bad response magic {magic:#x}")
+    return recv_exact(sock, length)
+
+
+def decode_results(payload: bytes):
+    """Decodes a tag=results response into (path, timestamps, expanded)."""
+    off = 0
+    (tag,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    if tag != 2:
+        raise SystemExit(f"FAIL: expected tag=results, got {tag}: {payload!r}")
+    (id_kind,) = struct.unpack_from("<B", payload, off)
+    off += 1
+    if id_kind == 1:
+        off += 8
+    elif id_kind == 2:
+        (id_len,) = struct.unpack_from("<I", payload, off)
+        off += 4 + id_len
+    is_batch, count = struct.unpack_from("<BI", payload, off)
+    off += 5
+    if is_batch != 0 or count != 1:
+        raise SystemExit(f"FAIL: expected one non-batch result, got "
+                         f"is_batch={is_batch} count={count}")
+    (ok,) = struct.unpack_from("<B", payload, off)
+    off += 1
+    if ok != 1:
+        code, msg_len = struct.unpack_from("<II", payload, off)
+        msg = payload[off + 8:off + 8 + msg_len].decode()
+        raise SystemExit(f"FAIL: binary result not ok (code {code}): {msg}")
+    (points,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    path = []
+    for _ in range(points):
+        lat, lng = struct.unpack_from("<dd", payload, off)
+        off += 16
+        path.append([lat, lng])
+    (stamps,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    timestamps = list(struct.unpack_from(f"<{stamps}q", payload, off))
+    off += 8 * stamps
+    (expanded,) = struct.unpack_from("<Q", payload, off)
+    return path, timestamps, expanded
+
+
+def connect(port: int, timeout: float = 10.0) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(("127.0.0.1", port))
+    return sock
+
+
+def main() -> int:
+    port, idle_target, deadline = (int(sys.argv[1]), int(sys.argv[2]),
+                                   float(sys.argv[3]))
+    model = sys.argv[4] if len(sys.argv) > 4 else "habit:load=/tmp/kiel.snap"
+
+    # Wait for the server to come up.
+    for _ in range(300):
+        try:
+            connect(port, timeout=1.0).close()
+            break
+        except OSError:
+            time.sleep(0.1)
+    else:
+        raise SystemExit("FAIL: server never started listening")
+
+    # Park the idle fleet. fd exhaustion ends parking early but the smoke
+    # still demands at least half the requested swamp.
+    idle = []
+    try:
+        for i in range(idle_target):
+            sock = connect(port)
+            if i % 1000 == 0:
+                sock.sendall(b"HB")  # parked mid-frame: a partial magic
+            idle.append(sock)
+    except OSError as error:
+        print(f"note: parked {len(idle)}/{idle_target} before {error}")
+    if len(idle) < idle_target // 2:
+        raise SystemExit(f"FAIL: only parked {len(idle)}/{idle_target}")
+    print(f"parked {len(idle)} idle connections")
+
+    started = time.monotonic()
+    line = json.dumps({"op": "impute", "model": model,
+                       "request": REQUEST}).encode() + b"\n"
+    json_sock = connect(port, timeout=deadline)
+    json_sock.sendall(line)
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = json_sock.recv(65536)
+        if not chunk:
+            raise SystemExit("FAIL: server closed on the JSON client")
+        buf += chunk
+    json_frame = json.loads(buf.decode())
+    if not json_frame.get("ok"):
+        raise SystemExit(f"FAIL: JSON response not ok: {json_frame}")
+
+    bin_sock = connect(port, timeout=deadline)
+    bin_sock.sendall(impute_frame(model))
+    path, timestamps, expanded = decode_results(read_frame(bin_sock))
+    elapsed = time.monotonic() - started
+
+    # Exact comparison: both sides carry the same IEEE doubles.
+    if path != json_frame["path"]:
+        raise SystemExit(f"FAIL: paths differ\n json:   "
+                         f"{json_frame['path']}\n binary: {path}")
+    if timestamps != json_frame["timestamps"]:
+        raise SystemExit(f"FAIL: timestamps differ\n json:   "
+                         f"{json_frame['timestamps']}\n binary: {timestamps}")
+    if expanded != json_frame["expanded"]:
+        raise SystemExit(f"FAIL: expanded differs: json "
+                         f"{json_frame['expanded']} vs binary {expanded}")
+    if elapsed > deadline:
+        raise SystemExit(f"FAIL: busy band took {elapsed:.2f}s under "
+                         f"{len(idle)} idle connections "
+                         f"(deadline {deadline:.0f}s)")
+    print(f"JSON == binary over {len(path)} points under {len(idle)} idle "
+          f"connections in {elapsed:.2f}s")
+    for sock in idle:
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,12 @@ rule name is shown in the violation message):
   snapshot-const The snapshot magic/version constants live ONLY in
                graph/snapshot.{h,cc}; a second definition is how two
                readers drift apart.
+  socket-io    Raw ::recv/::send/::read/::write (and the *msg/*from
+               variants) only inside src/server/transport.cc, frame.cc,
+               and line_client.h. Everything else goes through
+               LineTransport / LineClient, so framing, deadlines, and
+               shutdown stay in one place. Waivable for non-socket fds
+               (eventfd wakes, /proc reads).
 
 Exit status: 0 clean, 1 violations (listed file:line: rule: message).
 """
@@ -52,6 +58,8 @@ SYNC_EXEMPT = {"src/core/sync.h", "src/core/thread_annotations.h"}
 RNG_EXEMPT = {"src/core/rng.h"}
 PARSE_EXEMPT = {"src/core/parse.h"}
 SNAPSHOT_CONST_HOME = {"src/graph/snapshot.h", "src/graph/snapshot.cc"}
+SOCKET_IO_HOME = {"src/server/transport.cc", "src/server/frame.cc",
+                  "src/server/line_client.h"}
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*([\w-]+)\(")
 
@@ -206,6 +214,22 @@ class Linter:
                 "instead of redefining",
                 raw_lines)
 
+    def check_socket_io(self, path: Path, rel: str, code: str,
+                        raw_lines: list[str]) -> None:
+        if rel in SOCKET_IO_HOME:
+            return
+        for m in re.finditer(
+                r"::\s*(recv|send|recvfrom|sendto|recvmsg|sendmsg|read|"
+                r"write)\s*\(", code):
+            line_no = code.count("\n", 0, m.start()) + 1
+            self.report(
+                path, line_no, "socket-io",
+                f"raw ::{m.group(1)} outside src/server/{{transport.cc,"
+                "frame.cc,line_client.h} bypasses framing, deadlines, and "
+                "shutdown; go through LineTransport / LineClient (waive "
+                "for non-socket fds)",
+                raw_lines)
+
     def check_bench_metric(self, path: Path, text: str,
                            raw_lines: list[str]) -> None:
         for m in re.finditer(r'"BENCH_METRIC', text):
@@ -284,6 +308,7 @@ class Linter:
         self.check_raw_parse(path, rel, code, raw_lines)
         self.check_graph_function(path, rel, code, raw_lines)
         self.check_snapshot_constants(path, rel, code, raw_lines)
+        self.check_socket_io(path, rel, code, raw_lines)
         self.check_bench_metric(path, text, raw_lines)
 
 
