@@ -35,10 +35,20 @@
 //       list the methods the registry knows
 //   stats <ais.csv>
 //       print cleaning / segmentation statistics for a feed
+//   ingest-lines <ais.csv> [batch]
+//       clean + segment an AIS CSV exactly like `build`, then print the
+//       trips as `{"op":"ingest",...}` protocol lines (batched, default
+//       256 trips per frame) for piping into a live-ingest habit_serve:
+//         habit_cli ingest-lines feed.csv | habit_serve --stdin \
+//             --ingest-spec habit:r=9
+//       follow with '{"op":"rollover"}' to make the staged trips
+//       servable (see README "Live ingest & epoch rollover")
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "ais/io.h"
 #include "ais/segment.h"
@@ -411,6 +421,41 @@ int CmdEval(int argc, char** argv) {
   return 0;
 }
 
+int CmdIngestLines(int argc, char** argv) {
+  constexpr char kUsage[] = "habit_cli ingest-lines <ais.csv> [batch]";
+  if (argc < 1 || argc > 2) {
+    return UsageError(Status::InvalidArgument("expected 1-2 arguments"),
+                      kUsage);
+  }
+  size_t batch = 256;
+  if (argc == 2) {
+    const auto parsed = ParseArgInt(argv[1], "batch");
+    if (!parsed.ok()) return UsageError(parsed.status(), kUsage);
+    if (parsed.value() < 1) {
+      return UsageError(Status::InvalidArgument("batch must be >= 1"),
+                        kUsage);
+    }
+    batch = static_cast<size_t>(parsed.value());
+  }
+  size_t skipped = 0;
+  auto records = ais::ReadAisCsv(argv[0], &skipped);
+  if (!records.ok()) return Fail(records.status());
+  const std::vector<ais::Trip> trips =
+      ais::PreprocessAndSegment(records.value());
+  size_t frames = 0;
+  for (size_t i = 0; i < trips.size(); i += batch) {
+    const size_t n = std::min(trips.size() - i, batch);
+    std::printf("%s\n",
+                server::EncodeIngestRequest({trips.data() + i, n}).c_str());
+    ++frames;
+  }
+  std::fprintf(stderr,
+               "ingest-lines: %zu trips from %zu records (%zu rows "
+               "skipped) in %zu frames\n",
+               trips.size(), records.value().size(), skipped, frames);
+  return 0;
+}
+
 int CmdMethods() {
   const api::ModelRegistry& registry = api::ModelRegistry::Global();
   for (const std::string& name : registry.MethodNames()) {
@@ -427,7 +472,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "habit_cli — HABIT vessel-trajectory imputation toolkit\n"
                  "commands: simulate | stats | build | impute | snapshot | "
-                 "shard-build | serve-from-snapshot | eval | methods\n");
+                 "shard-build | serve-from-snapshot | eval | methods | "
+                 "ingest-lines\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -442,6 +488,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
   if (cmd == "methods") return CmdMethods();
+  if (cmd == "ingest-lines") return CmdIngestLines(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -12,6 +12,8 @@
 //
 //   habit_serve [--port N] [--cache-bytes N] [--threads N]
 //               [--max-batch N] [--preload SPEC]... [--stdin]
+//               [--ingest-spec SPEC] [--ingest-base CSV]
+//               [--epoch-trips N] [--epoch-seconds S]
 //
 //   --port N         TCP port to listen on (loopback; 0 = ephemeral,
 //                    default 7411)
@@ -21,6 +23,17 @@
 //   --max-batch N    per-frame request cap (default 4096)
 //   --preload SPEC   resolve SPEC at startup (warm the cache before the
 //                    first request; repeatable)
+//   --ingest-spec SPEC   enable live ingest: serve SPEC (a trips-built
+//                        spec, e.g. "habit:r=9") from the epoch
+//                        pipeline's cumulative trip set and accept the
+//                        `ingest`/`rollover` ops (see api/epoch.h)
+//   --ingest-base CSV    seed epoch 0 from an AIS CSV (cleaned and
+//                        segmented exactly like the offline pipeline);
+//                        without it the live spec has no data until the
+//                        first ingest + rollover
+//   --epoch-trips N      auto-rollover once N trips are pending
+//   --epoch-seconds S    auto-rollover S seconds after the first pending
+//                        trip (explicit `rollover` ops always work)
 //
 // Example session:
 //   $ habit_serve --port 7411 --cache-bytes 2147483648 &
@@ -37,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "ais/io.h"
+#include "ais/segment.h"
 #include "core/parse.h"
 #include "server/server.h"
 
@@ -61,7 +76,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: habit_serve [--port N] [--cache-bytes N] "
                "[--threads N] [--max-batch N]\n"
-               "                   [--preload SPEC]... [--stdin]\n");
+               "                   [--preload SPEC]... [--stdin]\n"
+               "                   [--ingest-spec SPEC] [--ingest-base CSV]\n"
+               "                   [--epoch-trips N] [--epoch-seconds S]\n");
   return 2;
 }
 
@@ -77,6 +94,8 @@ int main(int argc, char** argv) {
   bool use_stdin = false;
   int64_t port = 7411;
   std::vector<std::string> preload;
+  api::EpochPipeline::Options ingest;
+  std::string ingest_base;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,13 +154,70 @@ int main(int argc, char** argv) {
       const char* v = next("--preload");
       if (v == nullptr) return Usage();
       preload.push_back(v);
+    } else if (arg == "--ingest-spec") {
+      const char* v = next("--ingest-spec");
+      if (v == nullptr) return Usage();
+      ingest.spec = v;
+    } else if (arg == "--ingest-base") {
+      const char* v = next("--ingest-base");
+      if (v == nullptr) return Usage();
+      ingest_base = v;
+    } else if (arg == "--epoch-trips") {
+      const char* v = next("--epoch-trips");
+      if (v == nullptr) return Usage();
+      const auto parsed = core::ParseInt64(v);
+      if (!parsed.ok() || parsed.value() < 1) {
+        return BadFlag("--epoch-trips",
+                       parsed.ok() ? Status::InvalidArgument("must be >= 1")
+                                   : parsed.status());
+      }
+      ingest.epoch_trips = static_cast<uint64_t>(parsed.value());
+    } else if (arg == "--epoch-seconds") {
+      const char* v = next("--epoch-seconds");
+      if (v == nullptr) return Usage();
+      const auto parsed = core::ParseDouble(v);
+      if (!parsed.ok() || parsed.value() <= 0) {
+        return BadFlag("--epoch-seconds",
+                       parsed.ok() ? Status::InvalidArgument("must be > 0")
+                                   : parsed.status());
+      }
+      ingest.epoch_seconds = parsed.value();
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return Usage();
     }
   }
 
+  if (ingest.spec.empty() &&
+      (!ingest_base.empty() || ingest.epoch_trips > 0 ||
+       ingest.epoch_seconds > 0)) {
+    std::fprintf(stderr,
+                 "error: --ingest-base/--epoch-trips/--epoch-seconds need "
+                 "--ingest-spec\n");
+    return 2;
+  }
+
   server::Server server(options);
+
+  if (!ingest.spec.empty()) {
+    std::vector<ais::Trip> base;
+    if (!ingest_base.empty()) {
+      size_t skipped = 0;
+      auto records = ais::ReadAisCsv(ingest_base, &skipped);
+      if (!records.ok()) return BadFlag("--ingest-base", records.status());
+      base = ais::PreprocessAndSegment(records.value());
+      std::fprintf(stderr,
+                   "ingest base: %zu trips from %zu records (%zu rows "
+                   "skipped)\n",
+                   base.size(), records.value().size(), skipped);
+    }
+    const size_t base_trips = base.size();
+    const Status enabled = server.EnableIngest(ingest, std::move(base));
+    if (!enabled.ok()) return BadFlag("--ingest-spec", enabled);
+    std::fprintf(stderr,
+                 "live ingest enabled: spec=%s epoch 0 has %zu trips\n",
+                 server.epoch_pipeline()->spec_string().c_str(), base_trips);
+  }
 
   for (const std::string& spec_str : preload) {
     auto spec = api::MethodSpec::Parse(spec_str);

@@ -69,6 +69,28 @@ Result<std::string> ModelCache::CacheKey(const MethodSpec& spec,
   return key;
 }
 
+std::string ModelCache::TripsKeySuffix(const std::vector<ais::Trip>& trips) {
+  if (trips.empty()) return "";
+  return HexSuffix('t', FingerprintTrips(trips));
+}
+
+size_t ModelCache::EraseKeysWithSuffix(const std::string& suffix) {
+  if (suffix.empty()) return 0;
+  size_t erased = 0;
+  core::MutexLock lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.ends_with(suffix)) {
+      total_bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
 Result<std::shared_ptr<const ImputationModel>> ModelCache::Get(
     const MethodSpec& spec, const std::vector<ais::Trip>& trips) {
   HABIT_ASSIGN_OR_RETURN(const std::string key, CacheKey(spec, trips));

@@ -96,6 +96,18 @@ class ModelCache {
   size_t num_models() const EXCLUDES(mu_);  ///< entries currently cached
   Stats stats() const EXCLUDES(mu_);
 
+  /// The "@t<hex>" fingerprint suffix trips-built keys carry for this
+  /// training set ("" for an empty set, which is never suffixed). The
+  /// epoch pipeline retires a superseded epoch by erasing its suffix:
+  /// every spec resolved against that epoch's trips shares it.
+  static std::string TripsKeySuffix(const std::vector<ais::Trip>& trips);
+
+  /// Drops every cached entry whose key ends with `suffix` (no-op for an
+  /// empty suffix). Handles already handed out stay valid — an old-epoch
+  /// reader keeps its model until the last shared_ptr drops. Returns the
+  /// number of entries dropped.
+  size_t EraseKeysWithSuffix(const std::string& suffix) EXCLUDES(mu_);
+
   /// Drops every cached entry (in-flight handles stay valid).
   void Clear() EXCLUDES(mu_);
 

@@ -20,6 +20,7 @@
 // attributes vanish off-Clang (core/thread_annotations.h).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -79,6 +80,16 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // still locked; ownership stays with the caller
+  }
+
+  /// Wait with a deadline: returns false on timeout, true when notified.
+  /// Same contract as Wait — spurious wakeups happen, callers re-check
+  /// their condition in an explicit loop either way.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // still locked; ownership stays with the caller
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,98 @@
+#include "graph/delta.h"
+
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <utility>
+
+namespace habit::graph {
+
+namespace {
+
+size_t TripBytes(const ais::Trip& trip) {
+  return sizeof(ais::Trip) + trip.points.size() * sizeof(ais::AisRecord);
+}
+
+Status PointError(size_t index, const char* what) {
+  return Status::InvalidArgument("points[" + std::to_string(index) + "] " +
+                                 what);
+}
+
+}  // namespace
+
+void GraphDelta::NoteBaseTrips(const std::vector<ais::Trip>& base) {
+  for (const ais::Trip& trip : base) seen_ids_.insert(trip.trip_id);
+}
+
+Status GraphDelta::Validate(const ais::Trip& trip) const {
+  if (trip.trip_id <= 0) {
+    return Status::InvalidArgument("trip_id must be positive");
+  }
+  if (seen_ids_.contains(trip.trip_id)) {
+    return Status::AlreadyExists("trip_id " + std::to_string(trip.trip_id) +
+                                 " is already part of the cumulative set");
+  }
+  if (trip.points.size() < 2) {
+    return Status::InvalidArgument("a trip needs at least 2 points");
+  }
+  for (size_t i = 0; i < trip.points.size(); ++i) {
+    const ais::AisRecord& r = trip.points[i];
+    if (!std::isfinite(r.pos.lat) || !std::isfinite(r.pos.lng)) {
+      return PointError(i, "has a non-finite coordinate");
+    }
+    if (r.pos.lat < -90.0 || r.pos.lat > 90.0 || r.pos.lng < -180.0 ||
+        r.pos.lng > 180.0) {
+      return PointError(i, "is outside lat [-90,90] / lng [-180,180]");
+    }
+    if (!std::isfinite(r.sog) || !std::isfinite(r.cog)) {
+      return PointError(i, "has a non-finite sog/cog");
+    }
+    if (i > 0 && r.ts <= trip.points[i - 1].ts) {
+      return PointError(i, "breaks strictly increasing timestamps");
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphDelta::Add(ais::Trip trip) {
+  HABIT_RETURN_NOT_OK(Validate(trip));
+  seen_ids_.insert(trip.trip_id);
+  pending_points_ += trip.points.size();
+  pending_bytes_ += TripBytes(trip);
+  ++accepted_total_;
+  pending_.push_back(std::move(trip));
+  return Status::OK();
+}
+
+void GraphDelta::Requeue(std::vector<ais::Trip> trips) {
+  if (trips.empty()) return;
+  for (const ais::Trip& trip : trips) {
+    pending_points_ += trip.points.size();
+    pending_bytes_ += TripBytes(trip);
+  }
+  // Drained trips come back at the FRONT: a later partial drain must not
+  // reorder them behind trips ingested during the failed build.
+  trips.insert(trips.end(), std::make_move_iterator(pending_.begin()),
+               std::make_move_iterator(pending_.end()));
+  pending_ = std::move(trips);
+}
+
+std::vector<ais::Trip> GraphDelta::Drain() {
+  std::vector<ais::Trip> out;
+  out.swap(pending_);
+  pending_points_ = 0;
+  pending_bytes_ = 0;
+  return out;
+}
+
+std::vector<ais::Trip> MergeEpochTrips(const std::vector<ais::Trip>& base,
+                                       std::vector<ais::Trip> delta) {
+  std::vector<ais::Trip> merged;
+  merged.reserve(base.size() + delta.size());
+  merged.insert(merged.end(), base.begin(), base.end());
+  merged.insert(merged.end(), std::make_move_iterator(delta.begin()),
+                std::make_move_iterator(delta.end()));
+  return merged;
+}
+
+}  // namespace habit::graph

@@ -1,0 +1,78 @@
+// GraphDelta: the accumulation half of the epoch pipeline. While serving
+// continues on the current frozen CompactGraph, incoming trip deltas are
+// validated and staged here; on an epoch boundary the builder drains the
+// pending set, merges it with the served epoch's cumulative trips
+// (MergeEpochTrips), and re-freezes.
+//
+// Why the re-freeze entry point takes the *cumulative* trip set: HABIT's
+// per-node attributes (median speed/course, distinct-vessel counts) are
+// order-sensitive group-by aggregates over every training trip — two
+// frozen halves cannot be merged without keeping the raw samples around.
+// Rebuilding from base + delta in original ingest order therefore IS the
+// incremental re-freeze: it is O(total) once per epoch on the builder
+// thread (never the serving path), accumulation stays O(delta), and the
+// post-rollover model is byte-identical to a cold build on the same
+// cumulative set by construction — the property the epoch tests and the
+// CI ingest smoke assert.
+//
+// Thread safety: none here. The owner (api::EpochPipeline) declares its
+// GraphDelta GUARDED_BY its mutex; keeping this class lock-free lets the
+// Clang thread-safety analysis check every access site in the owner.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ais/ais.h"
+#include "core/status.h"
+
+namespace habit::graph {
+
+/// \brief Validated staging area for trip deltas between epoch freezes.
+class GraphDelta {
+ public:
+  /// Registers the base epoch's trip ids so a delta re-sending an already
+  /// trained trip is rejected instead of silently double-counted.
+  void NoteBaseTrips(const std::vector<ais::Trip>& base);
+
+  /// Validates one candidate delta against the cumulative id set and the
+  /// data invariants every trained trip satisfies: positive fresh trip_id,
+  /// >= 2 points, finite in-range coordinates, finite sog/cog, strictly
+  /// increasing timestamps. Does not modify the delta.
+  Status Validate(const ais::Trip& trip) const;
+
+  /// Validate + stage. The error cases are exactly Validate's.
+  Status Add(ais::Trip trip);
+
+  /// Re-stages trips drained by a build that then failed, at the front of
+  /// the pending queue (ingest order is part of the model's identity).
+  /// Skips validation: the ids are already in the cumulative set.
+  void Requeue(std::vector<ais::Trip> trips);
+
+  /// Moves the pending set out in ingest order. Accepted ids stay
+  /// registered — they are about to become part of the cumulative set.
+  std::vector<ais::Trip> Drain();
+
+  size_t pending_trips() const { return pending_.size(); }
+  size_t pending_points() const { return pending_points_; }
+  /// Rough heap charge of the pending set (backlog cap enforcement).
+  size_t pending_bytes() const { return pending_bytes_; }
+  /// Total trips accepted since construction (monotone across drains).
+  uint64_t accepted_total() const { return accepted_total_; }
+
+ private:
+  std::unordered_set<int64_t> seen_ids_;  ///< base + every accepted delta
+  std::vector<ais::Trip> pending_;        ///< ingest order
+  size_t pending_points_ = 0;
+  size_t pending_bytes_ = 0;
+  uint64_t accepted_total_ = 0;
+};
+
+/// The next epoch's cumulative training set: the served base followed by
+/// the drained delta, both in original ingest order (see the file comment
+/// for why this concatenation is the re-freeze input).
+std::vector<ais::Trip> MergeEpochTrips(const std::vector<ais::Trip>& base,
+                                       std::vector<ais::Trip> delta);
+
+}  // namespace habit::graph

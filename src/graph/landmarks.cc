@@ -1,6 +1,7 @@
 #include "graph/landmarks.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -147,6 +148,19 @@ void PrepareAltQuery(const CompactGraph& g,
   alt.upper = kInf;
   alt.dense = k <= kMaxActiveLandmarks && k > 0;
   if (k == 0 || targets.empty()) return;
+
+  // Arm the probe-to-replay bound memo for this query: size once per
+  // graph, then one generation bump invalidates every stale entry (the
+  // same stamp discipline as the search arrays — no clearing).
+  if (alt.bound_stamp.size() < g.num_nodes()) {
+    alt.bound_cache.resize(g.num_nodes());
+    alt.bound_stamp.resize(g.num_nodes(), 0);
+  }
+  if (alt.bound_generation == UINT32_MAX) {  // wraparound: hard reset
+    std::fill(alt.bound_stamp.begin(), alt.bound_stamp.end(), 0);
+    alt.bound_generation = 0;
+  }
+  ++alt.bound_generation;
 
   // Aggregate each landmark's bound ingredients over the target set: the
   // from-bound needs min over targets of dist(L, t), the to-bound max over

@@ -101,45 +101,55 @@ void PrepareAltQuery(const CompactGraph& g,
 /// \brief The ALT lower bound on the cost from a node to the query's
 /// target set, reading the state PrepareAltQuery left in the scratch.
 /// Admissible and consistent for honest landmark data; 0 when no landmark
-/// says anything (the zero-heuristic degradation).
+/// says anything (the zero-heuristic degradation). Evaluations memoize
+/// into the scratch's generation-stamped bound cache, so the corridor
+/// replay reuses the probe's frontier evaluations instead of re-scanning
+/// the landmark rows (AltState is fixed per query — the memo cannot
+/// change any value, only skip recomputing it).
 class LandmarkHeuristic {
  public:
-  LandmarkHeuristic(const CompactGraph& g, const SearchScratch& scratch)
+  LandmarkHeuristic(const CompactGraph& g, SearchScratch& scratch)
       : g_(&g), alt_(&scratch.alt) {}
 
   double operator()(NodeIndex u) const {
+    SearchScratch::AltState& alt = *alt_;
+    if (alt.bound_stamp[u] == alt.bound_generation) {
+      return alt.bound_cache[u];
+    }
     double best = 0.0;
     const std::span<const double> from_row = g_->LandmarkFrom(u);
     const std::span<const double> to_row = g_->LandmarkTo(u);
-    const size_t m = alt_->active.size();
+    const size_t m = alt.active.size();
     // Infinities never poison the result: from_min is -inf when no target
     // is reachable from landmark l (sentineled in PrepareAltQuery), making
     // the f-term -inf, and a vacuous to-bound yields -inf or NaN — both
     // rejected by the strict > comparison.
-    if (alt_->dense) {
+    if (alt.dense) {
       // active == identity over all stored landmarks: scan the rows
       // linearly, no index indirection. std::max keeps its first argument
       // on a NaN second argument, so the accumulation is branch-free and
       // the compiler can keep it in vector registers.
       for (size_t l = 0; l < m; ++l) {
-        best = std::max(best, alt_->from_min[l] - from_row[l]);
-        best = std::max(best, to_row[l] - alt_->to_max[l]);
+        best = std::max(best, alt.from_min[l] - from_row[l]);
+        best = std::max(best, to_row[l] - alt.to_max[l]);
       }
     } else {
       for (size_t i = 0; i < m; ++i) {
-        const uint32_t l = alt_->active[i];
-        const double f = alt_->from_min[i] - from_row[l];
+        const uint32_t l = alt.active[i];
+        const double f = alt.from_min[i] - from_row[l];
         if (f > best) best = f;
-        const double t = to_row[l] - alt_->to_max[i];
+        const double t = to_row[l] - alt.to_max[i];
         if (t > best) best = t;
       }
     }
+    alt.bound_cache[u] = best;
+    alt.bound_stamp[u] = alt.bound_generation;
     return best;
   }
 
  private:
   const CompactGraph* g_;
-  const SearchScratch::AltState* alt_;
+  SearchScratch::AltState* alt_;
 };
 
 /// \brief The ALT corridor search: the baseline zero-heuristic search,

@@ -52,6 +52,17 @@ struct SearchScratch {
     /// bound evaluation then scans the distance rows linearly (one cache
     /// line per direction at k = 8) instead of through the index vector.
     bool dense = false;
+    /// Probe-to-replay bound memo: the weighted-A* probe and the pruned
+    /// replay evaluate the SAME per-node lower bound (AltState is fixed
+    /// for the whole query), so values the probe computed are stamped
+    /// here and returned verbatim by the replay — output-invariant by
+    /// construction, the replay just skips the landmark-row scans for
+    /// every node the probe's frontier already touched. Generation-
+    /// stamped like the search arrays: PrepareAltQuery bumps the
+    /// generation once per query instead of clearing.
+    std::vector<double> bound_cache;
+    std::vector<uint32_t> bound_stamp;  ///< valid iff == bound_generation
+    uint32_t bound_generation = 0;
   };
   AltState alt;
 

@@ -188,6 +188,9 @@ std::string Router::HandleLine(std::string_view line) {
             request.id);
       }
       return HandleImpute(request);
+    case Request::Op::kIngest:
+    case Request::Op::kRollover:
+      return HandleIngest(request);
   }
   return server::ErrorResponseLine(Status::Internal("unhandled op"));
 }
@@ -304,6 +307,188 @@ Router::GroupOutcome Router::ExecuteGroup(
     errors.push_back(std::move(err));
   }
   return {std::move(errors), "unavailable"};
+}
+
+Result<Router::IngestAck> Router::ForwardIngestFrame(
+    const ShardRuntime& runtime, const std::string& frame) {
+  auto response = runtime.backend->Call(frame);
+  if (!response.ok()) return response.status();
+  auto parsed = Json::Parse(response.value());
+  if (!parsed.ok()) {
+    return Status::Internal(runtime.backend->Describe() +
+                            " answered with a non-protocol line: " +
+                            parsed.status().message());
+  }
+  const Json* ok = parsed.value().Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::Internal(runtime.backend->Describe() +
+                            " answered with a non-protocol frame");
+  }
+  if (!ok->bool_value()) {
+    // A backend started without --ingest-spec rejects the forward here
+    // ("ingest is not enabled ..."); surface its own words.
+    const Json* error = parsed.value().Find("error");
+    const Json* message =
+        error != nullptr ? error->Find("message") : nullptr;
+    return Status::Internal(
+        runtime.backend->Describe() + " rejected the forward: " +
+        (message != nullptr && message->is_string() ? message->string_value()
+                                                    : "unknown error"));
+  }
+  const Json* epoch = parsed.value().Find("epoch");
+  const Json* accepted = parsed.value().Find("accepted");
+  const Json* pending = parsed.value().Find("pending");
+  if (epoch == nullptr || !epoch->is_number() || accepted == nullptr ||
+      !accepted->is_number() || pending == nullptr ||
+      !pending->is_number()) {
+    return Status::Internal(runtime.backend->Describe() +
+                            " acked without epoch/accepted/pending");
+  }
+  IngestAck ack;
+  ack.epoch = static_cast<uint64_t>(epoch->number_value());
+  ack.accepted = static_cast<uint64_t>(accepted->number_value());
+  ack.pending = static_cast<uint64_t>(pending->number_value());
+  return ack;
+}
+
+std::string Router::HandleIngest(const Request& request) {
+  // One forward per DISTINCT backend, planned in first-seen shard order
+  // (deterministic). Shards may share a backend, and the fallback usually
+  // shares one with a shard — a trip must reach each backend exactly once
+  // or the second copy trips the delta's duplicate-trip validation.
+  struct Forward {
+    ShardBackend* backend = nullptr;
+    const ShardRuntime* runtime = nullptr;  ///< representative, for errors
+    std::vector<size_t> stats_rows;         ///< every row behind backend
+    std::vector<size_t> trip_indices;       ///< deduped, ingest only
+  };
+  std::vector<Forward> forwards;
+  const auto forward_for = [&](const ShardRuntime& runtime,
+                               size_t stats_row) -> Forward& {
+    for (Forward& f : forwards) {
+      if (f.backend == runtime.backend) {
+        if (std::find(f.stats_rows.begin(), f.stats_rows.end(), stats_row) ==
+            f.stats_rows.end()) {
+          f.stats_rows.push_back(stats_row);
+        }
+        return f;
+      }
+    }
+    forwards.push_back(Forward{runtime.backend, &runtime, {stats_row}, {}});
+    return forwards.back();
+  };
+
+  if (request.op == Request::Op::kRollover) {
+    // Every backend crosses the epoch boundary (mixed epochs between the
+    // acks are fine — see the header comment).
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      forward_for(shards_[i], StatsIndexFor(i));
+    }
+    forward_for(fallback_, StatsIndexFor(kFallback));
+  } else {
+    for (size_t t = 0; t < request.trips.size(); ++t) {
+      const ais::Trip& trip = request.trips[t];
+      // The fallback first: it is the authoritative full-graph cumulative
+      // set, every trip lands there.
+      Forward& fb = forward_for(fallback_, StatsIndexFor(kFallback));
+      fb.trip_indices.push_back(t);
+      // Then every shard whose core parent cell contains one of the
+      // trip's points — the shard keeps serving its region from fresh
+      // data after its own rollover. Points in unsharded regions are
+      // covered by the fallback alone.
+      std::vector<size_t> owners;
+      for (const ais::AisRecord& p : trip.points) {
+        const hex::CellId fine =
+            hex::LatLngToCell(p.pos, manifest_.resolution);
+        if (fine == hex::kInvalidCell) continue;
+        const auto parent = hex::CellToParent(fine, manifest_.parent_res);
+        if (!parent.ok()) continue;
+        const auto it = shard_by_cell_.find(parent.value());
+        if (it == shard_by_cell_.end()) continue;
+        if (std::find(owners.begin(), owners.end(), it->second) ==
+            owners.end()) {
+          owners.push_back(it->second);
+        }
+      }
+      for (const size_t s : owners) {
+        Forward& f = forward_for(shards_[s], StatsIndexFor(s));
+        if (f.trip_indices.empty() || f.trip_indices.back() != t) {
+          f.trip_indices.push_back(t);
+        }
+      }
+    }
+  }
+
+  // Encode each backend's sub-frame, then fan out concurrently (a
+  // rollover ack can block on a full epoch rebuild; a slow backend must
+  // not serialize behind a fast one).
+  std::vector<std::string> frames(forwards.size());
+  for (size_t g = 0; g < forwards.size(); ++g) {
+    if (request.op == Request::Op::kRollover) {
+      frames[g] = server::EncodeRolloverRequest();
+    } else {
+      std::vector<ais::Trip> sub;
+      sub.reserve(forwards[g].trip_indices.size());
+      for (const size_t t : forwards[g].trip_indices) {
+        sub.push_back(request.trips[t]);
+      }
+      frames[g] = server::EncodeIngestRequest(sub);
+    }
+  }
+  std::vector<Result<IngestAck>> acks(forwards.size(),
+                                      Status::Internal("not forwarded"));
+  const auto run = [&](size_t g) {
+    acks[g] = ForwardIngestFrame(*forwards[g].runtime, frames[g]);
+  };
+  if (forwards.size() == 1) {
+    run(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(forwards.size());
+    for (size_t g = 0; g < forwards.size(); ++g) {
+      threads.emplace_back(run, g);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Record acked epochs before judging failures, so a partially-applied
+  // frame still shows the true fleet spread in `stats`.
+  {
+    core::MutexLock lock(stats_mu_);
+    for (size_t g = 0; g < forwards.size(); ++g) {
+      if (!acks[g].ok()) continue;
+      for (const size_t row : forwards[g].stats_rows) {
+        shard_stats_[row].epoch = acks[g].value().epoch;
+      }
+    }
+  }
+  for (size_t g = 0; g < forwards.size(); ++g) {
+    if (acks[g].ok()) continue;
+    // Honest partial-failure report: backends that did ack keep their
+    // staged deltas, so a blind client re-send of this exact frame gets
+    // duplicate-trip rejections from them. The client reconciles via
+    // `stats` (per-shard epoch) instead.
+    return RejectFrame(
+        Status(acks[g].status().code(),
+               acks[g].status().message() +
+                   (forwards.size() > 1
+                        ? " (other backends acked and keep their staged "
+                          "deltas — do not blindly re-send this frame)"
+                        : "")),
+        request.id);
+  }
+  uint64_t min_epoch = UINT64_MAX;
+  uint64_t accepted = 0;
+  uint64_t pending = 0;
+  for (const Result<IngestAck>& ack : acks) {
+    min_epoch = std::min(min_epoch, ack.value().epoch);
+    accepted += ack.value().accepted;
+    pending += ack.value().pending;
+  }
+  return server::AckResponseLine(
+      request.op == Request::Op::kIngest ? "ingest" : "rollover",
+      min_epoch == UINT64_MAX ? 0 : min_epoch, accepted, pending,
+      request.id);
 }
 
 std::string Router::HandleImpute(const Request& request) {
@@ -429,6 +614,7 @@ std::string Router::StatsLine(const Json& id) {
     entry.Set("backend", Json::String(runtime.backend->Describe()));
     entry.Set("requests", Json::Number(static_cast<double>(stats.requests)));
     entry.Set("degraded", Json::Number(static_cast<double>(stats.degraded)));
+    entry.Set("epoch", Json::Number(static_cast<double>(stats.epoch)));
     entry.Set("latency_count",
               Json::Number(static_cast<double>(stats.latency_p50.count())));
     if (stats.latency_p50.count() > 0) {

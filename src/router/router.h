@@ -21,6 +21,19 @@
 // manifest picks models. Frames that DO name one are rejected — a model
 // choice the router would silently override must not look honored.
 //
+// Live ingest PROPAGATES, it does not terminate here — the router owns no
+// model to rebuild. An `ingest` frame is split per backend: every trip
+// forwards to the full-graph fallback (the authoritative cumulative set)
+// plus every shard whose core parent cell contains at least one of the
+// trip's points; `rollover` fans out to every distinct backend. The ack
+// aggregates conservatively: the minimum acked epoch, summed
+// accepted/pending (a trip crossing shard boundaries stages once per
+// backend it reaches). Backends cross epoch boundaries at slightly
+// different times as a result; mixed epochs across the fleet are
+// tolerated BY CONSTRUCTION, because each impute request is answered by
+// exactly one backend — one epoch per answer, never a torn mix. The
+// per-shard `epoch` column in `stats` shows the spread.
+//
 // Startup is fail-fast: the manifest's own checksum was verified at
 // parse, and every shard snapshot's stored checksum is verified against
 // the manifest (O(1) header probes) before the router accepts a frame —
@@ -106,6 +119,10 @@ class Router {
   struct ShardStats {
     uint64_t requests = 0;
     uint64_t degraded = 0;
+    /// Last epoch this shard's backend acked to a forwarded
+    /// ingest/rollover (0 until the first ack) — the fleet's epoch
+    /// spread, surfaced per shard row by `stats`.
+    uint64_t epoch = 0;
     sketch::P2Quantile latency_p50{0.5};
     sketch::P2Quantile latency_p99{0.99};
   };
@@ -125,6 +142,29 @@ class Router {
   RouteDecision Decide(const api::ImputeRequest& request) const;
   std::string HandleImpute(const server::Request& request)
       EXCLUDES(stats_mu_);
+
+  /// One backend's answer to a forwarded ingest/rollover sub-frame.
+  struct IngestAck {
+    uint64_t epoch = 0;
+    uint64_t accepted = 0;
+    uint64_t pending = 0;
+  };
+
+  /// Fans an ingest/rollover frame out across the fleet (one sub-frame
+  /// per distinct backend — shards may share one, and a duplicate forward
+  /// would trip the delta's already-staged validation) and aggregates the
+  /// acks. Forwards are NOT retried: after a transport failure a lost
+  /// response is indistinguishable from a lost request, and blind
+  /// re-sends turn into spurious duplicate-trip rejections.
+  std::string HandleIngest(const server::Request& request)
+      EXCLUDES(stats_mu_);
+
+  /// One ingest/rollover round trip to `runtime`'s backend; parses the
+  /// uniform ack shape. Deliberately does NOT feed the latency
+  /// percentiles — those measure query latency, and a rollover ack can
+  /// block on a full epoch rebuild.
+  Result<IngestAck> ForwardIngestFrame(const ShardRuntime& runtime,
+                                       const std::string& frame);
   std::string RejectFrame(const Status& status,
                           const server::Json& id = server::Json())
       EXCLUDES(stats_mu_);

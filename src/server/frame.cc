@@ -8,7 +8,8 @@ namespace habit::server::frame {
 
 namespace {
 
-// Wire op tags. 1..5 mirror Request::Op; 6 is the JSON escape hatch.
+// Wire op tags. 1..5 and 7..8 mirror Request::Op; 6 is the JSON escape
+// hatch.
 enum class OpTag : uint32_t {
   kPing = 1,
   kMethods = 2,
@@ -16,6 +17,8 @@ enum class OpTag : uint32_t {
   kImpute = 4,
   kImputeBatch = 5,
   kJson = 6,
+  kIngest = 7,
+  kRollover = 8,
 };
 
 constexpr uint8_t kVesselTypeAbsent = 0xFF;
@@ -179,6 +182,12 @@ std::string EncodeRequestFrame(const Request& request) {
     case Request::Op::kImputeBatch:
       tag = OpTag::kImputeBatch;
       break;
+    case Request::Op::kIngest:
+      tag = OpTag::kIngest;
+      break;
+    case Request::Op::kRollover:
+      tag = OpTag::kRollover;
+      break;
   }
   w.U32(static_cast<uint32_t>(tag));
   PutId(&w, request.id);
@@ -202,6 +211,21 @@ std::string EncodeRequestFrame(const Request& request) {
     }
     for (const auto& q : qs) w.U8(q.vessel_id.has_value() ? 1 : 0);
     for (const auto& q : qs) w.I64(q.vessel_id.value_or(0));
+  }
+  if (request.op == Request::Op::kIngest) {
+    w.U32(static_cast<uint32_t>(request.trips.size()));
+    for (const ais::Trip& trip : request.trips) {
+      w.I64(trip.trip_id);
+      w.I64(trip.mmsi);
+      w.U8(static_cast<uint8_t>(trip.type));
+      w.U32(static_cast<uint32_t>(trip.points.size()));
+      // Per-trip SoA point columns, same discipline as the impute block.
+      for (const auto& p : trip.points) w.F64(p.pos.lat);
+      for (const auto& p : trip.points) w.F64(p.pos.lng);
+      for (const auto& p : trip.points) w.I64(p.ts);
+      for (const auto& p : trip.points) w.F64(p.sog);
+      for (const auto& p : trip.points) w.F64(p.cog);
+    }
   }
   return w.Frame();
 }
@@ -250,9 +274,65 @@ Result<FrameRequest> DecodeRequestPayload(std::string_view payload,
     case OpTag::kImputeBatch:
       out.request.op = Request::Op::kImputeBatch;
       break;
+    case OpTag::kIngest:
+      out.request.op = Request::Op::kIngest;
+      break;
+    case OpTag::kRollover:
+      out.request.op = Request::Op::kRollover;
+      break;
     default:
       return Status::InvalidArgument("unknown binary op tag " +
                                      std::to_string(op_raw));
+  }
+  if (tag == OpTag::kIngest) {
+    uint32_t n_trips;
+    if (!r.U32(&n_trips)) return Truncated();
+    if (n_trips == 0) {
+      return Status::InvalidArgument("\"trips\" must not be empty");
+    }
+    if (n_trips > max_batch) {
+      return Status::InvalidArgument(
+          "ingest of " + std::to_string(n_trips) +
+          " trips exceeds the per-frame limit of " +
+          std::to_string(max_batch));
+    }
+    out.request.trips.reserve(n_trips);
+    for (uint32_t t = 0; t < n_trips; ++t) {
+      ais::Trip trip;
+      uint8_t type_raw;
+      uint32_t points;
+      if (!r.I64(&trip.trip_id) || !r.I64(&trip.mmsi) || !r.U8(&type_raw) ||
+          !r.U32(&points)) {
+        return Truncated();
+      }
+      if (type_raw > static_cast<uint8_t>(ais::VesselType::kOther)) {
+        return Status::InvalidArgument("trips[" + std::to_string(t) +
+                                       "]: unknown vessel_type value " +
+                                       std::to_string(type_raw));
+      }
+      trip.type = static_cast<ais::VesselType>(type_raw);
+      // Five 8-byte columns per point; the bound rejects hostile counts
+      // before the resize, and the column reads below fail cleanly on a
+      // merely short payload.
+      if (points > r.remaining() / (5 * 8)) return Truncated();
+      trip.points.resize(points);
+      for (auto& p : trip.points) (void)r.F64(&p.pos.lat);
+      for (auto& p : trip.points) (void)r.F64(&p.pos.lng);
+      for (auto& p : trip.points) (void)r.I64(&p.ts);
+      for (auto& p : trip.points) (void)r.F64(&p.sog);
+      for (auto& p : trip.points) {
+        if (!r.F64(&p.cog)) return Truncated();
+      }
+      for (auto& p : trip.points) {
+        p.mmsi = trip.mmsi;
+        p.type = trip.type;
+      }
+      out.request.trips.push_back(std::move(trip));
+    }
+    if (!r.Done()) {
+      return Status::InvalidArgument("trailing bytes after binary frame");
+    }
+    return out;
   }
   if (tag != OpTag::kImpute && tag != OpTag::kImputeBatch) {
     if (!r.Done()) {
@@ -382,6 +462,19 @@ std::string EncodeResultsFrame(
   return w.Frame();
 }
 
+std::string EncodeAckFrame(Request::Op op, uint64_t epoch, uint64_t accepted,
+                           uint64_t pending, const Json& id) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(ResponseTag::kAck));
+  PutId(&w, id);
+  w.U32(static_cast<uint32_t>(op == Request::Op::kIngest ? OpTag::kIngest
+                                                         : OpTag::kRollover));
+  w.U64(epoch);
+  w.U64(accepted);
+  w.U64(pending);
+  return w.Frame();
+}
+
 namespace {
 
 // Status codes cross the wire as their enum value; anything out of range
@@ -424,6 +517,26 @@ Result<FrameResponse> DecodeResponsePayload(std::string_view payload) {
       std::string message;
       if (!r.U32(&code) || !r.Str(&message)) return Truncated();
       out.error = Status(CodeFromWire(code), std::move(message));
+      return out;
+    }
+    case ResponseTag::kAck: {
+      HABIT_ASSIGN_OR_RETURN(out.id, GetId(&r));
+      uint32_t op_raw;
+      if (!r.U32(&op_raw) || !r.U64(&out.epoch) || !r.U64(&out.accepted) ||
+          !r.U64(&out.pending)) {
+        return Truncated();
+      }
+      if (op_raw == static_cast<uint32_t>(OpTag::kIngest)) {
+        out.ack_op = Request::Op::kIngest;
+      } else if (op_raw == static_cast<uint32_t>(OpTag::kRollover)) {
+        out.ack_op = Request::Op::kRollover;
+      } else {
+        return Status::InvalidArgument("bad ack op " +
+                                       std::to_string(op_raw));
+      }
+      if (!r.Done()) {
+        return Status::InvalidArgument("trailing bytes after ack frame");
+      }
       return out;
     }
     case ResponseTag::kResults:
@@ -497,6 +610,11 @@ std::string ResponseToJsonLine(const FrameResponse& response) {
       return ErrorResponseLine(response.error, response.id);
     case ResponseTag::kJson:
       return response.json;
+    case ResponseTag::kAck:
+      // Identical construction to the server's JSON ingest/rollover path.
+      return AckResponseLine(
+          response.ack_op == Request::Op::kIngest ? "ingest" : "rollover",
+          response.epoch, response.accepted, response.pending, response.id);
     case ResponseTag::kResults:
       if (!response.batch) {
         if (response.results.size() != 1) {

@@ -10,6 +10,7 @@
 // Frame:        magic u32 ("HBTF") | length u32 | payload[length]
 // Request payload:
 //   op u32      1=ping 2=methods 3=stats 4=impute 5=impute_batch 6=json
+//               7=ingest 8=rollover
 //   id          kind u8 (0 none, 1 number f64, 2 string u32+bytes)
 //   op=json:    the raw JSON request line (the escape hatch: anything the
 //               structured ops cannot express runs the JSON dispatch path)
@@ -21,8 +22,14 @@
 //     vessel_type u8[n]   (0xFF = absent, else ais::VesselType value)
 //     has_vessel  u8[n]   (0/1)
 //     vessel_id  i64[n]   (meaningful where has_vessel=1)
+//   op=ingest:
+//     n u32     trip count (1..max_batch), then per trip:
+//       trip_id i64 | mmsi i64 | vessel_type u8 | points u32
+//       lat f64[points] | lng f64[points] | ts i64[points]
+//       sog f64[points] | cog f64[points]
+//   op=rollover: nothing after the id
 // Response payload:
-//   tag u32     1=pong 2=results 3=error 4=json
+//   tag u32     1=pong 2=results 3=error 4=json 5=ack
 //   id          echoed, same encoding as requests
 //   tag=error:  code u32 (StatusCode) | message u32+bytes
 //   tag=json:   a raw JSON response line (methods/stats responses)
@@ -30,6 +37,8 @@
 //     ok u8; ok=1: points u32 | (lat f64, lng f64)[points] |
 //                  timestamps u32 | t i64[...] | expanded u64
 //           ok=0: code u32 | message u32+bytes
+//   tag=ack:    op u32 (the request op: 7=ingest 8=rollover) |
+//               epoch u64 | accepted u64 | pending u64
 //
 // Doubles travel bit-exact in both directions and Json::Dump renders the
 // shortest round-trip form, so a binary response re-rendered as JSON
@@ -69,6 +78,7 @@ enum class ResponseTag : uint32_t {
   kResults = 2,
   kError = 3,
   kJson = 4,
+  kAck = 5,
 };
 
 /// \brief One decoded response frame payload.
@@ -79,6 +89,12 @@ struct FrameResponse {
   std::vector<Result<api::ImputeResponse>> results;
   Status error;       ///< tag=error payload
   std::string json;   ///< tag=json payload (a full response line)
+  /// tag=ack payload (ingest/rollover): the request op acked plus the
+  /// pipeline's {epoch, accepted, pending} answer.
+  Request::Op ack_op = Request::Op::kRollover;
+  uint64_t epoch = 0;
+  uint64_t accepted = 0;
+  uint64_t pending = 0;
 };
 
 /// Encodes one structured request as a complete frame (header included).
@@ -110,6 +126,12 @@ std::string EncodeJsonResponseFrame(std::string_view json_line);
 std::string EncodeResultsFrame(
     std::span<const Result<api::ImputeResponse>> results, const Json& id,
     bool batch);
+
+/// Encodes the ack for an ingest/rollover request (`op` must be kIngest
+/// or kRollover — the acked request op travels on the wire so the JSON
+/// re-render names the right op).
+std::string EncodeAckFrame(Request::Op op, uint64_t epoch, uint64_t accepted,
+                           uint64_t pending, const Json& id);
 
 /// Decodes a response frame payload (header already stripped).
 Result<FrameResponse> DecodeResponsePayload(std::string_view payload);

@@ -112,6 +112,70 @@ Result<api::ImputeRequest> ParseImputeRequest(const Json& obj) {
   return request;
 }
 
+// One AIS point of an ingest trip. `ts` must be an integer; `sog`/`cog`
+// default to 0 (many feeds omit them). Semantic checks (finite, in
+// range, monotonic) live in the epoch pipeline's validator.
+Result<ais::AisRecord> ParseTripPoint(const Json& obj) {
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("must be a JSON object");
+  }
+  HABIT_RETURN_NOT_OK(
+      CheckKnownMembers(obj, {"lat", "lng", "ts", "sog", "cog"}));
+  ais::AisRecord record;
+  HABIT_ASSIGN_OR_RETURN(record.pos.lat, GetNumber(obj, "lat"));
+  HABIT_ASSIGN_OR_RETURN(record.pos.lng, GetNumber(obj, "lng"));
+  const Json* ts = obj.Find("ts");
+  if (ts == nullptr) return FieldError("ts", "is missing");
+  HABIT_ASSIGN_OR_RETURN(record.ts, GetOptionalInt64(obj, "ts", 0));
+  if (obj.Find("sog") != nullptr) {
+    HABIT_ASSIGN_OR_RETURN(record.sog, GetNumber(obj, "sog"));
+  }
+  if (obj.Find("cog") != nullptr) {
+    HABIT_ASSIGN_OR_RETURN(record.cog, GetNumber(obj, "cog"));
+  }
+  return record;
+}
+
+Result<ais::Trip> ParseTrip(const Json& obj) {
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("must be a JSON object");
+  }
+  HABIT_RETURN_NOT_OK(CheckKnownMembers(
+      obj, {"trip_id", "mmsi", "vessel_type", "points"}));
+  ais::Trip trip;
+  const Json* trip_id = obj.Find("trip_id");
+  if (trip_id == nullptr) return FieldError("trip_id", "is missing");
+  HABIT_ASSIGN_OR_RETURN(trip.trip_id, GetOptionalInt64(obj, "trip_id", 0));
+  const Json* mmsi = obj.Find("mmsi");
+  if (mmsi == nullptr) return FieldError("mmsi", "is missing");
+  HABIT_ASSIGN_OR_RETURN(trip.mmsi, GetOptionalInt64(obj, "mmsi", 0));
+  if (const Json* vt = obj.Find("vessel_type"); vt != nullptr) {
+    if (!vt->is_string()) {
+      return FieldError("vessel_type", "must be a string");
+    }
+    HABIT_ASSIGN_OR_RETURN(trip.type, ParseVesselType(vt->string_value()));
+  }
+  const Json* points = obj.Find("points");
+  if (points == nullptr || !points->is_array()) {
+    return FieldError("points", "must be an array of points");
+  }
+  trip.points.reserve(points->items().size());
+  for (size_t i = 0; i < points->items().size(); ++i) {
+    auto point = ParseTripPoint(points->items()[i]);
+    if (!point.ok()) {
+      return Status::InvalidArgument("points[" + std::to_string(i) +
+                                     "]: " + point.status().message());
+    }
+    ais::AisRecord record = point.MoveValue();
+    // Per-record identity mirrors the trip header, the same shape the
+    // offline segmentation pipeline produces.
+    record.mmsi = trip.mmsi;
+    record.type = trip.type;
+    trip.points.push_back(std::move(record));
+  }
+  return trip;
+}
+
 }  // namespace
 
 Result<Request> ParseRequest(std::string_view line, size_t max_batch,
@@ -149,10 +213,43 @@ Result<Request> ParseRequest(std::string_view line, size_t max_batch,
                                  : Request::Op::kStats;
     return out;
   }
+  if (name == "rollover") {
+    HABIT_RETURN_NOT_OK(CheckKnownMembers(frame, {"op", "id"}));
+    out.op = Request::Op::kRollover;
+    return out;
+  }
+  if (name == "ingest") {
+    HABIT_RETURN_NOT_OK(CheckKnownMembers(frame, {"op", "id", "trips"}));
+    out.op = Request::Op::kIngest;
+    const Json* trips = frame.Find("trips");
+    if (trips == nullptr || !trips->is_array()) {
+      return Status::InvalidArgument("op 'ingest' needs a \"trips\" array");
+    }
+    if (trips->items().empty()) {
+      return Status::InvalidArgument("\"trips\" must not be empty");
+    }
+    if (trips->items().size() > max_batch) {
+      return Status::InvalidArgument(
+          "ingest of " + std::to_string(trips->items().size()) +
+          " trips exceeds the per-frame limit of " +
+          std::to_string(max_batch));
+    }
+    out.trips.reserve(trips->items().size());
+    for (size_t i = 0; i < trips->items().size(); ++i) {
+      auto trip = ParseTrip(trips->items()[i]);
+      if (!trip.ok()) {
+        return Status::InvalidArgument("trips[" + std::to_string(i) +
+                                       "]: " + trip.status().message());
+      }
+      out.trips.push_back(trip.MoveValue());
+    }
+    return out;
+  }
   if (name != "impute" && name != "impute_batch") {
     return Status::InvalidArgument(
         "unknown op '" + name +
-        "' (known: ping, methods, stats, impute, impute_batch)");
+        "' (known: ping, methods, stats, impute, impute_batch, ingest, "
+        "rollover)");
   }
 
   const Json* model = frame.Find("model");
@@ -253,6 +350,53 @@ std::string EncodeImputeBatchRequest(
     arr.Append(ImputeRequestToJson(request));
   }
   frame.Set("requests", std::move(arr));
+  return frame.Dump();
+}
+
+Json TripToJson(const ais::Trip& trip) {
+  Json obj = Json::Object();
+  obj.Set("trip_id", Json::Number(static_cast<double>(trip.trip_id)));
+  obj.Set("mmsi", Json::Number(static_cast<double>(trip.mmsi)));
+  obj.Set("vessel_type", Json::String(ais::VesselTypeToString(trip.type)));
+  Json points = Json::Array();
+  for (const ais::AisRecord& r : trip.points) {
+    Json point = Json::Object();
+    point.Set("lat", Json::Number(r.pos.lat));
+    point.Set("lng", Json::Number(r.pos.lng));
+    point.Set("ts", Json::Number(static_cast<double>(r.ts)));
+    point.Set("sog", Json::Number(r.sog));
+    point.Set("cog", Json::Number(r.cog));
+    points.Append(std::move(point));
+  }
+  obj.Set("points", std::move(points));
+  return obj;
+}
+
+std::string EncodeIngestRequest(std::span<const ais::Trip> trips) {
+  Json frame = Json::Object();
+  frame.Set("op", Json::String("ingest"));
+  Json arr = Json::Array();
+  for (const ais::Trip& trip : trips) arr.Append(TripToJson(trip));
+  frame.Set("trips", std::move(arr));
+  return frame.Dump();
+}
+
+std::string EncodeRolloverRequest() {
+  Json frame = Json::Object();
+  frame.Set("op", Json::String("rollover"));
+  return frame.Dump();
+}
+
+std::string AckResponseLine(const std::string& op, uint64_t epoch,
+                            uint64_t accepted, uint64_t pending,
+                            const Json& id) {
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  frame.Set("op", Json::String(op));
+  frame.Set("epoch", Json::Number(static_cast<double>(epoch)));
+  frame.Set("accepted", Json::Number(static_cast<double>(accepted)));
+  frame.Set("pending", Json::Number(static_cast<double>(pending)));
+  if (!id.is_null()) frame.Set("id", id);
   return frame.Dump();
 }
 

@@ -13,6 +13,10 @@
 //        "gap_end":{"lat":54.5,"lng":10.3},
 //        "t_start":0,"t_end":3600,"vessel_type":"cargo"}}
 //   {"op":"impute_batch","model":<spec>,"requests":[<request>,...]}
+//   {"op":"ingest","trips":[{"trip_id":7,"mmsi":9,"vessel_type":"cargo",
+//        "points":[{"lat":54.4,"lng":10.2,"ts":100,"sog":9.5,"cog":45},
+//                  ...]},...]}
+//   {"op":"rollover"}
 //
 // `t_start`/`t_end` default to 0 (no time model); `vessel_type` is
 // optional and must be one of the ais::VesselType names. Any request may
@@ -20,6 +24,17 @@
 // clients can pipeline frames over one connection. Unknown fields are
 // rejected, not ignored: a typo ("lng" vs "lon") must fail loudly, the
 // same contract as MethodSpec::CheckKnownKeys.
+//
+// `ingest` stages trip deltas for the serving process's epoch pipeline
+// and `rollover` forces the next epoch boundary (see api/epoch.h); both
+// answer the uniform ack frame
+//   {"ok":true,"op":"ingest","epoch":E,"accepted":N,"pending":M}
+// (accepted = trips staged by THIS frame, pending = builder backlog,
+// epoch = the epoch currently served). Per-point `sog`/`cog` are optional
+// and default to 0; `vessel_type` defaults to "other". Trip semantics
+// (>= 2 points, strictly increasing timestamps, fresh trip ids) are
+// validated by the pipeline, not the parser, so both protocols share one
+// validator.
 //
 // Responses:
 //   {"ok":true,...}                          op-specific payload
@@ -34,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "ais/ais.h"
 #include "api/imputation_model.h"
 #include "core/status.h"
 #include "server/json.h"
@@ -42,11 +58,21 @@ namespace habit::server {
 
 /// \brief One parsed protocol request.
 struct Request {
-  enum class Op { kPing, kMethods, kStats, kImpute, kImputeBatch };
+  enum class Op {
+    kPing,
+    kMethods,
+    kStats,
+    kImpute,
+    kImputeBatch,
+    kIngest,
+    kRollover,
+  };
   Op op = Op::kPing;
   std::string model;  ///< registry spec string (impute ops only)
   /// The queries: exactly one for kImpute, 1..max_batch for kImputeBatch.
   std::vector<api::ImputeRequest> requests;
+  /// The trip deltas (kIngest only): 1..max_batch per frame.
+  std::vector<ais::Trip> trips;
   Json id;  ///< client correlation id (echoed); null when absent
 };
 
@@ -86,6 +112,22 @@ std::string ImputeResponseLine(const Result<api::ImputeResponse>& result,
 /// to the server's — the equivalence the protocol tests assert.
 std::string BatchResponseLine(
     std::span<const Result<api::ImputeResponse>> results, const Json& id);
+
+/// One trip delta as a protocol JSON object (the "trips" array element).
+Json TripToJson(const ais::Trip& trip);
+
+/// Builds the full frame for an ingest / rollover request (client side:
+/// the router's per-shard forwarding, tests, and the CI smokes).
+std::string EncodeIngestRequest(std::span<const ais::Trip> trips);
+std::string EncodeRolloverRequest();
+
+/// The uniform ok:true ack for ingest/rollover: op name echoed, the
+/// served epoch, trips accepted by this frame, and the builder backlog.
+/// Rendering binary kAck frames through this yields byte-identical lines
+/// to the JSON path's — the same contract the impute encoders keep.
+std::string AckResponseLine(const std::string& op, uint64_t epoch,
+                            uint64_t accepted, uint64_t pending,
+                            const Json& id);
 
 /// The ok:false frame for a frame-level error.
 std::string ErrorResponseLine(const Status& status, const Json& id = Json());

@@ -244,6 +244,35 @@ Result<std::shared_ptr<const api::ImputationModel>> Server::Resolve(
   return model;
 }
 
+Status Server::EnableIngest(api::EpochPipeline::Options options,
+                            std::vector<ais::Trip> base) {
+  if (epoch_ != nullptr) {
+    return Status::AlreadyExists("ingest is already enabled");
+  }
+  HABIT_ASSIGN_OR_RETURN(
+      epoch_, api::EpochPipeline::Make(&cache_, std::move(options),
+                                       std::move(base)));
+  return Status::OK();
+}
+
+Status Server::ExecuteIngest(const Request& request, uint64_t* epoch,
+                             uint64_t* accepted, uint64_t* pending) {
+  if (epoch_ == nullptr) {
+    return Status::InvalidArgument(
+        "ingest is not enabled (start habit_serve with --ingest-spec)");
+  }
+  if (request.op == Request::Op::kRollover) {
+    HABIT_ASSIGN_OR_RETURN(*epoch, epoch_->Rollover());
+    *accepted = 0;
+    *pending = epoch_->stats().pending_trips;
+    return Status::OK();
+  }
+  // The parsed request is shared between protocols and handlers keep it
+  // const; the pipeline owns the staged trips, so the frame's copy moves.
+  std::vector<ais::Trip> trips = request.trips;
+  return epoch_->Ingest(std::move(trips), accepted, pending, epoch);
+}
+
 std::string Server::HandleLine(std::string_view line) {
   {
     core::MutexLock lock(stats_mu_);
@@ -284,6 +313,16 @@ std::string Server::HandleParsed(const Request& request) {
     case Request::Op::kImpute:
     case Request::Op::kImputeBatch:
       return HandleImpute(request);
+    case Request::Op::kIngest:
+    case Request::Op::kRollover: {
+      uint64_t epoch = 0, accepted = 0, pending = 0;
+      const Status status =
+          ExecuteIngest(request, &epoch, &accepted, &pending);
+      if (!status.ok()) return RejectFrame(status, request.id);
+      return AckResponseLine(
+          request.op == Request::Op::kIngest ? "ingest" : "rollover", epoch,
+          accepted, pending, request.id);
+    }
   }
   return ErrorResponseLine(Status::Internal("unhandled op"));
 }
@@ -318,8 +357,22 @@ Result<std::vector<Result<api::ImputeResponse>>> Server::ExecuteImpute(
   auto spec = api::MethodSpec::Parse(request.model);
   if (!spec.ok()) return spec.status();
   HABIT_RETURN_NOT_OK(CheckServedSpec(spec.value()));
-  auto model = Resolve(spec.value());
-  if (!model.ok()) return model.status();
+  Result<std::shared_ptr<const api::ImputationModel>> model =
+      Status::Internal("unresolved");
+  if (epoch_ != nullptr && !spec.value().params.contains("load")) {
+    // Live serving: a trips-built spec resolves against the current
+    // epoch's cumulative trip set. The EpochedModel pins one epoch for
+    // this whole request — a concurrent swap retires the cache entry but
+    // never this handle.
+    auto epoched = epoch_->Resolve(spec.value());
+    if (!epoched.ok()) return epoched.status();
+    model = std::move(epoched.value().model);
+    core::MutexLock lock(stats_mu_);
+    ++model_stats_[spec.value().ToString()].resolves;
+  } else {
+    model = Resolve(spec.value());
+    if (!model.ok()) return model.status();
+  }
 
   std::vector<double> query_seconds;
   std::vector<Result<api::ImputeResponse>> results =
@@ -392,6 +445,21 @@ std::string Server::HandleFrame(std::string_view payload) {
       return frame::EncodeResultsFrame(
           results.value(), request.id,
           /*batch=*/request.op == Request::Op::kImputeBatch);
+    }
+    case Request::Op::kIngest:
+    case Request::Op::kRollover: {
+      uint64_t epoch = 0, accepted = 0, pending = 0;
+      const Status status =
+          ExecuteIngest(request, &epoch, &accepted, &pending);
+      if (!status.ok()) {
+        {
+          core::MutexLock lock(stats_mu_);
+          ++frames_rejected_;
+        }
+        return frame::EncodeErrorFrame(status, request.id);
+      }
+      return frame::EncodeAckFrame(request.op, epoch, accepted, pending,
+                                   request.id);
     }
   }
   return frame::EncodeErrorFrame(Status::Internal("unhandled op"), Json());
@@ -499,6 +567,28 @@ std::string Server::StatsLine(const Json& id) {
             Json::Number(static_cast<double>(cache_stats.coalesced)));
   frame.Set("cache", std::move(cache));
   frame.Set("workers", Json::Number(pool_.workers()));
+  if (epoch_ != nullptr) {
+    const api::EpochPipeline::Stats es = epoch_->stats();
+    Json epoch = Json::Object();
+    epoch.Set("spec", Json::String(epoch_->spec_string()));
+    epoch.Set("epoch", Json::Number(static_cast<double>(es.epoch)));
+    // Builder lag: deltas accepted but not yet in the served epoch.
+    epoch.Set("pending_trips",
+              Json::Number(static_cast<double>(es.pending_trips)));
+    epoch.Set("pending_points",
+              Json::Number(static_cast<double>(es.pending_points)));
+    epoch.Set("ingested_trips",
+              Json::Number(static_cast<double>(es.ingested_trips)));
+    epoch.Set("rollovers", Json::Number(static_cast<double>(es.rollovers)));
+    epoch.Set("epoch_trips",
+              Json::Number(static_cast<double>(es.epoch_trips)));
+    epoch.Set("building", Json::Bool(es.building));
+    epoch.Set("last_build_ms", Json::Number(es.last_build_seconds * 1e3));
+    if (!es.last_error.empty()) {
+      epoch.Set("last_error", Json::String(es.last_error));
+    }
+    frame.Set("epoch", std::move(epoch));
+  }
 
   core::MutexLock lock(stats_mu_);
   frame.Set("frames", Json::Number(static_cast<double>(frames_total_)));

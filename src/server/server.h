@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "ais/ais.h"
+#include "api/epoch.h"
 #include "api/model_cache.h"
 #include "core/sync.h"
 #include "core/thread_annotations.h"
@@ -146,6 +148,18 @@ class Server {
   const api::ModelCache& cache() const { return cache_; }
   const ServerOptions& options() const { return options_; }
 
+  /// Attaches the epoch pipeline behind the `ingest`/`rollover` ops and
+  /// routes every trips-built (non-load=) spec resolution through the
+  /// current epoch's cumulative trip set. `base` seeds epoch 0 (may be
+  /// empty: the live spec then answers NotFound until the first
+  /// rollover). Must be called before serving starts — the pointer is
+  /// written once here and only read by request handlers afterwards.
+  Status EnableIngest(api::EpochPipeline::Options options,
+                      std::vector<ais::Trip> base);
+
+  /// The attached pipeline (nullptr when ingest is disabled).
+  const api::EpochPipeline* epoch_pipeline() const { return epoch_.get(); }
+
   /// Serves newline-delimited frames from `in` to `out` until EOF (the
   /// --stdin pipe mode; also the easiest harness for tests).
   void ServeStream(std::istream& in, std::ostream& out);
@@ -190,6 +204,13 @@ class Server {
   std::string HandleParsed(const Request& request);
   std::string HandleImpute(const Request& request);
 
+  /// The shared ingest/rollover engine behind both protocols: stages the
+  /// frame's trips (or forces the epoch boundary) and reports
+  /// {epoch, accepted, pending}; the caller renders its wire format.
+  Status ExecuteIngest(const Request& request, uint64_t* epoch,
+                       uint64_t* accepted, uint64_t* pending)
+      EXCLUDES(stats_mu_);
+
   /// The shared impute engine behind both protocols: validation (with the
   /// JSON path's field naming), spec policy, cache resolution, pool
   /// dispatch, and stats recording. Returns the per-request results or
@@ -219,6 +240,11 @@ class Server {
 
   ServerOptions options_;
   api::ModelCache cache_;
+  /// Written once by EnableIngest before serving, read-only afterwards
+  /// (request handlers never mutate it) — declared after cache_ so the
+  /// builder thread outlives nothing it uses, and before transport_ so
+  /// in-flight handlers drain before the pipeline stops.
+  std::unique_ptr<api::EpochPipeline> epoch_;
   WorkerPool pool_;
 
   /// Guards every serving counter below: connection threads write them

@@ -5,10 +5,12 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -36,9 +38,14 @@ struct LineTransport::Conn {
 
   int fd = -1;
   Mode mode = Mode::kUndecided;
-  std::string in;    ///< unprocessed request bytes
-  std::string out;   ///< unflushed response bytes
-  size_t out_off = 0;
+  std::string in;  ///< unprocessed request bytes
+  /// Unflushed response buffers, FIFO. Each response is queued by move —
+  /// never copied into one accumulating string — and the whole backlog
+  /// flushes with a single gathered write per attempt, so a pipelined
+  /// client's burst of responses costs one syscall, not one send(2) each.
+  std::deque<std::string> out;
+  size_t out_off = 0;    ///< bytes of out.front() already sent
+  size_t out_bytes = 0;  ///< total unflushed bytes across `out`
   bool busy = false;  ///< one frame in flight on the worker pool
   bool eof = false;   ///< peer half-closed its write side
   bool close_after_flush = false;  ///< hang up once `out` drains
@@ -60,6 +67,11 @@ void DrainEventFd(int fd) {
   while (::read(fd, &value, sizeof(value)) > 0) {
   }
 }
+
+/// Gathered-flush fan-in cap per sendmsg(2) call — far below IOV_MAX
+/// (1024 on Linux); a backlog deeper than this just takes another loop
+/// iteration.
+constexpr size_t kFlushIovMax = 64;
 
 }  // namespace
 
@@ -207,11 +219,21 @@ class LineTransport::Loop {
     }
   }
 
+  // Backpressure rule for reading and dispatch: instead of pausing input
+  // the moment ONE response is unflushed, keep accepting pipelined frames
+  // until the unflushed tail passes the frame cap. Responses still come
+  // back in request order (one frame in flight at a time), they just
+  // coalesce into one gathered write; the out backlog stays bounded by
+  // the cap plus one response.
+  bool OutUnderCap(const Conn* c) const {
+    return c->out_bytes <= t_->max_line_bytes_;
+  }
+
   void OnReadable(const std::shared_ptr<Conn>& conn) {
     Conn* c = conn.get();
     char chunk[64 * 1024];
     while (c->fd >= 0 && !c->busy && !c->close_after_flush &&
-           c->out.empty() && !c->eof) {
+           OutUnderCap(c) && !c->eof) {
       // lint: socket-io(the transport owns raw socket IO)
       const ssize_t got = ::recv(c->fd, chunk, sizeof(chunk), 0);
       if (got < 0 && errno == EINTR) continue;
@@ -233,6 +255,10 @@ class LineTransport::Loop {
 
   void OnWritable(const std::shared_ptr<Conn>& conn) {
     if (!Flush(conn.get())) return;  // closed on send failure
+    // Draining may reopen dispatch: a frame can sit buffered in c->in
+    // while the out tail was over the cap, and a level-triggered EPOLLIN
+    // never refires for bytes already read off the socket.
+    ProcessInput(conn);
     MaybeFinish(conn);
     if (conn->fd >= 0) UpdateInterest(conn.get());
   }
@@ -242,7 +268,7 @@ class LineTransport::Loop {
   // and both buffers stay bounded (reading is disarmed while busy).
   void ProcessInput(const std::shared_ptr<Conn>& conn) {
     Conn* c = conn.get();
-    if (c->fd < 0 || c->busy || c->close_after_flush || !c->out.empty()) {
+    if (c->fd < 0 || c->busy || c->close_after_flush || !OutUnderCap(c)) {
       return;
     }
     if (c->mode == Mode::kUndecided && !DecideMode(c)) return;
@@ -409,19 +435,32 @@ class LineTransport::Loop {
   }
 
   void QueueResponse(Conn* c, std::string bytes) {
-    c->out += bytes;
+    if (bytes.empty()) return;
+    c->out_bytes += bytes.size();
+    c->out.push_back(std::move(bytes));
     Flush(c);  // opportunistic: most responses fit the socket buffer
   }
 
-  // Writes as much of conn->out as the socket accepts. Returns false
-  // (and closes) on a fatal send error; partial writes leave the rest
-  // for EPOLLOUT.
+  // Gathered flush: every queued response buffer goes out in ONE vectored
+  // syscall per attempt (sendmsg — writev(2) cannot pass MSG_NOSIGNAL),
+  // instead of one send(2) per response. Returns false (and closes) on a
+  // fatal send error; partial writes leave the rest for EPOLLOUT.
   bool Flush(Conn* c) {
-    while (c->out_off < c->out.size()) {
+    while (!c->out.empty()) {
+      iovec iov[kFlushIovMax];
+      size_t n = 0;
+      for (const std::string& buf : c->out) {
+        if (n == kFlushIovMax) break;
+        const size_t skip = (n == 0) ? c->out_off : 0;
+        iov[n].iov_base = const_cast<char*>(buf.data()) + skip;
+        iov[n].iov_len = buf.size() - skip;
+        ++n;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = n;
       // lint: socket-io(the transport owns raw socket IO)
-      const ssize_t sent =
-          ::send(c->fd, c->out.data() + c->out_off,
-                 c->out.size() - c->out_off, MSG_NOSIGNAL);
+      const ssize_t sent = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
       if (sent < 0 && errno == EINTR) continue;
       if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         return true;  // backpressure — UpdateInterest arms EPOLLOUT
@@ -430,10 +469,19 @@ class LineTransport::Loop {
         Close(c);
         return false;
       }
-      c->out_off += static_cast<size_t>(sent);
+      size_t advanced = static_cast<size_t>(sent);
+      c->out_bytes -= advanced;
+      while (advanced > 0) {
+        const size_t left = c->out.front().size() - c->out_off;
+        if (advanced < left) {
+          c->out_off += advanced;
+          break;
+        }
+        advanced -= left;
+        c->out.pop_front();
+        c->out_off = 0;
+      }
     }
-    c->out.clear();
-    c->out_off = 0;
     return true;
   }
 
@@ -468,7 +516,7 @@ class LineTransport::Loop {
 
   void UpdateInterest(Conn* c) {
     uint32_t want = 0;
-    if (!c->busy && !c->close_after_flush && c->out.empty() && !c->eof) {
+    if (!c->busy && !c->close_after_flush && OutUnderCap(c) && !c->eof) {
       want |= EPOLLIN;
     }
     if (!c->out.empty()) want |= EPOLLOUT;

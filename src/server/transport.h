@@ -19,9 +19,12 @@
 // hooks.submit (the worker pool); the ONLY cross-thread state is the
 // completion queue (ready_/in_flight_, GUARDED_BY mu_) plus an eventfd
 // that wakes the loop when a response is ready. One frame per connection
-// is in flight at a time, so responses come back in request order;
-// reading is disarmed while a frame is being handled or a response is
-// unflushed, which bounds both buffers (backpressure instead of memory).
+// is in flight at a time, so responses come back in request order.
+// Responses queue as discrete buffers and flush with one gathered write
+// (sendmsg) per attempt — a pipelined client's burst of responses costs
+// one syscall, not one send(2) each. Reading is disarmed while a frame is
+// being handled or the unflushed response tail exceeds the frame cap,
+// which bounds both buffers (backpressure instead of memory).
 //
 // The oversized-frame rule is deterministic and shared by every mode: any
 // frame past max_line_bytes — terminated or not — is answered exactly

@@ -371,6 +371,141 @@ TEST(ServerStressTest, ManyIdleConnectionsPlusActiveClientsSoak) {
   std::remove(snapshot.c_str());
 }
 
+TEST(ServerStressTest, IngestAndRolloverRacingPipelinedImputeClients) {
+  // The live-ingest shape: impute clients hammer the epoch-routed spec
+  // over real sockets while ingest writers stage deltas and a rollover
+  // thread forces epoch swaps mid-traffic. Coarse assertions (every
+  // frame answered, acks well-formed, final accounting reconciles);
+  // TSan owns the race verdict, and epoch_test owns byte-identity.
+  server::ServerOptions options;
+  options.cache_bytes = 1ull << 30;
+  options.threads = 3;
+  server::Server server(options);
+  api::EpochPipeline::Options ingest_options;
+  ingest_options.spec = "habit:r=8";
+  ASSERT_TRUE(server.EnableIngest(ingest_options, MakeTrips()).ok());
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serve_thread([&server] { ASSERT_TRUE(server.Serve().ok()); });
+
+  server::ClientOptions client_options;
+  client_options.connect_timeout_ms = 10000;
+  client_options.io_timeout_ms = 60000;  // rollover acks wait on rebuilds
+
+  // Ingest writers: disjoint trip-id ranges on the same lane, so every
+  // batch validates no matter how the writers interleave.
+  constexpr int kWriters = 2;
+  constexpr int kBatchesPerWriter = 6;
+  constexpr int kTripsPerBatch = 2;
+  std::vector<char> writer_ok(kWriters, 0);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      server::LineClient client(server.bound_port(), client_options);
+      if (!client.connected()) return;
+      for (int b = 0; b < kBatchesPerWriter; ++b) {
+        std::vector<ais::Trip> batch = MakeTrips();
+        batch.resize(kTripsPerBatch);
+        for (int t = 0; t < kTripsPerBatch; ++t) {
+          const int64_t id = 1000 + (w * kBatchesPerWriter + b) *
+                                        kTripsPerBatch + t;
+          batch[static_cast<size_t>(t)].trip_id = id;
+          batch[static_cast<size_t>(t)].mmsi = 219000000 + id;
+          for (ais::AisRecord& r : batch[static_cast<size_t>(t)].points) {
+            r.mmsi = batch[static_cast<size_t>(t)].mmsi;
+          }
+        }
+        std::string reply;
+        if (!client.Call(server::EncodeIngestRequest(batch), &reply)) return;
+        const Json ack = MustParse(reply);
+        const Json* ok = ack.Find("ok");
+        if (ok == nullptr || !ok->bool_value()) return;
+        if (ack.Find("accepted")->number_value() != kTripsPerBatch) return;
+      }
+      writer_ok[static_cast<size_t>(w)] = 1;
+    });
+  }
+
+  // The rollover thread forces swaps while writers and readers run; acked
+  // epochs must be non-decreasing (coalesced rollovers may repeat one).
+  std::atomic<bool> rollover_ok{false};
+  std::thread rollover([&] {
+    server::LineClient client(server.bound_port(), client_options);
+    if (!client.connected()) return;
+    double last_epoch = 0;
+    for (int r = 0; r < 4; ++r) {
+      std::string reply;
+      if (!client.Call(server::EncodeRolloverRequest(), &reply)) return;
+      const Json ack = MustParse(reply);
+      const Json* ok = ack.Find("ok");
+      if (ok == nullptr || !ok->bool_value()) return;
+      const double epoch = ack.Find("epoch")->number_value();
+      if (epoch < last_epoch) return;
+      last_epoch = epoch;
+    }
+    rollover_ok.store(true);
+  });
+
+  // Impute readers on the epoch-routed spec (no load=): every answer
+  // comes from whichever epoch the request resolved, never a torn one.
+  const std::string impute_line =
+      server::EncodeImputeRequest("habit:r=8", LaneRequest());
+  constexpr int kReaders = 4;
+  constexpr int kCallsPerReader = 10;
+  std::vector<char> reader_ok(kReaders, 0);
+  std::vector<std::thread> readers;
+  for (int c = 0; c < kReaders; ++c) {
+    readers.emplace_back([&, c] {
+      server::ClientOptions reader_options = client_options;
+      reader_options.binary = (c % 2 == 0);
+      server::LineClient client(server.bound_port(), reader_options);
+      if (!client.connected()) return;
+      for (int k = 0; k < kCallsPerReader; ++k) {
+        std::string reply;
+        if (!client.Call(impute_line, &reply)) return;
+        const Json frame = MustParse(reply);
+        const Json* ok = frame.Find("ok");
+        if (ok == nullptr || !ok->bool_value()) return;
+      }
+      reader_ok[static_cast<size_t>(c)] = 1;
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  rollover.join();
+  for (std::thread& t : readers) t.join();
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_TRUE(writer_ok[static_cast<size_t>(w)]) << "writer " << w;
+  }
+  EXPECT_TRUE(rollover_ok.load());
+  for (int c = 0; c < kReaders; ++c) {
+    EXPECT_TRUE(reader_ok[static_cast<size_t>(c)]) << "reader " << c;
+  }
+
+  // Quiesce: one final rollover folds any remaining backlog, and the
+  // stats accounting must reconcile with exactly what the writers sent.
+  {
+    server::LineClient client(server.bound_port(), client_options);
+    ASSERT_TRUE(client.connected());
+    std::string reply;
+    ASSERT_TRUE(client.Call(server::EncodeRolloverRequest(), &reply));
+    ASSERT_TRUE(MustParse(reply).Find("ok")->bool_value()) << reply;
+    ASSERT_TRUE(client.Call("{\"op\":\"stats\"}", &reply));
+    const Json stats = MustParse(reply);
+    const Json* epoch = stats.Find("epoch");
+    ASSERT_NE(epoch, nullptr) << reply;
+    constexpr double kDeltaTrips =
+        kWriters * kBatchesPerWriter * kTripsPerBatch;
+    EXPECT_EQ(epoch->Find("ingested_trips")->number_value(), kDeltaTrips);
+    EXPECT_EQ(epoch->Find("pending_trips")->number_value(), 0.0);
+    EXPECT_EQ(epoch->Find("epoch_trips")->number_value(),
+              kDeltaTrips + 6);  // the base fixture's six trips
+    EXPECT_GE(epoch->Find("epoch")->number_value(), 1.0);
+  }
+
+  server.Shutdown();
+  serve_thread.join();
+}
+
 // ----------------------------------------------------------------- Router
 
 // Wraps a working backend and fails every other call at the transport

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Live-ingest smoke: incremental epochs must converge to the from-scratch
+model.
+
+    python3 tools/ci/ingest_smoke.py HABIT_SERVE HABIT_CLI CSV [SPEC]
+
+Drives the same AIS CSV through habit_serve --stdin twice:
+
+  * incremental: an empty-base server receives the trips as several
+    `ingest` frames (habit_cli ingest-lines batches them) with a
+    `rollover` after each, so the served model is rebuilt epoch by epoch;
+  * cold: a second server seeds epoch 0 from the whole CSV via
+    --ingest-base — the from-scratch build of the same cumulative set.
+
+Both then answer the same impute request; the paths must agree at the
+CSV's 1e-6 degree precision and the timestamps exactly. (The ctest suite
+pins byte-identity at the API layer; this smoke pins the end-to-end
+surface: CLI framing -> protocol -> epoch pipeline -> rebuild -> serve.)
+The incremental run's ack stream is checked too: every ingest/rollover
+acks ok, the epoch counter climbs once per rollover, and the final stats
+frame reports the full trip count with an empty backlog.
+"""
+
+import json
+import subprocess
+import sys
+
+REQUEST = {
+    "gap_start": {"lat": 54.40, "lng": 10.22},
+    "gap_end": {"lat": 54.52, "lng": 10.30},
+    "t_start": 0,
+    "t_end": 3600,
+}
+
+
+def serve_stdin(serve: str, args: list, lines: list) -> list:
+    """One habit_serve --stdin run; returns the parsed response frames."""
+    proc = subprocess.run(
+        [serve, "--stdin"] + args,
+        input="".join(line + "\n" for line in lines),
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: {serve} exited {proc.returncode}: "
+                         f"{proc.stderr}")
+    frames = [json.loads(line) for line in proc.stdout.splitlines()]
+    if len(frames) != len(lines):
+        raise SystemExit(f"FAIL: {len(lines)} requests but {len(frames)} "
+                         f"responses")
+    return frames
+
+
+def main() -> int:
+    serve, cli, csv = sys.argv[1], sys.argv[2], sys.argv[3]
+    spec = sys.argv[4] if len(sys.argv) > 4 else "habit:r=9"
+
+    batches = subprocess.run(
+        [cli, "ingest-lines", csv, "4"],
+        capture_output=True, text=True, timeout=600)
+    if batches.returncode != 0:
+        raise SystemExit(f"FAIL: ingest-lines exited {batches.returncode}: "
+                         f"{batches.stderr}")
+    ingest_lines = batches.stdout.splitlines()
+    if len(ingest_lines) < 2:
+        raise SystemExit(f"FAIL: want >=2 ingest frames to make the "
+                         f"incremental run incremental, got "
+                         f"{len(ingest_lines)}")
+
+    impute_line = json.dumps(
+        {"op": "impute", "model": spec, "request": REQUEST})
+
+    # Incremental: ingest -> rollover per batch, then stats + impute.
+    lines = []
+    for frame in ingest_lines:
+        lines.append(frame)
+        lines.append('{"op":"rollover"}')
+    lines.append('{"op":"stats"}')
+    lines.append(impute_line)
+    frames = serve_stdin(serve, ["--ingest-spec", spec], lines)
+
+    total_trips = 0
+    epoch = 0
+    for i, frame in enumerate(frames[:-2]):
+        if not frame.get("ok"):
+            raise SystemExit(f"FAIL: ack {i} not ok: {frame}")
+        if frame["op"] == "ingest":
+            total_trips += frame["accepted"]
+        else:
+            epoch += 1
+            if frame["epoch"] != epoch:
+                raise SystemExit(f"FAIL: rollover {epoch} acked epoch "
+                                 f"{frame['epoch']}: {frame}")
+    stats = frames[-2]["epoch"]
+    if stats["epoch"] != epoch or stats["pending_trips"] != 0 \
+            or stats["epoch_trips"] != total_trips:
+        raise SystemExit(f"FAIL: stats disagree with the ack stream "
+                         f"(epoch {epoch}, {total_trips} trips): {stats}")
+    incremental = frames[-1]
+    if not incremental.get("ok"):
+        raise SystemExit(f"FAIL: incremental impute failed: {incremental}")
+
+    # Cold: the whole CSV as epoch 0, one impute.
+    cold = serve_stdin(serve, ["--ingest-spec", spec, "--ingest-base", csv],
+                       [impute_line])[0]
+    if not cold.get("ok"):
+        raise SystemExit(f"FAIL: cold impute failed: {cold}")
+
+    if len(incremental["path"]) != len(cold["path"]):
+        raise SystemExit(f"FAIL: path lengths differ: "
+                         f"{len(incremental['path'])} incremental vs "
+                         f"{len(cold['path'])} cold")
+    for (ilat, ilng), (clat, clng) in zip(incremental["path"], cold["path"]):
+        if abs(ilat - clat) >= 1e-6 or abs(ilng - clng) >= 1e-6:
+            raise SystemExit(f"FAIL: paths diverge: ({ilat},{ilng}) vs "
+                             f"({clat},{clng})")
+    if incremental["timestamps"] != cold["timestamps"]:
+        raise SystemExit("FAIL: timestamps differ between incremental and "
+                         "cold runs")
+    print(f"incremental ({len(ingest_lines)} frames, {epoch} rollovers, "
+          f"{total_trips} trips) == cold rebuild over "
+          f"{len(cold['path'])} points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

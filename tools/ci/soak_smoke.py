@@ -2,7 +2,8 @@
 """Transport soak smoke: a habit_serve under thousands of idle connections
 must still answer a busy client within a deadline, over both protocols.
 
-    python3 tools/ci/soak_smoke.py PORT IDLE DEADLINE_SECONDS
+    python3 tools/ci/soak_smoke.py PORT IDLE DEADLINE_SECONDS [MODEL]
+                                   [--rollover]
 
 Parks IDLE connected-but-silent sockets (every 1000th stops mid-frame: a
 partial binary magic, the half-negotiated state shutdown must also cover),
@@ -15,6 +16,13 @@ same impute request and requires:
     binary path and Json::Dump renders shortest-round-trip form, so
     float() on the JSON text reproduces the same double — any mismatch
     means one path corrupted a value).
+
+With --rollover (the server must run with --ingest-spec) the busy band
+runs again across an epoch boundary: a control client forces a
+`rollover`, the JSON/binary comparison repeats, and one of the PARKED
+sockets — idle since before the swap — must answer the same request.
+That pins the epoch swap as a pure model-layer event: the transport's
+connections, buffers, and negotiation state all survive it.
 
 This is an independent reimplementation of the frame layout in
 src/server/frame.h — if the C++ encoder drifts from the documented wire
@@ -118,10 +126,55 @@ def connect(port: int, timeout: float = 10.0) -> socket.socket:
     return sock
 
 
+def json_call(sock: socket.socket, line: bytes):
+    """One JSON request line over `sock`; returns the parsed response."""
+    sock.sendall(line)
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise SystemExit("FAIL: server closed on the JSON client")
+        buf += chunk
+    return json.loads(buf.decode())
+
+
+def busy_band(port: int, model: str, deadline: float, label: str) -> float:
+    """One busy JSON client and one busy binary client through the same
+    impute; requires exact JSON==binary agreement. Returns elapsed."""
+    started = time.monotonic()
+    line = json.dumps({"op": "impute", "model": model,
+                       "request": REQUEST}).encode() + b"\n"
+    json_frame = json_call(connect(port, timeout=deadline), line)
+    if not json_frame.get("ok"):
+        raise SystemExit(f"FAIL: {label}: JSON response not ok: "
+                         f"{json_frame}")
+
+    bin_sock = connect(port, timeout=deadline)
+    bin_sock.sendall(impute_frame(model))
+    path, timestamps, expanded = decode_results(read_frame(bin_sock))
+    elapsed = time.monotonic() - started
+
+    # Exact comparison: both sides carry the same IEEE doubles.
+    if path != json_frame["path"]:
+        raise SystemExit(f"FAIL: {label}: paths differ\n json:   "
+                         f"{json_frame['path']}\n binary: {path}")
+    if timestamps != json_frame["timestamps"]:
+        raise SystemExit(f"FAIL: {label}: timestamps differ\n json:   "
+                         f"{json_frame['timestamps']}\n binary: "
+                         f"{timestamps}")
+    if expanded != json_frame["expanded"]:
+        raise SystemExit(f"FAIL: {label}: expanded differs: json "
+                         f"{json_frame['expanded']} vs binary {expanded}")
+    return elapsed
+
+
 def main() -> int:
     port, idle_target, deadline = (int(sys.argv[1]), int(sys.argv[2]),
                                    float(sys.argv[3]))
-    model = sys.argv[4] if len(sys.argv) > 4 else "habit:load=/tmp/kiel.snap"
+    extra = sys.argv[4:]
+    rollover = "--rollover" in extra
+    positional = [a for a in extra if not a.startswith("--")]
+    model = positional[0] if positional else "habit:load=/tmp/kiel.snap"
 
     # Wait for the server to come up.
     for _ in range(300):
@@ -148,42 +201,36 @@ def main() -> int:
         raise SystemExit(f"FAIL: only parked {len(idle)}/{idle_target}")
     print(f"parked {len(idle)} idle connections")
 
-    started = time.monotonic()
-    line = json.dumps({"op": "impute", "model": model,
-                       "request": REQUEST}).encode() + b"\n"
-    json_sock = connect(port, timeout=deadline)
-    json_sock.sendall(line)
-    buf = b""
-    while not buf.endswith(b"\n"):
-        chunk = json_sock.recv(65536)
-        if not chunk:
-            raise SystemExit("FAIL: server closed on the JSON client")
-        buf += chunk
-    json_frame = json.loads(buf.decode())
-    if not json_frame.get("ok"):
-        raise SystemExit(f"FAIL: JSON response not ok: {json_frame}")
-
-    bin_sock = connect(port, timeout=deadline)
-    bin_sock.sendall(impute_frame(model))
-    path, timestamps, expanded = decode_results(read_frame(bin_sock))
-    elapsed = time.monotonic() - started
-
-    # Exact comparison: both sides carry the same IEEE doubles.
-    if path != json_frame["path"]:
-        raise SystemExit(f"FAIL: paths differ\n json:   "
-                         f"{json_frame['path']}\n binary: {path}")
-    if timestamps != json_frame["timestamps"]:
-        raise SystemExit(f"FAIL: timestamps differ\n json:   "
-                         f"{json_frame['timestamps']}\n binary: {timestamps}")
-    if expanded != json_frame["expanded"]:
-        raise SystemExit(f"FAIL: expanded differs: json "
-                         f"{json_frame['expanded']} vs binary {expanded}")
+    elapsed = busy_band(port, model, deadline, "pre-rollover")
     if elapsed > deadline:
         raise SystemExit(f"FAIL: busy band took {elapsed:.2f}s under "
                          f"{len(idle)} idle connections "
                          f"(deadline {deadline:.0f}s)")
-    print(f"JSON == binary over {len(path)} points under {len(idle)} idle "
-          f"connections in {elapsed:.2f}s")
+    print(f"JSON == binary under {len(idle)} idle connections in "
+          f"{elapsed:.2f}s")
+
+    if rollover:
+        # Force an epoch swap with the fleet still parked, then prove the
+        # transport state survived it: the busy band repeats, and a socket
+        # that has been idle since BEFORE the swap answers. (idle[0] is
+        # parked mid-binary-frame by design — use a silent one.)
+        ack = json_call(connect(port, timeout=deadline),
+                        b'{"op":"rollover","id":1}\n')
+        if not ack.get("ok") or ack.get("epoch", 0) < 1:
+            raise SystemExit(f"FAIL: rollover not acked: {ack}")
+        elapsed = busy_band(port, model, deadline, "post-rollover")
+        if elapsed > deadline:
+            raise SystemExit(f"FAIL: post-rollover busy band took "
+                             f"{elapsed:.2f}s (deadline {deadline:.0f}s)")
+        line = json.dumps({"op": "impute", "model": model,
+                           "request": REQUEST}).encode() + b"\n"
+        parked = json_call(idle[1], line)
+        if not parked.get("ok"):
+            raise SystemExit(f"FAIL: parked socket failed after the "
+                             f"rollover: {parked}")
+        print(f"fleet survived epoch {ack['epoch']} rollover; parked "
+              f"socket still answers, JSON == binary in {elapsed:.2f}s")
+
     for sock in idle:
         sock.close()
     return 0
